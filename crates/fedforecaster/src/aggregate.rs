@@ -1,0 +1,94 @@
+//! Final model aggregation (§4.4, Algorithm 1 lines 23–27).
+//!
+//! Linear-family forecasters aggregate by FedAvg over raw-feature-space
+//! coefficients (`α_j = |D_j|/|D|`). Tree ensembles have no meaningful
+//! parameter average; they deploy per-client with the globally tuned
+//! configuration, and the reported global loss is the weighted average of
+//! the local losses — see DESIGN.md §5.
+
+use ff_models::zoo::AlgorithmKind;
+
+/// The deployed global model after Algorithm 1 completes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalModel {
+    /// One shared linear model: FedAvg of raw-space coefficients.
+    Linear {
+        /// Winning algorithm.
+        algorithm: AlgorithmKind,
+        /// Aggregated feature coefficients (raw feature space).
+        coef: Vec<f64>,
+        /// Aggregated intercept.
+        intercept: f64,
+    },
+    /// Per-client deployment of the winning (tree-based) configuration.
+    PerClient {
+        /// Winning algorithm.
+        algorithm: AlgorithmKind,
+    },
+    /// The weighted union of every client's serialized tree ensemble
+    /// (`ŷ(x) = Σ αⱼ fⱼ(x)`), deployed to all clients.
+    Ensemble {
+        /// Winning algorithm.
+        algorithm: AlgorithmKind,
+        /// Number of member models in the union.
+        members: usize,
+    },
+}
+
+impl GlobalModel {
+    /// The winning algorithm.
+    pub fn algorithm(&self) -> AlgorithmKind {
+        match self {
+            GlobalModel::Linear { algorithm, .. }
+            | GlobalModel::PerClient { algorithm }
+            | GlobalModel::Ensemble { algorithm, .. } => *algorithm,
+        }
+    }
+
+    /// Predicts with the shared linear model; `None` for per-client models
+    /// (their predictions live on the clients).
+    pub fn predict_linear(&self, features: &[f64]) -> Option<f64> {
+        match self {
+            GlobalModel::Linear {
+                coef, intercept, ..
+            } => {
+                if coef.len() != features.len() {
+                    return None;
+                }
+                Some(ff_linalg::vector::dot(coef, features) + intercept)
+            }
+            GlobalModel::PerClient { .. } | GlobalModel::Ensemble { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_prediction() {
+        let m = GlobalModel::Linear {
+            algorithm: AlgorithmKind::Lasso,
+            coef: vec![2.0, -1.0],
+            intercept: 0.5,
+        };
+        assert_eq!(m.predict_linear(&[1.0, 1.0]), Some(1.5));
+        assert_eq!(m.predict_linear(&[1.0]), None);
+        assert_eq!(m.algorithm(), AlgorithmKind::Lasso);
+    }
+
+    #[test]
+    fn per_client_has_no_shared_predictor() {
+        let m = GlobalModel::PerClient {
+            algorithm: AlgorithmKind::XgbRegressor,
+        };
+        assert_eq!(m.predict_linear(&[1.0]), None);
+        let e = GlobalModel::Ensemble {
+            algorithm: AlgorithmKind::XgbRegressor,
+            members: 4,
+        };
+        assert_eq!(e.algorithm(), AlgorithmKind::XgbRegressor);
+        assert_eq!(e.predict_linear(&[1.0]), None);
+    }
+}

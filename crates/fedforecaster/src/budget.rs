@@ -1,0 +1,86 @@
+//! Optimization budgets (§3: "within a time budget T", Algorithm 1:
+//! "Time Budget T OR Number of iterations I").
+
+use std::time::{Duration, Instant};
+
+/// A budget expressed either as wall-clock time or as a number of
+/// optimization iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Wall-clock limit (the paper's 5-minute setting is
+    /// `Budget::Time(Duration::from_secs(300))`).
+    Time(Duration),
+    /// Fixed number of configuration evaluations.
+    Iterations(usize),
+}
+
+/// A running budget tracker.
+#[derive(Debug, Clone)]
+pub struct BudgetTracker {
+    budget: Budget,
+    started: Instant,
+    iterations: usize,
+}
+
+impl BudgetTracker {
+    /// Starts tracking now.
+    pub fn start(budget: Budget) -> BudgetTracker {
+        BudgetTracker {
+            budget,
+            started: Instant::now(),
+            iterations: 0,
+        }
+    }
+
+    /// Records one completed iteration.
+    pub fn record_iteration(&mut self) {
+        self.iterations += 1;
+    }
+
+    /// True when the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        match self.budget {
+            Budget::Time(limit) => self.started.elapsed() >= limit,
+            Budget::Iterations(n) => self.iterations >= n,
+        }
+    }
+
+    /// Iterations completed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Elapsed wall-clock time.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_budget_counts() {
+        let mut t = BudgetTracker::start(Budget::Iterations(3));
+        assert!(!t.exhausted());
+        t.record_iteration();
+        t.record_iteration();
+        assert!(!t.exhausted());
+        t.record_iteration();
+        assert!(t.exhausted());
+        assert_eq!(t.iterations(), 3);
+    }
+
+    #[test]
+    fn zero_time_budget_is_immediately_exhausted() {
+        let t = BudgetTracker::start(Budget::Time(Duration::from_secs(0)));
+        assert!(t.exhausted());
+    }
+
+    #[test]
+    fn generous_time_budget_is_not_exhausted() {
+        let t = BudgetTracker::start(Budget::Time(Duration::from_secs(3600)));
+        assert!(!t.exhausted());
+    }
+}

@@ -1,0 +1,87 @@
+//! Engine configuration.
+
+use crate::budget::Budget;
+
+/// How tree-ensemble winners are aggregated in phase IV (§4.4). Linear
+/// models always aggregate by FedAvg over standardized coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeAggregation {
+    /// Evaluate both deployment modes on the validation split and deploy
+    /// whichever is better (the default). Tree unions cannot extrapolate
+    /// across client levels, so on trending non-IID federations the union
+    /// is systematically biased — this mode detects that from validation
+    /// data alone.
+    #[default]
+    Auto,
+    /// Serialize every client's fitted ensemble and deploy the weighted
+    /// union: `ŷ(x) = Σ αⱼ fⱼ(x)` — the faithful reading of "the server
+    /// aggregates the local models".
+    EnsembleUnion,
+    /// Keep each client's locally fitted model (personalized deployment
+    /// with globally tuned hyperparameters); the global loss is the
+    /// weighted average of local losses.
+    PerClient,
+}
+
+/// Configuration of a [`crate::FedForecaster`] run. Defaults mirror §5.1:
+/// K = 3 recommendations, EI acquisition over a GP surrogate, and a
+/// modest iteration budget suitable for tests (pass
+/// `Budget::Time(Duration::from_secs(300))` for the paper's 5 minutes).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of algorithms the meta-model recommends (paper: K = 3).
+    pub top_k: usize,
+    /// Optimization budget.
+    pub budget: Budget,
+    /// Fraction of each client's data held out for validation.
+    pub valid_fraction: f64,
+    /// Fraction of each client's data held out for final testing.
+    pub test_fraction: f64,
+    /// Maximum lag features (cap on the globally agreed lag count).
+    pub max_lags: usize,
+    /// Maximum seasonal components in the feature set (§4.2.1(4) top-N).
+    pub max_seasonal_components: usize,
+    /// Cumulative feature-importance threshold for selection (§4.2.2).
+    pub importance_threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Disable the feature-engineering stage (ablation: raw lags only).
+    pub disable_feature_engineering: bool,
+    /// Disable the meta-model warm start (ablation: cold BO over all six
+    /// algorithms).
+    pub disable_warm_start: bool,
+    /// Tree-ensemble aggregation mode for phase IV.
+    pub tree_aggregation: TreeAggregation,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            top_k: 3,
+            budget: Budget::Iterations(15),
+            valid_fraction: 0.15,
+            test_fraction: 0.15,
+            max_lags: 10,
+            max_seasonal_components: 3,
+            importance_threshold: 0.95,
+            seed: 42,
+            disable_feature_engineering: false,
+            disable_warm_start: false,
+            tree_aggregation: TreeAggregation::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = EngineConfig::default();
+        assert_eq!(c.top_k, 3);
+        assert!((c.importance_threshold - 0.95).abs() < 1e-12);
+        assert!(!c.disable_feature_engineering);
+        assert_eq!(c.tree_aggregation, TreeAggregation::Auto);
+    }
+}

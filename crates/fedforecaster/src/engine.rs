@@ -1,0 +1,685 @@
+//! The FedForecaster engine: Algorithm 1 end-to-end over the federated
+//! runtime, plus the shared pipeline stages reused by the random-search
+//! baseline.
+
+use crate::aggregate::GlobalModel;
+use crate::budget::BudgetTracker;
+use crate::client::{FedForecasterClient, OP};
+use crate::config::EngineConfig;
+use crate::feature_engineering::{select_features, GlobalFeatureSpec};
+use crate::search_space::{
+    algorithm_of, config_to_map, table2_space, warm_start_configs,
+};
+use crate::{EngineError, Result};
+use ff_bayesopt::optimizer::BayesOpt;
+use ff_bayesopt::space::Configuration;
+use ff_fl::client::FlClient;
+use ff_fl::config::{ConfigMap, ConfigMapExt};
+use ff_fl::message::Instruction;
+use ff_fl::runtime::FederatedRuntime;
+use ff_fl::strategy::{aggregate_loss, fedavg, unwrap_eval_replies, unwrap_fit_replies};
+use ff_metalearn::aggregate::GlobalMetaFeatures;
+use ff_metalearn::features::ClientMetaFeatures;
+use ff_metalearn::metamodel::MetaModel;
+use ff_models::zoo::AlgorithmKind;
+use ff_timeseries::{periodogram, TimeSeries};
+use std::time::Duration;
+
+/// Communication spent in one pipeline phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseBytes {
+    /// Phase name (`meta_features`, `feature_engineering`, `optimization`,
+    /// `finalization`).
+    pub phase: &'static str,
+    /// Bytes sent server → clients during the phase.
+    pub to_clients: usize,
+    /// Bytes sent clients → server during the phase.
+    pub to_server: usize,
+}
+
+/// Outcome of one engine (or baseline) run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Winning algorithm.
+    pub best_algorithm: AlgorithmKind,
+    /// Winning configuration.
+    pub best_config: Configuration,
+    /// Best aggregated validation loss observed during optimization.
+    pub best_valid_loss: f64,
+    /// Aggregated test MSE of the deployed global model.
+    pub test_mse: f64,
+    /// The deployed global model.
+    pub global_model: GlobalModel,
+    /// Number of configurations evaluated.
+    pub evaluations: usize,
+    /// Aggregated validation loss after each evaluation (for budget sweeps).
+    pub loss_history: Vec<f64>,
+    /// The meta-model's recommendations (empty for baselines).
+    pub recommended: Vec<AlgorithmKind>,
+    /// Wall-clock spent in the optimization loop.
+    pub elapsed: Duration,
+    /// Bytes sent server→clients over the run.
+    pub bytes_to_clients: usize,
+    /// Bytes sent clients→server over the run.
+    pub bytes_to_server: usize,
+    /// Per-phase communication breakdown (empty for baselines that do not
+    /// track phases).
+    pub phase_bytes: Vec<PhaseBytes>,
+}
+
+/// The FedForecaster engine. Borrows the (expensive-to-train) meta-model
+/// so many runs — sweeps, repeated seeds — share one offline phase.
+pub struct FedForecaster<'m> {
+    cfg: EngineConfig,
+    meta: &'m MetaModel,
+}
+
+impl<'m> FedForecaster<'m> {
+    /// Creates an engine with a pre-trained meta-model (Figure 2 offline
+    /// phase output).
+    pub fn new(cfg: EngineConfig, meta: &'m MetaModel) -> FedForecaster<'m> {
+        FedForecaster { cfg, meta }
+    }
+
+    /// Runs Algorithm 1 on a federation of private series.
+    pub fn run(&self, clients: &[TimeSeries]) -> Result<RunResult> {
+        let runtime = build_runtime(clients, &self.cfg)?;
+        self.run_on(&runtime)
+    }
+
+    /// Runs Algorithm 1 on an existing runtime (lets tests inspect logs).
+    pub fn run_on(&self, rt: &FederatedRuntime) -> Result<RunResult> {
+        let mut phase_bytes = Vec::new();
+        let mut phase_mark = rt.log().byte_totals();
+        let mut end_phase = |name: &'static str, rt: &FederatedRuntime| {
+            let now = rt.log().byte_totals();
+            let entry = PhaseBytes {
+                phase: name,
+                to_clients: now.0 - phase_mark.0,
+                to_server: now.1 - phase_mark.1,
+            };
+            phase_mark = now;
+            entry
+        };
+        // Phase I–II: meta-features → aggregation → recommendation.
+        let (global, max_len) = collect_global_meta(rt)?;
+        let recommended: Vec<AlgorithmKind> = if self.cfg.disable_warm_start {
+            AlgorithmKind::ALL.to_vec()
+        } else {
+            self.meta
+                .recommend(global.values(), self.cfg.top_k)
+                .map_err(EngineError::Model)?
+        };
+        // Phase III prep: feature engineering with globally agreed params.
+        let spec = if self.cfg.disable_feature_engineering {
+            GlobalFeatureSpec::lags_only(derive_lag_count(&global, self.cfg.max_lags))
+        } else {
+            let periods = federated_seasonal_periods(
+                rt,
+                max_len,
+                self.cfg.max_seasonal_components,
+            )?;
+            GlobalFeatureSpec {
+                lags: (1..=derive_lag_count(&global, self.cfg.max_lags)).collect(),
+                seasonal_periods: periods,
+                use_trend: true,
+                use_time: true,
+            }
+        };
+        phase_bytes.push(end_phase("meta_features", rt));
+        run_feature_engineering(rt, &spec, self.cfg.importance_threshold)?;
+        phase_bytes.push(end_phase("feature_engineering", rt));
+
+        // Phase III: Bayesian optimization with warm start. The budget T
+        // covers the tuning loop (§5.1: "time budget ... for the
+        // hyperparameter tuning"); at least one configuration is always
+        // evaluated so a result exists even under a degenerate budget.
+        let space = table2_space(&recommended);
+        let mut bo = BayesOpt::new(space, self.cfg.seed).map_err(EngineError::Optimizer)?;
+        bo.warm_start(warm_start_configs(&recommended));
+        let mut loss_history = Vec::new();
+        let mut tracker = BudgetTracker::start(self.cfg.budget);
+        while tracker.iterations() == 0 || !tracker.exhausted() {
+            let config = bo.ask().map_err(EngineError::Optimizer)?;
+            let loss = evaluate_config(rt, &config)?;
+            bo.tell(&config, loss).map_err(EngineError::Optimizer)?;
+            loss_history.push(loss);
+            tracker.record_iteration();
+        }
+        let (best_config, best_valid_loss) = bo
+            .best()
+            .map(|(c, l)| (c.clone(), l))
+            .ok_or_else(|| EngineError::InvalidData("no configuration evaluated".into()))?;
+        phase_bytes.push(end_phase("optimization", rt));
+
+        // Phase IV: final fit, aggregation, test evaluation.
+        let (global_model, test_mse) = finalize_with(rt, &best_config, self.cfg.tree_aggregation)?;
+        phase_bytes.push(end_phase("finalization", rt));
+        let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
+        Ok(RunResult {
+            best_algorithm: global_model.algorithm(),
+            best_config,
+            best_valid_loss,
+            test_mse,
+            global_model,
+            evaluations: tracker.iterations(),
+            loss_history,
+            recommended,
+            elapsed: tracker.elapsed(),
+            bytes_to_clients,
+            bytes_to_server,
+            phase_bytes,
+        })
+    }
+}
+
+/// Spawns a runtime from pre-built clients (e.g. clients carrying
+/// exogenous covariates via
+/// [`FedForecasterClient::with_exogenous`]); pair with
+/// [`FedForecaster::run_on`].
+pub fn build_runtime_from(clients: Vec<FedForecasterClient>) -> FederatedRuntime {
+    let boxed: Vec<Box<dyn FlClient>> = clients
+        .into_iter()
+        .map(|c| Box::new(c) as Box<dyn FlClient>)
+        .collect();
+    FederatedRuntime::new(boxed)
+}
+
+/// Spawns the federated runtime with one [`FedForecasterClient`] per series.
+pub fn build_runtime(clients: &[TimeSeries], cfg: &EngineConfig) -> Result<FederatedRuntime> {
+    if clients.is_empty() {
+        return Err(EngineError::InvalidData("no clients".into()));
+    }
+    if let Some(short) = clients.iter().find(|c| c.len() < 30) {
+        return Err(EngineError::InvalidData(format!(
+            "client split too short: {} points",
+            short.len()
+        )));
+    }
+    let boxed: Vec<Box<dyn FlClient>> = clients
+        .iter()
+        .map(|s| {
+            Box::new(FedForecasterClient::new(
+                s,
+                cfg.valid_fraction,
+                cfg.test_fraction,
+            )) as Box<dyn FlClient>
+        })
+        .collect();
+    Ok(FederatedRuntime::new(boxed))
+}
+
+/// Phase I: collect per-client meta-features and aggregate them.
+/// Returns the global vector and the longest client length.
+pub fn collect_global_meta(rt: &FederatedRuntime) -> Result<(GlobalMetaFeatures, usize)> {
+    let props = rt.collect_properties(&ConfigMap::new().with_str(OP, "meta_features"))?;
+    let mut metas = Vec::with_capacity(props.len());
+    let mut max_len = 0usize;
+    for p in &props {
+        let raw = p
+            .get("meta_features")
+            .and_then(|v| v.as_float_vec())
+            .ok_or_else(|| EngineError::InvalidData("client sent no meta-features".into()))?;
+        let mf = ClientMetaFeatures::from_vec(raw)
+            .ok_or_else(|| EngineError::InvalidData("malformed meta-features".into()))?;
+        max_len = max_len.max(p.int_or("n_total", 0) as usize);
+        metas.push(mf);
+    }
+    Ok((GlobalMetaFeatures::aggregate(&metas), max_len))
+}
+
+/// §4.2.1(4): the federated weighted periodogram. Clients return spectral
+/// summaries on a shared log-period grid; the server weights them by client
+/// size and picks the top-N peaks.
+pub fn federated_seasonal_periods(
+    rt: &FederatedRuntime,
+    max_len: usize,
+    max_components: usize,
+) -> Result<Vec<f64>> {
+    if max_len < 16 {
+        return Ok(vec![]);
+    }
+    let grid = periodogram::log_period_grid(max_len as f64 / 2.0);
+    let props = rt.collect_properties(
+        &ConfigMap::new()
+            .with_str(OP, "spectrum")
+            .with_floats("grid_periods", grid.clone()),
+    )?;
+    // Weights: client sizes from a second look at n_total would cost a
+    // round; reuse uniform weighting over returned spectra and rely on the
+    // per-spectrum normalization (each client's spectrum sums to 1).
+    let mut agg = vec![0.0; grid.len()];
+    let mut n = 0usize;
+    for p in &props {
+        if let Some(spec) = p.get("spectrum").and_then(|v| v.as_float_vec()) {
+            if spec.len() == grid.len() {
+                for (a, &s) in agg.iter_mut().zip(spec) {
+                    *a += s;
+                }
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    let peaks = periodogram::peaks_on_grid(&grid, &agg, max_components, 5.0, max_len);
+    Ok(peaks.into_iter().map(|s| s.period).collect())
+}
+
+/// Derives the globally agreed lag count (§4.2.1(3)): the maximum count of
+/// significant pACF lags across clients, clamped to `[3, max_lags]`.
+pub fn derive_lag_count(global: &GlobalMetaFeatures, max_lags: usize) -> usize {
+    let raw = global.get("n_sig_lags_max").unwrap_or(3.0);
+    (raw.round() as usize).clamp(3, max_lags.max(3))
+}
+
+/// Phase III prep: broadcast the feature spec, collect importances, select
+/// features (§4.2.2), and broadcast the selection. Returns the kept column
+/// indices.
+pub fn run_feature_engineering(
+    rt: &FederatedRuntime,
+    spec: &GlobalFeatureSpec,
+    threshold: f64,
+) -> Result<Vec<usize>> {
+    let replies = rt.broadcast_all(&Instruction::Fit {
+        params: vec![],
+        config: spec.to_config_map().with_str(OP, "feature_engineering"),
+    })?;
+    let mut importances = Vec::new();
+    let mut weights = Vec::new();
+    for (_, r) in &replies {
+        match r {
+            ff_fl::message::Reply::FitRes {
+                num_examples,
+                metrics,
+                ..
+            } => {
+                if let Some(err) = metrics.get("error").and_then(|v| v.as_str()) {
+                    return Err(EngineError::InvalidData(err.to_string()));
+                }
+                let imp = metrics
+                    .get("importances")
+                    .and_then(|v| v.as_float_vec())
+                    .ok_or_else(|| {
+                        EngineError::InvalidData("client sent no importances".into())
+                    })?;
+                importances.push(imp.to_vec());
+                weights.push(*num_examples as f64);
+            }
+            other => {
+                return Err(EngineError::InvalidData(format!(
+                    "unexpected reply {other:?}"
+                )))
+            }
+        }
+    }
+    let keep = select_features(&importances, &weights, threshold);
+    let keep_f: Vec<f64> = keep.iter().map(|&j| j as f64).collect();
+    rt.broadcast_all(&Instruction::Fit {
+        params: vec![],
+        config: ConfigMap::new()
+            .with_str(OP, "apply_selection")
+            .with_floats("keep", keep_f),
+    })?;
+    Ok(keep)
+}
+
+/// Evaluates one configuration across the federation: clients fit locally
+/// and report validation losses; the server aggregates via Equation 1.
+pub fn evaluate_config(rt: &FederatedRuntime, config: &Configuration) -> Result<f64> {
+    let replies = rt.broadcast_all(&Instruction::Fit {
+        params: vec![],
+        config: config_to_map(config).with_str(OP, "fit_eval"),
+    })?;
+    let mut losses = Vec::new();
+    for (_, r) in &replies {
+        match r {
+            ff_fl::message::Reply::FitRes {
+                num_examples,
+                metrics,
+                ..
+            } => {
+                let loss = metrics.float_or("valid_loss", f64::INFINITY);
+                losses.push((if loss.is_finite() { loss } else { 1e30 }, *num_examples));
+            }
+            other => {
+                return Err(EngineError::InvalidData(format!(
+                    "unexpected reply {other:?}"
+                )))
+            }
+        }
+    }
+    aggregate_loss(&losses).map_err(EngineError::Federation)
+}
+
+/// Phase IV: final fit on train+valid, model aggregation, and test
+/// evaluation with the default [`crate::config::TreeAggregation::EnsembleUnion`] mode.
+/// Returns the deployed global model and the aggregated test MSE.
+pub fn finalize(
+    rt: &FederatedRuntime,
+    best_config: &Configuration,
+) -> Result<(GlobalModel, f64)> {
+    finalize_with(rt, best_config, crate::config::TreeAggregation::EnsembleUnion)
+}
+
+/// [`finalize`] with an explicit tree-aggregation mode (§4.4; see
+/// DESIGN.md §5 for the trade-off).
+pub fn finalize_with(
+    rt: &FederatedRuntime,
+    best_config: &Configuration,
+    tree_aggregation: crate::config::TreeAggregation,
+) -> Result<(GlobalModel, f64)> {
+    let algorithm = algorithm_of(best_config)
+        .ok_or_else(|| EngineError::InvalidData("config has no algorithm".into()))?;
+    let replies = rt.broadcast_all(&Instruction::Fit {
+        params: vec![],
+        config: config_to_map(best_config).with_str(OP, "final_fit"),
+    })?;
+
+    if algorithm.is_linear() {
+        let fit_results = unwrap_fit_replies(replies).map_err(EngineError::Federation)?;
+        let global_params = fedavg(&fit_results).map_err(EngineError::Federation)?;
+        let eval = rt.broadcast_all(&Instruction::Evaluate {
+            params: global_params.clone(),
+            config: ConfigMap::new().with_str(OP, "test_global_linear"),
+        })?;
+        let losses = unwrap_eval_replies(eval).map_err(EngineError::Federation)?;
+        let test_mse = aggregate_loss(&losses).map_err(EngineError::Federation)?;
+        let p = global_params.len() - 1;
+        return Ok((
+            GlobalModel::Linear {
+                algorithm,
+                coef: global_params[..p].to_vec(),
+                intercept: global_params[p],
+            },
+            test_mse,
+        ));
+    }
+
+    // Tree winner: gather serialized members for the union modes.
+    use crate::config::TreeAggregation;
+    let mut blobs: Vec<Vec<u8>> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    for (_, r) in &replies {
+        if let ff_fl::message::Reply::FitRes {
+            num_examples,
+            metrics,
+            ..
+        } = r
+        {
+            if let Some(b) = metrics.get("model_blob").and_then(|v| v.as_bytes()) {
+                blobs.push(b.to_vec());
+                weights.push(*num_examples as f64);
+            }
+        }
+    }
+    let union_available = blobs.len() == rt.n_clients() && !blobs.is_empty();
+    let members = blobs.len();
+    let ensemble_config = |split: &str| -> ConfigMap {
+        let wsum: f64 = weights.iter().sum();
+        let mut config = ConfigMap::new()
+            .with_str(OP, "test_global_ensemble")
+            .with_str("split", split)
+            .with_floats("weights", weights.iter().map(|w| w / wsum).collect());
+        for (j, b) in blobs.iter().enumerate() {
+            config = config.with_bytes(&format!("blob_{j}"), b.clone());
+        }
+        config
+    };
+    let eval_mode = |op_config: ConfigMap| -> Result<f64> {
+        let eval = rt.broadcast_all(&Instruction::Evaluate {
+            params: vec![],
+            config: op_config,
+        })?;
+        let losses = unwrap_eval_replies(eval).map_err(EngineError::Federation)?;
+        aggregate_loss(&losses).map_err(EngineError::Federation)
+    };
+    let local_config =
+        |split: &str| ConfigMap::new().with_str(OP, "test_local").with_str("split", split);
+
+    let use_union = match tree_aggregation {
+        TreeAggregation::EnsembleUnion => union_available,
+        TreeAggregation::PerClient => false,
+        TreeAggregation::Auto => {
+            // Leakage-free model selection: compare both deployments on the
+            // validation split and pick the better.
+            union_available && {
+                let union_valid = eval_mode(ensemble_config("valid"))?;
+                let local_valid = eval_mode(local_config("valid"))?;
+                union_valid <= local_valid
+            }
+        }
+    };
+    if use_union {
+        let test_mse = eval_mode(ensemble_config("test"))?;
+        Ok((GlobalModel::Ensemble { algorithm, members }, test_mse))
+    } else {
+        let test_mse = eval_mode(local_config("test"))?;
+        Ok((GlobalModel::PerClient { algorithm }, test_mse))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use ff_metalearn::kb::KnowledgeBase;
+    use ff_metalearn::metamodel::MetaClassifierKind;
+    use ff_metalearn::synth::synthetic_kb;
+    use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+
+    fn tiny_metamodel() -> MetaModel {
+        let kb = KnowledgeBase::build(&synthetic_kb(8), &[2], 50);
+        MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).unwrap()
+    }
+
+    fn federation() -> Vec<TimeSeries> {
+        let s = generate(
+            &SynthesisSpec {
+                n: 800,
+                trend: TrendSpec::Linear(0.01),
+                seasons: vec![SeasonSpec { period: 12.0, amplitude: 2.0 }],
+                snr: Some(20.0),
+                ..Default::default()
+            },
+            9,
+        );
+        s.split_clients(3)
+    }
+
+    #[test]
+    fn full_pipeline_produces_finite_result() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(6),
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let engine = FedForecaster::new(cfg, &meta);
+        let result = engine.run(&federation()).unwrap();
+        assert!(result.best_valid_loss.is_finite());
+        assert!(result.test_mse.is_finite());
+        assert_eq!(result.evaluations, 6);
+        assert_eq!(result.loss_history.len(), 6);
+        assert!(!result.recommended.is_empty());
+        assert!(result.bytes_to_server > 0);
+    }
+
+    #[test]
+    fn engine_beats_mean_predictor() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(8),
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let engine = FedForecaster::new(cfg, &meta);
+        let clients = federation();
+        let result = engine.run(&clients).unwrap();
+        // Mean-forecast baseline on the same test region.
+        let mut baseline = 0.0;
+        let mut total = 0usize;
+        for c in &clients {
+            let n = c.len();
+            let test_start = (n as f64 * 0.85).round() as usize;
+            let train: Vec<f64> = c.values()[..test_start].to_vec();
+            let mean = ff_linalg::vector::mean(&train);
+            for &v in &c.values()[test_start..] {
+                baseline += (v - mean) * (v - mean);
+                total += 1;
+            }
+        }
+        baseline /= total as f64;
+        assert!(
+            result.test_mse < baseline,
+            "engine {} vs mean baseline {}",
+            result.test_mse,
+            baseline
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(4),
+            seed: 123,
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let a = FedForecaster::new(cfg.clone(), &meta).run(&federation()).unwrap();
+        let b = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+        assert_eq!(a.best_algorithm, b.best_algorithm);
+        assert_eq!(a.loss_history, b.loss_history);
+        assert!((a.test_mse - b.test_mse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablations_run() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(3),
+            disable_feature_engineering: true,
+            disable_warm_start: true,
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let result = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+        assert!(result.test_mse.is_finite());
+        assert_eq!(result.recommended.len(), AlgorithmKind::ALL.len());
+    }
+
+    #[test]
+    fn empty_federation_rejected() {
+        let meta = tiny_metamodel();
+        let engine = FedForecaster::new(EngineConfig::default(), &meta);
+        assert!(engine.run(&[]).is_err());
+    }
+
+    #[test]
+    fn short_client_rejected() {
+        let tiny = TimeSeries::with_regular_index(0, 60, vec![1.0; 10]);
+        let meta = tiny_metamodel();
+        let engine = FedForecaster::new(EngineConfig::default(), &meta);
+        assert!(engine.run(&[tiny]).is_err());
+    }
+
+    #[test]
+    fn phase_byte_accounting_sums_to_totals() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(3),
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let result = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+        assert_eq!(result.phase_bytes.len(), 4);
+        let down: usize = result.phase_bytes.iter().map(|p| p.to_clients).sum();
+        let up: usize = result.phase_bytes.iter().map(|p| p.to_server).sum();
+        assert_eq!(down, result.bytes_to_clients);
+        assert_eq!(up, result.bytes_to_server);
+        // Every phase actually communicates.
+        for p in &result.phase_bytes {
+            assert!(p.to_clients > 0, "{} sent nothing down", p.phase);
+            assert!(p.to_server > 0, "{} sent nothing up", p.phase);
+        }
+        // Optimization dominates downstream traffic relative to the
+        // meta-feature phase only when budgets are large; just check order
+        // of phases is stable.
+        assert_eq!(result.phase_bytes[0].phase, "meta_features");
+        assert_eq!(result.phase_bytes[3].phase, "finalization");
+    }
+
+    #[test]
+    fn forced_xgb_finalize_builds_ensemble_union() {
+        use crate::feature_engineering::GlobalFeatureSpec;
+        use ff_bayesopt::space::{Configuration, ParamValue};
+        let clients = federation();
+        let cfg = EngineConfig::default();
+        let rt = build_runtime(&clients, &cfg).unwrap();
+        let spec = GlobalFeatureSpec::lags_only(4);
+        run_feature_engineering(&rt, &spec, 0.95).unwrap();
+        let mut config = Configuration::new();
+        config.insert("algorithm".into(), ParamValue::Cat("XGBRegressor".into()));
+        let (model, mse) = finalize(&rt, &config).unwrap();
+        assert!(mse.is_finite());
+        match model {
+            GlobalModel::Ensemble { algorithm, members } => {
+                assert_eq!(algorithm, AlgorithmKind::XgbRegressor);
+                assert_eq!(members, clients.len());
+            }
+            other => panic!("expected ensemble union, got {other:?}"),
+        }
+        // PerClient mode still works on the same runtime.
+        let (model, mse2) =
+            finalize_with(&rt, &config, crate::config::TreeAggregation::PerClient).unwrap();
+        assert!(matches!(model, GlobalModel::PerClient { .. }));
+        assert!(mse2.is_finite());
+    }
+
+    #[test]
+    fn auto_aggregation_avoids_biased_union_on_trending_non_iid_data() {
+        use crate::feature_engineering::GlobalFeatureSpec;
+        use ff_bayesopt::space::{Configuration, ParamValue};
+        use ff_timeseries::synthesis::TrendSpec;
+        // A strong trend split by time ⇒ clients live at disjoint levels;
+        // the tree union cannot extrapolate and must be rejected by the
+        // validation comparison.
+        let series = generate(
+            &SynthesisSpec {
+                n: 800,
+                trend: TrendSpec::Linear(0.2),
+                snr: Some(50.0),
+                ..Default::default()
+            },
+            77,
+        );
+        let clients = series.split_clients(4);
+        let cfg = EngineConfig::default();
+        let rt = build_runtime(&clients, &cfg).unwrap();
+        run_feature_engineering(&rt, &GlobalFeatureSpec::lags_only(4), 0.95).unwrap();
+        let mut config = Configuration::new();
+        config.insert("algorithm".into(), ParamValue::Cat("XGBRegressor".into()));
+        let (model, auto_mse) =
+            finalize_with(&rt, &config, crate::config::TreeAggregation::Auto).unwrap();
+        assert!(
+            matches!(model, GlobalModel::PerClient { .. }),
+            "auto mode should reject the biased union, got {model:?}"
+        );
+        // And the auto choice should not be worse than the forced union.
+        let (_, union_mse) =
+            finalize_with(&rt, &config, crate::config::TreeAggregation::EnsembleUnion)
+                .unwrap();
+        assert!(
+            auto_mse <= union_mse * 1.01,
+            "auto {auto_mse} vs forced union {union_mse}"
+        );
+    }
+
+    #[test]
+    fn lag_count_derivation_is_clamped() {
+        let clients = federation();
+        let cfg = EngineConfig::default();
+        let rt = build_runtime(&clients, &cfg).unwrap();
+        let (global, max_len) = collect_global_meta(&rt).unwrap();
+        let lags = derive_lag_count(&global, 10);
+        assert!((3..=10).contains(&lags));
+        assert!(max_len > 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The random-search baseline (§5.1).
+//!
+//! Identical pipeline to the engine — same federation, same feature
+//! engineering, same budget accounting — but configurations are sampled
+//! uniformly from the **full** Table 2 space: no meta-model warm start and
+//! no surrogate guidance. This isolates exactly the contribution of the
+//! meta-learning + Bayesian-optimization layers.
+
+use crate::budget::BudgetTracker;
+use crate::config::EngineConfig;
+use crate::engine::{
+    build_runtime, collect_global_meta, derive_lag_count, evaluate_config,
+    federated_seasonal_periods, finalize_with, run_feature_engineering, RunResult,
+};
+use crate::feature_engineering::GlobalFeatureSpec;
+use crate::search_space::table2_space;
+use crate::{EngineError, Result};
+use ff_models::zoo::AlgorithmKind;
+use ff_timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random-search baseline over the full Table 2 space.
+pub struct RandomSearch {
+    cfg: EngineConfig,
+}
+
+impl RandomSearch {
+    /// Creates the baseline with the same configuration surface as the
+    /// engine (warm-start / meta-model options are ignored).
+    pub fn new(cfg: EngineConfig) -> RandomSearch {
+        RandomSearch { cfg }
+    }
+
+    /// Runs the baseline on a federation.
+    pub fn run(&self, clients: &[TimeSeries]) -> Result<RunResult> {
+        let rt = build_runtime(clients, &self.cfg)?;
+
+        let (global, max_len) = collect_global_meta(&rt)?;
+        let spec = if self.cfg.disable_feature_engineering {
+            GlobalFeatureSpec::lags_only(derive_lag_count(&global, self.cfg.max_lags))
+        } else {
+            GlobalFeatureSpec {
+                lags: (1..=derive_lag_count(&global, self.cfg.max_lags)).collect(),
+                seasonal_periods: federated_seasonal_periods(
+                    &rt,
+                    max_len,
+                    self.cfg.max_seasonal_components,
+                )?,
+                use_trend: true,
+                use_time: true,
+            }
+        };
+        run_feature_engineering(&rt, &spec, self.cfg.importance_threshold)?;
+
+        let space = table2_space(&AlgorithmKind::ALL);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut best: Option<(ff_bayesopt::space::Configuration, f64)> = None;
+        let mut loss_history = Vec::new();
+        // The budget covers the tuning loop, matching the engine exactly;
+        // at least one configuration is always evaluated.
+        let mut tracker = BudgetTracker::start(self.cfg.budget);
+        while tracker.iterations() == 0 || !tracker.exhausted() {
+            let config = space.sample(&mut rng);
+            let loss = evaluate_config(&rt, &config)?;
+            loss_history.push(loss);
+            match &best {
+                Some((_, b)) if loss >= *b => {}
+                _ => best = Some((config, loss)),
+            }
+            tracker.record_iteration();
+        }
+        let (best_config, best_valid_loss) = best
+            .ok_or_else(|| EngineError::InvalidData("no configuration evaluated".into()))?;
+        let (global_model, test_mse) =
+            finalize_with(&rt, &best_config, self.cfg.tree_aggregation)?;
+        let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
+        Ok(RunResult {
+            best_algorithm: global_model.algorithm(),
+            best_config,
+            best_valid_loss,
+            test_mse,
+            global_model,
+            evaluations: tracker.iterations(),
+            loss_history,
+            recommended: vec![],
+            elapsed: tracker.elapsed(),
+            bytes_to_clients,
+            bytes_to_server,
+            phase_bytes: vec![],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec};
+
+    fn federation() -> Vec<TimeSeries> {
+        let s = generate(
+            &SynthesisSpec {
+                n: 700,
+                seasons: vec![SeasonSpec { period: 10.0, amplitude: 2.0 }],
+                snr: Some(15.0),
+                ..Default::default()
+            },
+            4,
+        );
+        s.split_clients(2)
+    }
+
+    #[test]
+    fn random_search_completes_with_finite_losses() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(5),
+            ..Default::default()
+        };
+        let result = RandomSearch::new(cfg).run(&federation()).unwrap();
+        assert_eq!(result.evaluations, 5);
+        assert!(result.test_mse.is_finite());
+        assert!(result.recommended.is_empty());
+        assert_eq!(result.loss_history.len(), 5);
+    }
+
+    #[test]
+    fn best_valid_loss_is_minimum_of_history() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(6),
+            seed: 5,
+            ..Default::default()
+        };
+        let result = RandomSearch::new(cfg).run(&federation()).unwrap();
+        let min = result
+            .loss_history
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!((result.best_valid_loss - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let mk = |seed| EngineConfig {
+            budget: Budget::Iterations(4),
+            seed,
+            ..Default::default()
+        };
+        let a = RandomSearch::new(mk(1)).run(&federation()).unwrap();
+        let b = RandomSearch::new(mk(2)).run(&federation()).unwrap();
+        assert_ne!(a.loss_history, b.loss_history);
+    }
+}

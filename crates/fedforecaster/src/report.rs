@@ -1,0 +1,144 @@
+//! Result reporting: Table 3-style comparison rows, average ranks, and the
+//! Wilcoxon significance tests of §5.2.
+
+use ff_models::metrics::average_ranks;
+use ff_timeseries::wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};
+
+/// One row of the Table 3 comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Total dataset length.
+    pub len: usize,
+    /// Client count.
+    pub clients: usize,
+    /// N-Beats Cons. MSE (`None` for ETF baskets — printed as a dash).
+    pub nbeats_cons: Option<f64>,
+    /// FedForecaster MSE.
+    pub fedforecaster: f64,
+    /// Random-search MSE.
+    pub random_search: f64,
+    /// Federated N-Beats MSE.
+    pub nbeats: f64,
+    /// Winning algorithm name reported by the engine.
+    pub best_model: String,
+}
+
+/// Aggregate statistics over a set of comparison rows.
+#[derive(Debug, Clone)]
+pub struct ComparisonSummary {
+    /// Average rank per method (FedForecaster, Random Search, N-Beats).
+    pub avg_ranks: [f64; 3],
+    /// Datasets where FedForecaster had the (strictly) lowest MSE.
+    pub fedforecaster_wins: usize,
+    /// Wilcoxon FedForecaster vs random search.
+    pub wilcoxon_vs_random: Option<WilcoxonResult>,
+    /// Wilcoxon FedForecaster vs N-Beats.
+    pub wilcoxon_vs_nbeats: Option<WilcoxonResult>,
+}
+
+/// Summarizes comparison rows the way §5.2 does: average ranks over the
+/// three federated methods, win counts, and the two Wilcoxon tests.
+pub fn summarize(rows: &[ComparisonRow]) -> ComparisonSummary {
+    let losses: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| vec![r.fedforecaster, r.random_search, r.nbeats])
+        .collect();
+    let ranks = average_ranks(&losses);
+    let ff: Vec<f64> = rows.iter().map(|r| r.fedforecaster).collect();
+    let rs: Vec<f64> = rows.iter().map(|r| r.random_search).collect();
+    let nb: Vec<f64> = rows.iter().map(|r| r.nbeats).collect();
+    let wins = rows
+        .iter()
+        .filter(|r| r.fedforecaster < r.random_search && r.fedforecaster < r.nbeats)
+        .count();
+    ComparisonSummary {
+        avg_ranks: [ranks[0], ranks[1], ranks[2]],
+        fedforecaster_wins: wins,
+        wilcoxon_vs_random: wilcoxon_signed_rank(&ff, &rs),
+        wilcoxon_vs_nbeats: wilcoxon_signed_rank(&ff, &nb),
+    }
+}
+
+/// Formats a loss with four significant digits (Table 3 spans 1e-3 to 1e4,
+/// so fixed decimals would erase the small FX losses).
+pub fn fmt_loss(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let mag = v.abs().log10().floor();
+    if (-3.0..4.0).contains(&mag) {
+        let decimals = (3 - mag as i32).clamp(0, 6) as usize;
+        format!("{v:.decimals$}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Renders the rows as an aligned text table (the bench binaries print
+/// this; EXPERIMENTS.md embeds it).
+pub fn render_table(rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<38} {:>7} {:>13} {:>8} {:>14} {:>14} {:>12}  {}\n",
+        "Dataset", "Len.", "N-BeatsCons.", "Clients", "FedForecaster", "RandomSearch", "N-Beats", "Best Model"
+    ));
+    for r in rows {
+        let cons = r.nbeats_cons.map(fmt_loss).unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "{:<38} {:>7} {:>13} {:>8} {:>14} {:>14} {:>12}  {}\n",
+            r.dataset,
+            r.len,
+            cons,
+            r.clients,
+            fmt_loss(r.fedforecaster),
+            fmt_loss(r.random_search),
+            fmt_loss(r.nbeats),
+            r.best_model
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<ComparisonRow> {
+        (0..8)
+            .map(|i| ComparisonRow {
+                dataset: format!("d{i}"),
+                len: 1000 + i,
+                clients: 5,
+                nbeats_cons: if i % 2 == 0 { Some(1.0) } else { None },
+                fedforecaster: 1.0 + i as f64 * 0.01,
+                random_search: 1.5 + i as f64 * 0.01,
+                nbeats: 2.0 + i as f64 * 0.01,
+                best_model: "Lasso".into(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn summary_ranks_fedforecaster_first_when_it_dominates() {
+        let s = summarize(&rows());
+        assert!((s.avg_ranks[0] - 1.0).abs() < 1e-12);
+        assert!((s.avg_ranks[1] - 2.0).abs() < 1e-12);
+        assert!((s.avg_ranks[2] - 3.0).abs() < 1e-12);
+        assert_eq!(s.fedforecaster_wins, 8);
+        assert!(s.wilcoxon_vs_random.unwrap().p_value < 0.05);
+        assert!(s.wilcoxon_vs_nbeats.unwrap().p_value < 0.05);
+    }
+
+    #[test]
+    fn render_includes_dashes_for_missing_cons() {
+        let table = render_table(&rows());
+        assert!(table.contains('-'));
+        assert!(table.contains("FedForecaster"));
+        assert!(table.lines().count() == 9);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the engine's pure components: feature
+//! engineering, selection, the search space, and the report machinery.
+
+use fedforecaster::feature_engineering::{
+    causal_trend, engineer, select_features, GlobalFeatureSpec,
+};
+use fedforecaster::report::fmt_loss;
+use fedforecaster::search_space::{
+    algorithm_of, config_to_map, map_to_config, table2_space, to_hyperparams,
+};
+use ff_models::zoo::AlgorithmKind;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn causal_trend_is_strictly_causal(values in prop::collection::vec(-100.0f64..100.0, 10..60)) {
+        let tr = causal_trend(&values);
+        prop_assert_eq!(tr.len(), values.len());
+        // Changing the tail must not change earlier trend values.
+        let mut perturbed = values.clone();
+        let last = perturbed.len() - 1;
+        perturbed[last] += 1000.0;
+        let tr2 = causal_trend(&perturbed);
+        for (a, b) in tr.iter().zip(&tr2) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn causal_trend_stays_in_value_hull(values in prop::collection::vec(-50.0f64..50.0, 5..40)) {
+        let tr = causal_trend(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &t in &tr {
+            prop_assert!(t >= lo - 1e-9 && t <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn engineered_rows_partition_and_lags_are_history(
+        seed in 0u64..200,
+        n in 60usize..200,
+    ) {
+        let mut state = seed;
+        let values: Vec<f64> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) * 10.0
+        }).collect();
+        let timestamps: Vec<i64> = (0..n as i64).map(|t| t * 3600).collect();
+        let train_end = n * 7 / 10;
+        let valid_end = n * 85 / 100;
+        let spec = GlobalFeatureSpec {
+            lags: vec![1, 2, 4],
+            seasonal_periods: vec![7.0],
+            use_trend: true,
+            use_time: true,
+        };
+        let e = engineer(&values, &timestamps, train_end, valid_end, &spec).unwrap();
+        // Partition: rows cover every index from max_lag to n.
+        let total = e.y_train.len() + e.y_valid.len() + e.y_test.len();
+        prop_assert_eq!(total, n - 4);
+        // lag_1 of every train row equals the previous value.
+        for (i, &y) in e.y_train.iter().enumerate() {
+            let t = 4 + i; // row index in the original series
+            prop_assert_eq!(y, values[t]);
+            prop_assert_eq!(e.x_train.get(i, 0), values[t - 1]);
+            prop_assert_eq!(e.x_train.get(i, 2), values[t - 4]);
+        }
+    }
+
+    #[test]
+    fn selection_is_sorted_unique_and_nonempty(
+        imps in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 8), 1..5),
+        threshold in 0.05f64..1.0,
+    ) {
+        let weights = vec![1.0; imps.len()];
+        let kept = select_features(&imps, &weights, threshold);
+        prop_assert!(!kept.is_empty());
+        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(kept.iter().all(|&j| j < 8));
+        // Monotone: a higher threshold keeps at least as many features.
+        let kept_more = select_features(&imps, &weights, (threshold + 0.3).min(1.0));
+        prop_assert!(kept_more.len() >= kept.len());
+    }
+
+    #[test]
+    fn search_space_samples_always_instantiate(seed in 0u64..300) {
+        let space = table2_space(&AlgorithmKind::ALL);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        let algo = algorithm_of(&cfg).unwrap();
+        let hp = to_hyperparams(&cfg);
+        // Every sampled configuration builds a model without panicking.
+        let _ = ff_models::zoo::build_regressor(algo, &hp);
+        // Wire roundtrip is lossless.
+        let back = map_to_config(&config_to_map(&cfg));
+        prop_assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn fmt_loss_parses_back_close(v in 1e-6f64..1e6) {
+        let s = fmt_loss(v);
+        let parsed: f64 = s.parse().unwrap();
+        prop_assert!((parsed - v).abs() <= 0.002 * v.abs() + 1e-12, "{v} → {s}");
+    }
+}

@@ -1,0 +1,301 @@
+//! The ask/tell Bayesian-optimization loop.
+//!
+//! Algorithm 1 (lines 14–22): the server initializes the optimizer with the
+//! meta-model's recommended configurations (warm start), then iteratively
+//! asks for the next configuration, evaluates it on the federation, and
+//! tells the observed *global* loss back.
+
+use crate::acquisition::Acquisition;
+use crate::gp::GaussianProcess;
+use crate::space::{Configuration, SearchSpace};
+use crate::{BoError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gaussian-process Bayesian optimizer over a [`SearchSpace`]
+/// (minimization).
+///
+/// # Examples
+///
+/// ```
+/// use ff_bayesopt::optimizer::BayesOpt;
+/// use ff_bayesopt::space::{ParamSpec, SearchSpace};
+///
+/// let space = SearchSpace::new().with("x", ParamSpec::Continuous { lo: 0.0, hi: 1.0 });
+/// let mut bo = BayesOpt::new(space, 7).unwrap();
+/// for _ in 0..15 {
+///     let cfg = bo.ask().unwrap();
+///     let x = cfg["x"].as_f64();
+///     bo.tell(&cfg, (x - 0.3) * (x - 0.3)).unwrap(); // minimize (x-0.3)²
+/// }
+/// let (_, best_loss) = bo.best().unwrap();
+/// assert!(best_loss < 0.05);
+/// ```
+pub struct BayesOpt {
+    space: SearchSpace,
+    /// Warm-start configurations evaluated before any model-guided step.
+    warm_start: Vec<Configuration>,
+    /// Number of purely random configurations if no warm start is given.
+    pub n_initial: usize,
+    /// Candidate pool size for the acquisition argmax.
+    pub n_candidates: usize,
+    /// Acquisition function (paper default: EI with xi = 0.01).
+    pub acquisition: Acquisition,
+    /// GP observation-noise variance.
+    pub noise: f64,
+    observations: Vec<(Vec<f64>, Configuration, f64)>,
+    pending: Option<Configuration>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for BayesOpt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BayesOpt")
+            .field("observations", &self.observations.len())
+            .field("warm_start_remaining", &self.warm_start.len())
+            .finish()
+    }
+}
+
+impl BayesOpt {
+    /// Creates an optimizer over the given space.
+    pub fn new(space: SearchSpace, seed: u64) -> Result<BayesOpt> {
+        if space.is_empty() {
+            return Err(BoError::EmptySpace);
+        }
+        Ok(BayesOpt {
+            space,
+            warm_start: Vec::new(),
+            n_initial: 5,
+            n_candidates: 500,
+            acquisition: Acquisition::ExpectedImprovement { xi: 0.01 },
+            noise: 1e-4,
+            observations: Vec::new(),
+            pending: None,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Queues warm-start configurations (evaluated first, in order) — the
+    /// meta-model recommendations of Algorithm 1.
+    pub fn warm_start(&mut self, configs: Vec<Configuration>) {
+        // Stored reversed so pop() yields them in the given order.
+        self.warm_start = configs;
+        self.warm_start.reverse();
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Number of completed observations.
+    pub fn n_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Asks for the next configuration to evaluate.
+    pub fn ask(&mut self) -> Result<Configuration> {
+        if let Some(pending) = &self.pending {
+            // Re-asking without telling returns the same configuration.
+            return Ok(pending.clone());
+        }
+        let next = if let Some(cfg) = self.warm_start.pop() {
+            cfg
+        } else if self.observations.len() < self.n_initial {
+            self.space.sample(&mut self.rng)
+        } else {
+            self.model_guided()?
+        };
+        self.pending = Some(next.clone());
+        Ok(next)
+    }
+
+    fn model_guided(&mut self) -> Result<Configuration> {
+        let xs: Vec<Vec<f64>> = self.observations.iter().map(|(x, _, _)| x.clone()).collect();
+        let ys: Vec<f64> = self.observations.iter().map(|(_, _, y)| *y).collect();
+        // Length scale by type-II maximum likelihood over a small grid.
+        let gp = match GaussianProcess::fit_auto(self.noise, &xs, &ys) {
+            Ok(gp) => gp,
+            // Numerical trouble: fall back to random search for this step.
+            Err(_) => return Ok(self.space.sample(&mut self.rng)),
+        };
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut best_candidate: Option<(f64, Configuration)> = None;
+        for _ in 0..self.n_candidates {
+            let cand = self.space.sample(&mut self.rng);
+            let z = self.space.encode(&cand);
+            let (mean, var) = gp.predict(&z);
+            let score = self.acquisition.score(mean, var, best);
+            // Tiny jitter breaks exact ties deterministically via the RNG.
+            let score = score + self.rng.gen::<f64>() * 1e-12;
+            match &best_candidate {
+                Some((b, _)) if score <= *b => {}
+                _ => best_candidate = Some((score, cand)),
+            }
+        }
+        Ok(best_candidate
+            .map(|(_, c)| c)
+            .unwrap_or_else(|| self.space.sample(&mut self.rng)))
+    }
+
+    /// Reports the observed loss for the configuration most recently asked.
+    pub fn tell(&mut self, config: &Configuration, loss: f64) -> Result<()> {
+        match &self.pending {
+            Some(p) if p == config => {}
+            _ => {
+                return Err(BoError::Protocol(
+                    "tell() must follow ask() with the same configuration".into(),
+                ))
+            }
+        }
+        self.pending = None;
+        let loss = if loss.is_finite() { loss } else { f64::MAX / 1e6 };
+        let z = self.space.encode(config);
+        self.observations.push((z, config.clone(), loss));
+        Ok(())
+    }
+
+    /// The best (lowest-loss) observation so far.
+    pub fn best(&self) -> Option<(&Configuration, f64)> {
+        self.observations
+            .iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .map(|(_, c, y)| (c, *y))
+    }
+
+    /// All observations as `(config, loss)` pairs, in evaluation order.
+    pub fn history(&self) -> Vec<(&Configuration, f64)> {
+        self.observations.iter().map(|(_, c, y)| (c, *y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamSpec, ParamValue};
+
+    fn space_1d() -> SearchSpace {
+        SearchSpace::new().with("x", ParamSpec::Continuous { lo: 0.0, hi: 1.0 })
+    }
+
+    /// Quadratic bowl with minimum at x = 0.3.
+    fn objective(c: &Configuration) -> f64 {
+        let x = c["x"].as_f64();
+        (x - 0.3) * (x - 0.3)
+    }
+
+    #[test]
+    fn optimizer_approaches_known_minimum() {
+        let mut bo = BayesOpt::new(space_1d(), 7).unwrap();
+        for _ in 0..30 {
+            let cfg = bo.ask().unwrap();
+            let loss = objective(&cfg);
+            bo.tell(&cfg, loss).unwrap();
+        }
+        let (best_cfg, best_loss) = bo.best().unwrap();
+        assert!(best_loss < 0.01, "best loss {best_loss}");
+        assert!((best_cfg["x"].as_f64() - 0.3).abs() < 0.15);
+    }
+
+    #[test]
+    fn bo_beats_pure_random_on_average() {
+        // Same budget, same seeds: model-guided search should find a better
+        // or equal optimum in most runs.
+        let mut bo_wins = 0;
+        for seed in 0..10u64 {
+            let mut bo = BayesOpt::new(space_1d(), seed).unwrap();
+            for _ in 0..20 {
+                let cfg = bo.ask().unwrap();
+                let loss = objective(&cfg);
+                bo.tell(&cfg, loss).unwrap();
+            }
+            let bo_best = bo.best().unwrap().1;
+
+            let mut rng = StdRng::seed_from_u64(seed + 1000);
+            let space = space_1d();
+            let rs_best = (0..20)
+                .map(|_| objective(&space.sample(&mut rng)))
+                .fold(f64::INFINITY, f64::min);
+            if bo_best <= rs_best + 1e-9 {
+                bo_wins += 1;
+            }
+        }
+        assert!(bo_wins >= 6, "BO won only {bo_wins}/10 runs");
+    }
+
+    #[test]
+    fn warm_start_is_evaluated_first_in_order() {
+        let mut bo = BayesOpt::new(space_1d(), 0).unwrap();
+        let mut c1 = Configuration::new();
+        c1.insert("x".into(), ParamValue::Float(0.11));
+        let mut c2 = Configuration::new();
+        c2.insert("x".into(), ParamValue::Float(0.22));
+        bo.warm_start(vec![c1.clone(), c2.clone()]);
+        let a1 = bo.ask().unwrap();
+        assert_eq!(a1, c1);
+        bo.tell(&a1, 1.0).unwrap();
+        let a2 = bo.ask().unwrap();
+        assert_eq!(a2, c2);
+        bo.tell(&a2, 0.5).unwrap();
+        assert_eq!(bo.best().unwrap().1, 0.5);
+    }
+
+    #[test]
+    fn re_ask_without_tell_returns_same_config() {
+        let mut bo = BayesOpt::new(space_1d(), 3).unwrap();
+        let a = bo.ask().unwrap();
+        let b = bo.ask().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tell_without_ask_is_protocol_error() {
+        let mut bo = BayesOpt::new(space_1d(), 3).unwrap();
+        let cfg = space_1d().sample(&mut StdRng::seed_from_u64(0));
+        assert!(matches!(bo.tell(&cfg, 1.0), Err(BoError::Protocol(_))));
+    }
+
+    #[test]
+    fn non_finite_losses_are_quarantined() {
+        let mut bo = BayesOpt::new(space_1d(), 3).unwrap();
+        let a = bo.ask().unwrap();
+        bo.tell(&a, f64::NAN).unwrap();
+        let b = bo.ask().unwrap();
+        bo.tell(&b, 0.5).unwrap();
+        assert_eq!(bo.best().unwrap().1, 0.5);
+    }
+
+    #[test]
+    fn empty_space_rejected() {
+        assert!(matches!(
+            BayesOpt::new(SearchSpace::new(), 0),
+            Err(BoError::EmptySpace)
+        ));
+    }
+
+    #[test]
+    fn lcb_acquisition_also_optimizes() {
+        let mut bo = BayesOpt::new(space_1d(), 11).unwrap();
+        bo.acquisition = Acquisition::LowerConfidenceBound { kappa: 1.5 };
+        for _ in 0..25 {
+            let cfg = bo.ask().unwrap();
+            let loss = objective(&cfg);
+            bo.tell(&cfg, loss).unwrap();
+        }
+        assert!(bo.best().unwrap().1 < 0.02, "LCB best {}", bo.best().unwrap().1);
+    }
+
+    #[test]
+    fn history_preserves_order() {
+        let mut bo = BayesOpt::new(space_1d(), 5).unwrap();
+        for i in 0..5 {
+            let cfg = bo.ask().unwrap();
+            bo.tell(&cfg, i as f64).unwrap();
+        }
+        let h = bo.history();
+        assert_eq!(h.len(), 5);
+        assert_eq!(h[0].1, 0.0);
+        assert_eq!(h[4].1, 4.0);
+    }
+}

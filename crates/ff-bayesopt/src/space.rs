@@ -1,0 +1,302 @@
+//! Mixed hyperparameter search spaces.
+//!
+//! Table 2's spaces mix log-scaled continuous parameters (`alpha`), linear
+//! ranges (`subsample`), integer ranges (`n_estimators`), and categoricals
+//! (`selection`). Every parameter is encoded into `[0, 1]` (categoricals
+//! one-hot) so the GP kernel sees a homogeneous unit cube.
+
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Specification of one hyperparameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamSpec {
+    /// Continuous on a linear scale.
+    Continuous {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Continuous on a log10 scale (`lo`, `hi` in raw units, both > 0).
+    LogContinuous {
+        /// Lower bound (inclusive, > 0).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Integer range (inclusive).
+    Integer {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// Categorical choice.
+    Categorical {
+        /// The option names.
+        options: Vec<String>,
+    },
+}
+
+/// A concrete sampled value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A float value (continuous/log parameters).
+    Float(f64),
+    /// An integer value.
+    Int(i64),
+    /// A categorical choice by name.
+    Cat(String),
+}
+
+impl ParamValue {
+    /// Float accessor (ints coerce).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            ParamValue::Float(v) => *v,
+            ParamValue::Int(v) => *v as f64,
+            ParamValue::Cat(_) => f64::NAN,
+        }
+    }
+
+    /// Integer accessor (floats round).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            ParamValue::Float(v) => v.round() as i64,
+            ParamValue::Int(v) => *v,
+            ParamValue::Cat(_) => 0,
+        }
+    }
+
+    /// Categorical accessor.
+    pub fn as_str(&self) -> &str {
+        match self {
+            ParamValue::Cat(s) => s,
+            _ => "",
+        }
+    }
+}
+
+/// A named configuration: parameter name → value.
+pub type Configuration = BTreeMap<String, ParamValue>;
+
+/// An ordered collection of named parameters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchSpace {
+    params: Vec<(String, ParamSpec)>,
+}
+
+impl SearchSpace {
+    /// Creates an empty space.
+    pub fn new() -> SearchSpace {
+        SearchSpace::default()
+    }
+
+    /// Adds a parameter (builder style).
+    pub fn with(mut self, name: &str, spec: ParamSpec) -> SearchSpace {
+        self.params.push((name.to_string(), spec));
+        self
+    }
+
+    /// Parameter count (before one-hot expansion).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are defined.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The parameters in declaration order.
+    pub fn params(&self) -> &[(String, ParamSpec)] {
+        &self.params
+    }
+
+    /// Dimension of the encoded `[0,1]^d` representation (categoricals
+    /// expand to one dimension per option).
+    pub fn encoded_dim(&self) -> usize {
+        self.params
+            .iter()
+            .map(|(_, s)| match s {
+                ParamSpec::Categorical { options } => options.len(),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Samples a uniform random configuration.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Configuration {
+        self.params
+            .iter()
+            .map(|(name, spec)| {
+                let value = match spec {
+                    ParamSpec::Continuous { lo, hi } => {
+                        ParamValue::Float(rng.gen_range(*lo..=*hi))
+                    }
+                    ParamSpec::LogContinuous { lo, hi } => {
+                        let l = lo.log10();
+                        let h = hi.log10();
+                        ParamValue::Float(10f64.powf(rng.gen_range(l..=h)))
+                    }
+                    ParamSpec::Integer { lo, hi } => ParamValue::Int(rng.gen_range(*lo..=*hi)),
+                    ParamSpec::Categorical { options } => {
+                        ParamValue::Cat(options[rng.gen_range(0..options.len())].clone())
+                    }
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Encodes a configuration into `[0, 1]^d`.
+    pub fn encode(&self, config: &Configuration) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.encoded_dim());
+        for (name, spec) in &self.params {
+            let v = config.get(name);
+            match spec {
+                ParamSpec::Continuous { lo, hi } => {
+                    let x = v.map(|p| p.as_f64()).unwrap_or(*lo);
+                    out.push(((x - lo) / (hi - lo).max(1e-300)).clamp(0.0, 1.0));
+                }
+                ParamSpec::LogContinuous { lo, hi } => {
+                    let x = v.map(|p| p.as_f64()).unwrap_or(*lo).max(1e-300);
+                    let l = lo.log10();
+                    let h = hi.log10();
+                    out.push(((x.log10() - l) / (h - l).max(1e-300)).clamp(0.0, 1.0));
+                }
+                ParamSpec::Integer { lo, hi } => {
+                    let x = v.map(|p| p.as_i64()).unwrap_or(*lo) as f64;
+                    out.push(((x - *lo as f64) / (*hi - *lo).max(1) as f64).clamp(0.0, 1.0));
+                }
+                ParamSpec::Categorical { options } => {
+                    let choice = v.map(|p| p.as_str()).unwrap_or("");
+                    for opt in options {
+                        out.push(if opt == choice { 1.0 } else { 0.0 });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a point in `[0, 1]^d` back into a configuration (inverse of
+    /// [`SearchSpace::encode`] up to integer rounding / categorical argmax).
+    pub fn decode(&self, z: &[f64]) -> Configuration {
+        let mut out = Configuration::new();
+        let mut i = 0;
+        for (name, spec) in &self.params {
+            match spec {
+                ParamSpec::Continuous { lo, hi } => {
+                    out.insert(
+                        name.clone(),
+                        ParamValue::Float(lo + z[i].clamp(0.0, 1.0) * (hi - lo)),
+                    );
+                    i += 1;
+                }
+                ParamSpec::LogContinuous { lo, hi } => {
+                    let l = lo.log10();
+                    let h = hi.log10();
+                    out.insert(
+                        name.clone(),
+                        ParamValue::Float(10f64.powf(l + z[i].clamp(0.0, 1.0) * (h - l))),
+                    );
+                    i += 1;
+                }
+                ParamSpec::Integer { lo, hi } => {
+                    let v = *lo as f64 + z[i].clamp(0.0, 1.0) * (*hi - *lo) as f64;
+                    out.insert(name.clone(), ParamValue::Int(v.round() as i64));
+                    i += 1;
+                }
+                ParamSpec::Categorical { options } => {
+                    let slice = &z[i..i + options.len()];
+                    let best = ff_linalg::vector::argmax(slice).unwrap_or(0);
+                    out.insert(name.clone(), ParamValue::Cat(options[best].clone()));
+                    i += options.len();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .with("alpha", ParamSpec::LogContinuous { lo: 1e-4, hi: 10.0 })
+            .with("depth", ParamSpec::Integer { lo: 2, hi: 10 })
+            .with(
+                "selection",
+                ParamSpec::Categorical {
+                    options: vec!["cyclic".into(), "random".into()],
+                },
+            )
+            .with("subsample", ParamSpec::Continuous { lo: 0.1, hi: 1.0 })
+    }
+
+    #[test]
+    fn encoded_dim_counts_one_hot() {
+        assert_eq!(space().encoded_dim(), 5);
+    }
+
+    #[test]
+    fn samples_respect_bounds() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            let alpha = c["alpha"].as_f64();
+            assert!((1e-4..=10.0).contains(&alpha));
+            let depth = c["depth"].as_i64();
+            assert!((2..=10).contains(&depth));
+            assert!(["cyclic", "random"].contains(&c["selection"].as_str()));
+            let sub = c["subsample"].as_f64();
+            assert!((0.1..=1.0).contains(&sub));
+        }
+    }
+
+    #[test]
+    fn log_sampling_covers_decades() {
+        let s = SearchSpace::new().with("a", ParamSpec::LogContinuous { lo: 1e-4, hi: 1.0 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut small = 0;
+        for _ in 0..500 {
+            if s.sample(&mut rng)["a"].as_f64() < 1e-2 {
+                small += 1;
+            }
+        }
+        // Log-uniform ⇒ half the samples below the geometric midpoint 1e-2.
+        assert!((150..350).contains(&small), "small count {small}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = s.sample(&mut rng);
+            let z = s.encode(&c);
+            assert_eq!(z.len(), s.encoded_dim());
+            assert!(z.iter().all(|v| (0.0..=1.0).contains(v)));
+            let back = s.decode(&z);
+            assert!((back["alpha"].as_f64().log10() - c["alpha"].as_f64().log10()).abs() < 1e-9);
+            assert_eq!(back["depth"].as_i64(), c["depth"].as_i64());
+            assert_eq!(back["selection"].as_str(), c["selection"].as_str());
+            assert!((back["subsample"].as_f64() - c["subsample"].as_f64()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn missing_params_encode_to_lower_bound() {
+        let s = space();
+        let z = s.encode(&Configuration::new());
+        assert_eq!(z[0], 0.0);
+        assert_eq!(z[1], 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the Bayesian-optimization substrate.
+
+use ff_bayesopt::acquisition::{expected_improvement, Acquisition};
+use ff_bayesopt::gp::GaussianProcess;
+use ff_bayesopt::kernel::Kernel;
+use ff_bayesopt::space::{ParamSpec, SearchSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_space() -> SearchSpace {
+    SearchSpace::new()
+        .with("a", ParamSpec::Continuous { lo: -2.0, hi: 5.0 })
+        .with("b", ParamSpec::LogContinuous { lo: 1e-4, hi: 100.0 })
+        .with("c", ParamSpec::Integer { lo: 0, hi: 9 })
+        .with(
+            "d",
+            ParamSpec::Categorical {
+                options: vec!["x".into(), "y".into(), "z".into()],
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn encode_is_unit_cube_and_decode_roundtrips(seed in 0u64..500) {
+        let space = mixed_space();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        let z = space.encode(&cfg);
+        prop_assert_eq!(z.len(), space.encoded_dim());
+        prop_assert!(z.iter().all(|v| (0.0..=1.0).contains(v)));
+        let back = space.decode(&z);
+        prop_assert!((back["a"].as_f64() - cfg["a"].as_f64()).abs() < 1e-9);
+        prop_assert!(
+            (back["b"].as_f64().ln() - cfg["b"].as_f64().ln()).abs() < 1e-9
+        );
+        prop_assert_eq!(back["c"].as_i64(), cfg["c"].as_i64());
+        prop_assert_eq!(back["d"].as_str(), cfg["d"].as_str());
+    }
+
+    #[test]
+    fn gp_posterior_variance_is_nonnegative_everywhere(
+        ys in prop::collection::vec(-10.0f64..10.0, 6),
+        q in 0.0f64..1.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 / 5.0]).collect();
+        let gp = GaussianProcess::fit(
+            Kernel::Matern52 { length_scale: 0.3, variance: 1.0 },
+            1e-6,
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        let (m, v) = gp.predict(&[q]);
+        prop_assert!(v >= 0.0, "negative variance {v}");
+        prop_assert!(m.is_finite());
+    }
+
+    #[test]
+    fn gp_interpolates_within_observed_range(
+        ys in prop::collection::vec(-5.0f64..5.0, 5),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 4.0]).collect();
+        let gp = GaussianProcess::fit(
+            Kernel::Rbf { length_scale: 0.4, variance: 1.0 },
+            1e-8,
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (m, _) = gp.predict(x);
+            prop_assert!((m - y).abs() < 0.05 * (1.0 + y.abs()), "m {m} vs y {y}");
+        }
+    }
+
+    #[test]
+    fn ei_nonnegative_and_monotone_in_best(
+        mean in -5.0f64..5.0,
+        var in 0.0f64..4.0,
+        best in -5.0f64..5.0,
+    ) {
+        let ei = expected_improvement(mean, var, best, 0.0);
+        prop_assert!(ei >= 0.0);
+        // A looser incumbent (higher best) can only increase EI.
+        let ei_loose = expected_improvement(mean, var, best + 1.0, 0.0);
+        prop_assert!(ei_loose >= ei - 1e-12);
+    }
+
+    #[test]
+    fn lcb_score_is_monotone_in_mean(
+        mean in -5.0f64..5.0,
+        var in 0.0f64..4.0,
+    ) {
+        let acq = Acquisition::LowerConfidenceBound { kappa: 1.0 };
+        let s1 = acq.score(mean, var, 0.0);
+        let s2 = acq.score(mean + 0.5, var, 0.0);
+        prop_assert!(s1 >= s2);
+    }
+}

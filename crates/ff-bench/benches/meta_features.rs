@@ -1,0 +1,48 @@
+//! Criterion benchmark of full Table 1 meta-feature extraction and
+//! server-side aggregation — the per-client cost §5.2 reports as 2.74 s.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_metalearn::aggregate::GlobalMetaFeatures;
+use ff_metalearn::features::ClientMetaFeatures;
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+use ff_timeseries::TimeSeries;
+
+fn client_series(n: usize) -> TimeSeries {
+    generate(
+        &SynthesisSpec {
+            n,
+            trend: TrendSpec::Linear(0.01),
+            seasons: vec![SeasonSpec { period: 24.0, amplitude: 3.0 }],
+            snr: Some(10.0),
+            missing_fraction: 0.02,
+            ..Default::default()
+        },
+        7,
+    )
+}
+
+fn bench_meta_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meta_features");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [500usize, 2000, 8000] {
+        let s = client_series(n);
+        group.bench_with_input(BenchmarkId::new("extract", n), &s, |b, s| {
+            b.iter(|| ClientMetaFeatures::extract(black_box(s)))
+        });
+    }
+    // Aggregation cost scales with client count (pairwise KL).
+    let metas: Vec<ClientMetaFeatures> = (0..20)
+        .map(|i| ClientMetaFeatures::extract(&client_series(500 + 10 * i)))
+        .collect();
+    for k in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("aggregate", k), &k, |b, &k| {
+            b.iter(|| GlobalMetaFeatures::aggregate(black_box(&metas[..k])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_meta_features);
+criterion_main!(benches);

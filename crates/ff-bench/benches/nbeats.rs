@@ -1,0 +1,50 @@
+//! Criterion benchmarks of N-BEATS training throughput — the per-round
+//! local-compute cost of the paper's neural baseline (why N-Beats suffers
+//! under a shared time budget on weak clients).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_linalg::Matrix;
+use ff_neural::nbeats::{NBeats, NBeatsConfig};
+
+fn bench_nbeats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nbeats");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for (name, cfg) in [
+        ("small", NBeatsConfig::small(12, 0)),
+        (
+            "paper_scale",
+            NBeatsConfig {
+                lookback: 24,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let batch = cfg.batch_size.min(64);
+        let lookback = cfg.lookback;
+        let mut net = NBeats::new(cfg);
+        let x = Matrix::from_fn(batch, lookback, |i, j| ((i * 7 + j) % 13) as f64 * 0.1);
+        let y = Matrix::from_fn(batch, 1, |i, _| (i % 5) as f64 * 0.2);
+        group.bench_with_input(BenchmarkId::new("train_step", name), &(), |b, _| {
+            b.iter(|| net.train_step(black_box(&x), black_box(&y)))
+        });
+    }
+
+    let series: Vec<f64> = (0..500)
+        .map(|t| (std::f64::consts::TAU * t as f64 / 16.0).sin())
+        .collect();
+    let net = {
+        let mut n = NBeats::new(NBeatsConfig::small(16, 1));
+        n.fit_series(&series, 50, || false);
+        n
+    };
+    group.bench_function("predict_one_step_100", |b| {
+        b.iter(|| net.predict_one_step(black_box(&series[..400]), black_box(&series[400..])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nbeats);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the time-series kernels that dominate
+//! meta-feature extraction (ACF/pACF, ADF, FFT periodogram, Higuchi FD).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec};
+use ff_timeseries::{acf, fractal, periodogram, stationarity};
+
+fn series(n: usize) -> Vec<f64> {
+    generate(
+        &SynthesisSpec {
+            n,
+            seasons: vec![SeasonSpec { period: 24.0, amplitude: 3.0 }],
+            snr: Some(10.0),
+            ..Default::default()
+        },
+        1,
+    )
+    .values()
+    .to_vec()
+}
+
+fn bench_timeseries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeseries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [500usize, 2000, 8000] {
+        let v = series(n);
+        group.bench_with_input(BenchmarkId::new("acf", n), &v, |b, v| {
+            b.iter(|| acf::acf(black_box(v), 40))
+        });
+        group.bench_with_input(BenchmarkId::new("pacf", n), &v, |b, v| {
+            b.iter(|| acf::pacf(black_box(v), 40))
+        });
+        group.bench_with_input(BenchmarkId::new("adf", n), &v, |b, v| {
+            b.iter(|| stationarity::adf_test(black_box(v), stationarity::AdfRegression::Constant))
+        });
+        group.bench_with_input(BenchmarkId::new("periodogram", n), &v, |b, v| {
+            b.iter(|| periodogram::detect_seasonality(black_box(v), 5, 5.0))
+        });
+        group.bench_with_input(BenchmarkId::new("higuchi_fd", n), &v, |b, v| {
+            b.iter(|| fractal::higuchi_fd(black_box(v), 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeseries);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! **Experiment E5 — client-count sweep** (§5.2 "Additional experiments
+//! were carried out on possible client counts"): FedForecaster vs baselines
+//! at 5/10/15/20 clients on representative datasets.
+//!
+//! ```text
+//! cargo run -p ff-bench --release --bin sweep_clients -- \
+//!     [--scale 0.2] [--iters 10] [--seeds 2] [--kb 48]
+//! ```
+
+use fedforecaster::prelude::*;
+use fedforecaster::FedForecaster;
+use ff_bench::{build_metamodel, Args, RunSettings};
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+use ff_timeseries::TimeSeries;
+
+fn main() {
+    let args = Args::parse();
+    let settings = RunSettings::from_args(&args);
+    let (_, meta) = build_metamodel(settings.kb_size.min(48));
+
+    // Three regimes: seasonal, trending, random walk.
+    let sources: Vec<(&str, TimeSeries)> = vec![
+        (
+            "seasonal",
+            generate(
+                &SynthesisSpec {
+                    n: 12_000,
+                    seasons: vec![SeasonSpec { period: 24.0, amplitude: 4.0 }],
+                    snr: Some(15.0),
+                    ..Default::default()
+                },
+                1,
+            ),
+        ),
+        (
+            "trending",
+            generate(
+                &SynthesisSpec {
+                    n: 12_000,
+                    trend: TrendSpec::Linear(0.01),
+                    snr: Some(10.0),
+                    ..Default::default()
+                },
+                2,
+            ),
+        ),
+        (
+            "random_walk",
+            generate(
+                &SynthesisSpec {
+                    n: 12_000,
+                    trend: TrendSpec::RandomWalk(0.5),
+                    snr: None,
+                    ..Default::default()
+                },
+                3,
+            ),
+        ),
+    ];
+
+    println!("Client-count sweep (test MSE, budget {:?}, {} seed(s))\n", settings.budget, settings.seeds.len());
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>10}",
+        "regime", "clients", "FedForecaster", "RandomSearch", "N-Beats"
+    );
+    for (name, series) in &sources {
+        for &n_clients in &[5usize, 10, 15, 20] {
+            let mut ff = 0.0;
+            let mut rs = 0.0;
+            let mut nb = 0.0;
+            for &seed in &settings.seeds {
+                let clients = series.split_clients(n_clients);
+                let cfg = settings.engine_config(seed);
+                ff += FedForecaster::new(cfg.clone(), &meta)
+                    .run(&clients)
+                    .expect("engine")
+                    .test_mse;
+                rs += RandomSearch::new(cfg.clone())
+                    .run(&clients)
+                    .expect("random search")
+                    .test_mse;
+                nb += run_federated_nbeats(&clients, cfg.budget, 40, false, seed)
+                    .expect("nbeats")
+                    .test_mse;
+            }
+            let k = settings.seeds.len() as f64;
+            println!(
+                "{:<14} {:>8} {:>14.4} {:>14.4} {:>10.4}",
+                name,
+                n_clients,
+                ff / k,
+                rs / k,
+                nb / k
+            );
+        }
+    }
+    println!("\nExpected shape: N-Beats degrades fastest as splits shrink (20 clients);");
+    println!("FedForecaster stays at or below random search throughout (§5.2).");
+}

@@ -1,0 +1,72 @@
+//! **Experiment E3 — Table 3**: MSE comparison of FedForecaster, random
+//! search, federated N-Beats, and N-Beats Cons. across the 12 evaluation
+//! datasets, with average ranks and the §5.2 Wilcoxon signed-rank tests.
+//!
+//! ```text
+//! cargo run -p ff-bench --release --bin table3_comparison -- \
+//!     [--scale 0.15] [--iters 12 | --secs 300] [--seeds 3] [--kb 64] [--datasets 12]
+//! ```
+
+use fedforecaster::report::{render_table, summarize};
+use ff_bench::{build_metamodel, compare_on_dataset, Args, RunSettings};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let settings = RunSettings::from_args(&args);
+    let n_datasets = args.usize("datasets", 12).min(12);
+
+    eprintln!(
+        "[table3] building knowledge base ({} synthetic + 30 real-like) and meta-model…",
+        settings.kb_size
+    );
+    let t0 = Instant::now();
+    let (kb, meta) = build_metamodel(settings.kb_size);
+    eprintln!(
+        "[table3] KB ready: {} records in {:.1}s",
+        kb.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let datasets = ff_datasets::benchmark_datasets();
+    let mut rows = Vec::new();
+    for ds in datasets.iter().take(n_datasets) {
+        let t = Instant::now();
+        let row = compare_on_dataset(ds, &settings, &meta);
+        eprintln!(
+            "[table3] {:<38} done in {:.1}s (FF {:.4} | RS {:.4} | NB {:.4})",
+            ds.name,
+            t.elapsed().as_secs_f64(),
+            row.fedforecaster,
+            row.random_search,
+            row.nbeats
+        );
+        rows.push(row);
+    }
+
+    println!("\nTable 3: Performance Comparison (test MSE; averaged over {} seeds, scale {}, budget {:?})\n", settings.seeds.len(), settings.scale, settings.budget);
+    println!("{}", render_table(&rows));
+
+    let summary = summarize(&rows);
+    println!(
+        "Average rank: FedForecaster {:.2}  RandomSearch {:.2}  N-Beats {:.2}",
+        summary.avg_ranks[0], summary.avg_ranks[1], summary.avg_ranks[2]
+    );
+    println!(
+        "FedForecaster lowest-MSE datasets: {}/{}",
+        summary.fedforecaster_wins,
+        rows.len()
+    );
+    if let Some(w) = summary.wilcoxon_vs_random {
+        println!(
+            "Wilcoxon FedForecaster vs Random Search: W = {:.1}, p = {:.4} (paper: p = 0.034)",
+            w.statistic, w.p_value
+        );
+    }
+    if let Some(w) = summary.wilcoxon_vs_nbeats {
+        println!(
+            "Wilcoxon FedForecaster vs N-Beats:       W = {:.1}, p = {:.4} (paper: p = 0.003)",
+            w.statistic, w.p_value
+        );
+    }
+}

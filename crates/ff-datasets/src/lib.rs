@@ -1,0 +1,14 @@
+//! Simulators for the 12 evaluation datasets of Table 3 and their
+//! federated splitting.
+//!
+//! The paper evaluates on Kaggle/Nasdaq data we cannot redistribute;
+//! per DESIGN.md §4 each dataset is replaced by a stochastic generator
+//! calibrated to its published length, client count, and qualitative
+//! character (random-walk FX, 11-year sunspot cycle, weekly/yearly birth
+//! seasonality, mean-reverting rates, GBM equity prices with a shared
+//! market factor for the ETF federations).
+
+pub mod generators;
+pub mod registry;
+
+pub use registry::{benchmark_datasets, BenchmarkDataset, SplitKind};

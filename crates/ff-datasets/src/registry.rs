@@ -1,0 +1,208 @@
+//! The Table 3 benchmark registry: names, lengths, client counts, and
+//! federated split construction.
+
+use crate::generators;
+use ff_timeseries::TimeSeries;
+
+/// How a dataset becomes a federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// One long series split into contiguous time chunks (§5.1).
+    TimeSplit,
+    /// One series per client (the ETF datasets: one stock per client);
+    /// consolidation into a single sequence would be misleading, exactly as
+    /// the paper notes for N-Beats Cons.
+    PerClientSeries,
+}
+
+/// One benchmark dataset of Table 3.
+#[derive(Debug, Clone)]
+pub struct BenchmarkDataset {
+    /// Paper's dataset name.
+    pub name: &'static str,
+    /// Published total length (Table 3 "Len." — per stock for ETFs).
+    pub len: usize,
+    /// Published client count (Table 3 "Clients").
+    pub clients: usize,
+    /// Split construction.
+    pub split: SplitKind,
+    /// The Table 3 "Best Model" column (used as a sanity reference in
+    /// EXPERIMENTS.md, not by any algorithm).
+    pub paper_best_model: &'static str,
+    kind: GeneratorKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GeneratorKind {
+    FxRate,
+    Sunspots,
+    UsBirths,
+    PolicyRate,
+    PolicyRateSmooth,
+    DepositRate1,
+    DepositRate2,
+    Commodity,
+    Equity,
+    EtfEnergy,
+    EtfTech,
+    EtfUtilities,
+}
+
+/// The 12 Table 3 datasets with their published lengths and client counts.
+pub fn benchmark_datasets() -> Vec<BenchmarkDataset> {
+    use GeneratorKind::*;
+    vec![
+        BenchmarkDataset { name: "BOE-XUDLERD", len: 15_653, clients: 20, split: SplitKind::TimeSplit, paper_best_model: "HuberRegressor", kind: FxRate },
+        BenchmarkDataset { name: "SunSpotDaily", len: 73_924, clients: 20, split: SplitKind::TimeSplit, paper_best_model: "Lasso", kind: Sunspots },
+        BenchmarkDataset { name: "USBirthsDaily", len: 7_305, clients: 5, split: SplitKind::TimeSplit, paper_best_model: "LinearSVR", kind: UsBirths },
+        BenchmarkDataset { name: "nasdaq_Brazil_Base_Financial_Rate", len: 10_091, clients: 10, split: SplitKind::TimeSplit, paper_best_model: "LinearSVR", kind: PolicyRate },
+        BenchmarkDataset { name: "nasdaq_Brazil_Pr_Base_Financial_Rate", len: 10_091, clients: 15, split: SplitKind::TimeSplit, paper_best_model: "HuberRegressor", kind: PolicyRateSmooth },
+        BenchmarkDataset { name: "nasdaq_Brazil_Saving_Deposits1", len: 812, clients: 5, split: SplitKind::TimeSplit, paper_best_model: "Lasso", kind: DepositRate1 },
+        BenchmarkDataset { name: "nasdaq_Brazil_Saving_Deposits2", len: 1_182, clients: 10, split: SplitKind::TimeSplit, paper_best_model: "XGBRegressor", kind: DepositRate2 },
+        BenchmarkDataset { name: "nasdaq_EIA_PET_RWTC", len: 9_124, clients: 5, split: SplitKind::TimeSplit, paper_best_model: "LinearSVR", kind: Commodity },
+        BenchmarkDataset { name: "nasdaq_WIKI_AAPL_Price", len: 9_124, clients: 15, split: SplitKind::TimeSplit, paper_best_model: "LinearSVR", kind: Equity },
+        BenchmarkDataset { name: "Energy Select Sector ETF", len: 2_517, clients: 10, split: SplitKind::PerClientSeries, paper_best_model: "Lasso", kind: EtfEnergy },
+        BenchmarkDataset { name: "The Technology Sector ETF", len: 2_517, clients: 10, split: SplitKind::PerClientSeries, paper_best_model: "QuantileRegressor", kind: EtfTech },
+        BenchmarkDataset { name: "Utilities Select Sector ETF", len: 2_517, clients: 10, split: SplitKind::PerClientSeries, paper_best_model: "HuberRegressor", kind: EtfUtilities },
+    ]
+}
+
+impl BenchmarkDataset {
+    /// Generates the federated client splits. `scale ∈ (0, 1]` shrinks the
+    /// published lengths proportionally (useful for fast CI runs); the
+    /// relative structure (clients, regimes) is preserved. A minimum of 60
+    /// points per client is enforced.
+    pub fn generate_federation(&self, seed: u64, scale: f64) -> Vec<TimeSeries> {
+        let scale = scale.clamp(1e-3, 1.0);
+        let n = ((self.len as f64 * scale) as usize).max(self.clients * 60);
+        match self.split {
+            SplitKind::TimeSplit => self.generate_series(n, seed).split_clients(self.clients),
+            SplitKind::PerClientSeries => {
+                let per = ((self.len as f64 * scale) as usize).max(60);
+                self.generate_basket(per, seed)
+            }
+        }
+    }
+
+    /// The consolidated single series for the "N-Beats Cons." column, when
+    /// meaningful (`None` for ETF baskets, mirroring the paper's dashes).
+    pub fn generate_consolidated(&self, seed: u64, scale: f64) -> Option<TimeSeries> {
+        match self.split {
+            SplitKind::TimeSplit => {
+                let scale = scale.clamp(1e-3, 1.0);
+                let n = ((self.len as f64 * scale) as usize).max(self.clients * 60);
+                Some(self.generate_series(n, seed))
+            }
+            SplitKind::PerClientSeries => None,
+        }
+    }
+
+    fn generate_series(&self, n: usize, seed: u64) -> TimeSeries {
+        use GeneratorKind::*;
+        let seed = seed.wrapping_mul(1_000_003).wrapping_add(self.name.len() as u64);
+        match self.kind {
+            FxRate => generators::fx_rate(n, seed),
+            Sunspots => generators::sunspots(n, seed),
+            UsBirths => generators::us_births(n, seed),
+            PolicyRate => generators::policy_rate(n, seed, 1.5),
+            PolicyRateSmooth => generators::policy_rate(n, seed, 0.4),
+            DepositRate1 => generators::deposit_rate(n, seed),
+            DepositRate2 => {
+                // The second deposit series has visible nonlinearity —
+                // square-ish transform of a mean-reverting walk.
+                let base = generators::deposit_rate(n, seed);
+                let values: Vec<f64> = base.values().iter().map(|v| 0.1 * v * v).collect();
+                TimeSeries::with_regular_index(
+                    base.timestamps()[0],
+                    86_400,
+                    values,
+                )
+            }
+            Commodity => generators::commodity_price(n, seed),
+            Equity => generators::equity_price(n, seed, 30.0, 0.0008, 0.02),
+            EtfEnergy | EtfTech | EtfUtilities => unreachable!("basket datasets"),
+        }
+    }
+
+    fn generate_basket(&self, per: usize, seed: u64) -> Vec<TimeSeries> {
+        use GeneratorKind::*;
+        let seed = seed.wrapping_mul(1_000_003).wrapping_add(self.name.len() as u64);
+        match self.kind {
+            EtfEnergy => generators::etf_basket(self.clients, per, seed, 40.0, 0.020, 0.004),
+            EtfTech => generators::etf_basket(self.clients, per, seed, 80.0, 0.025, 0.015),
+            EtfUtilities => generators::etf_basket(self.clients, per, seed, 50.0, 0.008, 0.001),
+            _ => unreachable!("time-split datasets"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table3_row_count_and_metadata() {
+        let ds = benchmark_datasets();
+        assert_eq!(ds.len(), 12);
+        let sun = ds.iter().find(|d| d.name == "SunSpotDaily").unwrap();
+        assert_eq!(sun.len, 73_924);
+        assert_eq!(sun.clients, 20);
+        let etf_count = ds
+            .iter()
+            .filter(|d| d.split == SplitKind::PerClientSeries)
+            .count();
+        assert_eq!(etf_count, 3);
+    }
+
+    #[test]
+    fn federation_has_declared_client_count() {
+        for d in benchmark_datasets() {
+            let fed = d.generate_federation(1, 0.05);
+            assert_eq!(fed.len(), d.clients, "{}", d.name);
+            for c in &fed {
+                assert!(c.len() >= 60, "{} client too small: {}", d.name, c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn full_scale_matches_published_lengths() {
+        let ds = benchmark_datasets();
+        let births = ds.iter().find(|d| d.name == "USBirthsDaily").unwrap();
+        let fed = births.generate_federation(1, 1.0);
+        let total: usize = fed.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 7_305);
+    }
+
+    #[test]
+    fn consolidated_exists_only_for_time_splits() {
+        for d in benchmark_datasets() {
+            let cons = d.generate_consolidated(1, 0.05);
+            match d.split {
+                SplitKind::TimeSplit => assert!(cons.is_some(), "{}", d.name),
+                SplitKind::PerClientSeries => assert!(cons.is_none(), "{}", d.name),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = &benchmark_datasets()[0];
+        let a = d.generate_federation(5, 0.05);
+        let b = d.generate_federation(5, 0.05);
+        assert_eq!(a, b);
+        let c = d.generate_federation(6, 0.05);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn etf_clients_share_time_index_but_not_values() {
+        let d = benchmark_datasets()
+            .into_iter()
+            .find(|d| d.name == "The Technology Sector ETF")
+            .unwrap();
+        let fed = d.generate_federation(2, 0.1);
+        assert_eq!(fed[0].timestamps(), fed[1].timestamps());
+        assert_ne!(fed[0].values(), fed[1].values());
+    }
+}

@@ -1,0 +1,40 @@
+//! The client-side trait, mirroring Flower's `Client` API.
+
+use crate::config::ConfigMap;
+
+/// Output of a local training step.
+#[derive(Debug, Clone)]
+pub struct FitOutput {
+    /// Updated local parameters (flat); empty for models whose state
+    /// travels as bytes in `metrics`.
+    pub params: Vec<f64>,
+    /// Number of local training examples (FedAvg weight).
+    pub num_examples: u64,
+    /// Free-form metrics.
+    pub metrics: ConfigMap,
+}
+
+/// Output of a local evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalOutput {
+    /// Local validation loss.
+    pub loss: f64,
+    /// Number of local validation examples.
+    pub num_examples: u64,
+    /// Free-form metrics.
+    pub metrics: ConfigMap,
+}
+
+/// A federated client. Implementations own their private data split; the
+/// runtime moves each client onto its own thread, so `Send` is required.
+pub trait FlClient: Send {
+    /// Returns client properties or locally computed statistics
+    /// (e.g. meta-features). Never raw data.
+    fn get_properties(&mut self, config: &ConfigMap) -> ConfigMap;
+
+    /// Trains locally from the given global parameters and round config.
+    fn fit(&mut self, params: &[f64], config: &ConfigMap) -> FitOutput;
+
+    /// Evaluates the given parameters/config on the local validation split.
+    fn evaluate(&mut self, params: &[f64], config: &ConfigMap) -> EvalOutput;
+}

@@ -1,0 +1,158 @@
+//! Typed configuration maps exchanged between server and clients —
+//! the equivalent of Flower's `Config` / `Metrics` dictionaries.
+
+use std::collections::BTreeMap;
+
+/// One configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigValue {
+    /// 64-bit float.
+    Float(f64),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes (e.g. a serialized tree ensemble).
+    Bytes(Vec<u8>),
+    /// A vector of floats (e.g. a meta-feature vector).
+    FloatVec(Vec<f64>),
+}
+
+impl ConfigValue {
+    /// Float accessor (also accepts ints).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ConfigValue::Float(v) => Some(*v),
+            ConfigValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ConfigValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ConfigValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Bytes accessor.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            ConfigValue::Bytes(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Float-vector accessor.
+    pub fn as_float_vec(&self) -> Option<&[f64]> {
+        match self {
+            ConfigValue::FloatVec(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered string-keyed map of configuration values. `BTreeMap` keeps the
+/// wire encoding deterministic.
+pub type ConfigMap = BTreeMap<String, ConfigValue>;
+
+/// Builder-style helpers for constructing config maps tersely.
+pub trait ConfigMapExt {
+    /// Inserts a float.
+    fn with_float(self, key: &str, v: f64) -> Self;
+    /// Inserts an int.
+    fn with_int(self, key: &str, v: i64) -> Self;
+    /// Inserts a string.
+    fn with_str(self, key: &str, v: &str) -> Self;
+    /// Inserts bytes.
+    fn with_bytes(self, key: &str, v: Vec<u8>) -> Self;
+    /// Inserts a float vector.
+    fn with_floats(self, key: &str, v: Vec<f64>) -> Self;
+    /// Float accessor with default.
+    fn float_or(&self, key: &str, default: f64) -> f64;
+    /// Int accessor with default.
+    fn int_or(&self, key: &str, default: i64) -> i64;
+    /// Str accessor with default.
+    fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str;
+}
+
+impl ConfigMapExt for ConfigMap {
+    fn with_float(mut self, key: &str, v: f64) -> Self {
+        self.insert(key.to_string(), ConfigValue::Float(v));
+        self
+    }
+
+    fn with_int(mut self, key: &str, v: i64) -> Self {
+        self.insert(key.to_string(), ConfigValue::Int(v));
+        self
+    }
+
+    fn with_str(mut self, key: &str, v: &str) -> Self {
+        self.insert(key.to_string(), ConfigValue::Str(v.to_string()));
+        self
+    }
+
+    fn with_bytes(mut self, key: &str, v: Vec<u8>) -> Self {
+        self.insert(key.to_string(), ConfigValue::Bytes(v));
+        self
+    }
+
+    fn with_floats(mut self, key: &str, v: Vec<f64>) -> Self {
+        self.insert(key.to_string(), ConfigValue::FloatVec(v));
+        self
+    }
+
+    fn float_or(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(|v| v.as_float()).unwrap_or(default)
+    }
+
+    fn int_or(&self, key: &str, default: i64) -> i64 {
+        self.get(key).and_then(|v| v.as_int()).unwrap_or(default)
+    }
+
+    fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).and_then(|v| v.as_str()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let m = ConfigMap::new()
+            .with_float("lr", 0.1)
+            .with_int("rounds", 5)
+            .with_str("algo", "lasso")
+            .with_floats("mf", vec![1.0, 2.0]);
+        assert_eq!(m.float_or("lr", 0.0), 0.1);
+        assert_eq!(m.int_or("rounds", 0), 5);
+        assert_eq!(m.str_or("algo", ""), "lasso");
+        assert_eq!(m["mf"].as_float_vec().unwrap(), &[1.0, 2.0]);
+        assert_eq!(m.float_or("missing", 7.0), 7.0);
+    }
+
+    #[test]
+    fn int_coerces_to_float() {
+        let m = ConfigMap::new().with_int("k", 3);
+        assert_eq!(m.float_or("k", 0.0), 3.0);
+    }
+
+    #[test]
+    fn wrong_type_accessors_return_none() {
+        let m = ConfigMap::new().with_str("s", "x");
+        assert!(m["s"].as_float().is_none());
+        assert!(m["s"].as_int().is_none());
+        assert!(m["s"].as_bytes().is_none());
+    }
+}

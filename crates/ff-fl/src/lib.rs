@@ -1,0 +1,55 @@
+//! Flower-style federated learning simulation substrate.
+//!
+//! The paper implements FedForecaster on the Flower framework (reference
+//! \[4\] of the paper); this
+//! crate is the Rust stand-in. It reproduces Flower's execution model:
+//!
+//! - [`client::FlClient`]: the client-side trait (`get_properties`, `fit`,
+//!   `evaluate`) with free-form typed config maps.
+//! - [`message`]: the instruction/reply protocol with a hand-rolled binary
+//!   wire codec over [`bytes`] — every message crosses a real
+//!   serialization boundary, exactly like a networked deployment, so the
+//!   privacy surface (what leaves a client) is explicit and auditable.
+//! - [`runtime::FederatedRuntime`]: the in-process simulation engine; each
+//!   client runs on its own thread and the server broadcasts instructions
+//!   and collects replies in parallel.
+//! - [`strategy`]: FedAvg weighted parameter averaging and weighted loss
+//!   aggregation (`α_j = |D_j| / |D|`, Equation 1 of the paper).
+//! - [`log::MessageLog`]: a transcript of every transmitted payload with
+//!   byte counts — used by the test suite to assert that no raw
+//!   time-series samples ever leave a client.
+
+pub mod client;
+pub mod compress;
+pub mod config;
+pub mod log;
+pub mod message;
+pub mod runtime;
+pub mod secure;
+pub mod strategy;
+
+/// Errors produced by the federated runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlError {
+    /// Decoding a wire message failed.
+    Codec(String),
+    /// A client thread has died or disconnected.
+    ClientUnavailable(usize),
+    /// A client returned an application error.
+    Client(String),
+}
+
+impl std::fmt::Display for FlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlError::Codec(m) => write!(f, "codec error: {m}"),
+            FlError::ClientUnavailable(id) => write!(f, "client {id} unavailable"),
+            FlError::Client(m) => write!(f, "client error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FlError>;

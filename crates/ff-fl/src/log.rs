@@ -1,0 +1,142 @@
+//! A transcript of every message that crossed the client boundary.
+//!
+//! The privacy claim of the paper — only statistics, losses, and model
+//! parameters leave a client — becomes a testable property here: the
+//! integration suite replays the log and asserts no raw sample sequences
+//! appear in any payload.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Direction of a logged message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Server → client.
+    ToClient,
+    /// Client → server.
+    ToServer,
+}
+
+/// One logged transmission.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Client involved.
+    pub client_id: usize,
+    /// Direction of travel.
+    pub direction: Direction,
+    /// The full encoded payload.
+    pub payload: Vec<u8>,
+}
+
+/// Shared, thread-safe message log.
+#[derive(Debug, Clone, Default)]
+pub struct MessageLog {
+    inner: Arc<Mutex<Vec<LogEntry>>>,
+}
+
+impl MessageLog {
+    /// Creates an empty log.
+    pub fn new() -> MessageLog {
+        MessageLog::default()
+    }
+
+    /// Records a transmission.
+    pub fn record(&self, client_id: usize, direction: Direction, payload: &[u8]) {
+        self.inner.lock().push(LogEntry {
+            client_id,
+            direction,
+            payload: payload.to_vec(),
+        });
+    }
+
+    /// Snapshot of all entries.
+    pub fn entries(&self) -> Vec<LogEntry> {
+        self.inner.lock().clone()
+    }
+
+    /// Total bytes sent in each direction: `(to_clients, to_server)`.
+    pub fn byte_totals(&self) -> (usize, usize) {
+        let entries = self.inner.lock();
+        let mut to_client = 0;
+        let mut to_server = 0;
+        for e in entries.iter() {
+            match e.direction {
+                Direction::ToClient => to_client += e.payload.len(),
+                Direction::ToServer => to_server += e.payload.len(),
+            }
+        }
+        (to_client, to_server)
+    }
+
+    /// Number of logged messages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Searches every client→server payload for a run of consecutive f64
+    /// values equal to `needle` (a fragment of raw client data). Used by the
+    /// privacy test: if a client leaked its raw series, the exact little-
+    /// endian byte pattern of `needle` would appear in some payload.
+    pub fn leaks_float_run(&self, needle: &[f64]) -> bool {
+        if needle.is_empty() {
+            return false;
+        }
+        let pattern: Vec<u8> = needle.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let entries = self.inner.lock();
+        entries
+            .iter()
+            .filter(|e| e.direction == Direction::ToServer)
+            .any(|e| {
+                e.payload
+                    .windows(pattern.len())
+                    .any(|w| w == pattern.as_slice())
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let log = MessageLog::new();
+        log.record(0, Direction::ToClient, &[1, 2, 3]);
+        log.record(0, Direction::ToServer, &[4, 5]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.byte_totals(), (3, 2));
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let log = MessageLog::new();
+        let log2 = log.clone();
+        log.record(1, Direction::ToServer, &[9]);
+        assert_eq!(log2.len(), 1);
+    }
+
+    #[test]
+    fn detects_leaked_float_runs() {
+        let log = MessageLog::new();
+        let secret = [1.5f64, -2.25, 3.125];
+        let mut payload = vec![0xABu8; 4];
+        payload.extend(secret.iter().flat_map(|v| v.to_le_bytes()));
+        log.record(0, Direction::ToServer, &payload);
+        assert!(log.leaks_float_run(&secret));
+        assert!(!log.leaks_float_run(&[9.0, 9.0, 9.0]));
+    }
+
+    #[test]
+    fn to_client_payloads_do_not_count_as_leaks() {
+        let log = MessageLog::new();
+        let secret = [7.0f64, 8.0];
+        let payload: Vec<u8> = secret.iter().flat_map(|v| v.to_le_bytes()).collect();
+        log.record(0, Direction::ToClient, &payload);
+        assert!(!log.leaks_float_run(&secret));
+    }
+}

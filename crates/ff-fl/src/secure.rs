@@ -1,0 +1,184 @@
+//! Pairwise-masked secure aggregation (Bonawitz-style, simulation grade).
+//!
+//! The paper's privacy argument rests on clients sharing only model
+//! parameters and statistics. Secure aggregation goes one step further:
+//! the server learns **only the weighted sum** of client vectors, never an
+//! individual client's contribution. Each ordered client pair `(i, j)`
+//! derives a shared mask from a common seed; client `i` adds it, client `j`
+//! subtracts it, so all masks cancel in the sum:
+//!
+//! `upload_i = w_i·x_i + Σ_{j>i} m(i,j) − Σ_{j<i} m(j,i)`
+//! `Σ_i upload_i = Σ_i w_i·x_i`
+//!
+//! This module implements the masking arithmetic (the key-agreement and
+//! dropout-recovery machinery of the full protocol are out of scope for an
+//! in-process simulation — pair seeds are derived from a shared round
+//! seed, which models the result of a Diffie–Hellman exchange).
+
+/// Deterministic mask stream for an ordered client pair in a round.
+fn pair_mask(round_seed: u64, low: usize, high: usize, dim: usize) -> Vec<f64> {
+    // SplitMix64 over a seed unique to (round, pair).
+    let mut state = round_seed
+        ^ (low as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (high as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+    (0..dim)
+        .map(|_| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            // Uniform in [-1, 1): bounded masks keep f64 summation exact
+            // enough that cancellation error stays near machine epsilon.
+            (z >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Client-side: masks a weighted parameter vector for secure summation.
+///
+/// `weight` is the FedAvg weight (`num_examples`); the server can only
+/// recover `Σ weight·params` and `Σ weight`, i.e. the weighted average.
+pub fn mask_contribution(
+    params: &[f64],
+    weight: f64,
+    client_id: usize,
+    n_clients: usize,
+    round_seed: u64,
+) -> Vec<f64> {
+    assert!(client_id < n_clients, "client id out of range");
+    let mut out: Vec<f64> = params.iter().map(|&p| p * weight).collect();
+    for other in 0..n_clients {
+        if other == client_id {
+            continue;
+        }
+        let (low, high) = (client_id.min(other), client_id.max(other));
+        let mask = pair_mask(round_seed, low, high, params.len());
+        // The lower-id member of the pair adds, the higher-id subtracts.
+        let sign = if client_id == low { 1.0 } else { -1.0 };
+        for (o, m) in out.iter_mut().zip(mask) {
+            *o += sign * m;
+        }
+    }
+    out
+}
+
+/// Server-side: recovers the weighted average from the masked uploads and
+/// the (public) total weight. Returns `None` when shapes disagree or the
+/// total weight is not positive.
+pub fn unmask_average(uploads: &[Vec<f64>], total_weight: f64) -> Option<Vec<f64>> {
+    let first = uploads.first()?;
+    let dim = first.len();
+    if uploads.iter().any(|u| u.len() != dim) || total_weight <= 0.0 {
+        return None;
+    }
+    let mut sum = vec![0.0; dim];
+    for u in uploads {
+        for (s, &v) in sum.iter_mut().zip(u) {
+            *s += v;
+        }
+    }
+    for s in sum.iter_mut() {
+        *s /= total_weight;
+    }
+    Some(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_vectors() -> Vec<(Vec<f64>, f64)> {
+        vec![
+            (vec![1.0, 2.0, 3.0], 10.0),
+            (vec![-1.0, 0.5, 2.0], 30.0),
+            (vec![4.0, -2.0, 0.0], 20.0),
+        ]
+    }
+
+    #[test]
+    fn masks_cancel_and_recover_weighted_average() {
+        let clients = client_vectors();
+        let n = clients.len();
+        let uploads: Vec<Vec<f64>> = clients
+            .iter()
+            .enumerate()
+            .map(|(i, (p, w))| mask_contribution(p, *w, i, n, 42))
+            .collect();
+        let total_w: f64 = clients.iter().map(|(_, w)| w).sum();
+        let avg = unmask_average(&uploads, total_w).unwrap();
+        // Expected weighted average.
+        for (k, &a) in avg.iter().enumerate() {
+            let expect: f64 = clients.iter().map(|(p, w)| p[k] * w).sum::<f64>() / total_w;
+            assert!((a - expect).abs() < 1e-9, "dim {k}: {a} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn individual_uploads_hide_the_contribution() {
+        let clients = client_vectors();
+        let n = clients.len();
+        for (i, (p, w)) in clients.iter().enumerate() {
+            let upload = mask_contribution(p, *w, i, n, 7);
+            // The masked upload must differ substantially from the raw
+            // weighted vector in every dimension (masks are dense).
+            let mut hidden = 0;
+            for (u, &raw) in upload.iter().zip(p) {
+                if (u - raw * w).abs() > 1e-6 {
+                    hidden += 1;
+                }
+            }
+            assert_eq!(hidden, p.len(), "client {i} leaked raw dimensions");
+        }
+    }
+
+    #[test]
+    fn different_rounds_use_different_masks() {
+        let (p, w) = (&[1.0, 2.0][..], 5.0);
+        let a = mask_contribution(p, w, 0, 3, 1);
+        let b = mask_contribution(p, w, 0, 3, 2);
+        assert_ne!(a, b);
+        // But the same round is deterministic.
+        let c = mask_contribution(p, w, 0, 3, 1);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn matches_plain_fedavg() {
+        let clients = client_vectors();
+        let n = clients.len();
+        let uploads: Vec<Vec<f64>> = clients
+            .iter()
+            .enumerate()
+            .map(|(i, (p, w))| mask_contribution(p, *w, i, n, 99))
+            .collect();
+        let total_w: f64 = clients.iter().map(|(_, w)| w).sum();
+        let secure = unmask_average(&uploads, total_w).unwrap();
+        let plain = crate::strategy::fedavg(
+            &clients
+                .iter()
+                .map(|(p, w)| (p.clone(), *w as u64))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for (s, p) in secure.iter().zip(&plain) {
+            assert!((s - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_client_degenerates_to_its_own_average() {
+        let upload = mask_contribution(&[2.0, 4.0], 3.0, 0, 1, 5);
+        // No pairs ⇒ no masks.
+        assert_eq!(upload, vec![6.0, 12.0]);
+        let avg = unmask_average(&[upload], 3.0).unwrap();
+        assert_eq!(avg, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn unmask_rejects_bad_inputs() {
+        assert!(unmask_average(&[], 1.0).is_none());
+        assert!(unmask_average(&[vec![1.0], vec![1.0, 2.0]], 1.0).is_none());
+        assert!(unmask_average(&[vec![1.0]], 0.0).is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Aggregation strategies: FedAvg parameter averaging and the weighted
+//! global loss of Equation 1.
+
+use crate::message::Reply;
+use crate::{FlError, Result};
+
+/// Weighted average of flat parameter vectors:
+/// `Σ wᵢ θᵢ / Σ wᵢ` with `wᵢ = num_examples` — McMahan et al.'s FedAvg.
+///
+/// # Examples
+///
+/// ```
+/// use ff_fl::strategy::fedavg;
+///
+/// // A client with 3× the data pulls the average 3× harder.
+/// let agg = fedavg(&[(vec![0.0], 1), (vec![4.0], 3)]).unwrap();
+/// assert_eq!(agg, vec![3.0]);
+/// ```
+pub fn fedavg(params: &[(Vec<f64>, u64)]) -> Result<Vec<f64>> {
+    let mut iter = params.iter().filter(|(p, _)| !p.is_empty());
+    let first = iter
+        .next()
+        .ok_or_else(|| FlError::Client("no parameters to aggregate".into()))?;
+    let dim = first.0.len();
+    let mut acc = vec![0.0; dim];
+    let mut total_w = 0.0;
+    for (p, w) in params.iter().filter(|(p, _)| !p.is_empty()) {
+        if p.len() != dim {
+            return Err(FlError::Client(format!(
+                "parameter length mismatch: {} vs {dim}",
+                p.len()
+            )));
+        }
+        let wf = *w as f64;
+        total_w += wf;
+        for (a, &v) in acc.iter_mut().zip(p) {
+            *a += wf * v;
+        }
+    }
+    if total_w <= 0.0 {
+        return Err(FlError::Client("zero total weight".into()));
+    }
+    for a in acc.iter_mut() {
+        *a /= total_w;
+    }
+    Ok(acc)
+}
+
+/// Weighted global loss `Σ αⱼ Lⱼ` with `αⱼ = nⱼ / Σ n` (Equation 1).
+/// Non-finite client losses are treated as failures and propagated.
+pub fn aggregate_loss(losses: &[(f64, u64)]) -> Result<f64> {
+    let total: u64 = losses.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return Err(FlError::Client("zero total examples".into()));
+    }
+    let mut acc = 0.0;
+    for &(loss, n) in losses {
+        if !loss.is_finite() {
+            return Err(FlError::Client(format!("non-finite client loss {loss}")));
+        }
+        acc += loss * n as f64 / total as f64;
+    }
+    Ok(acc)
+}
+
+/// Extracts `(params, num_examples)` pairs from fit replies, propagating
+/// client errors.
+pub fn unwrap_fit_replies(replies: Vec<(usize, Reply)>) -> Result<Vec<(Vec<f64>, u64)>> {
+    replies
+        .into_iter()
+        .map(|(_, r)| match r {
+            Reply::FitRes {
+                params,
+                num_examples,
+                ..
+            } => Ok((params, num_examples)),
+            Reply::Error(e) => Err(FlError::Client(e)),
+            other => Err(FlError::Codec(format!("unexpected reply {other:?}"))),
+        })
+        .collect()
+}
+
+/// Extracts `(loss, num_examples)` pairs from evaluate replies.
+pub fn unwrap_eval_replies(replies: Vec<(usize, Reply)>) -> Result<Vec<(f64, u64)>> {
+    replies
+        .into_iter()
+        .map(|(_, r)| match r {
+            Reply::EvaluateRes {
+                loss, num_examples, ..
+            } => Ok((loss, num_examples)),
+            Reply::Error(e) => Err(FlError::Client(e)),
+            other => Err(FlError::Codec(format!("unexpected reply {other:?}"))),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedavg_weighted_mean() {
+        let agg = fedavg(&[(vec![1.0, 0.0], 1), (vec![4.0, 3.0], 3)]).unwrap();
+        assert!((agg[0] - 3.25).abs() < 1e-12);
+        assert!((agg[1] - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fedavg_single_client_is_identity() {
+        let p = vec![0.5, -1.5, 3.0];
+        let agg = fedavg(&[(p.clone(), 10)]).unwrap();
+        assert_eq!(agg, p);
+    }
+
+    #[test]
+    fn fedavg_skips_empty_params() {
+        let agg = fedavg(&[(vec![], 100), (vec![2.0], 1)]).unwrap();
+        assert_eq!(agg, vec![2.0]);
+    }
+
+    #[test]
+    fn fedavg_rejects_mismatched_dims() {
+        assert!(fedavg(&[(vec![1.0], 1), (vec![1.0, 2.0], 1)]).is_err());
+    }
+
+    #[test]
+    fn fedavg_rejects_empty_input() {
+        assert!(fedavg(&[]).is_err());
+    }
+
+    #[test]
+    fn loss_aggregation_matches_equation_one() {
+        // α = (0.25, 0.75).
+        let l = aggregate_loss(&[(4.0, 1), (8.0, 3)]).unwrap();
+        assert!((l - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_aggregation_rejects_nan() {
+        assert!(aggregate_loss(&[(f64::NAN, 1)]).is_err());
+        assert!(aggregate_loss(&[]).is_err());
+    }
+
+    #[test]
+    fn unwrap_helpers_propagate_errors() {
+        let replies = vec![(0usize, Reply::Error("bad".into()))];
+        assert!(unwrap_fit_replies(replies.clone()).is_err());
+        assert!(unwrap_eval_replies(replies).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Cholesky factorization and triangular solves.
+//!
+//! Used by the Gaussian-process surrogate in `ff-bayesopt` and by ridge
+//! solvers: for a symmetric positive-definite `A`, computes lower-triangular
+//! `L` with `L Lᵀ = A`, then solves `A x = b` by forward/back substitution.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+impl CholeskyFactor {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a non-positive pivot
+    /// is encountered; callers that work with nearly-singular kernels should
+    /// prefer [`CholeskyFactor::new_with_jitter`].
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".into(),
+                got: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// Factorizes `A + jitter·I`, growing the jitter geometrically (×10,
+    /// up to `max_tries` attempts) until the factorization succeeds.
+    ///
+    /// This is the standard trick for kernel matrices that are PSD only up
+    /// to floating-point error.
+    pub fn new_with_jitter(a: &Matrix, mut jitter: f64, max_tries: usize) -> Result<Self> {
+        match Self::new(a) {
+            Ok(f) => return Ok(f),
+            Err(LinalgError::NotPositiveDefinite) => {}
+            Err(e) => return Err(e),
+        }
+        for _ in 0..max_tries {
+            let mut aj = a.clone();
+            aj.add_diagonal(jitter);
+            match Self::new(&aj) {
+                Ok(f) => return Ok(f),
+                Err(LinalgError::NotPositiveDefinite) => jitter *= 10.0,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(LinalgError::NotPositiveDefinite)
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                got: format!("length {}", b.len()),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            let row = self.l.row(i);
+            for k in 0..i {
+                sum -= row[k] * y[k];
+            }
+            y[i] = sum / row[i];
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ x = y` (back substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {n}"),
+                got: format!("length {}", y.len()),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Log-determinant of `A`: `2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 3.0, 0.4], &[0.6, 0.4, 2.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let f = CholeskyFactor::new(&a).unwrap();
+        let rec = f.l().matmul(&f.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let f = CholeskyFactor::new(&a).unwrap();
+        let x = f.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // indefinite
+        assert_eq!(
+            CholeskyFactor::new(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn jitter_rescues_singular_matrix() {
+        // Rank-1 PSD matrix: plain Cholesky fails, jittered succeeds.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(CholeskyFactor::new(&a).is_err());
+        let f = CholeskyFactor::new_with_jitter(&a, 1e-10, 12).unwrap();
+        assert_eq!(f.dim(), 2);
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det(diag(4, 9)) = 36.
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let f = CholeskyFactor::new(&a).unwrap();
+        assert!((f.log_det() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            CholeskyFactor::new(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,167 @@
+//! Iterative radix-2 FFT and real power spectra.
+//!
+//! The periodogram used for seasonality detection in `ff-timeseries` is the
+//! only spectral consumer in the workspace, so the API is deliberately small:
+//! a complex in-place FFT on power-of-two lengths plus a real-input
+//! periodogram helper that handles zero-padding.
+
+/// A complex number represented as `(re, im)`.
+pub type Complex = (f64, f64);
+
+/// Smallest power of two `>= n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft_in_place(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut start = 0;
+        while start < n {
+            let (mut cr, mut ci) = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let (ar, ai) = buf[start + k];
+                let (br, bi) = buf[start + k + len / 2];
+                let tr = br * cr - bi * ci;
+                let ti = br * ci + bi * cr;
+                buf[start + k] = (ar + tr, ai + ti);
+                buf[start + k + len / 2] = (ar - tr, ai - ti);
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum of length `next_pow2(x.len())`.
+pub fn fft_real(x: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(x.len());
+    let mut buf: Vec<Complex> = Vec::with_capacity(n);
+    buf.extend(x.iter().map(|&v| (v, 0.0)));
+    buf.resize(n, (0.0, 0.0));
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// One-sided periodogram of a real, mean-removed signal.
+///
+/// Returns `(frequencies, power)` where frequencies are in cycles-per-sample
+/// over `(0, 0.5]` (the zero-frequency bin is dropped — the caller removed
+/// the mean, so it carries no information) and power is `|X(f)|² / n`.
+pub fn periodogram(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    if x.len() < 4 {
+        return (Vec::new(), Vec::new());
+    }
+    let mean = crate::vector::mean(x);
+    let centered: Vec<f64> = x.iter().map(|&v| v - mean).collect();
+    let spec = fft_real(&centered);
+    let nfft = spec.len();
+    let half = nfft / 2;
+    let norm = x.len() as f64;
+    let mut freqs = Vec::with_capacity(half);
+    let mut power = Vec::with_capacity(half);
+    for (k, &(re, im)) in spec.iter().enumerate().take(half + 1).skip(1) {
+        freqs.push(k as f64 / nfft as f64);
+        power.push((re * re + im * im) / norm);
+    }
+    (freqs, power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = (0.0, 0.0);
+                for (t, &(re, im)) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                    let (c, s) = (ang.cos(), ang.sin());
+                    acc.0 += re * c - im * s;
+                    acc.1 += re * s + im * c;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x: Vec<Complex> = (0..16).map(|i| ((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        let mut fast = x.clone();
+        fft_in_place(&mut fast);
+        let slow = naive_dft(&x);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f.0 - s.0).abs() < 1e-9 && (f.1 - s.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![(0.0, 0.0); 8];
+        buf[0] = (1.0, 0.0);
+        fft_in_place(&mut buf);
+        for &(re, im) in &buf {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn periodogram_peak_at_signal_frequency() {
+        // Period-8 sine sampled 256 times: peak must land at f = 1/8.
+        let x: Vec<f64> = (0..256)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 8.0).sin())
+            .collect();
+        let (freqs, power) = periodogram(&x);
+        let imax = crate::vector::argmax(&power).unwrap();
+        assert!((freqs[imax] - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn periodogram_of_constant_is_zero() {
+        let x = vec![5.0; 64];
+        let (_, power) = periodogram(&x);
+        assert!(power.iter().all(|&p| p < 1e-18));
+    }
+
+    #[test]
+    fn periodogram_short_input_is_empty() {
+        assert!(periodogram(&[1.0, 2.0]).0.is_empty());
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let spec = fft_real(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 =
+            spec.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / spec.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+}

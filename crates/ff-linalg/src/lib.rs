@@ -1,0 +1,79 @@
+// Index-based loops across parallel arrays are the clearest form for the
+// numeric kernels in this crate; the iterator rewrites clippy suggests
+// obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+//! Dense linear algebra, FFT, and special functions for the FedForecaster stack.
+//!
+//! Everything in this crate is implemented from scratch on `Vec<f64>` storage:
+//! no BLAS, no external numeric crates. It provides exactly the kernels the
+//! rest of the workspace needs:
+//!
+//! - [`Matrix`]: a row-major dense matrix with the usual algebra.
+//! - [`cholesky`]: Cholesky factorization and linear solves (Gaussian
+//!   processes, ridge regression).
+//! - [`qr`]: Householder QR and least-squares solves (ADF regressions).
+//! - [`solve`]: convenience OLS / ridge solvers used across the workspace.
+//! - [`fft`]: iterative radix-2 FFT and real power spectra (periodograms).
+//! - [`special`]: `erf`, the standard normal pdf/cdf/quantile (Expected
+//!   Improvement, significance tests).
+//! - [`vector`]: small dense-vector helpers (dot products, norms, axpy).
+//!
+//! # Example
+//!
+//! ```
+//! use ff_linalg::{Matrix, solve::ols};
+//!
+//! // Fit y = 2x + 1 exactly.
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+//! let y = [1.0, 3.0, 5.0];
+//! let beta = ols(&x, &y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-9 && (beta[1] - 2.0).abs() < 1e-9);
+//! ```
+
+pub mod cholesky;
+pub mod fft;
+pub mod matrix;
+pub mod qr;
+pub mod solve;
+pub mod special;
+pub mod vector;
+
+pub use cholesky::CholeskyFactor;
+pub use matrix::Matrix;
+
+/// Errors produced by linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was provided.
+        got: String,
+    },
+    /// The matrix is not positive definite (Cholesky failed even with jitter).
+    NotPositiveDefinite,
+    /// The system is singular or too ill-conditioned to solve.
+    Singular,
+    /// The input is empty where a non-empty input is required.
+    Empty,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::Singular => write!(f, "matrix is singular or ill-conditioned"),
+            LinalgError::Empty => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

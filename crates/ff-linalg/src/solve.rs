@@ -1,0 +1,160 @@
+//! Convenience least-squares solvers built on Cholesky and QR.
+
+use crate::{cholesky::CholeskyFactor, qr, LinalgError, Matrix, Result};
+
+/// Ordinary least squares: solves `min ‖X β − y‖₂`.
+///
+/// Uses Householder QR, which tolerates the ill-conditioned design matrices
+/// that show up in ADF regressions with many lag terms.
+pub fn ols(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    if x.rows() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("{} targets", x.rows()),
+            got: format!("{}", y.len()),
+        });
+    }
+    qr::lstsq(x, y)
+}
+
+/// Ridge regression: solves `(XᵀX + λI) β = Xᵀy` via Cholesky.
+///
+/// `lambda` must be positive; the regularized Gram matrix is then SPD by
+/// construction so the factorization cannot fail for finite inputs.
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if x.rows() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("{} targets", x.rows()),
+            got: format!("{}", y.len()),
+        });
+    }
+    if lambda.is_nan() || lambda <= 0.0 {
+        return Err(LinalgError::Singular);
+    }
+    let mut gram = x.gram();
+    gram.add_diagonal(lambda);
+    let rhs = x.t_matvec(y)?;
+    let f = CholeskyFactor::new_with_jitter(&gram, 1e-10, 10)?;
+    f.solve(&rhs)
+}
+
+/// Result of [`ols_with_stats`]: coefficients plus the diagnostics needed by
+/// statistical tests.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Estimated coefficients.
+    pub beta: Vec<f64>,
+    /// Standard error of each coefficient.
+    pub std_errors: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Residual degrees of freedom (`n - p`).
+    pub dof: usize,
+}
+
+impl OlsFit {
+    /// t-statistic of coefficient `j` (`beta[j] / se[j]`).
+    pub fn t_stat(&self, j: usize) -> f64 {
+        if self.std_errors[j] == 0.0 {
+            0.0
+        } else {
+            self.beta[j] / self.std_errors[j]
+        }
+    }
+}
+
+/// OLS fit that also returns coefficient standard errors and the t-statistics
+/// the ADF test needs: `Var(β) = σ² (XᵀX)⁻¹` with `σ² = RSS / (n − p)`.
+pub fn ols_with_stats(x: &Matrix, y: &[f64]) -> Result<OlsFit> {
+    let beta = ols(x, y)?;
+    let n = x.rows();
+    let p = x.cols();
+    if n <= p {
+        return Err(LinalgError::Singular);
+    }
+    let pred = x.matvec(&beta)?;
+    let rss: f64 = y
+        .iter()
+        .zip(&pred)
+        .map(|(&yi, &pi)| (yi - pi) * (yi - pi))
+        .sum();
+    let dof = n - p;
+    let sigma2 = rss / dof as f64;
+    // Invert the Gram matrix column by column through a (jittered) Cholesky.
+    let gram = x.gram();
+    let f = CholeskyFactor::new_with_jitter(&gram, 1e-12 * gram.max_abs().max(1.0), 12)?;
+    let mut std_errors = Vec::with_capacity(p);
+    for j in 0..p {
+        let mut e = vec![0.0; p];
+        e[j] = 1.0;
+        let col = f.solve(&e)?;
+        std_errors.push((sigma2 * col[j]).max(0.0).sqrt());
+    }
+    Ok(OlsFit {
+        beta,
+        std_errors,
+        rss,
+        dof,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_shrinks_toward_zero() {
+        let x = Matrix::from_fn(50, 1, |i, _| i as f64 / 10.0);
+        let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64 / 10.0).collect();
+        let b_small = ridge(&x, &y, 1e-8).unwrap()[0];
+        let b_large = ridge(&x, &y, 1e4).unwrap()[0];
+        assert!((b_small - 2.0).abs() < 1e-4);
+        assert!(b_large.abs() < b_small.abs());
+        assert!(b_large > 0.0);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_columns() {
+        // Duplicate columns break OLS but ridge is fine.
+        let x = Matrix::from_fn(10, 2, |i, _| i as f64);
+        let y: Vec<f64> = (0..10).map(|i| 4.0 * i as f64).collect();
+        let b = ridge(&x, &y, 1e-3).unwrap();
+        // The two coefficients should split the weight roughly evenly.
+        assert!((b[0] + b[1] - 4.0).abs() < 1e-2);
+        assert!((b[0] - b[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_rejects_nonpositive_lambda() {
+        let x = Matrix::zeros(3, 1);
+        assert!(ridge(&x, &[0.0; 3], 0.0).is_err());
+    }
+
+    #[test]
+    fn ols_with_stats_perfect_fit_has_tiny_errors() {
+        let x = Matrix::from_fn(30, 2, |i, j| if j == 0 { 1.0 } else { i as f64 });
+        let y: Vec<f64> = (0..30).map(|i| 1.0 + 0.5 * i as f64).collect();
+        let fit = ols_with_stats(&x, &y).unwrap();
+        assert!((fit.beta[1] - 0.5).abs() < 1e-9);
+        assert!(fit.rss < 1e-12);
+        assert_eq!(fit.dof, 28);
+    }
+
+    #[test]
+    fn ols_with_stats_t_statistic_is_large_for_strong_signal() {
+        // Deterministic "noise" that is orthogonal-ish to the regressor.
+        let n = 100;
+        let x = Matrix::from_fn(n, 2, |i, j| if j == 0 { 1.0 } else { i as f64 });
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 + 3.0 * i as f64 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = ols_with_stats(&x, &y).unwrap();
+        assert!(fit.t_stat(1).abs() > 100.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let x = Matrix::zeros(3, 1);
+        assert!(ols(&x, &[1.0, 2.0]).is_err());
+        assert!(ridge(&x, &[1.0, 2.0], 1.0).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Per-client meta-feature extraction (Table 1).
+//!
+//! Each client computes these statistics over its private split and sends
+//! *only this struct* to the server — the "fingerprint" of its data. The
+//! numbers are anonymized summaries; no raw sample sequence is included.
+
+use ff_timeseries::{
+    acf, fractal, interpolate, periodogram, stationarity, stats, TimeSeries,
+};
+
+/// Statistical meta-features of one client's time-series split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientMetaFeatures {
+    /// Number of instances in the split.
+    pub n_instances: f64,
+    /// Sampling step in seconds (median timestamp delta).
+    pub sampling_step_secs: f64,
+    /// Fraction of missing target values.
+    pub missing_fraction: f64,
+    /// ADF stationarity of the raw target (1 = stationary at 5%).
+    pub stationary: bool,
+    /// ADF statistic of the raw target (the continuous "stationary
+    /// features" signal).
+    pub adf_statistic: f64,
+    /// ADF statistic after first-order differencing.
+    pub adf_statistic_diff1: f64,
+    /// ADF statistic after second-order differencing.
+    pub adf_statistic_diff2: f64,
+    /// Number of significant pACF lags.
+    pub n_significant_lags: f64,
+    /// Largest significant lag (0 when none).
+    pub max_significant_lag: f64,
+    /// Insignificant lags between the first and last significant ones.
+    pub insignificant_gap: f64,
+    /// Number of detected seasonality components.
+    pub n_seasonal_components: f64,
+    /// Period of the strongest seasonal component (0 when none).
+    pub dominant_period: f64,
+    /// Period of the weakest reported seasonal component.
+    pub min_period: f64,
+    /// Skewness of the target.
+    pub skewness: f64,
+    /// Excess kurtosis of the target.
+    pub kurtosis: f64,
+    /// Higuchi fractal dimension of the target.
+    pub fractal_dimension: f64,
+    /// Value histogram (fixed 16 bins over the client's own range) used by
+    /// the server to compute cross-client KL divergences. A histogram is a
+    /// coarse density summary, not the series itself.
+    pub histogram: Vec<f64>,
+    /// Histogram support bounds `(lo, hi)`.
+    pub histogram_range: (f64, f64),
+}
+
+/// Number of histogram bins shared across clients.
+pub const HISTOGRAM_BINS: usize = 16;
+
+/// Maximum seasonal components reported per client.
+pub const MAX_SEASONAL_COMPONENTS: usize = 5;
+
+impl ClientMetaFeatures {
+    /// Extracts all Table 1 per-client statistics from a (possibly gappy)
+    /// series. Interpolation is applied to a copy for the statistics that
+    /// need complete data; the missing fraction is measured on the
+    /// original.
+    pub fn extract(series: &TimeSeries) -> ClientMetaFeatures {
+        let missing_fraction = series.missing_fraction();
+        let filled = interpolate::interpolated(series);
+        let v = filled.values();
+        let max_lag = acf::default_max_lag(v.len());
+
+        let adf = |vals: &[f64]| -> (bool, f64) {
+            match stationarity::adf_test(vals, stationarity::AdfRegression::Constant) {
+                Ok(r) => (r.stationary, r.statistic),
+                Err(_) => (false, 0.0),
+            }
+        };
+        let (stationary, adf_statistic) = adf(v);
+        let d1 = stationarity::difference(v, 1);
+        let (_, adf_statistic_diff1) = adf(&d1);
+        let d2 = stationarity::difference(v, 2);
+        let (_, adf_statistic_diff2) = adf(&d2);
+
+        let sig_lags = acf::significant_pacf_lags(v, max_lag);
+        let insignificant_gap = acf::insignificant_gap_count(&sig_lags) as f64;
+
+        let seasons = periodogram::detect_seasonality(v, MAX_SEASONAL_COMPONENTS, 5.0);
+        let dominant_period = seasons.first().map(|s| s.period).unwrap_or(0.0);
+        let min_period = seasons.last().map(|s| s.period).unwrap_or(0.0);
+
+        let observed = series.observed();
+        let (lo, hi) = observed.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &x| (lo.min(x), hi.max(x)),
+        );
+        let (lo, hi) = if lo.is_finite() && hi > lo {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        };
+        let histogram = stats::Histogram::new(&observed, HISTOGRAM_BINS, lo, hi).probs;
+
+        ClientMetaFeatures {
+            n_instances: series.len() as f64,
+            sampling_step_secs: series.sampling_step_secs() as f64,
+            missing_fraction,
+            stationary,
+            adf_statistic,
+            adf_statistic_diff1,
+            adf_statistic_diff2,
+            n_significant_lags: sig_lags.len() as f64,
+            max_significant_lag: sig_lags.last().copied().unwrap_or(0) as f64,
+            insignificant_gap,
+            n_seasonal_components: seasons.len() as f64,
+            dominant_period,
+            min_period,
+            skewness: stats::skewness(&observed),
+            kurtosis: stats::kurtosis(&observed),
+            fractal_dimension: fractal::higuchi_fd(v, fractal::default_k_max(v.len())),
+            histogram,
+            histogram_range: (lo, hi),
+        }
+    }
+
+    /// Flattens to the wire representation (floats only). Order must match
+    /// [`ClientMetaFeatures::from_vec`].
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = vec![
+            self.n_instances,
+            self.sampling_step_secs,
+            self.missing_fraction,
+            f64::from(u8::from(self.stationary)),
+            self.adf_statistic,
+            self.adf_statistic_diff1,
+            self.adf_statistic_diff2,
+            self.n_significant_lags,
+            self.max_significant_lag,
+            self.insignificant_gap,
+            self.n_seasonal_components,
+            self.dominant_period,
+            self.min_period,
+            self.skewness,
+            self.kurtosis,
+            self.fractal_dimension,
+            self.histogram_range.0,
+            self.histogram_range.1,
+        ];
+        out.extend_from_slice(&self.histogram);
+        out
+    }
+
+    /// Parses the wire representation.
+    pub fn from_vec(v: &[f64]) -> Option<ClientMetaFeatures> {
+        if v.len() != 18 + HISTOGRAM_BINS {
+            return None;
+        }
+        Some(ClientMetaFeatures {
+            n_instances: v[0],
+            sampling_step_secs: v[1],
+            missing_fraction: v[2],
+            stationary: v[3] > 0.5,
+            adf_statistic: v[4],
+            adf_statistic_diff1: v[5],
+            adf_statistic_diff2: v[6],
+            n_significant_lags: v[7],
+            max_significant_lag: v[8],
+            insignificant_gap: v[9],
+            n_seasonal_components: v[10],
+            dominant_period: v[11],
+            min_period: v[12],
+            skewness: v[13],
+            kurtosis: v[14],
+            fractal_dimension: v[15],
+            histogram_range: (v[16], v[17]),
+            histogram: v[18..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_timeseries::synthesis::{generate, Composition, SeasonSpec, SynthesisSpec, TrendSpec};
+
+    fn seasonal_series() -> TimeSeries {
+        generate(
+            &SynthesisSpec {
+                n: 600,
+                seasons: vec![SeasonSpec { period: 24.0, amplitude: 4.0 }],
+                snr: Some(30.0),
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn extracts_seasonality_and_lags() {
+        let mf = ClientMetaFeatures::extract(&seasonal_series());
+        assert_eq!(mf.n_instances, 600.0);
+        assert!(mf.n_seasonal_components >= 1.0);
+        assert!((mf.dominant_period - 24.0).abs() < 2.0, "period {}", mf.dominant_period);
+        assert!(mf.n_significant_lags >= 1.0);
+        assert!(mf.fractal_dimension >= 0.5 && mf.fractal_dimension <= 2.5);
+    }
+
+    #[test]
+    fn random_walk_is_flagged_nonstationary() {
+        let s = generate(
+            &SynthesisSpec {
+                n: 500,
+                trend: TrendSpec::RandomWalk(1.0),
+                snr: None,
+                ..Default::default()
+            },
+            2,
+        );
+        let mf = ClientMetaFeatures::extract(&s);
+        assert!(!mf.stationary);
+        // Differencing should push the ADF statistic strongly negative.
+        assert!(mf.adf_statistic_diff1 < mf.adf_statistic);
+    }
+
+    #[test]
+    fn missing_fraction_measured_on_raw_series() {
+        let s = generate(
+            &SynthesisSpec {
+                n: 800,
+                missing_fraction: 0.15,
+                ..Default::default()
+            },
+            3,
+        );
+        let mf = ClientMetaFeatures::extract(&s);
+        assert!((mf.missing_fraction - 0.15).abs() < 0.05);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mf = ClientMetaFeatures::extract(&seasonal_series());
+        let v = mf.to_vec();
+        let back = ClientMetaFeatures::from_vec(&v).unwrap();
+        assert_eq!(mf, back);
+        assert!(ClientMetaFeatures::from_vec(&v[..5]).is_none());
+    }
+
+    #[test]
+    fn histogram_is_probability_vector() {
+        let mf = ClientMetaFeatures::extract(&seasonal_series());
+        let s: f64 = mf.histogram.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(mf.histogram.len(), HISTOGRAM_BINS);
+    }
+
+    #[test]
+    fn multiplicative_series_has_positive_skew() {
+        let s = generate(
+            &SynthesisSpec {
+                n: 600,
+                trend: TrendSpec::Linear(0.3),
+                composition: Composition::Multiplicative,
+                level: 10.0,
+                seasons: vec![SeasonSpec { period: 12.0, amplitude: 1.0 }],
+                snr: Some(20.0),
+                ..Default::default()
+            },
+            4,
+        );
+        let mf = ClientMetaFeatures::extract(&s);
+        assert!(mf.skewness.is_finite());
+    }
+}

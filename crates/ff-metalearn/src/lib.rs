@@ -1,0 +1,24 @@
+//! Meta-learning for federated time-series forecasting (§4.1 of the paper).
+//!
+//! - [`features`]: the per-client meta-features of Table 1, extracted from
+//!   a private data split (never leaving the client as raw data).
+//! - [`aggregate`]: the server-side aggregation methods of Table 1
+//!   (sum/avg/min/max/stddev, entropy across clients, pairwise KL
+//!   divergence among client distributions) producing the fixed-length
+//!   global meta-feature vector.
+//! - [`synth`]: the knowledge-base dataset generator — 512 synthetic
+//!   variations (seasonality, sampling frequency, SNR, missing %,
+//!   additive/multiplicative) plus 30 real-world-like series (§4.1.1; see
+//!   DESIGN.md for the substitution rationale).
+//! - [`kb`]: knowledge-base construction — split each dataset into
+//!   {5,10,15,20} clients, aggregate meta-features, grid search Table 2
+//!   algorithms, record the winner.
+//! - [`metamodel`]: trains a classifier on the KB to recommend the top-K
+//!   algorithms for unseen federations, and reproduces the Table 4 zoo
+//!   comparison (MRR@3, macro-F1).
+
+pub mod aggregate;
+pub mod features;
+pub mod kb;
+pub mod metamodel;
+pub mod synth;

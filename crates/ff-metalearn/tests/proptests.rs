@@ -1,0 +1,98 @@
+//! Property-based tests for meta-feature extraction and aggregation.
+
+use ff_metalearn::aggregate::GlobalMetaFeatures;
+use ff_metalearn::features::ClientMetaFeatures;
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+use proptest::prelude::*;
+
+fn client(seed: u64, n: usize, period: f64, missing: f64) -> ClientMetaFeatures {
+    let s = generate(
+        &SynthesisSpec {
+            n,
+            seasons: if period > 0.0 {
+                vec![SeasonSpec { period, amplitude: 3.0 }]
+            } else {
+                vec![]
+            },
+            trend: TrendSpec::Linear(0.01),
+            snr: Some(10.0),
+            missing_fraction: missing,
+            ..Default::default()
+        },
+        seed,
+    );
+    ClientMetaFeatures::extract(&s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn meta_features_wire_roundtrip(
+        seed in 0u64..500,
+        n in 120usize..600,
+        missing in 0.0f64..0.2,
+    ) {
+        let mf = client(seed, n, 12.0, missing);
+        let v = mf.to_vec();
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+        let back = ClientMetaFeatures::from_vec(&v).unwrap();
+        prop_assert_eq!(mf, back);
+    }
+
+    #[test]
+    fn aggregation_summaries_are_ordered(
+        seeds in prop::collection::vec(0u64..300, 2..6),
+    ) {
+        let metas: Vec<ClientMetaFeatures> = seeds
+            .iter()
+            .map(|&s| client(s, 300, 10.0, 0.0))
+            .collect();
+        let g = GlobalMetaFeatures::aggregate(&metas);
+        prop_assert_eq!(g.values().len(), GlobalMetaFeatures::dim());
+        for base in ["n_instances", "skewness", "kurtosis", "adf_stat"] {
+            let avg = g.get(&format!("{base}_avg")).unwrap();
+            let min = g.get(&format!("{base}_min")).unwrap();
+            let max = g.get(&format!("{base}_max")).unwrap();
+            let std = g.get(&format!("{base}_std")).unwrap();
+            prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9, "{base}");
+            prop_assert!(std >= 0.0);
+        }
+        prop_assert_eq!(g.get("n_clients"), Some(seeds.len() as f64));
+    }
+
+    #[test]
+    fn aggregation_is_permutation_invariant(
+        seeds in prop::collection::vec(0u64..100, 3..5),
+    ) {
+        let metas: Vec<ClientMetaFeatures> = seeds
+            .iter()
+            .map(|&s| client(s, 250, 8.0, 0.0))
+            .collect();
+        let g1 = GlobalMetaFeatures::aggregate(&metas);
+        let mut reversed = metas.clone();
+        reversed.reverse();
+        let g2 = GlobalMetaFeatures::aggregate(&reversed);
+        // Every aggregation method in Table 1 (sum/avg/min/max/std, entropy,
+        // pairwise KL summaries) is symmetric in the clients.
+        for (a, b) in g1.values().iter().zip(g2.values()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn benchmark_federations_are_deterministic_and_complete(
+        idx in 0usize..12,
+        seed in 0u64..20,
+    ) {
+        let ds = &ff_datasets::benchmark_datasets()[idx];
+        let a = ds.generate_federation(seed, 0.05);
+        let b = ds.generate_federation(seed, 0.05);
+        prop_assert_eq!(a.len(), ds.clients);
+        prop_assert_eq!(&a, &b);
+        for c in &a {
+            prop_assert!(c.len() >= 60);
+            prop_assert!(c.observed().iter().all(|v| v.is_finite()));
+        }
+    }
+}

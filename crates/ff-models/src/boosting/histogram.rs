@@ -1,0 +1,351 @@
+//! Histogram-binned, leaf-wise gradient trees — the LightGBM-characteristic
+//! weak learner of the Table 4 classifier zoo.
+//!
+//! Features are quantized into at most 32 quantile bins; split search scans
+//! bin histograms of (G, H); growth is *leaf-wise*: the leaf with the
+//! globally best gain is split next, up to `max_leaves`.
+
+use ff_linalg::Matrix;
+
+/// Number of histogram bins per feature.
+pub const N_BINS: usize = 32;
+
+/// Quantile bin edges per feature, learned from training data.
+#[derive(Debug, Clone)]
+pub struct BinMapper {
+    /// `edges[f]` are the upper edges of feature `f`'s bins (ascending).
+    edges: Vec<Vec<f64>>,
+}
+
+impl BinMapper {
+    /// Learns per-feature quantile edges.
+    pub fn fit(x: &Matrix) -> BinMapper {
+        let (n, p) = (x.rows(), x.cols());
+        let mut edges = Vec::with_capacity(p);
+        for f in 0..p {
+            let mut vals: Vec<f64> = (0..n).map(|i| x.get(i, f)).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            vals.dedup();
+            let b = N_BINS.min(vals.len().max(1));
+            let mut e = Vec::with_capacity(b);
+            for k in 1..=b {
+                let idx = (k * vals.len() / b).saturating_sub(1);
+                e.push(vals[idx]);
+            }
+            e.dedup_by(|a, b| a == b);
+            edges.push(e);
+        }
+        BinMapper { edges }
+    }
+
+    /// Bin index of value `v` for feature `f`.
+    #[inline]
+    pub fn bin(&self, f: usize, v: f64) -> usize {
+        let e = &self.edges[f];
+        match e.binary_search_by(|x| x.total_cmp(&v)) {
+            Ok(i) => i,
+            Err(i) => i.min(e.len().saturating_sub(1)),
+        }
+    }
+
+    /// The value threshold corresponding to splitting after bin `b` of
+    /// feature `f`.
+    pub fn threshold(&self, f: usize, b: usize) -> f64 {
+        self.edges[f][b.min(self.edges[f].len() - 1)]
+    }
+
+    /// Number of bins actually used for feature `f`.
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len()
+    }
+
+    /// Quantizes a full matrix into bin indices.
+    pub fn quantize(&self, x: &Matrix) -> Vec<Vec<u8>> {
+        (0..x.rows())
+            .map(|i| {
+                (0..x.cols())
+                    .map(|f| self.bin(f, x.get(i, f)) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        /// Value-space threshold (rows with `value <= threshold` go left;
+        /// equals the upper edge of the split bin, so binned and raw
+        /// routing agree).
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A leaf-wise-grown histogram tree.
+#[derive(Debug, Clone)]
+pub struct HistogramTree {
+    nodes: Vec<HNode>,
+}
+
+struct LeafCandidate {
+    node: usize,
+    rows: Vec<usize>,
+    gain: f64,
+    feature: usize,
+    bin_threshold: u8,
+    g_sum: f64,
+    h_sum: f64,
+}
+
+impl HistogramTree {
+    /// Fits a tree to gradients/hessians using pre-quantized rows.
+    #[allow(clippy::too_many_arguments)] // mirrors the GhTree::fit surface
+    pub fn fit(
+        binned: &[Vec<u8>],
+        mapper: &BinMapper,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        max_leaves: usize,
+        lambda: f64,
+        min_child_weight: f64,
+    ) -> HistogramTree {
+        let mut tree = HistogramTree { nodes: Vec::new() };
+        let (g0, h0) = rows
+            .iter()
+            .fold((0.0, 0.0), |(g, h), &i| (g + grad[i], h + hess[i]));
+        tree.nodes.push(HNode::Leaf {
+            value: -g0 / (h0 + lambda),
+        });
+        let mut frontier: Vec<LeafCandidate> = Vec::new();
+        if let Some(c) = Self::best_split(
+            binned,
+            mapper,
+            grad,
+            hess,
+            rows,
+            0,
+            g0,
+            h0,
+            lambda,
+            min_child_weight,
+        ) {
+            frontier.push(c);
+        }
+        let mut n_leaves = 1;
+        while n_leaves < max_leaves && !frontier.is_empty() {
+            // Pop the candidate with the largest gain.
+            let best_idx = frontier
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.gain.total_cmp(&b.1.gain))
+                .map(|(i, _)| i)
+                .unwrap();
+            let cand = frontier.swap_remove(best_idx);
+            // Execute the split.
+            let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
+            for &i in &cand.rows {
+                if binned[i][cand.feature] <= cand.bin_threshold {
+                    left_rows.push(i);
+                } else {
+                    right_rows.push(i);
+                }
+            }
+            if left_rows.is_empty() || right_rows.is_empty() {
+                continue;
+            }
+            let (gl, hl) = left_rows
+                .iter()
+                .fold((0.0, 0.0), |(g, h), &i| (g + grad[i], h + hess[i]));
+            let (gr, hr) = (cand.g_sum - gl, cand.h_sum - hl);
+            let li = tree.nodes.len();
+            tree.nodes.push(HNode::Leaf {
+                value: -gl / (hl + lambda),
+            });
+            let ri = tree.nodes.len();
+            tree.nodes.push(HNode::Leaf {
+                value: -gr / (hr + lambda),
+            });
+            tree.nodes[cand.node] = HNode::Split {
+                feature: cand.feature,
+                threshold: mapper.threshold(cand.feature, cand.bin_threshold as usize),
+                left: li,
+                right: ri,
+            };
+            n_leaves += 1;
+            for (node, rows, g, h) in [(li, left_rows, gl, hl), (ri, right_rows, gr, hr)] {
+                if let Some(c) = Self::best_split(
+                    binned,
+                    mapper,
+                    grad,
+                    hess,
+                    &rows,
+                    node,
+                    g,
+                    h,
+                    lambda,
+                    min_child_weight,
+                ) {
+                    frontier.push(c);
+                }
+            }
+        }
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn best_split(
+        binned: &[Vec<u8>],
+        mapper: &BinMapper,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        node: usize,
+        g_sum: f64,
+        h_sum: f64,
+        lambda: f64,
+        min_child_weight: f64,
+    ) -> Option<LeafCandidate> {
+        if rows.len() < 2 {
+            return None;
+        }
+        let p = binned[0].len();
+        let parent = g_sum * g_sum / (h_sum + lambda);
+        let mut best: Option<(f64, usize, u8)> = None;
+        let mut hist_g = [0.0f64; N_BINS];
+        let mut hist_h = [0.0f64; N_BINS];
+        for f in 0..p {
+            let nb = mapper.n_bins(f);
+            if nb < 2 {
+                continue;
+            }
+            hist_g[..nb].fill(0.0);
+            hist_h[..nb].fill(0.0);
+            for &i in rows {
+                let b = binned[i][f] as usize;
+                hist_g[b] += grad[i];
+                hist_h[b] += hess[i];
+            }
+            let (mut gl, mut hl) = (0.0, 0.0);
+            for b in 0..nb - 1 {
+                gl += hist_g[b];
+                hl += hist_h[b];
+                let (gr, hr) = (g_sum - gl, h_sum - hl);
+                if hl < min_child_weight || hr < min_child_weight {
+                    continue;
+                }
+                let gain =
+                    0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent);
+                if gain > best.map_or(1e-12, |b| b.0) {
+                    best = Some((gain, f, b as u8));
+                }
+            }
+        }
+        best.map(|(gain, feature, bin_threshold)| LeafCandidate {
+            node,
+            rows: rows.to_vec(),
+            gain,
+            feature,
+            bin_threshold,
+            g_sum,
+            h_sum,
+        })
+    }
+
+    /// Predicts from a raw (unquantized) feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                HNode::Leaf { value } => return *value,
+                HNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, HNode::Leaf { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data(n: usize) -> (Matrix, Vec<f64>, Vec<f64>) {
+        let x = Matrix::from_fn(n, 1, |i, _| i as f64 / n as f64);
+        let y: Vec<f64> = (0..n)
+            .map(|i| if (i as f64 / n as f64) < 0.3 { -2.0 } else { 4.0 })
+            .collect();
+        let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
+        (x, y, grad)
+    }
+
+    #[test]
+    fn bin_mapper_quantizes_monotonically() {
+        let x = Matrix::from_fn(100, 1, |i, _| i as f64);
+        let m = BinMapper::fit(&x);
+        let b10 = m.bin(0, 10.0);
+        let b90 = m.bin(0, 90.0);
+        assert!(b90 > b10);
+        assert!(m.n_bins(0) <= N_BINS);
+    }
+
+    #[test]
+    fn histogram_tree_fits_step() {
+        let (x, _y, grad) = step_data(200);
+        let hess = vec![1.0; 200];
+        let mapper = BinMapper::fit(&x);
+        let binned = mapper.quantize(&x);
+        let rows: Vec<usize> = (0..200).collect();
+        let tree = HistogramTree::fit(&binned, &mapper, &grad, &hess, &rows, 4, 0.0, 1.0);
+        assert!((tree.predict_row(&[0.1]) + 2.0).abs() < 0.3);
+        assert!((tree.predict_row(&[0.9]) - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn max_leaves_bounds_tree_size() {
+        let (x, _y, grad) = step_data(300);
+        let hess = vec![1.0; 300];
+        let mapper = BinMapper::fit(&x);
+        let binned = mapper.quantize(&x);
+        let rows: Vec<usize> = (0..300).collect();
+        let tree = HistogramTree::fit(&binned, &mapper, &grad, &hess, &rows, 3, 0.0, 1.0);
+        assert!(tree.leaf_count() <= 3);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x = Matrix::from_fn(50, 2, |i, j| (i + j) as f64);
+        let grad = vec![-3.0; 50];
+        let hess = vec![1.0; 50];
+        let mapper = BinMapper::fit(&x);
+        let binned = mapper.quantize(&x);
+        let rows: Vec<usize> = (0..50).collect();
+        let tree = HistogramTree::fit(&binned, &mapper, &grad, &hess, &rows, 8, 0.0, 1.0);
+        assert_eq!(tree.leaf_count(), 1);
+        assert!((tree.predict_row(&[0.0, 0.0]) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Oblivious (symmetric) decision trees — the CatBoost-characteristic weak
+//! learner of the Table 4 classifier zoo.
+//!
+//! An oblivious tree applies the *same* (feature, threshold) test at every
+//! node of a level, so a depth-d tree is a lookup table with 2^d cells
+//! indexed by the d test outcomes. Split selection maximizes the summed
+//! XGBoost-style gain across all current cells.
+
+use ff_linalg::Matrix;
+
+/// A fitted oblivious tree.
+#[derive(Debug, Clone)]
+pub struct ObliviousTree {
+    /// One (feature, threshold) test per level.
+    tests: Vec<(usize, f64)>,
+    /// Leaf values, indexed by the bitmask of test outcomes
+    /// (bit k set ⇔ row passes test k, i.e. `x[f_k] >= t_k`).
+    leaves: Vec<f64>,
+}
+
+impl ObliviousTree {
+    /// Fits a depth-`depth` oblivious tree to gradients/hessians.
+    ///
+    /// `n_thresholds` quantile candidates are evaluated per feature.
+    pub fn fit(
+        x: &Matrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        depth: usize,
+        lambda: f64,
+        n_thresholds: usize,
+    ) -> ObliviousTree {
+        let p = x.cols();
+        // Per-feature candidate thresholds (quantiles over the subset).
+        let mut candidates: Vec<Vec<f64>> = Vec::with_capacity(p);
+        for f in 0..p {
+            let mut vals: Vec<f64> = rows.iter().map(|&i| x.get(i, f)).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            vals.dedup();
+            let mut c = Vec::new();
+            if vals.len() > 1 {
+                for k in 1..=n_thresholds.min(vals.len() - 1) {
+                    let idx = k * (vals.len() - 1) / (n_thresholds.min(vals.len() - 1) + 1) + 1;
+                    c.push(0.5 * (vals[idx - 1] + vals[idx.min(vals.len() - 1)]));
+                }
+                c.dedup_by(|a, b| a == b);
+            }
+            candidates.push(c);
+        }
+
+        let mut tests: Vec<(usize, f64)> = Vec::with_capacity(depth);
+        // Cell assignment of each row (bitmask of passed tests so far).
+        let mut cell: Vec<usize> = vec![0; rows.len()];
+        for level in 0..depth {
+            let n_cells = 1usize << level;
+            // Score of the current partition.
+            let mut best: Option<(f64, usize, f64)> = None;
+            for (f, cands) in candidates.iter().enumerate() {
+                for &thr in cands {
+                    // Accumulate (G, H) per (cell, side).
+                    let mut g = vec![0.0; n_cells * 2];
+                    let mut h = vec![0.0; n_cells * 2];
+                    for (k, &i) in rows.iter().enumerate() {
+                        let side = usize::from(x.get(i, f) >= thr);
+                        let idx = cell[k] * 2 + side;
+                        g[idx] += grad[i];
+                        h[idx] += hess[i];
+                    }
+                    let mut score = 0.0;
+                    let mut valid = false;
+                    for c in 0..n_cells {
+                        let (gl, hl) = (g[c * 2], h[c * 2]);
+                        let (gr, hr) = (g[c * 2 + 1], h[c * 2 + 1]);
+                        let parent = (gl + gr) * (gl + gr) / (hl + hr + lambda);
+                        score += gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent;
+                        if hl >= 1.0 && hr >= 1.0 {
+                            valid = true;
+                        }
+                    }
+                    if valid && score > best.map_or(1e-12, |b| b.0) {
+                        best = Some((score, f, thr));
+                    }
+                }
+            }
+            let Some((_, f, thr)) = best else { break };
+            tests.push((f, thr));
+            for (k, &i) in rows.iter().enumerate() {
+                if x.get(i, f) >= thr {
+                    cell[k] |= 1 << level;
+                }
+            }
+        }
+
+        // Leaf values.
+        let n_leaves = 1usize << tests.len();
+        let mut g = vec![0.0; n_leaves];
+        let mut h = vec![0.0; n_leaves];
+        for (k, &i) in rows.iter().enumerate() {
+            let c = cell[k] & (n_leaves - 1);
+            g[c] += grad[i];
+            h[c] += hess[i];
+        }
+        let leaves: Vec<f64> = g
+            .iter()
+            .zip(&h)
+            .map(|(&gi, &hi)| -gi / (hi + lambda))
+            .collect();
+        ObliviousTree { tests, leaves }
+    }
+
+    /// Predicts the leaf value for a raw feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        for (level, &(f, thr)) in self.tests.iter().enumerate() {
+            if row[f] >= thr {
+                idx |= 1 << level;
+            }
+        }
+        self.leaves[idx]
+    }
+
+    /// Depth actually achieved (may be less than requested if no valid
+    /// split existed).
+    pub fn depth(&self) -> usize {
+        self.tests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oblivious_tree_fits_additive_two_feature_target() {
+        // y = 3·1{x0 ≥ 1} + 2·1{x1 ≥ 1} — needs one level per feature.
+        let n = 200;
+        let x = Matrix::from_fn(n, 2, |i, j| {
+            if j == 0 {
+                (i % 2) as f64
+            } else {
+                ((i / 2) % 2) as f64
+            }
+        });
+        let y: Vec<f64> = (0..n)
+            .map(|i| 3.0 * (i % 2) as f64 + 2.0 * ((i / 2) % 2) as f64)
+            .collect();
+        let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let hess = vec![1.0; n];
+        let rows: Vec<usize> = (0..n).collect();
+        let tree = ObliviousTree::fit(&x, &grad, &hess, &rows, 2, 0.0, 4);
+        assert_eq!(tree.depth(), 2);
+        assert!((tree.predict_row(&[1.0, 0.0]) - 3.0).abs() < 0.1);
+        assert!((tree.predict_row(&[0.0, 0.0])).abs() < 0.1);
+        assert!((tree.predict_row(&[1.0, 1.0]) - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn symmetric_structure_uses_one_test_per_level() {
+        let n = 100;
+        let x = Matrix::from_fn(n, 3, |i, j| ((i * (j + 3)) % 17) as f64);
+        let y: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+        let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let hess = vec![1.0; n];
+        let rows: Vec<usize> = (0..n).collect();
+        let tree = ObliviousTree::fit(&x, &grad, &hess, &rows, 4, 1.0, 8);
+        assert!(tree.depth() <= 4);
+        assert_eq!(tree.leaves.len(), 1 << tree.depth());
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let x = Matrix::from_fn(20, 1, |i, _| i as f64);
+        let grad = vec![-5.0; 20];
+        let hess = vec![1.0; 20];
+        let rows: Vec<usize> = (0..20).collect();
+        let tree = ObliviousTree::fit(&x, &grad, &hess, &rows, 3, 0.0, 4);
+        // No gain anywhere ⇒ depth 0, a single leaf with the mean.
+        assert_eq!(tree.depth(), 0);
+        assert!((tree.predict_row(&[3.0]) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! Multinomial logistic regression (softmax + L2), fitted by full-batch
+//! gradient descent with backtracking-free adaptive steps.
+
+use crate::data::Standardizer;
+use crate::{Classifier, ModelError, Result};
+use ff_linalg::Matrix;
+
+/// Row-wise softmax over a score matrix.
+pub fn softmax(scores: &Matrix) -> Matrix {
+    let mut out = scores.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// L2-regularized multinomial logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Inverse regularization strength (sklearn's `C`): penalty is `1/(2C)‖W‖²`.
+    pub c: f64,
+    /// Gradient-descent iterations.
+    pub max_iter: usize,
+    /// Learning rate.
+    pub lr: f64,
+    state: Option<FitState>,
+}
+
+#[derive(Debug, Clone)]
+struct FitState {
+    scaler: Standardizer,
+    /// `(p+1) × k` weights, last row is the bias.
+    w: Matrix,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Creates a logistic-regression classifier.
+    pub fn new(c: f64) -> LogisticRegression {
+        LogisticRegression {
+            c: c.max(1e-6),
+            max_iter: 300,
+            lr: 0.5,
+            state: None,
+        }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, labels: &[usize], n_classes: usize) -> Result<()> {
+        if x.rows() == 0 || x.rows() != labels.len() {
+            return Err(ModelError::InvalidData("bad shapes".into()));
+        }
+        if labels.iter().any(|&l| l >= n_classes) {
+            return Err(ModelError::InvalidData("label out of range".into()));
+        }
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let n = xs.rows();
+        let p = xs.cols();
+        // Augment with a bias column.
+        let xa = Matrix::from_fn(n, p + 1, |i, j| if j < p { xs.get(i, j) } else { 1.0 });
+        let mut w = Matrix::zeros(p + 1, n_classes);
+        let lambda = 1.0 / self.c;
+        let mut lr = self.lr;
+        let mut prev_loss = f64::INFINITY;
+        for _ in 0..self.max_iter {
+            let scores = xa.matmul(&w).expect("shape");
+            let probs = softmax(&scores);
+            // Loss for adaptive step control.
+            let mut loss = 0.0;
+            for (i, &l) in labels.iter().enumerate() {
+                loss -= probs.get(i, l).max(1e-12).ln();
+            }
+            loss /= n as f64;
+            for j in 0..p {
+                for c in 0..n_classes {
+                    loss += 0.5 * lambda * w.get(j, c) * w.get(j, c) / n as f64;
+                }
+            }
+            if loss > prev_loss {
+                lr *= 0.5;
+                if lr < 1e-6 {
+                    break;
+                }
+            }
+            prev_loss = loss;
+            // Gradient: Xᵀ(P − Y)/n + λW/n (bias unpenalized).
+            let mut diff = probs;
+            for (i, &l) in labels.iter().enumerate() {
+                let v = diff.get(i, l) - 1.0;
+                diff.set(i, l, v);
+            }
+            let grad = xa.transpose().matmul(&diff).expect("shape").scale(1.0 / n as f64);
+            for j in 0..p + 1 {
+                for c in 0..n_classes {
+                    let reg = if j < p { lambda * w.get(j, c) / n as f64 } else { 0.0 };
+                    let v = w.get(j, c) - lr * (grad.get(j, c) + reg);
+                    w.set(j, c, v);
+                }
+            }
+        }
+        if !w.is_finite() {
+            return Err(ModelError::Numerical("diverged".into()));
+        }
+        self.state = Some(FitState {
+            scaler,
+            w,
+            n_classes,
+        });
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let s = self.state.as_ref().ok_or(ModelError::NotFitted)?;
+        let xs = s.scaler.transform(x);
+        let p = xs.cols();
+        let xa = Matrix::from_fn(xs.rows(), p + 1, |i, j| if j < p { xs.get(i, j) } else { 1.0 });
+        let scores = xa.matmul(&s.w).map_err(|e| ModelError::Numerical(e.to_string()))?;
+        let _ = s.n_classes;
+        Ok(softmax(&scores))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn separates_linear_clusters() {
+        let n = 120;
+        let x = Matrix::from_fn(n, 2, |i, j| {
+            let cls = i / 40;
+            let offset = [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)][cls];
+            (if j == 0 { offset.0 } else { offset.1 }) + ((i * 7 + j * 3) % 10) as f64 * 0.1
+        });
+        let labels: Vec<usize> = (0..n).map(|i| i / 40).collect();
+        let mut m = LogisticRegression::new(10.0);
+        m.fit(&x, &labels, 3).unwrap();
+        assert!(accuracy(&labels, &m.predict(&x).unwrap()) > 0.95);
+    }
+
+    #[test]
+    fn strong_regularization_flattens_probabilities() {
+        let x = Matrix::from_fn(40, 1, |i, _| if i < 20 { -3.0 } else { 3.0 });
+        let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let mut free = LogisticRegression::new(100.0);
+        let mut tight = LogisticRegression::new(1e-4);
+        free.fit(&x, &labels, 2).unwrap();
+        tight.fit(&x, &labels, 2).unwrap();
+        let pf = free.predict_proba(&x).unwrap();
+        let pt = tight.predict_proba(&x).unwrap();
+        assert!(pf.get(0, 0) > pt.get(0, 0), "regularization should flatten");
+    }
+
+    #[test]
+    fn softmax_rows_normalized() {
+        let s = Matrix::from_rows(&[&[0.0, 1.0, -1.0]]);
+        let p = softmax(&s);
+        assert!(((0..3).map(|j| p.get(0, j)).sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let m = LogisticRegression::new(1.0);
+        assert!(m.predict_proba(&Matrix::zeros(1, 2)).is_err());
+    }
+}

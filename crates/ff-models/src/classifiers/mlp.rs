@@ -1,0 +1,115 @@
+//! MLP classifier — the `MLPClassifier` row of Table 4, built on the
+//! `ff-neural` substrate.
+
+use crate::data::Standardizer;
+use crate::{Classifier, ModelError, Result};
+use ff_linalg::Matrix;
+use ff_neural::adam::Adam;
+use ff_neural::mlp::Mlp;
+
+/// A ReLU MLP classifier trained with Adam on softmax cross-entropy.
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Training epochs (full-batch).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+    state: Option<FitState>,
+}
+
+#[derive(Debug, Clone)]
+struct FitState {
+    scaler: Standardizer,
+    net: Mlp,
+}
+
+impl MlpClassifier {
+    /// Creates an MLP classifier with the given hidden sizes.
+    pub fn new(hidden: Vec<usize>, epochs: usize, seed: u64) -> MlpClassifier {
+        MlpClassifier {
+            hidden,
+            epochs,
+            lr: 5e-3,
+            seed,
+            state: None,
+        }
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, x: &Matrix, labels: &[usize], n_classes: usize) -> Result<()> {
+        if x.rows() == 0 || x.rows() != labels.len() {
+            return Err(ModelError::InvalidData("bad shapes".into()));
+        }
+        if labels.iter().any(|&l| l >= n_classes) {
+            return Err(ModelError::InvalidData("label out of range".into()));
+        }
+        let scaler = Standardizer::fit(x);
+        let xs = scaler.transform(x);
+        let mut sizes = vec![xs.cols()];
+        sizes.extend_from_slice(&self.hidden);
+        sizes.push(n_classes);
+        let mut net = Mlp::new(&sizes, self.seed);
+        let mut opt = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            net.train_step_cross_entropy(&xs, labels, &mut opt);
+        }
+        self.state = Some(FitState { scaler, net });
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Matrix> {
+        let s = self.state.as_ref().ok_or(ModelError::NotFitted)?;
+        Ok(s.net.predict_proba(&s.scaler.transform(x)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        // Ring vs center: not linearly separable.
+        let n = 160;
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let angle = i as f64 * 0.39;
+            if i % 2 == 0 {
+                rows.push(vec![0.3 * angle.cos(), 0.3 * angle.sin()]);
+                labels.push(0);
+            } else {
+                rows.push(vec![2.0 * angle.cos(), 2.0 * angle.sin()]);
+                labels.push(1);
+            }
+        }
+        let x = Matrix::from_fn(n, 2, |i, j| rows[i][j]);
+        let mut m = MlpClassifier::new(vec![32], 400, 3);
+        m.fit(&x, &labels, 2).unwrap();
+        assert!(accuracy(&labels, &m.predict(&x).unwrap()) > 0.9);
+    }
+
+    #[test]
+    fn proba_rows_sum_to_one() {
+        let x = Matrix::from_fn(30, 2, |i, j| (i * (j + 1)) as f64 * 0.1);
+        let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let mut m = MlpClassifier::new(vec![8], 50, 0);
+        m.fit(&x, &labels, 3).unwrap();
+        let p = m.predict_proba(&x).unwrap();
+        for i in 0..p.rows() {
+            assert!((p.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let m = MlpClassifier::new(vec![4], 10, 0);
+        assert!(m.predict_proba(&Matrix::zeros(1, 2)).is_err());
+    }
+}

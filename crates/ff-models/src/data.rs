@@ -1,0 +1,140 @@
+//! Feature standardization shared by the linear models.
+
+use ff_linalg::Matrix;
+
+/// Per-column z-score standardizer fitted on training data.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Learns column means and standard deviations (zero-variance columns
+    /// get std 1 so they standardize to 0).
+    pub fn fit(x: &Matrix) -> Standardizer {
+        let (n, p) = (x.rows(), x.cols());
+        let mut means = vec![0.0; p];
+        for i in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n.max(1) as f64;
+        }
+        let mut stds = vec![0.0; p];
+        for i in 0..n {
+            for ((s, &v), m) in stds.iter_mut().zip(x.row(i)).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in stds.iter_mut() {
+            *s = (*s / n.max(1) as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Applies the transform.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        Matrix::from_fn(x.rows(), x.cols(), |i, j| {
+            (x.get(i, j) - self.means[j]) / self.stds[j]
+        })
+    }
+
+    /// Rebuilds a standardizer from previously exported statistics (e.g.
+    /// shipped inside a serialized federated model blob).
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Standardizer {
+        assert_eq!(means.len(), stds.len(), "scaler shape mismatch");
+        let stds = stds
+            .into_iter()
+            .map(|s| if s.abs() < 1e-12 { 1.0 } else { s })
+            .collect();
+        Standardizer { means, stds }
+    }
+
+    /// Number of columns this standardizer was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Column standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Target z-score scaler.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetScaler {
+    /// Target mean.
+    pub mean: f64,
+    /// Target standard deviation (≥ 1e-12).
+    pub std: f64,
+}
+
+impl TargetScaler {
+    /// Learns mean/std of the target.
+    pub fn fit(y: &[f64]) -> TargetScaler {
+        let mean = ff_linalg::vector::mean(y);
+        let std = ff_linalg::vector::stddev(y).max(1e-12);
+        TargetScaler { mean, std }
+    }
+
+    /// Scales a target value.
+    pub fn scale(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Inverts the scaling.
+    pub fn unscale(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_zero_mean_unit_variance() {
+        let x = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        for j in 0..2 {
+            let col = z.col(j);
+            assert!(ff_linalg::vector::mean(&col).abs() < 1e-12);
+            // Population std of the standardized column is 1.
+            let var: f64 = col.iter().map(|v| v * v).sum::<f64>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_standardizes_to_zero() {
+        let x = Matrix::from_rows(&[&[5.0], &[5.0]]);
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn target_scaler_roundtrip() {
+        let y = [3.0, 5.0, 7.0];
+        let s = TargetScaler::fit(&y);
+        for &v in &y {
+            assert!((s.unscale(s.scale(v)) - v).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Quantile regressor (Table 2: `alpha` on a log grid,
+//! `quantile ∈ [0.1, 1]`).
+//!
+//! Minimizes the pinball loss `Σ ρ_q(yᵢ − w·xᵢ − b) + α‖w‖²` where
+//! `ρ_q(r) = r·(q − 1{r<0})`. We optimize a lightly smoothed pinball loss
+//! with full-batch Adam — simple, convex, and deterministic.
+
+use crate::data::{Standardizer, TargetScaler};
+use crate::{validate_xy, LinearParams, ModelError, Regressor, Result};
+use ff_linalg::Matrix;
+
+/// Linear quantile regression.
+#[derive(Debug, Clone)]
+pub struct QuantileRegressor {
+    /// Target quantile in (0, 1); clamped from Table 2's `[0.1, 1]` range
+    /// (1.0 would be the max — clamp to 0.99).
+    pub quantile: f64,
+    /// L2 regularization strength.
+    pub alpha: f64,
+    /// Optimization iterations.
+    pub max_iter: usize,
+    state: Option<FitState>,
+}
+
+#[derive(Debug, Clone)]
+struct FitState {
+    scaler: Standardizer,
+    target: TargetScaler,
+    coef: Vec<f64>,
+    intercept: f64,
+}
+
+impl QuantileRegressor {
+    /// Creates a quantile regressor.
+    pub fn new(quantile: f64, alpha: f64) -> QuantileRegressor {
+        QuantileRegressor {
+            quantile: quantile.clamp(0.01, 0.99),
+            alpha: alpha.max(0.0),
+            max_iter: 500,
+            state: None,
+        }
+    }
+}
+
+/// Smoothed pinball gradient: for |r| < h, interpolate between the two
+/// subgradients to avoid oscillation near zero residual.
+#[inline]
+fn pinball_grad(r: f64, q: f64, h: f64) -> f64 {
+    if r > h {
+        -q
+    } else if r < -h {
+        1.0 - q
+    } else {
+        // Linear interpolation across the kink.
+        let t = (r + h) / (2.0 * h); // 0 at r = −h, 1 at r = +h
+        (1.0 - q) * (1.0 - t) + (-q) * t
+    }
+}
+
+impl Regressor for QuantileRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        validate_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let target = TargetScaler::fit(y);
+        let xs = scaler.transform(x);
+        let ys: Vec<f64> = y.iter().map(|&v| target.scale(v)).collect();
+        let n = xs.rows();
+        let p = xs.cols();
+        let q = self.quantile;
+        let h = 1e-3; // smoothing half-width in standardized units
+
+        let mut coef = vec![0.0; p];
+        // Start the intercept at the empirical quantile.
+        let mut sorted = ys.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut intercept = sorted[((n - 1) as f64 * q) as usize];
+
+        // Adam over (coef, intercept).
+        let (mut m, mut v) = (vec![0.0; p + 1], vec![0.0; p + 1]);
+        let (b1, b2, eps, lr) = (0.9, 0.999, 1e-8, 0.05);
+        for t in 1..=self.max_iter {
+            let mut g = vec![0.0; p + 1];
+            for i in 0..n {
+                let r = ys[i] - ff_linalg::vector::dot(xs.row(i), &coef) - intercept;
+                let gr = pinball_grad(r, q, h) / n as f64;
+                for (gj, &xj) in g.iter_mut().zip(xs.row(i)) {
+                    *gj += gr * xj;
+                }
+                g[p] += gr;
+            }
+            for (gj, c) in g.iter_mut().zip(&coef) {
+                *gj += 2.0 * self.alpha * c / n as f64;
+            }
+            let bias1 = 1.0 - b1_pow(b1, t);
+            let bias2 = 1.0 - b1_pow(b2, t);
+            for j in 0..=p {
+                m[j] = b1 * m[j] + (1.0 - b1) * g[j];
+                v[j] = b2 * v[j] + (1.0 - b2) * g[j] * g[j];
+                let update = lr * (m[j] / bias1) / ((v[j] / bias2).sqrt() + eps);
+                if j < p {
+                    coef[j] -= update;
+                } else {
+                    intercept -= update;
+                }
+            }
+        }
+        if coef.iter().any(|c| !c.is_finite()) || !intercept.is_finite() {
+            return Err(ModelError::Numerical("quantile fit diverged".into()));
+        }
+        self.state = Some(FitState {
+            scaler,
+            target,
+            coef,
+            intercept,
+        });
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let s = self.state.as_ref().ok_or(ModelError::NotFitted)?;
+        let xs = s.scaler.transform(x);
+        Ok((0..xs.rows())
+            .map(|i| {
+                s.target
+                    .unscale(ff_linalg::vector::dot(xs.row(i), &s.coef) + s.intercept)
+            })
+            .collect())
+    }
+}
+
+fn b1_pow(b: f64, t: usize) -> f64 {
+    b.powi(t as i32)
+}
+
+impl LinearParams for QuantileRegressor {
+    fn coefficients(&self) -> Result<&[f64]> {
+        self.state
+            .as_ref()
+            .map(|s| s.coef.as_slice())
+            .ok_or(ModelError::NotFitted)
+    }
+
+    fn intercept(&self) -> Result<f64> {
+        self.state.as_ref().map(|s| s.intercept).ok_or(ModelError::NotFitted)
+    }
+
+    fn set_linear_params(&mut self, coef: &[f64], intercept: f64) {
+        if let Some(s) = self.state.as_mut() {
+            s.coef = coef.to_vec();
+            s.intercept = intercept;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_regression_on_constant_features_finds_median() {
+        // With a constant feature, the q-quantile model's prediction must be
+        // the empirical q-quantile of y.
+        let n = 201;
+        let y: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = Matrix::from_fn(n, 1, |_, _| 1.0);
+        let mut m = QuantileRegressor::new(0.5, 1e-6);
+        m.fit(&x, &y).unwrap();
+        let pred = m.predict(&x).unwrap();
+        assert!((pred[0] - 100.0).abs() < 3.0, "median pred {}", pred[0]);
+    }
+
+    #[test]
+    fn upper_quantile_sits_above_median() {
+        let n = 300;
+        let mut state = 3u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+        };
+        let x = Matrix::from_fn(n, 1, |_, _| 1.0);
+        let y: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let mut q50 = QuantileRegressor::new(0.5, 1e-6);
+        let mut q90 = QuantileRegressor::new(0.9, 1e-6);
+        q50.fit(&x, &y).unwrap();
+        q90.fit(&x, &y).unwrap();
+        let p50 = q50.predict(&x).unwrap()[0];
+        let p90 = q90.predict(&x).unwrap()[0];
+        assert!(p90 > p50 + 0.2, "q90 {p90} vs q50 {p50}");
+        // Roughly 90% of targets below the q90 prediction.
+        let frac_below = y.iter().filter(|&&v| v < p90).count() as f64 / n as f64;
+        assert!((frac_below - 0.9).abs() < 0.08, "coverage {frac_below}");
+    }
+
+    #[test]
+    fn tracks_linear_signal() {
+        let n = 200;
+        let mut state = 9u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+        };
+        let mut xs = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rnd();
+            xs.push(a);
+            y.push(5.0 * a + 0.1 * rnd());
+        }
+        let x = Matrix::from_fn(n, 1, |i, _| xs[i]);
+        let mut m = QuantileRegressor::new(0.5, 1e-6);
+        m.fit(&x, &y).unwrap();
+        let pred = m.predict(&x).unwrap();
+        let err = crate::metrics::mae(&y, &pred);
+        assert!(err < 0.3, "mae {err}");
+    }
+
+    #[test]
+    fn quantile_is_clamped() {
+        let m = QuantileRegressor::new(1.0, 0.1);
+        assert!((m.quantile - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let m = QuantileRegressor::new(0.5, 0.1);
+        assert!(m.predict(&Matrix::zeros(1, 1)).is_err());
+    }
+}

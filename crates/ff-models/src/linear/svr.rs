@@ -1,0 +1,235 @@
+//! Linear support vector regression (Table 2: `C ∈ [1, 10]`,
+//! `epsilon ∈ [0.01, 0.1]`).
+//!
+//! Minimizes `1/2 ‖w‖² + C Σ max(0, |yᵢ − w·xᵢ − b| − ε)` by averaged
+//! stochastic subgradient descent (Pegasos-style step sizes) on
+//! standardized features — the primal analogue of LIBLINEAR's L1-loss SVR.
+
+use crate::data::{Standardizer, TargetScaler};
+use crate::{validate_xy, LinearParams, ModelError, Regressor, Result};
+use ff_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// ε-insensitive linear SVR.
+#[derive(Debug, Clone)]
+pub struct LinearSvr {
+    /// Slack penalty.
+    pub c: f64,
+    /// Insensitivity tube half-width (in standardized target units).
+    pub epsilon: f64,
+    /// Number of SGD epochs.
+    pub epochs: usize,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    state: Option<FitState>,
+}
+
+#[derive(Debug, Clone)]
+struct FitState {
+    scaler: Standardizer,
+    target: TargetScaler,
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl LinearSvr {
+    /// Creates a LinearSVR with the given penalty and tube width.
+    pub fn new(c: f64, epsilon: f64) -> LinearSvr {
+        LinearSvr {
+            c,
+            epsilon,
+            epochs: 60,
+            seed: 13,
+            state: None,
+        }
+    }
+}
+
+impl Regressor for LinearSvr {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        validate_xy(x, y)?;
+        let scaler = Standardizer::fit(x);
+        let target = TargetScaler::fit(y);
+        let xs = scaler.transform(x);
+        let ys: Vec<f64> = y.iter().map(|&v| target.scale(v)).collect();
+        let n = xs.rows();
+        let p = xs.cols();
+        // Regularization in Pegasos form: lambda = 1 / (C n).
+        let lambda = 1.0 / (self.c.max(1e-9) * n as f64);
+        let mut w = vec![0.0; p];
+        let mut b = 0.0;
+        let mut w_avg = vec![0.0; p];
+        let mut b_avg = 0.0;
+        let mut averaged = 0usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 0usize;
+        let total_steps = self.epochs * n;
+        for _ in 0..self.epochs {
+            // Fisher–Yates shuffle.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (lambda * t as f64);
+                let pred = ff_linalg::vector::dot(xs.row(i), &w) + b;
+                let err = ys[i] - pred;
+                // Subgradient of the epsilon-insensitive loss.
+                let g = if err > self.epsilon {
+                    -1.0
+                } else if err < -self.epsilon {
+                    1.0
+                } else {
+                    0.0
+                };
+                // w ← (1 − η λ) w − η g xᵢ / n·C scaling folded into lambda.
+                let shrink = 1.0 - (eta * lambda).min(0.999);
+                for wj in w.iter_mut() {
+                    *wj *= shrink;
+                }
+                if g != 0.0 {
+                    let step = eta / n as f64;
+                    for (wj, &xj) in w.iter_mut().zip(xs.row(i)) {
+                        *wj -= step * g * xj;
+                    }
+                    b -= step * g;
+                }
+                // Tail averaging over the last half of training.
+                if t * 2 >= total_steps {
+                    for (wa, &wj) in w_avg.iter_mut().zip(&w) {
+                        *wa += wj;
+                    }
+                    b_avg += b;
+                    averaged += 1;
+                }
+            }
+        }
+        if averaged > 0 {
+            for wa in w_avg.iter_mut() {
+                *wa /= averaged as f64;
+            }
+            b_avg /= averaged as f64;
+        } else {
+            w_avg = w;
+            b_avg = b;
+        }
+        if w_avg.iter().any(|v| !v.is_finite()) || !b_avg.is_finite() {
+            return Err(ModelError::Numerical("SVR diverged".into()));
+        }
+        self.state = Some(FitState {
+            scaler,
+            target,
+            w: w_avg,
+            b: b_avg,
+        });
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let s = self.state.as_ref().ok_or(ModelError::NotFitted)?;
+        let xs = s.scaler.transform(x);
+        Ok((0..xs.rows())
+            .map(|i| {
+                s.target
+                    .unscale(ff_linalg::vector::dot(xs.row(i), &s.w) + s.b)
+            })
+            .collect())
+    }
+}
+
+impl LinearParams for LinearSvr {
+    fn coefficients(&self) -> Result<&[f64]> {
+        self.state
+            .as_ref()
+            .map(|s| s.w.as_slice())
+            .ok_or(ModelError::NotFitted)
+    }
+
+    fn intercept(&self) -> Result<f64> {
+        self.state.as_ref().map(|s| s.b).ok_or(ModelError::NotFitted)
+    }
+
+    fn set_linear_params(&mut self, coef: &[f64], intercept: f64) {
+        if let Some(s) = self.state.as_mut() {
+            s.w = coef.to_vec();
+            s.b = intercept;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    fn data(n: usize) -> (Matrix, Vec<f64>) {
+        let mut state = 31u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+        };
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rnd();
+            let b = rnd();
+            rows.push(vec![a, b]);
+            y.push(2.0 * a + b - 1.0 + 0.02 * rnd());
+        }
+        (Matrix::from_fn(n, 2, |i, j| rows[i][j]), y)
+    }
+
+    #[test]
+    fn fits_linear_relationship() {
+        let (x, y) = data(200);
+        let mut m = LinearSvr::new(5.0, 0.01);
+        m.fit(&x, &y).unwrap();
+        let pred = m.predict(&x).unwrap();
+        let err = mse(&y, &pred);
+        assert!(err < 0.05, "mse {err}");
+    }
+
+    #[test]
+    fn robust_to_outliers_compared_to_squared_loss() {
+        // SVR's absolute-style loss should resist a few wild targets.
+        let (x, mut y) = data(200);
+        y[0] = 100.0;
+        y[1] = -100.0;
+        let mut m = LinearSvr::new(5.0, 0.01);
+        m.fit(&x, &y).unwrap();
+        let pred = m.predict(&x).unwrap();
+        // Check the inliers are still fit decently.
+        let err = mse(&y[2..], &pred[2..]);
+        assert!(err < 1.0, "inlier mse {err}");
+    }
+
+    #[test]
+    fn wide_epsilon_tube_underfits() {
+        let (x, y) = data(200);
+        let mut tight = LinearSvr::new(5.0, 0.01);
+        let mut wide = LinearSvr::new(5.0, 3.0); // wider than the signal
+        tight.fit(&x, &y).unwrap();
+        wide.fit(&x, &y).unwrap();
+        let e_tight = mse(&y, &tight.predict(&x).unwrap());
+        let e_wide = mse(&y, &wide.predict(&x).unwrap());
+        assert!(e_tight < e_wide, "tight {e_tight} wide {e_wide}");
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let m = LinearSvr::new(1.0, 0.1);
+        assert!(m.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = data(100);
+        let mut a = LinearSvr::new(2.0, 0.05);
+        let mut b = LinearSvr::new(2.0, 0.05);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+}

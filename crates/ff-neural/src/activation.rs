@@ -1,0 +1,103 @@
+//! Activation functions.
+
+use crate::Layer;
+use ff_linalg::Matrix;
+
+/// Rectified linear unit, applied elementwise.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation layer.
+    pub fn new() -> Relu {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mask: Vec<bool> = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        let out = Matrix::from_vec(
+            x.rows(),
+            x.cols(),
+            x.as_slice().iter().map(|&v| v.max(0.0)).collect(),
+        );
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        Matrix::from_vec(
+            grad_out.rows(),
+            grad_out.cols(),
+            grad_out
+                .as_slice()
+                .iter()
+                .zip(mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut f64, &mut f64)) {}
+
+    fn zero_grad(&mut self) {}
+}
+
+/// Row-wise softmax (numerically stabilized). Not a [`Layer`] — it is fused
+/// with cross-entropy in the classifier head, where the combined gradient is
+/// simply `p − onehot`.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 2.0], &[0.0, -3.0]]);
+        let y = relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_gradient_is_masked() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        relu.forward(&x);
+        let g = relu.backward(&Matrix::from_rows(&[&[5.0, 5.0]]));
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let p = softmax_rows(&x);
+        for i in 0..2 {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!(p.get(0, 2) > p.get(0, 1) && p.get(0, 1) > p.get(0, 0));
+        // Stability: huge logits must not overflow.
+        assert!((p.get(1, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

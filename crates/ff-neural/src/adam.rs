@@ -1,0 +1,105 @@
+//! The Adam optimizer.
+
+/// Adam optimizer state over a flat parameter vector.
+///
+/// The caller owns the parameters (inside layers); `Adam` only keeps the
+/// first/second moment estimates, indexed by the order in which
+/// `visit_params` yields the parameters — which is stable by contract.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given learning rate and the standard
+    /// `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    pub fn new(lr: f64) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Performs one update step over parameters exposed by `visit`.
+    ///
+    /// `visit` must call its callback once per `(param, grad)` pair in the
+    /// same order every step.
+    pub fn step(&mut self, visit: impl FnOnce(&mut dyn FnMut(&mut f64, &mut f64))) {
+        self.t += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (beta1, beta2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        let m = &mut self.m;
+        let v = &mut self.v;
+        let mut idx = 0usize;
+        visit(&mut |p: &mut f64, g: &mut f64| {
+            if idx >= m.len() {
+                m.push(0.0);
+                v.push(0.0);
+            }
+            m[idx] = beta1 * m[idx] + (1.0 - beta1) * *g;
+            v[idx] = beta2 * v[idx] + (1.0 - beta2) * *g * *g;
+            let m_hat = m[idx] / bias1;
+            let v_hat = v[idx] / bias2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // Minimize f(x) = (x - 3)² starting from 0.
+        let mut x = 0.0f64;
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let mut g = 2.0 * (x - 3.0);
+            opt.step(|f| f(&mut x, &mut g));
+        }
+        assert!((x - 3.0).abs() < 0.05, "x={x}");
+    }
+
+    #[test]
+    fn adam_handles_multiple_params() {
+        let mut params = [10.0f64, -5.0];
+        let mut opt = Adam::new(0.2);
+        for _ in 0..800 {
+            let mut grads = [2.0 * params[0], 2.0 * params[1]];
+            opt.step(|f| {
+                f(&mut params[0], &mut grads[0]);
+                f(&mut params[1], &mut grads[1]);
+            });
+        }
+        assert!(params[0].abs() < 0.05 && params[1].abs() < 0.05, "{params:?}");
+    }
+
+    #[test]
+    fn first_step_has_bias_correction() {
+        // With bias correction, the very first step ≈ lr · sign(grad).
+        let mut x = 0.0f64;
+        let mut g = 100.0f64;
+        let mut opt = Adam::new(0.5);
+        opt.step(|f| f(&mut x, &mut g));
+        assert!((x + 0.5).abs() < 1e-6, "x={x}");
+    }
+}

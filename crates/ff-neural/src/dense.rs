@@ -1,0 +1,191 @@
+//! Fully-connected layer.
+
+use crate::{init, Layer};
+use ff_linalg::Matrix;
+use rand::Rng;
+
+/// A dense layer `y = x W + b` with `W: in × out`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f64>,
+    dw: Matrix,
+    db: Vec<f64>,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-uniform weights and zero bias.
+    pub fn new<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Dense {
+        let w = Matrix::from_fn(fan_in, fan_out, |_, _| init::he_uniform(rng, fan_in));
+        Dense {
+            w,
+            b: vec![0.0; fan_out],
+            dw: Matrix::zeros(fan_in, fan_out),
+            db: vec![0.0; fan_out],
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn fan_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn fan_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Inference-only forward that does not cache (usable through `&self`).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.w).expect("dense shape mismatch");
+        for i in 0..out.rows() {
+            for (o, &bj) in out.row_mut(i).iter_mut().zip(&self.b) {
+                *o += bj;
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let out = self.forward_inference(x);
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW += xᵀ grad_out; db += column sums of grad_out.
+        let dw = x.transpose().matmul(grad_out).expect("shape");
+        self.dw = self.dw.add(&dw).expect("shape");
+        for i in 0..grad_out.rows() {
+            for (dbj, &g) in self.db.iter_mut().zip(grad_out.row(i)) {
+                *dbj += g;
+            }
+        }
+        grad_out.matmul(&self.w.transpose()).expect("shape")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut f64, &mut f64)) {
+        for (w, dw) in self
+            .w
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.dw.as_mut_slice().iter_mut())
+        {
+            f(w, dw);
+        }
+        for (b, db) in self.b.iter_mut().zip(self.db.iter_mut()) {
+            f(b, db);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.dw.as_mut_slice().fill(0.0);
+        self.db.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(&mut rng, 2, 1);
+        // Overwrite with known weights.
+        layer.visit_params(&mut |p, _| *p = 1.0);
+        let x = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let y = layer.forward(&x);
+        // y = 2*1 + 3*1 + 1 (bias) = 6.
+        assert!((y.get(0, 0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Finite-difference check of dW on a scalar loss L = sum(y).
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Dense::new(&mut rng, 3, 2);
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.7]]);
+
+        let y = layer.forward(&x);
+        let ones = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        layer.backward(&ones);
+
+        // Collect analytic grads.
+        let mut analytic = Vec::new();
+        layer.visit_params(&mut |_, g| analytic.push(*g));
+
+        // Numeric grads.
+        let eps = 1e-6;
+        let mut idx;
+        let mut numeric = vec![0.0; analytic.len()];
+        let total = analytic.len();
+        for k in 0..total {
+            let mut plus = 0.0;
+            let mut minus = 0.0;
+            idx = 0;
+            layer.visit_params(&mut |p, _| {
+                if idx == k {
+                    *p += eps;
+                }
+                idx += 1;
+            });
+            let y = layer.forward_inference(&x);
+            plus += y.as_slice().iter().sum::<f64>();
+            idx = 0;
+            layer.visit_params(&mut |p, _| {
+                if idx == k {
+                    *p -= 2.0 * eps;
+                }
+                idx += 1;
+            });
+            let y = layer.forward_inference(&x);
+            minus += y.as_slice().iter().sum::<f64>();
+            idx = 0;
+            layer.visit_params(&mut |p, _| {
+                if idx == k {
+                    *p += eps;
+                }
+                idx += 1;
+            });
+            numeric[k] = (plus - minus) / (2.0 * eps);
+        }
+        for (a, n) in analytic.iter().zip(&numeric) {
+            assert!((a - n).abs() < 1e-4, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(&mut rng, 4, 3);
+        let x = Matrix::zeros(5, 4);
+        let y = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+        let gin = layer.backward(&Matrix::zeros(5, 3));
+        assert_eq!((gin.rows(), gin.cols()), (5, 4));
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut layer = Dense::new(&mut rng, 2, 2);
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        layer.forward(&x);
+        layer.backward(&Matrix::from_rows(&[&[1.0, 1.0]]));
+        layer.zero_grad();
+        let mut all_zero = true;
+        layer.visit_params(&mut |_, g| all_zero &= *g == 0.0);
+        assert!(all_zero);
+    }
+}

@@ -1,0 +1,60 @@
+// Index-based loops across parallel arrays are the clearest form for the
+// numeric kernels in this crate; the iterator rewrites clippy suggests
+// obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+//! Minimal neural-network substrate for FedForecaster.
+//!
+//! The paper's baselines need two neural models: the N-BEATS forecaster
+//! (Oreshkin et al. 2019, §5.1) and an MLP classifier (Table 4). This
+//! crate implements both on a tiny manual-backprop engine:
+//!
+//! - [`dense::Dense`]: fully-connected layer with cached activations.
+//! - [`activation`]: ReLU forward/backward.
+//! - [`adam::Adam`]: the Adam optimizer over a flat parameter view.
+//! - [`mlp::Mlp`]: a sequential ReLU network with MSE and
+//!   softmax-cross-entropy heads.
+//! - [`nbeats`]: N-BEATS generic/trend/seasonality blocks with doubly
+//!   residual stacking, trained for one-step-ahead forecasting.
+//! - [`Parameterized`]: flat parameter get/set — the hook `ff-fl` uses for
+//!   FedAvg weight aggregation.
+
+pub mod activation;
+pub mod adam;
+pub mod dense;
+pub mod init;
+pub mod mlp;
+pub mod nbeats;
+
+use ff_linalg::Matrix;
+
+/// A differentiable module with trainable parameters.
+pub trait Layer {
+    /// Forward pass over a batch (rows = samples). Caches whatever the
+    /// backward pass needs.
+    fn forward(&mut self, x: &Matrix) -> Matrix;
+    /// Backward pass: receives `∂L/∂output`, accumulates parameter
+    /// gradients internally, returns `∂L/∂input`.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+    /// Visits every `(parameter, gradient)` pair in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut f64, &mut f64));
+    /// Resets accumulated gradients to zero.
+    fn zero_grad(&mut self);
+}
+
+/// Models whose parameters can be exported/imported as a flat vector —
+/// the contract FedAvg aggregation relies on.
+pub trait Parameterized {
+    /// All parameters, flattened in a stable order.
+    fn params_flat(&mut self) -> Vec<f64>;
+    /// Overwrites all parameters from a flat vector produced by
+    /// [`Parameterized::params_flat`] on an identically-shaped model.
+    ///
+    /// # Panics
+    /// Panics if the length does not match.
+    fn set_params_flat(&mut self, flat: &[f64]);
+    /// Number of parameters.
+    fn num_params(&mut self) -> usize {
+        self.params_flat().len()
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the neural substrate.
+
+use ff_linalg::Matrix;
+use ff_neural::activation::softmax_rows;
+use ff_neural::mlp::Mlp;
+use ff_neural::nbeats::{NBeats, NBeatsConfig};
+use ff_neural::Parameterized;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mlp_params_roundtrip_arbitrary_vectors(
+        seed in 0u64..1000,
+        offset in -2.0f64..2.0,
+    ) {
+        let mut net = Mlp::new(&[3, 6, 2], seed);
+        let mut flat = net.params_flat();
+        for (i, p) in flat.iter_mut().enumerate() {
+            *p = offset + i as f64 * 0.01;
+        }
+        net.set_params_flat(&flat);
+        prop_assert_eq!(net.params_flat(), flat);
+    }
+
+    #[test]
+    fn mlp_forward_is_finite_for_finite_inputs(
+        x in prop::collection::vec(-100.0f64..100.0, 6),
+        seed in 0u64..50,
+    ) {
+        let net = Mlp::new(&[3, 8, 2], seed);
+        let m = Matrix::from_vec(2, 3, x);
+        let y = net.forward_inference(&m);
+        prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        logits in prop::collection::vec(-50.0f64..50.0, 12),
+    ) {
+        let m = Matrix::from_vec(3, 4, logits);
+        let p = softmax_rows(&m);
+        for i in 0..3 {
+            let s: f64 = p.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn nbeats_params_roundtrip_and_identical_forecasts(seed in 0u64..30) {
+        let mut a = NBeats::new(NBeatsConfig::small(8, seed));
+        let mut b = NBeats::new(NBeatsConfig::small(8, seed + 1));
+        let flat = a.params_flat();
+        b.set_params_flat(&flat);
+        let x = Matrix::from_fn(3, 8, |i, j| ((i * 3 + j) as f64).sin());
+        prop_assert_eq!(
+            a.forecast_batch(&x).as_slice().to_vec(),
+            b.forecast_batch(&x).as_slice().to_vec()
+        );
+    }
+
+    #[test]
+    fn nbeats_training_reduces_loss_on_learnable_signal(seed in 0u64..8) {
+        let series: Vec<f64> = (0..200)
+            .map(|t| (std::f64::consts::TAU * t as f64 / 10.0).sin())
+            .collect();
+        let mut net = NBeats::new(NBeatsConfig {
+            batch_size: 32,
+            learning_rate: 3e-3,
+            ..NBeatsConfig::small(10, seed)
+        });
+        // Loss over the first few steps vs after training.
+        let (w, t) = {
+            let x = Matrix::from_fn(32, 10, |i, j| series[i + j]);
+            let y = Matrix::from_fn(32, 1, |i, _| series[i + 10]);
+            (x, y)
+        };
+        let before = net.train_step(&w, &t);
+        net.fit_series(&series, 120, || false);
+        let after = net.train_step(&w, &t);
+        prop_assert!(after.is_finite());
+        prop_assert!(after < before * 2.0, "before {before} after {after}");
+    }
+}

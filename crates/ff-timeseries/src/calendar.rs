@@ -1,0 +1,165 @@
+//! Civil-calendar decomposition of unix timestamps.
+//!
+//! §4.2.1(2) extracts "day of the week, hour of the day, and month of the
+//! year" as time features. This module converts unix seconds to those fields
+//! without any external date crate, using Howard Hinnant's `civil_from_days`
+//! algorithm.
+
+/// Calendar fields of one timestamp (UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalendarFields {
+    /// Year, e.g. 2024.
+    pub year: i32,
+    /// Month of year, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+    /// Hour of day, 0–23.
+    pub hour: u8,
+    /// Minute of hour, 0–59.
+    pub minute: u8,
+    /// Day of week, 0 = Monday … 6 = Sunday.
+    pub weekday: u8,
+    /// Day of year, 1–366.
+    pub day_of_year: u16,
+}
+
+/// Converts a count of days since 1970-01-01 to (year, month, day).
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+const CUM_DAYS: [u16; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+
+/// Decomposes a unix timestamp (seconds, UTC) into calendar fields.
+pub fn decompose(unix_secs: i64) -> CalendarFields {
+    let days = unix_secs.div_euclid(86_400);
+    let secs_of_day = unix_secs.rem_euclid(86_400);
+    let (year, month, day) = civil_from_days(days);
+    // 1970-01-01 was a Thursday; weekday 0 = Monday.
+    let weekday = ((days % 7 + 7 + 3) % 7) as u8;
+    let mut doy = CUM_DAYS[(month - 1) as usize] + day as u16;
+    if month > 2 && is_leap(year) {
+        doy += 1;
+    }
+    CalendarFields {
+        year,
+        month,
+        day,
+        hour: (secs_of_day / 3600) as u8,
+        minute: (secs_of_day % 3600 / 60) as u8,
+        weekday,
+        day_of_year: doy,
+    }
+}
+
+/// The cyclic time features of §4.2.1(2): sin/cos encodings of hour-of-day,
+/// day-of-week, and month-of-year. Cyclic encoding avoids the midnight/11pm
+/// discontinuity a raw ordinal would create.
+pub fn time_features(unix_secs: i64) -> [f64; 6] {
+    use std::f64::consts::TAU;
+    let c = decompose(unix_secs);
+    let hour_angle = TAU * c.hour as f64 / 24.0;
+    let wday_angle = TAU * c.weekday as f64 / 7.0;
+    let month_angle = TAU * (c.month - 1) as f64 / 12.0;
+    [
+        hour_angle.sin(),
+        hour_angle.cos(),
+        wday_angle.sin(),
+        wday_angle.cos(),
+        month_angle.sin(),
+        month_angle.cos(),
+    ]
+}
+
+/// Names of the [`time_features`] columns, in order.
+pub const TIME_FEATURE_NAMES: [&str; 6] = [
+    "hour_sin",
+    "hour_cos",
+    "weekday_sin",
+    "weekday_cos",
+    "month_sin",
+    "month_cos",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_thursday_jan_1_1970() {
+        let c = decompose(0);
+        assert_eq!((c.year, c.month, c.day), (1970, 1, 1));
+        assert_eq!(c.weekday, 3); // Thursday with Monday = 0
+        assert_eq!(c.hour, 0);
+        assert_eq!(c.day_of_year, 1);
+    }
+
+    #[test]
+    fn known_date_2024_02_29() {
+        // 2024-02-29 12:30:00 UTC = 1709209800.
+        let c = decompose(1_709_209_800);
+        assert_eq!((c.year, c.month, c.day), (2024, 2, 29));
+        assert_eq!(c.hour, 12);
+        assert_eq!(c.minute, 30);
+        assert_eq!(c.weekday, 3); // Thursday
+        assert_eq!(c.day_of_year, 60);
+    }
+
+    #[test]
+    fn leap_year_day_of_year() {
+        // 2024-03-01 = day 61 in a leap year.
+        let c = decompose(1_709_251_200);
+        assert_eq!((c.month, c.day), (3, 1));
+        assert_eq!(c.day_of_year, 61);
+    }
+
+    #[test]
+    fn negative_timestamps_work() {
+        // 1969-12-31 23:00:00 UTC.
+        let c = decompose(-3600);
+        assert_eq!((c.year, c.month, c.day), (1969, 12, 31));
+        assert_eq!(c.hour, 23);
+        assert_eq!(c.weekday, 2); // Wednesday
+    }
+
+    #[test]
+    fn weekday_cycles_over_consecutive_days() {
+        for d in 0..14i64 {
+            let c = decompose(d * 86_400);
+            assert_eq!(c.weekday as i64, (d + 3) % 7);
+        }
+    }
+
+    #[test]
+    fn time_features_are_unit_circle_points() {
+        let f = time_features(1_700_000_000);
+        for pair in f.chunks(2) {
+            let norm = pair[0] * pair[0] + pair[1] * pair[1];
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn midnight_and_11pm_are_close_in_feature_space() {
+        let midnight = time_features(0); // hour 0
+        let eleven_pm = time_features(23 * 3600); // hour 23, same day
+        let dist = (midnight[0] - eleven_pm[0]).hypot(midnight[1] - eleven_pm[1]);
+        // One hour apart on the 24h circle: chord length 2 sin(π/24) ≈ 0.26.
+        assert!(dist < 0.3);
+    }
+}

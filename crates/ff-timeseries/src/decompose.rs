@@ -1,0 +1,248 @@
+//! Classical seasonal-trend decomposition (moving-average based, the
+//! `seasonal_decompose` of statsmodels): splits a series into trend,
+//! seasonal, and residual components for a known period.
+//!
+//! Used for analysis and by tests that validate the synthetic generators;
+//! the engine's feature set uses the lighter causal estimates.
+
+use crate::{Result, TsError};
+
+/// Additive or multiplicative decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompositionModel {
+    /// `y = trend + seasonal + residual`
+    Additive,
+    /// `y = trend · seasonal · residual`
+    Multiplicative,
+}
+
+/// A completed decomposition. All components have the input length; the
+/// trend is NaN-padded at the edges (centered moving average).
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Centered-moving-average trend (NaN at the first/last `period/2`).
+    pub trend: Vec<f64>,
+    /// Period-repeating seasonal component (mean/geometric-mean normalized).
+    pub seasonal: Vec<f64>,
+    /// Remainder.
+    pub residual: Vec<f64>,
+    /// Fraction of detrended variance explained by the seasonal component
+    /// (a "seasonal strength" diagnostic in `[0, 1]`).
+    pub seasonal_strength: f64,
+}
+
+/// Decomposes `y` with the given integer period.
+///
+/// Requires at least two full periods of data and `period ≥ 2`.
+pub fn seasonal_decompose(
+    y: &[f64],
+    period: usize,
+    model: DecompositionModel,
+) -> Result<Decomposition> {
+    let n = y.len();
+    if period < 2 {
+        return Err(TsError::Numerical("period must be at least 2".into()));
+    }
+    if n < 2 * period {
+        return Err(TsError::TooShort {
+            needed: 2 * period,
+            got: n,
+        });
+    }
+    if model == DecompositionModel::Multiplicative && y.iter().any(|&v| v <= 0.0) {
+        return Err(TsError::Numerical(
+            "multiplicative decomposition needs positive values".into(),
+        ));
+    }
+
+    // Centered moving average of window `period` (split ends for even
+    // periods, the classical construction).
+    let half = period / 2;
+    let mut trend = vec![f64::NAN; n];
+    for t in half..n - half {
+        let mut acc = 0.0;
+        if period % 2 == 0 {
+            acc += 0.5 * y[t - half] + 0.5 * y[t + half];
+            for k in (t - half + 1)..(t + half) {
+                acc += y[k];
+            }
+            trend[t] = acc / period as f64;
+        } else {
+            for k in (t - half)..=(t + half) {
+                acc += y[k];
+            }
+            trend[t] = acc / period as f64;
+        }
+    }
+
+    // Detrend.
+    let detrended: Vec<f64> = y
+        .iter()
+        .zip(&trend)
+        .map(|(&v, &tr)| {
+            if tr.is_nan() {
+                f64::NAN
+            } else {
+                match model {
+                    DecompositionModel::Additive => v - tr,
+                    DecompositionModel::Multiplicative => v / tr,
+                }
+            }
+        })
+        .collect();
+
+    // Seasonal means per phase.
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_cnt = vec![0usize; period];
+    for (t, &d) in detrended.iter().enumerate() {
+        if !d.is_nan() {
+            phase_sum[t % period] += d;
+            phase_cnt[t % period] += 1;
+        }
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_cnt)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    // Normalize so the seasonal component is mean-0 (additive) / mean-1
+    // (multiplicative).
+    let grand = ff_linalg::vector::mean(&phase_mean);
+    for p in phase_mean.iter_mut() {
+        match model {
+            DecompositionModel::Additive => *p -= grand,
+            DecompositionModel::Multiplicative => {
+                *p /= if grand.abs() > 1e-12 { grand } else { 1.0 }
+            }
+        }
+    }
+    let seasonal: Vec<f64> = (0..n).map(|t| phase_mean[t % period]).collect();
+
+    // Residual.
+    let residual: Vec<f64> = (0..n)
+        .map(|t| {
+            if trend[t].is_nan() {
+                f64::NAN
+            } else {
+                match model {
+                    DecompositionModel::Additive => y[t] - trend[t] - seasonal[t],
+                    DecompositionModel::Multiplicative => {
+                        y[t] / (trend[t] * seasonal[t]).max(1e-300)
+                    }
+                }
+            }
+        })
+        .collect();
+
+    // Seasonal strength: 1 − Var(residual) / Var(detrended), on valid rows.
+    let valid: Vec<usize> = (0..n).filter(|&t| !trend[t].is_nan()).collect();
+    let de: Vec<f64> = valid.iter().map(|&t| detrended[t]).collect();
+    let re: Vec<f64> = valid
+        .iter()
+        .map(|&t| match model {
+            DecompositionModel::Additive => residual[t],
+            DecompositionModel::Multiplicative => residual[t] - 1.0,
+        })
+        .collect();
+    let var_de = ff_linalg::vector::variance(&de);
+    let var_re = ff_linalg::vector::variance(&re);
+    let seasonal_strength = if var_de > 1e-300 {
+        (1.0 - var_re / var_de).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+
+    Ok(Decomposition {
+        trend,
+        seasonal,
+        residual,
+        seasonal_strength,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn seasonal_series(n: usize, period: usize, amp: f64, slope: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| 10.0 + slope * t as f64 + amp * (TAU * t as f64 / period as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn recovers_additive_components() {
+        let y = seasonal_series(240, 12, 3.0, 0.05);
+        let d = seasonal_decompose(&y, 12, DecompositionModel::Additive).unwrap();
+        // Trend slope ≈ 0.05 in the valid interior.
+        let t50 = d.trend[50];
+        let t150 = d.trend[150];
+        assert!(((t150 - t50) / 100.0 - 0.05).abs() < 0.01);
+        // Seasonal amplitude ≈ 3.
+        let max_season = d.seasonal.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max_season - 3.0).abs() < 0.3, "amp {max_season}");
+        // Residual is small for this noise-free series.
+        let resid_max = d
+            .residual
+            .iter()
+            .filter(|v| !v.is_nan())
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(resid_max < 0.5, "residual {resid_max}");
+        assert!(d.seasonal_strength > 0.95);
+    }
+
+    #[test]
+    fn multiplicative_model_handles_growing_amplitude() {
+        let y: Vec<f64> = (0..240)
+            .map(|t| {
+                (10.0 + 0.1 * t as f64)
+                    * (1.0 + 0.3 * (TAU * t as f64 / 12.0).sin())
+            })
+            .collect();
+        let d = seasonal_decompose(&y, 12, DecompositionModel::Multiplicative).unwrap();
+        // Seasonal factor peaks near 1.3.
+        let max_season = d.seasonal.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max_season - 1.3).abs() < 0.1, "factor {max_season}");
+        assert!(d.seasonal_strength > 0.9);
+    }
+
+    #[test]
+    fn white_noise_has_low_seasonal_strength() {
+        let mut state = 3u64;
+        let y: Vec<f64> = (0..300)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                10.0 + ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+            })
+            .collect();
+        let d = seasonal_decompose(&y, 12, DecompositionModel::Additive).unwrap();
+        assert!(d.seasonal_strength < 0.4, "strength {}", d.seasonal_strength);
+    }
+
+    #[test]
+    fn edges_are_nan_padded() {
+        let y = seasonal_series(60, 12, 2.0, 0.0);
+        let d = seasonal_decompose(&y, 12, DecompositionModel::Additive).unwrap();
+        assert!(d.trend[0].is_nan());
+        assert!(d.trend[59].is_nan());
+        assert!(!d.trend[30].is_nan());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(seasonal_decompose(&[1.0; 10], 12, DecompositionModel::Additive).is_err());
+        assert!(seasonal_decompose(&[1.0; 30], 1, DecompositionModel::Additive).is_err());
+        let with_neg: Vec<f64> = (0..60).map(|t| t as f64 - 30.0).collect();
+        assert!(
+            seasonal_decompose(&with_neg, 12, DecompositionModel::Multiplicative).is_err()
+        );
+    }
+
+    #[test]
+    fn odd_period_works() {
+        let y = seasonal_series(140, 7, 2.0, 0.0);
+        let d = seasonal_decompose(&y, 7, DecompositionModel::Additive).unwrap();
+        assert!(d.seasonal_strength > 0.9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Higuchi fractal dimension (Table 1: "Fractal dimension analysis of
+//! target").
+//!
+//! The Higuchi method estimates the fractal dimension of a curve from the
+//! scaling of its average length `L(k)` with the time interval `k`:
+//! `L(k) ∝ k^{-D}`, so `D` is the slope of `log L(k)` vs `log(1/k)`.
+
+use ff_linalg::{solve, Matrix};
+
+/// Higuchi fractal dimension with time intervals `k = 1..=k_max`.
+///
+/// Returns a value typically in `[1, 2]`: ~1.0 for smooth curves, ~1.5 for a
+/// random walk, approaching 2.0 for white noise. Returns 1.0 for degenerate
+/// inputs (too short or zero variance).
+pub fn higuchi_fd(x: &[f64], k_max: usize) -> f64 {
+    let n = x.len();
+    if n < 10 || k_max < 2 {
+        return 1.0;
+    }
+    let k_max = k_max.min(n / 4).max(2);
+    let mut log_k = Vec::with_capacity(k_max);
+    let mut log_l = Vec::with_capacity(k_max);
+    for k in 1..=k_max {
+        let mut lk = 0.0;
+        let mut valid = 0usize;
+        for m in 0..k {
+            // Curve length along the subsampled series x[m], x[m+k], ...
+            let count = (n - 1 - m) / k;
+            if count < 1 {
+                continue;
+            }
+            let mut length = 0.0;
+            for i in 1..=count {
+                length += (x[m + i * k] - x[m + (i - 1) * k]).abs();
+            }
+            // Higuchi normalization factor.
+            let norm = (n - 1) as f64 / (count as f64 * k as f64);
+            lk += length * norm / k as f64;
+            valid += 1;
+        }
+        if valid == 0 || lk <= 0.0 {
+            continue;
+        }
+        lk /= valid as f64;
+        log_k.push((1.0 / k as f64).ln());
+        log_l.push(lk.ln());
+    }
+    if log_k.len() < 2 {
+        return 1.0;
+    }
+    // Slope of log L vs log 1/k.
+    let m = Matrix::from_fn(log_k.len(), 2, |i, j| if j == 0 { 1.0 } else { log_k[i] });
+    match solve::ols(&m, &log_l) {
+        Ok(beta) => beta[1].clamp(0.5, 2.5),
+        Err(_) => 1.0,
+    }
+}
+
+/// Default `k_max` rule used by the meta-feature extractor.
+pub fn default_k_max(n: usize) -> usize {
+    ((n as f64).log2().floor() as usize).clamp(2, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_has_dimension_one() {
+        let x: Vec<f64> = (0..500).map(|i| i as f64 * 0.1).collect();
+        let d = higuchi_fd(&x, 10);
+        assert!((d - 1.0).abs() < 0.05, "line FD={d}");
+    }
+
+    #[test]
+    fn white_noise_has_dimension_near_two() {
+        let x = lcg(4000, 5);
+        let d = higuchi_fd(&x, 10);
+        assert!(d > 1.8, "white noise FD={d}");
+    }
+
+    #[test]
+    fn random_walk_has_dimension_near_one_and_a_half() {
+        let noise = lcg(4000, 17);
+        let mut x = vec![0.0];
+        for e in noise {
+            x.push(x.last().unwrap() + e);
+        }
+        let d = higuchi_fd(&x, 10);
+        assert!((1.3..1.7).contains(&d), "random walk FD={d}");
+    }
+
+    #[test]
+    fn smooth_sine_is_close_to_one() {
+        let x: Vec<f64> = (0..1000)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 200.0).sin())
+            .collect();
+        let d = higuchi_fd(&x, 8);
+        assert!(d < 1.3, "smooth sine FD={d}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_one() {
+        assert_eq!(higuchi_fd(&[1.0, 2.0], 8), 1.0);
+        assert_eq!(higuchi_fd(&vec![5.0; 100], 8), 1.0);
+    }
+
+    #[test]
+    fn default_k_max_is_bounded() {
+        assert_eq!(default_k_max(4), 2);
+        assert!(default_k_max(1 << 30) <= 16);
+    }
+}

@@ -1,0 +1,112 @@
+//! Linear interpolation of missing-value gaps (§4.2 of the paper:
+//! "Initially, linear interpolation is applied to handle any missing value
+//! gaps in the time-series data").
+
+use crate::TimeSeries;
+
+/// Fills `NaN` gaps in `values` by linear interpolation between the nearest
+/// observed neighbours, weighted by the actual timestamps. Leading/trailing
+/// gaps are filled by extending the nearest observed value.
+///
+/// A series with no observed values at all is left untouched.
+pub fn interpolate_linear(series: &mut TimeSeries) {
+    let ts: Vec<i64> = series.timestamps().to_vec();
+    let values = series.values_mut();
+    let n = values.len();
+    let first_obs = match values.iter().position(|v| !v.is_nan()) {
+        Some(i) => i,
+        None => return,
+    };
+    let last_obs = values.iter().rposition(|v| !v.is_nan()).unwrap();
+
+    // Extend edges.
+    let head = values[first_obs];
+    for v in values.iter_mut().take(first_obs) {
+        *v = head;
+    }
+    let tail = values[last_obs];
+    for v in values.iter_mut().take(n).skip(last_obs + 1) {
+        *v = tail;
+    }
+
+    // Interior gaps.
+    let mut i = first_obs;
+    while i < last_obs {
+        if !values[i + 1].is_nan() {
+            i += 1;
+            continue;
+        }
+        // `i` is observed, find the next observed index `j`.
+        let j = (i + 1..=last_obs)
+            .find(|&k| !values[k].is_nan())
+            .expect("last_obs is observed");
+        let (t0, t1) = (ts[i] as f64, ts[j] as f64);
+        let (v0, v1) = (values[i], values[j]);
+        let span = t1 - t0;
+        for (k, vk) in values.iter_mut().enumerate().take(j).skip(i + 1) {
+            let w = if span > 0.0 { (ts[k] as f64 - t0) / span } else { 0.5 };
+            *vk = v0 + w * (v1 - v0);
+        }
+        i = j;
+    }
+}
+
+/// Returns an interpolated copy, leaving the input untouched.
+pub fn interpolated(series: &TimeSeries) -> TimeSeries {
+    let mut out = series.clone();
+    interpolate_linear(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::with_regular_index(0, 10, values)
+    }
+
+    #[test]
+    fn interior_gap_is_linear() {
+        let mut s = ts(vec![0.0, f64::NAN, f64::NAN, 3.0]);
+        interpolate_linear(&mut s);
+        assert_eq!(s.values(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn edges_extend_nearest() {
+        let mut s = ts(vec![f64::NAN, 2.0, f64::NAN]);
+        interpolate_linear(&mut s);
+        assert_eq!(s.values(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn respects_irregular_timestamps() {
+        // Gap point sits 1/4 of the way between its neighbours in time.
+        let mut s = TimeSeries::new(vec![0, 10, 40], vec![0.0, f64::NAN, 4.0]).unwrap();
+        interpolate_linear(&mut s);
+        assert!((s.values()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_nan_left_untouched() {
+        let mut s = ts(vec![f64::NAN, f64::NAN]);
+        interpolate_linear(&mut s);
+        assert!(s.values().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn no_gap_is_noop() {
+        let mut s = ts(vec![1.0, 2.0, 3.0]);
+        let before = s.clone();
+        interpolate_linear(&mut s);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn multiple_gaps() {
+        let mut s = ts(vec![0.0, f64::NAN, 2.0, f64::NAN, f64::NAN, 5.0]);
+        interpolate_linear(&mut s);
+        assert_eq!(s.values(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! KPSS stationarity test (Kwiatkowski–Phillips–Schmidt–Shin).
+//!
+//! Complements the ADF test: ADF's null is a unit root, KPSS's null is
+//! stationarity. Using both gives the standard four-quadrant diagnosis
+//! (stationary / unit root / trend-stationary / inconclusive) that guides
+//! differencing decisions.
+
+use crate::{Result, TsError};
+
+/// Deterministic component under the KPSS null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KpssRegression {
+    /// Level-stationary null (`c`).
+    Constant,
+    /// Trend-stationary null (`ct`).
+    ConstantTrend,
+}
+
+/// Result of the KPSS test.
+#[derive(Debug, Clone)]
+pub struct KpssResult {
+    /// The KPSS statistic (larger ⇒ stronger evidence *against*
+    /// stationarity).
+    pub statistic: f64,
+    /// Critical values at 1%, 5%, 10%.
+    pub critical: [f64; 3],
+    /// True when the stationarity null is *not* rejected at 5%.
+    pub stationary: bool,
+    /// Newey–West bandwidth used for the long-run variance.
+    pub lags: usize,
+}
+
+fn critical_values(reg: KpssRegression) -> [f64; 3] {
+    match reg {
+        KpssRegression::Constant => [0.739, 0.463, 0.347],
+        KpssRegression::ConstantTrend => [0.216, 0.146, 0.119],
+    }
+}
+
+/// KPSS test with the Newey–West automatic bandwidth
+/// `⌊4 (n/100)^{1/4}⌋` and Bartlett-kernel long-run variance.
+pub fn kpss_test(y: &[f64], reg: KpssRegression) -> Result<KpssResult> {
+    let n = y.len();
+    if n < 12 {
+        return Err(TsError::TooShort { needed: 12, got: n });
+    }
+    // Residuals from the deterministic component.
+    let resid: Vec<f64> = match reg {
+        KpssRegression::Constant => {
+            let mean = ff_linalg::vector::mean(y);
+            y.iter().map(|&v| v - mean).collect()
+        }
+        KpssRegression::ConstantTrend => {
+            // OLS on [1, t].
+            let x = ff_linalg::Matrix::from_fn(n, 2, |i, j| if j == 0 { 1.0 } else { i as f64 });
+            let beta = ff_linalg::solve::ols(&x, y)
+                .map_err(|e| TsError::Numerical(e.to_string()))?;
+            y.iter()
+                .enumerate()
+                .map(|(t, &v)| v - beta[0] - beta[1] * t as f64)
+                .collect()
+        }
+    };
+    // Partial sums.
+    let mut s = 0.0;
+    let mut sum_s2 = 0.0;
+    for &e in &resid {
+        s += e;
+        sum_s2 += s * s;
+    }
+    // Long-run variance with Bartlett weights.
+    let lags = (4.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    let mut lrv: f64 = resid.iter().map(|e| e * e).sum::<f64>() / n as f64;
+    for l in 1..=lags.min(n - 1) {
+        let w = 1.0 - l as f64 / (lags + 1) as f64;
+        let gamma: f64 = (l..n).map(|t| resid[t] * resid[t - l]).sum::<f64>() / n as f64;
+        lrv += 2.0 * w * gamma;
+    }
+    if lrv <= 0.0 {
+        return Err(TsError::Numerical("non-positive long-run variance".into()));
+    }
+    let statistic = sum_s2 / (n as f64 * n as f64 * lrv);
+    let critical = critical_values(reg);
+    Ok(KpssResult {
+        statistic,
+        critical,
+        stationary: statistic < critical[1],
+        lags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn white_noise_passes_kpss() {
+        let y = lcg_noise(500, 3);
+        let r = kpss_test(&y, KpssRegression::Constant).unwrap();
+        assert!(r.stationary, "stat {} crit {:?}", r.statistic, r.critical);
+    }
+
+    #[test]
+    fn random_walk_fails_kpss() {
+        let noise = lcg_noise(500, 5);
+        let mut y = vec![0.0];
+        for e in noise {
+            y.push(y.last().unwrap() + e);
+        }
+        let r = kpss_test(&y, KpssRegression::Constant).unwrap();
+        assert!(!r.stationary, "stat {}", r.statistic);
+        assert!(r.statistic > r.critical[0], "should reject even at 1%");
+    }
+
+    #[test]
+    fn deterministic_trend_is_trend_stationary() {
+        let noise = lcg_noise(400, 7);
+        let y: Vec<f64> = noise
+            .iter()
+            .enumerate()
+            .map(|(t, e)| 0.05 * t as f64 + e)
+            .collect();
+        // Level-KPSS rejects (there is a trend)…
+        let level = kpss_test(&y, KpssRegression::Constant).unwrap();
+        assert!(!level.stationary);
+        // …but trend-KPSS does not (stationary around the trend).
+        let trend = kpss_test(&y, KpssRegression::ConstantTrend).unwrap();
+        assert!(trend.stationary, "stat {}", trend.statistic);
+    }
+
+    #[test]
+    fn agrees_with_adf_on_clear_cases() {
+        use crate::stationarity;
+        let y = lcg_noise(400, 11);
+        let adf = stationarity::is_stationary(&y);
+        let kpss = kpss_test(&y, KpssRegression::Constant).unwrap().stationary;
+        assert!(adf && kpss, "both tests should call white noise stationary");
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(matches!(
+            kpss_test(&[1.0; 5], KpssRegression::Constant),
+            Err(TsError::TooShort { .. })
+        ));
+    }
+}

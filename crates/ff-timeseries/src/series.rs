@@ -1,0 +1,238 @@
+//! The core [`TimeSeries`] container and split operations.
+
+use crate::{Result, TsError};
+
+/// A univariate time series: strictly increasing unix-second timestamps and
+/// one value per timestamp. Missing observations are encoded as `NaN`.
+///
+/// # Examples
+///
+/// ```
+/// use ff_timeseries::TimeSeries;
+///
+/// let daily = TimeSeries::with_regular_index(0, 86_400, vec![1.0, 2.0, 3.0, 4.0]);
+/// let (train, valid) = daily.train_valid_split(0.25);
+/// assert_eq!(train.len(), 3);
+/// assert_eq!(valid.values(), &[4.0]);
+///
+/// // Federated splitting: contiguous time chunks, sizes within one.
+/// let clients = daily.split_clients(2);
+/// assert_eq!(clients[0].values(), &[1.0, 2.0]);
+/// assert_eq!(clients[1].values(), &[3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    timestamps: Vec<i64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Builds a series from parallel timestamp/value vectors.
+    pub fn new(timestamps: Vec<i64>, values: Vec<f64>) -> Result<Self> {
+        if timestamps.len() != values.len() {
+            return Err(TsError::LengthMismatch);
+        }
+        if timestamps.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(TsError::UnsortedTimestamps);
+        }
+        Ok(TimeSeries { timestamps, values })
+    }
+
+    /// Builds a series with evenly spaced timestamps starting at `start`
+    /// with step `step_secs` (e.g. 86 400 for daily data).
+    pub fn with_regular_index(start: i64, step_secs: i64, values: Vec<f64>) -> Self {
+        let timestamps = (0..values.len() as i64)
+            .map(|i| start + i * step_secs)
+            .collect();
+        TimeSeries { timestamps, values }
+    }
+
+    /// Number of observations (including missing ones).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series has no observations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The timestamp vector.
+    #[inline]
+    pub fn timestamps(&self) -> &[i64] {
+        &self.timestamps
+    }
+
+    /// The value vector (missing values are `NaN`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the values (used by interpolation).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Values with missing observations dropped.
+    pub fn observed(&self) -> Vec<f64> {
+        self.values.iter().copied().filter(|v| !v.is_nan()).collect()
+    }
+
+    /// Number of missing (`NaN`) observations.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// Fraction of observations that are missing, in `[0, 1]`.
+    pub fn missing_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.missing_count() as f64 / self.values.len() as f64
+        }
+    }
+
+    /// Median timestamp step in seconds — the sampling rate of Table 1.
+    /// Returns 0 for series with fewer than two points.
+    pub fn sampling_step_secs(&self) -> i64 {
+        if self.timestamps.len() < 2 {
+            return 0;
+        }
+        let mut steps: Vec<i64> = self.timestamps.windows(2).map(|w| w[1] - w[0]).collect();
+        steps.sort_unstable();
+        steps[steps.len() / 2]
+    }
+
+    /// Returns the sub-series of positions `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > len`.
+    pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
+        TimeSeries {
+            timestamps: self.timestamps[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// Time-ordered split: the first `1 - valid_fraction` of observations
+    /// become the training split and the remainder the validation split.
+    ///
+    /// `valid_fraction` is clamped so both splits contain at least one point
+    /// (for series of length ≥ 2).
+    pub fn train_valid_split(&self, valid_fraction: f64) -> (TimeSeries, TimeSeries) {
+        let n = self.len();
+        if n < 2 {
+            return (self.clone(), TimeSeries::with_regular_index(0, 1, vec![]));
+        }
+        let frac = valid_fraction.clamp(0.0, 1.0);
+        let cut = ((n as f64) * (1.0 - frac)).round() as usize;
+        let cut = cut.clamp(1, n - 1);
+        (self.slice(0, cut), self.slice(cut, n))
+    }
+
+    /// Splits the series into `n_clients` contiguous time-ordered chunks —
+    /// the federated "time-series split" of §4.1.1 / §5.1. Earlier chunks get
+    /// the remainder observations so sizes differ by at most one.
+    pub fn split_clients(&self, n_clients: usize) -> Vec<TimeSeries> {
+        assert!(n_clients > 0, "need at least one client");
+        let n = self.len();
+        let base = n / n_clients;
+        let rem = n % n_clients;
+        let mut out = Vec::with_capacity(n_clients);
+        let mut start = 0;
+        for c in 0..n_clients {
+            let sz = base + usize::from(c < rem);
+            out.push(self.slice(start, start + sz));
+            start += sz;
+        }
+        out
+    }
+
+    /// First-order difference of the observed values (`NaN`s propagate).
+    pub fn diff(&self) -> Vec<f64> {
+        self.values.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::with_regular_index(0, 3600, values)
+    }
+
+    #[test]
+    fn new_validates_inputs() {
+        assert_eq!(
+            TimeSeries::new(vec![0, 1], vec![1.0]).unwrap_err(),
+            TsError::LengthMismatch
+        );
+        assert_eq!(
+            TimeSeries::new(vec![1, 1], vec![1.0, 2.0]).unwrap_err(),
+            TsError::UnsortedTimestamps
+        );
+        assert_eq!(
+            TimeSeries::new(vec![2, 1], vec![1.0, 2.0]).unwrap_err(),
+            TsError::UnsortedTimestamps
+        );
+    }
+
+    #[test]
+    fn missing_accounting() {
+        let s = ts(vec![1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(s.missing_count(), 2);
+        assert!((s.missing_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.observed(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn sampling_step_is_median() {
+        let s = TimeSeries::new(vec![0, 10, 20, 35, 45], vec![0.0; 5]).unwrap();
+        assert_eq!(s.sampling_step_secs(), 10);
+        assert_eq!(ts(vec![]).sampling_step_secs(), 0);
+    }
+
+    #[test]
+    fn train_valid_split_is_time_ordered() {
+        let s = ts((0..10).map(|i| i as f64).collect());
+        let (tr, va) = s.train_valid_split(0.3);
+        assert_eq!(tr.len(), 7);
+        assert_eq!(va.len(), 3);
+        assert_eq!(tr.values()[6], 6.0);
+        assert_eq!(va.values()[0], 7.0);
+        assert!(tr.timestamps().last().unwrap() < va.timestamps().first().unwrap());
+    }
+
+    #[test]
+    fn split_never_produces_empty_side() {
+        let s = ts(vec![1.0, 2.0]);
+        let (tr, va) = s.train_valid_split(0.99);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(va.len(), 1);
+        let (tr, va) = s.train_valid_split(0.0);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(va.len(), 1);
+    }
+
+    #[test]
+    fn split_clients_contiguous_and_complete() {
+        let s = ts((0..11).map(|i| i as f64).collect());
+        let parts = s.split_clients(3);
+        assert_eq!(parts.len(), 3);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 3]);
+        let rejoined: Vec<f64> = parts.iter().flat_map(|p| p.values().to_vec()).collect();
+        assert_eq!(rejoined, s.values());
+    }
+
+    #[test]
+    fn diff_basic() {
+        let s = ts(vec![1.0, 4.0, 9.0]);
+        assert_eq!(s.diff(), vec![3.0, 5.0]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Simplified Prophet-style trend models (§4.2.1(1)).
+//!
+//! The paper fits a Prophet model to estimate the trend component, choosing
+//! between flat (stationary series), linear-with-changepoints, and logistic
+//! growth. We reproduce exactly that role: a ridge-regularized
+//! piecewise-linear changepoint trend, a logistic growth curve fitted by
+//! damped Gauss–Newton, and an ADF-driven selector.
+
+use crate::stationarity;
+use ff_linalg::{solve, Matrix};
+
+/// Which growth family a fitted trend belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendKind {
+    /// No trend (stationary series): the fitted trend is the sample mean.
+    Flat,
+    /// Piecewise-linear trend with changepoints.
+    Linear,
+    /// Saturating logistic growth.
+    Logistic,
+}
+
+/// A fitted trend model that can be evaluated at any (fractional) index.
+#[derive(Debug, Clone)]
+pub struct TrendModel {
+    kind: TrendKind,
+    /// Flat: `[mean]`. Linear: `[intercept, slope, delta_1.., delta_m]`.
+    /// Logistic: `[capacity, rate, midpoint, floor]`.
+    params: Vec<f64>,
+    /// Changepoint locations (indices) for the linear family.
+    changepoints: Vec<f64>,
+    /// Training length (for extrapolation bookkeeping).
+    n: usize,
+}
+
+impl TrendModel {
+    /// Fits the trend family selected by the ADF test, mirroring §4.2.1(1):
+    /// stationary ⇒ flat; otherwise fit both linear-changepoint and logistic
+    /// trends and keep the one with the lower SSE.
+    pub fn fit_auto(y: &[f64]) -> TrendModel {
+        if y.len() < 12 || stationarity::is_stationary(y) {
+            return Self::fit_flat(y);
+        }
+        let linear = Self::fit_linear(y, default_changepoints(y.len()));
+        match Self::fit_logistic(y) {
+            Some(logistic) => {
+                if sse(&logistic, y) < sse(&linear, y) {
+                    logistic
+                } else {
+                    linear
+                }
+            }
+            None => linear,
+        }
+    }
+
+    /// Flat trend: the sample mean everywhere.
+    pub fn fit_flat(y: &[f64]) -> TrendModel {
+        let mean = ff_linalg::vector::mean(
+            &y.iter().copied().filter(|v| !v.is_nan()).collect::<Vec<_>>(),
+        );
+        TrendModel {
+            kind: TrendKind::Flat,
+            params: vec![mean],
+            changepoints: vec![],
+            n: y.len(),
+        }
+    }
+
+    /// Piecewise-linear trend with `n_changepoints` evenly spaced
+    /// changepoints over the first 80% of the series (Prophet's default
+    /// placement), fitted by ridge regression on the slope deltas.
+    pub fn fit_linear(y: &[f64], n_changepoints: usize) -> TrendModel {
+        let n = y.len();
+        if n < 3 {
+            return Self::fit_flat(y);
+        }
+        let cps: Vec<f64> = (1..=n_changepoints)
+            .map(|i| 0.8 * n as f64 * i as f64 / (n_changepoints + 1) as f64)
+            .collect();
+        let p = 2 + cps.len();
+        let x = Matrix::from_fn(n, p, |t, j| match j {
+            0 => 1.0,
+            1 => t as f64,
+            _ => (t as f64 - cps[j - 2]).max(0.0),
+        });
+        // Small ridge on everything; Prophet uses a Laplace prior on deltas —
+        // ridge is the L2 analogue and keeps the fit strictly convex.
+        let clean: Vec<f64> = y.iter().map(|&v| if v.is_nan() { 0.0 } else { v }).collect();
+        let params = solve::ridge(&x, &clean, 1e-3).unwrap_or_else(|_| vec![0.0; p]);
+        TrendModel {
+            kind: TrendKind::Linear,
+            params,
+            changepoints: cps,
+            n,
+        }
+    }
+
+    /// Logistic growth `g(t) = floor + C / (1 + exp(-k (t - m)))` fitted by
+    /// damped Gauss–Newton. Returns `None` when the fit fails to improve on
+    /// a trivial initialization (e.g. non-sigmoid data).
+    pub fn fit_logistic(y: &[f64]) -> Option<TrendModel> {
+        let n = y.len();
+        if n < 8 {
+            return None;
+        }
+        let clean: Vec<f64> = y.iter().copied().filter(|v| !v.is_nan()).collect();
+        if clean.is_empty() {
+            return None;
+        }
+        let lo = clean.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = clean.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let range = (hi - lo).max(1e-9);
+        // Initialization: capacity slightly above the observed range.
+        let mut params = [1.2 * range, 4.0 / n as f64, n as f64 / 2.0, lo - 0.1 * range];
+        let eval = |p: &[f64; 4], t: f64| p[3] + p[0] / (1.0 + (-p[1] * (t - p[2])).exp());
+        let sse_of = |p: &[f64; 4]| -> f64 {
+            y.iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_nan())
+                .map(|(t, &v)| {
+                    let e = v - eval(p, t as f64);
+                    e * e
+                })
+                .sum()
+        };
+        let mut best = sse_of(&params);
+        let mut damping = 1.0;
+        for _ in 0..50 {
+            // Gauss–Newton step on residuals r_t = y_t - g(t).
+            let mut jtj = Matrix::zeros(4, 4);
+            let mut jtr = vec![0.0; 4];
+            for (t, &v) in y.iter().enumerate() {
+                if v.is_nan() {
+                    continue;
+                }
+                let tf = t as f64;
+                let z = (-params[1] * (tf - params[2])).exp();
+                let denom = 1.0 + z;
+                let sig = 1.0 / denom;
+                let dsig = z / (denom * denom);
+                // ∂g/∂C, ∂g/∂k, ∂g/∂m, ∂g/∂floor
+                let grad = [
+                    sig,
+                    params[0] * dsig * (tf - params[2]),
+                    -params[0] * dsig * params[1],
+                    1.0,
+                ];
+                let r = v - eval(&params, tf);
+                for a in 0..4 {
+                    jtr[a] += grad[a] * r;
+                    for b in 0..4 {
+                        let cur = jtj.get(a, b);
+                        jtj.set(a, b, cur + grad[a] * grad[b]);
+                    }
+                }
+            }
+            jtj.add_diagonal(damping);
+            let f = match ff_linalg::cholesky::CholeskyFactor::new_with_jitter(&jtj, 1e-8, 8) {
+                Ok(f) => f,
+                Err(_) => break,
+            };
+            let step = match f.solve(&jtr) {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            let mut cand = params;
+            for (c, s) in cand.iter_mut().zip(&step) {
+                *c += s;
+            }
+            // Keep rate positive and capacity meaningful.
+            cand[0] = cand[0].max(1e-6);
+            cand[1] = cand[1].clamp(1e-9, 10.0);
+            let cand_sse = sse_of(&cand);
+            if cand_sse < best {
+                best = cand_sse;
+                params = cand;
+                damping = (damping * 0.5).max(1e-6);
+            } else {
+                damping *= 4.0;
+                if damping > 1e8 {
+                    break;
+                }
+            }
+        }
+        Some(TrendModel {
+            kind: TrendKind::Logistic,
+            params: params.to_vec(),
+            changepoints: vec![],
+            n,
+        })
+    }
+
+    /// Evaluates the trend at (possibly fractional or out-of-sample) index `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self.kind {
+            TrendKind::Flat => self.params[0],
+            TrendKind::Linear => {
+                let mut v = self.params[0] + self.params[1] * t;
+                for (cp, delta) in self.changepoints.iter().zip(&self.params[2..]) {
+                    v += delta * (t - cp).max(0.0);
+                }
+                v
+            }
+            TrendKind::Logistic => {
+                let [c, k, m, floor] = [
+                    self.params[0],
+                    self.params[1],
+                    self.params[2],
+                    self.params[3],
+                ];
+                floor + c / (1.0 + (-k * (t - m)).exp())
+            }
+        }
+    }
+
+    /// The trend values over the training index range.
+    pub fn in_sample(&self) -> Vec<f64> {
+        (0..self.n).map(|t| self.eval(t as f64)).collect()
+    }
+
+    /// The fitted family.
+    pub fn kind(&self) -> TrendKind {
+        self.kind
+    }
+}
+
+/// Prophet-like default: 1 changepoint per ~40 observations, capped at 25.
+pub fn default_changepoints(n: usize) -> usize {
+    (n / 40).clamp(1, 25)
+}
+
+fn sse(model: &TrendModel, y: &[f64]) -> f64 {
+    y.iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .map(|(t, &v)| {
+            let e = v - model.eval(t as f64);
+            e * e
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_trend_is_mean() {
+        let y = [2.0, 4.0, 6.0];
+        let m = TrendModel::fit_flat(&y);
+        assert_eq!(m.kind(), TrendKind::Flat);
+        assert!((m.eval(0.0) - 4.0).abs() < 1e-12);
+        assert!((m.eval(100.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_trend_recovers_slope() {
+        let y: Vec<f64> = (0..200).map(|t| 5.0 + 0.3 * t as f64).collect();
+        let m = TrendModel::fit_linear(&y, 3);
+        let fitted = m.in_sample();
+        for (f, t) in fitted.iter().zip(&y) {
+            assert!((f - t).abs() < 0.5, "fit {f} vs true {t}");
+        }
+    }
+
+    #[test]
+    fn changepoint_trend_tracks_slope_break() {
+        // Slope 1 for the first half, slope -1 after.
+        let y: Vec<f64> = (0..200)
+            .map(|t| if t < 100 { t as f64 } else { 200.0 - t as f64 })
+            .collect();
+        let m = TrendModel::fit_linear(&y, 10);
+        let err: f64 = m
+            .in_sample()
+            .iter()
+            .zip(&y)
+            .map(|(f, t)| (f - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!(err < 5.0, "mean abs err {err}");
+    }
+
+    #[test]
+    fn logistic_fit_recovers_sigmoid() {
+        let y: Vec<f64> = (0..200)
+            .map(|t| 10.0 / (1.0 + (-0.08 * (t as f64 - 100.0)).exp()))
+            .collect();
+        let m = TrendModel::fit_logistic(&y).unwrap();
+        let err: f64 = m
+            .in_sample()
+            .iter()
+            .zip(&y)
+            .map(|(f, t)| (f - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!(err < 0.5, "mean abs err {err}");
+    }
+
+    #[test]
+    fn auto_picks_flat_for_stationary_noise() {
+        let mut state = 21u64;
+        let y: Vec<f64> = (0..300)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+            })
+            .collect();
+        let m = TrendModel::fit_auto(&y);
+        assert_eq!(m.kind(), TrendKind::Flat);
+    }
+
+    #[test]
+    fn auto_picks_growth_family_for_trending_series() {
+        let y: Vec<f64> = (0..300).map(|t| 0.5 * t as f64).collect();
+        let m = TrendModel::fit_auto(&y);
+        assert_ne!(m.kind(), TrendKind::Flat);
+        // Extrapolation should continue upward.
+        assert!(m.eval(350.0) > m.eval(250.0));
+    }
+
+    #[test]
+    fn logistic_saturates_for_sigmoid_data() {
+        let y: Vec<f64> = (0..300)
+            .map(|t| 5.0 / (1.0 + (-0.05 * (t as f64 - 150.0)).exp()))
+            .collect();
+        let m = TrendModel::fit_auto(&y);
+        // Whatever family wins, far-future extrapolation must not explode.
+        let far = m.eval(3000.0);
+        assert!(far.abs() < 1e4, "extrapolation exploded: {far}");
+    }
+
+    #[test]
+    fn default_changepoints_bounds() {
+        assert_eq!(default_changepoints(10), 1);
+        assert_eq!(default_changepoints(400), 10);
+        assert_eq!(default_changepoints(100_000), 25);
+    }
+}

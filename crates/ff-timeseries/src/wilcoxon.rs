@@ -1,0 +1,200 @@
+//! Wilcoxon signed-rank test (§5.2 statistical validation).
+//!
+//! Compares paired samples: exact null distribution for n ≤ 25 pairs, the
+//! normal approximation with tie correction beyond.
+
+use ff_linalg::special::normal_cdf;
+
+/// Result of a two-sided Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy)]
+pub struct WilcoxonResult {
+    /// The test statistic `W` (sum of ranks of positive differences,
+    /// reported as the *smaller* of W+ and W− to match scipy).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Number of non-zero differences actually used.
+    pub n_used: usize,
+}
+
+/// Two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// Zero differences are dropped (the standard "wilcox" zero handling).
+/// Returns `None` when fewer than 3 non-zero pairs remain.
+///
+/// # Examples
+///
+/// ```
+/// use ff_timeseries::wilcoxon::wilcoxon_signed_rank;
+///
+/// // Method A is consistently better (lower) than method B.
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+/// let b = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+/// let r = wilcoxon_signed_rank(&a, &b).unwrap();
+/// assert!((r.p_value - 0.03125).abs() < 1e-9); // exact small-sample p
+/// ```
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Option<WilcoxonResult> {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| x - y)
+        .filter(|d| *d != 0.0 && !d.is_nan())
+        .collect();
+    let n = diffs.len();
+    if n < 3 {
+        return None;
+    }
+    // Rank |d| with average ranks for ties.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| diffs[i].abs().total_cmp(&diffs[j].abs()));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[idx[j + 1]].abs() == diffs[idx[i]].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let total = n as f64 * (n + 1) as f64 / 2.0;
+    let w_minus = total - w_plus;
+    let w = w_plus.min(w_minus);
+
+    let has_ties = {
+        let mut sorted: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+        sorted.sort_by(|x, y| x.total_cmp(y));
+        sorted.windows(2).any(|p| p[0] == p[1])
+    };
+
+    let p_value = if n <= 25 && !has_ties {
+        exact_p_value(w, n)
+    } else {
+        normal_approx_p_value(w, n, &ranks, &diffs)
+    };
+    Some(WilcoxonResult {
+        statistic: w,
+        p_value: p_value.clamp(0.0, 1.0),
+        n_used: n,
+    })
+}
+
+/// Exact two-sided p-value by enumerating the null distribution of W with
+/// dynamic programming over rank subsets. O(n² (n+1)/2) time and memory —
+/// trivial for n ≤ 25.
+fn exact_p_value(w: f64, n: usize) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    // counts[s] = number of sign assignments with W+ == s.
+    let mut counts = vec![0.0f64; max_sum + 1];
+    counts[0] = 1.0;
+    for rank in 1..=n {
+        for s in (rank..=max_sum).rev() {
+            counts[s] += counts[s - rank];
+        }
+    }
+    let total: f64 = counts.iter().sum(); // = 2^n
+    let w_floor = w.floor() as usize;
+    // P(W+ <= w) for the lower tail.
+    let lower: f64 = counts[..=w_floor.min(max_sum)].iter().sum::<f64>() / total;
+    (2.0 * lower).min(1.0)
+}
+
+/// Normal approximation with tie correction and continuity correction.
+fn normal_approx_p_value(w: f64, n: usize, ranks: &[f64], diffs: &[f64]) -> f64 {
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    // Tie correction: subtract Σ(t³ − t)/48 from the variance.
+    let mut tie_term = 0.0;
+    let mut sorted: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    sorted.sort_by(|x, y| x.total_cmp(y));
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    if var <= 0.0 {
+        return 1.0;
+    }
+    let _ = ranks;
+    let z = (w - mean + 0.5) / var.sqrt(); // continuity correction toward the mean
+    2.0 * normal_cdf(z.min(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_give_none() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(wilcoxon_signed_rank(&a, &a).is_none());
+    }
+
+    #[test]
+    fn clearly_shifted_samples_are_significant() {
+        let a: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..12).map(|i| i as f64 + 3.0 + 0.1 * i as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value < 0.01, "p={}", r.p_value);
+        assert_eq!(r.n_used, 12);
+        assert_eq!(r.statistic, 0.0); // all differences negative
+    }
+
+    #[test]
+    fn symmetric_differences_are_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0, 8.0, 7.0];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn exact_matches_known_scipy_value() {
+        // scipy.stats.wilcoxon([1,2,3,4,5,6], [2,4,6,8,10,12]) → W=0, p=0.03125.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 0.03125).abs() < 1e-9, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn large_sample_uses_normal_approximation() {
+        let a: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| i as f64 + 1.0 + (i % 3) as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value < 1e-5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let b = [1.0, 2.0, 3.0, 8.0, 9.0, 10.0, 11.0];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert_eq!(r.n_used, 4);
+    }
+
+    #[test]
+    fn p_value_is_probability() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let b = [2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0, 8.0];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+}

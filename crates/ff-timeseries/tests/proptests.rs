@@ -1,0 +1,135 @@
+//! Property-based tests for the time-series substrate.
+
+use ff_timeseries::{acf, interpolate, series::TimeSeries, stats, stationarity};
+use proptest::prelude::*;
+
+fn finite_values(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, len)
+}
+
+proptest! {
+    #[test]
+    fn acf_is_bounded_and_starts_at_one(x in finite_values(64)) {
+        let r = acf::acf(&x, 16);
+        prop_assert_eq!(r[0], 1.0);
+        for &v in &r {
+            prop_assert!(v.abs() <= 1.0 + 1e-6, "acf out of bounds: {}", v);
+        }
+    }
+
+    #[test]
+    fn pacf_is_finite(x in finite_values(64)) {
+        for v in acf::pacf(&x, 16) {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn interpolation_removes_all_nans_and_preserves_observed(
+        x in finite_values(32),
+        mask in prop::collection::vec(any::<bool>(), 32),
+    ) {
+        // Keep at least one observed point.
+        let mut values = x.clone();
+        for (v, &m) in values.iter_mut().zip(&mask) {
+            if m {
+                *v = f64::NAN;
+            }
+        }
+        values[0] = x[0];
+        let mut s = TimeSeries::with_regular_index(0, 60, values);
+        interpolate::interpolate_linear(&mut s);
+        prop_assert_eq!(s.missing_count(), 0);
+        // Observed points are untouched.
+        for (i, (&orig, &m)) in x.iter().zip(&mask).enumerate() {
+            if i == 0 || !m {
+                prop_assert!((s.values()[i] - orig).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolated_values_stay_within_neighbour_range(x in finite_values(16)) {
+        let mut values = x.clone();
+        // Knock out the middle third.
+        for v in values.iter_mut().take(10).skip(5) {
+            *v = f64::NAN;
+        }
+        let lo = x[4].min(x[10]);
+        let hi = x[4].max(x[10]);
+        let mut s = TimeSeries::with_regular_index(0, 60, values);
+        interpolate::interpolate_linear(&mut s);
+        for i in 5..10 {
+            prop_assert!(s.values()[i] >= lo - 1e-9 && s.values()[i] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn client_split_partitions_series(x in finite_values(57), k in 1usize..8) {
+        let s = TimeSeries::with_regular_index(0, 60, x.clone());
+        let parts = s.split_clients(k);
+        prop_assert_eq!(parts.len(), k);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, 57);
+        let rejoined: Vec<f64> = parts.iter().flat_map(|p| p.values().to_vec()).collect();
+        prop_assert_eq!(rejoined, x);
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn train_valid_split_partitions(x in finite_values(30), frac in 0.0f64..1.0) {
+        let s = TimeSeries::with_regular_index(0, 60, x.clone());
+        let (tr, va) = s.train_valid_split(frac);
+        prop_assert_eq!(tr.len() + va.len(), 30);
+        prop_assert!(!tr.is_empty() && !va.is_empty());
+    }
+
+    #[test]
+    fn differencing_reduces_length_correctly(x in finite_values(20), order in 0usize..4) {
+        let d = stationarity::difference(&x, order);
+        prop_assert_eq!(d.len(), 20 - order);
+    }
+
+    #[test]
+    fn entropy_is_nonnegative_and_kl_nonnegative(
+        p in prop::collection::vec(0.01f64..1.0, 8),
+        q in prop::collection::vec(0.01f64..1.0, 8),
+    ) {
+        let norm = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum();
+            v.iter().map(|x| x / s).collect()
+        };
+        let p = norm(&p);
+        let q = norm(&q);
+        prop_assert!(stats::entropy(&p) >= 0.0);
+        prop_assert!(stats::kl_divergence(&p, &q, 1e-12) >= -1e-9);
+        prop_assert!(stats::kl_divergence(&p, &p, 1e-12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_bounds(x in finite_values(25)) {
+        let s = stats::summary(&x);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    #[test]
+    fn skewness_sign_flips_under_negation(x in finite_values(25)) {
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        let s1 = stats::skewness(&x);
+        let s2 = stats::skewness(&neg);
+        prop_assert!((s1 + s2).abs() < 1e-6_f64.max(1e-9 * s1.abs()));
+    }
+
+    #[test]
+    fn kurtosis_is_translation_and_scale_invariant(x in finite_values(25), a in 0.5f64..5.0, b in -10.0f64..10.0) {
+        let k1 = stats::kurtosis(&x);
+        let tx: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        let k2 = stats::kurtosis(&tx);
+        prop_assert!((k1 - k2).abs() < 1e-6 * (1.0 + k1.abs()), "{k1} vs {k2}");
+    }
+}

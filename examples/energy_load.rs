@@ -1,0 +1,96 @@
+//! Scenario: short-term residential load forecasting at the edge — the
+//! motivating IoT deployment of the paper's introduction (smart meters
+//! generating hourly consumption data that must stay on-device).
+//!
+//! Each of the 8 "households" has its own consumption profile (different
+//! base load, daily/weekly seasonality amplitudes, and noise) — a genuinely
+//! non-IID federation — and we compare FedForecaster against federated
+//! N-BEATS under the same budget.
+//!
+//! ```text
+//! cargo run --release --example energy_load
+//! ```
+
+use fedforecaster::prelude::*;
+use fedforecaster::FedForecaster;
+use ff_metalearn::kb::KnowledgeBase;
+use ff_metalearn::metamodel::{MetaClassifierKind, MetaModel};
+use ff_metalearn::synth::synthetic_kb;
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+use ff_timeseries::TimeSeries;
+
+/// One household's hourly load: base + daily cycle + weekly cycle + noise.
+fn household(seed: u64, base: f64, daily_amp: f64, weekly_amp: f64) -> TimeSeries {
+    generate(
+        &SynthesisSpec {
+            n: 24 * 90, // 90 days of hourly readings
+            step_secs: 3600,
+            trend: TrendSpec::None,
+            seasons: vec![
+                SeasonSpec { period: 24.0, amplitude: daily_amp },
+                SeasonSpec { period: 168.0, amplitude: weekly_amp },
+            ],
+            snr: Some(8.0),
+            missing_fraction: 0.01, // meter dropouts
+            level: base,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+fn main() {
+    // Non-IID federation: 8 households with different profiles.
+    let clients: Vec<TimeSeries> = (0..8)
+        .map(|i| {
+            household(
+                100 + i,
+                1.0 + 0.4 * i as f64,        // base load kW
+                0.5 + 0.15 * (i % 4) as f64, // daily amplitude
+                0.2 + 0.05 * (i % 3) as f64, // weekly amplitude
+            )
+        })
+        .collect();
+    println!(
+        "federation: {} households × {} hourly readings (non-IID)",
+        clients.len(),
+        clients[0].len()
+    );
+
+    println!("training meta-model…");
+    let kb = KnowledgeBase::build(&synthetic_kb(48), &[5, 10], 60);
+    let meta =
+        MetaModel::train(&kb, MetaClassifierKind::RandomForest, 1).expect("meta-model");
+
+    let budget = Budget::Iterations(12);
+    let cfg = EngineConfig { budget, ..Default::default() };
+
+    let ff = FedForecaster::new(cfg.clone(), &meta)
+        .run(&clients)
+        .expect("engine");
+    let nb = run_federated_nbeats(&clients, budget, 40, false, 0).expect("nbeats");
+
+    println!("\n{:<28} {:>12} {:>10}", "method", "test MSE", "time");
+    println!(
+        "{:<28} {:>12.5} {:>9.1?}",
+        format!("FedForecaster ({})", ff.best_algorithm.name()),
+        ff.test_mse,
+        ff.elapsed
+    );
+    println!(
+        "{:<28} {:>12.5} {:>9.1?}",
+        "Federated N-BEATS",
+        nb.test_mse,
+        nb.elapsed
+    );
+    println!(
+        "\nrecommended algorithms were {:?}; the winner generalizes across all\n\
+         households through {} aggregation.",
+        ff.recommended.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        if ff.best_algorithm.is_linear() {
+            "coefficient (FedAvg)"
+        } else {
+            "serialized ensemble-union"
+        }
+    );
+}

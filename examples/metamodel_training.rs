@@ -1,0 +1,60 @@
+//! Scenario: the offline phase end-to-end (Figure 2, left) — build a
+//! knowledge base from synthetic + real-like datasets, compare the Table 4
+//! classifier zoo, train the winning meta-model, and query it for an
+//! unseen federation.
+//!
+//! ```text
+//! cargo run --release --example metamodel_training
+//! ```
+
+use ff_metalearn::aggregate::GlobalMetaFeatures;
+use ff_metalearn::features::ClientMetaFeatures;
+use ff_metalearn::kb::KnowledgeBase;
+use ff_metalearn::metamodel::{evaluate_zoo, MetaClassifierKind, MetaModel};
+use ff_metalearn::synth::{reallike_kb, synthetic_kb};
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec};
+
+fn main() {
+    // 1. Knowledge base: synthetic factor grid + 30 real-like datasets,
+    //    each labelled by federated grid search (§4.1.1).
+    println!("building knowledge base…");
+    let mut datasets = synthetic_kb(64);
+    datasets.extend(reallike_kb());
+    let kb = KnowledgeBase::build(&datasets, &[5, 10, 15, 20], 60);
+    println!("  {} records, {} features each", kb.len(), kb.records[0].features.len());
+
+    // 2. Classifier zoo comparison (Table 4).
+    println!("\nclassifier zoo (80/20 split):");
+    println!("  {:<22} {:>6} {:>6}", "model", "MRR@3", "F1");
+    let mut results = evaluate_zoo(&kb, 0).expect("zoo");
+    results.sort_by(|a, b| b.mrr3.total_cmp(&a.mrr3));
+    for r in &results {
+        println!("  {:<22} {:>6.3} {:>6.2}", r.kind.name(), r.mrr3, r.f1);
+    }
+
+    // 3. Train the production meta-model on the full KB.
+    let meta = MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).expect("train");
+
+    // 4. Query it for an unseen federation (the online phase, lines 3–10
+    //    of Algorithm 1, without running the optimizer).
+    let series = generate(
+        &SynthesisSpec {
+            n: 2500,
+            seasons: vec![SeasonSpec { period: 24.0, amplitude: 5.0 }],
+            snr: Some(10.0),
+            ..Default::default()
+        },
+        99,
+    );
+    let clients = series.split_clients(10);
+    let metas: Vec<ClientMetaFeatures> = clients
+        .iter()
+        .map(|c| ClientMetaFeatures::extract(&c.train_valid_split(0.2).0))
+        .collect();
+    let global = GlobalMetaFeatures::aggregate(&metas);
+    let recommendation = meta.recommend(global.values(), 3).expect("recommend");
+    println!(
+        "\nrecommended search space for the unseen 10-client federation: {:?}",
+        recommendation.iter().map(|a| a.name()).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run the full FedForecaster pipeline on a small simulated
+//! federation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Steps shown:
+//! 1. Build a (small) knowledge base offline and train the meta-model.
+//! 2. Simulate a federation: one seasonal series split across 5 clients.
+//! 3. Run Algorithm 1 and inspect the result.
+
+use fedforecaster::prelude::*;
+use fedforecaster::FedForecaster;
+use ff_metalearn::kb::KnowledgeBase;
+use ff_metalearn::metamodel::{MetaClassifierKind, MetaModel};
+use ff_metalearn::synth::synthetic_kb;
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+
+fn main() {
+    // ── Offline phase (done once, §4.1.1) ────────────────────────────────
+    println!("building knowledge base (32 synthetic datasets)…");
+    let kb = KnowledgeBase::build(&synthetic_kb(32), &[5, 10], 60);
+    println!("  {} labelled records", kb.len());
+    let meta = MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0)
+        .expect("meta-model training");
+
+    // ── A federation of 5 clients (private splits of one daily series) ──
+    let series = generate(
+        &SynthesisSpec {
+            n: 3000,
+            trend: TrendSpec::Linear(0.01),
+            seasons: vec![SeasonSpec { period: 7.0, amplitude: 3.0 }],
+            snr: Some(15.0),
+            missing_fraction: 0.02,
+            ..Default::default()
+        },
+        42,
+    );
+    let clients = series.split_clients(5);
+    println!(
+        "federation: {} clients × ~{} observations",
+        clients.len(),
+        clients[0].len()
+    );
+
+    // ── Online phase (Algorithm 1) ───────────────────────────────────────
+    let cfg = EngineConfig {
+        budget: Budget::Iterations(12),
+        ..Default::default()
+    };
+    let result = FedForecaster::new(cfg, &meta)
+        .run(&clients)
+        .expect("engine run");
+
+    println!("\nmeta-model recommended: {:?}",
+        result.recommended.iter().map(|a| a.name()).collect::<Vec<_>>());
+    println!("best algorithm:   {}", result.best_algorithm.name());
+    println!("validation loss:  {:.5}", result.best_valid_loss);
+    println!("test MSE:         {:.5}", result.test_mse);
+    println!("evaluations:      {}", result.evaluations);
+    println!(
+        "communication:    {:.1} KiB down / {:.1} KiB up",
+        result.bytes_to_clients as f64 / 1024.0,
+        result.bytes_to_server as f64 / 1024.0
+    );
+    println!("elapsed:          {:.2?}", result.elapsed);
+}

@@ -1,0 +1,50 @@
+//! Scenario: the ETF federations of Table 3 — each client is one stock of
+//! a sector ETF over a shared time window. Unlike the time-split datasets,
+//! consolidating these into one series would be misleading (the paper
+//! leaves the "N-Beats Cons." cell blank for exactly this reason).
+//!
+//! ```text
+//! cargo run --release --example stock_etf
+//! ```
+
+use fedforecaster::prelude::*;
+use fedforecaster::FedForecaster;
+use ff_bench::build_metamodel;
+
+fn main() {
+    let (kb, meta) = build_metamodel(32);
+    println!("meta-model trained on {} KB records\n", kb.len());
+
+    let budget = Budget::Iterations(10);
+    for name in [
+        "Energy Select Sector ETF",
+        "The Technology Sector ETF",
+        "Utilities Select Sector ETF",
+    ] {
+        let ds = ff_datasets::benchmark_datasets()
+            .into_iter()
+            .find(|d| d.name == name)
+            .expect("registered dataset");
+        let clients = ds.generate_federation(7, 0.3);
+        let cfg = EngineConfig { budget, ..Default::default() };
+
+        let ff = FedForecaster::new(cfg.clone(), &meta)
+            .run(&clients)
+            .expect("engine");
+        let rs = RandomSearch::new(cfg).run(&clients).expect("random search");
+        let nb = run_federated_nbeats(&clients, budget, 40, false, 7).expect("nbeats");
+
+        println!("{name}: {} stocks × {} days", ds.clients, clients[0].len());
+        println!(
+            "  FedForecaster {:>10.4} ({})   RandomSearch {:>10.4}   N-Beats {:>10.4}",
+            ff.test_mse,
+            ff.best_algorithm.name(),
+            rs.test_mse,
+            nb.test_mse
+        );
+        println!(
+            "  note: N-Beats Cons. is undefined here — concatenating different\n\
+             stocks into one sequence fabricates price jumps at the seams.\n"
+        );
+    }
+}

@@ -1,0 +1,1 @@
+//! Umbrella crate: examples and integration tests live at the workspace root.

@@ -1,0 +1,128 @@
+//! Integration tests across substrate crates: meta-learning consistency,
+//! dataset simulators feeding the engine, and FedAvg model exchange.
+
+use ff_metalearn::aggregate::GlobalMetaFeatures;
+use ff_metalearn::features::ClientMetaFeatures;
+use ff_metalearn::kb::{label_federation, KnowledgeBase};
+use ff_metalearn::metamodel::{evaluate_zoo, MetaClassifierKind, MetaModel};
+use ff_metalearn::synth::{reallike_kb, synthetic_kb};
+use ff_models::zoo::AlgorithmKind;
+use ff_neural::nbeats::{NBeats, NBeatsConfig};
+use ff_neural::Parameterized;
+
+
+#[test]
+fn kb_labels_pick_trees_on_nonlinear_dynamics() {
+    // A SETAR (threshold-autoregressive) process: the map y_t = f(y_{t-1})
+    // switches regimes at zero, which no linear lag model can represent.
+    // The grid-search labeller must therefore choose the tree ensemble.
+    let mut state = 9u64;
+    let mut rnd = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+    };
+    let mut y = vec![0.5f64];
+    for _ in 0..900 {
+        let prev: f64 = *y.last().unwrap();
+        let next = if prev > 0.0 {
+            -0.8 * prev + 0.3 * rnd()
+        } else {
+            0.9 * prev + 1.0 + 0.3 * rnd()
+        };
+        y.push(next);
+    }
+    let series = ff_timeseries::TimeSeries::with_regular_index(0, 3600, y);
+    let clients = series.split_clients(3);
+    let (_, algo, loss) = label_federation(&clients).unwrap();
+    assert!(loss.is_finite());
+    assert_eq!(algo, AlgorithmKind::XgbRegressor, "nonlinear data labelled {algo:?}");
+}
+
+#[test]
+fn metamodel_pipeline_from_kb_to_recommendation() {
+    let mut datasets = synthetic_kb(24);
+    datasets.extend(reallike_kb().into_iter().take(6));
+    let kb = KnowledgeBase::build(&datasets, &[3, 5], 60);
+    assert!(kb.len() >= 24, "kb size {}", kb.len());
+
+    // Every record's feature vector has the documented dimension.
+    for r in &kb.records {
+        assert_eq!(r.features.len(), GlobalMetaFeatures::dim());
+    }
+
+    let meta = MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).unwrap();
+    // Recommend for one of the KB's own federations: top-K must include
+    // plausible algorithms and be deduplicated.
+    let rec = meta.recommend(&kb.records[0].features, 3).unwrap();
+    assert_eq!(rec.len(), 3);
+    let mut dedup = rec.clone();
+    dedup.dedup();
+    assert_eq!(dedup.len(), 3, "duplicate recommendations");
+}
+
+#[test]
+fn zoo_comparison_runs_on_real_kb() {
+    let kb = KnowledgeBase::build(&synthetic_kb(32), &[5], 60);
+    let results = evaluate_zoo(&kb, 1).unwrap();
+    assert_eq!(results.len(), 8);
+    // All classifier families better than random guessing on MRR@3 would
+    // be ideal but not guaranteed at this KB size; require validity only.
+    for r in results {
+        assert!((0.0..=1.0).contains(&r.mrr3));
+        assert!((0.0..=1.0).contains(&r.f1));
+    }
+}
+
+#[test]
+fn benchmark_datasets_feed_meta_extraction() {
+    for ds in ff_datasets::benchmark_datasets() {
+        let clients = ds.generate_federation(0, 0.05);
+        let metas: Vec<ClientMetaFeatures> = clients
+            .iter()
+            .map(ClientMetaFeatures::extract)
+            .collect();
+        let global = GlobalMetaFeatures::aggregate(&metas);
+        assert_eq!(global.values().len(), GlobalMetaFeatures::dim());
+        assert!(
+            global.values().iter().all(|v| v.is_finite()),
+            "{} produced non-finite global meta-features",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn nbeats_weights_roundtrip_through_fedavg() {
+    // Two N-BEATS nets with identical architecture: averaging their flat
+    // weights must produce a net whose output is *not* generally the average
+    // of outputs (nonlinear), but the mechanics must be shape-safe and
+    // deterministic.
+    let mut a = NBeats::new(NBeatsConfig::small(8, 1));
+    let mut b = NBeats::new(NBeatsConfig::small(8, 2));
+    let pa = a.params_flat();
+    let pb = b.params_flat();
+    assert_eq!(pa.len(), pb.len());
+    let avg = ff_fl::strategy::fedavg(&[(pa.clone(), 3), (pb.clone(), 1)]).unwrap();
+    assert_eq!(avg.len(), pa.len());
+    for ((&x, &y), &z) in pa.iter().zip(&pb).zip(&avg) {
+        let lo = x.min(y) - 1e-12;
+        let hi = x.max(y) + 1e-12;
+        assert!(z >= lo && z <= hi);
+    }
+    let mut c = NBeats::new(NBeatsConfig::small(8, 3));
+    c.set_params_flat(&avg);
+    assert_eq!(c.params_flat(), avg);
+}
+
+#[test]
+fn wilcoxon_on_real_comparison_vectors() {
+    // Reproduce the §5.2 statistical machinery on synthetic results where
+    // method A dominates: p must fall below 0.05 with 12 paired datasets.
+    let a: Vec<f64> = (0..12).map(|i| 1.0 + 0.01 * i as f64).collect();
+    let b: Vec<f64> = a.iter().map(|v| v * 1.5).collect();
+    let r = ff_timeseries::wilcoxon::wilcoxon_signed_rank(&a, &b).unwrap();
+    assert!(r.p_value < 0.05, "p = {}", r.p_value);
+    assert_eq!(r.n_used, 12);
+}
