@@ -207,7 +207,10 @@ mod tests {
         let s = generate(
             &SynthesisSpec {
                 n: 1600,
-                seasons: vec![SeasonSpec { period: 12.0, amplitude: 3.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 12.0,
+                    amplitude: 3.0,
+                }],
                 snr: Some(20.0),
                 ..Default::default()
             },
@@ -224,7 +227,10 @@ mod tests {
                 let a = generate(
                     &SynthesisSpec {
                         n: 400,
-                        seasons: vec![SeasonSpec { period: 12.0, amplitude: 2.0 }],
+                        seasons: vec![SeasonSpec {
+                            period: 12.0,
+                            amplitude: 2.0,
+                        }],
                         snr: Some(30.0),
                         level: 10.0,
                         ..Default::default()
@@ -234,7 +240,10 @@ mod tests {
                 let b = generate(
                     &SynthesisSpec {
                         n: 400,
-                        seasons: vec![SeasonSpec { period: 5.0, amplitude: 9.0 }],
+                        seasons: vec![SeasonSpec {
+                            period: 5.0,
+                            amplitude: 9.0,
+                        }],
                         snr: Some(5.0),
                         level: 60.0,
                         ..Default::default()

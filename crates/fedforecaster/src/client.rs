@@ -48,8 +48,7 @@ impl FedForecasterClient {
     /// and test fractions (time-ordered).
     pub fn new(series: &TimeSeries, valid_fraction: f64, test_fraction: f64) -> Self {
         let n = series.len();
-        let test_start =
-            ((n as f64) * (1.0 - test_fraction)).round() as usize;
+        let test_start = ((n as f64) * (1.0 - test_fraction)).round() as usize;
         let test_start = test_start.clamp(2, n.saturating_sub(1).max(2));
         let train_end = ((n as f64) * (1.0 - test_fraction - valid_fraction)).round() as usize;
         let train_end = train_end.clamp(1, test_start - 1);
@@ -130,7 +129,10 @@ impl FedForecasterClient {
         let mut rf = RandomForestRegressor::new(20, 6, 7);
         rf.feature_subsample = 1.0;
         let importances = match rf.fit(&data.x_train, &data.y_train) {
-            Ok(()) => rf.feature_importances().map(|v| v.to_vec()).unwrap_or_default(),
+            Ok(()) => rf
+                .feature_importances()
+                .map(|v| v.to_vec())
+                .unwrap_or_default(),
             Err(_) => vec![1.0 / data.x_train.cols() as f64; data.x_train.cols()],
         };
         let n_rows = data.y_train.len() as u64;
@@ -224,9 +226,7 @@ impl FedForecasterClient {
                     return Self::err_fit(&format!("final fit failed: {e}"));
                 }
                 let blob = match xgb.to_bytes() {
-                    Ok(model_bytes) => {
-                        Some(encode_tree_blob(&scaler, &yscaler, &model_bytes))
-                    }
+                    Ok(model_bytes) => Some(encode_tree_blob(&scaler, &yscaler, &model_bytes)),
                     Err(_) => None,
                 };
                 (Box::new(xgb), blob)
@@ -366,8 +366,7 @@ impl FedForecasterClient {
     }
 
     fn op_test_global_linear(&self, params: &[f64]) -> EvalOutput {
-        let (Some(data), Some((scaler, yscaler))) = (&self.engineered, &self.final_scalers)
-        else {
+        let (Some(data), Some((scaler, yscaler))) = (&self.engineered, &self.final_scalers) else {
             return EvalOutput {
                 loss: f64::INFINITY,
                 num_examples: 0,
@@ -385,9 +384,7 @@ impl FedForecasterClient {
         let (coef, intercept) = (&params[..p], params[p]);
         let xs_test = scaler.transform(&data.x_test);
         let pred: Vec<f64> = (0..xs_test.rows())
-            .map(|i| {
-                yscaler.unscale(ff_linalg::vector::dot(xs_test.row(i), coef) + intercept)
-            })
+            .map(|i| yscaler.unscale(ff_linalg::vector::dot(xs_test.row(i), coef) + intercept))
             .collect();
         EvalOutput {
             loss: mse(&data.y_test, &pred),
@@ -467,7 +464,14 @@ fn encode_tree_blob(scaler: &Standardizer, yscaler: &TargetScaler, model_bytes: 
 /// Decodes [`encode_tree_blob`] output.
 fn decode_tree_blob(
     blob: &[u8],
-) -> std::result::Result<(Standardizer, TargetScaler, ff_models::boosting::gbdt::XgbRegressor), String> {
+) -> std::result::Result<
+    (
+        Standardizer,
+        TargetScaler,
+        ff_models::boosting::gbdt::XgbRegressor,
+    ),
+    String,
+> {
     let mut r = ff_models::ser::Reader::new(blob);
     let err = |e: ff_models::ser::SerError| e.to_string();
     let version = r.u8().map_err(err)?;
@@ -489,7 +493,10 @@ fn decode_tree_blob(
     let model = ff_models::boosting::gbdt::XgbRegressor::from_bytes(model_bytes)
         .map_err(|e| e.to_string())?;
     let scaler = Standardizer::from_parts(means, stds);
-    let yscaler = TargetScaler { mean: ymean, std: ystd.max(1e-12) };
+    let yscaler = TargetScaler {
+        mean: ymean,
+        std: ystd.max(1e-12),
+    };
     Ok((scaler, yscaler, model))
 }
 
@@ -560,7 +567,10 @@ mod tests {
             use_trend: true,
             use_time: true,
         };
-        let out = c.fit(&[], &spec.to_config_map().with_str(OP, "feature_engineering"));
+        let out = c.fit(
+            &[],
+            &spec.to_config_map().with_str(OP, "feature_engineering"),
+        );
         assert!(!out.metrics.contains_key("error"), "{:?}", out.metrics);
         c
     }
@@ -633,7 +643,10 @@ mod tests {
         // Evaluating the client's own params globally must equal its local
         // test loss (same model, same data).
         let local = c.evaluate(&[], &ConfigMap::new().with_str(OP, "test_local"));
-        let global = c.evaluate(&out.params, &ConfigMap::new().with_str(OP, "test_global_linear"));
+        let global = c.evaluate(
+            &out.params,
+            &ConfigMap::new().with_str(OP, "test_global_linear"),
+        );
         assert!((local.loss - global.loss).abs() < 1e-6 * (1.0 + local.loss));
     }
 

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::budget::Budget;
+use ff_fl::runtime::RoundPolicy;
 
 /// How tree-ensemble winners are aggregated in phase IV (§4.4). Linear
 /// models always aggregate by FedAvg over standardized coefficients.
@@ -52,6 +53,12 @@ pub struct EngineConfig {
     pub disable_warm_start: bool,
     /// Tree-ensemble aggregation mode for phase IV.
     pub tree_aggregation: TreeAggregation,
+    /// Fault-tolerance policy applied to every federated round (deadline,
+    /// response quorum, retries). The engine proceeds with whichever
+    /// healthy subset replies in time; only a round below
+    /// `round_policy.min_responses` fails (and in the tuning loop that
+    /// fails the trial, not the run).
+    pub round_policy: RoundPolicy,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +75,7 @@ impl Default for EngineConfig {
             disable_feature_engineering: false,
             disable_warm_start: false,
             tree_aggregation: TreeAggregation::default(),
+            round_policy: RoundPolicy::default(),
         }
     }
 }
@@ -83,5 +91,6 @@ mod tests {
         assert!((c.importance_threshold - 0.95).abs() < 1e-12);
         assert!(!c.disable_feature_engineering);
         assert_eq!(c.tree_aggregation, TreeAggregation::Auto);
+        assert_eq!(c.round_policy, RoundPolicy::default());
     }
 }

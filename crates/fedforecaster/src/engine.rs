@@ -7,17 +7,18 @@ use crate::budget::BudgetTracker;
 use crate::client::{FedForecasterClient, OP};
 use crate::config::EngineConfig;
 use crate::feature_engineering::{select_features, GlobalFeatureSpec};
-use crate::search_space::{
-    algorithm_of, config_to_map, table2_space, warm_start_configs,
-};
+use crate::report::RoundReport;
+use crate::search_space::{algorithm_of, config_to_map, table2_space, warm_start_configs};
 use crate::{EngineError, Result};
 use ff_bayesopt::optimizer::BayesOpt;
 use ff_bayesopt::space::Configuration;
 use ff_fl::client::FlClient;
 use ff_fl::config::{ConfigMap, ConfigMapExt};
-use ff_fl::message::Instruction;
-use ff_fl::runtime::FederatedRuntime;
+use ff_fl::health::HealthReport;
+use ff_fl::message::{Instruction, Reply};
+use ff_fl::runtime::{FederatedRuntime, RoundOutcome, RoundPolicy};
 use ff_fl::strategy::{aggregate_loss, fedavg, unwrap_eval_replies, unwrap_fit_replies};
+use ff_fl::FlError;
 use ff_metalearn::aggregate::GlobalMetaFeatures;
 use ff_metalearn::features::ClientMetaFeatures;
 use ff_metalearn::metamodel::MetaModel;
@@ -65,6 +66,14 @@ pub struct RunResult {
     /// Per-phase communication breakdown (empty for baselines that do not
     /// track phases).
     pub phase_bytes: Vec<PhaseBytes>,
+    /// Per-round fault-tolerance log: participants, responders, dropouts
+    /// (empty for baselines that run strict rounds).
+    pub rounds: Vec<RoundReport>,
+    /// Tuning-loop trials abandoned because the round quorum was unmet.
+    /// These consume budget but contribute no loss observation.
+    pub failed_trials: usize,
+    /// Final per-client health snapshot from the runtime.
+    pub health: HealthReport,
 }
 
 /// The FedForecaster engine. Borrows the (expensive-to-train) meta-model
@@ -101,8 +110,10 @@ impl<'m> FedForecaster<'m> {
             phase_mark = now;
             entry
         };
+        let policy = &self.cfg.round_policy;
+        let mut rounds: Vec<RoundReport> = Vec::new();
         // Phase I–II: meta-features → aggregation → recommendation.
-        let (global, max_len) = collect_global_meta(rt)?;
+        let (global, max_len) = collect_global_meta_tolerant(rt, policy, &mut rounds)?;
         let recommended: Vec<AlgorithmKind> = if self.cfg.disable_warm_start {
             AlgorithmKind::ALL.to_vec()
         } else {
@@ -114,10 +125,12 @@ impl<'m> FedForecaster<'m> {
         let spec = if self.cfg.disable_feature_engineering {
             GlobalFeatureSpec::lags_only(derive_lag_count(&global, self.cfg.max_lags))
         } else {
-            let periods = federated_seasonal_periods(
+            let periods = federated_seasonal_periods_tolerant(
                 rt,
                 max_len,
                 self.cfg.max_seasonal_components,
+                policy,
+                &mut rounds,
             )?;
             GlobalFeatureSpec {
                 lags: (1..=derive_lag_count(&global, self.cfg.max_lags)).collect(),
@@ -127,23 +140,37 @@ impl<'m> FedForecaster<'m> {
             }
         };
         phase_bytes.push(end_phase("meta_features", rt));
-        run_feature_engineering(rt, &spec, self.cfg.importance_threshold)?;
+        run_feature_engineering_tolerant(
+            rt,
+            &spec,
+            self.cfg.importance_threshold,
+            policy,
+            &mut rounds,
+        )?;
         phase_bytes.push(end_phase("feature_engineering", rt));
 
         // Phase III: Bayesian optimization with warm start. The budget T
         // covers the tuning loop (§5.1: "time budget ... for the
         // hyperparameter tuning"); at least one configuration is always
         // evaluated so a result exists even under a degenerate budget.
+        // A trial whose round misses its quorum is abandoned — it consumes
+        // budget but tells the optimizer nothing — and the run continues.
         let space = table2_space(&recommended);
         let mut bo = BayesOpt::new(space, self.cfg.seed).map_err(EngineError::Optimizer)?;
         bo.warm_start(warm_start_configs(&recommended));
         let mut loss_history = Vec::new();
+        let mut failed_trials = 0usize;
         let mut tracker = BudgetTracker::start(self.cfg.budget);
         while tracker.iterations() == 0 || !tracker.exhausted() {
             let config = bo.ask().map_err(EngineError::Optimizer)?;
-            let loss = evaluate_config(rt, &config)?;
-            bo.tell(&config, loss).map_err(EngineError::Optimizer)?;
-            loss_history.push(loss);
+            match evaluate_config_tolerant(rt, &config, policy, &mut rounds) {
+                Ok(loss) => {
+                    bo.tell(&config, loss).map_err(EngineError::Optimizer)?;
+                    loss_history.push(loss);
+                }
+                Err(EngineError::Federation(FlError::Quorum { .. })) => failed_trials += 1,
+                Err(e) => return Err(e),
+            }
             tracker.record_iteration();
         }
         let (best_config, best_valid_loss) = bo
@@ -153,7 +180,13 @@ impl<'m> FedForecaster<'m> {
         phase_bytes.push(end_phase("optimization", rt));
 
         // Phase IV: final fit, aggregation, test evaluation.
-        let (global_model, test_mse) = finalize_with(rt, &best_config, self.cfg.tree_aggregation)?;
+        let (global_model, test_mse) = finalize_with_tolerant(
+            rt,
+            &best_config,
+            self.cfg.tree_aggregation,
+            policy,
+            &mut rounds,
+        )?;
         phase_bytes.push(end_phase("finalization", rt));
         let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
         Ok(RunResult {
@@ -169,6 +202,9 @@ impl<'m> FedForecaster<'m> {
             bytes_to_clients,
             bytes_to_server,
             phase_bytes,
+            rounds,
+            failed_trials,
+            health: rt.health_report(),
         })
     }
 }
@@ -301,9 +337,7 @@ pub fn run_feature_engineering(
                 let imp = metrics
                     .get("importances")
                     .and_then(|v| v.as_float_vec())
-                    .ok_or_else(|| {
-                        EngineError::InvalidData("client sent no importances".into())
-                    })?;
+                    .ok_or_else(|| EngineError::InvalidData("client sent no importances".into()))?;
                 importances.push(imp.to_vec());
                 weights.push(*num_examples as f64);
             }
@@ -356,11 +390,12 @@ pub fn evaluate_config(rt: &FederatedRuntime, config: &Configuration) -> Result<
 /// Phase IV: final fit on train+valid, model aggregation, and test
 /// evaluation with the default [`crate::config::TreeAggregation::EnsembleUnion`] mode.
 /// Returns the deployed global model and the aggregated test MSE.
-pub fn finalize(
-    rt: &FederatedRuntime,
-    best_config: &Configuration,
-) -> Result<(GlobalModel, f64)> {
-    finalize_with(rt, best_config, crate::config::TreeAggregation::EnsembleUnion)
+pub fn finalize(rt: &FederatedRuntime, best_config: &Configuration) -> Result<(GlobalModel, f64)> {
+    finalize_with(
+        rt,
+        best_config,
+        crate::config::TreeAggregation::EnsembleUnion,
+    )
 }
 
 /// [`finalize`] with an explicit tree-aggregation mode (§4.4; see
@@ -435,8 +470,11 @@ pub fn finalize_with(
         let losses = unwrap_eval_replies(eval).map_err(EngineError::Federation)?;
         aggregate_loss(&losses).map_err(EngineError::Federation)
     };
-    let local_config =
-        |split: &str| ConfigMap::new().with_str(OP, "test_local").with_str("split", split);
+    let local_config = |split: &str| {
+        ConfigMap::new()
+            .with_str(OP, "test_local")
+            .with_str("split", split)
+    };
 
     let use_union = match tree_aggregation {
         TreeAggregation::EnsembleUnion => union_available,
@@ -460,6 +498,444 @@ pub fn finalize_with(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault-tolerant pipeline stages.
+//
+// The `*_tolerant` variants below drive the same protocol as their strict
+// counterparts above, but through `FederatedRuntime::run_round`: every
+// collect is bounded by the policy deadline, clients that time out, panic,
+// or reply garbage become recorded dropouts, and each stage proceeds with
+// whichever healthy subset remains (FedAvg and Equation 1 renormalize over
+// survivors automatically). The strict variants are kept for the baselines
+// and for federations known to be well-behaved.
+// ---------------------------------------------------------------------------
+
+/// Runs one policy-bounded round and appends its [`RoundReport`]. Returns
+/// the outcome plus the report's index so the caller can amend the
+/// app-level fields (`usable`, `app_errors`, `non_finite`).
+fn tolerant_round(
+    rt: &FederatedRuntime,
+    phase: &'static str,
+    ins: &Instruction,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<(RoundOutcome, usize)> {
+    match rt.run_round(ins, policy) {
+        Ok(outcome) => {
+            rounds.push(RoundReport {
+                phase,
+                round: outcome.round,
+                participants: outcome.participants.len(),
+                responses: outcome.replies.len(),
+                usable: outcome.replies.len(),
+                dropouts: outcome
+                    .dropouts
+                    .iter()
+                    .map(|(id, e)| (*id, e.to_string()))
+                    .collect(),
+                app_errors: vec![],
+                non_finite: vec![],
+                quorum_met: true,
+            });
+            let idx = rounds.len() - 1;
+            Ok((outcome, idx))
+        }
+        Err(e) => {
+            if let FlError::Quorum { healthy, .. } = &e {
+                rounds.push(RoundReport {
+                    phase,
+                    round: rt.health_report().rounds,
+                    participants: 0,
+                    responses: *healthy,
+                    usable: *healthy,
+                    dropouts: vec![],
+                    app_errors: vec![],
+                    non_finite: vec![],
+                    quorum_met: false,
+                });
+            }
+            Err(EngineError::Federation(e))
+        }
+    }
+}
+
+/// Marks the round at `idx` quorum-unmet and returns the matching error.
+fn quorum_unmet(
+    rounds: &mut [RoundReport],
+    idx: usize,
+    healthy: usize,
+    required: usize,
+) -> EngineError {
+    rounds[idx].quorum_met = false;
+    EngineError::Federation(FlError::Quorum { healthy, required })
+}
+
+/// Fault-tolerant [`collect_global_meta`]: aggregates the meta-features of
+/// whichever clients replied usably; malformed or error replies are
+/// recorded per client instead of failing the run.
+pub fn collect_global_meta_tolerant(
+    rt: &FederatedRuntime,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<(GlobalMetaFeatures, usize)> {
+    let ins = Instruction::GetProperties(ConfigMap::new().with_str(OP, "meta_features"));
+    let (outcome, idx) = tolerant_round(rt, "meta_features", &ins, policy, rounds)?;
+    let mut metas = Vec::new();
+    let mut max_len = 0usize;
+    for (id, r) in &outcome.replies {
+        let props = match r {
+            Reply::Properties(cfg) => cfg,
+            Reply::Error(e) => {
+                rounds[idx].app_errors.push((*id, e.clone()));
+                continue;
+            }
+            other => {
+                rounds[idx]
+                    .app_errors
+                    .push((*id, format!("unexpected reply {other:?}")));
+                continue;
+            }
+        };
+        let parsed = props
+            .get("meta_features")
+            .and_then(|v| v.as_float_vec())
+            .and_then(ClientMetaFeatures::from_vec);
+        match parsed {
+            Some(mf) => {
+                max_len = max_len.max(props.int_or("n_total", 0) as usize);
+                metas.push(mf);
+            }
+            None => rounds[idx]
+                .app_errors
+                .push((*id, "missing or malformed meta-features".into())),
+        }
+    }
+    rounds[idx].usable = metas.len();
+    let required = policy.min_responses.max(1);
+    if metas.len() < required {
+        return Err(quorum_unmet(rounds, idx, metas.len(), required));
+    }
+    Ok((GlobalMetaFeatures::aggregate(&metas), max_len))
+}
+
+/// Fault-tolerant [`federated_seasonal_periods`]: spectra from responsive
+/// clients are aggregated; if nobody returns a usable spectrum the engine
+/// degrades gracefully to no seasonality features rather than failing.
+pub fn federated_seasonal_periods_tolerant(
+    rt: &FederatedRuntime,
+    max_len: usize,
+    max_components: usize,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<Vec<f64>> {
+    if max_len < 16 {
+        return Ok(vec![]);
+    }
+    let grid = periodogram::log_period_grid(max_len as f64 / 2.0);
+    let ins = Instruction::GetProperties(
+        ConfigMap::new()
+            .with_str(OP, "spectrum")
+            .with_floats("grid_periods", grid.clone()),
+    );
+    let (outcome, idx) = tolerant_round(rt, "meta_features", &ins, policy, rounds)?;
+    let mut agg = vec![0.0; grid.len()];
+    let mut n = 0usize;
+    for (id, r) in &outcome.replies {
+        let usable = match r {
+            Reply::Properties(p) => p
+                .get("spectrum")
+                .and_then(|v| v.as_float_vec())
+                .filter(|spec| spec.len() == grid.len()),
+            _ => None,
+        };
+        match usable {
+            Some(spec) => {
+                for (a, &s) in agg.iter_mut().zip(spec) {
+                    *a += s;
+                }
+                n += 1;
+            }
+            None => rounds[idx]
+                .app_errors
+                .push((*id, "missing or mis-sized spectrum".into())),
+        }
+    }
+    rounds[idx].usable = n;
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    let peaks = periodogram::peaks_on_grid(&grid, &agg, max_components, 5.0, max_len);
+    Ok(peaks.into_iter().map(|s| s.period).collect())
+}
+
+/// Fault-tolerant [`run_feature_engineering`]: importances are collected
+/// from the responsive subset and the selection is broadcast the same way.
+/// Clients that miss the selection round keep their full feature set and
+/// surface as application errors in later rounds.
+pub fn run_feature_engineering_tolerant(
+    rt: &FederatedRuntime,
+    spec: &GlobalFeatureSpec,
+    threshold: f64,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<Vec<usize>> {
+    let ins = Instruction::Fit {
+        params: vec![],
+        config: spec.to_config_map().with_str(OP, "feature_engineering"),
+    };
+    let (outcome, idx) = tolerant_round(rt, "feature_engineering", &ins, policy, rounds)?;
+    let mut importances = Vec::new();
+    let mut weights = Vec::new();
+    for (id, r) in &outcome.replies {
+        match r {
+            Reply::FitRes {
+                num_examples,
+                metrics,
+                ..
+            } => {
+                if let Some(err) = metrics.get("error").and_then(|v| v.as_str()) {
+                    rounds[idx].app_errors.push((*id, err.to_string()));
+                    continue;
+                }
+                match metrics.get("importances").and_then(|v| v.as_float_vec()) {
+                    Some(imp) => {
+                        importances.push(imp.to_vec());
+                        weights.push(*num_examples as f64);
+                    }
+                    None => rounds[idx]
+                        .app_errors
+                        .push((*id, "client sent no importances".into())),
+                }
+            }
+            Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
+            other => rounds[idx]
+                .app_errors
+                .push((*id, format!("unexpected reply {other:?}"))),
+        }
+    }
+    rounds[idx].usable = importances.len();
+    let required = policy.min_responses.max(1);
+    if importances.len() < required {
+        return Err(quorum_unmet(rounds, idx, importances.len(), required));
+    }
+    let keep = select_features(&importances, &weights, threshold);
+    let keep_f: Vec<f64> = keep.iter().map(|&j| j as f64).collect();
+    let apply = Instruction::Fit {
+        params: vec![],
+        config: ConfigMap::new()
+            .with_str(OP, "apply_selection")
+            .with_floats("keep", keep_f),
+    };
+    tolerant_round(rt, "feature_engineering", &apply, policy, rounds)?;
+    Ok(keep)
+}
+
+/// Fault-tolerant [`evaluate_config`]: the global loss is aggregated over
+/// the responsive clients with finite validation losses; non-finite losses
+/// and application errors are per-round dropouts. Fails with
+/// [`FlError::Quorum`] — which the engine treats as a failed *trial*, not a
+/// failed run — when fewer than `min_responses` usable losses remain.
+pub fn evaluate_config_tolerant(
+    rt: &FederatedRuntime,
+    config: &Configuration,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<f64> {
+    let ins = Instruction::Fit {
+        params: vec![],
+        config: config_to_map(config).with_str(OP, "fit_eval"),
+    };
+    let (outcome, idx) = tolerant_round(rt, "optimization", &ins, policy, rounds)?;
+    let mut losses = Vec::new();
+    for (id, r) in &outcome.replies {
+        match r {
+            Reply::FitRes {
+                num_examples,
+                metrics,
+                ..
+            } => {
+                if let Some(err) = metrics.get("error").and_then(|v| v.as_str()) {
+                    rounds[idx].app_errors.push((*id, err.to_string()));
+                    continue;
+                }
+                let loss = metrics.float_or("valid_loss", f64::NAN);
+                if loss.is_finite() {
+                    losses.push((loss, *num_examples));
+                } else {
+                    rounds[idx].non_finite.push(*id);
+                }
+            }
+            Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
+            other => rounds[idx]
+                .app_errors
+                .push((*id, format!("unexpected reply {other:?}"))),
+        }
+    }
+    rounds[idx].usable = losses.len();
+    let required = policy.min_responses.max(1);
+    if losses.len() < required {
+        return Err(quorum_unmet(rounds, idx, losses.len(), required));
+    }
+    aggregate_loss(&losses).map_err(EngineError::Federation)
+}
+
+/// One tolerant Evaluate round aggregated by Equation 1 over the finite
+/// survivor losses.
+fn tolerant_eval_round(
+    rt: &FederatedRuntime,
+    params: Vec<f64>,
+    op_config: ConfigMap,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<f64> {
+    let ins = Instruction::Evaluate {
+        params,
+        config: op_config,
+    };
+    let (outcome, idx) = tolerant_round(rt, "finalization", &ins, policy, rounds)?;
+    let mut losses = Vec::new();
+    for (id, r) in &outcome.replies {
+        match r {
+            Reply::EvaluateRes {
+                loss, num_examples, ..
+            } if loss.is_finite() => losses.push((*loss, *num_examples)),
+            Reply::EvaluateRes { .. } => rounds[idx].non_finite.push(*id),
+            Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
+            other => rounds[idx]
+                .app_errors
+                .push((*id, format!("unexpected reply {other:?}"))),
+        }
+    }
+    rounds[idx].usable = losses.len();
+    let required = policy.min_responses.max(1);
+    if losses.len() < required {
+        return Err(quorum_unmet(rounds, idx, losses.len(), required));
+    }
+    aggregate_loss(&losses).map_err(EngineError::Federation)
+}
+
+/// Fault-tolerant [`finalize_with`]: the final fit, aggregation, and test
+/// rounds all run under the policy. FedAvg (linear winners) and ensemble
+/// weights (tree winners) renormalize over whichever clients delivered a
+/// final model; the union deployment is "available" when every *survivor*
+/// of the final-fit round contributed a blob.
+pub fn finalize_with_tolerant(
+    rt: &FederatedRuntime,
+    best_config: &Configuration,
+    tree_aggregation: crate::config::TreeAggregation,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<(GlobalModel, f64)> {
+    let algorithm = algorithm_of(best_config)
+        .ok_or_else(|| EngineError::InvalidData("config has no algorithm".into()))?;
+    let ins = Instruction::Fit {
+        params: vec![],
+        config: config_to_map(best_config).with_str(OP, "final_fit"),
+    };
+    let (outcome, idx) = tolerant_round(rt, "finalization", &ins, policy, rounds)?;
+    let mut usable: Vec<(usize, Reply)> = Vec::new();
+    for (id, r) in outcome.replies {
+        match &r {
+            Reply::FitRes { metrics, .. } => {
+                if let Some(err) = metrics.get("error").and_then(|v| v.as_str()) {
+                    rounds[idx].app_errors.push((id, err.to_string()));
+                } else {
+                    usable.push((id, r));
+                }
+            }
+            Reply::Error(e) => rounds[idx].app_errors.push((id, e.clone())),
+            other => rounds[idx]
+                .app_errors
+                .push((id, format!("unexpected reply {other:?}"))),
+        }
+    }
+    rounds[idx].usable = usable.len();
+    let required = policy.min_responses.max(1);
+    if usable.len() < required {
+        return Err(quorum_unmet(rounds, idx, usable.len(), required));
+    }
+
+    if algorithm.is_linear() {
+        let fit_results = unwrap_fit_replies(usable).map_err(EngineError::Federation)?;
+        let global_params = fedavg(&fit_results).map_err(EngineError::Federation)?;
+        let test_mse = tolerant_eval_round(
+            rt,
+            global_params.clone(),
+            ConfigMap::new().with_str(OP, "test_global_linear"),
+            policy,
+            rounds,
+        )?;
+        let p = global_params.len() - 1;
+        return Ok((
+            GlobalModel::Linear {
+                algorithm,
+                coef: global_params[..p].to_vec(),
+                intercept: global_params[p],
+            },
+            test_mse,
+        ));
+    }
+
+    // Tree winner: gather serialized members for the union modes.
+    use crate::config::TreeAggregation;
+    let mut blobs: Vec<Vec<u8>> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    for (_, r) in &usable {
+        if let Reply::FitRes {
+            num_examples,
+            metrics,
+            ..
+        } = r
+        {
+            if let Some(b) = metrics.get("model_blob").and_then(|v| v.as_bytes()) {
+                blobs.push(b.to_vec());
+                weights.push(*num_examples as f64);
+            }
+        }
+    }
+    let union_available = blobs.len() == usable.len() && !blobs.is_empty();
+    let members = blobs.len();
+    let ensemble_config = |split: &str| -> ConfigMap {
+        let wsum: f64 = weights.iter().sum();
+        let mut config = ConfigMap::new()
+            .with_str(OP, "test_global_ensemble")
+            .with_str("split", split)
+            .with_floats("weights", weights.iter().map(|w| w / wsum).collect());
+        for (j, b) in blobs.iter().enumerate() {
+            config = config.with_bytes(&format!("blob_{j}"), b.clone());
+        }
+        config
+    };
+    let local_config = |split: &str| {
+        ConfigMap::new()
+            .with_str(OP, "test_local")
+            .with_str("split", split)
+    };
+
+    let use_union = match tree_aggregation {
+        TreeAggregation::EnsembleUnion => union_available,
+        TreeAggregation::PerClient => false,
+        TreeAggregation::Auto => {
+            // Leakage-free model selection: compare both deployments on the
+            // validation split and pick the better.
+            union_available && {
+                let union_valid =
+                    tolerant_eval_round(rt, vec![], ensemble_config("valid"), policy, rounds)?;
+                let local_valid =
+                    tolerant_eval_round(rt, vec![], local_config("valid"), policy, rounds)?;
+                union_valid <= local_valid
+            }
+        }
+    };
+    if use_union {
+        let test_mse = tolerant_eval_round(rt, vec![], ensemble_config("test"), policy, rounds)?;
+        Ok((GlobalModel::Ensemble { algorithm, members }, test_mse))
+    } else {
+        let test_mse = tolerant_eval_round(rt, vec![], local_config("test"), policy, rounds)?;
+        Ok((GlobalModel::PerClient { algorithm }, test_mse))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,7 +955,10 @@ mod tests {
             &SynthesisSpec {
                 n: 800,
                 trend: TrendSpec::Linear(0.01),
-                seasons: vec![SeasonSpec { period: 12.0, amplitude: 2.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 12.0,
+                    amplitude: 2.0,
+                }],
                 snr: Some(20.0),
                 ..Default::default()
             },
@@ -545,7 +1024,9 @@ mod tests {
             ..Default::default()
         };
         let meta = tiny_metamodel();
-        let a = FedForecaster::new(cfg.clone(), &meta).run(&federation()).unwrap();
+        let a = FedForecaster::new(cfg.clone(), &meta)
+            .run(&federation())
+            .unwrap();
         let b = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
         assert_eq!(a.best_algorithm, b.best_algorithm);
         assert_eq!(a.loss_history, b.loss_history);
@@ -664,8 +1145,7 @@ mod tests {
         );
         // And the auto choice should not be worse than the forced union.
         let (_, union_mse) =
-            finalize_with(&rt, &config, crate::config::TreeAggregation::EnsembleUnion)
-                .unwrap();
+            finalize_with(&rt, &config, crate::config::TreeAggregation::EnsembleUnion).unwrap();
         assert!(
             auto_mse <= union_mse * 1.01,
             "auto {auto_mse} vs forced union {union_mse}"

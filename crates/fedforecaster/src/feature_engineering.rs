@@ -252,9 +252,7 @@ pub fn engineer_with_exog(
     if rows[0].is_empty() {
         return None;
     }
-    let build = |rs: &Vec<Vec<f64>>| -> Matrix {
-        Matrix::from_fn(rs.len(), dim, |i, j| rs[i][j])
-    };
+    let build = |rs: &Vec<Vec<f64>>| -> Matrix { Matrix::from_fn(rs.len(), dim, |i, j| rs[i][j]) };
     Some(EngineeredData {
         feature_names: names,
         x_train: build(&rows[0]),
@@ -290,11 +288,7 @@ pub fn causal_trend(values: &[f64]) -> Vec<f64> {
 /// vectors with the given weights and keeps the smallest set of columns
 /// whose cumulative importance reaches `threshold`. Always keeps at least
 /// one column; returns sorted column indices.
-pub fn select_features(
-    importances: &[Vec<f64>],
-    weights: &[f64],
-    threshold: f64,
-) -> Vec<usize> {
+pub fn select_features(importances: &[Vec<f64>], weights: &[f64], threshold: f64) -> Vec<usize> {
     assert_eq!(importances.len(), weights.len());
     assert!(!importances.is_empty());
     let dim = importances[0].len();
@@ -374,18 +368,17 @@ mod tests {
     fn trend_feature_tracks_level_causally() {
         let (v, ts) = sample_data(200);
         let e = engineer(&v, &ts, 150, 175, &spec()).unwrap();
-        let trend_col = e
-            .feature_names
-            .iter()
-            .position(|n| n == "trend")
-            .unwrap();
+        let trend_col = e.feature_names.iter().position(|n| n == "trend").unwrap();
         // The trend rises with the upward slope and KEEPS tracking through
         // validation and test (causal estimate, not a frozen fit).
         let first = e.x_train.get(0, trend_col);
         let last_train = e.x_train.get(e.x_train.rows() - 1, trend_col);
         let last_test = e.x_test.get(e.x_test.rows() - 1, trend_col);
         assert!(last_train > first, "trend {first} → {last_train}");
-        assert!(last_test > last_train, "trend must keep tracking: {last_train} → {last_test}");
+        assert!(
+            last_test > last_train,
+            "trend must keep tracking: {last_train} → {last_test}"
+        );
     }
 
     #[test]
@@ -446,10 +439,7 @@ mod tests {
     #[test]
     fn exogenous_row_mismatch_is_rejected() {
         let (v, ts) = sample_data(80);
-        let exog = ExogenousData::new(
-            vec!["temp".into()],
-            ff_linalg::Matrix::zeros(40, 1),
-        );
+        let exog = ExogenousData::new(vec!["temp".into()], ff_linalg::Matrix::zeros(40, 1));
         assert!(engineer_with_exog(&v, &ts, 55, 68, &spec(), Some(&exog)).is_none());
     }
 

@@ -289,7 +289,10 @@ mod tests {
         let s = generate(
             &SynthesisSpec {
                 n: 600,
-                seasons: vec![SeasonSpec { period: 12.0, amplitude: 2.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 12.0,
+                    amplitude: 2.0,
+                }],
                 snr: Some(30.0),
                 ..Default::default()
             },
@@ -320,12 +323,10 @@ mod tests {
     #[test]
     fn secure_aggregation_matches_plain_fedavg() {
         let clients = federation();
-        let plain =
-            run_federated_nbeats_opts(&clients, Budget::Iterations(2), 15, false, 3, false)
-                .unwrap();
+        let plain = run_federated_nbeats_opts(&clients, Budget::Iterations(2), 15, false, 3, false)
+            .unwrap();
         let secure =
-            run_federated_nbeats_opts(&clients, Budget::Iterations(2), 15, false, 3, true)
-                .unwrap();
+            run_federated_nbeats_opts(&clients, Budget::Iterations(2), 15, false, 3, true).unwrap();
         // Masks cancel exactly up to floating-point round-off, so the final
         // test losses agree tightly.
         assert!(
@@ -341,7 +342,10 @@ mod tests {
         let s = generate(
             &SynthesisSpec {
                 n: 700,
-                seasons: vec![SeasonSpec { period: 12.0, amplitude: 2.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 12.0,
+                    amplitude: 2.0,
+                }],
                 snr: Some(30.0),
                 ..Default::default()
             },

@@ -70,10 +70,9 @@ impl RandomSearch {
             }
             tracker.record_iteration();
         }
-        let (best_config, best_valid_loss) = best
-            .ok_or_else(|| EngineError::InvalidData("no configuration evaluated".into()))?;
-        let (global_model, test_mse) =
-            finalize_with(&rt, &best_config, self.cfg.tree_aggregation)?;
+        let (best_config, best_valid_loss) =
+            best.ok_or_else(|| EngineError::InvalidData("no configuration evaluated".into()))?;
+        let (global_model, test_mse) = finalize_with(&rt, &best_config, self.cfg.tree_aggregation)?;
         let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
         Ok(RunResult {
             best_algorithm: global_model.algorithm(),
@@ -88,6 +87,9 @@ impl RandomSearch {
             bytes_to_clients,
             bytes_to_server,
             phase_bytes: vec![],
+            rounds: vec![],
+            failed_trials: 0,
+            health: rt.health_report(),
         })
     }
 }
@@ -102,7 +104,10 @@ mod tests {
         let s = generate(
             &SynthesisSpec {
                 n: 700,
-                seasons: vec![SeasonSpec { period: 10.0, amplitude: 2.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 10.0,
+                    amplitude: 2.0,
+                }],
                 snr: Some(15.0),
                 ..Default::default()
             },

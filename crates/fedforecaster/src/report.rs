@@ -1,8 +1,80 @@
-//! Result reporting: Table 3-style comparison rows, average ranks, and the
-//! Wilcoxon significance tests of §5.2.
+//! Result reporting: Table 3-style comparison rows, average ranks, the
+//! Wilcoxon significance tests of §5.2, and per-round fault-tolerance
+//! reports.
 
 use ff_models::metrics::average_ranks;
 use ff_timeseries::wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};
+
+/// What happened in one fault-tolerant federated round: who was admitted,
+/// who replied, who dropped out and why. The engine appends one of these
+/// per round so a run's degradation history is auditable after the fact.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Pipeline phase the round belongs to (`meta_features`,
+    /// `feature_engineering`, `optimization`, `finalization`).
+    pub phase: &'static str,
+    /// Round number shared with the runtime's health registry (1-based).
+    pub round: u64,
+    /// Clients the health registry admitted to the round.
+    pub participants: usize,
+    /// Transport-level replies collected before the deadline.
+    pub responses: usize,
+    /// Replies that were actually usable by the phase (decoded, no
+    /// application error, finite loss).
+    pub usable: usize,
+    /// Transport-level dropouts: `(client_id, reason)`.
+    pub dropouts: Vec<(usize, String)>,
+    /// Clients whose reply carried an application error: `(client_id, msg)`.
+    pub app_errors: Vec<(usize, String)>,
+    /// Clients excluded for reporting a non-finite loss.
+    pub non_finite: Vec<usize>,
+    /// Whether the round met its quorum (a `false` entry in the tuning
+    /// loop marks a failed trial, not a failed run).
+    pub quorum_met: bool,
+}
+
+/// Renders round reports as an aligned text log, one line per round.
+pub fn render_rounds(rounds: &[RoundReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>5}  {:<20} {:>5} {:>5} {:>6}  {}\n",
+        "round", "phase", "part.", "resp.", "usable", "dropouts"
+    ));
+    for r in rounds {
+        let mut notes: Vec<String> = r
+            .dropouts
+            .iter()
+            .map(|(id, why)| format!("#{id}: {why}"))
+            .collect();
+        notes.extend(
+            r.app_errors
+                .iter()
+                .map(|(id, e)| format!("#{id}: app error: {e}")),
+        );
+        notes.extend(
+            r.non_finite
+                .iter()
+                .map(|id| format!("#{id}: non-finite loss")),
+        );
+        if !r.quorum_met {
+            notes.push("QUORUM UNMET".into());
+        }
+        out.push_str(&format!(
+            "{:>5}  {:<20} {:>5} {:>5} {:>6}  {}\n",
+            r.round,
+            r.phase,
+            r.participants,
+            r.responses,
+            r.usable,
+            if notes.is_empty() {
+                "-".into()
+            } else {
+                notes.join("; ")
+            }
+        ));
+    }
+    out
+}
 
 /// One row of the Table 3 comparison.
 #[derive(Debug, Clone)]
@@ -85,7 +157,14 @@ pub fn render_table(rows: &[ComparisonRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<38} {:>7} {:>13} {:>8} {:>14} {:>14} {:>12}  {}\n",
-        "Dataset", "Len.", "N-BeatsCons.", "Clients", "FedForecaster", "RandomSearch", "N-Beats", "Best Model"
+        "Dataset",
+        "Len.",
+        "N-BeatsCons.",
+        "Clients",
+        "FedForecaster",
+        "RandomSearch",
+        "N-Beats",
+        "Best Model"
     ));
     for r in rows {
         let cons = r.nbeats_cons.map(fmt_loss).unwrap_or_else(|| "-".into());
@@ -140,5 +219,43 @@ mod tests {
         assert!(table.contains('-'));
         assert!(table.contains("FedForecaster"));
         assert!(table.lines().count() == 9);
+    }
+
+    #[test]
+    fn round_report_rendering_surfaces_dropouts() {
+        let rounds = vec![
+            RoundReport {
+                phase: "optimization",
+                round: 7,
+                participants: 8,
+                responses: 5,
+                usable: 4,
+                dropouts: vec![
+                    (1, "client 1 panicked".into()),
+                    (5, "client 5 timed out".into()),
+                ],
+                app_errors: vec![(2, "series too short".into())],
+                non_finite: vec![6],
+                quorum_met: true,
+            },
+            RoundReport {
+                phase: "optimization",
+                round: 8,
+                participants: 2,
+                responses: 0,
+                usable: 0,
+                dropouts: vec![],
+                app_errors: vec![],
+                non_finite: vec![],
+                quorum_met: false,
+            },
+        ];
+        let log = render_rounds(&rounds);
+        assert!(log.contains("client 1 panicked"));
+        assert!(log.contains("client 5 timed out"));
+        assert!(log.contains("app error: series too short"));
+        assert!(log.contains("#6: non-finite loss"));
+        assert!(log.contains("QUORUM UNMET"));
+        assert_eq!(log.lines().count(), 3);
     }
 }

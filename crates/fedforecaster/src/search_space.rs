@@ -22,17 +22,19 @@ use ff_models::zoo::{AlgorithmKind, HyperParams};
 pub fn table2_space(algorithms: &[AlgorithmKind]) -> SearchSpace {
     assert!(!algorithms.is_empty());
     let names: Vec<String> = algorithms.iter().map(|a| a.name().to_string()).collect();
-    let mut space = SearchSpace::new().with(
-        "algorithm",
-        ParamSpec::Categorical { options: names },
-    );
+    let mut space = SearchSpace::new().with("algorithm", ParamSpec::Categorical { options: names });
     let has = |k: AlgorithmKind| algorithms.contains(&k);
     if has(AlgorithmKind::Lasso) {
         space = space
-            .with("lasso_alpha", ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 })
+            .with(
+                "lasso_alpha",
+                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
+            )
             .with(
                 "lasso_selection",
-                ParamSpec::Categorical { options: vec!["cyclic".into(), "random".into()] },
+                ParamSpec::Categorical {
+                    options: vec!["cyclic".into(), "random".into()],
+                },
             );
     }
     if has(AlgorithmKind::LinearSvr) {
@@ -45,15 +47,23 @@ pub fn table2_space(algorithms: &[AlgorithmKind]) -> SearchSpace {
             .with("enet_l1_ratio", ParamSpec::Continuous { lo: 0.3, hi: 10.0 })
             .with(
                 "enet_selection",
-                ParamSpec::Categorical { options: vec!["cyclic".into(), "random".into()] },
+                ParamSpec::Categorical {
+                    options: vec!["cyclic".into(), "random".into()],
+                },
             );
     }
     if has(AlgorithmKind::XgbRegressor) {
         space = space
             .with("xgb_n_estimators", ParamSpec::Integer { lo: 5, hi: 20 })
             .with("xgb_max_depth", ParamSpec::Integer { lo: 2, hi: 10 })
-            .with("xgb_learning_rate", ParamSpec::Continuous { lo: 0.01, hi: 1.0 })
-            .with("xgb_reg_lambda", ParamSpec::Continuous { lo: 0.8, hi: 10.0 })
+            .with(
+                "xgb_learning_rate",
+                ParamSpec::Continuous { lo: 0.01, hi: 1.0 },
+            )
+            .with(
+                "xgb_reg_lambda",
+                ParamSpec::Continuous { lo: 0.8, hi: 10.0 },
+            )
             .with("xgb_subsample", ParamSpec::Continuous { lo: 0.1, hi: 1.0 });
     }
     if has(AlgorithmKind::HuberRegressor) {
@@ -64,11 +74,17 @@ pub fn table2_space(algorithms: &[AlgorithmKind]) -> SearchSpace {
                     options: vec!["1.0".into(), "1.35".into(), "1.5".into()],
                 },
             )
-            .with("huber_alpha", ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 });
+            .with(
+                "huber_alpha",
+                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
+            );
     }
     if has(AlgorithmKind::QuantileRegressor) {
         space = space
-            .with("quantile_alpha", ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 })
+            .with(
+                "quantile_alpha",
+                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
+            )
             .with("quantile_q", ParamSpec::Continuous { lo: 0.1, hi: 1.0 });
     }
     space
@@ -82,7 +98,11 @@ pub fn algorithm_of(config: &Configuration) -> Option<AlgorithmKind> {
 /// Converts a sampled configuration to the concrete hyperparameter bundle.
 pub fn to_hyperparams(config: &Configuration) -> HyperParams {
     let f = |key: &str, default: f64| -> f64 {
-        config.get(key).map(|v| v.as_f64()).filter(|v| v.is_finite()).unwrap_or(default)
+        config
+            .get(key)
+            .map(|v| v.as_f64())
+            .filter(|v| v.is_finite())
+            .unwrap_or(default)
     };
     let algorithm = algorithm_of(config);
     let alpha_key = match algorithm {
@@ -111,8 +131,14 @@ pub fn to_hyperparams(config: &Configuration) -> HyperParams {
         c: f("svr_c", 5.0),
         epsilon,
         l1_ratio: f("enet_l1_ratio", 0.5),
-        n_estimators: config.get("xgb_n_estimators").map(|v| v.as_i64() as usize).unwrap_or(10),
-        max_depth: config.get("xgb_max_depth").map(|v| v.as_i64() as usize).unwrap_or(4),
+        n_estimators: config
+            .get("xgb_n_estimators")
+            .map(|v| v.as_i64() as usize)
+            .unwrap_or(10),
+        max_depth: config
+            .get("xgb_max_depth")
+            .map(|v| v.as_i64() as usize)
+            .unwrap_or(4),
         learning_rate: f("xgb_learning_rate", 0.3),
         reg_lambda: f("xgb_reg_lambda", 1.0),
         subsample: f("xgb_subsample", 1.0),
@@ -208,7 +234,11 @@ mod tests {
         for _ in 0..20 {
             let c = space.sample(&mut rng);
             let hp = to_hyperparams(&c);
-            assert!([1.0, 1.35, 1.5].contains(&hp.epsilon), "epsilon {}", hp.epsilon);
+            assert!(
+                [1.0, 1.35, 1.5].contains(&hp.epsilon),
+                "epsilon {}",
+                hp.epsilon
+            );
         }
     }
 

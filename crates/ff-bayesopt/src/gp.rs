@@ -22,7 +22,9 @@ impl GaussianProcess {
     /// to the kernel diagonal (on the standardized-target scale).
     pub fn fit(kernel: Kernel, noise: f64, xs: &[Vec<f64>], ys: &[f64]) -> Result<GaussianProcess> {
         if xs.is_empty() || xs.len() != ys.len() {
-            return Err(BoError::Numerical("empty or mismatched training set".into()));
+            return Err(BoError::Numerical(
+                "empty or mismatched training set".into(),
+            ));
         }
         let n = xs.len();
         // Standardize targets so kernel variance ~1 is well-matched.
@@ -77,11 +79,7 @@ impl GaussianProcess {
     /// `−½ yᵀα − Σᵢ log Lᵢᵢ − n/2 log 2π`.
     pub fn log_marginal_likelihood(&self) -> f64 {
         let n = self.xs.len() as f64;
-        let ys_n: Vec<f64> = self
-            .alpha
-            .iter()
-            .map(|_| 0.0)
-            .collect::<Vec<f64>>();
+        let ys_n: Vec<f64> = self.alpha.iter().map(|_| 0.0).collect::<Vec<f64>>();
         let _ = ys_n;
         // yᵀ α where y is recoverable as K α; compute via α and the factor:
         // yᵀα = (K α)ᵀ α = αᵀ K α = ‖Lᵀ α‖²? Cheaper: store it — recompute
@@ -177,13 +175,18 @@ mod tests {
     #[test]
     fn noise_smooths_interpolation() {
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
-        let ys: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let exact = GaussianProcess::fit(kernel(), 1e-8, &xs, &ys).unwrap();
         let noisy = GaussianProcess::fit(kernel(), 1.0, &xs, &ys).unwrap();
         let (m_exact, _) = exact.predict(&xs[0]);
         let (m_noisy, _) = noisy.predict(&xs[0]);
         assert!((m_exact - 1.0).abs() < 0.05);
-        assert!(m_noisy.abs() < (m_exact - 0.0).abs(), "noise should shrink toward mean");
+        assert!(
+            m_noisy.abs() < (m_exact - 0.0).abs(),
+            "noise should shrink toward mean"
+        );
     }
 
     #[test]
@@ -194,7 +197,10 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 3.0).sin()).collect();
         let auto = GaussianProcess::fit_auto(1e-6, &xs, &ys).unwrap();
         let tiny = GaussianProcess::fit(
-            Kernel::Matern52 { length_scale: 0.01, variance: 1.0 },
+            Kernel::Matern52 {
+                length_scale: 0.01,
+                variance: 1.0,
+            },
             1e-6,
             &xs,
             &ys,
@@ -211,7 +217,10 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
         let good = GaussianProcess::fit(
-            Kernel::Matern52 { length_scale: 0.5, variance: 1.0 },
+            Kernel::Matern52 {
+                length_scale: 0.5,
+                variance: 1.0,
+            },
             1e-6,
             &xs,
             &ys,

@@ -24,11 +24,7 @@ impl Kernel {
     /// Evaluates `k(a, b)`.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        let r2: f64 = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum();
+        let r2: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
         match *self {
             Kernel::Rbf {
                 length_scale,
@@ -60,8 +56,14 @@ mod tests {
     #[test]
     fn kernel_is_one_at_zero_distance() {
         for k in [
-            Kernel::Rbf { length_scale: 0.3, variance: 1.0 },
-            Kernel::Matern52 { length_scale: 0.3, variance: 1.0 },
+            Kernel::Rbf {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
+            Kernel::Matern52 {
+                length_scale: 0.3,
+                variance: 1.0,
+            },
         ] {
             let x = [0.2, 0.7];
             assert!((k.eval(&x, &x) - 1.0).abs() < 1e-12);
@@ -71,8 +73,14 @@ mod tests {
     #[test]
     fn kernel_decays_with_distance() {
         for k in [
-            Kernel::Rbf { length_scale: 0.3, variance: 2.0 },
-            Kernel::Matern52 { length_scale: 0.3, variance: 2.0 },
+            Kernel::Rbf {
+                length_scale: 0.3,
+                variance: 2.0,
+            },
+            Kernel::Matern52 {
+                length_scale: 0.3,
+                variance: 2.0,
+            },
         ] {
             let a = [0.0];
             let near = k.eval(&a, &[0.1]);
@@ -85,7 +93,10 @@ mod tests {
 
     #[test]
     fn kernel_is_symmetric() {
-        let k = Kernel::Matern52 { length_scale: 0.5, variance: 1.3 };
+        let k = Kernel::Matern52 {
+            length_scale: 0.5,
+            variance: 1.3,
+        };
         let a = [0.1, 0.9, 0.4];
         let b = [0.7, 0.2, 0.5];
         assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
@@ -95,8 +106,14 @@ mod tests {
     fn matern_is_rougher_than_rbf_nearby() {
         // At small distances the Matérn kernel drops off faster than RBF
         // with the same length scale (linear vs quadratic decay).
-        let rbf = Kernel::Rbf { length_scale: 0.5, variance: 1.0 };
-        let mat = Kernel::Matern52 { length_scale: 0.5, variance: 1.0 };
+        let rbf = Kernel::Rbf {
+            length_scale: 0.5,
+            variance: 1.0,
+        };
+        let mat = Kernel::Matern52 {
+            length_scale: 0.5,
+            variance: 1.0,
+        };
         let a = [0.0];
         let b = [0.05];
         assert!(mat.eval(&a, &b) < rbf.eval(&a, &b));

@@ -112,7 +112,11 @@ impl BayesOpt {
     }
 
     fn model_guided(&mut self) -> Result<Configuration> {
-        let xs: Vec<Vec<f64>> = self.observations.iter().map(|(x, _, _)| x.clone()).collect();
+        let xs: Vec<Vec<f64>> = self
+            .observations
+            .iter()
+            .map(|(x, _, _)| x.clone())
+            .collect();
         let ys: Vec<f64> = self.observations.iter().map(|(_, _, y)| *y).collect();
         // Length scale by type-II maximum likelihood over a small grid.
         let gp = match GaussianProcess::fit_auto(self.noise, &xs, &ys) {
@@ -150,7 +154,11 @@ impl BayesOpt {
             }
         }
         self.pending = None;
-        let loss = if loss.is_finite() { loss } else { f64::MAX / 1e6 };
+        let loss = if loss.is_finite() {
+            loss
+        } else {
+            f64::MAX / 1e6
+        };
         let z = self.space.encode(config);
         self.observations.push((z, config.clone(), loss));
         Ok(())
@@ -283,7 +291,11 @@ mod tests {
             let loss = objective(&cfg);
             bo.tell(&cfg, loss).unwrap();
         }
-        assert!(bo.best().unwrap().1 < 0.02, "LCB best {}", bo.best().unwrap().1);
+        assert!(
+            bo.best().unwrap().1 < 0.02,
+            "LCB best {}",
+            bo.best().unwrap().1
+        );
     }
 
     #[test]

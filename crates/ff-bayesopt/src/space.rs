@@ -132,9 +132,7 @@ impl SearchSpace {
             .iter()
             .map(|(name, spec)| {
                 let value = match spec {
-                    ParamSpec::Continuous { lo, hi } => {
-                        ParamValue::Float(rng.gen_range(*lo..=*hi))
-                    }
+                    ParamSpec::Continuous { lo, hi } => ParamValue::Float(rng.gen_range(*lo..=*hi)),
                     ParamSpec::LogContinuous { lo, hi } => {
                         let l = lo.log10();
                         let h = hi.log10();

@@ -11,7 +11,13 @@ use rand::SeedableRng;
 fn mixed_space() -> SearchSpace {
     SearchSpace::new()
         .with("a", ParamSpec::Continuous { lo: -2.0, hi: 5.0 })
-        .with("b", ParamSpec::LogContinuous { lo: 1e-4, hi: 100.0 })
+        .with(
+            "b",
+            ParamSpec::LogContinuous {
+                lo: 1e-4,
+                hi: 100.0,
+            },
+        )
         .with("c", ParamSpec::Integer { lo: 0, hi: 9 })
         .with(
             "d",

@@ -38,7 +38,9 @@ fn bench_codec(c: &mut Criterion) {
     for dim in [64usize, 1024, 16384] {
         let ins = Instruction::Fit {
             params: vec![1.0; dim],
-            config: ConfigMap::new().with_str("op", "fit_eval").with_float("alpha", 0.1),
+            config: ConfigMap::new()
+                .with_str("op", "fit_eval")
+                .with_float("alpha", 0.1),
         };
         group.bench_with_input(BenchmarkId::new("roundtrip", dim), &ins, |b, ins| {
             b.iter(|| {
@@ -68,8 +70,9 @@ fn bench_round(c: &mut Criterion) {
             BenchmarkId::new("broadcast_fit", n_clients),
             &n_clients,
             |b, &n| {
-                let clients: Vec<Box<dyn FlClient>> =
-                    (0..n).map(|_| Box::new(NoopClient) as Box<dyn FlClient>).collect();
+                let clients: Vec<Box<dyn FlClient>> = (0..n)
+                    .map(|_| Box::new(NoopClient) as Box<dyn FlClient>)
+                    .collect();
                 let rt = FederatedRuntime::new(clients);
                 let ins = Instruction::Fit {
                     params: vec![0.0; 64],

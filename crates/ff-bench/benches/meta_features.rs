@@ -12,7 +12,10 @@ fn client_series(n: usize) -> TimeSeries {
         &SynthesisSpec {
             n,
             trend: TrendSpec::Linear(0.01),
-            seasons: vec![SeasonSpec { period: 24.0, amplitude: 3.0 }],
+            seasons: vec![SeasonSpec {
+                period: 24.0,
+                amplitude: 3.0,
+            }],
             snr: Some(10.0),
             missing_fraction: 0.02,
             ..Default::default()

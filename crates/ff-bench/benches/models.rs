@@ -12,7 +12,10 @@ fn design(n: usize) -> (Matrix, Vec<f64>) {
     let s = generate(
         &SynthesisSpec {
             n: n + 10,
-            seasons: vec![SeasonSpec { period: 12.0, amplitude: 3.0 }],
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 3.0,
+            }],
             snr: Some(10.0),
             ..Default::default()
         },
@@ -28,17 +31,13 @@ fn bench_models(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     let (x, y) = design(1000);
     for kind in AlgorithmKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("fit", kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut m = build_regressor(kind, &HyperParams::default());
-                    m.fit(black_box(&x), black_box(&y)).unwrap();
-                    m.predict(black_box(&x)).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fit", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut m = build_regressor(kind, &HyperParams::default());
+                m.fit(black_box(&x), black_box(&y)).unwrap();
+                m.predict(black_box(&x)).unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -9,7 +9,10 @@ fn series(n: usize) -> Vec<f64> {
     generate(
         &SynthesisSpec {
             n,
-            seasons: vec![SeasonSpec { period: 24.0, amplitude: 3.0 }],
+            seasons: vec![SeasonSpec {
+                period: 24.0,
+                amplitude: 3.0,
+            }],
             snr: Some(10.0),
             ..Default::default()
         },

@@ -26,7 +26,9 @@ fn main() {
     let clients = ds.generate_federation(0, settings.scale);
     let cfg = settings.engine_config(0);
 
-    let r = FedForecaster::new(cfg, &meta).run(&clients).expect("engine");
+    let r = FedForecaster::new(cfg, &meta)
+        .run(&clients)
+        .expect("engine");
     println!(
         "FedForecaster on {} ({} clients, {} evaluations)\n",
         ds.name,

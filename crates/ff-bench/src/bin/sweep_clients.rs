@@ -25,7 +25,10 @@ fn main() {
             generate(
                 &SynthesisSpec {
                     n: 12_000,
-                    seasons: vec![SeasonSpec { period: 24.0, amplitude: 4.0 }],
+                    seasons: vec![SeasonSpec {
+                        period: 24.0,
+                        amplitude: 4.0,
+                    }],
                     snr: Some(15.0),
                     ..Default::default()
                 },
@@ -58,7 +61,11 @@ fn main() {
         ),
     ];
 
-    println!("Client-count sweep (test MSE, budget {:?}, {} seed(s))\n", settings.budget, settings.seeds.len());
+    println!(
+        "Client-count sweep (test MSE, budget {:?}, {} seed(s))\n",
+        settings.budget,
+        settings.seeds.len()
+    );
     println!(
         "{:<14} {:>8} {:>14} {:>14} {:>10}",
         "regime", "clients", "FedForecaster", "RandomSearch", "N-Beats"

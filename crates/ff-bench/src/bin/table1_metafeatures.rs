@@ -26,14 +26,17 @@ fn main() {
 
     let clients = ds.generate_federation(0, scale);
     let t0 = Instant::now();
-    let metas: Vec<ClientMetaFeatures> = clients
-        .iter()
-        .map(ClientMetaFeatures::extract)
-        .collect();
+    let metas: Vec<ClientMetaFeatures> = clients.iter().map(ClientMetaFeatures::extract).collect();
     let per_client = t0.elapsed().as_secs_f64() / clients.len() as f64;
 
-    println!("Per-client extraction: {:.3}s/client (paper: 2.74s/client on 1 vCPU)\n", per_client);
-    println!("{:<28} {:>12} {:>12} {:>12}", "per-client feature", "client 0", "client 1", "last");
+    println!(
+        "Per-client extraction: {:.3}s/client (paper: 2.74s/client on 1 vCPU)\n",
+        per_client
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "per-client feature", "client 0", "client 1", "last"
+    );
     let rows: Vec<FeatureAccessor> = vec![
         ("n_instances", |m| m.n_instances),
         ("missing_fraction", |m| m.missing_fraction),
@@ -59,7 +62,10 @@ fn main() {
     }
 
     let global = GlobalMetaFeatures::aggregate(&metas);
-    println!("\nAggregated global vector ({} dims):", global.values().len());
+    println!(
+        "\nAggregated global vector ({} dims):",
+        global.values().len()
+    );
     for (name, value) in GlobalMetaFeatures::feature_names()
         .iter()
         .zip(global.values())

@@ -15,7 +15,11 @@ use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
-    let kb_size = if args.flag("full") { 512 } else { args.usize("kb", 160) };
+    let kb_size = if args.flag("full") {
+        512
+    } else {
+        args.usize("kb", 160)
+    };
     let n_seeds = args.usize("seeds", 3) as u64;
 
     eprintln!("[table4] building knowledge base ({kb_size} synthetic + 30 real-like)…");

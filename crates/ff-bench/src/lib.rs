@@ -170,7 +170,11 @@ pub fn compare_on_dataset(
         dataset: ds.name.to_string(),
         len: ds.len,
         clients: ds.clients,
-        nbeats_cons: if cons.is_empty() { None } else { Some(avg(&cons)) },
+        nbeats_cons: if cons.is_empty() {
+            None
+        } else {
+            Some(avg(&cons))
+        },
         fedforecaster: avg(&ff),
         random_search: avg(&rs),
         nbeats: avg(&nb),

@@ -199,7 +199,11 @@ mod tests {
         let comps = ff_timeseries::periodogram::detect_seasonality(s.values(), 3, 5.0);
         assert!(!comps.is_empty());
         // ~11-year cycle ≈ 4018 days; allow generous tolerance.
-        assert!(comps[0].period > 2000.0, "dominant period {}", comps[0].period);
+        assert!(
+            comps[0].period > 2000.0,
+            "dominant period {}",
+            comps[0].period
+        );
     }
 
     #[test]

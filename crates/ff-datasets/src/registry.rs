@@ -52,18 +52,102 @@ enum GeneratorKind {
 pub fn benchmark_datasets() -> Vec<BenchmarkDataset> {
     use GeneratorKind::*;
     vec![
-        BenchmarkDataset { name: "BOE-XUDLERD", len: 15_653, clients: 20, split: SplitKind::TimeSplit, paper_best_model: "HuberRegressor", kind: FxRate },
-        BenchmarkDataset { name: "SunSpotDaily", len: 73_924, clients: 20, split: SplitKind::TimeSplit, paper_best_model: "Lasso", kind: Sunspots },
-        BenchmarkDataset { name: "USBirthsDaily", len: 7_305, clients: 5, split: SplitKind::TimeSplit, paper_best_model: "LinearSVR", kind: UsBirths },
-        BenchmarkDataset { name: "nasdaq_Brazil_Base_Financial_Rate", len: 10_091, clients: 10, split: SplitKind::TimeSplit, paper_best_model: "LinearSVR", kind: PolicyRate },
-        BenchmarkDataset { name: "nasdaq_Brazil_Pr_Base_Financial_Rate", len: 10_091, clients: 15, split: SplitKind::TimeSplit, paper_best_model: "HuberRegressor", kind: PolicyRateSmooth },
-        BenchmarkDataset { name: "nasdaq_Brazil_Saving_Deposits1", len: 812, clients: 5, split: SplitKind::TimeSplit, paper_best_model: "Lasso", kind: DepositRate1 },
-        BenchmarkDataset { name: "nasdaq_Brazil_Saving_Deposits2", len: 1_182, clients: 10, split: SplitKind::TimeSplit, paper_best_model: "XGBRegressor", kind: DepositRate2 },
-        BenchmarkDataset { name: "nasdaq_EIA_PET_RWTC", len: 9_124, clients: 5, split: SplitKind::TimeSplit, paper_best_model: "LinearSVR", kind: Commodity },
-        BenchmarkDataset { name: "nasdaq_WIKI_AAPL_Price", len: 9_124, clients: 15, split: SplitKind::TimeSplit, paper_best_model: "LinearSVR", kind: Equity },
-        BenchmarkDataset { name: "Energy Select Sector ETF", len: 2_517, clients: 10, split: SplitKind::PerClientSeries, paper_best_model: "Lasso", kind: EtfEnergy },
-        BenchmarkDataset { name: "The Technology Sector ETF", len: 2_517, clients: 10, split: SplitKind::PerClientSeries, paper_best_model: "QuantileRegressor", kind: EtfTech },
-        BenchmarkDataset { name: "Utilities Select Sector ETF", len: 2_517, clients: 10, split: SplitKind::PerClientSeries, paper_best_model: "HuberRegressor", kind: EtfUtilities },
+        BenchmarkDataset {
+            name: "BOE-XUDLERD",
+            len: 15_653,
+            clients: 20,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "HuberRegressor",
+            kind: FxRate,
+        },
+        BenchmarkDataset {
+            name: "SunSpotDaily",
+            len: 73_924,
+            clients: 20,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "Lasso",
+            kind: Sunspots,
+        },
+        BenchmarkDataset {
+            name: "USBirthsDaily",
+            len: 7_305,
+            clients: 5,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "LinearSVR",
+            kind: UsBirths,
+        },
+        BenchmarkDataset {
+            name: "nasdaq_Brazil_Base_Financial_Rate",
+            len: 10_091,
+            clients: 10,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "LinearSVR",
+            kind: PolicyRate,
+        },
+        BenchmarkDataset {
+            name: "nasdaq_Brazil_Pr_Base_Financial_Rate",
+            len: 10_091,
+            clients: 15,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "HuberRegressor",
+            kind: PolicyRateSmooth,
+        },
+        BenchmarkDataset {
+            name: "nasdaq_Brazil_Saving_Deposits1",
+            len: 812,
+            clients: 5,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "Lasso",
+            kind: DepositRate1,
+        },
+        BenchmarkDataset {
+            name: "nasdaq_Brazil_Saving_Deposits2",
+            len: 1_182,
+            clients: 10,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "XGBRegressor",
+            kind: DepositRate2,
+        },
+        BenchmarkDataset {
+            name: "nasdaq_EIA_PET_RWTC",
+            len: 9_124,
+            clients: 5,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "LinearSVR",
+            kind: Commodity,
+        },
+        BenchmarkDataset {
+            name: "nasdaq_WIKI_AAPL_Price",
+            len: 9_124,
+            clients: 15,
+            split: SplitKind::TimeSplit,
+            paper_best_model: "LinearSVR",
+            kind: Equity,
+        },
+        BenchmarkDataset {
+            name: "Energy Select Sector ETF",
+            len: 2_517,
+            clients: 10,
+            split: SplitKind::PerClientSeries,
+            paper_best_model: "Lasso",
+            kind: EtfEnergy,
+        },
+        BenchmarkDataset {
+            name: "The Technology Sector ETF",
+            len: 2_517,
+            clients: 10,
+            split: SplitKind::PerClientSeries,
+            paper_best_model: "QuantileRegressor",
+            kind: EtfTech,
+        },
+        BenchmarkDataset {
+            name: "Utilities Select Sector ETF",
+            len: 2_517,
+            clients: 10,
+            split: SplitKind::PerClientSeries,
+            paper_best_model: "HuberRegressor",
+            kind: EtfUtilities,
+        },
     ]
 }
 
@@ -99,7 +183,9 @@ impl BenchmarkDataset {
 
     fn generate_series(&self, n: usize, seed: u64) -> TimeSeries {
         use GeneratorKind::*;
-        let seed = seed.wrapping_mul(1_000_003).wrapping_add(self.name.len() as u64);
+        let seed = seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add(self.name.len() as u64);
         match self.kind {
             FxRate => generators::fx_rate(n, seed),
             Sunspots => generators::sunspots(n, seed),
@@ -112,11 +198,7 @@ impl BenchmarkDataset {
                 // square-ish transform of a mean-reverting walk.
                 let base = generators::deposit_rate(n, seed);
                 let values: Vec<f64> = base.values().iter().map(|v| 0.1 * v * v).collect();
-                TimeSeries::with_regular_index(
-                    base.timestamps()[0],
-                    86_400,
-                    values,
-                )
+                TimeSeries::with_regular_index(base.timestamps()[0], 86_400, values)
             }
             Commodity => generators::commodity_price(n, seed),
             Equity => generators::equity_price(n, seed, 30.0, 0.0008, 0.02),
@@ -126,7 +208,9 @@ impl BenchmarkDataset {
 
     fn generate_basket(&self, per: usize, seed: u64) -> Vec<TimeSeries> {
         use GeneratorKind::*;
-        let seed = seed.wrapping_mul(1_000_003).wrapping_add(self.name.len() as u64);
+        let seed = seed
+            .wrapping_mul(1_000_003)
+            .wrapping_add(self.name.len() as u64);
         match self.kind {
             EtfEnergy => generators::etf_basket(self.clients, per, seed, 40.0, 0.020, 0.004),
             EtfTech => generators::etf_basket(self.clients, per, seed, 80.0, 0.025, 0.015),

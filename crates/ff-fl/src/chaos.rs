@@ -1,0 +1,278 @@
+//! Deterministic fault injection for federated rounds.
+//!
+//! [`ChaosClient`] wraps any [`FlClient`] and, driven by a seeded PRNG,
+//! injects the failure modes a real deployment exhibits: handler panics,
+//! stragglers (fixed delay plus jitter), dropped replies (the server sees a
+//! timeout), and corrupted payloads (the server sees a codec error). Every
+//! fault is reproducible from [`ChaosConfig::seed`], so chaos tests are as
+//! deterministic as the rest of the suite.
+
+use std::time::Duration;
+
+use crate::client::{EvalOutput, FitOutput, FlClient};
+use crate::config::ConfigMap;
+
+/// Fault-injection knobs. All probabilities are per call, in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// PRNG seed; equal seeds replay the identical fault schedule.
+    pub seed: u64,
+    /// Panic on these handler calls (1-based call numbers), regardless of
+    /// `panic_prob`.
+    pub panic_on_calls: Vec<u64>,
+    /// Probability of panicking on any handler call.
+    pub panic_prob: f64,
+    /// Fixed delay added to every handler call.
+    pub fixed_delay: Duration,
+    /// Extra uniform-random delay in `[0, jitter)` per handler call.
+    pub jitter: Duration,
+    /// Probability of dropping the encoded reply (server observes a
+    /// timeout).
+    pub drop_prob: f64,
+    /// Probability of corrupting the encoded reply (server observes a
+    /// codec error).
+    pub corrupt_prob: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            panic_on_calls: Vec::new(),
+            panic_prob: 0.0,
+            fixed_delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+        }
+    }
+}
+
+/// Wraps an inner client and injects faults per a [`ChaosConfig`].
+pub struct ChaosClient {
+    inner: Box<dyn FlClient>,
+    cfg: ChaosConfig,
+    rng: u64,
+    calls: u64,
+}
+
+impl ChaosClient {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: Box<dyn FlClient>, cfg: ChaosConfig) -> ChaosClient {
+        // splitmix64 seeding; avoid an all-zero state.
+        let rng = cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        ChaosClient {
+            inner,
+            cfg,
+            rng,
+            calls: 0,
+        }
+    }
+
+    /// A client that panics on every handler call.
+    pub fn panicking(inner: Box<dyn FlClient>) -> ChaosClient {
+        ChaosClient::new(
+            inner,
+            ChaosConfig {
+                panic_prob: 1.0,
+                ..ChaosConfig::default()
+            },
+        )
+    }
+
+    /// A straggler that sleeps `delay` before answering every call.
+    pub fn hanging(inner: Box<dyn FlClient>, delay: Duration) -> ChaosClient {
+        ChaosClient::new(
+            inner,
+            ChaosConfig {
+                fixed_delay: delay,
+                ..ChaosConfig::default()
+            },
+        )
+    }
+
+    /// A client that corrupts every encoded reply.
+    pub fn corrupting(inner: Box<dyn FlClient>, seed: u64) -> ChaosClient {
+        ChaosClient::new(
+            inner,
+            ChaosConfig {
+                corrupt_prob: 1.0,
+                seed,
+                ..ChaosConfig::default()
+            },
+        )
+    }
+
+    /// A client that drops each reply with probability `drop_prob`.
+    pub fn flaky(inner: Box<dyn FlClient>, drop_prob: f64, seed: u64) -> ChaosClient {
+        ChaosClient::new(
+            inner,
+            ChaosConfig {
+                drop_prob,
+                seed,
+                ..ChaosConfig::default()
+            },
+        )
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    fn before_call(&mut self) {
+        self.calls += 1;
+        if self.cfg.panic_on_calls.contains(&self.calls) || {
+            let p = self.cfg.panic_prob;
+            self.chance(p)
+        } {
+            panic!("chaos: injected panic on call {}", self.calls);
+        }
+        let mut delay = self.cfg.fixed_delay;
+        if !self.cfg.jitter.is_zero() {
+            let frac = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            delay += self.cfg.jitter.mul_f64(frac);
+        }
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+impl FlClient for ChaosClient {
+    fn get_properties(&mut self, config: &ConfigMap) -> ConfigMap {
+        self.before_call();
+        self.inner.get_properties(config)
+    }
+
+    fn fit(&mut self, params: &[f64], config: &ConfigMap) -> FitOutput {
+        self.before_call();
+        self.inner.fit(params, config)
+    }
+
+    fn evaluate(&mut self, params: &[f64], config: &ConfigMap) -> EvalOutput {
+        self.before_call();
+        self.inner.evaluate(params, config)
+    }
+
+    fn wire_transform(&mut self, mut encoded_reply: Vec<u8>) -> Option<Vec<u8>> {
+        let drop_p = self.cfg.drop_prob;
+        if self.chance(drop_p) {
+            return None;
+        }
+        let corrupt_p = self.cfg.corrupt_prob;
+        if self.chance(corrupt_p) && !encoded_reply.is_empty() {
+            // Smash the reply tag to an unknown value and truncate the
+            // body, so the server's decoder is guaranteed to reject it —
+            // a single flipped payload byte could still decode cleanly.
+            encoded_reply[0] = 0xFF;
+            let keep = (encoded_reply.len() + 1) / 2;
+            encoded_reply.truncate(keep);
+            return Some(encoded_reply);
+        }
+        self.inner.wire_transform(encoded_reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Reply;
+
+    /// Minimal well-behaved inner client for wrapping.
+    struct Echo;
+
+    impl FlClient for Echo {
+        fn get_properties(&mut self, _config: &ConfigMap) -> ConfigMap {
+            ConfigMap::new()
+        }
+        fn fit(&mut self, params: &[f64], _config: &ConfigMap) -> FitOutput {
+            FitOutput {
+                params: params.to_vec(),
+                num_examples: 1,
+                metrics: ConfigMap::new(),
+            }
+        }
+        fn evaluate(&mut self, _params: &[f64], _config: &ConfigMap) -> EvalOutput {
+            EvalOutput {
+                loss: 0.0,
+                num_examples: 1,
+                metrics: ConfigMap::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_fault_schedule() {
+        let schedule = |seed: u64| -> Vec<bool> {
+            let mut c = ChaosClient::flaky(Box::new(Echo), 0.5, seed);
+            (0..64)
+                .map(|_| c.wire_transform(vec![1, 2, 3, 4]).is_none())
+                .collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn panicking_client_panics_on_first_call() {
+        let mut c = ChaosClient::panicking(Box::new(Echo));
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.fit(&[1.0], &ConfigMap::new())
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn panic_on_calls_targets_exact_calls() {
+        let cfg = ChaosConfig {
+            panic_on_calls: vec![2],
+            ..ChaosConfig::default()
+        };
+        let mut c = ChaosClient::new(Box::new(Echo), cfg);
+        let _ = c.evaluate(&[], &ConfigMap::new()); // call 1: fine
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.evaluate(&[], &ConfigMap::new()) // call 2: panics
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn corrupted_reply_fails_to_decode() {
+        let mut c = ChaosClient::corrupting(Box::new(Echo), 7);
+        let encoded = Reply::EvaluateRes {
+            loss: 1.0,
+            num_examples: 3,
+            metrics: ConfigMap::new(),
+        }
+        .encode()
+        .to_vec();
+        let mangled = c
+            .wire_transform(encoded)
+            .expect("corruption keeps the reply");
+        assert!(Reply::decode(bytes::Bytes::from(mangled)).is_err());
+    }
+
+    #[test]
+    fn identity_when_no_faults_configured() {
+        let mut c = ChaosClient::new(Box::new(Echo), ChaosConfig::default());
+        let out = c.fit(&[3.0, 4.0], &ConfigMap::new());
+        assert_eq!(out.params, vec![3.0, 4.0]);
+        assert_eq!(c.wire_transform(vec![9, 9]), Some(vec![9, 9]));
+    }
+}

@@ -37,4 +37,14 @@ pub trait FlClient: Send {
 
     /// Evaluates the given parameters/config on the local validation split.
     fn evaluate(&mut self, params: &[f64], config: &ConfigMap) -> EvalOutput;
+
+    /// Transforms the encoded reply just before it crosses the wire — the
+    /// fault-injection hook used by [`crate::chaos::ChaosClient`].
+    /// Returning `None` drops the reply entirely (the server observes a
+    /// timeout); returning modified bytes simulates wire corruption (the
+    /// server observes a codec failure). The default is the identity;
+    /// well-behaved clients never override this.
+    fn wire_transform(&mut self, encoded_reply: Vec<u8>) -> Option<Vec<u8>> {
+        Some(encoded_reply)
+    }
 }

@@ -6,6 +6,8 @@
 //! min/max scaling. Both round-trip through plain byte vectors so they
 //! compose with [`crate::config::ConfigValue::Bytes`] payloads.
 
+use crate::{FlError, Result};
+
 /// Compression scheme for a flat f64 parameter vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Compression {
@@ -50,33 +52,46 @@ pub fn compress(params: &[f64], scheme: Compression) -> Vec<u8> {
     out
 }
 
-/// Decompresses a vector produced by [`compress`]. Returns `None` on
-/// truncated or unrecognized input.
-pub fn decompress(bytes: &[u8]) -> Option<Vec<f64>> {
-    let (&tag, rest) = bytes.split_first()?;
-    let n = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+/// Decompresses a vector produced by [`compress`]. Truncated, misaligned,
+/// or unrecognized input yields a typed [`FlError::Codec`] — a corrupted
+/// compressed update is a wire fault like any other, so the runtime's
+/// fault handling (dropout + retry policy) applies to it uniformly.
+pub fn decompress(bytes: &[u8]) -> Result<Vec<f64>> {
+    let (&tag, rest) = bytes
+        .split_first()
+        .ok_or_else(|| FlError::Codec("empty compressed payload".into()))?;
+    let header: [u8; 4] = rest
+        .get(..4)
+        .and_then(|h| h.try_into().ok())
+        .ok_or_else(|| FlError::Codec("truncated compressed length header".into()))?;
+    let n = u32::from_le_bytes(header) as usize;
     let body = &rest[4..];
     match tag {
         1 => {
             if body.len() != n * 4 {
-                return None;
+                return Err(FlError::Codec(format!(
+                    "f32 body length {} does not match {n} elements",
+                    body.len()
+                )));
             }
-            Some(
-                body.chunks_exact(4)
-                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
-                    .collect(),
-            )
+            Ok(body
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()) as f64)
+                .collect())
         }
         2 => {
             if body.len() != 16 + n {
-                return None;
+                return Err(FlError::Codec(format!(
+                    "q8 body length {} does not match {n} elements",
+                    body.len()
+                )));
             }
             let lo = f64::from_le_bytes(body[..8].try_into().unwrap());
             let hi = f64::from_le_bytes(body[8..16].try_into().unwrap());
             let scale = (hi - lo) / 255.0;
-            Some(body[16..].iter().map(|&q| lo + q as f64 * scale).collect())
+            Ok(body[16..].iter().map(|&q| lo + q as f64 * scale).collect())
         }
-        _ => None,
+        t => Err(FlError::Codec(format!("unknown compression tag {t}"))),
     }
 }
 
@@ -123,11 +138,18 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_input_returns_none() {
+    fn corrupt_input_returns_codec_errors() {
         let c = compress(&params(), Compression::Q8);
-        assert!(decompress(&c[..c.len() - 1]).is_none());
-        assert!(decompress(&[]).is_none());
-        assert!(decompress(&[7, 0, 0, 0, 0]).is_none());
+        assert!(matches!(
+            decompress(&c[..c.len() - 1]),
+            Err(FlError::Codec(_))
+        ));
+        assert!(matches!(decompress(&[]), Err(FlError::Codec(_))));
+        assert!(matches!(decompress(&[1, 9]), Err(FlError::Codec(_))));
+        assert!(matches!(
+            decompress(&[7, 0, 0, 0, 0]),
+            Err(FlError::Codec(_))
+        ));
     }
 
     #[test]
@@ -135,10 +157,17 @@ mod tests {
         // The real consumer: average compressed client updates and compare
         // against exact FedAvg.
         let clients: Vec<Vec<f64>> = (0..4)
-            .map(|c| (0..200).map(|i| ((i + c * 37) as f64 * 0.11).cos()).collect())
+            .map(|c| {
+                (0..200)
+                    .map(|i| ((i + c * 37) as f64 * 0.11).cos())
+                    .collect()
+            })
             .collect();
         let exact = crate::strategy::fedavg(
-            &clients.iter().map(|p| (p.clone(), 1u64)).collect::<Vec<_>>(),
+            &clients
+                .iter()
+                .map(|p| (p.clone(), 1u64))
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let lossy: Vec<Vec<f64>> = clients

@@ -1,0 +1,380 @@
+//! Per-client health tracking across federated rounds.
+//!
+//! The runtime records a transport-level outcome (reply, timeout, panic,
+//! corrupt payload, disconnect) for every client in every tolerant round
+//! and feeds it into this registry. The state machine per client:
+//!
+//! ```text
+//!            failure                      failure × quarantine_after
+//! Healthy ───────────▶ Suspect ──────────────────────▶ Quarantined
+//!    ▲                    │                                  │
+//!    └────── success ─────┘            probe round (admitted again,
+//!    ▲                                  exponential backoff on repeat
+//!    └──────────── successful probe ◀── failures, capped at probe_max)
+//! ```
+//!
+//! Quarantined clients are excluded from rounds until their next probe
+//! round comes up; a successful probe restores them to `Healthy`
+//! immediately, a failed probe doubles the wait (capped at
+//! [`HealthPolicy::probe_max`] rounds, so a recovered client is always
+//! re-admitted within a bounded number of rounds — the no-starvation
+//! property checked by the crate's proptests).
+
+/// Health state of one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientState {
+    /// Replying normally.
+    Healthy,
+    /// Failed recently, but not often enough to quarantine.
+    Suspect,
+    /// Excluded from rounds except periodic re-admission probes.
+    Quarantined,
+}
+
+/// Knobs of the health state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive transport failures before a client is quarantined.
+    pub quarantine_after: u32,
+    /// Rounds to wait before the first re-admission probe.
+    pub probe_base: u64,
+    /// Cap on the exponential probe backoff, in rounds. This bounds the
+    /// time a recovered client waits before it is probed again.
+    pub probe_max: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            quarantine_after: 2,
+            probe_base: 2,
+            probe_max: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ClientRecord {
+    state: ClientState,
+    consecutive_failures: u32,
+    successes: u64,
+    failures: u64,
+    probe_level: u32,
+    next_probe_round: u64,
+}
+
+impl ClientRecord {
+    fn new() -> ClientRecord {
+        ClientRecord {
+            state: ClientState::Healthy,
+            consecutive_failures: 0,
+            successes: 0,
+            failures: 0,
+            probe_level: 0,
+            next_probe_round: 0,
+        }
+    }
+}
+
+/// Tracks health state for a fixed set of clients across rounds.
+#[derive(Debug, Clone)]
+pub struct HealthRegistry {
+    policy: HealthPolicy,
+    records: Vec<ClientRecord>,
+    round: u64,
+}
+
+impl HealthRegistry {
+    /// A registry for `n_clients` clients, all initially healthy.
+    pub fn new(n_clients: usize, policy: HealthPolicy) -> HealthRegistry {
+        HealthRegistry {
+            policy,
+            records: (0..n_clients).map(|_| ClientRecord::new()).collect(),
+            round: 0,
+        }
+    }
+
+    /// Advances the round counter and returns the new round number
+    /// (1-based).
+    pub fn begin_round(&mut self) -> u64 {
+        self.round += 1;
+        self.round
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Clients admitted to the given round: everyone who is not
+    /// quarantined, plus quarantined clients whose probe round has come up.
+    pub fn admitted(&self, round: u64) -> Vec<usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| match r.state {
+                ClientState::Healthy | ClientState::Suspect => true,
+                ClientState::Quarantined => round >= r.next_probe_round,
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Records a transport-level success: the client returns to `Healthy`
+    /// and its probe backoff resets.
+    pub fn record_success(&mut self, id: usize) {
+        let Some(rec) = self.records.get_mut(id) else {
+            return;
+        };
+        rec.successes += 1;
+        rec.consecutive_failures = 0;
+        rec.probe_level = 0;
+        rec.state = ClientState::Healthy;
+    }
+
+    /// Records a transport-level failure (timeout, panic, corrupt payload,
+    /// disconnect), advancing the state machine.
+    pub fn record_failure(&mut self, id: usize) {
+        let round = self.round;
+        let probe_base = self.policy.probe_base;
+        let probe_max = self.policy.probe_max;
+        let quarantine_after = self.policy.quarantine_after;
+        let Some(rec) = self.records.get_mut(id) else {
+            return;
+        };
+        rec.failures += 1;
+        rec.consecutive_failures += 1;
+        let wait = |level: u32| -> u64 {
+            probe_base
+                .saturating_mul(1u64 << level.min(20))
+                .min(probe_max)
+                .max(1)
+        };
+        match rec.state {
+            ClientState::Quarantined => {
+                // Failed probe: deepen the backoff (capped, so the client
+                // is still probed again within probe_max rounds).
+                rec.probe_level = rec.probe_level.saturating_add(1).min(32);
+                rec.next_probe_round = round + wait(rec.probe_level);
+            }
+            _ if rec.consecutive_failures >= quarantine_after => {
+                rec.state = ClientState::Quarantined;
+                rec.probe_level = 0;
+                rec.next_probe_round = round + wait(0);
+            }
+            _ => rec.state = ClientState::Suspect,
+        }
+    }
+
+    /// The state of one client, or `None` for an unknown id.
+    pub fn state(&self, id: usize) -> Option<ClientState> {
+        self.records.get(id).map(|r| r.state)
+    }
+
+    /// A snapshot of every client's health counters.
+    pub fn report(&self) -> HealthReport {
+        HealthReport {
+            rounds: self.round,
+            clients: self
+                .records
+                .iter()
+                .enumerate()
+                .map(|(id, r)| ClientHealthSnapshot {
+                    client_id: id,
+                    state: r.state,
+                    successes: r.successes,
+                    failures: r.failures,
+                    consecutive_failures: r.consecutive_failures,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One client's health counters at report time.
+#[derive(Debug, Clone)]
+pub struct ClientHealthSnapshot {
+    /// Client id.
+    pub client_id: usize,
+    /// Current state.
+    pub state: ClientState,
+    /// Total transport-level successes.
+    pub successes: u64,
+    /// Total transport-level failures.
+    pub failures: u64,
+    /// Current consecutive-failure streak.
+    pub consecutive_failures: u32,
+}
+
+/// Snapshot of the whole federation's health.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Rounds elapsed.
+    pub rounds: u64,
+    /// Per-client counters.
+    pub clients: Vec<ClientHealthSnapshot>,
+}
+
+impl HealthReport {
+    /// Number of clients currently in `state`.
+    pub fn count(&self, state: ClientState) -> usize {
+        self.clients.iter().filter(|c| c.state == state).count()
+    }
+
+    /// Ids of clients currently in `state`.
+    pub fn ids_in(&self, state: ClientState) -> Vec<usize> {
+        self.clients
+            .iter()
+            .filter(|c| c.state == state)
+            .map(|c| c.client_id)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "health after {} rounds: {} healthy / {} suspect / {} quarantined",
+            self.rounds,
+            self.count(ClientState::Healthy),
+            self.count(ClientState::Suspect),
+            self.count(ClientState::Quarantined)
+        )?;
+        for c in &self.clients {
+            writeln!(
+                f,
+                "  client {:>3}: {:?} (ok {}, failed {}, streak {})",
+                c.client_id, c.state, c.successes, c.failures, c.consecutive_failures
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(n: usize) -> HealthRegistry {
+        HealthRegistry::new(n, HealthPolicy::default())
+    }
+
+    #[test]
+    fn all_clients_start_healthy_and_admitted() {
+        let mut reg = registry(3);
+        let round = reg.begin_round();
+        assert_eq!(reg.admitted(round), vec![0, 1, 2]);
+        assert_eq!(reg.state(1), Some(ClientState::Healthy));
+    }
+
+    #[test]
+    fn single_failure_makes_suspect_not_quarantined() {
+        let mut reg = registry(2);
+        let round = reg.begin_round();
+        reg.record_failure(0);
+        assert_eq!(reg.state(0), Some(ClientState::Suspect));
+        // Still admitted next round.
+        let _ = round;
+        let next = reg.begin_round();
+        assert!(reg.admitted(next).contains(&0));
+    }
+
+    #[test]
+    fn consecutive_failures_quarantine_and_exclude() {
+        let mut reg = registry(2);
+        for _ in 0..2 {
+            let _ = reg.begin_round();
+            reg.record_failure(0);
+        }
+        assert_eq!(reg.state(0), Some(ClientState::Quarantined));
+        let next = reg.begin_round();
+        assert_eq!(reg.admitted(next), vec![1]);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut reg = registry(1);
+        let _ = reg.begin_round();
+        reg.record_failure(0);
+        let _ = reg.begin_round();
+        reg.record_success(0);
+        let _ = reg.begin_round();
+        reg.record_failure(0);
+        // One failure after a success: suspect, not quarantined.
+        assert_eq!(reg.state(0), Some(ClientState::Suspect));
+    }
+
+    #[test]
+    fn quarantined_client_is_probed_and_readmitted_on_success() {
+        let policy = HealthPolicy {
+            quarantine_after: 2,
+            probe_base: 2,
+            probe_max: 16,
+        };
+        let mut reg = HealthRegistry::new(1, policy);
+        // Rounds 1-2 fail → quarantined with probe at round 4.
+        for _ in 0..2 {
+            let _ = reg.begin_round();
+            reg.record_failure(0);
+        }
+        let r3 = reg.begin_round();
+        assert!(reg.admitted(r3).is_empty());
+        let r4 = reg.begin_round();
+        assert_eq!(reg.admitted(r4), vec![0]);
+        reg.record_success(0);
+        assert_eq!(reg.state(0), Some(ClientState::Healthy));
+    }
+
+    #[test]
+    fn failed_probes_back_off_exponentially_but_stay_bounded() {
+        let policy = HealthPolicy {
+            quarantine_after: 1,
+            probe_base: 2,
+            probe_max: 8,
+        };
+        let mut reg = HealthRegistry::new(1, policy.clone());
+        let mut admitted_rounds = Vec::new();
+        for _ in 0..60 {
+            let round = reg.begin_round();
+            if reg.admitted(round).contains(&0) {
+                admitted_rounds.push(round);
+                reg.record_failure(0);
+            }
+        }
+        // Gaps grow (2, 4, 8) and then stay capped at probe_max.
+        let gaps: Vec<u64> = admitted_rounds.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.len() >= 4,
+            "expected several probes, got {admitted_rounds:?}"
+        );
+        assert!(
+            gaps.windows(2).all(|w| w[1] >= w[0]),
+            "gaps must not shrink: {gaps:?}"
+        );
+        assert!(
+            gaps.iter().all(|&g| g <= policy.probe_max),
+            "gap exceeds cap: {gaps:?}"
+        );
+        assert_eq!(*gaps.last().unwrap(), policy.probe_max);
+    }
+
+    #[test]
+    fn report_counts_states() {
+        let mut reg = registry(3);
+        for _ in 0..2 {
+            let _ = reg.begin_round();
+            reg.record_failure(2);
+            reg.record_success(0);
+        }
+        let _ = reg.begin_round();
+        reg.record_failure(1);
+        let report = reg.report();
+        assert_eq!(report.count(ClientState::Healthy), 1);
+        assert_eq!(report.count(ClientState::Suspect), 1);
+        assert_eq!(report.count(ClientState::Quarantined), 1);
+        assert_eq!(report.ids_in(ClientState::Quarantined), vec![2]);
+        let rendered = report.to_string();
+        assert!(rendered.contains("1 healthy / 1 suspect / 1 quarantined"));
+    }
+}

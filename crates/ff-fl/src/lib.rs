@@ -18,10 +18,33 @@
 //! - [`log::MessageLog`]: a transcript of every transmitted payload with
 //!   byte counts — used by the test suite to assert that no raw
 //!   time-series samples ever leave a client.
+//!
+//! # Fault tolerance
+//!
+//! Stragglers, crashed devices, and flaky links are the normal operating
+//! condition of a real FL deployment, so the runtime treats partial
+//! participation as the default rather than the exception:
+//!
+//! - [`runtime::RoundPolicy`] bounds every collect with a deadline and a
+//!   response quorum; [`runtime::FederatedRuntime::run_round`] completes a
+//!   round with whichever healthy subset replied in time and reports the
+//!   rest as structured dropouts ([`FlError::Timeout`],
+//!   [`FlError::ClientPanicked`], [`FlError::Codec`]).
+//! - Client threads wrap handler dispatch in `catch_unwind`, so a panicked
+//!   client answers with [`message::Reply::Panicked`] instead of poisoning
+//!   its channel and killing the federation.
+//! - [`health::HealthRegistry`] tracks per-client Healthy → Suspect →
+//!   Quarantined state across rounds, with exponential-backoff re-admission
+//!   probes so recovered clients rejoin without starving.
+//! - [`chaos::ChaosClient`] deterministically injects panics, delays,
+//!   dropped replies, and corrupted payloads into any inner client — the
+//!   test substrate for all of the above.
 
+pub mod chaos;
 pub mod client;
 pub mod compress;
 pub mod config;
+pub mod health;
 pub mod log;
 pub mod message;
 pub mod runtime;
@@ -37,6 +60,17 @@ pub enum FlError {
     ClientUnavailable(usize),
     /// A client returned an application error.
     Client(String),
+    /// A client did not reply before the round deadline.
+    Timeout(usize),
+    /// A client panicked while handling an instruction.
+    ClientPanicked(usize),
+    /// Fewer healthy replies than the round policy requires.
+    Quorum {
+        /// Healthy replies collected.
+        healthy: usize,
+        /// Replies the policy required.
+        required: usize,
+    },
 }
 
 impl std::fmt::Display for FlError {
@@ -45,6 +79,14 @@ impl std::fmt::Display for FlError {
             FlError::Codec(m) => write!(f, "codec error: {m}"),
             FlError::ClientUnavailable(id) => write!(f, "client {id} unavailable"),
             FlError::Client(m) => write!(f, "client error: {m}"),
+            FlError::Timeout(id) => write!(f, "client {id} timed out"),
+            FlError::ClientPanicked(id) => write!(f, "client {id} panicked"),
+            FlError::Quorum { healthy, required } => {
+                write!(
+                    f,
+                    "quorum unmet: {healthy} healthy replies, {required} required"
+                )
+            }
         }
     }
 }

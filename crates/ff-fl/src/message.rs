@@ -62,6 +62,10 @@ pub enum Reply {
     ShutdownAck,
     /// Application-level error.
     Error(String),
+    /// The client panicked while handling the instruction. Produced by the
+    /// runtime's `catch_unwind` wrapper, never by well-behaved clients; the
+    /// payload is the panic message.
+    Panicked(String),
 }
 
 const TAG_GET_PROPERTIES: u8 = 1;
@@ -73,6 +77,7 @@ const TAG_FIT_RES: u8 = 12;
 const TAG_EVALUATE_RES: u8 = 13;
 const TAG_SHUTDOWN_ACK: u8 = 14;
 const TAG_ERROR: u8 = 15;
+const TAG_PANICKED: u8 = 16;
 
 const VTAG_FLOAT: u8 = 1;
 const VTAG_INT: u8 = 2;
@@ -278,6 +283,10 @@ impl Reply {
                 buf.put_u8(TAG_ERROR);
                 put_str(&mut buf, msg);
             }
+            Reply::Panicked(msg) => {
+                buf.put_u8(TAG_PANICKED);
+                put_str(&mut buf, msg);
+            }
         }
         buf.freeze()
     }
@@ -299,6 +308,7 @@ impl Reply {
             },
             TAG_SHUTDOWN_ACK => Reply::ShutdownAck,
             TAG_ERROR => Reply::Error(get_str(&mut raw)?),
+            TAG_PANICKED => Reply::Panicked(get_str(&mut raw)?),
             t => return Err(FlError::Codec(format!("unknown reply tag {t}"))),
         };
         if raw.has_remaining() {
@@ -358,6 +368,7 @@ mod tests {
             },
             Reply::ShutdownAck,
             Reply::Error("boom".into()),
+            Reply::Panicked("index out of bounds".into()),
         ] {
             let encoded = reply.encode();
             let decoded = Reply::decode(encoded).unwrap();

@@ -5,20 +5,88 @@
 //! server over channels carrying *encoded* messages — serialization is not
 //! skipped, so the communication boundary behaves like a real network hop
 //! minus the latency.
+//!
+//! # Fault model
+//!
+//! Channels carry `(sequence, payload)` pairs. Every instruction gets a
+//! per-client monotonically increasing sequence number and the server only
+//! accepts the reply matching the sequence it is waiting for; replies from
+//! earlier, timed-out rounds that arrive late are drained and discarded, so
+//! a straggler can never desynchronize the protocol. Client threads wrap
+//! handler dispatch in `catch_unwind`, turning a panic into a structured
+//! [`Reply::Panicked`] instead of a dead channel. [`run_round`] layers a
+//! [`RoundPolicy`] (deadline, response quorum, retries) on top and reports
+//! non-responders as typed dropouts while the [`crate::health`] registry
+//! decides who participates in future rounds.
+//!
+//! The legacy [`broadcast`]/[`call`] primitives keep their original
+//! blocking semantics for well-behaved clients; only [`run_round`] is safe
+//! against clients that hang or drop replies.
+//!
+//! [`run_round`]: FederatedRuntime::run_round
+//! [`broadcast`]: FederatedRuntime::broadcast
+//! [`call`]: FederatedRuntime::call
 
 use crate::client::FlClient;
 use crate::config::ConfigMap;
+use crate::health::{ClientState, HealthPolicy, HealthRegistry, HealthReport};
 use crate::log::{Direction, MessageLog};
 use crate::message::{Instruction, Reply};
 use crate::{FlError, Result};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-round fault-tolerance policy for [`FederatedRuntime::run_round`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundPolicy {
+    /// How long to wait for all replies after the send phase. `None`
+    /// blocks indefinitely (only safe with well-behaved clients).
+    pub deadline: Option<Duration>,
+    /// Minimum healthy replies for the round to count (clamped to ≥ 1).
+    /// Below this the round fails with [`FlError::Quorum`].
+    pub min_responses: usize,
+    /// How many times to re-send to clients that timed out or returned
+    /// undecodable bytes (transient faults). Panics and disconnects are
+    /// never retried.
+    pub retries: u32,
+    /// Sleep between retry attempts, scaled linearly by attempt number.
+    pub backoff: Duration,
+}
+
+impl Default for RoundPolicy {
+    fn default() -> Self {
+        RoundPolicy {
+            deadline: Some(Duration::from_secs(30)),
+            min_responses: 1,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Result of one fault-tolerant round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// Round number (1-based, shared with the health registry).
+    pub round: u64,
+    /// Clients the health registry admitted to this round.
+    pub participants: Vec<usize>,
+    /// Healthy `(client_id, reply)` pairs, in client order.
+    pub replies: Vec<(usize, Reply)>,
+    /// Clients that dropped out and why, in client order.
+    pub dropouts: Vec<(usize, FlError)>,
+}
 
 struct ClientHandle {
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
+    tx: Sender<(u64, Bytes)>,
+    rx: Receiver<(u64, Bytes)>,
     join: Option<JoinHandle<()>>,
+    next_seq: AtomicU64,
 }
 
 /// The federated runtime: owns the client threads and offers broadcast /
@@ -27,60 +95,110 @@ struct ClientHandle {
 pub struct FederatedRuntime {
     clients: Vec<ClientHandle>,
     log: MessageLog,
+    health: Mutex<HealthRegistry>,
+    shutdown_timeout: Duration,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".into()
+    }
+}
+
+fn client_loop(
+    mut client: Box<dyn FlClient>,
+    rx_ins: Receiver<(u64, Bytes)>,
+    tx_rep: Sender<(u64, Bytes)>,
+) {
+    while let Ok((seq, raw)) = rx_ins.recv() {
+        let ins = match Instruction::decode(raw) {
+            Ok(ins) => ins,
+            Err(e) => {
+                if tx_rep
+                    .send((seq, Reply::Error(e.to_string()).encode()))
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+        if matches!(ins, Instruction::Shutdown) {
+            // Acks bypass wire_transform so a chaos wrapper cannot turn
+            // shutdown into a guaranteed timeout.
+            let _ = tx_rep.send((seq, Reply::ShutdownAck.encode()));
+            break;
+        }
+        let reply = match catch_unwind(AssertUnwindSafe(|| match ins {
+            Instruction::GetProperties(cfg) => Reply::Properties(client.get_properties(&cfg)),
+            Instruction::Fit { params, config } => {
+                let out = client.fit(&params, &config);
+                Reply::FitRes {
+                    params: out.params,
+                    num_examples: out.num_examples,
+                    metrics: out.metrics,
+                }
+            }
+            Instruction::Evaluate { params, config } => {
+                let out = client.evaluate(&params, &config);
+                Reply::EvaluateRes {
+                    loss: out.loss,
+                    num_examples: out.num_examples,
+                    metrics: out.metrics,
+                }
+            }
+            Instruction::Shutdown => unreachable!("handled above"),
+        })) {
+            Ok(reply) => reply,
+            Err(payload) => Reply::Panicked(panic_message(payload)),
+        };
+        match client.wire_transform(reply.encode().to_vec()) {
+            Some(bytes) => {
+                if tx_rep.send((seq, Bytes::from(bytes))).is_err() {
+                    break;
+                }
+            }
+            None => {} // reply dropped on the wire; the server times out
+        }
+    }
 }
 
 impl FederatedRuntime {
-    /// Spawns one thread per client.
+    /// Spawns one thread per client with the default [`HealthPolicy`].
     pub fn new(clients: Vec<Box<dyn FlClient>>) -> FederatedRuntime {
+        FederatedRuntime::with_health_policy(clients, HealthPolicy::default())
+    }
+
+    /// Spawns one thread per client with an explicit health policy.
+    pub fn with_health_policy(
+        clients: Vec<Box<dyn FlClient>>,
+        policy: HealthPolicy,
+    ) -> FederatedRuntime {
         let log = MessageLog::new();
-        let handles = clients
+        let handles: Vec<ClientHandle> = clients
             .into_iter()
-            .map(|mut client| {
-                let (tx_ins, rx_ins) = unbounded::<Bytes>();
-                let (tx_rep, rx_rep) = unbounded::<Bytes>();
-                let join = std::thread::spawn(move || {
-                    while let Ok(raw) = rx_ins.recv() {
-                        let reply = match Instruction::decode(raw) {
-                            Ok(Instruction::GetProperties(cfg)) => {
-                                Reply::Properties(client.get_properties(&cfg))
-                            }
-                            Ok(Instruction::Fit { params, config }) => {
-                                let out = client.fit(&params, &config);
-                                Reply::FitRes {
-                                    params: out.params,
-                                    num_examples: out.num_examples,
-                                    metrics: out.metrics,
-                                }
-                            }
-                            Ok(Instruction::Evaluate { params, config }) => {
-                                let out = client.evaluate(&params, &config);
-                                Reply::EvaluateRes {
-                                    loss: out.loss,
-                                    num_examples: out.num_examples,
-                                    metrics: out.metrics,
-                                }
-                            }
-                            Ok(Instruction::Shutdown) => {
-                                let _ = tx_rep.send(Reply::ShutdownAck.encode());
-                                break;
-                            }
-                            Err(e) => Reply::Error(e.to_string()),
-                        };
-                        if tx_rep.send(reply.encode()).is_err() {
-                            break;
-                        }
-                    }
-                });
+            .map(|client| {
+                let (tx_ins, rx_ins) = unbounded::<(u64, Bytes)>();
+                let (tx_rep, rx_rep) = unbounded::<(u64, Bytes)>();
+                let join = std::thread::spawn(move || client_loop(client, rx_ins, tx_rep));
                 ClientHandle {
                     tx: tx_ins,
                     rx: rx_rep,
                     join: Some(join),
+                    next_seq: AtomicU64::new(0),
                 }
             })
             .collect();
+        let n = handles.len();
         FederatedRuntime {
             clients: handles,
             log,
+            health: Mutex::new(HealthRegistry::new(n, policy)),
+            shutdown_timeout: Duration::from_secs(5),
         }
     }
 
@@ -94,53 +212,102 @@ impl FederatedRuntime {
         &self.log
     }
 
-    /// Sends an instruction to one client and waits for its reply.
-    pub fn call(&self, client_id: usize, ins: &Instruction) -> Result<Reply> {
-        let handle = self
-            .clients
-            .get(client_id)
-            .ok_or(FlError::ClientUnavailable(client_id))?;
+    /// A snapshot of every client's health state.
+    pub fn health_report(&self) -> HealthReport {
+        self.health.lock().report()
+    }
+
+    /// The health state of one client, or `None` for an unknown id.
+    pub fn client_state(&self, id: usize) -> Option<ClientState> {
+        self.health.lock().state(id)
+    }
+
+    /// Bounds how long [`shutdown`](Self::shutdown) (and therefore `Drop`)
+    /// waits for acks before detaching hung client threads. Default: 5 s.
+    pub fn set_shutdown_timeout(&mut self, timeout: Duration) {
+        self.shutdown_timeout = timeout;
+    }
+
+    fn send_to(&self, id: usize, ins: &Instruction) -> Result<u64> {
+        let handle = self.clients.get(id).ok_or(FlError::ClientUnavailable(id))?;
         let encoded = ins.encode();
-        self.log
-            .record(client_id, Direction::ToClient, &encoded);
+        self.log.record(id, Direction::ToClient, &encoded);
+        let seq = handle.next_seq.fetch_add(1, AtomicOrdering::SeqCst);
         handle
             .tx
-            .send(encoded)
-            .map_err(|_| FlError::ClientUnavailable(client_id))?;
-        let raw = handle
-            .rx
-            .recv()
-            .map_err(|_| FlError::ClientUnavailable(client_id))?;
-        self.log.record(client_id, Direction::ToServer, &raw);
-        Reply::decode(raw)
+            .send((seq, encoded))
+            .map_err(|_| FlError::ClientUnavailable(id))?;
+        Ok(seq)
+    }
+
+    /// Waits for the reply carrying `seq`, draining stale replies left
+    /// over from earlier timed-out rounds.
+    fn collect_from(&self, id: usize, seq: u64, deadline: Option<Instant>) -> Result<Reply> {
+        let handle = self.clients.get(id).ok_or(FlError::ClientUnavailable(id))?;
+        loop {
+            let (got, raw) = match deadline {
+                None => handle
+                    .rx
+                    .recv()
+                    .map_err(|_| FlError::ClientUnavailable(id))?,
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        match handle.rx.try_recv() {
+                            Ok(pair) => pair,
+                            Err(TryRecvError::Empty) => return Err(FlError::Timeout(id)),
+                            Err(TryRecvError::Disconnected) => {
+                                return Err(FlError::ClientUnavailable(id))
+                            }
+                        }
+                    } else {
+                        match handle.rx.recv_timeout(at - now) {
+                            Ok(pair) => pair,
+                            Err(RecvTimeoutError::Timeout) => return Err(FlError::Timeout(id)),
+                            Err(RecvTimeoutError::Disconnected) => {
+                                return Err(FlError::ClientUnavailable(id))
+                            }
+                        }
+                    }
+                }
+            };
+            self.log.record(id, Direction::ToServer, &raw);
+            if got < seq {
+                continue; // stale reply from a timed-out round
+            }
+            if got > seq {
+                return Err(FlError::Codec(format!(
+                    "sequence desync on client {id}: got {got}, expected {seq}"
+                )));
+            }
+            return Reply::decode(raw);
+        }
+    }
+
+    /// Sends an instruction to one client and waits for its reply.
+    pub fn call(&self, client_id: usize, ins: &Instruction) -> Result<Reply> {
+        let seq = self.send_to(client_id, ins)?;
+        self.collect_from(client_id, seq, None)
     }
 
     /// Broadcasts an instruction to the given clients *in parallel* and
-    /// collects `(client_id, reply)` pairs in client order.
-    pub fn broadcast(&self, client_ids: &[usize], ins: &Instruction) -> Result<Vec<(usize, Reply)>> {
+    /// collects `(client_id, reply)` pairs in client order. Blocks until
+    /// every client replies — use [`run_round`](Self::run_round) when
+    /// clients may hang or drop replies.
+    pub fn broadcast(
+        &self,
+        client_ids: &[usize],
+        ins: &Instruction,
+    ) -> Result<Vec<(usize, Reply)>> {
         // Send phase.
+        let mut seqs = Vec::with_capacity(client_ids.len());
         for &id in client_ids {
-            let handle = self
-                .clients
-                .get(id)
-                .ok_or(FlError::ClientUnavailable(id))?;
-            let encoded = ins.encode();
-            self.log.record(id, Direction::ToClient, &encoded);
-            handle
-                .tx
-                .send(encoded)
-                .map_err(|_| FlError::ClientUnavailable(id))?;
+            seqs.push((id, self.send_to(id, ins)?));
         }
         // Collect phase (clients compute concurrently on their threads).
         let mut replies = Vec::with_capacity(client_ids.len());
-        for &id in client_ids {
-            let handle = &self.clients[id];
-            let raw = handle
-                .rx
-                .recv()
-                .map_err(|_| FlError::ClientUnavailable(id))?;
-            self.log.record(id, Direction::ToServer, &raw);
-            replies.push((id, Reply::decode(raw)?));
+        for (id, seq) in seqs {
+            replies.push((id, self.collect_from(id, seq, None)?));
         }
         Ok(replies)
     }
@@ -179,9 +346,9 @@ impl FederatedRuntime {
         self.broadcast(&selected, ins)
     }
 
-    /// Fault-tolerant broadcast: clients that answer with
-    /// [`Reply::Error`] are treated as dropouts and filtered out. Errors
-    /// only when fewer than `min_responses` healthy replies arrive —
+    /// Fault-tolerant broadcast: clients that answer with [`Reply::Error`]
+    /// or [`Reply::Panicked`] are treated as dropouts and filtered out.
+    /// Errors only when fewer than `min_responses` healthy replies arrive —
     /// the availability contract of a real FL deployment where stragglers
     /// and crashed devices are routine.
     pub fn broadcast_tolerant(
@@ -192,7 +359,7 @@ impl FederatedRuntime {
         let replies = self.broadcast_all(ins)?;
         let healthy: Vec<(usize, Reply)> = replies
             .into_iter()
-            .filter(|(_, r)| !matches!(r, Reply::Error(_)))
+            .filter(|(_, r)| !matches!(r, Reply::Error(_) | Reply::Panicked(_)))
             .collect();
         if healthy.len() < min_responses.max(1) {
             return Err(FlError::Client(format!(
@@ -203,6 +370,81 @@ impl FederatedRuntime {
             )));
         }
         Ok(healthy)
+    }
+
+    /// Runs one fault-tolerant round: the health registry picks the
+    /// participants, the instruction is broadcast, and replies are
+    /// collected against the policy deadline. Timeouts and undecodable
+    /// replies are retried up to `policy.retries` times with linear
+    /// backoff; panics and disconnects are terminal for the round. The
+    /// round succeeds with whatever healthy subset replied, as long as the
+    /// quorum is met; every non-responder is reported as a typed dropout
+    /// and recorded as a health failure (driving quarantine).
+    pub fn run_round(&self, ins: &Instruction, policy: &RoundPolicy) -> Result<RoundOutcome> {
+        let (round, mut pending) = {
+            let mut health = self.health.lock();
+            let round = health.begin_round();
+            (round, health.admitted(round))
+        };
+        let participants = pending.clone();
+        let mut ok_replies: Vec<(usize, Reply)> = Vec::new();
+        let mut dropouts: Vec<(usize, FlError)> = Vec::new();
+        let mut attempt: u32 = 0;
+        while !pending.is_empty() {
+            attempt += 1;
+            let mut seqs = Vec::with_capacity(pending.len());
+            let mut failures: Vec<(usize, FlError)> = Vec::new();
+            for &id in &pending {
+                match self.send_to(id, ins) {
+                    Ok(seq) => seqs.push((id, seq)),
+                    Err(e) => failures.push((id, e)),
+                }
+            }
+            // One shared deadline per attempt: clients compute in
+            // parallel, so the round takes max(deadline, slowest healthy
+            // reply), not a per-client sum.
+            let deadline = policy.deadline.map(|d| Instant::now() + d);
+            for (id, seq) in seqs {
+                match self.collect_from(id, seq, deadline) {
+                    Ok(Reply::Panicked(_)) => failures.push((id, FlError::ClientPanicked(id))),
+                    Ok(reply) => ok_replies.push((id, reply)),
+                    Err(e) => failures.push((id, e)),
+                }
+            }
+            let can_retry = attempt <= policy.retries;
+            let (retry, terminal): (Vec<_>, Vec<_>) = failures.into_iter().partition(|(_, e)| {
+                can_retry && matches!(e, FlError::Timeout(_) | FlError::Codec(_))
+            });
+            dropouts.extend(terminal);
+            pending = retry.into_iter().map(|(id, _)| id).collect();
+            if !pending.is_empty() && !policy.backoff.is_zero() {
+                std::thread::sleep(policy.backoff * attempt);
+            }
+        }
+        {
+            let mut health = self.health.lock();
+            for (id, _) in &ok_replies {
+                health.record_success(*id);
+            }
+            for (id, _) in &dropouts {
+                health.record_failure(*id);
+            }
+        }
+        ok_replies.sort_by_key(|(id, _)| *id);
+        dropouts.sort_by_key(|(id, _)| *id);
+        let required = policy.min_responses.max(1);
+        if ok_replies.len() < required {
+            return Err(FlError::Quorum {
+                healthy: ok_replies.len(),
+                required,
+            });
+        }
+        Ok(RoundOutcome {
+            round,
+            participants,
+            replies: ok_replies,
+            dropouts,
+        })
     }
 
     /// Convenience: `GetProperties` to every client, returning config maps.
@@ -218,17 +460,52 @@ impl FederatedRuntime {
             .collect()
     }
 
-    /// Shuts all clients down and joins their threads.
+    /// Shuts all clients down within the configured shutdown timeout.
     pub fn shutdown(&mut self) {
-        for (id, handle) in self.clients.iter_mut().enumerate() {
+        self.shutdown_within(self.shutdown_timeout);
+    }
+
+    /// Shuts all clients down, waiting at most `timeout` overall for acks.
+    /// Threads that do not ack in time (hung in a handler) are detached
+    /// rather than joined, so this — and therefore `Drop` — never blocks
+    /// longer than `timeout`.
+    pub fn shutdown_within(&mut self, timeout: Duration) {
+        // Send phase: best effort. A failed send means the client thread
+        // already exited, which is exactly what shutdown wants.
+        let mut acks: Vec<Option<u64>> = Vec::with_capacity(self.clients.len());
+        for (id, handle) in self.clients.iter().enumerate() {
             let encoded = Instruction::Shutdown.encode();
             self.log.record(id, Direction::ToClient, &encoded);
-            let _ = handle.tx.send(encoded);
+            let seq = handle.next_seq.fetch_add(1, AtomicOrdering::SeqCst);
+            acks.push(handle.tx.send((seq, encoded)).ok().map(|_| seq));
         }
-        for handle in self.clients.iter_mut() {
-            let _ = handle.rx.recv(); // ShutdownAck (best effort)
+        let deadline = Instant::now() + timeout;
+        for (handle, ack) in self.clients.iter_mut().zip(acks) {
+            // A failed send means the thread has already exited: joinable.
+            let mut done = ack.is_none();
+            if let Some(seq) = ack {
+                loop {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match handle.rx.recv_timeout(remaining) {
+                        Ok((got, _)) if got >= seq => {
+                            done = true;
+                            break;
+                        }
+                        Ok(_) => continue, // stale reply from a timed-out round
+                        Err(RecvTimeoutError::Disconnected) => {
+                            done = true;
+                            break;
+                        }
+                        Err(RecvTimeoutError::Timeout) => break,
+                    }
+                }
+            }
             if let Some(join) = handle.join.take() {
-                let _ = join.join();
+                if done {
+                    let _ = join.join();
+                }
+                // Not done: drop the handle, detaching the hung thread. It
+                // exits on its own once its instruction channel closes.
             }
         }
     }
@@ -281,10 +558,70 @@ mod tests {
         }
     }
 
+    /// Client that panics on every call.
+    struct PanicClient;
+
+    impl FlClient for PanicClient {
+        fn get_properties(&mut self, _config: &ConfigMap) -> ConfigMap {
+            panic!("simulated device crash");
+        }
+        fn fit(&mut self, _params: &[f64], _config: &ConfigMap) -> FitOutput {
+            panic!("simulated device crash");
+        }
+        fn evaluate(&mut self, _params: &[f64], _config: &ConfigMap) -> EvalOutput {
+            panic!("simulated device crash");
+        }
+    }
+
+    /// Client that sleeps a per-call duration before answering.
+    struct SlowClient {
+        delays: Vec<Duration>,
+        call: usize,
+    }
+
+    impl SlowClient {
+        fn nap(&mut self) {
+            let d = self
+                .delays
+                .get(self.call)
+                .copied()
+                .unwrap_or(Duration::ZERO);
+            self.call += 1;
+            std::thread::sleep(d);
+        }
+    }
+
+    impl FlClient for SlowClient {
+        fn get_properties(&mut self, _config: &ConfigMap) -> ConfigMap {
+            self.nap();
+            ConfigMap::new().with_int("slow", 1)
+        }
+        fn fit(&mut self, _params: &[f64], _config: &ConfigMap) -> FitOutput {
+            self.nap();
+            FitOutput {
+                params: vec![],
+                num_examples: 1,
+                metrics: ConfigMap::new(),
+            }
+        }
+        fn evaluate(&mut self, _params: &[f64], _config: &ConfigMap) -> EvalOutput {
+            self.nap();
+            EvalOutput {
+                loss: 0.0,
+                num_examples: 1,
+                metrics: ConfigMap::new(),
+            }
+        }
+    }
+
     fn runtime() -> FederatedRuntime {
         let clients: Vec<Box<dyn FlClient>> = vec![
-            Box::new(MeanClient { data: vec![1.0, 2.0, 3.0] }),
-            Box::new(MeanClient { data: vec![10.0, 20.0] }),
+            Box::new(MeanClient {
+                data: vec![1.0, 2.0, 3.0],
+            }),
+            Box::new(MeanClient {
+                data: vec![10.0, 20.0],
+            }),
         ];
         FederatedRuntime::new(clients)
     }
@@ -308,7 +645,11 @@ mod tests {
             .unwrap();
         assert_eq!(replies.len(), 2);
         match &replies[0].1 {
-            Reply::FitRes { params, num_examples, .. } => {
+            Reply::FitRes {
+                params,
+                num_examples,
+                ..
+            } => {
                 assert!((params[0] - 2.0).abs() < 1e-12);
                 assert_eq!(*num_examples, 3);
             }
@@ -358,7 +699,11 @@ mod tests {
     #[test]
     fn sampled_broadcast_hits_a_subset() {
         let clients: Vec<Box<dyn FlClient>> = (0..10)
-            .map(|i| Box::new(MeanClient { data: vec![i as f64 + 1.0] }) as Box<dyn FlClient>)
+            .map(|i| {
+                Box::new(MeanClient {
+                    data: vec![i as f64 + 1.0],
+                }) as Box<dyn FlClient>
+            })
             .collect();
         let rt = FederatedRuntime::new(clients);
         let replies = rt
@@ -411,5 +756,135 @@ mod tests {
         rt.shutdown();
         // Dropping after an explicit shutdown must not hang or panic.
         drop(rt);
+    }
+
+    #[test]
+    fn panicked_client_becomes_structured_dropout() {
+        let clients: Vec<Box<dyn FlClient>> = vec![
+            Box::new(MeanClient {
+                data: vec![1.0, 2.0],
+            }),
+            Box::new(PanicClient),
+        ];
+        let rt = FederatedRuntime::new(clients);
+        let policy = RoundPolicy {
+            min_responses: 1,
+            ..RoundPolicy::default()
+        };
+        let outcome = rt
+            .run_round(&Instruction::GetProperties(ConfigMap::new()), &policy)
+            .unwrap();
+        assert_eq!(outcome.participants, vec![0, 1]);
+        assert_eq!(outcome.replies.len(), 1);
+        assert_eq!(outcome.replies[0].0, 0);
+        assert_eq!(outcome.dropouts, vec![(1, FlError::ClientPanicked(1))]);
+        // The panicked client's thread survives: the next round still
+        // reaches it (and it still answers the well-behaved way a real
+        // recovered device would — here it panics again).
+        let outcome2 = rt
+            .run_round(&Instruction::GetProperties(ConfigMap::new()), &policy)
+            .unwrap();
+        assert_eq!(outcome2.dropouts.len(), 1);
+        // Two consecutive failures quarantine the client.
+        assert_eq!(rt.client_state(1), Some(ClientState::Quarantined));
+        let outcome3 = rt
+            .run_round(&Instruction::GetProperties(ConfigMap::new()), &policy)
+            .unwrap();
+        assert_eq!(outcome3.participants, vec![0]);
+    }
+
+    #[test]
+    fn deadline_times_out_stragglers_and_late_reply_is_discarded() {
+        let clients: Vec<Box<dyn FlClient>> = vec![
+            Box::new(MeanClient { data: vec![5.0] }),
+            // Slow on the first call only; instant afterwards.
+            Box::new(SlowClient {
+                delays: vec![Duration::from_millis(400)],
+                call: 0,
+            }),
+        ];
+        let mut rt = FederatedRuntime::new(clients);
+        rt.set_shutdown_timeout(Duration::from_millis(1500));
+        let policy = RoundPolicy {
+            deadline: Some(Duration::from_millis(60)),
+            min_responses: 1,
+            retries: 0,
+            backoff: Duration::ZERO,
+        };
+        let started = Instant::now();
+        let outcome = rt
+            .run_round(&Instruction::GetProperties(ConfigMap::new()), &policy)
+            .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "deadline not enforced"
+        );
+        assert_eq!(outcome.replies.len(), 1);
+        assert_eq!(outcome.dropouts, vec![(1, FlError::Timeout(1))]);
+        // Round 2: the straggler's late round-1 reply must be discarded,
+        // not mistaken for the round-2 answer.
+        std::thread::sleep(Duration::from_millis(450));
+        let outcome2 = rt
+            .run_round(&Instruction::GetProperties(ConfigMap::new()), &policy)
+            .unwrap();
+        assert_eq!(
+            outcome2.replies.len(),
+            2,
+            "recovered straggler should answer round 2"
+        );
+        match &outcome2.replies[1].1 {
+            Reply::Properties(cfg) => assert_eq!(cfg.int_or("slow", 0), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(rt.client_state(1), Some(ClientState::Healthy));
+    }
+
+    #[test]
+    fn quorum_unmet_fails_the_round_not_the_runtime() {
+        let clients: Vec<Box<dyn FlClient>> = vec![
+            Box::new(PanicClient),
+            Box::new(MeanClient { data: vec![1.0] }),
+        ];
+        let rt = FederatedRuntime::new(clients);
+        let policy = RoundPolicy {
+            min_responses: 2,
+            ..RoundPolicy::default()
+        };
+        match rt.run_round(&Instruction::GetProperties(ConfigMap::new()), &policy) {
+            Err(FlError::Quorum { healthy, required }) => {
+                assert_eq!((healthy, required), (1, 2));
+            }
+            other => panic!("expected quorum error, got {other:?}"),
+        }
+        // The healthy client is still usable afterwards.
+        let relaxed = RoundPolicy {
+            min_responses: 1,
+            ..RoundPolicy::default()
+        };
+        let outcome = rt
+            .run_round(&Instruction::GetProperties(ConfigMap::new()), &relaxed)
+            .unwrap();
+        assert_eq!(outcome.replies.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_with_hung_client_is_bounded() {
+        let clients: Vec<Box<dyn FlClient>> = vec![
+            Box::new(MeanClient { data: vec![1.0] }),
+            Box::new(SlowClient {
+                delays: vec![Duration::from_secs(30)],
+                call: 0,
+            }),
+        ];
+        let mut rt = FederatedRuntime::new(clients);
+        // Park the slow client inside its 30 s handler.
+        let _ = rt.send_to(1, &Instruction::GetProperties(ConfigMap::new()));
+        rt.set_shutdown_timeout(Duration::from_millis(100));
+        let started = Instant::now();
+        drop(rt);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "drop blocked on a hung client"
+        );
     }
 }

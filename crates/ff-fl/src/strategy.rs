@@ -75,6 +75,7 @@ pub fn unwrap_fit_replies(replies: Vec<(usize, Reply)>) -> Result<Vec<(Vec<f64>,
                 ..
             } => Ok((params, num_examples)),
             Reply::Error(e) => Err(FlError::Client(e)),
+            Reply::Panicked(m) => Err(FlError::Client(format!("client panicked: {m}"))),
             other => Err(FlError::Codec(format!("unexpected reply {other:?}"))),
         })
         .collect()
@@ -89,6 +90,7 @@ pub fn unwrap_eval_replies(replies: Vec<(usize, Reply)>) -> Result<Vec<(f64, u64
                 loss, num_examples, ..
             } => Ok((loss, num_examples)),
             Reply::Error(e) => Err(FlError::Client(e)),
+            Reply::Panicked(m) => Err(FlError::Client(format!("client panicked: {m}"))),
             other => Err(FlError::Codec(format!("unexpected reply {other:?}"))),
         })
         .collect()

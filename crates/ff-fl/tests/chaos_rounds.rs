@@ -1,0 +1,222 @@
+//! Chaos-driven integration tests: rounds must complete with the healthy
+//! survivors, re-weight FedAvg correctly, and never block past the
+//! configured deadline, no matter how the faulty clients misbehave.
+
+use std::time::{Duration, Instant};
+
+use ff_fl::chaos::{ChaosClient, ChaosConfig};
+use ff_fl::client::{EvalOutput, FitOutput, FlClient};
+use ff_fl::config::ConfigMap;
+use ff_fl::health::ClientState;
+use ff_fl::message::{Instruction, Reply};
+use ff_fl::runtime::{FederatedRuntime, RoundPolicy};
+use ff_fl::strategy::{fedavg, unwrap_fit_replies};
+use ff_fl::FlError;
+
+/// Toy client holding a constant parameter and a FedAvg weight.
+struct ValueClient {
+    value: f64,
+    weight: u64,
+}
+
+impl FlClient for ValueClient {
+    fn get_properties(&mut self, _config: &ConfigMap) -> ConfigMap {
+        ConfigMap::new()
+    }
+    fn fit(&mut self, _params: &[f64], _config: &ConfigMap) -> FitOutput {
+        FitOutput {
+            params: vec![self.value],
+            num_examples: self.weight,
+            metrics: ConfigMap::new(),
+        }
+    }
+    fn evaluate(&mut self, _params: &[f64], _config: &ConfigMap) -> EvalOutput {
+        EvalOutput {
+            loss: self.value,
+            num_examples: self.weight,
+            metrics: ConfigMap::new(),
+        }
+    }
+}
+
+fn value(value: f64, weight: u64) -> Box<dyn FlClient> {
+    Box::new(ValueClient { value, weight })
+}
+
+fn fit_ins() -> Instruction {
+    Instruction::Fit {
+        params: vec![],
+        config: ConfigMap::new(),
+    }
+}
+
+fn policy(deadline_ms: u64, min_responses: usize) -> RoundPolicy {
+    RoundPolicy {
+        deadline: Some(Duration::from_millis(deadline_ms)),
+        min_responses,
+        retries: 0,
+        backoff: Duration::ZERO,
+    }
+}
+
+#[test]
+fn panicking_client_drops_out_and_fedavg_reweights_over_survivors() {
+    let clients: Vec<Box<dyn FlClient>> = vec![
+        value(1.0, 1),
+        ChaosClient::panicking(value(100.0, 1000)).into_boxed(),
+        value(4.0, 3),
+    ];
+    let rt = FederatedRuntime::new(clients);
+    let outcome = rt.run_round(&fit_ins(), &policy(2000, 2)).unwrap();
+    assert_eq!(
+        outcome
+            .replies
+            .iter()
+            .map(|(id, _)| *id)
+            .collect::<Vec<_>>(),
+        vec![0, 2]
+    );
+    assert_eq!(outcome.dropouts, vec![(1, FlError::ClientPanicked(1))]);
+    // FedAvg over survivors only: (1*1 + 4*3) / 4 = 3.25. The panicked
+    // client's huge value must not contribute.
+    let pairs = unwrap_fit_replies(outcome.replies).unwrap();
+    let agg = fedavg(&pairs).unwrap();
+    assert!((agg[0] - 3.25).abs() < 1e-12, "got {agg:?}");
+}
+
+#[test]
+fn slower_than_deadline_client_times_out_without_blocking_the_round() {
+    let clients: Vec<Box<dyn FlClient>> = vec![
+        value(2.0, 1),
+        ChaosClient::hanging(value(9.0, 1), Duration::from_secs(10)).into_boxed(),
+    ];
+    let mut rt = FederatedRuntime::new(clients);
+    rt.set_shutdown_timeout(Duration::from_millis(200));
+    let started = Instant::now();
+    let outcome = rt.run_round(&fit_ins(), &policy(80, 1)).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_millis(900),
+        "round blocked on straggler: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(outcome.replies.len(), 1);
+    assert_eq!(outcome.dropouts, vec![(1, FlError::Timeout(1))]);
+    // Drop must detach the still-sleeping thread, not wait the full 10 s.
+    let drop_started = Instant::now();
+    drop(rt);
+    assert!(drop_started.elapsed() < Duration::from_secs(2));
+}
+
+#[test]
+fn corrupt_reply_client_surfaces_as_codec_dropout() {
+    let clients: Vec<Box<dyn FlClient>> = vec![
+        value(5.0, 2),
+        ChaosClient::corrupting(value(7.0, 2), 99).into_boxed(),
+    ];
+    let rt = FederatedRuntime::new(clients);
+    let outcome = rt.run_round(&fit_ins(), &policy(2000, 1)).unwrap();
+    assert_eq!(outcome.replies.len(), 1);
+    assert_eq!(outcome.replies[0].0, 0);
+    assert_eq!(outcome.dropouts.len(), 1);
+    assert_eq!(outcome.dropouts[0].0, 1);
+    assert!(matches!(outcome.dropouts[0].1, FlError::Codec(_)));
+}
+
+#[test]
+fn dropped_replies_are_recovered_by_retries() {
+    // Drops exactly the first reply, answers cleanly afterwards.
+    struct DropFirst {
+        inner: Box<dyn FlClient>,
+        dropped: bool,
+    }
+    impl FlClient for DropFirst {
+        fn get_properties(&mut self, config: &ConfigMap) -> ConfigMap {
+            self.inner.get_properties(config)
+        }
+        fn fit(&mut self, params: &[f64], config: &ConfigMap) -> FitOutput {
+            self.inner.fit(params, config)
+        }
+        fn evaluate(&mut self, params: &[f64], config: &ConfigMap) -> EvalOutput {
+            self.inner.evaluate(params, config)
+        }
+        fn wire_transform(&mut self, encoded_reply: Vec<u8>) -> Option<Vec<u8>> {
+            if self.dropped {
+                Some(encoded_reply)
+            } else {
+                self.dropped = true;
+                None
+            }
+        }
+    }
+    let clients: Vec<Box<dyn FlClient>> = vec![
+        value(1.0, 1),
+        Box::new(DropFirst {
+            inner: value(3.0, 1),
+            dropped: false,
+        }),
+    ];
+    let rt = FederatedRuntime::new(clients);
+    let tolerant = RoundPolicy {
+        deadline: Some(Duration::from_millis(150)),
+        min_responses: 2,
+        retries: 1,
+        backoff: Duration::from_millis(5),
+    };
+    let outcome = rt.run_round(&fit_ins(), &tolerant).unwrap();
+    // The retry resend reaches the now-behaving client: full quorum, no
+    // dropouts, and both clients recorded healthy.
+    assert_eq!(outcome.replies.len(), 2);
+    assert!(outcome.dropouts.is_empty());
+    assert_eq!(rt.client_state(1), Some(ClientState::Healthy));
+}
+
+#[test]
+fn quarantined_client_is_skipped_then_probed_and_readmitted() {
+    // Panics on handler calls 1 and 2, recovers afterwards.
+    let chaotic = ChaosClient::new(
+        value(6.0, 1),
+        ChaosConfig {
+            panic_on_calls: vec![1, 2],
+            ..ChaosConfig::default()
+        },
+    );
+    let clients: Vec<Box<dyn FlClient>> = vec![value(1.0, 1), value(2.0, 1), Box::new(chaotic)];
+    let rt = FederatedRuntime::new(clients);
+    let p = policy(2000, 1);
+    let mut participant_counts = Vec::new();
+    let mut reply_ids_per_round = Vec::new();
+    for _ in 0..5 {
+        let outcome = rt.run_round(&fit_ins(), &p).unwrap();
+        participant_counts.push(outcome.participants.len());
+        reply_ids_per_round.push(
+            outcome
+                .replies
+                .iter()
+                .map(|(id, _)| *id)
+                .collect::<Vec<_>>(),
+        );
+    }
+    // Rounds 1-2: client 2 participates and panics (suspect, then
+    // quarantined). Round 3: excluded. Round 4 (probe_base = 2): probed,
+    // succeeds, re-admitted. Round 5: fully back.
+    assert_eq!(participant_counts, vec![3, 3, 2, 3, 3]);
+    assert_eq!(reply_ids_per_round[2], vec![0, 1]);
+    assert_eq!(reply_ids_per_round[3], vec![0, 1, 2]);
+    assert_eq!(rt.client_state(2), Some(ClientState::Healthy));
+    // The recovered client's reply is usable again.
+    match &rt.run_round(&fit_ins(), &p).unwrap().replies[2].1 {
+        Reply::FitRes { params, .. } => assert_eq!(params, &vec![6.0]),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Helper so chaos wrappers box cleanly at the call site.
+trait IntoBoxed {
+    fn into_boxed(self) -> Box<dyn FlClient>;
+}
+
+impl IntoBoxed for ChaosClient {
+    fn into_boxed(self) -> Box<dyn FlClient> {
+        Box::new(self)
+    }
+}

@@ -1,6 +1,8 @@
-//! Property tests: codec round-trips and aggregation invariants.
+//! Property tests: codec round-trips, aggregation invariants, and
+//! liveness of the health state machine.
 
 use ff_fl::config::{ConfigMap, ConfigValue};
+use ff_fl::health::{ClientState, HealthPolicy, HealthRegistry};
 use ff_fl::message::{Instruction, Reply};
 use ff_fl::strategy::{aggregate_loss, fedavg};
 use proptest::prelude::*;
@@ -48,6 +50,8 @@ proptest! {
             Reply::FitRes { params: params.clone(), num_examples: n, metrics: cfg.clone() },
             Reply::EvaluateRes { loss, num_examples: n, metrics: cfg.clone() },
             Reply::ShutdownAck,
+            Reply::Error("boom".into()),
+            Reply::Panicked("index out of bounds".into()),
         ] {
             let decoded = Reply::decode(reply.encode()).unwrap();
             prop_assert_eq!(reply, decoded);
@@ -91,5 +95,47 @@ proptest! {
         let lo = losses.iter().map(|(l, _)| *l).fold(f64::INFINITY, f64::min);
         let hi = losses.iter().map(|(l, _)| *l).fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(agg >= lo - 1e-9 && agg <= hi + 1e-9);
+    }
+
+    /// Quarantine plus probe backoff never starves a recovered client:
+    /// whatever the policy and however long the client misbehaved, once it
+    /// starts succeeding it is probed, re-admitted, and back to `Healthy`
+    /// within a bounded number of rounds (the probe backoff is capped at
+    /// `probe_max`).
+    #[test]
+    fn quarantine_never_starves_a_recovered_client(
+        quarantine_after in 1u32..5,
+        probe_base in 1u64..6,
+        probe_max in 1u64..24,
+        fail_rounds in 1u64..40,
+    ) {
+        let policy = HealthPolicy { quarantine_after, probe_base, probe_max };
+        let mut reg = HealthRegistry::new(1, policy);
+        // Phase 1: the client fails every round it participates in.
+        for _ in 0..fail_rounds {
+            let round = reg.begin_round();
+            if reg.admitted(round).contains(&0) {
+                reg.record_failure(0);
+            }
+        }
+        // Phase 2: the client has recovered and succeeds whenever probed.
+        // It must reach Healthy within probe_max + 1 further rounds.
+        let mut healthy_after = None;
+        for extra in 1..=(probe_max + 1) {
+            let round = reg.begin_round();
+            if reg.admitted(round).contains(&0) {
+                reg.record_success(0);
+            }
+            if reg.state(0) == Some(ClientState::Healthy) {
+                healthy_after = Some(extra);
+                break;
+            }
+        }
+        prop_assert!(
+            healthy_after.is_some(),
+            "client still {:?} after {} recovery rounds",
+            reg.state(0),
+            probe_max + 1
+        );
     }
 }

@@ -131,10 +131,7 @@ impl CholeskyFactor {
 
     /// Log-determinant of `A`: `2 Σ log L_ii`.
     pub fn log_det(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.l.get(i, i).ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
     }
 }
 

@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn fft_matches_naive_dft() {
-        let x: Vec<Complex> = (0..16).map(|i| ((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
+        let x: Vec<Complex> = (0..16)
+            .map(|i| ((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
         let mut fast = x.clone();
         fft_in_place(&mut fast);
         let slow = naive_dft(&x);

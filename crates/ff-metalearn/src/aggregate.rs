@@ -16,7 +16,13 @@ pub struct GlobalMetaFeatures {
     values: Vec<f64>,
 }
 
-fn push_summary(names: &mut Vec<String>, values: &mut Vec<f64>, name: &str, s: &Summary, with_sum: bool) {
+fn push_summary(
+    names: &mut Vec<String>,
+    values: &mut Vec<f64>,
+    name: &str,
+    s: &Summary,
+    with_sum: bool,
+) {
     if with_sum {
         names.push(format!("{name}_sum"));
         values.push(s.sum);
@@ -48,9 +54,8 @@ impl GlobalMetaFeatures {
         names.push("sampling_step_secs".into());
         values.push(clients[0].sampling_step_secs);
 
-        let collect = |f: fn(&ClientMetaFeatures) -> f64| -> Vec<f64> {
-            clients.iter().map(f).collect()
-        };
+        let collect =
+            |f: fn(&ClientMetaFeatures) -> f64| -> Vec<f64> { clients.iter().map(f).collect() };
 
         // No. of Instances — Sum, Avg, Min, Max, Stddev.
         let s = stats::summary(&collect(|c| c.n_instances));
@@ -219,7 +224,10 @@ mod tests {
         let s = generate(
             &SynthesisSpec {
                 n: 500,
-                seasons: vec![SeasonSpec { period: 12.0, amplitude: 2.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 12.0,
+                    amplitude: 2.0,
+                }],
                 ..Default::default()
             },
             seed,
@@ -258,11 +266,22 @@ mod tests {
     #[test]
     fn heterogeneous_clients_have_positive_kl() {
         let a = ClientMetaFeatures::extract(&generate(
-            &SynthesisSpec { n: 500, level: 0.0, ..Default::default() },
+            &SynthesisSpec {
+                n: 500,
+                level: 0.0,
+                ..Default::default()
+            },
             7,
         ));
         // Skewed client: exponential-ish values via squaring.
-        let raw = generate(&SynthesisSpec { n: 500, level: 0.0, ..Default::default() }, 8);
+        let raw = generate(
+            &SynthesisSpec {
+                n: 500,
+                level: 0.0,
+                ..Default::default()
+            },
+            8,
+        );
         let squared: Vec<f64> = raw.values().iter().map(|v| v * v).collect();
         let b = ClientMetaFeatures::extract(&TimeSeries::with_regular_index(0, 86_400, squared));
         let g = GlobalMetaFeatures::aggregate(&[a, b]);

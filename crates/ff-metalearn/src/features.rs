@@ -4,9 +4,7 @@
 //! *only this struct* to the server — the "fingerprint" of its data. The
 //! numbers are anonymized summaries; no raw sample sequence is included.
 
-use ff_timeseries::{
-    acf, fractal, interpolate, periodogram, stationarity, stats, TimeSeries,
-};
+use ff_timeseries::{acf, fractal, interpolate, periodogram, stationarity, stats, TimeSeries};
 
 /// Statistical meta-features of one client's time-series split.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,10 +87,11 @@ impl ClientMetaFeatures {
         let min_period = seasons.last().map(|s| s.period).unwrap_or(0.0);
 
         let observed = series.observed();
-        let (lo, hi) = observed.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &x| (lo.min(x), hi.max(x)),
-        );
+        let (lo, hi) = observed
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            });
         let (lo, hi) = if lo.is_finite() && hi > lo {
             (lo, hi)
         } else {
@@ -186,7 +185,10 @@ mod tests {
         generate(
             &SynthesisSpec {
                 n: 600,
-                seasons: vec![SeasonSpec { period: 24.0, amplitude: 4.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 24.0,
+                    amplitude: 4.0,
+                }],
                 snr: Some(30.0),
                 ..Default::default()
             },
@@ -199,7 +201,11 @@ mod tests {
         let mf = ClientMetaFeatures::extract(&seasonal_series());
         assert_eq!(mf.n_instances, 600.0);
         assert!(mf.n_seasonal_components >= 1.0);
-        assert!((mf.dominant_period - 24.0).abs() < 2.0, "period {}", mf.dominant_period);
+        assert!(
+            (mf.dominant_period - 24.0).abs() < 2.0,
+            "period {}",
+            mf.dominant_period
+        );
         assert!(mf.n_significant_lags >= 1.0);
         assert!(mf.fractal_dimension >= 0.5 && mf.fractal_dimension <= 2.5);
     }
@@ -260,7 +266,10 @@ mod tests {
                 trend: TrendSpec::Linear(0.3),
                 composition: Composition::Multiplicative,
                 level: 10.0,
-                seasons: vec![SeasonSpec { period: 12.0, amplitude: 1.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 12.0,
+                    amplitude: 1.0,
+                }],
                 snr: Some(20.0),
                 ..Default::default()
             },

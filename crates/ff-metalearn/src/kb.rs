@@ -148,9 +148,7 @@ pub fn grid_search_best(clients: &[PreparedClient]) -> Option<(AlgorithmKind, f6
             per_algorithm.push((kind, best_for_kind));
         }
     }
-    let (_, best_loss) = *per_algorithm
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))?;
+    let (_, best_loss) = *per_algorithm.iter().min_by(|a, b| a.1.total_cmp(&b.1))?;
     // First algorithm (registry order) within the tolerance band wins.
     per_algorithm
         .into_iter()
@@ -199,7 +197,10 @@ mod tests {
         let s = generate(
             &SynthesisSpec {
                 n: 900,
-                seasons: vec![SeasonSpec { period: 12.0, amplitude: 3.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 12.0,
+                    amplitude: 3.0,
+                }],
                 snr: Some(20.0),
                 ..Default::default()
             },
@@ -250,7 +251,7 @@ mod tests {
     #[test]
     fn min_instance_rule_excludes_small_splits() {
         let datasets = synthetic_kb(2); // n = 1500 each
-        // 20 clients × 500 min = 10 000 > 1500 ⇒ everything excluded.
+                                        // 20 clients × 500 min = 10 000 > 1500 ⇒ everything excluded.
         let kb = KnowledgeBase::build(&datasets, &[20], PAPER_MIN_INSTANCES_PER_CLIENT);
         assert!(kb.is_empty());
     }

@@ -69,9 +69,7 @@ impl MetaClassifierKind {
             MetaClassifierKind::GradientBoosting => {
                 Box::new(gradient_boosting_classifier(30, 3, 0.3))
             }
-            MetaClassifierKind::RandomForest => {
-                Box::new(RandomForestClassifier::new(60, 10, seed))
-            }
+            MetaClassifierKind::RandomForest => Box::new(RandomForestClassifier::new(60, 10, seed)),
             MetaClassifierKind::CatBoost => Box::new(catboost_classifier(30, 4, 0.3)),
             MetaClassifierKind::LightGbm => Box::new(lightgbm_classifier(30, 4, 0.3)),
             MetaClassifierKind::ExtraTrees => {
@@ -224,7 +222,11 @@ pub fn evaluate_zoo(kb: &KnowledgeBase, seed: u64) -> Result<Vec<ZooResult>> {
 }
 
 /// Deterministic shuffled split of the KB into train/validation parts.
-pub fn split_kb(kb: &KnowledgeBase, train_fraction: f64, seed: u64) -> (KnowledgeBase, KnowledgeBase) {
+pub fn split_kb(
+    kb: &KnowledgeBase,
+    train_fraction: f64,
+    seed: u64,
+) -> (KnowledgeBase, KnowledgeBase) {
     let n = kb.len();
     let mut order: Vec<usize> = (0..n).collect();
     // Fisher–Yates with an LCG (deterministic, dependency-free).

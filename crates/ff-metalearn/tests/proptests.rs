@@ -10,7 +10,10 @@ fn client(seed: u64, n: usize, period: f64, missing: f64) -> ClientMetaFeatures 
         &SynthesisSpec {
             n,
             seasons: if period > 0.0 {
-                vec![SeasonSpec { period, amplitude: 3.0 }]
+                vec![SeasonSpec {
+                    period,
+                    amplitude: 3.0,
+                }]
             } else {
                 vec![]
             },

@@ -262,10 +262,7 @@ mod tests {
                 labels.push(c);
             }
         }
-        (
-            Matrix::from_fn(rows.len(), 2, |i, j| rows[i][j]),
-            labels,
-        )
+        (Matrix::from_fn(rows.len(), 2, |i, j| rows[i][j]), labels)
     }
 
     fn check_learner(mut clf: BoostedClassifier, min_acc: f64) {

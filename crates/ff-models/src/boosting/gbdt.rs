@@ -145,7 +145,11 @@ impl Regressor for XgbRegressor {
             } else {
                 (0..n).collect()
             };
-            let rows = if rows.len() < 2 { (0..n).collect() } else { rows };
+            let rows = if rows.len() < 2 {
+                (0..n).collect()
+            } else {
+                rows
+            };
             let tree = GhTree::fit(x, &grad, &hess, &rows, &cfg, &mut rng);
             for (p, i) in pred.iter_mut().zip(0..n) {
                 *p += self.learning_rate * tree.predict_row(x.row(i));

@@ -240,8 +240,7 @@ impl HistogramTree {
                 if hl < min_child_weight || hr < min_child_weight {
                     continue;
                 }
-                let gain =
-                    0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent);
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent);
                 if gain > best.map_or(1e-12, |b| b.0) {
                     best = Some((gain, f, b as u8));
                 }
@@ -297,7 +296,13 @@ mod tests {
     fn step_data(n: usize) -> (Matrix, Vec<f64>, Vec<f64>) {
         let x = Matrix::from_fn(n, 1, |i, _| i as f64 / n as f64);
         let y: Vec<f64> = (0..n)
-            .map(|i| if (i as f64 / n as f64) < 0.3 { -2.0 } else { 4.0 })
+            .map(|i| {
+                if (i as f64 / n as f64) < 0.3 {
+                    -2.0
+                } else {
+                    4.0
+                }
+            })
             .collect();
         let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
         (x, y, grad)

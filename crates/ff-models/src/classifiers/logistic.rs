@@ -100,10 +100,18 @@ impl Classifier for LogisticRegression {
                 let v = diff.get(i, l) - 1.0;
                 diff.set(i, l, v);
             }
-            let grad = xa.transpose().matmul(&diff).expect("shape").scale(1.0 / n as f64);
+            let grad = xa
+                .transpose()
+                .matmul(&diff)
+                .expect("shape")
+                .scale(1.0 / n as f64);
             for j in 0..p + 1 {
                 for c in 0..n_classes {
-                    let reg = if j < p { lambda * w.get(j, c) / n as f64 } else { 0.0 };
+                    let reg = if j < p {
+                        lambda * w.get(j, c) / n as f64
+                    } else {
+                        0.0
+                    };
                     let v = w.get(j, c) - lr * (grad.get(j, c) + reg);
                     w.set(j, c, v);
                 }
@@ -124,8 +132,14 @@ impl Classifier for LogisticRegression {
         let s = self.state.as_ref().ok_or(ModelError::NotFitted)?;
         let xs = s.scaler.transform(x);
         let p = xs.cols();
-        let xa = Matrix::from_fn(xs.rows(), p + 1, |i, j| if j < p { xs.get(i, j) } else { 1.0 });
-        let scores = xa.matmul(&s.w).map_err(|e| ModelError::Numerical(e.to_string()))?;
+        let xa = Matrix::from_fn(
+            xs.rows(),
+            p + 1,
+            |i, j| if j < p { xs.get(i, j) } else { 1.0 },
+        );
+        let scores = xa
+            .matmul(&s.w)
+            .map_err(|e| ModelError::Numerical(e.to_string()))?;
         let _ = s.n_classes;
         Ok(softmax(&scores))
     }

@@ -110,8 +110,7 @@ impl Regressor for RandomForestRegressor {
         Ok((0..x.rows())
             .map(|i| {
                 let row = x.row(i);
-                self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
-                    / self.trees.len() as f64
+                self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
             })
             .collect())
     }
@@ -293,7 +292,13 @@ mod tests {
     #[test]
     fn classifier_learns_separable_data() {
         let n = 200;
-        let x = Matrix::from_fn(n, 2, |i, j| if j == 0 { (i % 10) as f64 } else { (i / 10) as f64 });
+        let x = Matrix::from_fn(n, 2, |i, j| {
+            if j == 0 {
+                (i % 10) as f64
+            } else {
+                (i / 10) as f64
+            }
+        });
         let labels: Vec<usize> = (0..n).map(|i| usize::from((i / 10) >= 10)).collect();
         let mut c = RandomForestClassifier::new(20, 8, 5);
         c.fit(&x, &labels, 2).unwrap();

@@ -118,7 +118,16 @@ impl Regressor for ElasticNetCv {
             }
         }
 
-        let fit = coordinate_descent(&xs, &ys, best.1, self.l1_ratio, self.selection, 300, 1e-7, 7);
+        let fit = coordinate_descent(
+            &xs,
+            &ys,
+            best.1,
+            self.l1_ratio,
+            self.selection,
+            300,
+            1e-7,
+            7,
+        );
         if fit.coef.iter().any(|c| !c.is_finite()) {
             return Err(ModelError::Numerical("non-finite coefficients".into()));
         }
@@ -153,7 +162,10 @@ impl LinearParams for ElasticNetCv {
     }
 
     fn intercept(&self) -> Result<f64> {
-        self.state.as_ref().map(|s| s.intercept).ok_or(ModelError::NotFitted)
+        self.state
+            .as_ref()
+            .map(|s| s.intercept)
+            .ok_or(ModelError::NotFitted)
     }
 
     fn set_linear_params(&mut self, coef: &[f64], intercept: f64) {

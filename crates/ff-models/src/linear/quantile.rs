@@ -141,7 +141,10 @@ impl LinearParams for QuantileRegressor {
     }
 
     fn intercept(&self) -> Result<f64> {
-        self.state.as_ref().map(|s| s.intercept).ok_or(ModelError::NotFitted)
+        self.state
+            .as_ref()
+            .map(|s| s.intercept)
+            .ok_or(ModelError::NotFitted)
     }
 
     fn set_linear_params(&mut self, coef: &[f64], intercept: f64) {

@@ -60,12 +60,7 @@ pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    y_true
-        .iter()
-        .zip(y_pred)
-        .filter(|(t, p)| t == p)
-        .count() as f64
-        / y_true.len() as f64
+    y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count() as f64 / y_true.len() as f64
 }
 
 /// Macro-averaged F1 score over `n_classes` classes. Classes absent from

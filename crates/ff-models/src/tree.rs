@@ -94,9 +94,9 @@ impl GhTree {
         cfg: &GhTreeConfig,
         rng: &mut StdRng,
     ) -> usize {
-        let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &i| {
-            (g + grad[i], h + hess[i])
-        });
+        let (g_sum, h_sum) = rows
+            .iter()
+            .fold((0.0, 0.0), |(g, h), &i| (g + grad[i], h + hess[i]));
         let make_leaf = |nodes: &mut Vec<Node>| {
             nodes.push(Node::Leaf {
                 value: Self::leaf_value(g_sum, h_sum, cfg.lambda),
@@ -354,7 +354,10 @@ fn gini(counts: &[f64], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|c| (c / total) * (c / total))
+        .sum::<f64>()
 }
 
 impl ClassificationTree {
@@ -539,7 +542,15 @@ mod tests {
         // y = 1 for x < 0.5, y = 5 otherwise.
         let n = 100;
         let x = Matrix::from_fn(n, 1, |i, _| i as f64 / n as f64);
-        let y: Vec<f64> = (0..n).map(|i| if (i as f64 / n as f64) < 0.5 { 1.0 } else { 5.0 }).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                if (i as f64 / n as f64) < 0.5 {
+                    1.0
+                } else {
+                    5.0
+                }
+            })
+            .collect();
         let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
         let hess = vec![1.0; n];
         let rows: Vec<usize> = (0..n).collect();
@@ -567,7 +578,11 @@ mod tests {
             &grad,
             &hess,
             &rows,
-            &GhTreeConfig { max_depth: 0, lambda: 0.0, ..Default::default() },
+            &GhTreeConfig {
+                max_depth: 0,
+                lambda: 0.0,
+                ..Default::default()
+            },
             &mut rng(),
         );
         let big = GhTree::fit(
@@ -575,7 +590,11 @@ mod tests {
             &grad,
             &hess,
             &rows,
-            &GhTreeConfig { max_depth: 0, lambda: 10.0, ..Default::default() },
+            &GhTreeConfig {
+                max_depth: 0,
+                lambda: 10.0,
+                ..Default::default()
+            },
             &mut rng(),
         );
         assert!((small.predict_row(&[0.0]) - 10.0).abs() < 1e-9);
@@ -593,7 +612,10 @@ mod tests {
             &grad,
             &hess,
             &rows,
-            &GhTreeConfig { max_depth: 0, ..Default::default() },
+            &GhTreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
             &mut rng(),
         );
         assert_eq!(tree.node_count(), 1);
@@ -605,14 +627,8 @@ mod tests {
         let x = Matrix::from_fn(n, 1, |i, _| i as f64);
         let labels: Vec<usize> = (0..n).map(|i| i / 30).collect();
         let rows: Vec<usize> = (0..n).collect();
-        let tree = ClassificationTree::fit(
-            &x,
-            &labels,
-            3,
-            &rows,
-            &ClsTreeConfig::default(),
-            &mut rng(),
-        );
+        let tree =
+            ClassificationTree::fit(&x, &labels, 3, &rows, &ClsTreeConfig::default(), &mut rng());
         assert!(tree.predict_row(&[5.0])[0] > 0.9);
         assert!(tree.predict_row(&[45.0])[1] > 0.9);
         assert!(tree.predict_row(&[75.0])[2] > 0.9);
@@ -623,14 +639,8 @@ mod tests {
         let x = Matrix::from_fn(20, 1, |i, _| i as f64);
         let labels = vec![0usize; 20];
         let rows: Vec<usize> = (0..20).collect();
-        let tree = ClassificationTree::fit(
-            &x,
-            &labels,
-            2,
-            &rows,
-            &ClsTreeConfig::default(),
-            &mut rng(),
-        );
+        let tree =
+            ClassificationTree::fit(&x, &labels, 2, &rows, &ClsTreeConfig::default(), &mut rng());
         assert_eq!(tree.nodes.len(), 1);
     }
 

@@ -63,7 +63,10 @@ impl AlgorithmKind {
 
     /// Registry index (the class label used by the meta-model).
     pub fn index(&self) -> usize {
-        Self::ALL.iter().position(|k| k == self).expect("in registry")
+        Self::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("in registry")
     }
 
     /// Inverse of [`AlgorithmKind::index`].
@@ -152,10 +155,10 @@ pub fn build_regressor(kind: AlgorithmKind, hp: &HyperParams) -> Box<dyn Regress
             hp.reg_lambda,
             hp.subsample,
         )),
-        AlgorithmKind::HuberRegressor => Box::new(HuberRegressor::new(hp.epsilon.max(1.0), hp.alpha)),
-        AlgorithmKind::QuantileRegressor => {
-            Box::new(QuantileRegressor::new(hp.quantile, hp.alpha))
+        AlgorithmKind::HuberRegressor => {
+            Box::new(HuberRegressor::new(hp.epsilon.max(1.0), hp.alpha))
         }
+        AlgorithmKind::QuantileRegressor => Box::new(QuantileRegressor::new(hp.quantile, hp.alpha)),
     }
 }
 
@@ -172,7 +175,11 @@ pub fn grid_for(kind: AlgorithmKind) -> Vec<HyperParams> {
             .collect(),
         AlgorithmKind::LinearSvr => [(1.0, 0.01), (5.0, 0.05), (10.0, 0.1)]
             .iter()
-            .map(|&(c, epsilon)| HyperParams { c, epsilon, ..base() })
+            .map(|&(c, epsilon)| HyperParams {
+                c,
+                epsilon,
+                ..base()
+            })
             .collect(),
         AlgorithmKind::ElasticNetCv => [0.3, 0.7, 1.0]
             .iter()
@@ -189,11 +196,19 @@ pub fn grid_for(kind: AlgorithmKind) -> Vec<HyperParams> {
             .collect(),
         AlgorithmKind::HuberRegressor => [(1.0, 1e-3), (1.35, 1e-2), (1.5, 1e-1)]
             .iter()
-            .map(|&(epsilon, alpha)| HyperParams { epsilon, alpha, ..base() })
+            .map(|&(epsilon, alpha)| HyperParams {
+                epsilon,
+                alpha,
+                ..base()
+            })
             .collect(),
         AlgorithmKind::QuantileRegressor => [(0.5, 1e-3), (0.5, 1e-1), (0.7, 1e-2)]
             .iter()
-            .map(|&(quantile, alpha)| HyperParams { quantile, alpha, ..base() })
+            .map(|&(quantile, alpha)| HyperParams {
+                quantile,
+                alpha,
+                ..base()
+            })
             .collect(),
     }
 }
@@ -220,7 +235,9 @@ mod tests {
         let y: Vec<f64> = (0..n).map(|i| x.get(i, 0) * 2.0 + 1.0).collect();
         for kind in AlgorithmKind::ALL {
             let mut model = build_regressor(kind, &HyperParams::default());
-            model.fit(&x, &y).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            model
+                .fit(&x, &y)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             let pred = model.predict(&x).unwrap();
             assert_eq!(pred.len(), n);
             assert!(pred.iter().all(|v| v.is_finite()), "{kind:?}");

@@ -90,7 +90,10 @@ mod tests {
                 f(&mut params[1], &mut grads[1]);
             });
         }
-        assert!(params[0].abs() < 0.05 && params[1].abs() < 0.05, "{params:?}");
+        assert!(
+            params[0].abs() < 0.05 && params[1].abs() < 0.05,
+            "{params:?}"
+        );
     }
 
     #[test]

@@ -51,22 +51,20 @@ impl BasisKind {
                 let x = t as f64 / len.max(1) as f64;
                 x.powi(p as i32)
             }),
-            BasisKind::Seasonal { harmonics } => {
-                Matrix::from_fn(1 + 2 * harmonics, len, |r, t| {
-                    let x = t as f64 / len.max(1) as f64;
-                    if r == 0 {
-                        1.0
+            BasisKind::Seasonal { harmonics } => Matrix::from_fn(1 + 2 * harmonics, len, |r, t| {
+                let x = t as f64 / len.max(1) as f64;
+                if r == 0 {
+                    1.0
+                } else {
+                    let h = ((r - 1) / 2 + 1) as f64;
+                    let ang = std::f64::consts::TAU * h * x;
+                    if r % 2 == 1 {
+                        ang.cos()
                     } else {
-                        let h = ((r - 1) / 2 + 1) as f64;
-                        let ang = std::f64::consts::TAU * h * x;
-                        if r % 2 == 1 {
-                            ang.cos()
-                        } else {
-                            ang.sin()
-                        }
+                        ang.sin()
                     }
-                })
-            }
+                }
+            }),
         }
     }
 }
@@ -142,12 +140,8 @@ impl Block {
     /// Backward from gradients on the block's backcast and forecast outputs;
     /// returns `∂L/∂u` (the block input).
     fn backward(&mut self, d_backcast: &Matrix, d_forecast: &Matrix) -> Matrix {
-        let d_theta_b = d_backcast
-            .matmul(&self.basis_b.transpose())
-            .expect("shape");
-        let d_theta_f = d_forecast
-            .matmul(&self.basis_f.transpose())
-            .expect("shape");
+        let d_theta_b = d_backcast.matmul(&self.basis_b.transpose()).expect("shape");
+        let d_theta_f = d_forecast.matmul(&self.basis_f.transpose()).expect("shape");
         let dh_b = self.backcast_head.backward(&d_theta_b);
         let dh_f = self.forecast_head.backward(&d_theta_f);
         let mut g = dh_b.add(&dh_f).expect("shape");

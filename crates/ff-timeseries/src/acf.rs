@@ -15,7 +15,12 @@ pub fn acf(x: &[f64], max_lag: usize) -> Vec<f64> {
         return vec![];
     }
     let clean: Vec<f64> = {
-        let m = vector::mean(&x.iter().copied().filter(|v| !v.is_nan()).collect::<Vec<_>>());
+        let m = vector::mean(
+            &x.iter()
+                .copied()
+                .filter(|v| !v.is_nan())
+                .collect::<Vec<_>>(),
+        );
         x.iter().map(|&v| if v.is_nan() { m } else { v }).collect()
     };
     let mean = vector::mean(&clean);
@@ -91,9 +96,7 @@ pub fn significant_pacf_lags(x: &[f64], max_lag: usize) -> Vec<usize> {
 /// the dependence structure is.
 pub fn insignificant_gap_count(significant: &[usize]) -> usize {
     match (significant.first(), significant.last()) {
-        (Some(&first), Some(&last)) if last > first => {
-            (last - first + 1) - significant.len()
-        }
+        (Some(&first), Some(&last)) if last > first => (last - first + 1) - significant.len(),
         _ => 0,
     }
 }
@@ -117,7 +120,9 @@ mod tests {
         let mut x = vec![0.0; n];
         let mut state = 0x12345678u64;
         for t in 1..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0;
             x[t] = phi * x[t - 1] + u;
         }

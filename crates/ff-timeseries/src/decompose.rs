@@ -195,10 +195,7 @@ mod tests {
     #[test]
     fn multiplicative_model_handles_growing_amplitude() {
         let y: Vec<f64> = (0..240)
-            .map(|t| {
-                (10.0 + 0.1 * t as f64)
-                    * (1.0 + 0.3 * (TAU * t as f64 / 12.0).sin())
-            })
+            .map(|t| (10.0 + 0.1 * t as f64) * (1.0 + 0.3 * (TAU * t as f64 / 12.0).sin()))
             .collect();
         let d = seasonal_decompose(&y, 12, DecompositionModel::Multiplicative).unwrap();
         // Seasonal factor peaks near 1.3.
@@ -217,7 +214,11 @@ mod tests {
             })
             .collect();
         let d = seasonal_decompose(&y, 12, DecompositionModel::Additive).unwrap();
-        assert!(d.seasonal_strength < 0.4, "strength {}", d.seasonal_strength);
+        assert!(
+            d.seasonal_strength < 0.4,
+            "strength {}",
+            d.seasonal_strength
+        );
     }
 
     #[test]
@@ -234,9 +235,7 @@ mod tests {
         assert!(seasonal_decompose(&[1.0; 10], 12, DecompositionModel::Additive).is_err());
         assert!(seasonal_decompose(&[1.0; 30], 1, DecompositionModel::Additive).is_err());
         let with_neg: Vec<f64> = (0..60).map(|t| t as f64 - 30.0).collect();
-        assert!(
-            seasonal_decompose(&with_neg, 12, DecompositionModel::Multiplicative).is_err()
-        );
+        assert!(seasonal_decompose(&with_neg, 12, DecompositionModel::Multiplicative).is_err());
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub fn interpolate_linear(series: &mut TimeSeries) {
         let (v0, v1) = (values[i], values[j]);
         let span = t1 - t0;
         for (k, vk) in values.iter_mut().enumerate().take(j).skip(i + 1) {
-            let w = if span > 0.0 { (ts[k] as f64 - t0) / span } else { 0.5 };
+            let w = if span > 0.0 {
+                (ts[k] as f64 - t0) / span
+            } else {
+                0.5
+            };
             *vk = v0 + w * (v1 - v0);
         }
         i = j;

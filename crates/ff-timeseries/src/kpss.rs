@@ -53,8 +53,8 @@ pub fn kpss_test(y: &[f64], reg: KpssRegression) -> Result<KpssResult> {
         KpssRegression::ConstantTrend => {
             // OLS on [1, t].
             let x = ff_linalg::Matrix::from_fn(n, 2, |i, j| if j == 0 { 1.0 } else { i as f64 });
-            let beta = ff_linalg::solve::ols(&x, y)
-                .map_err(|e| TsError::Numerical(e.to_string()))?;
+            let beta =
+                ff_linalg::solve::ols(&x, y).map_err(|e| TsError::Numerical(e.to_string()))?;
             y.iter()
                 .enumerate()
                 .map(|(t, &v)| v - beta[0] - beta[1] * t as f64)

@@ -86,9 +86,7 @@ pub fn log_period_grid(max_period: f64) -> Vec<f64> {
     let log_lo = 2.0f64.ln();
     let log_hi = max_period.ln();
     (0..SPECTRAL_GRID_LEN)
-        .map(|i| {
-            (log_lo + (log_hi - log_lo) * i as f64 / (SPECTRAL_GRID_LEN - 1) as f64).exp()
-        })
+        .map(|i| (log_lo + (log_hi - log_lo) * i as f64 / (SPECTRAL_GRID_LEN - 1) as f64).exp())
         .collect()
 }
 
@@ -153,7 +151,13 @@ pub fn weighted_seasonality(
             *a += w / wsum * s;
         }
     }
-    peaks_on_grid(&periods, &agg_power, max_components, threshold_factor, longest)
+    peaks_on_grid(
+        &periods,
+        &agg_power,
+        max_components,
+        threshold_factor,
+        longest,
+    )
 }
 
 /// Linear interpolation of a spectrum at frequency `f` (0 outside range).
@@ -177,7 +181,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn sine(period: f64, n: usize, amp: f64) -> Vec<f64> {
-        (0..n).map(|t| amp * (2.0 * PI * t as f64 / period).sin()).collect()
+        (0..n)
+            .map(|t| amp * (2.0 * PI * t as f64 / period).sin())
+            .collect()
     }
 
     #[test]
@@ -210,7 +216,10 @@ mod tests {
             })
             .collect();
         let s = detect_seasonality(&x, 5, 20.0);
-        assert!(s.len() <= 2, "white noise should have few strong peaks: {s:?}");
+        assert!(
+            s.len() <= 2,
+            "white noise should have few strong peaks: {s:?}"
+        );
     }
 
     #[test]
@@ -248,9 +257,18 @@ mod tests {
     #[test]
     fn harmonic_dedup_keeps_distinct_periods() {
         let mut cands = vec![
-            Seasonality { period: 12.0, power: 10.0 },
-            Seasonality { period: 12.3, power: 8.0 },
-            Seasonality { period: 24.0, power: 5.0 },
+            Seasonality {
+                period: 12.0,
+                power: 10.0,
+            },
+            Seasonality {
+                period: 12.3,
+                power: 8.0,
+            },
+            Seasonality {
+                period: 24.0,
+                power: 5.0,
+            },
         ];
         dedup_harmonics(&mut cands);
         assert_eq!(cands.len(), 2);

@@ -79,7 +79,11 @@ impl TimeSeries {
 
     /// Values with missing observations dropped.
     pub fn observed(&self) -> Vec<f64> {
-        self.values.iter().copied().filter(|v| !v.is_nan()).collect()
+        self.values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect()
     }
 
     /// Number of missing (`NaN`) observations.

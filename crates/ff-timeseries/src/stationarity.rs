@@ -258,7 +258,11 @@ mod tests {
             .map(|(t, e)| 0.05 * t as f64 + e)
             .collect();
         let r = adf_test(&y, AdfRegression::ConstantTrend).unwrap();
-        assert!(r.stationary, "trend-stationary series, stat={}", r.statistic);
+        assert!(
+            r.stationary,
+            "trend-stationary series, stat={}",
+            r.statistic
+        );
     }
 
     #[test]

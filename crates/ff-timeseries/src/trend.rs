@@ -57,7 +57,10 @@ impl TrendModel {
     /// Flat trend: the sample mean everywhere.
     pub fn fit_flat(y: &[f64]) -> TrendModel {
         let mean = ff_linalg::vector::mean(
-            &y.iter().copied().filter(|v| !v.is_nan()).collect::<Vec<_>>(),
+            &y.iter()
+                .copied()
+                .filter(|v| !v.is_nan())
+                .collect::<Vec<_>>(),
         );
         TrendModel {
             kind: TrendKind::Flat,
@@ -86,7 +89,10 @@ impl TrendModel {
         });
         // Small ridge on everything; Prophet uses a Laplace prior on deltas —
         // ridge is the L2 analogue and keeps the fit strictly convex.
-        let clean: Vec<f64> = y.iter().map(|&v| if v.is_nan() { 0.0 } else { v }).collect();
+        let clean: Vec<f64> = y
+            .iter()
+            .map(|&v| if v.is_nan() { 0.0 } else { v })
+            .collect();
         let params = solve::ridge(&x, &clean, 1e-3).unwrap_or_else(|_| vec![0.0; p]);
         TrendModel {
             kind: TrendKind::Linear,
@@ -112,7 +118,12 @@ impl TrendModel {
         let hi = clean.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let range = (hi - lo).max(1e-9);
         // Initialization: capacity slightly above the observed range.
-        let mut params = [1.2 * range, 4.0 / n as f64, n as f64 / 2.0, lo - 0.1 * range];
+        let mut params = [
+            1.2 * range,
+            4.0 / n as f64,
+            n as f64 / 2.0,
+            lo - 0.1 * range,
+        ];
         let eval = |p: &[f64; 4], t: f64| p[3] + p[0] / (1.0 + (-p[1] * (t - p[2])).exp());
         let sse_of = |p: &[f64; 4]| -> f64 {
             y.iter()

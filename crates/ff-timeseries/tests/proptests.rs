@@ -1,6 +1,6 @@
 //! Property-based tests for the time-series substrate.
 
-use ff_timeseries::{acf, interpolate, series::TimeSeries, stats, stationarity};
+use ff_timeseries::{acf, interpolate, series::TimeSeries, stationarity, stats};
 use proptest::prelude::*;
 
 fn finite_values(len: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -30,7 +30,10 @@ fn main() {
     let series = generate(
         &SynthesisSpec {
             n: 2000,
-            seasons: vec![SeasonSpec { period: 12.0, amplitude: 3.0 }],
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 3.0,
+            }],
             snr: Some(10.0),
             ..Default::default()
         },
@@ -85,6 +88,10 @@ fn main() {
     println!("RS best:     loss {rs_best:.5} (same 20-evaluation budget)");
     println!(
         "\nBO {} random search on this problem.",
-        if best_loss <= rs_best { "matched or beat" } else { "lost to" }
+        if best_loss <= rs_best {
+            "matched or beat"
+        } else {
+            "lost to"
+        }
     );
 }

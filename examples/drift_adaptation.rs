@@ -23,7 +23,10 @@ fn shifting_client(seed: u64) -> TimeSeries {
     let calm = generate(
         &SynthesisSpec {
             n: 700,
-            seasons: vec![SeasonSpec { period: 24.0, amplitude: 2.0 }],
+            seasons: vec![SeasonSpec {
+                period: 24.0,
+                amplitude: 2.0,
+            }],
             snr: Some(25.0),
             level: 20.0,
             ..Default::default()
@@ -33,7 +36,10 @@ fn shifting_client(seed: u64) -> TimeSeries {
     let turbulent = generate(
         &SynthesisSpec {
             n: 700,
-            seasons: vec![SeasonSpec { period: 6.0, amplitude: 10.0 }],
+            seasons: vec![SeasonSpec {
+                period: 6.0,
+                amplitude: 10.0,
+            }],
             snr: Some(4.0),
             level: 80.0,
             ..Default::default()
@@ -81,7 +87,10 @@ fn main() {
     .run(&streams)
     .expect("static run");
 
-    println!("{:<7} {:>14} {:>10} {:>20}", "chunk", "loss(adaptive)", "retuned", "loss(static)");
+    println!(
+        "{:<7} {:>14} {:>10} {:>20}",
+        "chunk", "loss(adaptive)", "retuned", "loss(static)"
+    );
     for (a, s) in with.chunks.iter().zip(&without.chunks) {
         println!(
             "{:<7} {:>14.4} {:>10} {:>20.4}",

@@ -27,8 +27,14 @@ fn household(seed: u64, base: f64, daily_amp: f64, weekly_amp: f64) -> TimeSerie
             step_secs: 3600,
             trend: TrendSpec::None,
             seasons: vec![
-                SeasonSpec { period: 24.0, amplitude: daily_amp },
-                SeasonSpec { period: 168.0, amplitude: weekly_amp },
+                SeasonSpec {
+                    period: 24.0,
+                    amplitude: daily_amp,
+                },
+                SeasonSpec {
+                    period: 168.0,
+                    amplitude: weekly_amp,
+                },
             ],
             snr: Some(8.0),
             missing_fraction: 0.01, // meter dropouts
@@ -59,11 +65,13 @@ fn main() {
 
     println!("training meta-model…");
     let kb = KnowledgeBase::build(&synthetic_kb(48), &[5, 10], 60);
-    let meta =
-        MetaModel::train(&kb, MetaClassifierKind::RandomForest, 1).expect("meta-model");
+    let meta = MetaModel::train(&kb, MetaClassifierKind::RandomForest, 1).expect("meta-model");
 
     let budget = Budget::Iterations(12);
-    let cfg = EngineConfig { budget, ..Default::default() };
+    let cfg = EngineConfig {
+        budget,
+        ..Default::default()
+    };
 
     let ff = FedForecaster::new(cfg.clone(), &meta)
         .run(&clients)
@@ -79,9 +87,7 @@ fn main() {
     );
     println!(
         "{:<28} {:>12.5} {:>9.1?}",
-        "Federated N-BEATS",
-        nb.test_mse,
-        nb.elapsed
+        "Federated N-BEATS", nb.test_mse, nb.elapsed
     );
     println!(
         "\nrecommended algorithms were {:?}; the winner generalizes across all\n\

@@ -21,7 +21,11 @@ fn main() {
     let mut datasets = synthetic_kb(64);
     datasets.extend(reallike_kb());
     let kb = KnowledgeBase::build(&datasets, &[5, 10, 15, 20], 60);
-    println!("  {} records, {} features each", kb.len(), kb.records[0].features.len());
+    println!(
+        "  {} records, {} features each",
+        kb.len(),
+        kb.records[0].features.len()
+    );
 
     // 2. Classifier zoo comparison (Table 4).
     println!("\nclassifier zoo (80/20 split):");
@@ -40,7 +44,10 @@ fn main() {
     let series = generate(
         &SynthesisSpec {
             n: 2500,
-            seasons: vec![SeasonSpec { period: 24.0, amplitude: 5.0 }],
+            seasons: vec![SeasonSpec {
+                period: 24.0,
+                amplitude: 5.0,
+            }],
             snr: Some(10.0),
             ..Default::default()
         },

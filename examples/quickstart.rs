@@ -22,15 +22,18 @@ fn main() {
     println!("building knowledge base (32 synthetic datasets)…");
     let kb = KnowledgeBase::build(&synthetic_kb(32), &[5, 10], 60);
     println!("  {} labelled records", kb.len());
-    let meta = MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0)
-        .expect("meta-model training");
+    let meta =
+        MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).expect("meta-model training");
 
     // ── A federation of 5 clients (private splits of one daily series) ──
     let series = generate(
         &SynthesisSpec {
             n: 3000,
             trend: TrendSpec::Linear(0.01),
-            seasons: vec![SeasonSpec { period: 7.0, amplitude: 3.0 }],
+            seasons: vec![SeasonSpec {
+                period: 7.0,
+                amplitude: 3.0,
+            }],
             snr: Some(15.0),
             missing_fraction: 0.02,
             ..Default::default()
@@ -53,8 +56,14 @@ fn main() {
         .run(&clients)
         .expect("engine run");
 
-    println!("\nmeta-model recommended: {:?}",
-        result.recommended.iter().map(|a| a.name()).collect::<Vec<_>>());
+    println!(
+        "\nmeta-model recommended: {:?}",
+        result
+            .recommended
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+    );
     println!("best algorithm:   {}", result.best_algorithm.name());
     println!("validation loss:  {:.5}", result.best_valid_loss);
     println!("test MSE:         {:.5}", result.test_mse);

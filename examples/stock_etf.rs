@@ -26,7 +26,10 @@ fn main() {
             .find(|d| d.name == name)
             .expect("registered dataset");
         let clients = ds.generate_federation(7, 0.3);
-        let cfg = EngineConfig { budget, ..Default::default() };
+        let cfg = EngineConfig {
+            budget,
+            ..Default::default()
+        };
 
         let ff = FedForecaster::new(cfg.clone(), &meta)
             .run(&clients)

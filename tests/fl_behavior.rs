@@ -4,9 +4,7 @@
 
 use fedforecaster::client::{FedForecasterClient, OP};
 use fedforecaster::config::TreeAggregation;
-use fedforecaster::engine::{
-    build_runtime, finalize_with, run_feature_engineering,
-};
+use fedforecaster::engine::{build_runtime, finalize_with, run_feature_engineering};
 use fedforecaster::feature_engineering::GlobalFeatureSpec;
 use fedforecaster::prelude::*;
 use ff_bayesopt::space::{Configuration, ParamValue};
@@ -21,7 +19,10 @@ fn federation(n_clients: usize) -> Vec<TimeSeries> {
     generate(
         &SynthesisSpec {
             n: 900,
-            seasons: vec![SeasonSpec { period: 12.0, amplitude: 3.0 }],
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 3.0,
+            }],
             snr: Some(15.0),
             ..Default::default()
         },
@@ -69,7 +70,9 @@ fn tolerant_broadcast_survives_unknown_ops() {
         .broadcast_tolerant(
             &Instruction::Fit {
                 params: vec![],
-                config: ConfigMap::new().with_str(OP, "fit_eval").with_str("algorithm", "Lasso"),
+                config: ConfigMap::new()
+                    .with_str(OP, "fit_eval")
+                    .with_str("algorithm", "Lasso"),
             },
             3,
         )
@@ -88,8 +91,7 @@ fn ensemble_and_per_client_aggregation_both_work_and_differ_in_kind() {
         fedforecaster::aggregate::GlobalModel::Ensemble { members: 4, .. }
     ));
     assert!(union_mse.is_finite());
-    let (local_model, local_mse) =
-        finalize_with(&rt, &config, TreeAggregation::PerClient).unwrap();
+    let (local_model, local_mse) = finalize_with(&rt, &config, TreeAggregation::PerClient).unwrap();
     assert!(matches!(
         local_model,
         fedforecaster::aggregate::GlobalModel::PerClient { .. }
@@ -112,7 +114,9 @@ fn communication_grows_linearly_with_rounds() {
     let (_, before_up) = rt.log().byte_totals();
     let fit_ins = Instruction::Fit {
         params: vec![],
-        config: ConfigMap::new().with_str(OP, "fit_eval").with_str("algorithm", "Lasso"),
+        config: ConfigMap::new()
+            .with_str(OP, "fit_eval")
+            .with_str("algorithm", "Lasso"),
     };
     rt.broadcast_all(&fit_ins).unwrap();
     let (_, after_one) = rt.log().byte_totals();
@@ -138,6 +142,9 @@ fn standalone_client_direct_use() {
     let props = client.get_properties(&ConfigMap::new().with_str(OP, "meta_features"));
     assert!(props.contains_key("meta_features"));
     let spec = GlobalFeatureSpec::lags_only(3);
-    let out = client.fit(&[], &spec.to_config_map().with_str(OP, "feature_engineering"));
+    let out = client.fit(
+        &[],
+        &spec.to_config_map().with_str(OP, "feature_engineering"),
+    );
     assert!(!out.metrics.contains_key("error"));
 }

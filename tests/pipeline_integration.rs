@@ -20,7 +20,10 @@ fn seasonal_federation(n_clients: usize, seed: u64) -> Vec<TimeSeries> {
         &SynthesisSpec {
             n: 1000,
             trend: TrendSpec::Linear(0.005),
-            seasons: vec![SeasonSpec { period: 12.0, amplitude: 3.0 }],
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 3.0,
+            }],
             snr: Some(20.0),
             missing_fraction: 0.01,
             ..Default::default()
@@ -86,7 +89,10 @@ fn engine_vs_baselines_on_strongly_seasonal_data() {
     let meta = metamodel();
     let clients = seasonal_federation(5, 3);
     let budget = Budget::Iterations(10);
-    let cfg = EngineConfig { budget, ..Default::default() };
+    let cfg = EngineConfig {
+        budget,
+        ..Default::default()
+    };
     let ff = FedForecaster::new(cfg, &meta).run(&clients).unwrap();
     let nb = run_federated_nbeats(&clients, budget, 30, false, 3).unwrap();
     assert!(
@@ -114,7 +120,10 @@ fn heterogeneous_federation_still_works() {
         generate(
             &SynthesisSpec {
                 n: 300,
-                seasons: vec![SeasonSpec { period: 7.0, amplitude: 4.0 }],
+                seasons: vec![SeasonSpec {
+                    period: 7.0,
+                    amplitude: 4.0,
+                }],
                 snr: Some(10.0),
                 ..Default::default()
             },
@@ -144,7 +153,10 @@ fn missing_values_are_handled_end_to_end() {
     let clients = generate(
         &SynthesisSpec {
             n: 900,
-            seasons: vec![SeasonSpec { period: 12.0, amplitude: 2.0 }],
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 2.0,
+            }],
             missing_fraction: 0.10,
             snr: Some(10.0),
             ..Default::default()
@@ -170,7 +182,9 @@ fn random_search_and_engine_share_evaluation_protocol() {
         budget: Budget::Iterations(6),
         ..Default::default()
     };
-    let ff = FedForecaster::new(cfg.clone(), &meta).run(&clients).unwrap();
+    let ff = FedForecaster::new(cfg.clone(), &meta)
+        .run(&clients)
+        .unwrap();
     let rs = RandomSearch::new(cfg).run(&clients).unwrap();
     assert!(ff.test_mse.is_finite() && rs.test_mse.is_finite());
     // Both within two orders of magnitude — they optimize the same space.

@@ -10,7 +10,6 @@ use ff_models::zoo::AlgorithmKind;
 use ff_neural::nbeats::{NBeats, NBeatsConfig};
 use ff_neural::Parameterized;
 
-
 #[test]
 fn kb_labels_pick_trees_on_nonlinear_dynamics() {
     // A SETAR (threshold-autoregressive) process: the map y_t = f(y_{t-1})
@@ -37,7 +36,11 @@ fn kb_labels_pick_trees_on_nonlinear_dynamics() {
     let clients = series.split_clients(3);
     let (_, algo, loss) = label_federation(&clients).unwrap();
     assert!(loss.is_finite());
-    assert_eq!(algo, AlgorithmKind::XgbRegressor, "nonlinear data labelled {algo:?}");
+    assert_eq!(
+        algo,
+        AlgorithmKind::XgbRegressor,
+        "nonlinear data labelled {algo:?}"
+    );
 }
 
 #[test]
@@ -79,10 +82,8 @@ fn zoo_comparison_runs_on_real_kb() {
 fn benchmark_datasets_feed_meta_extraction() {
     for ds in ff_datasets::benchmark_datasets() {
         let clients = ds.generate_federation(0, 0.05);
-        let metas: Vec<ClientMetaFeatures> = clients
-            .iter()
-            .map(ClientMetaFeatures::extract)
-            .collect();
+        let metas: Vec<ClientMetaFeatures> =
+            clients.iter().map(ClientMetaFeatures::extract).collect();
         let global = GlobalMetaFeatures::aggregate(&metas);
         assert_eq!(global.values().len(), GlobalMetaFeatures::dim());
         assert!(
