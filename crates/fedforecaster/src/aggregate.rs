@@ -69,26 +69,26 @@ mod tests {
     #[test]
     fn linear_prediction() {
         let m = GlobalModel::Linear {
-            algorithm: AlgorithmKind::Lasso,
+            algorithm: AlgorithmKind::LASSO,
             coef: vec![2.0, -1.0],
             intercept: 0.5,
         };
         assert_eq!(m.predict_linear(&[1.0, 1.0]), Some(1.5));
         assert_eq!(m.predict_linear(&[1.0]), None);
-        assert_eq!(m.algorithm(), AlgorithmKind::Lasso);
+        assert_eq!(m.algorithm(), AlgorithmKind::LASSO);
     }
 
     #[test]
     fn per_client_has_no_shared_predictor() {
         let m = GlobalModel::PerClient {
-            algorithm: AlgorithmKind::XgbRegressor,
+            algorithm: AlgorithmKind::XGB_REGRESSOR,
         };
         assert_eq!(m.predict_linear(&[1.0]), None);
         let e = GlobalModel::Ensemble {
-            algorithm: AlgorithmKind::XgbRegressor,
+            algorithm: AlgorithmKind::XGB_REGRESSOR,
             members: 4,
         };
-        assert_eq!(e.algorithm(), AlgorithmKind::XgbRegressor);
+        assert_eq!(e.algorithm(), AlgorithmKind::XGB_REGRESSOR);
         assert_eq!(e.predict_linear(&[1.0]), None);
     }
 }

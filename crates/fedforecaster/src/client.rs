@@ -16,7 +16,7 @@ use ff_metalearn::features::ClientMetaFeatures;
 use ff_models::data::{Standardizer, TargetScaler};
 use ff_models::forest::RandomForestRegressor;
 use ff_models::metrics::mse;
-use ff_models::zoo::{build_regressor, AlgorithmKind};
+use ff_models::zoo::{build_regressor, AlgorithmKind, FinalizeStrategy};
 use ff_models::Regressor;
 use ff_timeseries::{interpolate, periodogram, TimeSeries};
 
@@ -210,39 +210,26 @@ impl FedForecasterClient {
         let yscaler = TargetScaler::fit(&y_full);
         let xs_full = scaler.transform(&x_full);
         let ys_full: Vec<f64> = y_full.iter().map(|&v| yscaler.scale(v)).collect();
-        // Tree winners fit the concrete booster so the ensemble can be
-        // serialized for server-side union aggregation; the rest go through
-        // the generic factory.
-        let (model, blob): (Box<dyn Regressor + Send>, Option<Vec<u8>>) =
-            if algo == AlgorithmKind::XgbRegressor {
-                let mut xgb = ff_models::boosting::gbdt::XgbRegressor::new(
-                    hp.n_estimators,
-                    hp.max_depth,
-                    hp.learning_rate,
-                    hp.reg_lambda,
-                    hp.subsample,
-                );
-                if let Err(e) = xgb.fit(&xs_full, &ys_full) {
-                    return Self::err_fit(&format!("final fit failed: {e}"));
-                }
-                let blob = match xgb.to_bytes() {
-                    Ok(model_bytes) => Some(encode_tree_blob(&scaler, &yscaler, &model_bytes)),
-                    Err(_) => None,
-                };
-                (Box::new(xgb), blob)
-            } else {
-                let mut model = build_regressor(algo, &hp);
-                if let Err(e) = model.fit(&xs_full, &ys_full) {
-                    return Self::err_fit(&format!("final fit failed: {e}"));
-                }
-                (model, None)
-            };
-        // Linear family: derive standardized-space (coef, intercept) by
-        // probing so the server can FedAvg comparable weights.
-        let params = if algo.is_linear() {
-            probe_linear_params(model.as_ref(), x_full.cols())
-        } else {
-            vec![]
+        let mut model = build_regressor(algo, &hp);
+        if let Err(e) = model.fit(&xs_full, &ys_full) {
+            return Self::err_fit(&format!("final fit failed: {e}"));
+        }
+        // The algorithm's declared finalize strategy — not the algorithm
+        // itself — decides what the client ships back: ensemble-union
+        // winners serialize the fitted model for server-side union
+        // aggregation; coefficient-average winners derive raw-space
+        // (coef, intercept) by probing so the server can FedAvg
+        // comparable weights.
+        let (params, blob) = match algo.spec().finalize() {
+            FinalizeStrategy::CoefficientAverage => {
+                (probe_linear_params(model.as_ref(), x_full.cols()), None)
+            }
+            FinalizeStrategy::EnsembleUnion => {
+                let blob = model
+                    .to_blob()
+                    .map(|model_bytes| encode_tree_blob(algo, &scaler, &yscaler, &model_bytes));
+                (vec![], blob)
+            }
         };
         let test_loss = self.local_test_loss(model.as_ref(), &scaler, &yscaler, data);
         let mut metrics = ConfigMap::new().with_float("test_loss_local", test_loss);
@@ -446,11 +433,20 @@ fn probe_linear_params(model: &dyn Regressor, p: usize) -> Vec<f64> {
     }
 }
 
-/// Encodes one client's tree-model contribution: its local feature/target
-/// scalers (summary statistics) plus the serialized ensemble.
-fn encode_tree_blob(scaler: &Standardizer, yscaler: &TargetScaler, model_bytes: &[u8]) -> Vec<u8> {
+/// Encodes one client's ensemble-union contribution: the algorithm name,
+/// its local feature/target scalers (summary statistics), and the
+/// serialized model ([`Regressor::to_blob`]). Blob v2 embeds the name so
+/// the server side revives the model through the registry codec —
+/// registering a new union algorithm needs no changes here.
+fn encode_tree_blob(
+    algo: AlgorithmKind,
+    scaler: &Standardizer,
+    yscaler: &TargetScaler,
+    model_bytes: &[u8],
+) -> Vec<u8> {
     let mut w = ff_models::ser::Writer::new();
-    w.u8(1); // blob version
+    w.u8(2); // blob version
+    w.str(algo.name());
     w.f64s(scaler.means());
     w.f64s(scaler.stds());
     w.f64(yscaler.mean);
@@ -461,23 +457,20 @@ fn encode_tree_blob(scaler: &Standardizer, yscaler: &TargetScaler, model_bytes: 
     out
 }
 
-/// Decodes [`encode_tree_blob`] output.
+/// Decodes [`encode_tree_blob`] output; the model is revived via the named
+/// algorithm's registered codec.
 fn decode_tree_blob(
     blob: &[u8],
-) -> std::result::Result<
-    (
-        Standardizer,
-        TargetScaler,
-        ff_models::boosting::gbdt::XgbRegressor,
-    ),
-    String,
-> {
+) -> std::result::Result<(Standardizer, TargetScaler, Box<dyn Regressor + Send>), String> {
     let mut r = ff_models::ser::Reader::new(blob);
     let err = |e: ff_models::ser::SerError| e.to_string();
     let version = r.u8().map_err(err)?;
-    if version != 1 {
+    if version != 2 {
         return Err(format!("unsupported blob version {version}"));
     }
+    let name = r.str(256).map_err(err)?.to_string();
+    let algo = AlgorithmKind::from_name(&name)
+        .ok_or_else(|| format!("blob names unregistered algorithm {name:?}"))?;
     let means = r.f64s(100_000).map_err(err)?;
     let stds = r.f64s(100_000).map_err(err)?;
     if means.len() != stds.len() {
@@ -490,8 +483,7 @@ fn decode_tree_blob(
         return Err("truncated model section".into());
     }
     let model_bytes = &blob[blob.len() - model_len..];
-    let model = ff_models::boosting::gbdt::XgbRegressor::from_bytes(model_bytes)
-        .map_err(|e| e.to_string())?;
+    let model = algo.spec().deserialize_model(model_bytes)?;
     let scaler = Standardizer::from_parts(means, stds);
     let yscaler = TargetScaler {
         mean: ymean,

@@ -59,6 +59,12 @@ pub struct EngineConfig {
     /// `round_policy.min_responses` fails (and in the tuning loop that
     /// fails the trial, not the run).
     pub round_policy: RoundPolicy,
+    /// Explicit algorithm portfolio. `Some(kinds)` bypasses the meta-model
+    /// recommendation (and `disable_warm_start`) and searches exactly these
+    /// algorithms — useful for forcing a single algorithm or exercising a
+    /// newly registered one end-to-end. `None` (the default) uses the
+    /// meta-model recommendation.
+    pub portfolio: Option<Vec<ff_models::zoo::AlgorithmKind>>,
 }
 
 impl Default for EngineConfig {
@@ -76,6 +82,7 @@ impl Default for EngineConfig {
             disable_warm_start: false,
             tree_aggregation: TreeAggregation::default(),
             round_policy: RoundPolicy::default(),
+            portfolio: None,
         }
     }
 }
@@ -92,5 +99,6 @@ mod tests {
         assert!(!c.disable_feature_engineering);
         assert_eq!(c.tree_aggregation, TreeAggregation::Auto);
         assert_eq!(c.round_policy, RoundPolicy::default());
+        assert!(c.portfolio.is_none());
     }
 }

@@ -1,0 +1,227 @@
+//! Phase IV: final fit on train+valid, federated model aggregation, and
+//! test evaluation (§4.4).
+//!
+//! There is exactly one implementation, [`finalize_with_tolerant`], and it
+//! is driven by the winning algorithm's declared
+//! [`ff_models::spec::FinalizeStrategy`] — not by matching on the
+//! algorithm itself. `CoefficientAverage` winners are
+//! FedAvg-ed into one global linear model; `EnsembleUnion` winners ship
+//! serialized members that are deployed as a weighted union (or fall back
+//! to per-client models, per [`crate::config::TreeAggregation`]). The
+//! strict [`finalize_with`] entry point is the same code run under the
+//! strict round policy.
+
+use super::rounds::{quorum_unmet, strict_policy, tolerant_round};
+use crate::aggregate::GlobalModel;
+use crate::client::OP;
+use crate::report::RoundReport;
+use crate::search_space::{algorithm_of, config_to_map};
+use crate::{EngineError, Result};
+use ff_bayesopt::space::Configuration;
+use ff_fl::config::{ConfigMap, ConfigMapExt};
+use ff_fl::message::{Instruction, Reply};
+use ff_fl::runtime::{FederatedRuntime, RoundPolicy};
+use ff_fl::strategy::{aggregate_loss, fedavg, unwrap_fit_replies};
+use ff_models::spec::FinalizeStrategy;
+
+/// Phase IV with the default
+/// [`crate::config::TreeAggregation::EnsembleUnion`] mode. Returns the
+/// deployed global model and the aggregated test MSE.
+pub fn finalize(rt: &FederatedRuntime, best_config: &Configuration) -> Result<(GlobalModel, f64)> {
+    finalize_with(
+        rt,
+        best_config,
+        crate::config::TreeAggregation::EnsembleUnion,
+    )
+}
+
+/// [`finalize`] with an explicit tree-aggregation mode (§4.4; see
+/// DESIGN.md §5 for the trade-off). Runs under the strict round policy:
+/// every client must deliver a usable final model.
+pub fn finalize_with(
+    rt: &FederatedRuntime,
+    best_config: &Configuration,
+    tree_aggregation: crate::config::TreeAggregation,
+) -> Result<(GlobalModel, f64)> {
+    finalize_with_tolerant(
+        rt,
+        best_config,
+        tree_aggregation,
+        &strict_policy(rt),
+        &mut Vec::new(),
+    )
+}
+
+/// One tolerant Evaluate round aggregated by Equation 1 over the finite
+/// survivor losses.
+fn tolerant_eval_round(
+    rt: &FederatedRuntime,
+    params: Vec<f64>,
+    op_config: ConfigMap,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<f64> {
+    let ins = Instruction::Evaluate {
+        params,
+        config: op_config,
+    };
+    let (outcome, idx) = tolerant_round(rt, "finalization", &ins, policy, rounds)?;
+    let mut losses = Vec::new();
+    for (id, r) in &outcome.replies {
+        match r {
+            Reply::EvaluateRes {
+                loss, num_examples, ..
+            } if loss.is_finite() => losses.push((*loss, *num_examples)),
+            Reply::EvaluateRes { .. } => rounds[idx].non_finite.push(*id),
+            Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
+            other => rounds[idx]
+                .app_errors
+                .push((*id, format!("unexpected reply {other:?}"))),
+        }
+    }
+    rounds[idx].usable = losses.len();
+    let required = policy.min_responses.max(1);
+    if losses.len() < required {
+        return Err(quorum_unmet(rounds, idx, losses.len(), required));
+    }
+    aggregate_loss(&losses).map_err(EngineError::Federation)
+}
+
+/// Fault-tolerant finalization: the final fit, aggregation, and test
+/// rounds all run under the policy. FedAvg (`CoefficientAverage` winners)
+/// and ensemble weights (`EnsembleUnion` winners) renormalize over
+/// whichever clients delivered a final model; the union deployment is
+/// "available" when every *survivor* of the final-fit round contributed a
+/// blob.
+pub fn finalize_with_tolerant(
+    rt: &FederatedRuntime,
+    best_config: &Configuration,
+    tree_aggregation: crate::config::TreeAggregation,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<(GlobalModel, f64)> {
+    let algorithm = algorithm_of(best_config)
+        .ok_or_else(|| EngineError::InvalidData("config has no algorithm".into()))?;
+    let ins = Instruction::Fit {
+        params: vec![],
+        config: config_to_map(best_config).with_str(OP, "final_fit"),
+    };
+    let (outcome, idx) = tolerant_round(rt, "finalization", &ins, policy, rounds)?;
+    let mut usable: Vec<(usize, Reply)> = Vec::new();
+    for (id, r) in outcome.replies {
+        match &r {
+            Reply::FitRes { metrics, .. } => {
+                if let Some(err) = metrics.get("error").and_then(|v| v.as_str()) {
+                    rounds[idx].app_errors.push((id, err.to_string()));
+                } else {
+                    usable.push((id, r));
+                }
+            }
+            Reply::Error(e) => rounds[idx].app_errors.push((id, e.clone())),
+            other => rounds[idx]
+                .app_errors
+                .push((id, format!("unexpected reply {other:?}"))),
+        }
+    }
+    rounds[idx].usable = usable.len();
+    let required = policy.min_responses.max(1);
+    if usable.len() < required {
+        return Err(quorum_unmet(rounds, idx, usable.len(), required));
+    }
+
+    match algorithm.spec().finalize() {
+        FinalizeStrategy::CoefficientAverage => {
+            let fit_results = unwrap_fit_replies(usable).map_err(EngineError::Federation)?;
+            let global_params = fedavg(&fit_results).map_err(EngineError::Federation)?;
+            let test_mse = tolerant_eval_round(
+                rt,
+                global_params.clone(),
+                ConfigMap::new().with_str(OP, "test_global_linear"),
+                policy,
+                rounds,
+            )?;
+            let p = global_params.len() - 1;
+            Ok((
+                GlobalModel::Linear {
+                    algorithm,
+                    coef: global_params[..p].to_vec(),
+                    intercept: global_params[p],
+                },
+                test_mse,
+            ))
+        }
+        FinalizeStrategy::EnsembleUnion => {
+            finalize_union(rt, algorithm, usable, tree_aggregation, policy, rounds)
+        }
+    }
+}
+
+/// The `EnsembleUnion` arm: gather serialized members from the final-fit
+/// survivors and deploy either the weighted union or the per-client
+/// fallback, per the tree-aggregation mode.
+fn finalize_union(
+    rt: &FederatedRuntime,
+    algorithm: ff_models::zoo::AlgorithmKind,
+    usable: Vec<(usize, Reply)>,
+    tree_aggregation: crate::config::TreeAggregation,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<(GlobalModel, f64)> {
+    use crate::config::TreeAggregation;
+    let mut blobs: Vec<Vec<u8>> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    for (_, r) in &usable {
+        if let Reply::FitRes {
+            num_examples,
+            metrics,
+            ..
+        } = r
+        {
+            if let Some(b) = metrics.get("model_blob").and_then(|v| v.as_bytes()) {
+                blobs.push(b.to_vec());
+                weights.push(*num_examples as f64);
+            }
+        }
+    }
+    let union_available = blobs.len() == usable.len() && !blobs.is_empty();
+    let members = blobs.len();
+    let ensemble_config = |split: &str| -> ConfigMap {
+        let wsum: f64 = weights.iter().sum();
+        let mut config = ConfigMap::new()
+            .with_str(OP, "test_global_ensemble")
+            .with_str("split", split)
+            .with_floats("weights", weights.iter().map(|w| w / wsum).collect());
+        for (j, b) in blobs.iter().enumerate() {
+            config = config.with_bytes(&format!("blob_{j}"), b.clone());
+        }
+        config
+    };
+    let local_config = |split: &str| {
+        ConfigMap::new()
+            .with_str(OP, "test_local")
+            .with_str("split", split)
+    };
+
+    let use_union = match tree_aggregation {
+        TreeAggregation::EnsembleUnion => union_available,
+        TreeAggregation::PerClient => false,
+        TreeAggregation::Auto => {
+            // Leakage-free model selection: compare both deployments on the
+            // validation split and pick the better.
+            union_available && {
+                let union_valid =
+                    tolerant_eval_round(rt, vec![], ensemble_config("valid"), policy, rounds)?;
+                let local_valid =
+                    tolerant_eval_round(rt, vec![], local_config("valid"), policy, rounds)?;
+                union_valid <= local_valid
+            }
+        }
+    };
+    if use_union {
+        let test_mse = tolerant_eval_round(rt, vec![], ensemble_config("test"), policy, rounds)?;
+        Ok((GlobalModel::Ensemble { algorithm, members }, test_mse))
+    } else {
+        let test_mse = tolerant_eval_round(rt, vec![], local_config("test"), policy, rounds)?;
+        Ok((GlobalModel::PerClient { algorithm }, test_mse))
+    }
+}

@@ -1,0 +1,520 @@
+//! The FedForecaster engine: Algorithm 1 end-to-end over the federated
+//! runtime, plus the shared pipeline stages reused by the random-search
+//! baseline.
+//!
+//! The pipeline is decomposed into stage modules:
+//! - [`recommend`] — meta-feature collection, seasonal-period agreement,
+//!   and federated feature engineering (Phases I–III prep);
+//! - [`tune`] — per-configuration federated evaluation for the Bayesian
+//!   optimization loop (Phase III);
+//! - [`mod@finalize`] — the strategy-driven final fit / aggregate / test
+//!   stage (Phase IV), shared by the strict and fault-tolerant paths;
+//! - `rounds` (private) — the policy-bounded round plumbing the stages
+//!   share.
+//!
+//! Each stage comes in two flavors: a strict variant that requires every
+//! client to reply (used by the baselines and well-behaved tests) and a
+//! `*_tolerant` variant bounded by an [`ff_fl::runtime::RoundPolicy`]. The
+//! engine itself always drives the tolerant path.
+
+pub mod finalize;
+pub mod recommend;
+mod rounds;
+pub mod tune;
+
+pub use finalize::{finalize, finalize_with, finalize_with_tolerant};
+pub use recommend::{
+    collect_global_meta, collect_global_meta_tolerant, derive_lag_count,
+    federated_seasonal_periods, federated_seasonal_periods_tolerant, run_feature_engineering,
+    run_feature_engineering_tolerant,
+};
+pub use tune::{evaluate_config, evaluate_config_tolerant};
+
+use crate::aggregate::GlobalModel;
+use crate::budget::BudgetTracker;
+use crate::client::FedForecasterClient;
+use crate::config::EngineConfig;
+use crate::feature_engineering::GlobalFeatureSpec;
+use crate::report::RoundReport;
+use crate::search_space::{table2_space, warm_start_configs};
+use crate::{EngineError, Result};
+use ff_bayesopt::optimizer::BayesOpt;
+use ff_bayesopt::space::Configuration;
+use ff_fl::client::FlClient;
+use ff_fl::health::HealthReport;
+use ff_fl::runtime::FederatedRuntime;
+use ff_fl::FlError;
+use ff_metalearn::metamodel::MetaModel;
+use ff_models::zoo::AlgorithmKind;
+use ff_timeseries::TimeSeries;
+use std::time::Duration;
+
+/// Communication spent in one pipeline phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseBytes {
+    /// Phase name (`meta_features`, `feature_engineering`, `optimization`,
+    /// `finalization`).
+    pub phase: &'static str,
+    /// Bytes sent server → clients during the phase.
+    pub to_clients: usize,
+    /// Bytes sent clients → server during the phase.
+    pub to_server: usize,
+}
+
+/// Outcome of one engine (or baseline) run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Winning algorithm.
+    pub best_algorithm: AlgorithmKind,
+    /// Winning configuration.
+    pub best_config: Configuration,
+    /// Best aggregated validation loss observed during optimization.
+    pub best_valid_loss: f64,
+    /// Aggregated test MSE of the deployed global model.
+    pub test_mse: f64,
+    /// The deployed global model.
+    pub global_model: GlobalModel,
+    /// Number of configurations evaluated.
+    pub evaluations: usize,
+    /// Aggregated validation loss after each evaluation (for budget sweeps).
+    pub loss_history: Vec<f64>,
+    /// The meta-model's recommendations (empty for baselines).
+    pub recommended: Vec<AlgorithmKind>,
+    /// Wall-clock spent in the optimization loop.
+    pub elapsed: Duration,
+    /// Bytes sent server→clients over the run.
+    pub bytes_to_clients: usize,
+    /// Bytes sent clients→server over the run.
+    pub bytes_to_server: usize,
+    /// Per-phase communication breakdown (empty for baselines that do not
+    /// track phases).
+    pub phase_bytes: Vec<PhaseBytes>,
+    /// Per-round fault-tolerance log: participants, responders, dropouts
+    /// (empty for baselines that run strict rounds).
+    pub rounds: Vec<RoundReport>,
+    /// Tuning-loop trials abandoned because the round quorum was unmet.
+    /// These consume budget but contribute no loss observation.
+    pub failed_trials: usize,
+    /// Final per-client health snapshot from the runtime.
+    pub health: HealthReport,
+}
+
+/// The FedForecaster engine. Borrows the (expensive-to-train) meta-model
+/// so many runs — sweeps, repeated seeds — share one offline phase.
+pub struct FedForecaster<'m> {
+    cfg: EngineConfig,
+    meta: &'m MetaModel,
+}
+
+impl<'m> FedForecaster<'m> {
+    /// Creates an engine with a pre-trained meta-model (Figure 2 offline
+    /// phase output).
+    pub fn new(cfg: EngineConfig, meta: &'m MetaModel) -> FedForecaster<'m> {
+        FedForecaster { cfg, meta }
+    }
+
+    /// Runs Algorithm 1 on a federation of private series.
+    pub fn run(&self, clients: &[TimeSeries]) -> Result<RunResult> {
+        let runtime = build_runtime(clients, &self.cfg)?;
+        self.run_on(&runtime)
+    }
+
+    /// Runs Algorithm 1 on an existing runtime (lets tests inspect logs).
+    pub fn run_on(&self, rt: &FederatedRuntime) -> Result<RunResult> {
+        let mut phase_bytes = Vec::new();
+        let mut phase_mark = rt.log().byte_totals();
+        let mut end_phase = |name: &'static str, rt: &FederatedRuntime| {
+            let now = rt.log().byte_totals();
+            let entry = PhaseBytes {
+                phase: name,
+                to_clients: now.0 - phase_mark.0,
+                to_server: now.1 - phase_mark.1,
+            };
+            phase_mark = now;
+            entry
+        };
+        let policy = &self.cfg.round_policy;
+        let mut rounds: Vec<RoundReport> = Vec::new();
+        // Phase I–II: meta-features → aggregation → recommendation. An
+        // explicit portfolio bypasses the meta-model entirely (ablations,
+        // registry extensions the meta-model was not trained on).
+        let (global, max_len) = collect_global_meta_tolerant(rt, policy, &mut rounds)?;
+        let recommended: Vec<AlgorithmKind> = if let Some(portfolio) = &self.cfg.portfolio {
+            if portfolio.is_empty() {
+                return Err(EngineError::InvalidData("empty portfolio override".into()));
+            }
+            portfolio.clone()
+        } else if self.cfg.disable_warm_start {
+            AlgorithmKind::all()
+        } else {
+            self.meta
+                .recommend(global.values(), self.cfg.top_k)
+                .map_err(EngineError::Model)?
+        };
+        // Phase III prep: feature engineering with globally agreed params.
+        let spec = if self.cfg.disable_feature_engineering {
+            GlobalFeatureSpec::lags_only(derive_lag_count(&global, self.cfg.max_lags))
+        } else {
+            let periods = federated_seasonal_periods_tolerant(
+                rt,
+                max_len,
+                self.cfg.max_seasonal_components,
+                policy,
+                &mut rounds,
+            )?;
+            GlobalFeatureSpec {
+                lags: (1..=derive_lag_count(&global, self.cfg.max_lags)).collect(),
+                seasonal_periods: periods,
+                use_trend: true,
+                use_time: true,
+            }
+        };
+        phase_bytes.push(end_phase("meta_features", rt));
+        run_feature_engineering_tolerant(
+            rt,
+            &spec,
+            self.cfg.importance_threshold,
+            policy,
+            &mut rounds,
+        )?;
+        phase_bytes.push(end_phase("feature_engineering", rt));
+
+        // Phase III: Bayesian optimization with warm start. The budget T
+        // covers the tuning loop (§5.1: "time budget ... for the
+        // hyperparameter tuning"); at least one configuration is always
+        // evaluated so a result exists even under a degenerate budget.
+        // A trial whose round misses its quorum is abandoned — it consumes
+        // budget but tells the optimizer nothing — and the run continues.
+        let space = table2_space(&recommended);
+        let mut bo = BayesOpt::new(space, self.cfg.seed).map_err(EngineError::Optimizer)?;
+        bo.warm_start(warm_start_configs(&recommended));
+        let mut loss_history = Vec::new();
+        let mut failed_trials = 0usize;
+        let mut tracker = BudgetTracker::start(self.cfg.budget);
+        while tracker.iterations() == 0 || !tracker.exhausted() {
+            let config = bo.ask().map_err(EngineError::Optimizer)?;
+            match evaluate_config_tolerant(rt, &config, policy, &mut rounds) {
+                Ok(loss) => {
+                    bo.tell(&config, loss).map_err(EngineError::Optimizer)?;
+                    loss_history.push(loss);
+                }
+                Err(EngineError::Federation(FlError::Quorum { .. })) => failed_trials += 1,
+                Err(e) => return Err(e),
+            }
+            tracker.record_iteration();
+        }
+        let (best_config, best_valid_loss) = bo
+            .best()
+            .map(|(c, l)| (c.clone(), l))
+            .ok_or_else(|| EngineError::InvalidData("no configuration evaluated".into()))?;
+        phase_bytes.push(end_phase("optimization", rt));
+
+        // Phase IV: final fit, aggregation, test evaluation.
+        let (global_model, test_mse) = finalize_with_tolerant(
+            rt,
+            &best_config,
+            self.cfg.tree_aggregation,
+            policy,
+            &mut rounds,
+        )?;
+        phase_bytes.push(end_phase("finalization", rt));
+        let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
+        Ok(RunResult {
+            best_algorithm: global_model.algorithm(),
+            best_config,
+            best_valid_loss,
+            test_mse,
+            global_model,
+            evaluations: tracker.iterations(),
+            loss_history,
+            recommended,
+            elapsed: tracker.elapsed(),
+            bytes_to_clients,
+            bytes_to_server,
+            phase_bytes,
+            rounds,
+            failed_trials,
+            health: rt.health_report(),
+        })
+    }
+}
+
+/// Spawns a runtime from pre-built clients (e.g. clients carrying
+/// exogenous covariates via
+/// [`FedForecasterClient::with_exogenous`]); pair with
+/// [`FedForecaster::run_on`].
+pub fn build_runtime_from(clients: Vec<FedForecasterClient>) -> FederatedRuntime {
+    let boxed: Vec<Box<dyn FlClient>> = clients
+        .into_iter()
+        .map(|c| Box::new(c) as Box<dyn FlClient>)
+        .collect();
+    FederatedRuntime::new(boxed)
+}
+
+/// Spawns the federated runtime with one [`FedForecasterClient`] per series.
+pub fn build_runtime(clients: &[TimeSeries], cfg: &EngineConfig) -> Result<FederatedRuntime> {
+    if clients.is_empty() {
+        return Err(EngineError::InvalidData("no clients".into()));
+    }
+    if let Some(short) = clients.iter().find(|c| c.len() < 30) {
+        return Err(EngineError::InvalidData(format!(
+            "client split too short: {} points",
+            short.len()
+        )));
+    }
+    let boxed: Vec<Box<dyn FlClient>> = clients
+        .iter()
+        .map(|s| {
+            Box::new(FedForecasterClient::new(
+                s,
+                cfg.valid_fraction,
+                cfg.test_fraction,
+            )) as Box<dyn FlClient>
+        })
+        .collect();
+    Ok(FederatedRuntime::new(boxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use ff_metalearn::kb::KnowledgeBase;
+    use ff_metalearn::metamodel::MetaClassifierKind;
+    use ff_metalearn::synth::synthetic_kb;
+    use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+
+    fn tiny_metamodel() -> MetaModel {
+        let kb = KnowledgeBase::build(&synthetic_kb(8), &[2], 50);
+        MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).unwrap()
+    }
+
+    fn federation() -> Vec<TimeSeries> {
+        let s = generate(
+            &SynthesisSpec {
+                n: 800,
+                trend: TrendSpec::Linear(0.01),
+                seasons: vec![SeasonSpec {
+                    period: 12.0,
+                    amplitude: 2.0,
+                }],
+                snr: Some(20.0),
+                ..Default::default()
+            },
+            9,
+        );
+        s.split_clients(3)
+    }
+
+    #[test]
+    fn full_pipeline_produces_finite_result() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(6),
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let engine = FedForecaster::new(cfg, &meta);
+        let result = engine.run(&federation()).unwrap();
+        assert!(result.best_valid_loss.is_finite());
+        assert!(result.test_mse.is_finite());
+        assert_eq!(result.evaluations, 6);
+        assert_eq!(result.loss_history.len(), 6);
+        assert!(!result.recommended.is_empty());
+        assert!(result.bytes_to_server > 0);
+    }
+
+    #[test]
+    fn engine_beats_mean_predictor() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(8),
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let engine = FedForecaster::new(cfg, &meta);
+        let clients = federation();
+        let result = engine.run(&clients).unwrap();
+        // Mean-forecast baseline on the same test region.
+        let mut baseline = 0.0;
+        let mut total = 0usize;
+        for c in &clients {
+            let n = c.len();
+            let test_start = (n as f64 * 0.85).round() as usize;
+            let train: Vec<f64> = c.values()[..test_start].to_vec();
+            let mean = ff_linalg::vector::mean(&train);
+            for &v in &c.values()[test_start..] {
+                baseline += (v - mean) * (v - mean);
+                total += 1;
+            }
+        }
+        baseline /= total as f64;
+        assert!(
+            result.test_mse < baseline,
+            "engine {} vs mean baseline {}",
+            result.test_mse,
+            baseline
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(4),
+            seed: 123,
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let a = FedForecaster::new(cfg.clone(), &meta)
+            .run(&federation())
+            .unwrap();
+        let b = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+        assert_eq!(a.best_algorithm, b.best_algorithm);
+        assert_eq!(a.loss_history, b.loss_history);
+        assert!((a.test_mse - b.test_mse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablations_run() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(3),
+            disable_feature_engineering: true,
+            disable_warm_start: true,
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let result = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+        assert!(result.test_mse.is_finite());
+        assert_eq!(result.recommended.len(), AlgorithmKind::all().len());
+    }
+
+    #[test]
+    fn portfolio_override_restricts_search() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(2),
+            portfolio: Some(vec![AlgorithmKind::LASSO]),
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let result = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+        assert_eq!(result.recommended, vec![AlgorithmKind::LASSO]);
+        assert_eq!(result.best_algorithm, AlgorithmKind::LASSO);
+        // An empty portfolio is a configuration error, not a silent no-op.
+        let bad = EngineConfig {
+            portfolio: Some(vec![]),
+            ..Default::default()
+        };
+        assert!(FedForecaster::new(bad, &meta).run(&federation()).is_err());
+    }
+
+    #[test]
+    fn empty_federation_rejected() {
+        let meta = tiny_metamodel();
+        let engine = FedForecaster::new(EngineConfig::default(), &meta);
+        assert!(engine.run(&[]).is_err());
+    }
+
+    #[test]
+    fn short_client_rejected() {
+        let tiny = TimeSeries::with_regular_index(0, 60, vec![1.0; 10]);
+        let meta = tiny_metamodel();
+        let engine = FedForecaster::new(EngineConfig::default(), &meta);
+        assert!(engine.run(&[tiny]).is_err());
+    }
+
+    #[test]
+    fn phase_byte_accounting_sums_to_totals() {
+        let cfg = EngineConfig {
+            budget: Budget::Iterations(3),
+            ..Default::default()
+        };
+        let meta = tiny_metamodel();
+        let result = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+        assert_eq!(result.phase_bytes.len(), 4);
+        let down: usize = result.phase_bytes.iter().map(|p| p.to_clients).sum();
+        let up: usize = result.phase_bytes.iter().map(|p| p.to_server).sum();
+        assert_eq!(down, result.bytes_to_clients);
+        assert_eq!(up, result.bytes_to_server);
+        // Every phase actually communicates.
+        for p in &result.phase_bytes {
+            assert!(p.to_clients > 0, "{} sent nothing down", p.phase);
+            assert!(p.to_server > 0, "{} sent nothing up", p.phase);
+        }
+        // Optimization dominates downstream traffic relative to the
+        // meta-feature phase only when budgets are large; just check order
+        // of phases is stable.
+        assert_eq!(result.phase_bytes[0].phase, "meta_features");
+        assert_eq!(result.phase_bytes[3].phase, "finalization");
+    }
+
+    #[test]
+    fn forced_xgb_finalize_builds_ensemble_union() {
+        use ff_bayesopt::space::{Configuration, ParamValue};
+        let clients = federation();
+        let cfg = EngineConfig::default();
+        let rt = build_runtime(&clients, &cfg).unwrap();
+        let spec = GlobalFeatureSpec::lags_only(4);
+        run_feature_engineering(&rt, &spec, 0.95).unwrap();
+        let mut config = Configuration::new();
+        config.insert("algorithm".into(), ParamValue::Cat("XGBRegressor".into()));
+        let (model, mse) = finalize(&rt, &config).unwrap();
+        assert!(mse.is_finite());
+        match model {
+            GlobalModel::Ensemble { algorithm, members } => {
+                assert_eq!(algorithm, AlgorithmKind::XGB_REGRESSOR);
+                assert_eq!(members, clients.len());
+            }
+            other => panic!("expected ensemble union, got {other:?}"),
+        }
+        // PerClient mode still works on the same runtime.
+        let (model, mse2) =
+            finalize_with(&rt, &config, crate::config::TreeAggregation::PerClient).unwrap();
+        assert!(matches!(model, GlobalModel::PerClient { .. }));
+        assert!(mse2.is_finite());
+    }
+
+    #[test]
+    fn auto_aggregation_avoids_biased_union_on_trending_non_iid_data() {
+        use ff_bayesopt::space::{Configuration, ParamValue};
+        // A strong trend split by time ⇒ clients live at disjoint levels;
+        // the tree union cannot extrapolate and must be rejected by the
+        // validation comparison.
+        let series = generate(
+            &SynthesisSpec {
+                n: 800,
+                trend: TrendSpec::Linear(0.2),
+                snr: Some(50.0),
+                ..Default::default()
+            },
+            77,
+        );
+        let clients = series.split_clients(4);
+        let cfg = EngineConfig::default();
+        let rt = build_runtime(&clients, &cfg).unwrap();
+        run_feature_engineering(&rt, &GlobalFeatureSpec::lags_only(4), 0.95).unwrap();
+        let mut config = Configuration::new();
+        config.insert("algorithm".into(), ParamValue::Cat("XGBRegressor".into()));
+        let (model, auto_mse) =
+            finalize_with(&rt, &config, crate::config::TreeAggregation::Auto).unwrap();
+        assert!(
+            matches!(model, GlobalModel::PerClient { .. }),
+            "auto mode should reject the biased union, got {model:?}"
+        );
+        // And the auto choice should not be worse than the forced union.
+        let (_, union_mse) =
+            finalize_with(&rt, &config, crate::config::TreeAggregation::EnsembleUnion).unwrap();
+        assert!(
+            auto_mse <= union_mse * 1.01,
+            "auto {auto_mse} vs forced union {union_mse}"
+        );
+    }
+
+    #[test]
+    fn lag_count_derivation_is_clamped() {
+        let clients = federation();
+        let cfg = EngineConfig::default();
+        let rt = build_runtime(&clients, &cfg).unwrap();
+        let (global, max_len) = collect_global_meta(&rt).unwrap();
+        let lags = derive_lag_count(&global, 10);
+        assert!((3..=10).contains(&lags));
+        assert!(max_len > 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Policy-bounded round plumbing shared by every pipeline stage.
+//!
+//! The `*_tolerant` stage variants drive the protocol through
+//! [`FederatedRuntime::run_round`]: every collect is bounded by the policy
+//! deadline, clients that time out, panic, or reply garbage become recorded
+//! dropouts, and each stage proceeds with whichever healthy subset remains
+//! (FedAvg and Equation 1 renormalize over survivors automatically). The
+//! strict variants require every client to reply and are kept for the
+//! baselines and for federations known to be well-behaved.
+
+use crate::report::RoundReport;
+use crate::{EngineError, Result};
+use ff_fl::message::Instruction;
+use ff_fl::runtime::{FederatedRuntime, RoundOutcome, RoundPolicy};
+use ff_fl::FlError;
+
+/// The policy that reproduces strict-round semantics through the tolerant
+/// machinery: block until every client replies, and fail the stage unless
+/// all of them produced a usable reply.
+pub(crate) fn strict_policy(rt: &FederatedRuntime) -> RoundPolicy {
+    RoundPolicy {
+        deadline: None,
+        min_responses: rt.n_clients(),
+        ..RoundPolicy::default()
+    }
+}
+
+/// Runs one policy-bounded round and appends its [`RoundReport`]. Returns
+/// the outcome plus the report's index so the caller can amend the
+/// app-level fields (`usable`, `app_errors`, `non_finite`).
+pub(crate) fn tolerant_round(
+    rt: &FederatedRuntime,
+    phase: &'static str,
+    ins: &Instruction,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<(RoundOutcome, usize)> {
+    match rt.run_round(ins, policy) {
+        Ok(outcome) => {
+            rounds.push(RoundReport {
+                phase,
+                round: outcome.round,
+                participants: outcome.participants.len(),
+                responses: outcome.replies.len(),
+                usable: outcome.replies.len(),
+                dropouts: outcome
+                    .dropouts
+                    .iter()
+                    .map(|(id, e)| (*id, e.to_string()))
+                    .collect(),
+                app_errors: vec![],
+                non_finite: vec![],
+                quorum_met: true,
+            });
+            let idx = rounds.len() - 1;
+            Ok((outcome, idx))
+        }
+        Err(e) => {
+            if let FlError::Quorum { healthy, .. } = &e {
+                rounds.push(RoundReport {
+                    phase,
+                    round: rt.health_report().rounds,
+                    participants: 0,
+                    responses: *healthy,
+                    usable: *healthy,
+                    dropouts: vec![],
+                    app_errors: vec![],
+                    non_finite: vec![],
+                    quorum_met: false,
+                });
+            }
+            Err(EngineError::Federation(e))
+        }
+    }
+}
+
+/// Marks the round at `idx` quorum-unmet and returns the matching error.
+pub(crate) fn quorum_unmet(
+    rounds: &mut [RoundReport],
+    idx: usize,
+    healthy: usize,
+    required: usize,
+) -> EngineError {
+    rounds[idx].quorum_met = false;
+    EngineError::Federation(FlError::Quorum { healthy, required })
+}

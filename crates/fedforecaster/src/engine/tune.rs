@@ -1,0 +1,91 @@
+//! Phase III trial evaluation: one federated fit-and-validate round per
+//! candidate configuration, aggregated by Equation 1.
+
+use super::rounds::{quorum_unmet, tolerant_round};
+use crate::client::OP;
+use crate::report::RoundReport;
+use crate::search_space::config_to_map;
+use crate::{EngineError, Result};
+use ff_bayesopt::space::Configuration;
+use ff_fl::config::ConfigMapExt;
+use ff_fl::message::{Instruction, Reply};
+use ff_fl::runtime::{FederatedRuntime, RoundPolicy};
+use ff_fl::strategy::aggregate_loss;
+
+/// Evaluates one configuration across the federation: clients fit locally
+/// and report validation losses; the server aggregates via Equation 1.
+pub fn evaluate_config(rt: &FederatedRuntime, config: &Configuration) -> Result<f64> {
+    let replies = rt.broadcast_all(&Instruction::Fit {
+        params: vec![],
+        config: config_to_map(config).with_str(OP, "fit_eval"),
+    })?;
+    let mut losses = Vec::new();
+    for (_, r) in &replies {
+        match r {
+            Reply::FitRes {
+                num_examples,
+                metrics,
+                ..
+            } => {
+                let loss = metrics.float_or("valid_loss", f64::INFINITY);
+                losses.push((if loss.is_finite() { loss } else { 1e30 }, *num_examples));
+            }
+            other => {
+                return Err(EngineError::InvalidData(format!(
+                    "unexpected reply {other:?}"
+                )))
+            }
+        }
+    }
+    aggregate_loss(&losses).map_err(EngineError::Federation)
+}
+
+/// Fault-tolerant [`evaluate_config`]: the global loss is aggregated over
+/// the responsive clients with finite validation losses; non-finite losses
+/// and application errors are per-round dropouts. Fails with
+/// [`ff_fl::FlError::Quorum`] — which the engine treats as a failed
+/// *trial*, not a failed run — when fewer than `min_responses` usable
+/// losses remain.
+pub fn evaluate_config_tolerant(
+    rt: &FederatedRuntime,
+    config: &Configuration,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+) -> Result<f64> {
+    let ins = Instruction::Fit {
+        params: vec![],
+        config: config_to_map(config).with_str(OP, "fit_eval"),
+    };
+    let (outcome, idx) = tolerant_round(rt, "optimization", &ins, policy, rounds)?;
+    let mut losses = Vec::new();
+    for (id, r) in &outcome.replies {
+        match r {
+            Reply::FitRes {
+                num_examples,
+                metrics,
+                ..
+            } => {
+                if let Some(err) = metrics.get("error").and_then(|v| v.as_str()) {
+                    rounds[idx].app_errors.push((*id, err.to_string()));
+                    continue;
+                }
+                let loss = metrics.float_or("valid_loss", f64::NAN);
+                if loss.is_finite() {
+                    losses.push((loss, *num_examples));
+                } else {
+                    rounds[idx].non_finite.push(*id);
+                }
+            }
+            Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
+            other => rounds[idx]
+                .app_errors
+                .push((*id, format!("unexpected reply {other:?}"))),
+        }
+    }
+    rounds[idx].usable = losses.len();
+    let required = policy.min_responses.max(1);
+    if losses.len() < required {
+        return Err(quorum_unmet(rounds, idx, losses.len(), required));
+    }
+    aggregate_loss(&losses).map_err(EngineError::Federation)
+}

@@ -53,7 +53,7 @@ impl RandomSearch {
         };
         run_feature_engineering(&rt, &spec, self.cfg.importance_threshold)?;
 
-        let space = table2_space(&AlgorithmKind::ALL);
+        let space = table2_space(&AlgorithmKind::all());
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut best: Option<(ff_bayesopt::space::Configuration, f64)> = None;
         let mut loss_history = Vec::new();

@@ -1,91 +1,61 @@
-//! The Table 2 search space and its encodings.
+//! The Table 2 search space and its encodings — registry-driven.
 //!
 //! The joint space has a categorical `algorithm` dimension restricted to
 //! the meta-model's recommendations plus every algorithm's hyperparameters
 //! (a flattened conditional space — dimensions of unselected algorithms are
-//! inert, the standard CASH-space trick). Conversions are provided to the
-//! [`HyperParams`] bundle used to instantiate models and to [`ConfigMap`]s
-//! for transmission to clients.
+//! inert, the standard CASH-space trick). All per-algorithm knowledge
+//! (keys, ranges, warm starts, decode) comes from the `ff_models::spec`
+//! registry, so registering a new algorithm extends this space with no
+//! edits here. Conversions are provided to the [`HyperParams`] bundle used
+//! to instantiate models and to [`ConfigMap`]s for transmission to clients.
+//!
+//! Ranges follow Table 2 exactly, with one normalization documented in
+//! DESIGN.md §4: the printed ElasticNetCV `l1_ratio ∈ [0.3, 10]` is a typo
+//! (the mixing ratio is only defined on `[0, 1]`), so the registry samples
+//! `[0.3, 1.0]` directly.
 
 use ff_bayesopt::space::{Configuration, ParamSpec, ParamValue, SearchSpace};
 use ff_fl::config::{ConfigMap, ConfigMapExt};
-use ff_models::linear::cd::Selection;
+use ff_models::spec::{ParamKind, SpecValue};
 use ff_models::zoo::{AlgorithmKind, HyperParams};
 
-/// Builds the joint Table 2 search space over the given algorithms.
-///
-/// Ranges follow Table 2 exactly; two values in the printed table are
-/// nonsensical as written and are normalized here (documented in
-/// DESIGN.md §4): the Lasso/Huber/Quantile `alpha` entries are read as
-/// log-uniform over `[1e-5, 10]`, and ElasticNetCV's `l1_ratio ∈ [0.3, 10]`
-/// is clamped into `[0.3, 1.0]` at instantiation.
+fn to_param_spec(kind: &ParamKind) -> ParamSpec {
+    match kind {
+        ParamKind::Continuous { lo, hi } => ParamSpec::Continuous { lo: *lo, hi: *hi },
+        ParamKind::LogContinuous { lo, hi } => ParamSpec::LogContinuous { lo: *lo, hi: *hi },
+        ParamKind::Integer { lo, hi } => ParamSpec::Integer { lo: *lo, hi: *hi },
+        ParamKind::Categorical { options } => ParamSpec::Categorical {
+            options: options.clone(),
+        },
+    }
+}
+
+fn to_param_value(v: &SpecValue) -> ParamValue {
+    match v {
+        SpecValue::Float(x) => ParamValue::Float(*x),
+        SpecValue::Int(x) => ParamValue::Int(*x),
+        SpecValue::Cat(s) => ParamValue::Cat(s.clone()),
+    }
+}
+
+fn to_spec_value(v: &ParamValue) -> SpecValue {
+    match v {
+        ParamValue::Float(x) => SpecValue::Float(*x),
+        ParamValue::Int(x) => SpecValue::Int(*x),
+        ParamValue::Cat(s) => SpecValue::Cat(s.clone()),
+    }
+}
+
+/// Builds the joint Table 2 search space over the given algorithms by
+/// iterating their registered specs.
 pub fn table2_space(algorithms: &[AlgorithmKind]) -> SearchSpace {
     assert!(!algorithms.is_empty());
     let names: Vec<String> = algorithms.iter().map(|a| a.name().to_string()).collect();
     let mut space = SearchSpace::new().with("algorithm", ParamSpec::Categorical { options: names });
-    let has = |k: AlgorithmKind| algorithms.contains(&k);
-    if has(AlgorithmKind::Lasso) {
-        space = space
-            .with(
-                "lasso_alpha",
-                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
-            )
-            .with(
-                "lasso_selection",
-                ParamSpec::Categorical {
-                    options: vec!["cyclic".into(), "random".into()],
-                },
-            );
-    }
-    if has(AlgorithmKind::LinearSvr) {
-        space = space
-            .with("svr_c", ParamSpec::Continuous { lo: 1.0, hi: 10.0 })
-            .with("svr_epsilon", ParamSpec::Continuous { lo: 0.01, hi: 0.1 });
-    }
-    if has(AlgorithmKind::ElasticNetCv) {
-        space = space
-            .with("enet_l1_ratio", ParamSpec::Continuous { lo: 0.3, hi: 10.0 })
-            .with(
-                "enet_selection",
-                ParamSpec::Categorical {
-                    options: vec!["cyclic".into(), "random".into()],
-                },
-            );
-    }
-    if has(AlgorithmKind::XgbRegressor) {
-        space = space
-            .with("xgb_n_estimators", ParamSpec::Integer { lo: 5, hi: 20 })
-            .with("xgb_max_depth", ParamSpec::Integer { lo: 2, hi: 10 })
-            .with(
-                "xgb_learning_rate",
-                ParamSpec::Continuous { lo: 0.01, hi: 1.0 },
-            )
-            .with(
-                "xgb_reg_lambda",
-                ParamSpec::Continuous { lo: 0.8, hi: 10.0 },
-            )
-            .with("xgb_subsample", ParamSpec::Continuous { lo: 0.1, hi: 1.0 });
-    }
-    if has(AlgorithmKind::HuberRegressor) {
-        space = space
-            .with(
-                "huber_epsilon",
-                ParamSpec::Categorical {
-                    options: vec!["1.0".into(), "1.35".into(), "1.5".into()],
-                },
-            )
-            .with(
-                "huber_alpha",
-                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
-            );
-    }
-    if has(AlgorithmKind::QuantileRegressor) {
-        space = space
-            .with(
-                "quantile_alpha",
-                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
-            )
-            .with("quantile_q", ParamSpec::Continuous { lo: 0.1, hi: 1.0 });
+    for algo in algorithms {
+        for pd in algo.spec().params() {
+            space = space.with(pd.key(), to_param_spec(pd.kind()));
+        }
     }
     space
 }
@@ -96,66 +66,41 @@ pub fn algorithm_of(config: &Configuration) -> Option<AlgorithmKind> {
 }
 
 /// Converts a sampled configuration to the concrete hyperparameter bundle.
+///
+/// Only the selected algorithm's own namespaced keys are consulted; any
+/// missing key falls back to that algorithm's warm (grid sweet-spot) value.
+/// Dimensions of unselected algorithms never leak into the result — they
+/// stay at [`HyperParams::default`].
 pub fn to_hyperparams(config: &Configuration) -> HyperParams {
-    let f = |key: &str, default: f64| -> f64 {
-        config
-            .get(key)
-            .map(|v| v.as_f64())
-            .filter(|v| v.is_finite())
-            .unwrap_or(default)
-    };
-    let algorithm = algorithm_of(config);
-    let alpha_key = match algorithm {
-        Some(AlgorithmKind::Lasso) => "lasso_alpha",
-        Some(AlgorithmKind::HuberRegressor) => "huber_alpha",
-        Some(AlgorithmKind::QuantileRegressor) => "quantile_alpha",
-        _ => "lasso_alpha",
-    };
-    let selection_key = match algorithm {
-        Some(AlgorithmKind::ElasticNetCv) => "enet_selection",
-        _ => "lasso_selection",
-    };
-    let epsilon = match algorithm {
-        Some(AlgorithmKind::HuberRegressor) => config
-            .get("huber_epsilon")
-            .and_then(|v| v.as_str().parse::<f64>().ok())
-            .unwrap_or(1.35),
-        _ => f("svr_epsilon", 0.05),
-    };
-    HyperParams {
-        alpha: f(alpha_key, 0.01),
-        selection: config
-            .get(selection_key)
-            .map(|v| Selection::from_name(v.as_str()))
-            .unwrap_or(Selection::Cyclic),
-        c: f("svr_c", 5.0),
-        epsilon,
-        l1_ratio: f("enet_l1_ratio", 0.5),
-        n_estimators: config
-            .get("xgb_n_estimators")
-            .map(|v| v.as_i64() as usize)
-            .unwrap_or(10),
-        max_depth: config
-            .get("xgb_max_depth")
-            .map(|v| v.as_i64() as usize)
-            .unwrap_or(4),
-        learning_rate: f("xgb_learning_rate", 0.3),
-        reg_lambda: f("xgb_reg_lambda", 1.0),
-        subsample: f("xgb_subsample", 1.0),
-        quantile: f("quantile_q", 0.5),
+    match algorithm_of(config) {
+        Some(algo) => algo.spec().decode(|key| config.get(key).map(to_spec_value)),
+        None => HyperParams::default(),
     }
 }
 
-/// Default warm-start configurations for the recommended algorithms: each
-/// recommendation seeds one configuration at its grid-search sweet spot.
+/// Encodes a bundle back into a configuration for the given algorithm
+/// (inverse of [`to_hyperparams`] over that algorithm's dimensions).
+pub fn from_hyperparams(algo: AlgorithmKind, hp: &HyperParams) -> Configuration {
+    let mut c = Configuration::new();
+    c.insert("algorithm".into(), ParamValue::Cat(algo.name().to_string()));
+    for (key, value) in algo.spec().encode(hp) {
+        c.insert(key, to_param_value(&value));
+    }
+    c
+}
+
+/// Warm-start configurations for the recommended algorithms: each
+/// recommendation seeds one configuration at its registered grid-search
+/// sweet spot (the middle entry of the KB labelling grid).
 pub fn warm_start_configs(algorithms: &[AlgorithmKind]) -> Vec<Configuration> {
     algorithms
         .iter()
         .map(|&a| {
             let mut c = Configuration::new();
             c.insert("algorithm".into(), ParamValue::Cat(a.name().to_string()));
-            // Leave all hyperparameters at the space defaults (decoded as
-            // the HyperParams defaults), which match the KB grid centers.
+            for (key, value) in a.spec().warm_values() {
+                c.insert(key, to_param_value(&value));
+            }
             c
         })
         .collect()
@@ -200,20 +145,114 @@ mod tests {
 
     #[test]
     fn full_space_has_all_table2_dimensions() {
-        let space = table2_space(&AlgorithmKind::ALL);
+        let space = table2_space(&AlgorithmKind::builtin());
         // algorithm + 2 + 2 + 2 + 5 + 2 + 2 = 16 named params.
         assert_eq!(space.len(), 16);
     }
 
+    /// Snapshot of the six Table 2 algorithms' space against hard-coded
+    /// literals — the registry must keep producing byte-identical
+    /// dimensions to the pre-registry code. Two intentional deviations are
+    /// baked into the expectations: `enet_l1_ratio` now samples the valid
+    /// `[0.3, 1.0]` range (the declared `[0.3, 10]` was a Table 2 typo that
+    /// collapsed ~97% of samples onto plain Lasso), and warm starts carry
+    /// real grid sweet-spot values (see `warm_start_matches_grid_centers`).
+    #[test]
+    fn table2_space_snapshot() {
+        let space = table2_space(&AlgorithmKind::builtin());
+        let cat = |opts: &[&str]| ParamSpec::Categorical {
+            options: opts.iter().map(|s| s.to_string()).collect(),
+        };
+        let expected: Vec<(&str, ParamSpec)> = vec![
+            (
+                "algorithm",
+                cat(&[
+                    "Lasso",
+                    "LinearSVR",
+                    "ElasticNetCV",
+                    "XGBRegressor",
+                    "HuberRegressor",
+                    "QuantileRegressor",
+                ]),
+            ),
+            (
+                "lasso_alpha",
+                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
+            ),
+            ("lasso_selection", cat(&["cyclic", "random"])),
+            ("svr_c", ParamSpec::Continuous { lo: 1.0, hi: 10.0 }),
+            ("svr_epsilon", ParamSpec::Continuous { lo: 0.01, hi: 0.1 }),
+            ("enet_l1_ratio", ParamSpec::Continuous { lo: 0.3, hi: 1.0 }),
+            ("enet_selection", cat(&["cyclic", "random"])),
+            ("xgb_n_estimators", ParamSpec::Integer { lo: 5, hi: 20 }),
+            ("xgb_max_depth", ParamSpec::Integer { lo: 2, hi: 10 }),
+            (
+                "xgb_learning_rate",
+                ParamSpec::Continuous { lo: 0.01, hi: 1.0 },
+            ),
+            (
+                "xgb_reg_lambda",
+                ParamSpec::Continuous { lo: 0.8, hi: 10.0 },
+            ),
+            ("xgb_subsample", ParamSpec::Continuous { lo: 0.1, hi: 1.0 }),
+            ("huber_epsilon", cat(&["1.0", "1.35", "1.5"])),
+            (
+                "huber_alpha",
+                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
+            ),
+            (
+                "quantile_alpha",
+                ParamSpec::LogContinuous { lo: 1e-5, hi: 10.0 },
+            ),
+            ("quantile_q", ParamSpec::Continuous { lo: 0.1, hi: 1.0 }),
+        ];
+        let actual: Vec<(&str, ParamSpec)> = space
+            .params()
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.clone()))
+            .collect();
+        assert_eq!(actual, expected);
+    }
+
+    /// Warm starts seed the documented grid sweet spots (middle grid entry
+    /// per algorithm), not bare algorithm names.
+    #[test]
+    fn warm_start_matches_grid_centers() {
+        let ws = warm_start_configs(&AlgorithmKind::builtin());
+        assert_eq!(ws.len(), 6);
+        let get = |c: &Configuration, k: &str| c.get(k).cloned().unwrap();
+        assert_eq!(get(&ws[0], "lasso_alpha"), ParamValue::Float(1e-2));
+        assert_eq!(
+            get(&ws[0], "lasso_selection"),
+            ParamValue::Cat("cyclic".into())
+        );
+        assert_eq!(get(&ws[1], "svr_c"), ParamValue::Float(5.0));
+        assert_eq!(get(&ws[1], "svr_epsilon"), ParamValue::Float(0.05));
+        assert_eq!(get(&ws[2], "enet_l1_ratio"), ParamValue::Float(0.7));
+        assert_eq!(get(&ws[3], "xgb_n_estimators"), ParamValue::Int(10));
+        assert_eq!(get(&ws[3], "xgb_max_depth"), ParamValue::Int(4));
+        assert_eq!(get(&ws[3], "xgb_learning_rate"), ParamValue::Float(0.3));
+        assert_eq!(get(&ws[4], "huber_epsilon"), ParamValue::Cat("1.35".into()));
+        assert_eq!(get(&ws[4], "huber_alpha"), ParamValue::Float(1e-2));
+        assert_eq!(get(&ws[5], "quantile_q"), ParamValue::Float(0.5));
+        assert_eq!(get(&ws[5], "quantile_alpha"), ParamValue::Float(1e-1));
+        // Every warm config decodes into a bundle that round-trips.
+        for c in &ws {
+            let algo = algorithm_of(c).unwrap();
+            let hp = to_hyperparams(c);
+            assert_eq!(from_hyperparams(algo, &hp), *c);
+        }
+    }
+
     #[test]
     fn restricted_space_omits_unrecommended_params() {
-        let space = table2_space(&[AlgorithmKind::Lasso]);
+        let space = table2_space(&[AlgorithmKind::LASSO]);
         assert_eq!(space.len(), 3); // algorithm, lasso_alpha, lasso_selection
     }
 
     #[test]
     fn sampled_configs_build_models() {
-        let space = table2_space(&AlgorithmKind::ALL);
+        let space = table2_space(&AlgorithmKind::builtin());
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..50 {
             let c = space.sample(&mut rng);
@@ -227,9 +266,47 @@ mod tests {
         }
     }
 
+    /// Regression test for the cross-namespace decode leak: dimensions of
+    /// unselected algorithms must never reach `HyperParams`. Pre-registry,
+    /// an SVR config fell back to `lasso_alpha`/`lasso_selection`.
+    #[test]
+    fn unselected_dimensions_never_leak() {
+        let space = table2_space(&AlgorithmKind::builtin());
+        let defaults = HyperParams::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..60 {
+            let c = space.sample(&mut rng);
+            let algo = algorithm_of(&c).unwrap();
+            let hp = to_hyperparams(&c);
+            let prefix = algo.spec().prefix();
+            // Corrupt every foreign dimension to an extreme value and
+            // decode again: the result must be unchanged.
+            let mut poisoned = c.clone();
+            for (key, value) in poisoned.iter_mut() {
+                if key != "algorithm" && !key.starts_with(prefix) {
+                    *value = match value {
+                        ParamValue::Float(_) => ParamValue::Float(9e9),
+                        ParamValue::Int(_) => ParamValue::Int(999),
+                        ParamValue::Cat(_) => ParamValue::Cat("random".into()),
+                    };
+                }
+            }
+            assert_eq!(to_hyperparams(&poisoned), hp, "{algo:?} leaked");
+            // And fields owned by no dimension of the selected algorithm
+            // stay at their defaults.
+            if algo != AlgorithmKind::XGB_REGRESSOR {
+                assert_eq!(hp.n_estimators, defaults.n_estimators);
+                assert_eq!(hp.learning_rate, defaults.learning_rate);
+            }
+            if algo != AlgorithmKind::LINEAR_SVR {
+                assert_eq!(hp.c, defaults.c);
+            }
+        }
+    }
+
     #[test]
     fn huber_epsilon_categorical_parses() {
-        let space = table2_space(&[AlgorithmKind::HuberRegressor]);
+        let space = table2_space(&[AlgorithmKind::HUBER_REGRESSOR]);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
             let c = space.sample(&mut rng);
@@ -244,7 +321,7 @@ mod tests {
 
     #[test]
     fn wire_roundtrip_preserves_configuration() {
-        let space = table2_space(&AlgorithmKind::ALL);
+        let space = table2_space(&AlgorithmKind::builtin());
         let mut rng = StdRng::seed_from_u64(2);
         let c = space.sample(&mut rng);
         let map = config_to_map(&c);
@@ -254,10 +331,10 @@ mod tests {
 
     #[test]
     fn warm_start_covers_recommendations_in_order() {
-        let recs = [AlgorithmKind::XgbRegressor, AlgorithmKind::Lasso];
+        let recs = [AlgorithmKind::XGB_REGRESSOR, AlgorithmKind::LASSO];
         let ws = warm_start_configs(&recs);
         assert_eq!(ws.len(), 2);
-        assert_eq!(algorithm_of(&ws[0]), Some(AlgorithmKind::XgbRegressor));
-        assert_eq!(algorithm_of(&ws[1]), Some(AlgorithmKind::Lasso));
+        assert_eq!(algorithm_of(&ws[0]), Some(AlgorithmKind::XGB_REGRESSOR));
+        assert_eq!(algorithm_of(&ws[1]), Some(AlgorithmKind::LASSO));
     }
 }

@@ -6,8 +6,9 @@ use fedforecaster::feature_engineering::{
 };
 use fedforecaster::report::fmt_loss;
 use fedforecaster::search_space::{
-    algorithm_of, config_to_map, map_to_config, table2_space, to_hyperparams,
+    algorithm_of, config_to_map, from_hyperparams, map_to_config, table2_space, to_hyperparams,
 };
+use ff_bayesopt::space::ParamValue;
 use ff_models::zoo::AlgorithmKind;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -87,7 +88,7 @@ proptest! {
 
     #[test]
     fn search_space_samples_always_instantiate(seed in 0u64..300) {
-        let space = table2_space(&AlgorithmKind::ALL);
+        let space = table2_space(&AlgorithmKind::all());
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = space.sample(&mut rng);
         let algo = algorithm_of(&cfg).unwrap();
@@ -97,6 +98,42 @@ proptest! {
         // Wire roundtrip is lossless.
         let back = map_to_config(&config_to_map(&cfg));
         prop_assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn sample_decode_encode_decode_is_stable(seed in 0u64..500) {
+        // For every registered algorithm: sample → decode → encode →
+        // decode is a fixed point (registry encode/decode are inverse on
+        // canonicalized values).
+        let space = table2_space(&AlgorithmKind::all());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        let algo = algorithm_of(&cfg).unwrap();
+        let hp = to_hyperparams(&cfg);
+        let encoded = from_hyperparams(algo, &hp);
+        let hp2 = to_hyperparams(&encoded);
+        prop_assert_eq!(&hp2, &hp);
+        prop_assert_eq!(from_hyperparams(algo, &hp2), encoded);
+    }
+
+    #[test]
+    fn unselected_algorithm_dimensions_never_leak(seed in 0u64..300, poison in -1e9f64..1e9) {
+        // Poisoning every foreign-namespace dimension must not change the
+        // decoded bundle of the selected algorithm.
+        let space = table2_space(&AlgorithmKind::all());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = space.sample(&mut rng);
+        let algo = algorithm_of(&cfg).unwrap();
+        let clean = to_hyperparams(&cfg);
+        for other in AlgorithmKind::all() {
+            if other == algo {
+                continue;
+            }
+            for pd in other.spec().params() {
+                cfg.insert(pd.key().to_string(), ParamValue::Float(poison));
+            }
+        }
+        prop_assert_eq!(to_hyperparams(&cfg), clean);
     }
 
     #[test]

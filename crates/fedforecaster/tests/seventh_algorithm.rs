@@ -1,0 +1,191 @@
+//! Extensibility proof: a seventh algorithm registered through the
+//! registry alone — this file is the only place it exists. No edits to the
+//! engine, the search-space builder, or the client dispatch: the spec's
+//! declared params, grid, builder, and finalize strategy are enough to run
+//! it end-to-end.
+
+use fedforecaster::budget::Budget;
+use fedforecaster::config::EngineConfig;
+use fedforecaster::engine::FedForecaster;
+use fedforecaster::search_space::{algorithm_of, table2_space, to_hyperparams, warm_start_configs};
+use ff_bayesopt::space::ParamValue;
+use ff_linalg::Matrix;
+use ff_metalearn::kb::KnowledgeBase;
+use ff_metalearn::metamodel::{MetaClassifierKind, MetaModel};
+use ff_metalearn::synth::synthetic_kb;
+use ff_models::spec::{register, AlgorithmSpec, FinalizeStrategy, ParamDef, ParamKind};
+use ff_models::zoo::{AlgorithmKind, HyperParams};
+use ff_models::{ModelError, Regressor};
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+use ff_timeseries::TimeSeries;
+use std::sync::OnceLock;
+
+/// A seasonal-naive-style forecaster: fit picks the single lag column (up
+/// to `snaive_max_lag`) that best matches the target and predicts exactly
+/// that column. The fitted model is an affine predictor (a unit coordinate
+/// projection), so `CoefficientAverage` finalization applies: the probed
+/// parameters are the unit vector of the chosen lag.
+struct BestLagNaive {
+    max_lag: usize,
+    col: Option<usize>,
+}
+
+impl Regressor for BestLagNaive {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> ff_models::Result<()> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(ModelError::InvalidData("empty design matrix".into()));
+        }
+        let candidates = self.max_lag.max(1).min(x.cols());
+        let mut best = (0usize, f64::INFINITY);
+        for j in 0..candidates {
+            let sse: f64 = (0..x.rows())
+                .map(|i| {
+                    let d = x.get(i, j) - y[i];
+                    d * d
+                })
+                .sum();
+            if sse < best.1 {
+                best = (j, sse);
+            }
+        }
+        self.col = Some(best.0);
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> ff_models::Result<Vec<f64>> {
+        let col = self.col.ok_or(ModelError::NotFitted)?;
+        if col >= x.cols() {
+            return Err(ModelError::InvalidData("lag column out of range".into()));
+        }
+        Ok((0..x.rows()).map(|i| x.get(i, col)).collect())
+    }
+}
+
+fn snaive_grid(max_lags: &[f64]) -> Vec<HyperParams> {
+    max_lags
+        .iter()
+        .map(|&m| {
+            let mut hp = HyperParams::default();
+            hp.extras.insert("snaive_max_lag".into(), m);
+            hp
+        })
+        .collect()
+}
+
+/// Registers the seventh algorithm exactly once per process and returns
+/// its kind. Everything downstream — search space, warm start, decode,
+/// client final fit, finalize — picks it up from the registry.
+fn seventh() -> AlgorithmKind {
+    static SEVENTH: OnceLock<AlgorithmKind> = OnceLock::new();
+    *SEVENTH.get_or_init(|| {
+        register(AlgorithmSpec::new(
+            "SeasonalNaive",
+            "snaive_",
+            FinalizeStrategy::CoefficientAverage,
+            |hp: &HyperParams| {
+                let max_lag = hp.extras.get("snaive_max_lag").copied().unwrap_or(4.0);
+                Box::new(BestLagNaive {
+                    max_lag: max_lag.round().max(1.0) as usize,
+                    col: None,
+                })
+            },
+            snaive_grid(&[2.0, 4.0, 8.0]),
+            vec![ParamDef::extra(
+                "snaive_max_lag",
+                ParamKind::Integer { lo: 1, hi: 10 },
+                4.0,
+            )],
+        ))
+        .expect("seventh algorithm registers cleanly")
+    })
+}
+
+fn federation() -> Vec<TimeSeries> {
+    let s = generate(
+        &SynthesisSpec {
+            n: 700,
+            trend: TrendSpec::Linear(0.01),
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 2.0,
+            }],
+            snr: Some(20.0),
+            ..Default::default()
+        },
+        31,
+    );
+    s.split_clients(3)
+}
+
+#[test]
+fn registry_extension_flows_into_space_warm_start_and_decode() {
+    let kind = seventh();
+    assert_eq!(kind.name(), "SeasonalNaive");
+    assert!(AlgorithmKind::all().contains(&kind));
+    assert!(!AlgorithmKind::builtin().contains(&kind));
+
+    // The search-space builder picks up the new dimension untouched.
+    let space = table2_space(&[kind]);
+    let names: Vec<&str> = space.params().iter().map(|(n, _)| n.as_str()).collect();
+    assert!(names.contains(&"algorithm"));
+    assert!(names.contains(&"snaive_max_lag"));
+
+    // The warm start is the grid sweet spot (middle entry: max_lag = 4).
+    let warm = warm_start_configs(&[kind]);
+    assert_eq!(warm.len(), 1);
+    assert_eq!(
+        warm[0].get("algorithm"),
+        Some(&ParamValue::Cat("SeasonalNaive".into()))
+    );
+    assert_eq!(warm[0].get("snaive_max_lag"), Some(&ParamValue::Int(4)));
+
+    // Decode routes through the extras binding.
+    let mut cfg = warm[0].clone();
+    cfg.insert("snaive_max_lag".into(), ParamValue::Int(7));
+    assert_eq!(algorithm_of(&cfg), Some(kind));
+    let hp = to_hyperparams(&cfg);
+    assert_eq!(hp.extras.get("snaive_max_lag"), Some(&7.0));
+
+    // And the registry builder instantiates a working model.
+    let mut model = kind.spec().build(&hp);
+    let x = Matrix::from_fn(20, 3, |i, j| (i + j) as f64);
+    let y: Vec<f64> = (0..20).map(|i| i as f64 + 1.0).collect();
+    model.fit(&x, &y).unwrap();
+    assert_eq!(model.predict(&x).unwrap().len(), 20);
+}
+
+#[test]
+fn seventh_algorithm_runs_end_to_end_through_the_engine() {
+    let kind = seventh();
+    // Forcing the portfolio exercises the full pipeline — meta-features,
+    // feature engineering, tolerant tuning rounds, and coefficient-average
+    // finalization — with an algorithm the engine has never heard of.
+    let cfg = EngineConfig {
+        budget: Budget::Iterations(3),
+        portfolio: Some(vec![kind]),
+        ..Default::default()
+    };
+    let kb = KnowledgeBase::build(&synthetic_kb(8), &[2], 50);
+    let meta = MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).unwrap();
+    let result = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+
+    assert_eq!(result.best_algorithm, kind);
+    assert_eq!(result.recommended, vec![kind]);
+    assert!(result.best_valid_loss.is_finite());
+    assert!(result.test_mse.is_finite());
+    assert!(
+        !result.rounds.is_empty(),
+        "tolerant rounds should be logged"
+    );
+    assert!(result.rounds.iter().all(|r| r.quorum_met));
+    // The deployed model is a FedAvg-ed affine predictor.
+    match &result.global_model {
+        fedforecaster::aggregate::GlobalModel::Linear {
+            algorithm, coef, ..
+        } => {
+            assert_eq!(*algorithm, kind);
+            assert!(!coef.is_empty());
+        }
+        other => panic!("expected a linear global model, got {other:?}"),
+    }
+}

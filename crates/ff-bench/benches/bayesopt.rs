@@ -18,7 +18,7 @@ fn bench_bayesopt(c: &mut Criterion) {
             &n_obs,
             |b, &n_obs| {
                 // Pre-populate an optimizer with n_obs synthetic evaluations.
-                let mut bo = BayesOpt::new(table2_space(&AlgorithmKind::ALL), 3).unwrap();
+                let mut bo = BayesOpt::new(table2_space(&AlgorithmKind::all()), 3).unwrap();
                 for i in 0..n_obs {
                     let cfg = bo.ask().unwrap();
                     // A deterministic pseudo-loss keeps the landscape fixed.

@@ -34,12 +34,12 @@ fn main() {
     );
 
     // Label distribution (context for interpreting F1).
-    let mut counts = [0usize; 6];
+    let mut counts = vec![0usize; ff_models::zoo::AlgorithmKind::all().len()];
     for l in kb.labels() {
         counts[l] += 1;
     }
     eprintln!("[table4] label distribution:");
-    for (kind, c) in ff_models::zoo::AlgorithmKind::ALL.iter().zip(counts) {
+    for (kind, c) in ff_models::zoo::AlgorithmKind::all().into_iter().zip(counts) {
         eprintln!("  {:<20} {}", kind.name(), c);
     }
 

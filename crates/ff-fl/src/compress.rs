@@ -1,7 +1,7 @@
 //! Update compression for communication-constrained federations.
 //!
 //! The paper motivates FL partly by "reducing communication overhead"
-//! (§1, CMFL [21]). These utilities shrink parameter uploads: lossless-ish
+//! (§1, CMFL \[21\]). These utilities shrink parameter uploads: lossless-ish
 //! f32 truncation (2×) and linear u8 quantization (8×) with per-message
 //! min/max scaling. Both round-trip through plain byte vectors so they
 //! compose with [`crate::config::ConfigValue::Bytes`] payloads.

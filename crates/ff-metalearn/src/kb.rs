@@ -137,7 +137,7 @@ pub fn federation_features(clients: &[TimeSeries]) -> Option<(Vec<f64>, Vec<Prep
 /// noise for the meta-model.
 pub fn grid_search_best(clients: &[PreparedClient]) -> Option<(AlgorithmKind, f64)> {
     let mut per_algorithm: Vec<(AlgorithmKind, f64)> = Vec::new();
-    for kind in AlgorithmKind::ALL {
+    for kind in AlgorithmKind::all() {
         let mut best_for_kind = f64::INFINITY;
         for hp in grid_for(kind) {
             if let Some(loss) = federated_eval(kind, &hp, clients) {
@@ -214,7 +214,7 @@ mod tests {
         let clients = federation(3, 3);
         let (features, algo, loss) = label_federation(&clients).unwrap();
         assert_eq!(features.len(), GlobalMetaFeatures::dim());
-        assert!(AlgorithmKind::ALL.contains(&algo));
+        assert!(AlgorithmKind::all().contains(&algo));
         assert!(loss.is_finite() && loss >= 0.0);
     }
 
@@ -223,7 +223,7 @@ mod tests {
         let clients = federation(5, 2);
         let (_, prepared) = federation_features(&clients).unwrap();
         let (winner, best_loss) = grid_search_best(&prepared).unwrap();
-        for kind in AlgorithmKind::ALL {
+        for kind in AlgorithmKind::all() {
             for hp in grid_for(kind) {
                 if let Some(loss) = federated_eval(kind, &hp, &prepared) {
                     assert!(

@@ -151,7 +151,7 @@ impl MetaModel {
         }
         let x = kb_matrix(kb);
         let labels = kb.labels();
-        let n_classes = AlgorithmKind::ALL.len();
+        let n_classes = AlgorithmKind::all().len();
         let mut clf = kind.build(seed);
         clf.fit(&x, &labels, n_classes)?;
         Ok(MetaModel { clf, n_classes })
@@ -193,7 +193,7 @@ pub fn evaluate_zoo(kb: &KnowledgeBase, seed: u64) -> Result<Vec<ZooResult>> {
     }
     let x_valid = kb_matrix(&valid_kb);
     let y_valid = valid_kb.labels();
-    let n_classes = AlgorithmKind::ALL.len();
+    let n_classes = AlgorithmKind::all().len();
     let x_train = kb_matrix(&train_kb);
     let y_train = train_kb.labels();
     let mut out = Vec::new();
@@ -284,11 +284,11 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             let b = ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0;
             let label = if a > 0.3 {
-                AlgorithmKind::Lasso
+                AlgorithmKind::LASSO
             } else if b > 0.0 {
-                AlgorithmKind::XgbRegressor
+                AlgorithmKind::XGB_REGRESSOR
             } else {
-                AlgorithmKind::HuberRegressor
+                AlgorithmKind::HUBER_REGRESSOR
             };
             kb.records.push(KbRecord {
                 dataset: format!("d{i}"),
@@ -306,10 +306,10 @@ mod tests {
         let kb = synthetic_kb(300);
         let mm = MetaModel::train(&kb, MetaClassifierKind::RandomForest, 1).unwrap();
         let rec = mm.recommend(&[0.9, 0.0, 0.0, 0.9], 3).unwrap();
-        assert_eq!(rec[0], AlgorithmKind::Lasso);
+        assert_eq!(rec[0], AlgorithmKind::LASSO);
         assert_eq!(rec.len(), 3);
         let rec = mm.recommend(&[-0.9, 0.8, -0.72, -1.7], 1).unwrap();
-        assert_eq!(rec, vec![AlgorithmKind::XgbRegressor]);
+        assert_eq!(rec, vec![AlgorithmKind::XGB_REGRESSOR]);
     }
 
     #[test]
@@ -353,6 +353,6 @@ mod tests {
         let kb = synthetic_kb(100);
         let mm = MetaModel::train(&kb, MetaClassifierKind::Logistic, 1).unwrap();
         let rec = mm.recommend(&[0.5, 0.5, 0.25, 0.0], 100).unwrap();
-        assert_eq!(rec.len(), AlgorithmKind::ALL.len());
+        assert_eq!(rec.len(), AlgorithmKind::all().len());
     }
 }

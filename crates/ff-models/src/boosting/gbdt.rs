@@ -121,6 +121,10 @@ impl XgbRegressor {
 }
 
 impl Regressor for XgbRegressor {
+    fn to_blob(&self) -> Option<Vec<u8>> {
+        self.to_bytes().ok()
+    }
+
     fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
         validate_xy(x, y)?;
         let n = x.rows();

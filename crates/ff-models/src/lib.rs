@@ -31,6 +31,7 @@ pub mod data;
 pub mod forest;
 pub mod metrics;
 pub mod ser;
+pub mod spec;
 pub mod tree;
 pub mod zoo;
 
@@ -93,6 +94,14 @@ pub trait Regressor {
     /// Predicts one value per row. Must be called after a successful
     /// [`Regressor::fit`].
     fn predict(&self, x: &Matrix) -> Result<Vec<f64>>;
+    /// Serializes the fitted model for ensemble-union aggregation. `None`
+    /// (the default) means the model cannot ship as a blob; algorithms
+    /// registered with `FinalizeStrategy::EnsembleUnion` must override this
+    /// and pair it with the decoder given to
+    /// [`spec::AlgorithmSpec::with_model_codec`].
+    fn to_blob(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// A probabilistic multi-class classifier.

@@ -67,6 +67,17 @@ impl Writer {
         }
     }
 
+    /// Appends a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
     /// Finishes and returns the bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -119,6 +130,25 @@ impl<'a> Reader<'a> {
         (0..n).map(|_| self.f64()).collect()
     }
 
+    /// Reads a length-prefixed byte slice (lengths over `max_len` are
+    /// rejected to bound allocations on corrupt input).
+    pub fn bytes(&mut self, max_len: usize) -> Result<&'a [u8], SerError> {
+        let n = self.u32()? as usize;
+        if n > max_len {
+            return Err(SerError::BadLength(n as u64));
+        }
+        let end = self.pos + n;
+        let raw = self.buf.get(self.pos..end).ok_or(SerError::Truncated)?;
+        self.pos = end;
+        Ok(raw)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (invalid UTF-8 is a bad tag).
+    pub fn str(&mut self, max_len: usize) -> Result<&'a str, SerError> {
+        let raw = self.bytes(max_len)?;
+        std::str::from_utf8(raw).map_err(|_| SerError::BadTag(0))
+    }
+
     /// True when every byte has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.buf.len()
@@ -143,6 +173,20 @@ mod tests {
         assert_eq!(r.f64().unwrap(), -2.5e-3);
         assert_eq!(r.f64s(10).unwrap(), vec![1.0, 2.0, 3.0]);
         assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let mut w = Writer::new();
+        w.str("XGBRegressor");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.str(64).unwrap(), "XGBRegressor");
+        assert_eq!(r.bytes(64).unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str(4), Err(SerError::BadLength(_))));
     }
 
     #[test]

@@ -1,0 +1,932 @@
+//! Self-describing algorithm specifications and the global registry.
+//!
+//! An [`AlgorithmSpec`] carries everything the rest of the system needs to
+//! know about one forecasting algorithm: its display name, its namespaced
+//! hyperparameter definitions (Table 2 ranges), how to map values in and
+//! out of the [`HyperParams`] bundle, its grid-search sweet spot (used both
+//! as the Bayesian-optimization warm start and the decode default), its
+//! builder, and its federated finalize strategy. The search-space builder,
+//! the engine's finalize stage, the client's final-fit op, and the
+//! knowledge-base labeller all iterate the registry — adding an algorithm
+//! is one [`register`] call, with no edits to any of those layers.
+//!
+//! The registry is seeded with the six Table 2 algorithms in the fixed
+//! order used as meta-model class labels; [`register`] appends new entries
+//! behind them so existing labels never shift.
+
+use crate::boosting::gbdt::XgbRegressor;
+use crate::linear::cd::Selection;
+use crate::linear::elastic_net::ElasticNetCv;
+use crate::linear::huber::HuberRegressor;
+use crate::linear::lasso::Lasso;
+use crate::linear::quantile::QuantileRegressor;
+use crate::linear::svr::LinearSvr;
+use crate::zoo::HyperParams;
+use crate::Regressor;
+use std::sync::{OnceLock, RwLock};
+
+/// How a federation turns per-client final fits into one global model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalizeStrategy {
+    /// FedAvg over standardized linear coefficients — requires the fitted
+    /// model to be an affine predictor (probed parameters are exact).
+    CoefficientAverage,
+    /// Serialize every client's fitted model and deploy the weighted union
+    /// `ŷ(x) = Σ αⱼ fⱼ(x)` — requires a model codec (see
+    /// [`AlgorithmSpec::with_model_codec`]).
+    EnsembleUnion,
+}
+
+/// A hyperparameter value exchanged with an [`AlgorithmSpec`].
+///
+/// This is `ff-models`' own neutral value type: the crate must not depend
+/// on the optimizer, so the search-space layer translates these to its
+/// `ParamValue` generically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecValue {
+    /// Continuous value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// Categorical option.
+    Cat(String),
+}
+
+impl SpecValue {
+    /// Numeric view (categorical options parse; unparsable → NaN).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            SpecValue::Float(v) => *v,
+            SpecValue::Int(v) => *v as f64,
+            SpecValue::Cat(s) => s.parse().unwrap_or(f64::NAN),
+        }
+    }
+
+    /// Integer view (floats round).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            SpecValue::Float(v) => v.round() as i64,
+            SpecValue::Int(v) => *v,
+            SpecValue::Cat(s) => s.parse().unwrap_or(0),
+        }
+    }
+
+    /// Categorical view (empty for numeric values).
+    pub fn as_str(&self) -> &str {
+        match self {
+            SpecValue::Cat(s) => s,
+            _ => "",
+        }
+    }
+}
+
+/// The sampling domain of one hyperparameter (mirrors the optimizer's
+/// `ParamSpec` without depending on it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamKind {
+    /// Uniform over `[lo, hi]`.
+    Continuous {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-uniform over `[lo, hi]`.
+    LogContinuous {
+        /// Lower bound (must be positive).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Uniform integer over `[lo, hi]`.
+    Integer {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// One of a fixed set of options.
+    Categorical {
+        /// The options.
+        options: Vec<String>,
+    },
+}
+
+enum ParamBinding {
+    /// Reads/writes a named [`HyperParams`] field through accessors.
+    Field {
+        set: fn(&mut HyperParams, &SpecValue),
+        get: fn(&HyperParams) -> SpecValue,
+    },
+    /// Reads/writes `HyperParams::extras[key]` as an `f64` — lets extension
+    /// algorithms carry novel hyperparameters without touching the struct.
+    Extra { default: f64 },
+}
+
+/// One namespaced hyperparameter of an algorithm: its key, domain, warm
+/// value, and binding into [`HyperParams`].
+pub struct ParamDef {
+    key: String,
+    kind: ParamKind,
+    binding: ParamBinding,
+    /// Grid sweet-spot value, filled by [`AlgorithmSpec::new`] from the
+    /// middle grid entry.
+    warm: SpecValue,
+}
+
+impl std::fmt::Debug for ParamDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParamDef")
+            .field("key", &self.key)
+            .field("kind", &self.kind)
+            .field("warm", &self.warm)
+            .finish()
+    }
+}
+
+impl ParamDef {
+    /// A hyperparameter bound to a [`HyperParams`] field through accessor
+    /// functions.
+    pub fn field(
+        key: impl Into<String>,
+        kind: ParamKind,
+        set: fn(&mut HyperParams, &SpecValue),
+        get: fn(&HyperParams) -> SpecValue,
+    ) -> ParamDef {
+        ParamDef {
+            key: key.into(),
+            kind,
+            binding: ParamBinding::Field { set, get },
+            warm: SpecValue::Float(f64::NAN),
+        }
+    }
+
+    /// A hyperparameter stored in `HyperParams::extras` under its own key
+    /// (numeric only), with a default for grid entries that omit it.
+    pub fn extra(key: impl Into<String>, kind: ParamKind, default: f64) -> ParamDef {
+        ParamDef {
+            key: key.into(),
+            kind,
+            binding: ParamBinding::Extra { default },
+            warm: SpecValue::Float(f64::NAN),
+        }
+    }
+
+    /// Fully namespaced key (e.g. `lasso_alpha`).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Sampling domain.
+    pub fn kind(&self) -> &ParamKind {
+        &self.kind
+    }
+
+    /// Grid sweet-spot value (canonicalized for the domain).
+    pub fn warm(&self) -> &SpecValue {
+        &self.warm
+    }
+
+    /// Writes a value into the bundle.
+    pub fn apply(&self, hp: &mut HyperParams, value: &SpecValue) {
+        match &self.binding {
+            ParamBinding::Field { set, .. } => set(hp, value),
+            ParamBinding::Extra { .. } => {
+                hp.extras.insert(self.key.clone(), value.as_f64());
+            }
+        }
+    }
+
+    /// Reads the bundle's current value, canonicalized for the domain
+    /// (integers round, categorical values snap to the nearest option).
+    pub fn read(&self, hp: &HyperParams) -> SpecValue {
+        let raw = match &self.binding {
+            ParamBinding::Field { get, .. } => get(hp),
+            ParamBinding::Extra { default } => {
+                SpecValue::Float(hp.extras.get(&self.key).copied().unwrap_or(*default))
+            }
+        };
+        self.canonical(&raw)
+    }
+
+    /// Snaps a raw value onto the domain: `Continuous`/`LogContinuous` →
+    /// `Float`, `Integer` → `Int`, `Categorical` → the matching option (or
+    /// the option whose numeric parse is nearest, for numeric inputs).
+    pub fn canonical(&self, raw: &SpecValue) -> SpecValue {
+        match &self.kind {
+            ParamKind::Continuous { .. } | ParamKind::LogContinuous { .. } => {
+                SpecValue::Float(raw.as_f64())
+            }
+            ParamKind::Integer { .. } => SpecValue::Int(raw.as_i64()),
+            ParamKind::Categorical { options } => {
+                if let SpecValue::Cat(s) = raw {
+                    if options.iter().any(|o| o == s) {
+                        return raw.clone();
+                    }
+                }
+                let target = raw.as_f64();
+                let nearest = options
+                    .iter()
+                    .min_by(|a, b| {
+                        let da = (a.parse::<f64>().unwrap_or(f64::INFINITY) - target).abs();
+                        let db = (b.parse::<f64>().unwrap_or(f64::INFINITY) - target).abs();
+                        da.total_cmp(&db)
+                    })
+                    .cloned()
+                    .unwrap_or_default();
+                SpecValue::Cat(nearest)
+            }
+        }
+    }
+}
+
+/// Builder closure type: instantiates a fresh regressor from a bundle.
+pub type BuildFn = dyn Fn(&HyperParams) -> Box<dyn Regressor + Send> + Send + Sync;
+/// Model codec: revives a serialized model for ensemble-union evaluation.
+pub type DeserializeFn =
+    dyn Fn(&[u8]) -> std::result::Result<Box<dyn Regressor + Send>, String> + Send + Sync;
+
+/// Everything the system knows about one forecasting algorithm.
+pub struct AlgorithmSpec {
+    name: String,
+    prefix: String,
+    finalize: FinalizeStrategy,
+    build: Box<BuildFn>,
+    grid: Vec<HyperParams>,
+    params: Vec<ParamDef>,
+    deserialize: Option<Box<DeserializeFn>>,
+}
+
+impl std::fmt::Debug for AlgorithmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmSpec")
+            .field("name", &self.name)
+            .field("prefix", &self.prefix)
+            .field("finalize", &self.finalize)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl AlgorithmSpec {
+    /// Creates a spec. Each [`ParamDef`]'s warm value is derived from the
+    /// middle grid entry, so "grid sweet spot" is true by construction.
+    pub fn new(
+        name: impl Into<String>,
+        prefix: impl Into<String>,
+        finalize: FinalizeStrategy,
+        build: impl Fn(&HyperParams) -> Box<dyn Regressor + Send> + Send + Sync + 'static,
+        grid: Vec<HyperParams>,
+        mut params: Vec<ParamDef>,
+    ) -> AlgorithmSpec {
+        if let Some(center) = grid.get(grid.len() / 2) {
+            for pd in &mut params {
+                pd.warm = pd.read(center);
+            }
+        }
+        AlgorithmSpec {
+            name: name.into(),
+            prefix: prefix.into(),
+            finalize,
+            build: Box::new(build),
+            grid,
+            params,
+            deserialize: None,
+        }
+    }
+
+    /// Attaches the model codec required by
+    /// [`FinalizeStrategy::EnsembleUnion`]. The model side of the codec is
+    /// [`Regressor::to_blob`].
+    pub fn with_model_codec(
+        mut self,
+        deserialize: impl Fn(&[u8]) -> std::result::Result<Box<dyn Regressor + Send>, String>
+            + Send
+            + Sync
+            + 'static,
+    ) -> AlgorithmSpec {
+        self.deserialize = Some(Box::new(deserialize));
+        self
+    }
+
+    /// Display name (the "Best Model" column of Table 3).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Namespace prefix every param key starts with (e.g. `lasso_`).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Federated finalize strategy.
+    pub fn finalize(&self) -> FinalizeStrategy {
+        self.finalize
+    }
+
+    /// Namespaced hyperparameter definitions.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// The offline grid-search hyperparameter grid.
+    pub fn grid(&self) -> &[HyperParams] {
+        &self.grid
+    }
+
+    /// Instantiates a fresh regressor.
+    pub fn build(&self, hp: &HyperParams) -> Box<dyn Regressor + Send> {
+        (self.build)(hp)
+    }
+
+    /// Revives a model serialized by [`Regressor::to_blob`]. Errors when
+    /// the spec has no codec (only possible for coefficient-average specs —
+    /// [`register`] requires a codec for ensemble-union specs).
+    pub fn deserialize_model(
+        &self,
+        bytes: &[u8],
+    ) -> std::result::Result<Box<dyn Regressor + Send>, String> {
+        match &self.deserialize {
+            Some(f) => f(bytes),
+            None => Err(format!("algorithm {} has no model codec", self.name)),
+        }
+    }
+
+    /// Decodes the params present in `lookup` into a bundle; missing keys
+    /// fall back to the warm (grid sweet-spot) value. Keys of other
+    /// algorithms are never consulted — namespacing makes cross-algorithm
+    /// leaks impossible by construction.
+    pub fn decode(&self, lookup: impl Fn(&str) -> Option<SpecValue>) -> HyperParams {
+        let mut hp = HyperParams::default();
+        for pd in &self.params {
+            let value = lookup(&pd.key).map(|v| pd.canonical(&v));
+            pd.apply(&mut hp, value.as_ref().unwrap_or(&pd.warm));
+        }
+        hp
+    }
+
+    /// Encodes a bundle into `(key, value)` pairs, one per param,
+    /// canonicalized for each domain. Inverse of [`AlgorithmSpec::decode`].
+    pub fn encode(&self, hp: &HyperParams) -> Vec<(String, SpecValue)> {
+        self.params
+            .iter()
+            .map(|pd| (pd.key.clone(), pd.read(hp)))
+            .collect()
+    }
+
+    /// The warm-start `(key, value)` pairs (grid sweet spot).
+    pub fn warm_values(&self) -> Vec<(String, SpecValue)> {
+        self.params
+            .iter()
+            .map(|pd| (pd.key.clone(), pd.warm.clone()))
+            .collect()
+    }
+}
+
+/// A handle into the algorithm registry. The first six indices are the
+/// Table 2 algorithms (associated consts below); [`register`] returns
+/// handles for extensions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AlgorithmKind(u16);
+
+impl std::fmt::Debug for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = registry().read().expect("registry lock");
+        match reg.get(self.0 as usize) {
+            Some(spec) => write!(f, "{}", spec.name()),
+            None => write!(f, "AlgorithmKind({})", self.0),
+        }
+    }
+}
+
+impl AlgorithmKind {
+    /// L1-regularized linear regression.
+    pub const LASSO: AlgorithmKind = AlgorithmKind(0);
+    /// ε-insensitive linear SVR.
+    pub const LINEAR_SVR: AlgorithmKind = AlgorithmKind(1);
+    /// Elastic net with internal CV over alpha.
+    pub const ELASTIC_NET_CV: AlgorithmKind = AlgorithmKind(2);
+    /// Gradient-boosted trees.
+    pub const XGB_REGRESSOR: AlgorithmKind = AlgorithmKind(3);
+    /// Huber-loss robust regression.
+    pub const HUBER_REGRESSOR: AlgorithmKind = AlgorithmKind(4);
+    /// Pinball-loss quantile regression.
+    pub const QUANTILE_REGRESSOR: AlgorithmKind = AlgorithmKind(5);
+
+    /// The six Table 2 algorithms, in meta-model class-label order.
+    pub fn builtin() -> [AlgorithmKind; 6] {
+        [
+            AlgorithmKind::LASSO,
+            AlgorithmKind::LINEAR_SVR,
+            AlgorithmKind::ELASTIC_NET_CV,
+            AlgorithmKind::XGB_REGRESSOR,
+            AlgorithmKind::HUBER_REGRESSOR,
+            AlgorithmKind::QUANTILE_REGRESSOR,
+        ]
+    }
+
+    /// Every registered algorithm (builtins first, then extensions in
+    /// registration order).
+    pub fn all() -> Vec<AlgorithmKind> {
+        let n = registry().read().expect("registry lock").len();
+        (0..n as u16).map(AlgorithmKind).collect()
+    }
+
+    /// This algorithm's spec.
+    pub fn spec(&self) -> &'static AlgorithmSpec {
+        registry().read().expect("registry lock")[self.0 as usize]
+    }
+
+    /// The display name (matches the "Best Model" column of Table 3).
+    pub fn name(&self) -> &'static str {
+        self.spec().name.as_str()
+    }
+
+    /// Parses a display name.
+    pub fn from_name(name: &str) -> Option<AlgorithmKind> {
+        let reg = registry().read().expect("registry lock");
+        reg.iter()
+            .position(|s| s.name() == name)
+            .map(|i| AlgorithmKind(i as u16))
+    }
+
+    /// Registry index (the class label used by the meta-model).
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`AlgorithmKind::index`].
+    pub fn from_index(idx: usize) -> Option<AlgorithmKind> {
+        let n = registry().read().expect("registry lock").len();
+        (idx < n).then_some(AlgorithmKind(idx as u16))
+    }
+
+    /// True for algorithms whose final federated model is built by
+    /// coefficient averaging (vs ensemble union).
+    pub fn is_linear(&self) -> bool {
+        matches!(self.spec().finalize, FinalizeStrategy::CoefficientAverage)
+    }
+}
+
+fn registry() -> &'static RwLock<Vec<&'static AlgorithmSpec>> {
+    static REGISTRY: OnceLock<RwLock<Vec<&'static AlgorithmSpec>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        RwLock::new(
+            builtin_specs()
+                .into_iter()
+                .map(|s| &*Box::leak(Box::new(s)))
+                .collect(),
+        )
+    })
+}
+
+/// Registers an extension algorithm and returns its handle. Specs live for
+/// the process lifetime (they are leaked into the registry).
+///
+/// Validation enforces the registry contract:
+/// - non-empty display name, unique across the registry;
+/// - a namespace prefix ending in `_`, disjoint from every registered
+///   prefix (neither may be a prefix of the other), and carried by every
+///   param key;
+/// - a non-empty grid (warm starts come from its middle entry);
+/// - a model codec when the finalize strategy is
+///   [`FinalizeStrategy::EnsembleUnion`].
+pub fn register(spec: AlgorithmSpec) -> std::result::Result<AlgorithmKind, String> {
+    if spec.name.is_empty() {
+        return Err("algorithm name must be non-empty".into());
+    }
+    if spec.prefix.is_empty() || !spec.prefix.ends_with('_') {
+        return Err(format!(
+            "prefix {:?} must be non-empty and end in '_'",
+            spec.prefix
+        ));
+    }
+    if spec.grid.is_empty() {
+        return Err(format!("algorithm {} has an empty grid", spec.name));
+    }
+    if spec.finalize == FinalizeStrategy::EnsembleUnion && spec.deserialize.is_none() {
+        return Err(format!(
+            "ensemble-union algorithm {} needs a model codec (with_model_codec)",
+            spec.name
+        ));
+    }
+    for pd in &spec.params {
+        if !pd.key.starts_with(spec.prefix.as_str()) {
+            return Err(format!(
+                "param {} must carry the {} namespace prefix",
+                pd.key, spec.prefix
+            ));
+        }
+    }
+    let mut keys: Vec<&str> = spec.params.iter().map(|p| p.key.as_str()).collect();
+    keys.sort_unstable();
+    if keys.windows(2).any(|w| w[0] == w[1]) {
+        return Err(format!("algorithm {} has duplicate param keys", spec.name));
+    }
+    let mut reg = registry().write().expect("registry lock");
+    if reg.len() >= u16::MAX as usize {
+        return Err("registry full".into());
+    }
+    for existing in reg.iter() {
+        if existing.name() == spec.name {
+            return Err(format!("algorithm {} is already registered", spec.name));
+        }
+        if existing.prefix.starts_with(spec.prefix.as_str())
+            || spec.prefix.starts_with(existing.prefix.as_str())
+        {
+            return Err(format!(
+                "prefix {} collides with registered prefix {}",
+                spec.prefix, existing.prefix
+            ));
+        }
+    }
+    let idx = reg.len() as u16;
+    reg.push(Box::leak(Box::new(spec)));
+    Ok(AlgorithmKind(idx))
+}
+
+// --- Field accessors shared by the builtin specs --------------------------
+
+fn set_alpha(hp: &mut HyperParams, v: &SpecValue) {
+    hp.alpha = v.as_f64();
+}
+fn get_alpha(hp: &HyperParams) -> SpecValue {
+    SpecValue::Float(hp.alpha)
+}
+fn set_selection(hp: &mut HyperParams, v: &SpecValue) {
+    hp.selection = Selection::from_name(v.as_str());
+}
+fn get_selection(hp: &HyperParams) -> SpecValue {
+    SpecValue::Cat(
+        match hp.selection {
+            Selection::Cyclic => "cyclic",
+            Selection::Random => "random",
+        }
+        .into(),
+    )
+}
+fn set_epsilon(hp: &mut HyperParams, v: &SpecValue) {
+    hp.epsilon = v.as_f64();
+}
+fn get_epsilon(hp: &HyperParams) -> SpecValue {
+    SpecValue::Float(hp.epsilon)
+}
+
+fn selection_param(key: &str) -> ParamDef {
+    ParamDef::field(
+        key,
+        ParamKind::Categorical {
+            options: vec!["cyclic".into(), "random".into()],
+        },
+        set_selection,
+        get_selection,
+    )
+}
+
+fn alpha_param(key: &str) -> ParamDef {
+    ParamDef::field(
+        key,
+        ParamKind::LogContinuous { lo: 1e-5, hi: 10.0 },
+        set_alpha,
+        get_alpha,
+    )
+}
+
+fn builtin_specs() -> Vec<AlgorithmSpec> {
+    let base = HyperParams::default;
+    vec![
+        AlgorithmSpec::new(
+            "Lasso",
+            "lasso_",
+            FinalizeStrategy::CoefficientAverage,
+            |hp| Box::new(Lasso::new(hp.alpha, hp.selection)),
+            [1e-4, 1e-2, 0.5]
+                .iter()
+                .map(|&alpha| HyperParams { alpha, ..base() })
+                .collect(),
+            vec![
+                alpha_param("lasso_alpha"),
+                selection_param("lasso_selection"),
+            ],
+        ),
+        AlgorithmSpec::new(
+            "LinearSVR",
+            "svr_",
+            FinalizeStrategy::CoefficientAverage,
+            |hp| Box::new(LinearSvr::new(hp.c, hp.epsilon)),
+            [(1.0, 0.01), (5.0, 0.05), (10.0, 0.1)]
+                .iter()
+                .map(|&(c, epsilon)| HyperParams {
+                    c,
+                    epsilon,
+                    ..base()
+                })
+                .collect(),
+            vec![
+                ParamDef::field(
+                    "svr_c",
+                    ParamKind::Continuous { lo: 1.0, hi: 10.0 },
+                    |hp, v| hp.c = v.as_f64(),
+                    |hp| SpecValue::Float(hp.c),
+                ),
+                ParamDef::field(
+                    "svr_epsilon",
+                    ParamKind::Continuous { lo: 0.01, hi: 0.1 },
+                    set_epsilon,
+                    get_epsilon,
+                ),
+            ],
+        ),
+        AlgorithmSpec::new(
+            "ElasticNetCV",
+            "enet_",
+            FinalizeStrategy::CoefficientAverage,
+            |hp| Box::new(ElasticNetCv::new(hp.l1_ratio, hp.selection)),
+            [0.3, 0.7, 1.0]
+                .iter()
+                .map(|&l1_ratio| HyperParams { l1_ratio, ..base() })
+                .collect(),
+            vec![
+                // Table 2 prints l1_ratio ∈ [0.3, 10], but the mixing ratio
+                // is only defined on [0, 1]; the space samples the valid
+                // range directly (DESIGN.md §4).
+                ParamDef::field(
+                    "enet_l1_ratio",
+                    ParamKind::Continuous { lo: 0.3, hi: 1.0 },
+                    |hp, v| hp.l1_ratio = v.as_f64(),
+                    |hp| SpecValue::Float(hp.l1_ratio),
+                ),
+                selection_param("enet_selection"),
+            ],
+        ),
+        AlgorithmSpec::new(
+            "XGBRegressor",
+            "xgb_",
+            FinalizeStrategy::EnsembleUnion,
+            |hp| {
+                Box::new(XgbRegressor::new(
+                    hp.n_estimators,
+                    hp.max_depth,
+                    hp.learning_rate,
+                    hp.reg_lambda,
+                    hp.subsample,
+                ))
+            },
+            [(5, 2, 0.3), (10, 4, 0.3), (20, 6, 0.1)]
+                .iter()
+                .map(|&(n, d, lr)| HyperParams {
+                    n_estimators: n,
+                    max_depth: d,
+                    learning_rate: lr,
+                    ..base()
+                })
+                .collect(),
+            vec![
+                ParamDef::field(
+                    "xgb_n_estimators",
+                    ParamKind::Integer { lo: 5, hi: 20 },
+                    |hp, v| hp.n_estimators = v.as_i64().max(1) as usize,
+                    |hp| SpecValue::Int(hp.n_estimators as i64),
+                ),
+                ParamDef::field(
+                    "xgb_max_depth",
+                    ParamKind::Integer { lo: 2, hi: 10 },
+                    |hp, v| hp.max_depth = v.as_i64().max(1) as usize,
+                    |hp| SpecValue::Int(hp.max_depth as i64),
+                ),
+                ParamDef::field(
+                    "xgb_learning_rate",
+                    ParamKind::Continuous { lo: 0.01, hi: 1.0 },
+                    |hp, v| hp.learning_rate = v.as_f64(),
+                    |hp| SpecValue::Float(hp.learning_rate),
+                ),
+                ParamDef::field(
+                    "xgb_reg_lambda",
+                    ParamKind::Continuous { lo: 0.8, hi: 10.0 },
+                    |hp, v| hp.reg_lambda = v.as_f64(),
+                    |hp| SpecValue::Float(hp.reg_lambda),
+                ),
+                ParamDef::field(
+                    "xgb_subsample",
+                    ParamKind::Continuous { lo: 0.1, hi: 1.0 },
+                    |hp, v| hp.subsample = v.as_f64(),
+                    |hp| SpecValue::Float(hp.subsample),
+                ),
+            ],
+        )
+        .with_model_codec(|bytes| {
+            XgbRegressor::from_bytes(bytes)
+                .map(|m| Box::new(m) as Box<dyn Regressor + Send>)
+                .map_err(|e| e.to_string())
+        }),
+        AlgorithmSpec::new(
+            "HuberRegressor",
+            "huber_",
+            FinalizeStrategy::CoefficientAverage,
+            |hp| Box::new(HuberRegressor::new(hp.epsilon.max(1.0), hp.alpha)),
+            [(1.0, 1e-3), (1.35, 1e-2), (1.5, 1e-1)]
+                .iter()
+                .map(|&(epsilon, alpha)| HyperParams {
+                    epsilon,
+                    alpha,
+                    ..base()
+                })
+                .collect(),
+            vec![
+                ParamDef::field(
+                    "huber_epsilon",
+                    ParamKind::Categorical {
+                        options: vec!["1.0".into(), "1.35".into(), "1.5".into()],
+                    },
+                    set_epsilon,
+                    get_epsilon,
+                ),
+                alpha_param("huber_alpha"),
+            ],
+        ),
+        AlgorithmSpec::new(
+            "QuantileRegressor",
+            "quantile_",
+            FinalizeStrategy::CoefficientAverage,
+            |hp| Box::new(QuantileRegressor::new(hp.quantile, hp.alpha)),
+            [(0.5, 1e-3), (0.5, 1e-1), (0.7, 1e-2)]
+                .iter()
+                .map(|&(quantile, alpha)| HyperParams {
+                    quantile,
+                    alpha,
+                    ..base()
+                })
+                .collect(),
+            vec![
+                alpha_param("quantile_alpha"),
+                ParamDef::field(
+                    "quantile_q",
+                    ParamKind::Continuous { lo: 0.1, hi: 1.0 },
+                    |hp, v| hp.quantile = v.as_f64(),
+                    |hp| SpecValue::Float(hp.quantile),
+                ),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_table2_order() {
+        let names: Vec<&str> = AlgorithmKind::builtin().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "Lasso",
+                "LinearSVR",
+                "ElasticNetCV",
+                "XGBRegressor",
+                "HuberRegressor",
+                "QuantileRegressor"
+            ]
+        );
+        for (i, k) in AlgorithmKind::builtin().into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(AlgorithmKind::from_index(i), Some(k));
+            assert_eq!(AlgorithmKind::from_name(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn warm_values_are_grid_middles() {
+        let lasso = AlgorithmKind::LASSO.spec();
+        assert_eq!(lasso.params()[0].warm(), &SpecValue::Float(1e-2));
+        assert_eq!(lasso.params()[1].warm(), &SpecValue::Cat("cyclic".into()));
+        let huber = AlgorithmKind::HUBER_REGRESSOR.spec();
+        assert_eq!(huber.params()[0].warm(), &SpecValue::Cat("1.35".into()));
+        assert_eq!(huber.params()[1].warm(), &SpecValue::Float(1e-2));
+        let xgb = AlgorithmKind::XGB_REGRESSOR.spec();
+        assert_eq!(xgb.params()[0].warm(), &SpecValue::Int(10));
+        assert_eq!(xgb.params()[1].warm(), &SpecValue::Int(4));
+    }
+
+    #[test]
+    fn decode_ignores_foreign_namespaces() {
+        let lasso = AlgorithmKind::LASSO.spec();
+        // A lookup that "knows" an SVR key: Lasso must never consult it.
+        let hp = lasso.decode(|key| match key {
+            "lasso_alpha" => Some(SpecValue::Float(0.25)),
+            "svr_c" => Some(SpecValue::Float(9.0)),
+            _ => None,
+        });
+        assert_eq!(hp.alpha, 0.25);
+        assert_eq!(hp.c, HyperParams::default().c);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_for_every_builtin() {
+        for kind in AlgorithmKind::builtin() {
+            let spec = kind.spec();
+            for hp in spec.grid() {
+                let pairs = spec.encode(hp);
+                let back =
+                    spec.decode(|key| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()));
+                assert_eq!(spec.encode(&back), pairs, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn register_validates_contract() {
+        let dummy = |_: &HyperParams| -> Box<dyn Regressor + Send> {
+            Box::new(Lasso::new(0.1, Selection::Cyclic))
+        };
+        // Duplicate name.
+        let dup = AlgorithmSpec::new(
+            "Lasso",
+            "zzz_",
+            FinalizeStrategy::CoefficientAverage,
+            dummy,
+            vec![HyperParams::default()],
+            vec![],
+        );
+        assert!(register(dup).is_err());
+        // Prefix collision.
+        let clash = AlgorithmSpec::new(
+            "Other",
+            "lasso_",
+            FinalizeStrategy::CoefficientAverage,
+            dummy,
+            vec![HyperParams::default()],
+            vec![],
+        );
+        assert!(register(clash).is_err());
+        // Non-namespaced key.
+        let loose = AlgorithmSpec::new(
+            "Loose",
+            "loose_",
+            FinalizeStrategy::CoefficientAverage,
+            dummy,
+            vec![HyperParams::default()],
+            vec![ParamDef::extra(
+                "alpha",
+                ParamKind::Continuous { lo: 0.0, hi: 1.0 },
+                0.5,
+            )],
+        );
+        assert!(register(loose).is_err());
+        // Union without a codec.
+        let uncodec = AlgorithmSpec::new(
+            "Uncodec",
+            "uncodec_",
+            FinalizeStrategy::EnsembleUnion,
+            dummy,
+            vec![HyperParams::default()],
+            vec![],
+        );
+        assert!(register(uncodec).is_err());
+        // Empty grid.
+        let nogrid = AlgorithmSpec::new(
+            "NoGrid",
+            "nogrid_",
+            FinalizeStrategy::CoefficientAverage,
+            dummy,
+            vec![],
+            vec![],
+        );
+        assert!(register(nogrid).is_err());
+    }
+
+    #[test]
+    fn extras_binding_roundtrips() {
+        let pd = ParamDef::extra("toy_k", ParamKind::Integer { lo: 1, hi: 9 }, 3.0);
+        let mut hp = HyperParams::default();
+        assert_eq!(
+            ParamDef {
+                warm: SpecValue::Int(3),
+                ..pd
+            }
+            .read(&hp),
+            SpecValue::Int(3)
+        );
+        let pd = ParamDef::extra("toy_k", ParamKind::Integer { lo: 1, hi: 9 }, 3.0);
+        pd.apply(&mut hp, &SpecValue::Int(7));
+        assert_eq!(pd.read(&hp), SpecValue::Int(7));
+    }
+
+    #[test]
+    fn categorical_canonicalization_snaps_to_nearest_option() {
+        let huber = AlgorithmKind::HUBER_REGRESSOR.spec();
+        let eps = &huber.params()[0];
+        assert_eq!(
+            eps.canonical(&SpecValue::Float(1.34)),
+            SpecValue::Cat("1.35".into())
+        );
+        assert_eq!(
+            eps.canonical(&SpecValue::Float(0.05)),
+            SpecValue::Cat("1.0".into())
+        );
+        assert_eq!(
+            eps.canonical(&SpecValue::Cat("1.5".into())),
+            SpecValue::Cat("1.5".into())
+        );
+    }
+}

@@ -1,88 +1,22 @@
-//! The forecasting-algorithm registry (the six algorithms of Table 2).
+//! The forecasting-algorithm zoo: the shared [`HyperParams`] bundle and
+//! registry-backed helpers for instantiating any registered algorithm.
 //!
-//! Shared by the knowledge-base labeller (`ff-metalearn`), which grid
-//! searches over these algorithms, and by the FedForecaster engine, which
-//! maps meta-model recommendations and Bayesian-optimization configurations
-//! onto concrete model instances.
+//! The portfolio itself lives in [`crate::spec`] — the six Table 2
+//! algorithms are pre-registered, and extensions join via
+//! [`crate::spec::register`]. This module is shared by the knowledge-base
+//! labeller (`ff-metalearn`), which grid searches over the registry, and by
+//! the FedForecaster engine, which maps meta-model recommendations and
+//! Bayesian-optimization configurations onto concrete model instances.
 
-use crate::boosting::gbdt::XgbRegressor;
 use crate::linear::cd::Selection;
-use crate::linear::elastic_net::ElasticNetCv;
-use crate::linear::huber::HuberRegressor;
-use crate::linear::lasso::Lasso;
-use crate::linear::quantile::QuantileRegressor;
-use crate::linear::svr::LinearSvr;
 use crate::Regressor;
+use std::collections::BTreeMap;
 
-/// The six Table 2 forecasting algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AlgorithmKind {
-    /// L1-regularized linear regression.
-    Lasso,
-    /// ε-insensitive linear SVR.
-    LinearSvr,
-    /// Elastic net with internal CV over alpha.
-    ElasticNetCv,
-    /// Gradient-boosted trees.
-    XgbRegressor,
-    /// Huber-loss robust regression.
-    HuberRegressor,
-    /// Pinball-loss quantile regression.
-    QuantileRegressor,
-}
+pub use crate::spec::{AlgorithmKind, FinalizeStrategy};
 
-impl AlgorithmKind {
-    /// All algorithms, in the fixed registry order used as class labels by
-    /// the meta-model.
-    pub const ALL: [AlgorithmKind; 6] = [
-        AlgorithmKind::Lasso,
-        AlgorithmKind::LinearSvr,
-        AlgorithmKind::ElasticNetCv,
-        AlgorithmKind::XgbRegressor,
-        AlgorithmKind::HuberRegressor,
-        AlgorithmKind::QuantileRegressor,
-    ];
-
-    /// The paper's display name (matches the "Best Model" column of
-    /// Table 3).
-    pub fn name(&self) -> &'static str {
-        match self {
-            AlgorithmKind::Lasso => "Lasso",
-            AlgorithmKind::LinearSvr => "LinearSVR",
-            AlgorithmKind::ElasticNetCv => "ElasticNetCV",
-            AlgorithmKind::XgbRegressor => "XGBRegressor",
-            AlgorithmKind::HuberRegressor => "HuberRegressor",
-            AlgorithmKind::QuantileRegressor => "QuantileRegressor",
-        }
-    }
-
-    /// Parses a display name.
-    pub fn from_name(name: &str) -> Option<AlgorithmKind> {
-        Self::ALL.iter().copied().find(|k| k.name() == name)
-    }
-
-    /// Registry index (the class label used by the meta-model).
-    pub fn index(&self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|k| k == self)
-            .expect("in registry")
-    }
-
-    /// Inverse of [`AlgorithmKind::index`].
-    pub fn from_index(idx: usize) -> Option<AlgorithmKind> {
-        Self::ALL.get(idx).copied()
-    }
-
-    /// True for the linear family whose final federated model is built by
-    /// coefficient averaging (vs ensemble union for trees).
-    pub fn is_linear(&self) -> bool {
-        !matches!(self, AlgorithmKind::XgbRegressor)
-    }
-}
-
-/// Plain hyperparameter bundle for instantiating any Table 2 algorithm —
-/// the union of all per-algorithm hyperparameters with sensible defaults.
+/// Plain hyperparameter bundle for instantiating any registered algorithm —
+/// the union of all builtin per-algorithm hyperparameters with sensible
+/// defaults, plus an open-ended `extras` map for extension algorithms.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HyperParams {
     /// Regularization strength (`Lasso`, `Huber`, `Quantile`).
@@ -107,6 +41,9 @@ pub struct HyperParams {
     pub subsample: f64,
     /// Target quantile.
     pub quantile: f64,
+    /// Numeric hyperparameters of extension algorithms, keyed by their
+    /// namespaced param key (see `ParamDef::extra` in [`crate::spec`]).
+    pub extras: BTreeMap<String, f64>,
 }
 
 impl Default for HyperParams {
@@ -123,12 +60,13 @@ impl Default for HyperParams {
             reg_lambda: 1.0,
             subsample: 1.0,
             quantile: 0.5,
+            extras: BTreeMap::new(),
         }
     }
 }
 
 /// Instantiates a regressor of the given kind with the given
-/// hyperparameters.
+/// hyperparameters (delegates to the algorithm's registered builder).
 ///
 /// # Examples
 ///
@@ -138,79 +76,21 @@ impl Default for HyperParams {
 ///
 /// let x = Matrix::from_fn(50, 1, |i, _| i as f64);
 /// let y: Vec<f64> = (0..50).map(|i| 2.0 * i as f64 + 1.0).collect();
-/// let mut model = build_regressor(AlgorithmKind::Lasso, &HyperParams::default());
+/// let mut model = build_regressor(AlgorithmKind::LASSO, &HyperParams::default());
 /// model.fit(&x, &y).unwrap();
 /// let pred = model.predict(&x).unwrap();
 /// assert!((pred[10] - 21.0).abs() < 1.0);
 /// ```
 pub fn build_regressor(kind: AlgorithmKind, hp: &HyperParams) -> Box<dyn Regressor + Send> {
-    match kind {
-        AlgorithmKind::Lasso => Box::new(Lasso::new(hp.alpha, hp.selection)),
-        AlgorithmKind::LinearSvr => Box::new(LinearSvr::new(hp.c, hp.epsilon)),
-        AlgorithmKind::ElasticNetCv => Box::new(ElasticNetCv::new(hp.l1_ratio, hp.selection)),
-        AlgorithmKind::XgbRegressor => Box::new(XgbRegressor::new(
-            hp.n_estimators,
-            hp.max_depth,
-            hp.learning_rate,
-            hp.reg_lambda,
-            hp.subsample,
-        )),
-        AlgorithmKind::HuberRegressor => {
-            Box::new(HuberRegressor::new(hp.epsilon.max(1.0), hp.alpha))
-        }
-        AlgorithmKind::QuantileRegressor => Box::new(QuantileRegressor::new(hp.quantile, hp.alpha)),
-    }
+    kind.spec().build(hp)
 }
 
-/// A small per-algorithm hyperparameter grid for the offline knowledge-base
-/// labelling (§4.1.1 "comprehensive grid search" — scaled to a handful of
-/// representative points per algorithm so the 500+-dataset KB build stays
-/// tractable).
+/// The algorithm's per-algorithm hyperparameter grid for the offline
+/// knowledge-base labelling (§4.1.1 "comprehensive grid search" — scaled to
+/// a handful of representative points per algorithm so the 500+-dataset KB
+/// build stays tractable).
 pub fn grid_for(kind: AlgorithmKind) -> Vec<HyperParams> {
-    let base = HyperParams::default;
-    match kind {
-        AlgorithmKind::Lasso => [1e-4, 1e-2, 0.5]
-            .iter()
-            .map(|&alpha| HyperParams { alpha, ..base() })
-            .collect(),
-        AlgorithmKind::LinearSvr => [(1.0, 0.01), (5.0, 0.05), (10.0, 0.1)]
-            .iter()
-            .map(|&(c, epsilon)| HyperParams {
-                c,
-                epsilon,
-                ..base()
-            })
-            .collect(),
-        AlgorithmKind::ElasticNetCv => [0.3, 0.7, 1.0]
-            .iter()
-            .map(|&l1_ratio| HyperParams { l1_ratio, ..base() })
-            .collect(),
-        AlgorithmKind::XgbRegressor => [(5, 2, 0.3), (10, 4, 0.3), (20, 6, 0.1)]
-            .iter()
-            .map(|&(n, d, lr)| HyperParams {
-                n_estimators: n,
-                max_depth: d,
-                learning_rate: lr,
-                ..base()
-            })
-            .collect(),
-        AlgorithmKind::HuberRegressor => [(1.0, 1e-3), (1.35, 1e-2), (1.5, 1e-1)]
-            .iter()
-            .map(|&(epsilon, alpha)| HyperParams {
-                epsilon,
-                alpha,
-                ..base()
-            })
-            .collect(),
-        AlgorithmKind::QuantileRegressor => [(0.5, 1e-3), (0.5, 1e-1), (0.7, 1e-2)]
-            .iter()
-            .map(|&(quantile, alpha)| HyperParams {
-                quantile,
-                alpha,
-                ..base()
-            })
-            .collect(),
-    }
+    kind.spec().grid().to_vec()
 }
 
 #[cfg(test)]
@@ -220,12 +100,12 @@ mod tests {
 
     #[test]
     fn registry_roundtrips() {
-        for kind in AlgorithmKind::ALL {
+        for kind in AlgorithmKind::all() {
             assert_eq!(AlgorithmKind::from_name(kind.name()), Some(kind));
             assert_eq!(AlgorithmKind::from_index(kind.index()), Some(kind));
         }
         assert!(AlgorithmKind::from_name("NBeats").is_none());
-        assert!(AlgorithmKind::from_index(6).is_none());
+        assert!(AlgorithmKind::from_index(AlgorithmKind::all().len()).is_none());
     }
 
     #[test]
@@ -233,7 +113,7 @@ mod tests {
         let n = 80;
         let x = Matrix::from_fn(n, 2, |i, j| ((i * (j + 1)) % 13) as f64 * 0.1);
         let y: Vec<f64> = (0..n).map(|i| x.get(i, 0) * 2.0 + 1.0).collect();
-        for kind in AlgorithmKind::ALL {
+        for kind in AlgorithmKind::all() {
             let mut model = build_regressor(kind, &HyperParams::default());
             model
                 .fit(&x, &y)
@@ -246,7 +126,7 @@ mod tests {
 
     #[test]
     fn grids_are_nonempty_and_distinct() {
-        for kind in AlgorithmKind::ALL {
+        for kind in AlgorithmKind::builtin() {
             let grid = grid_for(kind);
             assert!(grid.len() >= 3, "{kind:?}");
             assert_ne!(grid[0], grid[1]);
@@ -255,7 +135,7 @@ mod tests {
 
     #[test]
     fn linear_family_flag() {
-        assert!(AlgorithmKind::Lasso.is_linear());
-        assert!(!AlgorithmKind::XgbRegressor.is_linear());
+        assert!(AlgorithmKind::LASSO.is_linear());
+        assert!(!AlgorithmKind::XGB_REGRESSOR.is_linear());
     }
 }

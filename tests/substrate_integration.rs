@@ -38,7 +38,7 @@ fn kb_labels_pick_trees_on_nonlinear_dynamics() {
     assert!(loss.is_finite());
     assert_eq!(
         algo,
-        AlgorithmKind::XgbRegressor,
+        AlgorithmKind::XGB_REGRESSOR,
         "nonlinear data labelled {algo:?}"
     );
 }
