@@ -54,6 +54,25 @@ impl BudgetTracker {
     pub fn elapsed(&self) -> Duration {
         self.started.elapsed()
     }
+
+    /// Fraction of the budget still unspent, in `[0, 1]` (feeds the
+    /// `engine.budget_remaining` gauge).
+    pub fn remaining_fraction(&self) -> f64 {
+        match self.budget {
+            Budget::Time(limit) => {
+                if limit.is_zero() {
+                    return 0.0;
+                }
+                (1.0 - self.started.elapsed().as_secs_f64() / limit.as_secs_f64()).clamp(0.0, 1.0)
+            }
+            Budget::Iterations(n) => {
+                if n == 0 {
+                    return 0.0;
+                }
+                ((n.saturating_sub(self.iterations)) as f64 / n as f64).clamp(0.0, 1.0)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +101,24 @@ mod tests {
     fn generous_time_budget_is_not_exhausted() {
         let t = BudgetTracker::start(Budget::Time(Duration::from_secs(3600)));
         assert!(!t.exhausted());
+    }
+
+    #[test]
+    fn remaining_fraction_decreases_to_zero() {
+        let mut t = BudgetTracker::start(Budget::Iterations(4));
+        assert_eq!(t.remaining_fraction(), 1.0);
+        t.record_iteration();
+        assert_eq!(t.remaining_fraction(), 0.75);
+        for _ in 0..5 {
+            t.record_iteration();
+        }
+        assert_eq!(t.remaining_fraction(), 0.0);
+        let timed = BudgetTracker::start(Budget::Time(Duration::from_secs(3600)));
+        let f = timed.remaining_fraction();
+        assert!(f > 0.99 && f <= 1.0);
+        assert_eq!(
+            BudgetTracker::start(Budget::Time(Duration::ZERO)).remaining_fraction(),
+            0.0
+        );
     }
 }

@@ -2,6 +2,45 @@
 
 use crate::budget::Budget;
 use ff_fl::runtime::RoundPolicy;
+use ff_trace::Tracer;
+
+/// Observability switch for a run. Disabled (the default) costs one
+/// branch per instrumentation point — no locks, clocks, or allocations —
+/// and leaves engine output bit-identical to an uninstrumented build.
+/// Enabled, the engine records the full span tree (`run → phase.* →
+/// trial/fl.round → gp.*`), counters, gauges, and byte histograms, and
+/// attaches a [`crate::report::RunTelemetry`] to the
+/// [`crate::engine::RunResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    enabled: bool,
+}
+
+impl TraceConfig {
+    /// Tracing on.
+    pub fn enabled() -> TraceConfig {
+        TraceConfig { enabled: true }
+    }
+
+    /// Tracing off (the default).
+    pub fn disabled() -> TraceConfig {
+        TraceConfig { enabled: false }
+    }
+
+    /// Whether tracing is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// A fresh tracer honoring this config.
+    pub fn tracer(&self) -> Tracer {
+        if self.enabled {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
+    }
+}
 
 /// How tree-ensemble winners are aggregated in phase IV (§4.4). Linear
 /// models always aggregate by FedAvg over standardized coefficients.
@@ -65,6 +104,9 @@ pub struct EngineConfig {
     /// newly registered one end-to-end. `None` (the default) uses the
     /// meta-model recommendation.
     pub portfolio: Option<Vec<ff_models::zoo::AlgorithmKind>>,
+    /// Observability: disabled by default (zero-cost); enable to collect
+    /// spans, metrics, and a [`crate::report::RunTelemetry`] on the result.
+    pub trace: TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +125,7 @@ impl Default for EngineConfig {
             tree_aggregation: TreeAggregation::default(),
             round_policy: RoundPolicy::default(),
             portfolio: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -100,5 +143,13 @@ mod tests {
         assert_eq!(c.tree_aggregation, TreeAggregation::Auto);
         assert_eq!(c.round_policy, RoundPolicy::default());
         assert!(c.portfolio.is_none());
+        assert!(!c.trace.is_enabled());
+    }
+
+    #[test]
+    fn trace_config_gates_the_tracer() {
+        assert!(!TraceConfig::disabled().tracer().is_enabled());
+        assert!(TraceConfig::enabled().tracer().is_enabled());
+        assert_eq!(TraceConfig::default(), TraceConfig::disabled());
     }
 }

@@ -35,18 +35,20 @@ use crate::budget::BudgetTracker;
 use crate::client::FedForecasterClient;
 use crate::config::EngineConfig;
 use crate::feature_engineering::GlobalFeatureSpec;
-use crate::report::RoundReport;
+use crate::report::{RoundReport, RunTelemetry};
 use crate::search_space::{table2_space, warm_start_configs};
 use crate::{EngineError, Result};
 use ff_bayesopt::optimizer::BayesOpt;
 use ff_bayesopt::space::Configuration;
 use ff_fl::client::FlClient;
 use ff_fl::health::HealthReport;
+use ff_fl::log::Retention;
 use ff_fl::runtime::FederatedRuntime;
 use ff_fl::FlError;
 use ff_metalearn::metamodel::MetaModel;
 use ff_models::zoo::AlgorithmKind;
 use ff_timeseries::TimeSeries;
+use ff_trace::ClientCommsRow;
 use std::time::Duration;
 
 /// Communication spent in one pipeline phase.
@@ -97,6 +99,9 @@ pub struct RunResult {
     pub failed_trials: usize,
     /// Final per-client health snapshot from the runtime.
     pub health: HealthReport,
+    /// Telemetry from the run: `Some` only when the config enabled
+    /// [`crate::config::TraceConfig`]; `None` costs nothing.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 /// The FedForecaster engine. Borrows the (expensive-to-train) meta-model
@@ -121,6 +126,11 @@ impl<'m> FedForecaster<'m> {
 
     /// Runs Algorithm 1 on an existing runtime (lets tests inspect logs).
     pub fn run_on(&self, rt: &FederatedRuntime) -> Result<RunResult> {
+        let tracer = self.cfg.trace.tracer();
+        if tracer.is_enabled() {
+            rt.set_tracer(tracer.clone());
+        }
+        let run_span = tracer.span("run");
         let mut phase_bytes = Vec::new();
         let mut phase_mark = rt.log().byte_totals();
         let mut end_phase = |name: &'static str, rt: &FederatedRuntime| {
@@ -138,6 +148,7 @@ impl<'m> FedForecaster<'m> {
         // Phase I–II: meta-features → aggregation → recommendation. An
         // explicit portfolio bypasses the meta-model entirely (ablations,
         // registry extensions the meta-model was not trained on).
+        let phase_span = tracer.span("phase.meta_features");
         let (global, max_len) = collect_global_meta_tolerant(rt, policy, &mut rounds)?;
         let recommended: Vec<AlgorithmKind> = if let Some(portfolio) = &self.cfg.portfolio {
             if portfolio.is_empty() {
@@ -170,6 +181,8 @@ impl<'m> FedForecaster<'m> {
             }
         };
         phase_bytes.push(end_phase("meta_features", rt));
+        drop(phase_span);
+        let phase_span = tracer.span("phase.feature_engineering");
         run_feature_engineering_tolerant(
             rt,
             &spec,
@@ -178,6 +191,7 @@ impl<'m> FedForecaster<'m> {
             &mut rounds,
         )?;
         phase_bytes.push(end_phase("feature_engineering", rt));
+        drop(phase_span);
 
         // Phase III: Bayesian optimization with warm start. The budget T
         // covers the tuning loop (§5.1: "time budget ... for the
@@ -185,13 +199,19 @@ impl<'m> FedForecaster<'m> {
         // evaluated so a result exists even under a degenerate budget.
         // A trial whose round misses its quorum is abandoned — it consumes
         // budget but tells the optimizer nothing — and the run continues.
+        let phase_span = tracer.span("phase.optimization");
         let space = table2_space(&recommended);
         let mut bo = BayesOpt::new(space, self.cfg.seed).map_err(EngineError::Optimizer)?;
+        bo.set_tracer(tracer.clone());
         bo.warm_start(warm_start_configs(&recommended));
         let mut loss_history = Vec::new();
         let mut failed_trials = 0usize;
         let mut tracker = BudgetTracker::start(self.cfg.budget);
+        if tracer.is_enabled() {
+            tracer.gauge_set("engine.budget_remaining", tracker.remaining_fraction());
+        }
         while tracker.iterations() == 0 || !tracker.exhausted() {
+            let trial_span = tracer.span_labeled("trial", tracker.iterations() as u64 + 1);
             let config = bo.ask().map_err(EngineError::Optimizer)?;
             match evaluate_config_tolerant(rt, &config, policy, &mut rounds) {
                 Ok(loss) => {
@@ -202,14 +222,20 @@ impl<'m> FedForecaster<'m> {
                 Err(e) => return Err(e),
             }
             tracker.record_iteration();
+            drop(trial_span);
+            if tracer.is_enabled() {
+                tracer.gauge_set("engine.budget_remaining", tracker.remaining_fraction());
+            }
         }
         let (best_config, best_valid_loss) = bo
             .best()
             .map(|(c, l)| (c.clone(), l))
             .ok_or_else(|| EngineError::InvalidData("no configuration evaluated".into()))?;
         phase_bytes.push(end_phase("optimization", rt));
+        drop(phase_span);
 
         // Phase IV: final fit, aggregation, test evaluation.
+        let phase_span = tracer.span("phase.finalization");
         let (global_model, test_mse) = finalize_with_tolerant(
             rt,
             &best_config,
@@ -218,7 +244,13 @@ impl<'m> FedForecaster<'m> {
             &mut rounds,
         )?;
         phase_bytes.push(end_phase("finalization", rt));
+        drop(phase_span);
+        drop(run_span);
         let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
+        let health = rt.health_report();
+        let telemetry = tracer
+            .is_enabled()
+            .then(|| build_telemetry(&tracer, rt, &health));
         Ok(RunResult {
             best_algorithm: global_model.algorithm(),
             best_config,
@@ -234,8 +266,40 @@ impl<'m> FedForecaster<'m> {
             phase_bytes,
             rounds,
             failed_trials,
-            health: rt.health_report(),
+            health,
+            telemetry,
         })
+    }
+}
+
+/// Assembles the per-client comms table from the message log's exact
+/// totals and the health registry, then snapshots the tracer.
+fn build_telemetry(
+    tracer: &ff_trace::Tracer,
+    rt: &FederatedRuntime,
+    health: &HealthReport,
+) -> RunTelemetry {
+    let clients = rt
+        .log()
+        .client_totals()
+        .into_iter()
+        .map(|(id, comms)| {
+            let snap = health.clients.iter().find(|c| c.client_id == id);
+            ClientCommsRow {
+                client_id: id as u64,
+                bytes_to_client: comms.bytes_to_client as u64,
+                bytes_to_server: comms.bytes_to_server as u64,
+                messages: comms.messages as u64,
+                dropouts: snap.map(|c| c.failures).unwrap_or(0),
+                state: snap
+                    .map(|c| format!("{:?}", c.state).to_lowercase())
+                    .unwrap_or_else(|| "unknown".into()),
+            }
+        })
+        .collect();
+    RunTelemetry {
+        trace: tracer.snapshot(),
+        clients,
     }
 }
 
@@ -243,12 +307,20 @@ impl<'m> FedForecaster<'m> {
 /// exogenous covariates via
 /// [`FedForecasterClient::with_exogenous`]); pair with
 /// [`FedForecaster::run_on`].
+///
+/// Engine runtimes default to [`Retention::Counting`]: a tuning run ships
+/// megabytes of model blobs per round, so retaining every payload forever
+/// (the old behavior) grows without bound. Byte totals stay exact; tests
+/// that must scan all traffic (the privacy leak check) opt back into
+/// [`Retention::Full`] via [`ff_fl::log::MessageLog::set_retention`].
 pub fn build_runtime_from(clients: Vec<FedForecasterClient>) -> FederatedRuntime {
     let boxed: Vec<Box<dyn FlClient>> = clients
         .into_iter()
         .map(|c| Box::new(c) as Box<dyn FlClient>)
         .collect();
-    FederatedRuntime::new(boxed)
+    let rt = FederatedRuntime::new(boxed);
+    rt.log().set_retention(Retention::counting_default());
+    rt
 }
 
 /// Spawns the federated runtime with one [`FedForecasterClient`] per series.
@@ -272,7 +344,10 @@ pub fn build_runtime(clients: &[TimeSeries], cfg: &EngineConfig) -> Result<Feder
             )) as Box<dyn FlClient>
         })
         .collect();
-    Ok(FederatedRuntime::new(boxed))
+    let rt = FederatedRuntime::new(boxed);
+    // Bounded payload retention; see `build_runtime_from`.
+    rt.log().set_retention(Retention::counting_default());
+    Ok(rt)
 }
 
 #[cfg(test)]

@@ -59,17 +59,18 @@ pub mod report;
 pub mod search_space;
 
 pub use budget::Budget;
-pub use config::EngineConfig;
+pub use config::{EngineConfig, TraceConfig};
 pub use engine::{FedForecaster, RunResult};
+pub use report::RunTelemetry;
 
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
     pub use crate::budget::Budget;
-    pub use crate::config::EngineConfig;
+    pub use crate::config::{EngineConfig, TraceConfig};
     pub use crate::engine::{FedForecaster, RunResult};
     pub use crate::nbeats_baseline::{run_consolidated_nbeats, run_federated_nbeats};
     pub use crate::random_search::RandomSearch;
-    pub use crate::report::{render_rounds, RoundReport};
+    pub use crate::report::{render_rounds, RoundReport, RunTelemetry};
     pub use ff_fl::runtime::RoundPolicy;
     pub use ff_models::zoo::AlgorithmKind;
 }

@@ -90,6 +90,7 @@ impl RandomSearch {
             rounds: vec![],
             failed_trials: 0,
             health: rt.health_report(),
+            telemetry: None,
         })
     }
 }

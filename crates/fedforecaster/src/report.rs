@@ -4,6 +4,32 @@
 
 use ff_models::metrics::average_ranks;
 use ff_timeseries::wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};
+use ff_trace::{ClientCommsRow, Telemetry};
+
+/// Telemetry captured during a traced engine run (absent unless
+/// [`crate::config::TraceConfig::enabled`] was set): the full span /
+/// metric snapshot plus the per-client comms rows assembled from the
+/// message log and the health registry.
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Spans, events, counters, gauges, and histograms from the run.
+    pub trace: Telemetry,
+    /// Per-client bytes, message counts, dropouts, and final health state.
+    pub clients: Vec<ClientCommsRow>,
+}
+
+impl RunTelemetry {
+    /// The JSON-lines export of the trace (one JSON object per line).
+    pub fn to_json_lines(&self) -> String {
+        ff_trace::to_json_lines(&self.trace)
+    }
+
+    /// The aligned human summary: per-phase wall-clock, per-client
+    /// comms/dropout table, BO trial latency percentiles, counters.
+    pub fn render_summary(&self) -> String {
+        ff_trace::render_summary(&self.trace, &self.clients)
+    }
+}
 
 /// What happened in one fault-tolerant federated round: who was admitted,
 /// who replied, who dropped out and why. The engine appends one of these

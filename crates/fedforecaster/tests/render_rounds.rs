@@ -1,0 +1,85 @@
+//! Golden tests for the per-round fault-tolerance report: the text log is
+//! consumed by humans diffing runs, so its exact alignment is part of the
+//! contract — a width change should fail loudly here, not silently shift
+//! columns in someone's terminal.
+
+use fedforecaster::report::{render_rounds, RoundReport};
+
+fn report(
+    phase: &'static str,
+    round: u64,
+    participants: usize,
+    responses: usize,
+    usable: usize,
+) -> RoundReport {
+    RoundReport {
+        phase,
+        round,
+        participants,
+        responses,
+        usable,
+        dropouts: vec![],
+        app_errors: vec![],
+        non_finite: vec![],
+        quorum_met: true,
+    }
+}
+
+#[test]
+fn golden_alignment() {
+    let rounds = vec![
+        report("meta_features", 1, 4, 4, 4),
+        RoundReport {
+            dropouts: vec![(3, "timeout".into())],
+            app_errors: vec![(5, "bad split".into())],
+            non_finite: vec![0],
+            ..report("optimization", 12, 10, 9, 8)
+        },
+    ];
+    let expected = "\
+round  phase                part. resp. usable  dropouts
+    1  meta_features            4     4      4  -
+   12  optimization            10     9      8  #3: timeout; #5: app error: bad split; #0: non-finite loss
+";
+    assert_eq!(render_rounds(&rounds), expected);
+}
+
+#[test]
+fn columns_stay_aligned_across_magnitudes() {
+    // Rounds and counts of different digit widths must still start every
+    // notes column at the same byte offset as the header's "dropouts".
+    let rounds = vec![
+        report("meta_features", 1, 2, 2, 2),
+        report("feature_engineering", 99, 10, 10, 10),
+        report("optimization", 12345, 100, 99, 98),
+    ];
+    let log = render_rounds(&rounds);
+    let lines: Vec<&str> = log.lines().collect();
+    let notes_col = lines[0].find("dropouts").unwrap();
+    for line in &lines[1..] {
+        assert_eq!(
+            line.find('-'),
+            Some(notes_col),
+            "notes column drifted in {line:?}"
+        );
+    }
+}
+
+#[test]
+fn unmet_quorum_is_called_out() {
+    let rounds = vec![RoundReport {
+        quorum_met: false,
+        ..report("optimization", 8, 2, 0, 0)
+    }];
+    let log = render_rounds(&rounds);
+    assert!(log.contains("QUORUM UNMET"), "log was: {log}");
+
+    // With other notes present, the quorum marker is appended last.
+    let rounds = vec![RoundReport {
+        quorum_met: false,
+        dropouts: vec![(1, "panic".into())],
+        ..report("optimization", 9, 3, 1, 1)
+    }];
+    let log = render_rounds(&rounds);
+    assert!(log.contains("#1: panic; QUORUM UNMET"), "log was: {log}");
+}

@@ -1,0 +1,153 @@
+//! End-to-end observability tests: a traced engine run must yield the
+//! full Algorithm-1 span tree plus the two sinks (JSON-lines and human
+//! summary), and enabling tracing must not perturb the run itself.
+
+use fedforecaster::engine::FedForecaster;
+use fedforecaster::prelude::*;
+use ff_metalearn::kb::KnowledgeBase;
+use ff_metalearn::metamodel::{MetaClassifierKind, MetaModel};
+use ff_metalearn::synth::synthetic_kb;
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec};
+use ff_timeseries::TimeSeries;
+
+fn metamodel() -> MetaModel {
+    let kb = KnowledgeBase::build(&synthetic_kb(10), &[3], 40);
+    MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).expect("meta-model")
+}
+
+fn federation() -> Vec<TimeSeries> {
+    generate(
+        &SynthesisSpec {
+            n: 700,
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 3.0,
+            }],
+            snr: Some(15.0),
+            ..Default::default()
+        },
+        21,
+    )
+    .split_clients(3)
+}
+
+fn config(trace: TraceConfig) -> EngineConfig {
+    EngineConfig {
+        budget: Budget::Iterations(8),
+        trace,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn traced_run_produces_full_span_tree_and_both_sinks() {
+    let meta = metamodel();
+    let result = FedForecaster::new(config(TraceConfig::enabled()), &meta)
+        .run(&federation())
+        .unwrap();
+    let telemetry = result.telemetry.expect("tracing was enabled");
+    let trace = &telemetry.trace;
+
+    // Span tree: one root `run` span with all four Algorithm-1 phases as
+    // direct children, every span closed.
+    let runs = trace.spans_named("run");
+    assert_eq!(runs.len(), 1);
+    let run_id = runs[0].id;
+    assert_eq!(runs[0].parent, None);
+    for phase in [
+        "phase.meta_features",
+        "phase.feature_engineering",
+        "phase.optimization",
+        "phase.finalization",
+    ] {
+        let spans = trace.spans_named(phase);
+        assert_eq!(spans.len(), 1, "{phase} should run exactly once");
+        assert_eq!(spans[0].parent, Some(run_id), "{phase} parents to run");
+    }
+    assert!(trace.spans.iter().all(|s| s.end_us.is_some()));
+
+    // Trials nest under the optimization phase, labeled 1..=budget.
+    let opt_id = trace.spans_named("phase.optimization")[0].id;
+    let trials = trace.spans_named("trial");
+    assert_eq!(trials.len(), 8);
+    for (i, t) in trials.iter().enumerate() {
+        assert_eq!(t.parent, Some(opt_id));
+        assert_eq!(t.label, Some(i as u64 + 1));
+    }
+
+    // Federated rounds and GP stages appear below the phases.
+    let rounds = trace.spans_named("fl.round");
+    assert!(!rounds.is_empty());
+    assert!(rounds.iter().all(|r| r.parent.is_some()));
+    assert!(trace.counter("fl.rounds") >= rounds.len() as u64);
+    assert!(!trace.spans_named("gp.fit").is_empty());
+    assert!(!trace.spans_named("gp.acquire").is_empty());
+
+    // Metrics: byte histograms fed by the message log, the budget gauge
+    // drained to zero, and an incumbent loss matching the result.
+    let to_server = trace
+        .histogram_merged("fl.msg_bytes_to_server")
+        .expect("per-client byte histograms");
+    assert!(to_server.count() > 0);
+    assert!(trace.histogram_merged("fl.msg_bytes_to_client").is_some());
+    assert_eq!(trace.gauge("engine.budget_remaining"), Some(0.0));
+    let incumbent = trace.gauge("bo.incumbent_loss").expect("incumbent gauge");
+    assert!((incumbent - result.best_valid_loss).abs() < 1e-12);
+
+    // Per-client comms rows cover the whole federation.
+    assert_eq!(telemetry.clients.len(), 3);
+    assert!(telemetry.clients.iter().all(|c| c.bytes_to_server > 0));
+
+    // Sink 1: JSON-lines — one object per line, spans and metrics present.
+    let json = telemetry.to_json_lines();
+    assert!(!json.is_empty());
+    for line in json.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+    }
+    let run_line = json
+        .lines()
+        .find(|l| l.contains(r#""kind":"span""#) && l.contains(r#""name":"run""#))
+        .expect("run span in JSON export");
+    assert!(run_line.contains(r#""parent":null"#));
+    assert!(json.contains(r#""kind":"histogram","name":"fl.msg_bytes_to_server""#));
+
+    // Sink 2: aligned human summary — phase table, client table, BO
+    // trial percentiles.
+    let summary = telemetry.render_summary();
+    for needle in [
+        "phase.meta_features",
+        "phase.optimization",
+        "client",
+        "BO trials: 8",
+        "p50",
+        "p95",
+    ] {
+        assert!(
+            summary.contains(needle),
+            "summary missing {needle:?}:\n{summary}"
+        );
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let meta = metamodel();
+    let clients = federation();
+    let traced = FedForecaster::new(config(TraceConfig::enabled()), &meta)
+        .run(&clients)
+        .unwrap();
+    let plain = FedForecaster::new(config(TraceConfig::disabled()), &meta)
+        .run(&clients)
+        .unwrap();
+
+    // Bit-identical numerics: tracing observes, it must not steer.
+    assert!(plain.telemetry.is_none());
+    assert_eq!(traced.best_algorithm, plain.best_algorithm);
+    assert_eq!(traced.loss_history, plain.loss_history);
+    assert_eq!(
+        traced.best_valid_loss.to_bits(),
+        plain.best_valid_loss.to_bits()
+    );
+    assert_eq!(traced.test_mse.to_bits(), plain.test_mse.to_bits());
+    assert_eq!(traced.bytes_to_server, plain.bytes_to_server);
+}

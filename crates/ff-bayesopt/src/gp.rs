@@ -89,9 +89,9 @@ impl GaussianProcess {
             let l = self.factor.l();
             let dim = l.rows();
             let mut out = vec![0.0; dim];
-            for i in 0..dim {
+            for (i, o) in out.iter_mut().enumerate() {
                 for j in i..dim {
-                    out[i] += l.get(j, i) * self.alpha[j];
+                    *o += l.get(j, i) * self.alpha[j];
                 }
             }
             out

@@ -9,6 +9,7 @@ use crate::acquisition::Acquisition;
 use crate::gp::GaussianProcess;
 use crate::space::{Configuration, SearchSpace};
 use crate::{BoError, Result};
+use ff_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,6 +47,7 @@ pub struct BayesOpt {
     observations: Vec<(Vec<f64>, Configuration, f64)>,
     pending: Option<Configuration>,
     rng: StdRng,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for BayesOpt {
@@ -73,7 +75,14 @@ impl BayesOpt {
             observations: Vec::new(),
             pending: None,
             rng: StdRng::seed_from_u64(seed),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attaches a tracer: model-guided steps get `gp.fit` / `gp.acquire`
+    /// spans and every `tell` updates the `bo.incumbent_loss` gauge.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Queues warm-start configurations (evaluated first, in order) — the
@@ -119,11 +128,15 @@ impl BayesOpt {
             .collect();
         let ys: Vec<f64> = self.observations.iter().map(|(_, _, y)| *y).collect();
         // Length scale by type-II maximum likelihood over a small grid.
-        let gp = match GaussianProcess::fit_auto(self.noise, &xs, &ys) {
+        let fit_span = self.tracer.span("gp.fit");
+        let fitted = GaussianProcess::fit_auto(self.noise, &xs, &ys);
+        drop(fit_span);
+        let gp = match fitted {
             Ok(gp) => gp,
             // Numerical trouble: fall back to random search for this step.
             Err(_) => return Ok(self.space.sample(&mut self.rng)),
         };
+        let _acquire_span = self.tracer.span("gp.acquire");
         let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         let mut best_candidate: Option<(f64, Configuration)> = None;
         for _ in 0..self.n_candidates {
@@ -161,6 +174,11 @@ impl BayesOpt {
         };
         let z = self.space.encode(config);
         self.observations.push((z, config.clone(), loss));
+        if self.tracer.is_enabled() {
+            if let Some((_, incumbent)) = self.best() {
+                self.tracer.gauge_set("bo.incumbent_loss", incumbent);
+            }
+        }
         Ok(())
     }
 
@@ -296,6 +314,32 @@ mod tests {
             "LCB best {}",
             bo.best().unwrap().1
         );
+    }
+
+    #[test]
+    fn tracer_sees_gp_spans_and_incumbent_gauge() {
+        let tracer = Tracer::enabled();
+        let mut bo = BayesOpt::new(space_1d(), 7).unwrap();
+        bo.set_tracer(tracer.clone());
+        for _ in 0..10 {
+            let cfg = bo.ask().unwrap();
+            let loss = objective(&cfg);
+            bo.tell(&cfg, loss).unwrap();
+        }
+        let snap = tracer.snapshot();
+        // n_initial = 5, so later asks are model-guided and timed.
+        assert!(!snap.spans_named("gp.fit").is_empty());
+        assert!(!snap.spans_named("gp.acquire").is_empty());
+        assert_eq!(snap.gauge("bo.incumbent_loss"), Some(bo.best().unwrap().1));
+        // The gauge trajectory never increases (incumbent = running min).
+        let traj: Vec<f64> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "bo.incumbent_loss")
+            .map(|e| e.value)
+            .collect();
+        assert_eq!(traj.len(), 10);
+        assert!(traj.windows(2).all(|w| w[1] <= w[0] + 1e-15));
     }
 
     #[test]

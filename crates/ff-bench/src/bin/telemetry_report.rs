@@ -1,0 +1,117 @@
+//! **Telemetry report** — exercises the `ff-trace` observability stack
+//! end to end: one traced engine run, the human summary on stdout, and a
+//! machine-readable `BENCH_pr3.json` with phase timings, traffic, and
+//! trial latencies. `--spans <path>` additionally dumps the raw span /
+//! metric stream as JSON lines.
+//!
+//! ```text
+//! cargo run -p ff-bench --release --bin telemetry_report -- \
+//!     [--scale 0.15] [--iters 8] [--kb 48] [--out BENCH_pr3.json] [--spans trace.jsonl]
+//! ```
+
+use fedforecaster::{FedForecaster, TraceConfig};
+use ff_bench::{build_metamodel, Args, RunSettings};
+use ff_trace::{push_json_f64, push_json_str, Histogram};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::parse();
+    let settings = RunSettings::from_args(&args);
+    let (_, meta) = build_metamodel(settings.kb_size.min(48));
+    let ds = &ff_datasets::benchmark_datasets()[args.usize("dataset", 2).min(11)];
+    let clients = ds.generate_federation(0, settings.scale);
+    let mut cfg = settings.engine_config(0);
+    cfg.trace = TraceConfig::enabled();
+
+    let r = FedForecaster::new(cfg, &meta)
+        .run(&clients)
+        .expect("engine");
+    let telemetry = r.telemetry.as_ref().expect("tracing was enabled");
+
+    println!(
+        "FedForecaster on {} ({} clients, {} evaluations, test MSE {:.4})\n",
+        ds.name,
+        clients.len(),
+        r.evaluations,
+        r.test_mse
+    );
+    print!("{}", telemetry.render_summary());
+
+    if args.has("spans") {
+        let path = args.string("spans", "trace.jsonl");
+        std::fs::write(&path, telemetry.to_json_lines()).expect("write span stream");
+        println!("\nspan stream: {path}");
+    }
+
+    // Machine-readable rollup for CI trend tracking.
+    let trace = &telemetry.trace;
+    let mut json = String::from("{\n");
+    let _ = write!(json, "  \"bench\": \"telemetry_report\",\n  \"dataset\": ");
+    push_json_str(&mut json, ds.name);
+    let _ = writeln!(
+        json,
+        ",\n  \"clients\": {},\n  \"evaluations\": {},",
+        clients.len(),
+        r.evaluations
+    );
+    json.push_str("  \"test_mse\": ");
+    push_json_f64(&mut json, r.test_mse);
+    json.push_str(",\n  \"phases\": [");
+    for (i, (name, us, calls)) in trace.phase_totals().iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "\n    {{\"name\": ");
+        push_json_str(&mut json, name);
+        let _ = write!(json, ", \"us\": {us}, \"calls\": {calls}}}");
+    }
+    json.push_str("\n  ],\n");
+    let trial_durs = trace.durations_us("trial");
+    let mut h = Histogram::new();
+    for d in &trial_durs {
+        h.record(*d as f64);
+    }
+    json.push_str("  \"trials\": {\"count\": ");
+    let _ = write!(json, "{}", trial_durs.len());
+    json.push_str(", \"p50_us\": ");
+    push_json_f64(&mut json, h.percentile(0.50).unwrap_or(0.0));
+    json.push_str(", \"p95_us\": ");
+    push_json_f64(&mut json, h.percentile(0.95).unwrap_or(0.0));
+    let _ = writeln!(
+        json,
+        "}},\n  \"bytes\": {{\"to_clients\": {}, \"to_server\": {}}},",
+        r.bytes_to_clients, r.bytes_to_server
+    );
+    json.push_str("  \"counters\": {");
+    let unlabeled: Vec<_> = trace
+        .counters
+        .iter()
+        .filter(|(id, _)| id.label.is_none())
+        .collect();
+    for (i, (id, v)) in unlabeled.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        push_json_str(&mut json, id.name);
+        let _ = write!(json, ": {v}");
+    }
+    json.push_str("},\n  \"per_client\": [");
+    for (i, c) in telemetry.clients.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"id\": {}, \"bytes_to_client\": {}, \"bytes_to_server\": {}, \
+             \"messages\": {}, \"dropouts\": {}, \"state\": ",
+            c.client_id, c.bytes_to_client, c.bytes_to_server, c.messages, c.dropouts
+        );
+        push_json_str(&mut json, &c.state);
+        json.push('}');
+    }
+    json.push_str("\n  ]\n}\n");
+
+    let out = args.string("out", "BENCH_pr3.json");
+    std::fs::write(&out, &json).expect("write report");
+    println!("\nwrote {out}");
+}

@@ -55,6 +55,14 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// String argument with default.
+    pub fn string(&self, key: &str, default: &str) -> String {
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
     /// Boolean flag.
     pub fn flag(&self, key: &str) -> bool {
         self.map.get(key).map(|v| v == "true").unwrap_or(false)

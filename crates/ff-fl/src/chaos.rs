@@ -181,7 +181,7 @@ impl FlClient for ChaosClient {
             // body, so the server's decoder is guaranteed to reject it —
             // a single flipped payload byte could still decode cleanly.
             encoded_reply[0] = 0xFF;
-            let keep = (encoded_reply.len() + 1) / 2;
+            let keep = encoded_reply.len().div_ceil(2);
             encoded_reply.truncate(keep);
             return Some(encoded_reply);
         }

@@ -133,15 +133,15 @@ impl HealthRegistry {
     }
 
     /// Records a transport-level failure (timeout, panic, corrupt payload,
-    /// disconnect), advancing the state machine.
-    pub fn record_failure(&mut self, id: usize) {
+    /// disconnect), advancing the state machine. Returns the client's new
+    /// state so callers can observe transitions (e.g. count fresh
+    /// quarantines), or `None` for an unknown id.
+    pub fn record_failure(&mut self, id: usize) -> Option<ClientState> {
         let round = self.round;
         let probe_base = self.policy.probe_base;
         let probe_max = self.policy.probe_max;
         let quarantine_after = self.policy.quarantine_after;
-        let Some(rec) = self.records.get_mut(id) else {
-            return;
-        };
+        let rec = self.records.get_mut(id)?;
         rec.failures += 1;
         rec.consecutive_failures += 1;
         let wait = |level: u32| -> u64 {
@@ -164,6 +164,7 @@ impl HealthRegistry {
             }
             _ => rec.state = ClientState::Suspect,
         }
+        Some(rec.state)
     }
 
     /// The state of one client, or `None` for an unknown id.
@@ -272,7 +273,7 @@ mod tests {
     fn single_failure_makes_suspect_not_quarantined() {
         let mut reg = registry(2);
         let round = reg.begin_round();
-        reg.record_failure(0);
+        let _ = reg.record_failure(0);
         assert_eq!(reg.state(0), Some(ClientState::Suspect));
         // Still admitted next round.
         let _ = round;
@@ -285,7 +286,7 @@ mod tests {
         let mut reg = registry(2);
         for _ in 0..2 {
             let _ = reg.begin_round();
-            reg.record_failure(0);
+            let _ = reg.record_failure(0);
         }
         assert_eq!(reg.state(0), Some(ClientState::Quarantined));
         let next = reg.begin_round();
@@ -296,11 +297,11 @@ mod tests {
     fn success_resets_the_failure_streak() {
         let mut reg = registry(1);
         let _ = reg.begin_round();
-        reg.record_failure(0);
+        let _ = reg.record_failure(0);
         let _ = reg.begin_round();
         reg.record_success(0);
         let _ = reg.begin_round();
-        reg.record_failure(0);
+        let _ = reg.record_failure(0);
         // One failure after a success: suspect, not quarantined.
         assert_eq!(reg.state(0), Some(ClientState::Suspect));
     }
@@ -316,7 +317,7 @@ mod tests {
         // Rounds 1-2 fail → quarantined with probe at round 4.
         for _ in 0..2 {
             let _ = reg.begin_round();
-            reg.record_failure(0);
+            let _ = reg.record_failure(0);
         }
         let r3 = reg.begin_round();
         assert!(reg.admitted(r3).is_empty());
@@ -339,7 +340,7 @@ mod tests {
             let round = reg.begin_round();
             if reg.admitted(round).contains(&0) {
                 admitted_rounds.push(round);
-                reg.record_failure(0);
+                let _ = reg.record_failure(0);
             }
         }
         // Gaps grow (2, 4, 8) and then stay capped at probe_max.
@@ -364,11 +365,11 @@ mod tests {
         let mut reg = registry(3);
         for _ in 0..2 {
             let _ = reg.begin_round();
-            reg.record_failure(2);
+            let _ = reg.record_failure(2);
             reg.record_success(0);
         }
         let _ = reg.begin_round();
-        reg.record_failure(1);
+        let _ = reg.record_failure(1);
         let report = reg.report();
         assert_eq!(report.count(ClientState::Healthy), 1);
         assert_eq!(report.count(ClientState::Suspect), 1);

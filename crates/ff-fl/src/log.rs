@@ -4,8 +4,19 @@
 //! parameters leave a client — becomes a testable property here: the
 //! integration suite replays the log and asserts no raw sample sequences
 //! appear in any payload.
+//!
+//! Retaining every payload forever is the original sin of this module:
+//! a long tuning run clones megabytes of model blobs per round into the
+//! log and never frees them. [`Retention`] fixes that — the default
+//! [`Retention::Full`] keeps the historical behavior for tests, while
+//! [`Retention::Counting`] (what the engine uses) keeps exact per-client
+//! byte/message totals plus only a bounded window of recent payloads so
+//! leak checks still have material to scan.
 
+use ff_trace::Tracer;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Direction of a logged message.
@@ -28,67 +39,172 @@ pub struct LogEntry {
     pub payload: Vec<u8>,
 }
 
+/// How much payload history the log retains. Byte and message *totals*
+/// are always exact regardless of mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    /// Keep every payload (unbounded memory — only for short runs and
+    /// the privacy test, which must scan all traffic).
+    Full,
+    /// Keep only the most recent `window` payloads; older ones are
+    /// dropped after their bytes are counted.
+    Counting {
+        /// Number of recent payloads retained for leak checks.
+        window: usize,
+    },
+}
+
+impl Retention {
+    /// The counting mode with the default leak-check window.
+    pub fn counting_default() -> Retention {
+        Retention::Counting { window: 256 }
+    }
+}
+
+/// Exact per-client traffic totals, maintained in every retention mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientComms {
+    /// Bytes sent server → this client.
+    pub bytes_to_client: usize,
+    /// Bytes sent this client → server.
+    pub bytes_to_server: usize,
+    /// Messages in either direction.
+    pub messages: usize,
+}
+
+#[derive(Debug, Default)]
+struct LogState {
+    retention: Option<Retention>, // None = Full
+    window: VecDeque<LogEntry>,
+    recorded: usize,
+    to_client_bytes: usize,
+    to_server_bytes: usize,
+    per_client: BTreeMap<usize, ClientComms>,
+    tracer: Tracer,
+}
+
 /// Shared, thread-safe message log.
 #[derive(Debug, Clone, Default)]
 pub struct MessageLog {
-    inner: Arc<Mutex<Vec<LogEntry>>>,
+    inner: Arc<Mutex<LogState>>,
 }
 
 impl MessageLog {
-    /// Creates an empty log.
+    /// Creates an empty log with [`Retention::Full`].
     pub fn new() -> MessageLog {
         MessageLog::default()
     }
 
+    /// Creates an empty log with the given retention mode.
+    pub fn with_retention(retention: Retention) -> MessageLog {
+        let log = MessageLog::new();
+        log.set_retention(retention);
+        log
+    }
+
+    /// Switches retention mode. Moving to `Counting` trims the retained
+    /// window immediately; totals are unaffected.
+    pub fn set_retention(&self, retention: Retention) {
+        let mut s = self.inner.lock();
+        s.retention = match retention {
+            Retention::Full => None,
+            r => Some(r),
+        };
+        trim(&mut s);
+    }
+
+    /// The current retention mode.
+    pub fn retention(&self) -> Retention {
+        self.inner.lock().retention.unwrap_or(Retention::Full)
+    }
+
+    /// Attaches a tracer: subsequent messages feed the
+    /// `fl.msg_bytes_to_client` / `fl.msg_bytes_to_server` histograms.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.lock().tracer = tracer;
+    }
+
     /// Records a transmission.
     pub fn record(&self, client_id: usize, direction: Direction, payload: &[u8]) {
-        self.inner.lock().push(LogEntry {
+        let mut s = self.inner.lock();
+        s.recorded += 1;
+        let comms = s.per_client.entry(client_id).or_default();
+        comms.messages += 1;
+        match direction {
+            Direction::ToClient => {
+                comms.bytes_to_client += payload.len();
+                s.to_client_bytes += payload.len();
+            }
+            Direction::ToServer => {
+                comms.bytes_to_server += payload.len();
+                s.to_server_bytes += payload.len();
+            }
+        }
+        if s.tracer.is_enabled() {
+            let name = match direction {
+                Direction::ToClient => "fl.msg_bytes_to_client",
+                Direction::ToServer => "fl.msg_bytes_to_server",
+            };
+            s.tracer
+                .record_labeled(name, client_id as u64, payload.len() as f64);
+        }
+        s.window.push_back(LogEntry {
             client_id,
             direction,
             payload: payload.to_vec(),
         });
+        trim(&mut s);
     }
 
-    /// Snapshot of all entries.
+    /// Snapshot of the retained entries (all of them under
+    /// [`Retention::Full`], the recent window under
+    /// [`Retention::Counting`]).
     pub fn entries(&self) -> Vec<LogEntry> {
-        self.inner.lock().clone()
+        self.inner.lock().window.iter().cloned().collect()
     }
 
     /// Total bytes sent in each direction: `(to_clients, to_server)`.
+    /// Exact in every retention mode.
     pub fn byte_totals(&self) -> (usize, usize) {
-        let entries = self.inner.lock();
-        let mut to_client = 0;
-        let mut to_server = 0;
-        for e in entries.iter() {
-            match e.direction {
-                Direction::ToClient => to_client += e.payload.len(),
-                Direction::ToServer => to_server += e.payload.len(),
-            }
-        }
-        (to_client, to_server)
+        let s = self.inner.lock();
+        (s.to_client_bytes, s.to_server_bytes)
     }
 
-    /// Number of logged messages.
+    /// Exact per-client byte/message totals, sorted by client id.
+    pub fn client_totals(&self) -> Vec<(usize, ClientComms)> {
+        let s = self.inner.lock();
+        s.per_client.iter().map(|(&id, &c)| (id, c)).collect()
+    }
+
+    /// Number of messages recorded (not merely retained). Exact in every
+    /// retention mode.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().recorded
     }
 
-    /// True when nothing has been logged.
+    /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().recorded == 0
     }
 
-    /// Searches every client→server payload for a run of consecutive f64
-    /// values equal to `needle` (a fragment of raw client data). Used by the
-    /// privacy test: if a client leaked its raw series, the exact little-
-    /// endian byte pattern of `needle` would appear in some payload.
+    /// Number of payloads currently held in memory.
+    pub fn retained(&self) -> usize {
+        self.inner.lock().window.len()
+    }
+
+    /// Searches retained client→server payloads for a run of consecutive
+    /// f64 values equal to `needle` (a fragment of raw client data). Used
+    /// by the privacy test: if a client leaked its raw series, the exact
+    /// little-endian byte pattern of `needle` would appear in some
+    /// payload. Under [`Retention::Counting`] only the recent window is
+    /// scanned — the privacy test opts into [`Retention::Full`].
     pub fn leaks_float_run(&self, needle: &[f64]) -> bool {
         if needle.is_empty() {
             return false;
         }
         let pattern: Vec<u8> = needle.iter().flat_map(|v| v.to_le_bytes()).collect();
-        let entries = self.inner.lock();
-        entries
+        let s = self.inner.lock();
+        s.window
             .iter()
             .filter(|e| e.direction == Direction::ToServer)
             .any(|e| {
@@ -96,6 +212,14 @@ impl MessageLog {
                     .windows(pattern.len())
                     .any(|w| w == pattern.as_slice())
             })
+    }
+}
+
+fn trim(s: &mut LogState) {
+    if let Some(Retention::Counting { window }) = s.retention {
+        while s.window.len() > window {
+            s.window.pop_front();
+        }
     }
 }
 
@@ -138,5 +262,72 @@ mod tests {
         let payload: Vec<u8> = secret.iter().flat_map(|v| v.to_le_bytes()).collect();
         log.record(0, Direction::ToClient, &payload);
         assert!(!log.leaks_float_run(&secret));
+    }
+
+    #[test]
+    fn counting_mode_bounds_memory_but_keeps_exact_totals() {
+        let log = MessageLog::with_retention(Retention::Counting { window: 4 });
+        for i in 0..100usize {
+            log.record(i % 3, Direction::ToServer, &vec![0u8; 10]);
+        }
+        assert_eq!(log.len(), 100);
+        assert_eq!(log.retained(), 4);
+        assert_eq!(log.byte_totals(), (0, 1000));
+        let totals = log.client_totals();
+        assert_eq!(totals.len(), 3);
+        let sum: usize = totals.iter().map(|(_, c)| c.bytes_to_server).sum();
+        assert_eq!(sum, 1000);
+        assert_eq!(totals[0].0, 0);
+        assert_eq!(totals[0].1.messages, 34);
+    }
+
+    #[test]
+    fn counting_window_still_catches_recent_leaks() {
+        let log = MessageLog::with_retention(Retention::Counting { window: 8 });
+        let secret = [4.75f64, -1.5];
+        for _ in 0..50 {
+            log.record(0, Direction::ToServer, &[0u8; 16]);
+        }
+        let payload: Vec<u8> = secret.iter().flat_map(|v| v.to_le_bytes()).collect();
+        log.record(1, Direction::ToServer, &payload);
+        assert!(log.leaks_float_run(&secret));
+    }
+
+    #[test]
+    fn switching_to_counting_trims_immediately() {
+        let log = MessageLog::new();
+        for _ in 0..10 {
+            log.record(0, Direction::ToClient, &[1u8; 4]);
+        }
+        assert_eq!(log.retained(), 10);
+        log.set_retention(Retention::Counting { window: 2 });
+        assert_eq!(log.retained(), 2);
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.byte_totals(), (40, 0));
+    }
+
+    #[test]
+    fn tracer_sees_per_message_byte_histograms() {
+        let tracer = Tracer::enabled();
+        let log = MessageLog::new();
+        log.set_tracer(tracer.clone());
+        log.record(0, Direction::ToClient, &[0u8; 100]);
+        log.record(0, Direction::ToServer, &[0u8; 50]);
+        log.record(1, Direction::ToServer, &[0u8; 25]);
+        let snap = tracer.snapshot();
+        let to_server: u64 = snap
+            .histograms
+            .iter()
+            .filter(|(id, _)| id.name == "fl.msg_bytes_to_server")
+            .map(|(_, h)| h.count())
+            .sum();
+        assert_eq!(to_server, 2);
+        let to_client = snap
+            .histograms
+            .iter()
+            .find(|(id, _)| id.name == "fl.msg_bytes_to_client")
+            .map(|(_, h)| h.sum())
+            .unwrap();
+        assert_eq!(to_client, 100.0);
     }
 }

@@ -35,6 +35,7 @@ use crate::message::{Instruction, Reply};
 use crate::{FlError, Result};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use ff_trace::Tracer;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -97,6 +98,7 @@ pub struct FederatedRuntime {
     log: MessageLog,
     health: Mutex<HealthRegistry>,
     shutdown_timeout: Duration,
+    tracer: Mutex<Tracer>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -156,13 +158,12 @@ fn client_loop(
             Ok(reply) => reply,
             Err(payload) => Reply::Panicked(panic_message(payload)),
         };
-        match client.wire_transform(reply.encode().to_vec()) {
-            Some(bytes) => {
-                if tx_rep.send((seq, Bytes::from(bytes))).is_err() {
-                    break;
-                }
+        // A `None` transform means the reply dropped on the wire; the
+        // server times out.
+        if let Some(bytes) = client.wire_transform(reply.encode().to_vec()) {
+            if tx_rep.send((seq, Bytes::from(bytes))).is_err() {
+                break;
             }
-            None => {} // reply dropped on the wire; the server times out
         }
     }
 }
@@ -199,7 +200,17 @@ impl FederatedRuntime {
             log,
             health: Mutex::new(HealthRegistry::new(n, policy)),
             shutdown_timeout: Duration::from_secs(5),
+            tracer: Mutex::new(Tracer::disabled()),
         }
+    }
+
+    /// Attaches a tracer: rounds get `fl.round` spans and the
+    /// `fl.rounds` / `fl.probes` / `fl.retries` / `fl.deadline_misses` /
+    /// `fl.dropouts` / `fl.quarantines` counters; the message log feeds
+    /// per-message byte histograms.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.log.set_tracer(tracer.clone());
+        *self.tracer.lock() = tracer;
     }
 
     /// Number of clients.
@@ -381,11 +392,27 @@ impl FederatedRuntime {
     /// quorum is met; every non-responder is reported as a typed dropout
     /// and recorded as a health failure (driving quarantine).
     pub fn run_round(&self, ins: &Instruction, policy: &RoundPolicy) -> Result<RoundOutcome> {
-        let (round, mut pending) = {
+        let tracer = self.tracer.lock().clone();
+        let (round, mut pending, probes) = {
             let mut health = self.health.lock();
             let round = health.begin_round();
-            (round, health.admitted(round))
+            let admitted = health.admitted(round);
+            // Quarantined clients in the admitted set are backoff probes.
+            let probes = if tracer.is_enabled() {
+                admitted
+                    .iter()
+                    .filter(|id| health.state(**id) == Some(ClientState::Quarantined))
+                    .count() as u64
+            } else {
+                0
+            };
+            (round, admitted, probes)
         };
+        let _round_span = tracer.span_labeled("fl.round", round);
+        tracer.counter_add("fl.rounds", 1);
+        if probes > 0 {
+            tracer.counter_add("fl.probes", probes);
+        }
         let participants = pending.clone();
         let mut ok_replies: Vec<(usize, Reply)> = Vec::new();
         let mut dropouts: Vec<(usize, FlError)> = Vec::new();
@@ -412,11 +439,23 @@ impl FederatedRuntime {
                 }
             }
             let can_retry = attempt <= policy.retries;
+            if tracer.is_enabled() {
+                let misses = failures
+                    .iter()
+                    .filter(|(_, e)| matches!(e, FlError::Timeout(_)))
+                    .count() as u64;
+                if misses > 0 {
+                    tracer.counter_add("fl.deadline_misses", misses);
+                }
+            }
             let (retry, terminal): (Vec<_>, Vec<_>) = failures.into_iter().partition(|(_, e)| {
                 can_retry && matches!(e, FlError::Timeout(_) | FlError::Codec(_))
             });
             dropouts.extend(terminal);
             pending = retry.into_iter().map(|(id, _)| id).collect();
+            if !pending.is_empty() {
+                tracer.counter_add("fl.retries", pending.len() as u64);
+            }
             if !pending.is_empty() && !policy.backoff.is_zero() {
                 std::thread::sleep(policy.backoff * attempt);
             }
@@ -426,8 +465,21 @@ impl FederatedRuntime {
             for (id, _) in &ok_replies {
                 health.record_success(*id);
             }
+            let mut quarantines = 0u64;
             for (id, _) in &dropouts {
-                health.record_failure(*id);
+                let before = health.state(*id);
+                let after = health.record_failure(*id);
+                if after == Some(ClientState::Quarantined)
+                    && before != Some(ClientState::Quarantined)
+                {
+                    quarantines += 1;
+                }
+            }
+            if !dropouts.is_empty() {
+                tracer.counter_add("fl.dropouts", dropouts.len() as u64);
+            }
+            if quarantines > 0 {
+                tracer.counter_add("fl.quarantines", quarantines);
             }
         }
         ok_replies.sort_by_key(|(id, _)| *id);
@@ -865,6 +917,46 @@ mod tests {
             .run_round(&Instruction::GetProperties(ConfigMap::new()), &relaxed)
             .unwrap();
         assert_eq!(outcome.replies.len(), 1);
+    }
+
+    #[test]
+    fn tracer_captures_round_spans_counters_and_byte_histograms() {
+        let clients: Vec<Box<dyn FlClient>> = vec![
+            Box::new(MeanClient {
+                data: vec![1.0, 2.0],
+            }),
+            Box::new(PanicClient),
+        ];
+        let rt = FederatedRuntime::new(clients);
+        let tracer = Tracer::enabled();
+        rt.set_tracer(tracer.clone());
+        let policy = RoundPolicy {
+            min_responses: 1,
+            ..RoundPolicy::default()
+        };
+        for _ in 0..2 {
+            rt.run_round(&Instruction::GetProperties(ConfigMap::new()), &policy)
+                .unwrap();
+        }
+        let snap = tracer.snapshot();
+        let rounds = snap.spans_named("fl.round");
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].label, Some(1));
+        assert!(rounds.iter().all(|s| s.end_us.is_some()));
+        assert_eq!(snap.counter("fl.rounds"), 2);
+        // The panicking client drops out of both rounds and the second
+        // failure is a fresh quarantine.
+        assert_eq!(snap.counter("fl.dropouts"), 2);
+        assert_eq!(snap.counter("fl.quarantines"), 1);
+        // Byte histograms flow through the message log in both directions.
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(id, h)| id.name == "fl.msg_bytes_to_client" && !h.is_empty()));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(id, h)| id.name == "fl.msg_bytes_to_server" && !h.is_empty()));
     }
 
     #[test]

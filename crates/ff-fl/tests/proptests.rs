@@ -115,7 +115,7 @@ proptest! {
         for _ in 0..fail_rounds {
             let round = reg.begin_round();
             if reg.admitted(round).contains(&0) {
-                reg.record_failure(0);
+                let _ = reg.record_failure(0);
             }
         }
         // Phase 2: the client has recovered and succeeds whenever probed.

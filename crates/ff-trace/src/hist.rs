@@ -1,0 +1,263 @@
+//! Log-bucketed, mergeable histograms.
+//!
+//! Buckets grow geometrically (four per doubling, ≈ 19% relative width),
+//! so one histogram covers byte counts and sub-millisecond latencies
+//! alike with a few dozen occupied buckets. Merging adds bucket counts,
+//! which makes aggregation **order-invariant**: per-client histograms
+//! combine at the server exactly like model updates do, regardless of
+//! arrival order. All rank statistics (percentiles) depend only on the
+//! integer bucket counts, so they are bit-identical under any merge
+//! order; only `sum` is a floating-point accumulator and therefore
+//! order-*sensitive* in its last few bits.
+
+use std::collections::BTreeMap;
+
+/// Buckets per doubling of the value range. Four gives a relative bucket
+/// width of `2^(1/4) − 1 ≈ 19%`, the usual observability trade-off
+/// between memory and quantile accuracy.
+pub const BUCKETS_PER_DOUBLING: i32 = 4;
+
+/// Bucket index reserved for values `<= 0` (counts and durations are
+/// non-negative, so in practice this holds exact zeros).
+pub const ZERO_BUCKET: i32 = i32::MIN;
+
+/// A mergeable log-bucketed histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    // Not derived: the empty extremes are ±infinity, not zero, so that
+    // the first `record` always wins the min/max comparison.
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket a value falls into, or `None` for non-finite values
+    /// (which [`record`](Self::record) ignores).
+    pub fn bucket_of(v: f64) -> Option<i32> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v <= 0.0 {
+            return Some(ZERO_BUCKET);
+        }
+        Some((v.log2() * BUCKETS_PER_DOUBLING as f64).floor() as i32)
+    }
+
+    /// The `[lo, hi)` value range of a bucket ( `(-inf, 0]` for the zero
+    /// bucket).
+    pub fn bucket_bounds(idx: i32) -> (f64, f64) {
+        if idx == ZERO_BUCKET {
+            return (f64::NEG_INFINITY, 0.0);
+        }
+        let lo = 2f64.powf(idx as f64 / BUCKETS_PER_DOUBLING as f64);
+        let hi = 2f64.powf((idx + 1) as f64 / BUCKETS_PER_DOUBLING as f64);
+        (lo, hi)
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, v: f64) {
+        let Some(idx) = Histogram::bucket_of(v) else {
+            return;
+        };
+        *self.counts.entry(idx).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram into this one. Bucket counts, totals,
+    /// min, and max all combine commutatively and associatively, so any
+    /// aggregation tree over per-client histograms yields the same rank
+    /// statistics.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&idx, &c) in &other.counts {
+            *self.counts.entry(idx).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded observations (floating-point accumulator; the one
+    /// field whose low bits depend on merge order).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+
+    /// Occupied `(bucket, count)` pairs in ascending bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (i32, u64)> + '_ {
+        self.counts.iter().map(|(&i, &c)| (i, c))
+    }
+
+    /// The bucket containing the `q`-quantile (rank `ceil(q·n)` clamped
+    /// to `[1, n]`), or `None` when empty.
+    pub fn quantile_bucket(&self, q: f64) -> Option<i32> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.counts {
+            seen += c;
+            if seen >= rank {
+                return Some(idx);
+            }
+        }
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Estimated `q`-percentile: the upper bound of the bucket holding
+    /// the exact quantile, so `estimate / true ∈ [1, 2^(1/4))` for
+    /// positive values. Returns `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let idx = self.quantile_bucket(q)?;
+        if idx == ZERO_BUCKET {
+            return Some(0.0);
+        }
+        Some(Histogram::bucket_bounds(idx).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tracks_min_max_like_new() {
+        // Regression: a derived Default would start min at 0.0 and report
+        // a phantom minimum forever.
+        let mut h = Histogram::default();
+        h.record(7.5);
+        assert_eq!(h.min(), Some(7.5));
+        assert_eq!(h.max(), Some(7.5));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_statistics() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn records_and_bounds_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0, 1024.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(1024.0));
+        // The p50 estimate's bucket must contain the exact median (4.0).
+        let b = h.quantile_bucket(0.5).unwrap();
+        let (lo, hi) = Histogram::bucket_bounds(b);
+        assert!(lo <= 4.0 && 4.0 < hi, "median 4.0 outside [{lo}, {hi})");
+        // Estimate overshoots by at most one bucket width.
+        let est = h.percentile(0.5).unwrap();
+        assert!(est >= 4.0 && est <= 4.0 * 2f64.powf(0.25) + 1e-9);
+    }
+
+    #[test]
+    fn zero_and_negative_values_use_the_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(5.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(0.01), Some(0.0));
+        assert_eq!(h.min(), Some(-3.0));
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_is_order_invariant_on_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..100 {
+            a.record((i as f64 * 0.37).exp());
+            b.record(i as f64 + 0.5);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(
+            ab.buckets().collect::<Vec<_>>(),
+            ba.buckets().collect::<Vec<_>>()
+        );
+        assert_eq!(ab.count(), ba.count());
+        assert_eq!(ab.min(), ba.min());
+        assert_eq!(ab.max(), ba.max());
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(ab.percentile(q), ba.percentile(q));
+        }
+    }
+
+    #[test]
+    fn merged_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(7.0);
+        let before: Vec<_> = a.buckets().collect();
+        a.merge(&Histogram::new());
+        assert_eq!(a.buckets().collect::<Vec<_>>(), before);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), Some(7.0));
+    }
+}

@@ -1,0 +1,210 @@
+//! JSON-lines sink: one self-describing JSON object per line, written
+//! without any JSON dependency (the container is offline; the format is
+//! simple enough to emit by hand).
+//!
+//! Record kinds, discriminated by the `"kind"` field:
+//!
+//! - `span`      — `{id, parent, name, label, thread, start_us, end_us, duration_us}`
+//! - `event`     — `{name, label, at_us, value}` (includes gauge updates)
+//! - `counter`   — `{name, label, value}`
+//! - `gauge`     — `{name, label, value}` (final value)
+//! - `histogram` — `{name, label, count, sum, min, max, p50, p95, buckets: [[idx, n], …]}`
+//!
+//! Non-finite floats serialize as `null` so every line stays valid JSON.
+
+use crate::tracer::Telemetry;
+use std::fmt::Write as _;
+
+/// Serializes a [`Telemetry`] snapshot as JSON lines: spans first (in
+/// creation order, so parents precede children), then events, counters,
+/// gauges, and histograms.
+pub fn to_json_lines(t: &Telemetry) -> String {
+    let mut out = String::new();
+    for s in &t.spans {
+        out.push_str("{\"kind\":\"span\",\"id\":");
+        let _ = write!(out, "{}", s.id);
+        out.push_str(",\"parent\":");
+        match s.parent {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"name\":");
+        push_json_str(&mut out, s.name);
+        push_label(&mut out, s.label);
+        let _ = write!(out, ",\"thread\":{}", s.thread);
+        let _ = write!(out, ",\"start_us\":{}", s.start_us);
+        out.push_str(",\"end_us\":");
+        match s.end_us {
+            Some(e) => {
+                let _ = write!(out, "{e}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"duration_us\":");
+        match s.duration_us() {
+            Some(d) => {
+                let _ = write!(out, "{d}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str("}\n");
+    }
+    for e in &t.events {
+        out.push_str("{\"kind\":\"event\",\"name\":");
+        push_json_str(&mut out, e.name);
+        push_label(&mut out, e.label);
+        let _ = write!(out, ",\"at_us\":{}", e.at_us);
+        out.push_str(",\"value\":");
+        push_json_f64(&mut out, e.value);
+        out.push_str("}\n");
+    }
+    for (id, v) in &t.counters {
+        out.push_str("{\"kind\":\"counter\",\"name\":");
+        push_json_str(&mut out, id.name);
+        push_label(&mut out, id.label);
+        let _ = write!(out, ",\"value\":{v}");
+        out.push_str("}\n");
+    }
+    for (id, v) in &t.gauges {
+        out.push_str("{\"kind\":\"gauge\",\"name\":");
+        push_json_str(&mut out, id.name);
+        push_label(&mut out, id.label);
+        out.push_str(",\"value\":");
+        push_json_f64(&mut out, *v);
+        out.push_str("}\n");
+    }
+    for (id, h) in &t.histograms {
+        out.push_str("{\"kind\":\"histogram\",\"name\":");
+        push_json_str(&mut out, id.name);
+        push_label(&mut out, id.label);
+        let _ = write!(out, ",\"count\":{}", h.count());
+        out.push_str(",\"sum\":");
+        push_json_f64(&mut out, h.sum());
+        out.push_str(",\"min\":");
+        push_json_opt_f64(&mut out, h.min());
+        out.push_str(",\"max\":");
+        push_json_opt_f64(&mut out, h.max());
+        out.push_str(",\"p50\":");
+        push_json_opt_f64(&mut out, h.percentile(0.50));
+        out.push_str(",\"p95\":");
+        push_json_opt_f64(&mut out, h.percentile(0.95));
+        out.push_str(",\"buckets\":[");
+        for (i, (idx, n)) in h.buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{idx},{n}]");
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+fn push_label(out: &mut String, label: Option<u64>) {
+    out.push_str(",\"label\":");
+    match label {
+        Some(l) => {
+            let _ = write!(out, "{l}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn push_json_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_json_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+/// Appends an f64 as JSON: non-finite values become `null`, finite ones
+/// round-trip via Rust's shortest-representation formatter.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let _ = write!(out, "{v}");
+    // `{}` prints integral floats without a dot; keep them typed as JSON
+    // numbers either way (JSON has no int/float split), nothing to fix.
+}
+
+/// Appends a string as a JSON string literal with escapes.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn emits_one_json_object_per_line() {
+        let t = Tracer::enabled();
+        {
+            let _run = t.span("run");
+            let _p = t.span_labeled("fl.round", 3);
+            t.counter_add("fl.retries", 2);
+            t.gauge_set("bo.incumbent_loss", 0.5);
+            t.record("lat", 10.0);
+        }
+        let lines = to_json_lines(&t.snapshot());
+        let rows: Vec<&str> = lines.lines().collect();
+        // 2 spans + 1 gauge event + 1 counter + 1 gauge + 1 histogram.
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.starts_with('{') && row.ends_with('}'), "bad row {row}");
+            assert_eq!(row.matches('{').count(), row.matches('}').count());
+        }
+        assert!(rows[0].contains("\"kind\":\"span\""));
+        assert!(rows[0].contains("\"name\":\"run\""));
+        assert!(rows[1].contains("\"label\":3"));
+        assert!(rows[1].contains("\"parent\":1"));
+        assert!(lines.contains("\"kind\":\"counter\""));
+        assert!(lines.contains("\"kind\":\"histogram\""));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut s = String::new();
+        push_json_f64(&mut s, f64::NAN);
+        s.push(' ');
+        push_json_f64(&mut s, f64::INFINITY);
+        s.push(' ');
+        push_json_f64(&mut s, 1.5);
+        assert_eq!(s, "null null 1.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn open_span_serializes_null_end() {
+        let t = Tracer::enabled();
+        let _open = t.span("still.open");
+        let lines = to_json_lines(&t.snapshot());
+        assert!(lines.contains("\"end_us\":null"));
+        assert!(lines.contains("\"duration_us\":null"));
+    }
+}

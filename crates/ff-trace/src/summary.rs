@@ -1,0 +1,225 @@
+//! Human-readable summary sink: aligned text tables for the three
+//! questions an operator asks after a run — where did the wall-clock go
+//! (per-phase table), what did each client cost (comms/dropout table),
+//! and how slow were BO trials (latency percentiles).
+
+use crate::tracer::Telemetry;
+use std::fmt::Write as _;
+
+/// One row of the per-client comms table. The caller (the engine) builds
+/// these from its message log and health registry; `ff-trace` only
+/// renders them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClientCommsRow {
+    /// Client identifier.
+    pub client_id: u64,
+    /// Bytes sent server → client.
+    pub bytes_to_client: u64,
+    /// Bytes sent client → server.
+    pub bytes_to_server: u64,
+    /// Total messages in either direction.
+    pub messages: u64,
+    /// Rounds this client dropped out of (timeout/app error/panic).
+    pub dropouts: u64,
+    /// Health state at the end of the run (`healthy` / `suspect` /
+    /// `quarantined`).
+    pub state: String,
+}
+
+/// Renders the aligned text summary: per-phase wall-clock, per-client
+/// comms + dropouts, BO trial latency percentiles, then all counters.
+pub fn render_summary(t: &Telemetry, clients: &[ClientCommsRow]) -> String {
+    let mut out = String::new();
+
+    out.push_str("=== trace summary ===\n");
+    let run_us: u64 = t
+        .spans_named("run")
+        .iter()
+        .filter_map(|s| s.duration_us())
+        .sum();
+    if run_us > 0 {
+        let _ = writeln!(out, "total wall-clock: {}", fmt_us(run_us));
+    }
+
+    let phases = t.phase_totals();
+    if !phases.is_empty() {
+        out.push_str("\nphase                     time      calls  share\n");
+        let total: u64 = phases.iter().map(|(_, us, _)| *us).sum();
+        for (name, us, calls) in &phases {
+            let share = if total > 0 {
+                100.0 * *us as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>6} {:>5.1}%",
+                name,
+                fmt_us(*us),
+                calls,
+                share
+            );
+        }
+    }
+
+    if !clients.is_empty() {
+        out.push_str("\nclient  to-client   to-server    msgs  drops  state\n");
+        for row in clients {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10} {:>11} {:>7} {:>6}  {}",
+                row.client_id,
+                fmt_bytes(row.bytes_to_client),
+                fmt_bytes(row.bytes_to_server),
+                row.messages,
+                row.dropouts,
+                row.state
+            );
+        }
+    }
+
+    let trial_durs = t.durations_us("trial");
+    if !trial_durs.is_empty() {
+        let mut h = crate::hist::Histogram::new();
+        for d in &trial_durs {
+            h.record(*d as f64);
+        }
+        let _ = writeln!(
+            out,
+            "\nBO trials: {}  p50 {}  p95 {}  max {}",
+            trial_durs.len(),
+            fmt_us(h.percentile(0.50).unwrap_or(0.0) as u64),
+            fmt_us(h.percentile(0.95).unwrap_or(0.0) as u64),
+            fmt_us(h.max().unwrap_or(0.0) as u64),
+        );
+    }
+    for (name, src) in [("gp.fit", "GP fits"), ("gp.acquire", "acquisitions")] {
+        let durs = t.durations_us(name);
+        if durs.is_empty() {
+            continue;
+        }
+        let total: u64 = durs.iter().sum();
+        let _ = writeln!(out, "{}: {} totalling {}", src, durs.len(), fmt_us(total));
+    }
+
+    if !t.counters.is_empty() {
+        out.push_str("\ncounters\n");
+        for (id, v) in &t.counters {
+            match id.label {
+                Some(l) => {
+                    let _ = writeln!(out, "  {:<28} [{}] {}", id.name, l, v);
+                }
+                None => {
+                    let _ = writeln!(out, "  {:<28} {}", id.name, v);
+                }
+            }
+        }
+    }
+    if !t.gauges.is_empty() {
+        out.push_str("\ngauges\n");
+        for (id, v) in &t.gauges {
+            let _ = writeln!(out, "  {:<28} {:.6}", id.name, v);
+        }
+    }
+    out
+}
+
+/// Formats a microsecond duration with an adaptive unit (`µs`, `ms`, `s`).
+pub fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// Formats a byte count with an adaptive unit (`B`, `KiB`, `MiB`).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn summary_lists_phases_clients_and_counters() {
+        let t = Tracer::enabled();
+        {
+            let _run = t.span("run");
+            {
+                let _p = t.span("phase.meta_features");
+            }
+            {
+                let _p = t.span("phase.optimization");
+                let _trial = t.span("trial");
+            }
+            t.counter_add("fl.retries", 3);
+            t.gauge_set("bo.incumbent_loss", 0.25);
+        }
+        let clients = vec![
+            ClientCommsRow {
+                client_id: 0,
+                bytes_to_client: 2048,
+                bytes_to_server: 4096,
+                messages: 12,
+                dropouts: 0,
+                state: "healthy".into(),
+            },
+            ClientCommsRow {
+                client_id: 1,
+                bytes_to_client: 100,
+                bytes_to_server: 0,
+                messages: 2,
+                dropouts: 5,
+                state: "quarantined".into(),
+            },
+        ];
+        let s = render_summary(&t.snapshot(), &clients);
+        assert!(s.contains("phase.meta_features"));
+        assert!(s.contains("phase.optimization"));
+        assert!(s.contains("BO trials: 1"));
+        assert!(s.contains("p50"));
+        assert!(s.contains("p95"));
+        assert!(s.contains("2.0KiB"));
+        assert!(s.contains("quarantined"));
+        assert!(s.contains("fl.retries"));
+        assert!(s.contains("bo.incumbent_loss"));
+        // Client table rows align: same column start for the state field.
+        let rows: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("healthy") || l.contains("quarantined"))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        let col = |l: &str, needle: &str| l.find(needle).unwrap();
+        assert_eq!(col(rows[0], "healthy"), col(rows[1], "quarantined"));
+    }
+
+    #[test]
+    fn empty_telemetry_renders_header_only() {
+        let t = Tracer::enabled();
+        let s = render_summary(&t.snapshot(), &[]);
+        assert!(s.starts_with("=== trace summary ==="));
+        assert!(!s.contains("phase."));
+        assert!(!s.contains("client"));
+    }
+
+    #[test]
+    fn formatting_helpers_pick_units() {
+        assert_eq!(fmt_us(900), "900µs");
+        assert_eq!(fmt_us(1500), "1.50ms");
+        assert_eq!(fmt_us(2_500_000), "2.50s");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00MiB");
+    }
+}

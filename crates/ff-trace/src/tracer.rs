@@ -1,0 +1,522 @@
+//! The tracer: hierarchical spans, counters, gauges, histograms, and a
+//! point-event stream behind one thread-safe handle.
+//!
+//! A [`Tracer`] is either *enabled* (one shared `Arc` of state) or
+//! *disabled* (a `None` — every operation returns immediately without
+//! locking, timing, or allocating, so instrumentation left in a hot path
+//! costs a branch). Clones share state, so the engine, the FL runtime,
+//! and the optimizer all write into one trace.
+//!
+//! Span nesting is tracked per thread: a span's parent is whatever span
+//! was open on the same thread when it started. Guards close spans on
+//! drop, which keeps the per-thread stack LIFO even when an enclosing
+//! frame unwinds through `catch_unwind` — the guard's destructor runs
+//! during unwinding like any other. A guard dropped out of order
+//! force-closes every span opened above it on the same thread.
+
+use crate::hist::Histogram;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// A metric identity: a static name plus an optional numeric label
+/// (client id, round number, …). Using `&'static str` keys keeps the
+/// enabled fast path free of string allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    /// Metric name (dot-separated, e.g. `fl.deadline_misses`).
+    pub name: &'static str,
+    /// Optional numeric label dimension.
+    pub label: Option<u64>,
+}
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id (1-based, in creation order).
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `phase.optimization`, `trial`, `fl.round`).
+    pub name: &'static str,
+    /// Optional numeric label (round number, trial index, …).
+    pub label: Option<u64>,
+    /// Small per-tracer thread index (0 = first thread seen).
+    pub thread: u64,
+    /// Start offset from the tracer epoch, in microseconds.
+    pub start_us: u64,
+    /// End offset, or `None` if the span was still open at snapshot time.
+    pub end_us: Option<u64>,
+}
+
+impl SpanRecord {
+    /// Wall-clock duration in microseconds, if the span has closed.
+    pub fn duration_us(&self) -> Option<u64> {
+        self.end_us.map(|e| e.saturating_sub(self.start_us))
+    }
+}
+
+/// One point event (gauge updates are also mirrored here, so the JSON
+/// trace carries gauge *trajectories*, not just final values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Optional numeric label.
+    pub label: Option<u64>,
+    /// Offset from the tracer epoch, in microseconds.
+    pub at_us: u64,
+    /// Event value.
+    pub value: f64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    stacks: HashMap<ThreadId, Vec<u64>>,
+    threads: HashMap<ThreadId, u64>,
+    counters: HashMap<MetricId, u64>,
+    gauges: HashMap<MetricId, f64>,
+    hists: HashMap<MetricId, Histogram>,
+    events: Vec<EventRecord>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// The tracing handle. Cheap to clone (an `Arc`, or nothing at all when
+/// disabled); the default is disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Tracer {
+    /// A disabled tracer: every operation is a branch-and-return, with no
+    /// locking, no clock reads, and no allocation.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer recording into fresh shared state.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// Whether this tracer records anything. Use to guard instrumentation
+    /// whose *inputs* are expensive to compute.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; it closes when the returned guard drops.
+    #[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_inner(name, None)
+    }
+
+    /// Opens a labeled span (label: round number, trial index, …).
+    #[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
+    pub fn span_labeled(&self, name: &'static str, label: u64) -> SpanGuard {
+        self.span_inner(name, Some(label))
+    }
+
+    fn span_inner(&self, name: &'static str, label: Option<u64>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard(None);
+        };
+        let start_us = inner.epoch.elapsed().as_micros() as u64;
+        let tid = std::thread::current().id();
+        let mut s = inner.state.lock();
+        let next_thread = s.threads.len() as u64;
+        let thread = *s.threads.entry(tid).or_insert(next_thread);
+        let id = s.spans.len() as u64 + 1;
+        let parent = s.stacks.get(&tid).and_then(|st| st.last().copied());
+        s.spans.push(SpanRecord {
+            id,
+            parent,
+            name,
+            label,
+            thread,
+            start_us,
+            end_us: None,
+        });
+        s.stacks.entry(tid).or_default().push(id);
+        SpanGuard(Some((Arc::clone(inner), id)))
+    }
+
+    /// Adds to a counter.
+    pub fn counter_add(&self, name: &'static str, by: u64) {
+        self.counter_add_labeled_inner(name, None, by);
+    }
+
+    /// Adds to a labeled counter.
+    pub fn counter_add_labeled(&self, name: &'static str, label: u64, by: u64) {
+        self.counter_add_labeled_inner(name, Some(label), by);
+    }
+
+    fn counter_add_labeled_inner(&self, name: &'static str, label: Option<u64>, by: u64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut s = inner.state.lock();
+        *s.counters.entry(MetricId { name, label }).or_insert(0) += by;
+    }
+
+    /// Sets a gauge to its latest value and mirrors the update into the
+    /// event stream (so the trace carries the gauge's trajectory).
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let at_us = inner.epoch.elapsed().as_micros() as u64;
+        let mut s = inner.state.lock();
+        s.gauges.insert(MetricId { name, label: None }, value);
+        s.events.push(EventRecord {
+            name,
+            label: None,
+            at_us,
+            value,
+        });
+    }
+
+    /// Records one observation into a histogram.
+    pub fn record(&self, name: &'static str, value: f64) {
+        self.record_labeled_inner(name, None, value);
+    }
+
+    /// Records one observation into a labeled histogram.
+    pub fn record_labeled(&self, name: &'static str, label: u64, value: f64) {
+        self.record_labeled_inner(name, Some(label), value);
+    }
+
+    fn record_labeled_inner(&self, name: &'static str, label: Option<u64>, value: f64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut s = inner.state.lock();
+        s.hists
+            .entry(MetricId { name, label })
+            .or_default()
+            .record(value);
+    }
+
+    /// A consistent snapshot of everything recorded so far. Metrics are
+    /// sorted by id; spans and events stay in creation order. Open spans
+    /// appear with `end_us: None`.
+    pub fn snapshot(&self) -> Telemetry {
+        let Some(inner) = &self.inner else {
+            return Telemetry::default();
+        };
+        let s = inner.state.lock();
+        let mut counters: Vec<(MetricId, u64)> = s.counters.iter().map(|(k, v)| (*k, *v)).collect();
+        counters.sort_by_key(|(k, _)| *k);
+        let mut gauges: Vec<(MetricId, f64)> = s.gauges.iter().map(|(k, v)| (*k, *v)).collect();
+        gauges.sort_by_key(|(k, _)| *k);
+        let mut histograms: Vec<(MetricId, Histogram)> =
+            s.hists.iter().map(|(k, v)| (*k, v.clone())).collect();
+        histograms.sort_by_key(|(k, _)| *k);
+        Telemetry {
+            spans: s.spans.clone(),
+            events: s.events.clone(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Number of spans currently open on the calling thread (test hook
+    /// for the LIFO-closure property).
+    pub fn open_spans_on_this_thread(&self) -> usize {
+        let Some(inner) = &self.inner else {
+            return 0;
+        };
+        let s = inner.state.lock();
+        s.stacks
+            .get(&std::thread::current().id())
+            .map(|st| st.len())
+            .unwrap_or(0)
+    }
+}
+
+/// Closes its span on drop. The disabled-tracer guard holds nothing.
+#[derive(Debug)]
+pub struct SpanGuard(Option<(Arc<Inner>, u64)>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((inner, id)) = self.0.take() else {
+            return;
+        };
+        let end_us = inner.epoch.elapsed().as_micros() as u64;
+        let tid = std::thread::current().id();
+        let mut s = inner.state.lock();
+        // Pop this thread's stack down to (and including) this span,
+        // force-closing anything opened above it that leaked its guard.
+        // If the guard migrated threads, close just its own span.
+        let mut to_close: Vec<u64> = Vec::new();
+        if let Some(stack) = s.stacks.get_mut(&tid) {
+            if stack.contains(&id) {
+                while let Some(top) = stack.pop() {
+                    to_close.push(top);
+                    if top == id {
+                        break;
+                    }
+                }
+            }
+        }
+        if to_close.is_empty() {
+            to_close.push(id);
+        }
+        for sid in to_close {
+            if let Some(rec) = s.spans.get_mut((sid - 1) as usize) {
+                if rec.end_us.is_none() {
+                    rec.end_us = Some(end_us);
+                }
+            }
+        }
+    }
+}
+
+/// An immutable snapshot of a tracer's state.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// All spans in creation order (open spans have `end_us: None`).
+    pub spans: Vec<SpanRecord>,
+    /// Point events (including gauge updates) in creation order.
+    pub events: Vec<EventRecord>,
+    /// Counters, sorted by id.
+    pub counters: Vec<(MetricId, u64)>,
+    /// Gauges (latest values), sorted by id.
+    pub gauges: Vec<(MetricId, f64)>,
+    /// Histograms, sorted by id.
+    pub histograms: Vec<(MetricId, Histogram)>,
+}
+
+impl Telemetry {
+    /// All spans with the given name.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The span with the given id.
+    pub fn span_by_id(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Total of a counter across all labels.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Latest value of an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.is_none())
+            .map(|(_, v)| *v)
+    }
+
+    /// The unlabeled histogram with the given name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.is_none())
+            .map(|(_, h)| h)
+    }
+
+    /// The merge of every histogram with the given name across all labels
+    /// (e.g. the per-client byte histograms combined federation-wide), or
+    /// `None` when nothing was recorded. Merge order cannot matter: rank
+    /// statistics of the result are label-order-invariant.
+    pub fn histogram_merged(&self, name: &str) -> Option<Histogram> {
+        let mut merged: Option<Histogram> = None;
+        for (k, h) in &self.histograms {
+            if k.name == name {
+                merged.get_or_insert_with(Histogram::new).merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Durations (µs) of all *closed* spans with the given name.
+    pub fn durations_us(&self, name: &str) -> Vec<u64> {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| s.duration_us())
+            .collect()
+    }
+
+    /// Aggregates spans named `phase.*` into `(name, total_us, calls)`
+    /// rows in first-seen order — the per-phase wall-clock table.
+    pub fn phase_totals(&self) -> Vec<(&'static str, u64, usize)> {
+        let mut rows: Vec<(&'static str, u64, usize)> = Vec::new();
+        for s in &self.spans {
+            if !s.name.starts_with("phase.") {
+                continue;
+            }
+            let dur = s.duration_us().unwrap_or(0);
+            match rows.iter_mut().find(|(n, _, _)| *n == s.name) {
+                Some((_, total, calls)) => {
+                    *total += dur;
+                    *calls += 1;
+                }
+                None => rows.push((s.name, dur, 1)),
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        {
+            let _g = t.span("phase.x");
+            t.counter_add("c", 1);
+            t.gauge_set("g", 1.0);
+            t.record("h", 2.0);
+        }
+        let snap = t.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_parents_and_close_lifo() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("outer");
+            {
+                let _b = t.span("inner");
+                assert_eq!(t.open_spans_on_this_thread(), 2);
+            }
+            assert_eq!(t.open_spans_on_this_thread(), 1);
+        }
+        assert_eq!(t.open_spans_on_this_thread(), 0);
+        let snap = t.snapshot();
+        let outer = &snap.spans_named("outer")[0];
+        let inner = &snap.spans_named("inner")[0];
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(inner.end_us.unwrap() <= outer.end_us.unwrap());
+        assert!(outer.start_us <= inner.start_us);
+    }
+
+    #[test]
+    fn out_of_order_drop_force_closes_children() {
+        let t = Tracer::enabled();
+        let a = t.span("a");
+        let b = t.span("b");
+        let _c = t.span("c");
+        drop(b); // closes c too
+        assert_eq!(t.open_spans_on_this_thread(), 1);
+        drop(a);
+        let snap = t.snapshot();
+        assert!(snap.spans.iter().all(|s| s.end_us.is_some()));
+    }
+
+    #[test]
+    fn spans_on_other_threads_get_their_own_stack() {
+        let t = Tracer::enabled();
+        let _main = t.span("server");
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            let _w = t2.span("worker");
+        })
+        .join()
+        .unwrap();
+        let snap = t.snapshot();
+        let worker = &snap.spans_named("worker")[0];
+        // Not parented to the server span — different thread.
+        assert_eq!(worker.parent, None);
+        assert_ne!(worker.thread, snap.spans_named("server")[0].thread);
+    }
+
+    #[test]
+    fn panicking_scope_still_closes_spans() {
+        let t = Tracer::enabled();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = t.span("doomed");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(t.open_spans_on_this_thread(), 0);
+        let snap = t.snapshot();
+        assert!(snap.spans_named("doomed")[0].end_us.is_some());
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_aggregate() {
+        let t = Tracer::enabled();
+        t.counter_add("fl.retries", 2);
+        t.counter_add("fl.retries", 3);
+        t.counter_add_labeled("client.bytes", 1, 10);
+        t.gauge_set("bo.incumbent_loss", 0.9);
+        t.gauge_set("bo.incumbent_loss", 0.4);
+        t.record("lat", 5.0);
+        t.record("lat", 9.0);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("fl.retries"), 5);
+        assert_eq!(snap.counter("client.bytes"), 10);
+        assert_eq!(snap.gauge("bo.incumbent_loss"), Some(0.4));
+        assert_eq!(snap.histogram("lat").unwrap().count(), 2);
+        // The gauge trajectory is in the event stream.
+        let gauge_events: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "bo.incumbent_loss")
+            .collect();
+        assert_eq!(gauge_events.len(), 2);
+        assert_eq!(gauge_events[0].value, 0.9);
+    }
+
+    #[test]
+    fn phase_totals_aggregate_by_name() {
+        let t = Tracer::enabled();
+        {
+            let _p = t.span("phase.tune");
+        }
+        {
+            let _p = t.span("phase.tune");
+        }
+        {
+            let _p = t.span("phase.final");
+        }
+        let rows = t.snapshot().phase_totals();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "phase.tune");
+        assert_eq!(rows[0].2, 2);
+        assert_eq!(rows[1].0, "phase.final");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        t2.counter_add("x", 1);
+        assert_eq!(t.snapshot().counter("x"), 1);
+    }
+}

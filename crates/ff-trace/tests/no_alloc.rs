@@ -1,0 +1,64 @@
+//! The disabled-sink guarantee: a disabled tracer must be safe to leave
+//! in hot paths permanently, meaning every instrumentation call is a
+//! branch-and-return with **zero heap allocations**. Asserted with a
+//! counting global allocator; this file holds exactly one test so no
+//! parallel test can allocate concurrently and pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_tracer_makes_no_allocations() {
+    let tracer = ff_trace::Tracer::disabled();
+    let clone = tracer.clone(); // cloning a disabled tracer is also free
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..1000u64 {
+        let _run = tracer.span("run");
+        let _phase = tracer.span("phase.optimization");
+        let _trial = tracer.span_labeled("trial", i);
+        tracer.counter_add("fl.rounds", 1);
+        tracer.counter_add_labeled("fl.msg_bytes_to_server", i, 128);
+        tracer.gauge_set("engine.budget_remaining", 0.5);
+        tracer.record("lat", 3.25);
+        tracer.record_labeled("lat", i, 3.25);
+        clone.counter_add("fl.retries", 1);
+        assert_eq!(tracer.open_spans_on_this_thread(), 0);
+    }
+    // An empty snapshot is empty Vecs, which do not allocate either.
+    let snap = tracer.snapshot();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracer allocated {} times",
+        after - before
+    );
+    assert!(snap.spans.is_empty());
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+}

@@ -59,6 +59,9 @@ fn privacy_no_raw_samples_cross_the_wire() {
     };
     let clients = seasonal_federation(3, 2);
     let rt = build_runtime(&clients, &cfg).unwrap();
+    // Engine runtimes default to bounded Counting retention; this test
+    // must scan *every* payload, so keep the full transcript.
+    rt.log().set_retention(ff_fl::log::Retention::Full);
     let engine = FedForecaster::new(cfg, &meta);
     let result = engine.run_on(&rt).unwrap();
     assert!(result.test_mse.is_finite());
