@@ -1,6 +1,8 @@
 //! Engine configuration.
 
 use crate::budget::Budget;
+use crate::{EngineError, Result};
+use ff_fl::robust::{AggregationStrategy, GuardPolicy};
 use ff_fl::runtime::RoundPolicy;
 use ff_trace::Tracer;
 
@@ -107,6 +109,43 @@ pub struct EngineConfig {
     /// Observability: disabled by default (zero-cost); enable to collect
     /// spans, metrics, and a [`crate::report::RunTelemetry`] on the result.
     pub trace: TraceConfig,
+    /// Server-side aggregation rule. The default
+    /// [`AggregationStrategy::FedAvg`] is bit-identical to the
+    /// pre-robustness engine; any robust variant additionally screens
+    /// every reply through an [`ff_fl::robust::UpdateGuard`], reports
+    /// rejections per round, and escalates repeat offenders to quarantine.
+    pub aggregation: AggregationStrategy,
+    /// Thresholds of the pre-aggregation screen (used only when
+    /// `aggregation` is robust).
+    pub guard: GuardPolicy,
+    /// Pairwise-masked (Bonawitz-style) summation for the final-fit
+    /// aggregation of linear winners: the server only ever sees masked
+    /// sums, never an individual client's coefficients. Only valid with
+    /// `aggregation: FedAvg` — robust aggregators need each client's
+    /// plaintext update, so [`EngineConfig::validate`] rejects the
+    /// combination (see DESIGN.md §11 for the trade-off).
+    pub secure_aggregation: bool,
+}
+
+impl EngineConfig {
+    /// Validates cross-field invariants before a run: robust-rule knobs
+    /// in range, and no robust aggregation over masked sums (the guard
+    /// and the robust estimators are definitionally incompatible with a
+    /// server that cannot see per-client updates).
+    pub fn validate(&self) -> Result<()> {
+        self.aggregation
+            .validate()
+            .map_err(EngineError::Federation)?;
+        if self.secure_aggregation && !self.aggregation.compatible_with_masking() {
+            return Err(EngineError::InvalidData(format!(
+                "secure_aggregation is incompatible with {}: masked sums hide the \
+                 per-client updates robust aggregators and the update guard must \
+                 inspect; use FedAvg with masking, or a robust rule in plaintext",
+                self.aggregation.name()
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for EngineConfig {
@@ -126,6 +165,9 @@ impl Default for EngineConfig {
             round_policy: RoundPolicy::default(),
             portfolio: None,
             trace: TraceConfig::default(),
+            aggregation: AggregationStrategy::default(),
+            guard: GuardPolicy::default(),
+            secure_aggregation: false,
         }
     }
 }
@@ -144,6 +186,31 @@ mod tests {
         assert_eq!(c.round_policy, RoundPolicy::default());
         assert!(c.portfolio.is_none());
         assert!(!c.trace.is_enabled());
+        assert_eq!(c.aggregation, AggregationStrategy::FedAvg);
+        assert!(!c.secure_aggregation);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn secure_masking_plus_robust_aggregation_is_rejected() {
+        let ok = EngineConfig {
+            secure_aggregation: true,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok(), "FedAvg + masking is fine");
+        let bad = EngineConfig {
+            secure_aggregation: true,
+            aggregation: AggregationStrategy::CoordinateMedian,
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err().to_string();
+        assert!(err.contains("incompatible"), "error was: {err}");
+        // Bad robust knobs are caught here too, not mid-run.
+        let bad_knob = EngineConfig {
+            aggregation: AggregationStrategy::TrimmedMean { trim_ratio: 0.7 },
+            ..Default::default()
+        };
+        assert!(bad_knob.validate().is_err());
     }
 
     #[test]

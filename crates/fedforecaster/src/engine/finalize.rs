@@ -11,7 +11,7 @@
 //! strict [`finalize_with`] entry point is the same code run under the
 //! strict round policy.
 
-use super::rounds::{quorum_unmet, strict_policy, tolerant_round};
+use super::rounds::{quorum_unmet, record_screen, strict_policy, tolerant_round, RobustCtx};
 use crate::aggregate::GlobalModel;
 use crate::client::OP;
 use crate::report::RoundReport;
@@ -21,7 +21,8 @@ use ff_bayesopt::space::Configuration;
 use ff_fl::config::{ConfigMap, ConfigMapExt};
 use ff_fl::message::{Instruction, Reply};
 use ff_fl::runtime::{FederatedRuntime, RoundPolicy};
-use ff_fl::strategy::{aggregate_loss, fedavg, unwrap_fit_replies};
+use ff_fl::secure::{mask_contribution, unmask_average};
+use ff_fl::strategy::{aggregate_loss, fedavg, fit_updates, unwrap_fit_replies};
 use ff_models::spec::FinalizeStrategy;
 
 /// Phase IV with the default
@@ -49,6 +50,7 @@ pub fn finalize_with(
         tree_aggregation,
         &strict_policy(rt),
         &mut Vec::new(),
+        &mut RobustCtx::permissive(),
     )
 }
 
@@ -60,31 +62,57 @@ fn tolerant_eval_round(
     op_config: ConfigMap,
     policy: &RoundPolicy,
     rounds: &mut Vec<RoundReport>,
+    ctx: &mut RobustCtx,
 ) -> Result<f64> {
     let ins = Instruction::Evaluate {
         params,
         config: op_config,
     };
     let (outcome, idx) = tolerant_round(rt, "finalization", &ins, policy, rounds)?;
-    let mut losses = Vec::new();
+    let mut candidates: Vec<(usize, f64, u64)> = Vec::new();
     for (id, r) in &outcome.replies {
         match r {
             Reply::EvaluateRes {
                 loss, num_examples, ..
-            } if loss.is_finite() => losses.push((*loss, *num_examples)),
-            Reply::EvaluateRes { .. } => rounds[idx].non_finite.push(*id),
+            } => candidates.push((*id, *loss, *num_examples)),
             Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
             other => rounds[idx]
                 .app_errors
                 .push((*id, format!("unexpected reply {other:?}"))),
         }
     }
+    let losses: Vec<(f64, u64)> = if ctx.is_robust() {
+        let screened = ctx.guard.screen_losses(candidates);
+        let accepted_ids: Vec<usize> = screened.accepted.iter().map(|(id, _, _)| *id).collect();
+        record_screen(rt, rounds, idx, &accepted_ids, &screened.rejected);
+        screened
+            .accepted
+            .into_iter()
+            .map(|(_, loss, n)| (loss, n))
+            .collect()
+    } else {
+        let mut losses = Vec::new();
+        for (id, loss, n) in candidates {
+            if loss.is_finite() {
+                losses.push((loss, n));
+            } else {
+                rounds[idx].non_finite.push(id);
+            }
+        }
+        losses
+    };
     rounds[idx].usable = losses.len();
     let required = policy.min_responses.max(1);
     if losses.len() < required {
         return Err(quorum_unmet(rounds, idx, losses.len(), required));
     }
-    aggregate_loss(&losses).map_err(EngineError::Federation)
+    if ctx.is_robust() {
+        ctx.strategy
+            .aggregate_loss(&losses)
+            .map_err(EngineError::Federation)
+    } else {
+        aggregate_loss(&losses).map_err(EngineError::Federation)
+    }
 }
 
 /// Fault-tolerant finalization: the final fit, aggregation, and test
@@ -99,6 +127,7 @@ pub fn finalize_with_tolerant(
     tree_aggregation: crate::config::TreeAggregation,
     policy: &RoundPolicy,
     rounds: &mut Vec<RoundReport>,
+    ctx: &mut RobustCtx,
 ) -> Result<(GlobalModel, f64)> {
     let algorithm = algorithm_of(best_config)
         .ok_or_else(|| EngineError::InvalidData("config has no algorithm".into()))?;
@@ -131,14 +160,59 @@ pub fn finalize_with_tolerant(
 
     match algorithm.spec().finalize() {
         FinalizeStrategy::CoefficientAverage => {
-            let fit_results = unwrap_fit_replies(usable).map_err(EngineError::Federation)?;
-            let global_params = fedavg(&fit_results).map_err(EngineError::Federation)?;
+            let global_params = if ctx.is_robust() {
+                // Robust path: screen per-client coefficient vectors, feed
+                // the verdicts to the health registry, then apply the
+                // configured robust rule over the survivors.
+                let updates = fit_updates(usable).map_err(EngineError::Federation)?;
+                let screened = ctx.guard.screen_updates(updates);
+                let accepted_ids: Vec<usize> =
+                    screened.accepted.iter().map(|(id, _, _)| *id).collect();
+                record_screen(rt, rounds, idx, &accepted_ids, &screened.rejected);
+                rounds[idx].usable = screened.accepted.len();
+                if screened.accepted.len() < required {
+                    return Err(quorum_unmet(rounds, idx, screened.accepted.len(), required));
+                }
+                let survivors: Vec<(Vec<f64>, u64)> = screened
+                    .accepted
+                    .into_iter()
+                    .map(|(_, p, n)| (p, n))
+                    .collect();
+                ctx.strategy
+                    .aggregate(&survivors)
+                    .map_err(EngineError::Federation)?
+            } else if ctx.secure {
+                // Masked path (FedAvg only, enforced by config validation):
+                // each survivor uploads `weight·params + Σ pairwise masks`;
+                // the masks cancel in the sum, so the server recovers the
+                // weighted average without seeing any individual update.
+                let fit_results = unwrap_fit_replies(usable).map_err(EngineError::Federation)?;
+                let n = fit_results.len();
+                let round_seed = rounds[idx].round;
+                let total_weight: f64 = fit_results.iter().map(|(_, w)| *w as f64).sum();
+                let uploads: Vec<Vec<f64>> = fit_results
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (p, w))| mask_contribution(p, *w as f64, i, n, round_seed))
+                    .collect();
+                unmask_average(&uploads, total_weight).ok_or_else(|| {
+                    EngineError::InvalidData(
+                        "secure aggregation failed to unmask the final fit \
+                         (mismatched dimensions or zero total weight)"
+                            .into(),
+                    )
+                })?
+            } else {
+                let fit_results = unwrap_fit_replies(usable).map_err(EngineError::Federation)?;
+                fedavg(&fit_results).map_err(EngineError::Federation)?
+            };
             let test_mse = tolerant_eval_round(
                 rt,
                 global_params.clone(),
                 ConfigMap::new().with_str(OP, "test_global_linear"),
                 policy,
                 rounds,
+                ctx,
             )?;
             let p = global_params.len() - 1;
             Ok((
@@ -151,7 +225,7 @@ pub fn finalize_with_tolerant(
             ))
         }
         FinalizeStrategy::EnsembleUnion => {
-            finalize_union(rt, algorithm, usable, tree_aggregation, policy, rounds)
+            finalize_union(rt, algorithm, usable, tree_aggregation, policy, rounds, ctx)
         }
     }
 }
@@ -166,6 +240,7 @@ fn finalize_union(
     tree_aggregation: crate::config::TreeAggregation,
     policy: &RoundPolicy,
     rounds: &mut Vec<RoundReport>,
+    ctx: &mut RobustCtx,
 ) -> Result<(GlobalModel, f64)> {
     use crate::config::TreeAggregation;
     let mut blobs: Vec<Vec<u8>> = Vec::new();
@@ -210,18 +285,19 @@ fn finalize_union(
             // validation split and pick the better.
             union_available && {
                 let union_valid =
-                    tolerant_eval_round(rt, vec![], ensemble_config("valid"), policy, rounds)?;
+                    tolerant_eval_round(rt, vec![], ensemble_config("valid"), policy, rounds, ctx)?;
                 let local_valid =
-                    tolerant_eval_round(rt, vec![], local_config("valid"), policy, rounds)?;
+                    tolerant_eval_round(rt, vec![], local_config("valid"), policy, rounds, ctx)?;
                 union_valid <= local_valid
             }
         }
     };
     if use_union {
-        let test_mse = tolerant_eval_round(rt, vec![], ensemble_config("test"), policy, rounds)?;
+        let test_mse =
+            tolerant_eval_round(rt, vec![], ensemble_config("test"), policy, rounds, ctx)?;
         Ok((GlobalModel::Ensemble { algorithm, members }, test_mse))
     } else {
-        let test_mse = tolerant_eval_round(rt, vec![], local_config("test"), policy, rounds)?;
+        let test_mse = tolerant_eval_round(rt, vec![], local_config("test"), policy, rounds, ctx)?;
         Ok((GlobalModel::PerClient { algorithm }, test_mse))
     }
 }

@@ -10,7 +10,9 @@
 //! - [`mod@finalize`] — the strategy-driven final fit / aggregate / test
 //!   stage (Phase IV), shared by the strict and fault-tolerant paths;
 //! - `rounds` (private) — the policy-bounded round plumbing the stages
-//!   share.
+//!   share, including the per-run robust-aggregation context (`RobustCtx`)
+//!   that threads the update guard and aggregation strategy through every
+//!   tolerant stage.
 //!
 //! Each stage comes in two flavors: a strict variant that requires every
 //! client to reply (used by the baselines and well-behaved tests) and a
@@ -28,6 +30,7 @@ pub use recommend::{
     federated_seasonal_periods, federated_seasonal_periods_tolerant, run_feature_engineering,
     run_feature_engineering_tolerant,
 };
+pub use rounds::RobustCtx;
 pub use tune::{evaluate_config, evaluate_config_tolerant};
 
 use crate::aggregate::GlobalModel;
@@ -126,6 +129,8 @@ impl<'m> FedForecaster<'m> {
 
     /// Runs Algorithm 1 on an existing runtime (lets tests inspect logs).
     pub fn run_on(&self, rt: &FederatedRuntime) -> Result<RunResult> {
+        self.cfg.validate()?;
+        let mut robust = rounds::RobustCtx::from_config(&self.cfg);
         let tracer = self.cfg.trace.tracer();
         if tracer.is_enabled() {
             rt.set_tracer(tracer.clone());
@@ -213,7 +218,7 @@ impl<'m> FedForecaster<'m> {
         while tracker.iterations() == 0 || !tracker.exhausted() {
             let trial_span = tracer.span_labeled("trial", tracker.iterations() as u64 + 1);
             let config = bo.ask().map_err(EngineError::Optimizer)?;
-            match evaluate_config_tolerant(rt, &config, policy, &mut rounds) {
+            match evaluate_config_tolerant(rt, &config, policy, &mut rounds, &mut robust) {
                 Ok(loss) => {
                     bo.tell(&config, loss).map_err(EngineError::Optimizer)?;
                     loss_history.push(loss);
@@ -242,6 +247,7 @@ impl<'m> FedForecaster<'m> {
             self.cfg.tree_aggregation,
             policy,
             &mut rounds,
+            &mut robust,
         )?;
         phase_bytes.push(end_phase("finalization", rt));
         drop(phase_span);

@@ -8,11 +8,74 @@
 //! strict variants require every client to reply and are kept for the
 //! baselines and for federations known to be well-behaved.
 
+use crate::config::EngineConfig;
 use crate::report::RoundReport;
 use crate::{EngineError, Result};
 use ff_fl::message::Instruction;
+use ff_fl::robust::{AggregationStrategy, RejectReason, UpdateGuard};
 use ff_fl::runtime::{FederatedRuntime, RoundOutcome, RoundPolicy};
 use ff_fl::FlError;
+
+/// Per-run robust-aggregation state threaded through every tolerant stage:
+/// which aggregation rule to apply, the stateful pre-aggregation screen
+/// (its running medians span rounds), and whether the final linear fit
+/// must go through pairwise masking. Under the default FedAvg strategy
+/// `is_robust()` is false and every stage takes its legacy path untouched.
+pub struct RobustCtx {
+    /// The server-side aggregation rule.
+    pub strategy: AggregationStrategy,
+    /// Stateful screen applied to every reply before robust aggregation.
+    pub guard: UpdateGuard,
+    /// Mask the final-fit coefficient uploads (FedAvg only; enforced by
+    /// [`EngineConfig::validate`]).
+    pub secure: bool,
+}
+
+impl RobustCtx {
+    /// Builds the per-run context from a validated engine config.
+    pub fn from_config(cfg: &EngineConfig) -> RobustCtx {
+        RobustCtx {
+            strategy: cfg.aggregation,
+            guard: UpdateGuard::new(cfg.guard),
+            secure: cfg.secure_aggregation,
+        }
+    }
+
+    /// Plain FedAvg, no screening, no masking — the context the strict
+    /// baselines use so their behavior stays bit-identical.
+    pub fn permissive() -> RobustCtx {
+        RobustCtx {
+            strategy: AggregationStrategy::FedAvg,
+            guard: UpdateGuard::new(Default::default()),
+            secure: false,
+        }
+    }
+
+    /// Whether replies must be screened and robustly aggregated.
+    pub fn is_robust(&self) -> bool {
+        self.strategy.is_robust()
+    }
+}
+
+/// Feeds guard verdicts back into the health registry and the round
+/// report: every rejection escalates the client's integrity streak (and
+/// bumps the `fl.updates_rejected` counter via the runtime); every
+/// acceptance clears it.
+pub(crate) fn record_screen(
+    rt: &FederatedRuntime,
+    rounds: &mut [RoundReport],
+    idx: usize,
+    accepted: &[usize],
+    rejected: &[(usize, RejectReason)],
+) {
+    for id in accepted {
+        rt.record_update_accepted(*id);
+    }
+    for (id, why) in rejected {
+        rt.record_update_rejected(*id);
+        rounds[idx].rejected.push((*id, why.to_string()));
+    }
+}
 
 /// The policy that reproduces strict-round semantics through the tolerant
 /// machinery: block until every client replies, and fail the stage unless
@@ -50,6 +113,7 @@ pub(crate) fn tolerant_round(
                     .collect(),
                 app_errors: vec![],
                 non_finite: vec![],
+                rejected: vec![],
                 quorum_met: true,
             });
             let idx = rounds.len() - 1;
@@ -66,6 +130,7 @@ pub(crate) fn tolerant_round(
                     dropouts: vec![],
                     app_errors: vec![],
                     non_finite: vec![],
+                    rejected: vec![],
                     quorum_met: false,
                 });
             }

@@ -1,7 +1,7 @@
 //! Phase III trial evaluation: one federated fit-and-validate round per
 //! candidate configuration, aggregated by Equation 1.
 
-use super::rounds::{quorum_unmet, tolerant_round};
+use super::rounds::{quorum_unmet, record_screen, tolerant_round, RobustCtx};
 use crate::client::OP;
 use crate::report::RoundReport;
 use crate::search_space::config_to_map;
@@ -51,13 +51,16 @@ pub fn evaluate_config_tolerant(
     config: &Configuration,
     policy: &RoundPolicy,
     rounds: &mut Vec<RoundReport>,
+    ctx: &mut RobustCtx,
 ) -> Result<f64> {
     let ins = Instruction::Fit {
         params: vec![],
         config: config_to_map(config).with_str(OP, "fit_eval"),
     };
     let (outcome, idx) = tolerant_round(rt, "optimization", &ins, policy, rounds)?;
-    let mut losses = Vec::new();
+    // `candidates` keeps client ids and non-finite losses so the robust
+    // path can screen them; the legacy path filters exactly as before.
+    let mut candidates: Vec<(usize, f64, u64)> = Vec::new();
     for (id, r) in &outcome.replies {
         match r {
             Reply::FitRes {
@@ -69,12 +72,7 @@ pub fn evaluate_config_tolerant(
                     rounds[idx].app_errors.push((*id, err.to_string()));
                     continue;
                 }
-                let loss = metrics.float_or("valid_loss", f64::NAN);
-                if loss.is_finite() {
-                    losses.push((loss, *num_examples));
-                } else {
-                    rounds[idx].non_finite.push(*id);
-                }
+                candidates.push((*id, metrics.float_or("valid_loss", f64::NAN), *num_examples));
             }
             Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
             other => rounds[idx]
@@ -82,10 +80,39 @@ pub fn evaluate_config_tolerant(
                 .push((*id, format!("unexpected reply {other:?}"))),
         }
     }
+    let losses: Vec<(f64, u64)> = if ctx.is_robust() {
+        // Robust path: every candidate — non-finite included — goes
+        // through the guard, whose verdicts feed the health registry.
+        let screened = ctx.guard.screen_losses(candidates);
+        let accepted_ids: Vec<usize> = screened.accepted.iter().map(|(id, _, _)| *id).collect();
+        record_screen(rt, rounds, idx, &accepted_ids, &screened.rejected);
+        screened
+            .accepted
+            .into_iter()
+            .map(|(_, loss, n)| (loss, n))
+            .collect()
+    } else {
+        // Legacy path: non-finite losses are excluded, not escalated.
+        let mut losses = Vec::new();
+        for (id, loss, n) in candidates {
+            if loss.is_finite() {
+                losses.push((loss, n));
+            } else {
+                rounds[idx].non_finite.push(id);
+            }
+        }
+        losses
+    };
     rounds[idx].usable = losses.len();
     let required = policy.min_responses.max(1);
     if losses.len() < required {
         return Err(quorum_unmet(rounds, idx, losses.len(), required));
     }
-    aggregate_loss(&losses).map_err(EngineError::Federation)
+    if ctx.is_robust() {
+        ctx.strategy
+            .aggregate_loss(&losses)
+            .map_err(EngineError::Federation)
+    } else {
+        aggregate_loss(&losses).map_err(EngineError::Federation)
+    }
 }

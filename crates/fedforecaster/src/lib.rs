@@ -71,6 +71,7 @@ pub mod prelude {
     pub use crate::nbeats_baseline::{run_consolidated_nbeats, run_federated_nbeats};
     pub use crate::random_search::RandomSearch;
     pub use crate::report::{render_rounds, RoundReport, RunTelemetry};
+    pub use ff_fl::robust::{AggregationStrategy, GuardPolicy};
     pub use ff_fl::runtime::RoundPolicy;
     pub use ff_models::zoo::AlgorithmKind;
 }

@@ -54,6 +54,10 @@ pub struct RoundReport {
     pub app_errors: Vec<(usize, String)>,
     /// Clients excluded for reporting a non-finite loss.
     pub non_finite: Vec<usize>,
+    /// Clients whose on-time reply the robust-aggregation guard rejected
+    /// as Byzantine: `(client_id, reason)`. Always empty under the
+    /// default FedAvg strategy.
+    pub rejected: Vec<(usize, String)>,
     /// Whether the round met its quorum (a `false` entry in the tuning
     /// loop marks a failed trial, not a failed run).
     pub quorum_met: bool,
@@ -81,6 +85,11 @@ pub fn render_rounds(rounds: &[RoundReport]) -> String {
             r.non_finite
                 .iter()
                 .map(|id| format!("#{id}: non-finite loss")),
+        );
+        notes.extend(
+            r.rejected
+                .iter()
+                .map(|(id, why)| format!("#{id}: rejected: {why}")),
         );
         if !r.quorum_met {
             notes.push("QUORUM UNMET".into());
@@ -262,6 +271,7 @@ mod tests {
                 ],
                 app_errors: vec![(2, "series too short".into())],
                 non_finite: vec![6],
+                rejected: vec![(7, "norm 1.0e9 vs median 1.2e0".into())],
                 quorum_met: true,
             },
             RoundReport {
@@ -273,6 +283,7 @@ mod tests {
                 dropouts: vec![],
                 app_errors: vec![],
                 non_finite: vec![],
+                rejected: vec![],
                 quorum_met: false,
             },
         ];
@@ -281,6 +292,7 @@ mod tests {
         assert!(log.contains("client 5 timed out"));
         assert!(log.contains("app error: series too short"));
         assert!(log.contains("#6: non-finite loss"));
+        assert!(log.contains("#7: rejected: norm 1.0e9"));
         assert!(log.contains("QUORUM UNMET"));
         assert_eq!(log.lines().count(), 3);
     }

@@ -21,6 +21,7 @@ fn report(
         dropouts: vec![],
         app_errors: vec![],
         non_finite: vec![],
+        rejected: vec![],
         quorum_met: true,
     }
 }
@@ -33,13 +34,14 @@ fn golden_alignment() {
             dropouts: vec![(3, "timeout".into())],
             app_errors: vec![(5, "bad split".into())],
             non_finite: vec![0],
+            rejected: vec![(7, "non-finite parameters".into())],
             ..report("optimization", 12, 10, 9, 8)
         },
     ];
     let expected = "\
 round  phase                part. resp. usable  dropouts
     1  meta_features            4     4      4  -
-   12  optimization            10     9      8  #3: timeout; #5: app error: bad split; #0: non-finite loss
+   12  optimization            10     9      8  #3: timeout; #5: app error: bad split; #0: non-finite loss; #7: rejected: non-finite parameters
 ";
     assert_eq!(render_rounds(&rounds), expected);
 }

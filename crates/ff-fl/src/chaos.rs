@@ -6,11 +6,65 @@
 //! timeout), and corrupted payloads (the server sees a codec error). Every
 //! fault is reproducible from [`ChaosConfig::seed`], so chaos tests are as
 //! deterministic as the rest of the suite.
+//!
+//! Beyond availability faults, [`AdversarialMode`] turns the wrapper
+//! into a *Byzantine* client: it replies on time with well-formed but
+//! corrupted content (flipped signs, scaled parameters and losses, NaN
+//! floods, stuck constants) — the attack surface the
+//! [`robust`](crate::robust) aggregation layer defends against.
 
 use std::time::Duration;
 
 use crate::client::{EvalOutput, FitOutput, FlClient};
 use crate::config::ConfigMap;
+
+/// Metric key carrying the per-client validation loss in fit replies;
+/// adversarial modes corrupt it alongside the parameters.
+const VALID_LOSS_KEY: &str = "valid_loss";
+
+/// Content-level (Byzantine) corruption applied to fit and evaluate
+/// replies. Unlike the probabilistic availability faults, adversarial
+/// corruption is applied on *every* call — a deliberate attacker, not a
+/// lossy link — and consumes no PRNG state, so adding an adversary never
+/// perturbs the availability-fault schedule of the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AdversarialMode {
+    /// Honest content (the default).
+    #[default]
+    None,
+    /// Negate every parameter — a model-poisoning gradient reversal.
+    /// Losses are reported honestly, so this attacker is invisible to
+    /// loss screens and must be caught by the aggregator.
+    SignFlip,
+    /// Multiply parameters and reported losses by a constant.
+    ScaleBy(f64),
+    /// Replace parameters and losses with NaN.
+    NanInject,
+    /// Report the same constant for every parameter and loss, carrying
+    /// no information about the local data.
+    Stuck(f64),
+}
+
+impl AdversarialMode {
+    fn corrupt_params(&self, params: &mut [f64]) {
+        match *self {
+            AdversarialMode::None => {}
+            AdversarialMode::SignFlip => params.iter_mut().for_each(|v| *v = -*v),
+            AdversarialMode::ScaleBy(k) => params.iter_mut().for_each(|v| *v *= k),
+            AdversarialMode::NanInject => params.iter_mut().for_each(|v| *v = f64::NAN),
+            AdversarialMode::Stuck(c) => params.iter_mut().for_each(|v| *v = c),
+        }
+    }
+
+    fn corrupt_loss(&self, loss: f64) -> f64 {
+        match *self {
+            AdversarialMode::None | AdversarialMode::SignFlip => loss,
+            AdversarialMode::ScaleBy(k) => loss * k,
+            AdversarialMode::NanInject => f64::NAN,
+            AdversarialMode::Stuck(c) => c,
+        }
+    }
+}
 
 /// Fault-injection knobs. All probabilities are per call, in `[0, 1]`.
 #[derive(Debug, Clone)]
@@ -32,6 +86,9 @@ pub struct ChaosConfig {
     /// Probability of corrupting the encoded reply (server observes a
     /// codec error).
     pub corrupt_prob: f64,
+    /// Content-level corruption applied to fit/evaluate replies
+    /// (Byzantine behaviour, on every call).
+    pub adversary: AdversarialMode,
 }
 
 impl Default for ChaosConfig {
@@ -44,6 +101,7 @@ impl Default for ChaosConfig {
             jitter: Duration::ZERO,
             drop_prob: 0.0,
             corrupt_prob: 0.0,
+            adversary: AdversarialMode::None,
         }
     }
 }
@@ -115,6 +173,19 @@ impl ChaosClient {
         )
     }
 
+    /// A Byzantine client: replies on time, but with content corrupted
+    /// per `mode` on every fit/evaluate call.
+    pub fn adversarial(inner: Box<dyn FlClient>, mode: AdversarialMode, seed: u64) -> ChaosClient {
+        ChaosClient::new(
+            inner,
+            ChaosConfig {
+                adversary: mode,
+                seed,
+                ..ChaosConfig::default()
+            },
+        )
+    }
+
     fn next_u64(&mut self) -> u64 {
         // splitmix64.
         self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -162,12 +233,26 @@ impl FlClient for ChaosClient {
 
     fn fit(&mut self, params: &[f64], config: &ConfigMap) -> FitOutput {
         self.before_call();
-        self.inner.fit(params, config)
+        let mut out = self.inner.fit(params, config);
+        self.cfg.adversary.corrupt_params(&mut out.params);
+        if let Some(loss) = out
+            .metrics
+            .get(VALID_LOSS_KEY)
+            .and_then(crate::config::ConfigValue::as_float)
+        {
+            out.metrics.insert(
+                VALID_LOSS_KEY.to_string(),
+                crate::config::ConfigValue::Float(self.cfg.adversary.corrupt_loss(loss)),
+            );
+        }
+        out
     }
 
     fn evaluate(&mut self, params: &[f64], config: &ConfigMap) -> EvalOutput {
         self.before_call();
-        self.inner.evaluate(params, config)
+        let mut out = self.inner.evaluate(params, config);
+        out.loss = self.cfg.adversary.corrupt_loss(out.loss);
+        out
     }
 
     fn wire_transform(&mut self, mut encoded_reply: Vec<u8>) -> Option<Vec<u8>> {
@@ -266,6 +351,75 @@ mod tests {
             .wire_transform(encoded)
             .expect("corruption keeps the reply");
         assert!(Reply::decode(bytes::Bytes::from(mangled)).is_err());
+    }
+
+    #[test]
+    fn adversarial_modes_corrupt_params_and_losses() {
+        let fit = |mode: AdversarialMode| {
+            let mut c = ChaosClient::adversarial(Box::new(Echo), mode, 0);
+            c.fit(&[1.0, -2.0], &ConfigMap::new()).params
+        };
+        assert_eq!(fit(AdversarialMode::SignFlip), vec![-1.0, 2.0]);
+        assert_eq!(fit(AdversarialMode::ScaleBy(1e6)), vec![1e6, -2e6]);
+        assert!(fit(AdversarialMode::NanInject).iter().all(|v| v.is_nan()));
+        assert_eq!(fit(AdversarialMode::Stuck(7.0)), vec![7.0, 7.0]);
+
+        let mut c = ChaosClient::adversarial(Box::new(Echo), AdversarialMode::NanInject, 0);
+        assert!(c.evaluate(&[], &ConfigMap::new()).loss.is_nan());
+        // Sign-flip attacks parameters only; the loss stays honest.
+        let mut c = ChaosClient::adversarial(Box::new(Echo), AdversarialMode::SignFlip, 0);
+        assert_eq!(c.evaluate(&[], &ConfigMap::new()).loss, 0.0);
+    }
+
+    #[test]
+    fn adversary_corrupts_valid_loss_metric() {
+        struct WithLoss;
+        impl FlClient for WithLoss {
+            fn get_properties(&mut self, _c: &ConfigMap) -> ConfigMap {
+                ConfigMap::new()
+            }
+            fn fit(&mut self, _p: &[f64], _c: &ConfigMap) -> FitOutput {
+                use crate::config::ConfigMapExt;
+                FitOutput {
+                    params: vec![],
+                    num_examples: 1,
+                    metrics: ConfigMap::new().with_float("valid_loss", 2.0),
+                }
+            }
+            fn evaluate(&mut self, _p: &[f64], _c: &ConfigMap) -> EvalOutput {
+                EvalOutput {
+                    loss: 0.0,
+                    num_examples: 1,
+                    metrics: ConfigMap::new(),
+                }
+            }
+        }
+        use crate::config::ConfigMapExt;
+        let mut c = ChaosClient::adversarial(Box::new(WithLoss), AdversarialMode::ScaleBy(1e6), 0);
+        let out = c.fit(&[], &ConfigMap::new());
+        assert_eq!(out.metrics.float_or("valid_loss", 0.0), 2e6);
+    }
+
+    #[test]
+    fn adversary_does_not_perturb_availability_schedule() {
+        // Same seed, with and without an adversary: the drop schedule
+        // must be identical because corruption consumes no PRNG state.
+        let schedule = |mode: AdversarialMode| -> Vec<bool> {
+            let cfg = ChaosConfig {
+                drop_prob: 0.5,
+                seed: 11,
+                adversary: mode,
+                ..ChaosConfig::default()
+            };
+            let mut c = ChaosClient::new(Box::new(Echo), cfg);
+            (0..64)
+                .map(|_| c.wire_transform(vec![1, 2, 3, 4]).is_none())
+                .collect()
+        };
+        assert_eq!(
+            schedule(AdversarialMode::None),
+            schedule(AdversarialMode::SignFlip)
+        );
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! [`HealthPolicy::probe_max`] rounds, so a recovered client is always
 //! re-admitted within a bounded number of rounds — the no-starvation
 //! property checked by the crate's proptests).
+//!
+//! Two failure kinds feed the same state machine but keep separate
+//! streaks: *transport* failures ([`HealthRegistry::record_failure`]:
+//! timeouts, panics, corrupt payloads) and *integrity* failures
+//! ([`HealthRegistry::record_rejection`]: the robust-aggregation guard
+//! rejected the client's on-time reply as Byzantine). A transport-level
+//! success does **not** clear an integrity streak — a Byzantine client
+//! replies punctually every round — only an accepted update
+//! ([`HealthRegistry::record_accepted`]) restores trust.
 
 /// Health state of one client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +68,8 @@ struct ClientRecord {
     consecutive_failures: u32,
     successes: u64,
     failures: u64,
+    byzantine: u64,
+    consecutive_rejections: u32,
     probe_level: u32,
     next_probe_round: u64,
 }
@@ -70,8 +81,36 @@ impl ClientRecord {
             consecutive_failures: 0,
             successes: 0,
             failures: 0,
+            byzantine: 0,
+            consecutive_rejections: 0,
             probe_level: 0,
             next_probe_round: 0,
+        }
+    }
+
+    /// Escalates after a failure of either kind, `streak` being the
+    /// relevant consecutive counter.
+    fn escalate(&mut self, streak: u32, round: u64, policy: &HealthPolicy) {
+        let wait = |level: u32| -> u64 {
+            policy
+                .probe_base
+                .saturating_mul(1u64 << level.min(20))
+                .min(policy.probe_max)
+                .max(1)
+        };
+        match self.state {
+            ClientState::Quarantined => {
+                // Failed probe: deepen the backoff (capped, so the client
+                // is still probed again within probe_max rounds).
+                self.probe_level = self.probe_level.saturating_add(1).min(32);
+                self.next_probe_round = round + wait(self.probe_level);
+            }
+            _ if streak >= policy.quarantine_after => {
+                self.state = ClientState::Quarantined;
+                self.probe_level = 0;
+                self.next_probe_round = round + wait(0);
+            }
+            _ => self.state = ClientState::Suspect,
         }
     }
 }
@@ -121,15 +160,20 @@ impl HealthRegistry {
     }
 
     /// Records a transport-level success: the client returns to `Healthy`
-    /// and its probe backoff resets.
+    /// and its probe backoff resets — unless it has an open integrity
+    /// streak, in which case replying on time earns nothing (a Byzantine
+    /// client is punctual by design) and only
+    /// [`record_accepted`](Self::record_accepted) restores it.
     pub fn record_success(&mut self, id: usize) {
         let Some(rec) = self.records.get_mut(id) else {
             return;
         };
         rec.successes += 1;
         rec.consecutive_failures = 0;
-        rec.probe_level = 0;
-        rec.state = ClientState::Healthy;
+        if rec.consecutive_rejections == 0 {
+            rec.probe_level = 0;
+            rec.state = ClientState::Healthy;
+        }
     }
 
     /// Records a transport-level failure (timeout, panic, corrupt payload,
@@ -138,33 +182,43 @@ impl HealthRegistry {
     /// quarantines), or `None` for an unknown id.
     pub fn record_failure(&mut self, id: usize) -> Option<ClientState> {
         let round = self.round;
-        let probe_base = self.policy.probe_base;
-        let probe_max = self.policy.probe_max;
-        let quarantine_after = self.policy.quarantine_after;
+        let policy = self.policy.clone();
         let rec = self.records.get_mut(id)?;
         rec.failures += 1;
         rec.consecutive_failures += 1;
-        let wait = |level: u32| -> u64 {
-            probe_base
-                .saturating_mul(1u64 << level.min(20))
-                .min(probe_max)
-                .max(1)
-        };
-        match rec.state {
-            ClientState::Quarantined => {
-                // Failed probe: deepen the backoff (capped, so the client
-                // is still probed again within probe_max rounds).
-                rec.probe_level = rec.probe_level.saturating_add(1).min(32);
-                rec.next_probe_round = round + wait(rec.probe_level);
-            }
-            _ if rec.consecutive_failures >= quarantine_after => {
-                rec.state = ClientState::Quarantined;
-                rec.probe_level = 0;
-                rec.next_probe_round = round + wait(0);
-            }
-            _ => rec.state = ClientState::Suspect,
-        }
+        rec.escalate(rec.consecutive_failures, round, &policy);
         Some(rec.state)
+    }
+
+    /// Records an integrity failure: the robust-aggregation guard rejected
+    /// this client's on-time reply (non-finite, dimension mismatch, norm
+    /// or loss outlier). Escalates through the same Suspect → Quarantined
+    /// machinery as transport faults — repeat offenders are excluded and
+    /// probed on backoff exactly like crashed clients. Returns the new
+    /// state, or `None` for an unknown id.
+    pub fn record_rejection(&mut self, id: usize) -> Option<ClientState> {
+        let round = self.round;
+        let policy = self.policy.clone();
+        let rec = self.records.get_mut(id)?;
+        rec.byzantine += 1;
+        rec.consecutive_rejections += 1;
+        rec.escalate(rec.consecutive_rejections, round, &policy);
+        Some(rec.state)
+    }
+
+    /// Records that the guard accepted this client's update: the
+    /// integrity streak clears and the client returns to `Healthy` (its
+    /// transport streak is necessarily clear too — an accepted update
+    /// implies an on-time reply this round).
+    pub fn record_accepted(&mut self, id: usize) {
+        let Some(rec) = self.records.get_mut(id) else {
+            return;
+        };
+        rec.consecutive_rejections = 0;
+        if rec.consecutive_failures == 0 {
+            rec.probe_level = 0;
+            rec.state = ClientState::Healthy;
+        }
     }
 
     /// The state of one client, or `None` for an unknown id.
@@ -185,6 +239,7 @@ impl HealthRegistry {
                     state: r.state,
                     successes: r.successes,
                     failures: r.failures,
+                    byzantine: r.byzantine,
                     consecutive_failures: r.consecutive_failures,
                 })
                 .collect(),
@@ -203,6 +258,8 @@ pub struct ClientHealthSnapshot {
     pub successes: u64,
     /// Total transport-level failures.
     pub failures: u64,
+    /// Total integrity failures (guard-rejected updates).
+    pub byzantine: u64,
     /// Current consecutive-failure streak.
     pub consecutive_failures: u32,
 }
@@ -245,8 +302,8 @@ impl std::fmt::Display for HealthReport {
         for c in &self.clients {
             writeln!(
                 f,
-                "  client {:>3}: {:?} (ok {}, failed {}, streak {})",
-                c.client_id, c.state, c.successes, c.failures, c.consecutive_failures
+                "  client {:>3}: {:?} (ok {}, failed {}, rejected {}, streak {})",
+                c.client_id, c.state, c.successes, c.failures, c.byzantine, c.consecutive_failures
             )?;
         }
         Ok(())
@@ -358,6 +415,85 @@ mod tests {
             "gap exceeds cap: {gaps:?}"
         );
         assert_eq!(*gaps.last().unwrap(), policy.probe_max);
+    }
+
+    #[test]
+    fn repeated_rejections_quarantine_like_crashes() {
+        let mut reg = registry(2);
+        let _ = reg.begin_round();
+        reg.record_success(0); // replied on time...
+        let _ = reg.record_rejection(0); // ...with garbage
+        assert_eq!(reg.state(0), Some(ClientState::Suspect));
+        let _ = reg.begin_round();
+        reg.record_success(0);
+        let _ = reg.record_rejection(0);
+        assert_eq!(reg.state(0), Some(ClientState::Quarantined));
+        let next = reg.begin_round();
+        assert_eq!(reg.admitted(next), vec![1]);
+    }
+
+    #[test]
+    fn transport_success_does_not_clear_integrity_streak() {
+        let mut reg = registry(1);
+        let _ = reg.begin_round();
+        let _ = reg.record_rejection(0);
+        // Next round: punctual reply, but no accepted update.
+        let _ = reg.begin_round();
+        reg.record_success(0);
+        assert_eq!(
+            reg.state(0),
+            Some(ClientState::Suspect),
+            "punctuality must not launder a Byzantine streak"
+        );
+        let _ = reg.record_rejection(0);
+        assert_eq!(reg.state(0), Some(ClientState::Quarantined));
+    }
+
+    #[test]
+    fn accepted_update_restores_health() {
+        let mut reg = registry(1);
+        let _ = reg.begin_round();
+        reg.record_success(0);
+        let _ = reg.record_rejection(0);
+        let _ = reg.begin_round();
+        reg.record_success(0);
+        reg.record_accepted(0);
+        assert_eq!(reg.state(0), Some(ClientState::Healthy));
+        // A later single rejection is suspect, not quarantined: the
+        // streak reset.
+        let _ = reg.begin_round();
+        let _ = reg.record_rejection(0);
+        assert_eq!(reg.state(0), Some(ClientState::Suspect));
+    }
+
+    #[test]
+    fn rejected_probes_back_off_like_failed_probes() {
+        let mut reg = registry(1);
+        // Quarantine via rejections.
+        for _ in 0..2 {
+            let _ = reg.begin_round();
+            reg.record_success(0);
+            let _ = reg.record_rejection(0);
+        }
+        assert_eq!(reg.state(0), Some(ClientState::Quarantined));
+        let mut probes = Vec::new();
+        for _ in 0..40 {
+            let round = reg.begin_round();
+            if reg.admitted(round).contains(&0) {
+                probes.push(round);
+                reg.record_success(0);
+                let _ = reg.record_rejection(0);
+            }
+        }
+        assert!(probes.len() >= 3, "expected repeated probes: {probes:?}");
+        let gaps: Vec<u64> = probes.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.windows(2).all(|w| w[1] >= w[0]),
+            "gaps shrank: {gaps:?}"
+        );
+        let report = reg.report();
+        assert!(report.clients[0].byzantine >= 4);
+        assert!(report.to_string().contains("rejected"));
     }
 
     #[test]

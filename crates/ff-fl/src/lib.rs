@@ -39,6 +39,18 @@
 //! - [`chaos::ChaosClient`] deterministically injects panics, delays,
 //!   dropped replies, and corrupted payloads into any inner client — the
 //!   test substrate for all of the above.
+//!
+//! # Byzantine robustness
+//!
+//! Availability faults are only half the threat model: a client can also
+//! reply *on time with garbage* — NaN floods, sign-flipped or scaled
+//! gradients, stuck constants. [`robust`] adds the integrity half:
+//! pre-aggregation screening ([`robust::UpdateGuard`]), robust
+//! aggregation rules ([`robust::AggregationStrategy`] — coordinate
+//! median, trimmed mean, norm clipping, Krum/Multi-Krum), and guard
+//! rejections feeding the same [`health::HealthRegistry`] escalation as
+//! crash faults ([`health::HealthRegistry::record_rejection`]).
+//! [`chaos::AdversarialMode`] injects the matching attacks.
 
 pub mod chaos;
 pub mod client;
@@ -47,6 +59,7 @@ pub mod config;
 pub mod health;
 pub mod log;
 pub mod message;
+pub mod robust;
 pub mod runtime;
 pub mod secure;
 pub mod strategy;
@@ -71,6 +84,13 @@ pub enum FlError {
         /// Replies the policy required.
         required: usize,
     },
+    /// A client submitted NaN/±inf parameters to an aggregation that
+    /// requires finite values. The index is the client's position in the
+    /// aggregation input.
+    NonFiniteUpdate {
+        /// Position of the offending update in the input slice.
+        client: usize,
+    },
 }
 
 impl std::fmt::Display for FlError {
@@ -86,6 +106,9 @@ impl std::fmt::Display for FlError {
                     f,
                     "quorum unmet: {healthy} healthy replies, {required} required"
                 )
+            }
+            FlError::NonFiniteUpdate { client } => {
+                write!(f, "client {client} submitted a non-finite parameter update")
             }
         }
     }

@@ -1,0 +1,1046 @@
+//! Byzantine-robust aggregation: survive corrupted updates, not just
+//! missing ones.
+//!
+//! [`fedavg`](crate::strategy::fedavg) assumes every surviving client is
+//! honest — a single NaN-laden or adversarially scaled update poisons the
+//! global model even when the round itself looks healthy. This module adds
+//! the server-side defenses:
+//!
+//! - an [`Aggregator`] trait with the classic robust estimators —
+//!   [`CoordinateMedian`], [`TrimmedMean`], [`NormClippedFedAvg`] and
+//!   [`Krum`] (Blanchard et al., NeurIPS 2017) — alongside [`FedAvg`],
+//! - an [`UpdateGuard`] that screens every reply *before* aggregation
+//!   (dimension check, non-finite rejection, update-norm / loss outlier
+//!   screens against a running per-round median), and
+//! - [`AggregationStrategy`], the config-level selector threaded through
+//!   the engine, including a weighted-median variant of the Equation-1
+//!   global loss so a single lying client cannot skew the BO objective.
+//!
+//! Robust aggregators need the per-client updates in plaintext; they are
+//! therefore incompatible with the pairwise-masked sums of
+//! [`secure`](crate::secure) — callers must pick one or the other at
+//! config-validation time (you can have FedAvg-over-masked-sums or a
+//! robust aggregator over plaintext, never both).
+
+use std::collections::VecDeque;
+
+use crate::strategy::aggregate_loss;
+use crate::{FlError, Result};
+
+// ---------------------------------------------------------------------------
+// Weighted median
+// ---------------------------------------------------------------------------
+
+/// Weighted median of `(value, weight)` pairs: the smallest value whose
+/// cumulative weight exceeds half the total. When the cumulative weight
+/// lands exactly on half, the midpoint with the next value is returned
+/// (so the unweighted even-count case matches the textbook median).
+///
+/// Non-finite values and non-positive weights are rejected — screen
+/// first, then aggregate.
+pub fn weighted_median(pairs: &[(f64, f64)]) -> Result<f64> {
+    let mut sorted: Vec<(f64, f64)> = Vec::with_capacity(pairs.len());
+    for &(v, w) in pairs {
+        if !v.is_finite() || !w.is_finite() {
+            return Err(FlError::Client(format!(
+                "non-finite entry in weighted median: ({v}, {w})"
+            )));
+        }
+        if w <= 0.0 {
+            return Err(FlError::Client(format!("non-positive weight {w}")));
+        }
+        sorted.push((v, w));
+    }
+    if sorted.is_empty() {
+        return Err(FlError::Client("no values for weighted median".into()));
+    }
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = sorted.iter().map(|(_, w)| w).sum();
+    let half = total / 2.0;
+    let mut acc = 0.0;
+    for (i, &(v, w)) in sorted.iter().enumerate() {
+        acc += w;
+        if acc > half {
+            return Ok(v);
+        }
+        if acc == half {
+            // Exactly half the mass is at or below v: average with the
+            // next value, as in the unweighted even-count median.
+            let next = sorted.get(i + 1).map_or(v, |&(v2, _)| v2);
+            return Ok((v + next) / 2.0);
+        }
+    }
+    Ok(sorted[sorted.len() - 1].0)
+}
+
+/// Robust variant of the Equation-1 global loss: the `num_examples`-
+/// weighted **median** of client losses instead of the weighted mean, so
+/// one lying client cannot drag the BO objective arbitrarily far.
+///
+/// Keeps [`aggregate_loss`](crate::strategy::aggregate_loss)'s error
+/// contract: non-finite losses and zero total examples are errors (the
+/// [`UpdateGuard`] screens those out before aggregation).
+pub fn robust_aggregate_loss(losses: &[(f64, u64)]) -> Result<f64> {
+    let total: u64 = losses.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return Err(FlError::Client("zero total examples".into()));
+    }
+    for &(loss, _) in losses {
+        if !loss.is_finite() {
+            return Err(FlError::Client(format!("non-finite client loss {loss}")));
+        }
+    }
+    let pairs: Vec<(f64, f64)> = losses
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|&(l, n)| (l, n as f64))
+        .collect();
+    weighted_median(&pairs)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregators
+// ---------------------------------------------------------------------------
+
+/// A server-side rule combining per-client `(params, num_examples)`
+/// updates into one global parameter vector.
+pub trait Aggregator {
+    /// Human-readable rule name for reports and errors.
+    fn name(&self) -> &'static str;
+
+    /// Aggregates the surviving updates. Implementations drop non-finite
+    /// updates themselves (they are definitionally corrupt) but expect
+    /// gross outliers to have been screened by an [`UpdateGuard`].
+    fn aggregate(&self, updates: &[(Vec<f64>, u64)]) -> Result<Vec<f64>>;
+}
+
+/// `(params-slice, weight)` views of the finite updates, plus the count
+/// of non-finite updates dropped on the way.
+type FiniteUpdates<'a> = (Vec<(&'a [f64], f64)>, usize);
+
+/// Keeps `(params-slice, weight)` views of the finite, non-empty updates
+/// and counts how many non-finite updates were dropped on the way.
+fn finite_updates(updates: &[(Vec<f64>, u64)]) -> Result<FiniteUpdates<'_>> {
+    let mut dropped = 0usize;
+    let mut keep: Vec<(&[f64], f64)> = Vec::new();
+    for (p, w) in updates {
+        if p.is_empty() {
+            continue; // clients without parameters, as in fedavg
+        }
+        if p.iter().all(|v| v.is_finite()) {
+            keep.push((p.as_slice(), *w as f64));
+        } else {
+            dropped += 1;
+        }
+    }
+    if keep.is_empty() {
+        return Err(FlError::Client(
+            "no finite parameter updates to aggregate".into(),
+        ));
+    }
+    let dim = keep[0].0.len();
+    for (p, _) in &keep {
+        if p.len() != dim {
+            return Err(FlError::Client(format!(
+                "parameter length mismatch: {} vs {dim}",
+                p.len()
+            )));
+        }
+    }
+    Ok((keep, dropped))
+}
+
+/// Weighted mean over pre-screened `(params, weight)` views, using the
+/// same accumulation order and arithmetic as
+/// [`fedavg`](crate::strategy::fedavg) so the two agree bit-for-bit on
+/// identical inputs.
+fn weighted_mean(keep: &[(&[f64], f64)]) -> Result<Vec<f64>> {
+    let dim = keep[0].0.len();
+    let mut acc = vec![0.0; dim];
+    let mut total_w = 0.0;
+    for (p, wf) in keep {
+        total_w += wf;
+        for (a, &v) in acc.iter_mut().zip(*p) {
+            *a += wf * v;
+        }
+    }
+    if total_w <= 0.0 {
+        return Err(FlError::Client("zero total weight".into()));
+    }
+    for a in acc.iter_mut() {
+        *a /= total_w;
+    }
+    Ok(acc)
+}
+
+/// McMahan et al.'s FedAvg — the paper's §4.3 baseline, zero robustness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+impl Aggregator for FedAvg {
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f64>, u64)]) -> Result<Vec<f64>> {
+        crate::strategy::fedavg(updates)
+    }
+}
+
+/// Per-coordinate weighted median. Tolerates any minority (by weight) of
+/// arbitrarily corrupted updates per coordinate; the workhorse default
+/// when client counts are small.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordinateMedian;
+
+impl Aggregator for CoordinateMedian {
+    fn name(&self) -> &'static str {
+        "coordinate_median"
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f64>, u64)]) -> Result<Vec<f64>> {
+        let (keep, _) = finite_updates(updates)?;
+        let dim = keep[0].0.len();
+        let mut out = Vec::with_capacity(dim);
+        let mut col: Vec<(f64, f64)> = Vec::with_capacity(keep.len());
+        for j in 0..dim {
+            col.clear();
+            col.extend(keep.iter().map(|(p, w)| (p[j], *w)));
+            out.push(weighted_median(&col)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Per-coordinate trimmed weighted mean: sort each coordinate's values,
+/// drop `⌊trim_ratio · n⌋` entries from each end, and take the weighted
+/// mean of the rest. `trim_ratio = 0` is exactly FedAvg (bit-for-bit);
+/// `trim_ratio → 0.5` approaches the coordinate median.
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    /// Fraction trimmed from *each* end, in `[0, 0.5)`.
+    pub trim_ratio: f64,
+}
+
+impl Aggregator for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "trimmed_mean"
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f64>, u64)]) -> Result<Vec<f64>> {
+        if !(0.0..0.5).contains(&self.trim_ratio) {
+            return Err(FlError::Client(format!(
+                "trim_ratio must be in [0, 0.5), got {}",
+                self.trim_ratio
+            )));
+        }
+        let (keep, _) = finite_updates(updates)?;
+        let k = (self.trim_ratio * keep.len() as f64).floor() as usize;
+        if k == 0 {
+            // No trimming: identical arithmetic to fedavg, so
+            // TrimmedMean { trim_ratio: 0 } is bit-for-bit FedAvg.
+            return weighted_mean(&keep);
+        }
+        let dim = keep[0].0.len();
+        let mut out = Vec::with_capacity(dim);
+        let mut col: Vec<(f64, f64)> = Vec::with_capacity(keep.len());
+        for j in 0..dim {
+            col.clear();
+            col.extend(keep.iter().map(|(p, w)| (p[j], *w)));
+            col.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let kept = &col[k..col.len() - k];
+            let total: f64 = kept.iter().map(|(_, w)| w).sum();
+            if total <= 0.0 {
+                return Err(FlError::Client("zero total weight after trim".into()));
+            }
+            out.push(kept.iter().map(|(v, w)| v * w).sum::<f64>() / total);
+        }
+        Ok(out)
+    }
+}
+
+/// FedAvg over norm-clipped updates: any update with ‖θ‖₂ > `max_norm`
+/// is rescaled to the boundary before averaging, bounding the influence
+/// of a scaled (but direction-preserving) attacker.
+#[derive(Debug, Clone, Copy)]
+pub struct NormClippedFedAvg {
+    /// Clipping radius; must be positive and finite.
+    pub max_norm: f64,
+}
+
+impl Aggregator for NormClippedFedAvg {
+    fn name(&self) -> &'static str {
+        "norm_clipped_fedavg"
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f64>, u64)]) -> Result<Vec<f64>> {
+        if !(self.max_norm.is_finite() && self.max_norm > 0.0) {
+            return Err(FlError::Client(format!(
+                "max_norm must be positive and finite, got {}",
+                self.max_norm
+            )));
+        }
+        let (keep, _) = finite_updates(updates)?;
+        let clipped: Vec<Vec<f64>> = keep
+            .iter()
+            .map(|(p, _)| {
+                let norm = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+                if norm > self.max_norm {
+                    let scale = self.max_norm / norm;
+                    p.iter().map(|v| v * scale).collect()
+                } else {
+                    p.to_vec()
+                }
+            })
+            .collect();
+        let views: Vec<(&[f64], f64)> = clipped
+            .iter()
+            .zip(&keep)
+            .map(|(p, (_, w))| (p.as_slice(), *w))
+            .collect();
+        weighted_mean(&views)
+    }
+}
+
+/// Krum / Multi-Krum (Blanchard et al., NeurIPS 2017): score each update
+/// by the sum of squared distances to its `n − f − 2` nearest neighbours
+/// and keep the `m` lowest-scoring updates (`m = 1` is classic Krum —
+/// the selected update is returned verbatim; `m > 1` averages the
+/// selection). Requires `n ≥ 2f + 3` whenever `f > 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Krum {
+    /// Assumed upper bound on adversarial clients.
+    pub f: usize,
+    /// Number of selected updates (`1` = classic Krum).
+    pub m: usize,
+}
+
+impl Aggregator for Krum {
+    fn name(&self) -> &'static str {
+        if self.m > 1 {
+            "multi_krum"
+        } else {
+            "krum"
+        }
+    }
+
+    fn aggregate(&self, updates: &[(Vec<f64>, u64)]) -> Result<Vec<f64>> {
+        if self.m == 0 {
+            return Err(FlError::Client("Krum needs m ≥ 1".into()));
+        }
+        let (keep, dropped) = finite_updates(updates)?;
+        // Non-finite updates were definitionally adversarial and already
+        // dropped, so they count against the assumed attacker budget.
+        let f = self.f.saturating_sub(dropped);
+        let n = keep.len();
+        if n == 1 {
+            return Ok(keep[0].0.to_vec());
+        }
+        if f > 0 && n < 2 * f + 3 {
+            return Err(FlError::Client(format!(
+                "Krum needs n ≥ 2f + 3 surviving updates (n = {n}, f = {f})"
+            )));
+        }
+        let neighbours = n.saturating_sub(f + 2).max(1);
+        let mut scores: Vec<(f64, usize)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut dists: Vec<f64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    keep[i]
+                        .0
+                        .iter()
+                        .zip(keep[j].0)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                })
+                .collect();
+            dists.sort_by(f64::total_cmp);
+            scores.push((dists.iter().take(neighbours).sum(), i));
+        }
+        // Lowest score wins; ties break on the smaller index so the
+        // selection is deterministic.
+        scores.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let m = self.m.min(n);
+        if m == 1 {
+            return Ok(keep[scores[0].1].0.to_vec());
+        }
+        let selected: Vec<(&[f64], f64)> = scores[..m].iter().map(|&(_, i)| keep[i]).collect();
+        weighted_mean(&selected)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AggregationStrategy: the config-level selector
+// ---------------------------------------------------------------------------
+
+/// Which aggregation rule the server runs. [`AggregationStrategy::FedAvg`]
+/// is the default and is bit-identical to the pre-robustness behaviour;
+/// every other variant screens updates through the [`UpdateGuard`] and
+/// aggregates losses with [`robust_aggregate_loss`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AggregationStrategy {
+    /// Weighted mean (Equation 1 semantics). No Byzantine tolerance.
+    #[default]
+    FedAvg,
+    /// Per-coordinate weighted median.
+    CoordinateMedian,
+    /// Per-coordinate trimmed weighted mean.
+    TrimmedMean {
+        /// Fraction trimmed from each end, in `[0, 0.5)`.
+        trim_ratio: f64,
+    },
+    /// FedAvg over norm-clipped updates.
+    NormClippedFedAvg {
+        /// Clipping radius.
+        max_norm: f64,
+    },
+    /// Classic Krum: select the single most central update.
+    Krum {
+        /// Assumed upper bound on adversarial clients.
+        f: usize,
+    },
+    /// Multi-Krum: average the `m` most central updates.
+    MultiKrum {
+        /// Assumed upper bound on adversarial clients.
+        f: usize,
+        /// Number of selected updates.
+        m: usize,
+    },
+}
+
+impl AggregationStrategy {
+    /// Rule name, matching [`Aggregator::name`].
+    pub fn name(&self) -> &'static str {
+        self.aggregator().name()
+    }
+
+    /// `true` for every rule except plain FedAvg. Robust rules activate
+    /// the guard pipeline and are incompatible with masked sums.
+    pub fn is_robust(&self) -> bool {
+        !matches!(self, AggregationStrategy::FedAvg)
+    }
+
+    /// Validates rule parameters without aggregating anything, so bad
+    /// configs fail at startup rather than mid-run.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            AggregationStrategy::TrimmedMean { trim_ratio }
+                if !(0.0..0.5).contains(&trim_ratio) =>
+            {
+                Err(FlError::Client(format!(
+                    "trim_ratio must be in [0, 0.5), got {trim_ratio}"
+                )))
+            }
+            AggregationStrategy::NormClippedFedAvg { max_norm }
+                if !(max_norm.is_finite() && max_norm > 0.0) =>
+            {
+                Err(FlError::Client(format!(
+                    "max_norm must be positive and finite, got {max_norm}"
+                )))
+            }
+            AggregationStrategy::MultiKrum { m: 0, .. } => {
+                Err(FlError::Client("Multi-Krum needs m ≥ 1".into()))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The boxed rule implementation.
+    pub fn aggregator(&self) -> Box<dyn Aggregator + Send + Sync> {
+        match *self {
+            AggregationStrategy::FedAvg => Box::new(FedAvg),
+            AggregationStrategy::CoordinateMedian => Box::new(CoordinateMedian),
+            AggregationStrategy::TrimmedMean { trim_ratio } => Box::new(TrimmedMean { trim_ratio }),
+            AggregationStrategy::NormClippedFedAvg { max_norm } => {
+                Box::new(NormClippedFedAvg { max_norm })
+            }
+            AggregationStrategy::Krum { f } => Box::new(Krum { f, m: 1 }),
+            AggregationStrategy::MultiKrum { f, m } => Box::new(Krum { f, m }),
+        }
+    }
+
+    /// Aggregates parameter updates under this rule.
+    pub fn aggregate(&self, updates: &[(Vec<f64>, u64)]) -> Result<Vec<f64>> {
+        self.aggregator().aggregate(updates)
+    }
+
+    /// Aggregates client losses: Equation-1 weighted mean under FedAvg,
+    /// the weighted median otherwise.
+    pub fn aggregate_loss(&self, losses: &[(f64, u64)]) -> Result<f64> {
+        if self.is_robust() {
+            robust_aggregate_loss(losses)
+        } else {
+            aggregate_loss(losses)
+        }
+    }
+
+    /// Whether this rule can run over pairwise-masked sums
+    /// ([`secure`](crate::secure)). Only FedAvg can — robust rules need
+    /// each client's plaintext update.
+    pub fn compatible_with_masking(&self) -> bool {
+        !self.is_robust()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UpdateGuard: pre-aggregation screening
+// ---------------------------------------------------------------------------
+
+/// Thresholds of the [`UpdateGuard`] outlier screens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Reject an update whose L2 norm exceeds `norm_ratio ×` the running
+    /// median norm.
+    pub norm_ratio: f64,
+    /// Reject a loss exceeding `loss_ratio ×` the running median loss.
+    /// Looser than `norm_ratio`: honest losses vary much more across
+    /// heterogeneous clients than honest parameter norms do.
+    pub loss_ratio: f64,
+    /// Rounds of median history folded into the screen, so a round where
+    /// attackers outnumber honest replies cannot recenter the median on
+    /// itself.
+    pub history: usize,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            norm_ratio: 10.0,
+            loss_ratio: 100.0,
+            history: 32,
+        }
+    }
+}
+
+/// Why the guard rejected one reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// Parameter vector length disagrees with the round majority.
+    DimensionMismatch {
+        /// Length the client sent.
+        got: usize,
+        /// Majority length this round.
+        expected: usize,
+    },
+    /// Update or loss contains NaN/±inf.
+    NonFinite,
+    /// Update norm exceeds `norm_ratio ×` the running median.
+    NormOutlier {
+        /// The offending norm.
+        norm: f64,
+        /// The running median it was screened against.
+        median: f64,
+    },
+    /// Loss exceeds `loss_ratio ×` the running median.
+    LossOutlier {
+        /// The offending loss.
+        loss: f64,
+        /// The running median it was screened against.
+        median: f64,
+    },
+    /// Negative loss (the engine's losses are MSE-family, always ≥ 0).
+    NegativeLoss {
+        /// The offending loss.
+        loss: f64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::DimensionMismatch { got, expected } => {
+                write!(f, "dim {got} != expected {expected}")
+            }
+            RejectReason::NonFinite => write!(f, "non-finite update"),
+            RejectReason::NormOutlier { norm, median } => {
+                write!(f, "norm {norm:.3e} vs median {median:.3e}")
+            }
+            RejectReason::LossOutlier { loss, median } => {
+                write!(f, "loss {loss:.3e} vs median {median:.3e}")
+            }
+            RejectReason::NegativeLoss { loss } => write!(f, "negative loss {loss:.3e}"),
+        }
+    }
+}
+
+/// Screening outcome: the replies that survive, plus `(client_id,
+/// reason)` for every rejection.
+#[derive(Debug, Clone)]
+pub struct Screened<T> {
+    /// Replies that passed every screen, in input order.
+    pub accepted: Vec<T>,
+    /// `(client_id, reason)` per rejected reply, in input order.
+    pub rejected: Vec<(usize, RejectReason)>,
+}
+
+/// Server-side validator run on every reply before a robust aggregator
+/// sees it. Stateful: it keeps a bounded history of per-round medians so
+/// the outlier screens compare against what honest clients have looked
+/// like recently, not just against the current (possibly majority-
+/// corrupt) round.
+#[derive(Debug, Clone)]
+pub struct UpdateGuard {
+    policy: GuardPolicy,
+    norm_medians: VecDeque<f64>,
+    loss_medians: VecDeque<f64>,
+}
+
+/// Floor for the running medians so an all-zero honest round does not
+/// make the ratio screens vacuous (anything × 0 = 0).
+const MEDIAN_FLOOR: f64 = 1e-12;
+
+fn plain_median(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    Some(if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    })
+}
+
+impl UpdateGuard {
+    /// A guard with the given thresholds and empty history.
+    pub fn new(policy: GuardPolicy) -> UpdateGuard {
+        UpdateGuard {
+            policy,
+            norm_medians: VecDeque::new(),
+            loss_medians: VecDeque::new(),
+        }
+    }
+
+    fn remember(history: &mut VecDeque<f64>, cap: usize, median: f64) {
+        history.push_back(median);
+        while history.len() > cap.max(1) {
+            history.pop_front();
+        }
+    }
+
+    /// Screening median: this round's values pooled with the remembered
+    /// per-round medians of *accepted* values, floored at
+    /// [`MEDIAN_FLOOR`]. Uses the lower median (no midpoint averaging):
+    /// averaging an honest history entry with an attacker's 1e6 norm
+    /// would recenter the screen on the attacker.
+    fn running_median(history: &VecDeque<f64>, current: &[f64]) -> f64 {
+        let mut pool: Vec<f64> = history
+            .iter()
+            .copied()
+            .chain(current.iter().copied())
+            .collect();
+        if pool.is_empty() {
+            return MEDIAN_FLOOR;
+        }
+        pool.sort_by(f64::total_cmp);
+        pool[(pool.len() - 1) / 2].max(MEDIAN_FLOOR)
+    }
+
+    /// Screens `(client_id, params, num_examples)` fit updates: dimension
+    /// check against the round's majority length, non-finite rejection,
+    /// and the norm-outlier screen. Empty parameter vectors pass through
+    /// unscreened (ops that carry results in metrics, not params).
+    pub fn screen_updates(
+        &mut self,
+        updates: Vec<(usize, Vec<f64>, u64)>,
+    ) -> Screened<(usize, Vec<f64>, u64)> {
+        // Majority dimension over non-empty updates; ties break on the
+        // smaller length for determinism.
+        let mut dim_counts: Vec<(usize, usize)> = Vec::new();
+        for (_, p, _) in updates.iter().filter(|(_, p, _)| !p.is_empty()) {
+            match dim_counts.iter_mut().find(|(d, _)| *d == p.len()) {
+                Some((_, c)) => *c += 1,
+                None => dim_counts.push((p.len(), 1)),
+            }
+        }
+        let expected = dim_counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|&(d, _)| d);
+
+        let mut screened = Screened {
+            accepted: Vec::with_capacity(updates.len()),
+            rejected: Vec::new(),
+        };
+        let mut survivors: Vec<(usize, Vec<f64>, u64, f64)> = Vec::new();
+        let mut norms: Vec<f64> = Vec::new();
+        for (id, p, n) in updates {
+            if p.is_empty() {
+                screened.accepted.push((id, p, n));
+                continue;
+            }
+            let expected = expected.unwrap_or(p.len());
+            if p.len() != expected {
+                screened.rejected.push((
+                    id,
+                    RejectReason::DimensionMismatch {
+                        got: p.len(),
+                        expected,
+                    },
+                ));
+                continue;
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                screened.rejected.push((id, RejectReason::NonFinite));
+                continue;
+            }
+            let norm = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+            norms.push(norm);
+            survivors.push((id, p, n, norm));
+        }
+
+        let median = Self::running_median(&self.norm_medians, &norms);
+        let mut accepted_norms: Vec<f64> = Vec::new();
+        for (id, p, n, norm) in survivors {
+            if norm > self.policy.norm_ratio * median {
+                screened
+                    .rejected
+                    .push((id, RejectReason::NormOutlier { norm, median }));
+            } else {
+                accepted_norms.push(norm);
+                screened.accepted.push((id, p, n));
+            }
+        }
+        // Only accepted norms enter the history: a round where attackers
+        // reply alone must not recenter the screen on themselves.
+        if let Some(m) = plain_median(&mut accepted_norms) {
+            Self::remember(&mut self.norm_medians, self.policy.history, m);
+        }
+        screened
+    }
+
+    /// Screens `(client_id, loss, num_examples)` replies: non-finite and
+    /// negative losses are rejected outright, and losses far above the
+    /// running median are rejected as outliers.
+    pub fn screen_losses(&mut self, losses: Vec<(usize, f64, u64)>) -> Screened<(usize, f64, u64)> {
+        let mut screened = Screened {
+            accepted: Vec::with_capacity(losses.len()),
+            rejected: Vec::new(),
+        };
+        let mut survivors: Vec<(usize, f64, u64)> = Vec::new();
+        let mut finite: Vec<f64> = Vec::new();
+        for (id, loss, n) in losses {
+            if !loss.is_finite() {
+                screened.rejected.push((id, RejectReason::NonFinite));
+                continue;
+            }
+            if loss < 0.0 {
+                screened
+                    .rejected
+                    .push((id, RejectReason::NegativeLoss { loss }));
+                continue;
+            }
+            finite.push(loss);
+            survivors.push((id, loss, n));
+        }
+
+        let median = Self::running_median(&self.loss_medians, &finite);
+        let mut accepted_losses: Vec<f64> = Vec::new();
+        for (id, loss, n) in survivors {
+            if loss > self.policy.loss_ratio * median {
+                screened
+                    .rejected
+                    .push((id, RejectReason::LossOutlier { loss, median }));
+            } else {
+                accepted_losses.push(loss);
+                screened.accepted.push((id, loss, n));
+            }
+        }
+        if let Some(m) = plain_median(&mut accepted_losses) {
+            Self::remember(&mut self.loss_medians, self.policy.history, m);
+        }
+        screened
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::fedavg;
+
+    fn eq1(updates: &[(Vec<f64>, u64)]) -> Vec<f64> {
+        fedavg(updates).unwrap()
+    }
+
+    #[test]
+    fn weighted_median_unweighted_matches_textbook() {
+        let odd: Vec<(f64, f64)> = [3.0, 1.0, 2.0].iter().map(|&v| (v, 1.0)).collect();
+        assert_eq!(weighted_median(&odd).unwrap(), 2.0);
+        let even: Vec<(f64, f64)> = [4.0, 1.0, 3.0, 2.0].iter().map(|&v| (v, 1.0)).collect();
+        assert_eq!(weighted_median(&even).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn weighted_median_respects_weights() {
+        // Client with weight 5 at value 10 dominates two weight-1 clients.
+        let m = weighted_median(&[(0.0, 1.0), (1.0, 1.0), (10.0, 5.0)]).unwrap();
+        assert_eq!(m, 10.0);
+    }
+
+    #[test]
+    fn weighted_median_rejects_bad_input() {
+        assert!(weighted_median(&[]).is_err());
+        assert!(weighted_median(&[(f64::NAN, 1.0)]).is_err());
+        assert!(weighted_median(&[(1.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn robust_loss_ignores_one_huge_liar() {
+        let honest = [(1.0, 10u64), (1.2, 10), (0.9, 10), (1.1, 10)];
+        let mut with_liar = honest.to_vec();
+        with_liar.push((1e18, 10));
+        let l = robust_aggregate_loss(&with_liar).unwrap();
+        assert!((0.9..=1.2).contains(&l), "median dragged to {l}");
+        // The weighted mean would have exploded.
+        assert!(aggregate_loss(&with_liar).unwrap() > 1e17);
+    }
+
+    #[test]
+    fn robust_loss_keeps_strict_error_contract() {
+        assert!(robust_aggregate_loss(&[(f64::NAN, 1)]).is_err());
+        assert!(robust_aggregate_loss(&[]).is_err());
+        assert!(robust_aggregate_loss(&[(1.0, 0)]).is_err());
+    }
+
+    #[test]
+    fn coordinate_median_shrugs_off_scaled_attacker() {
+        let updates = vec![
+            (vec![1.0, -1.0], 1u64),
+            (vec![1.1, -0.9], 1),
+            (vec![0.9, -1.1], 1),
+            (vec![1e9, -1e9], 1), // attacker
+        ];
+        let agg = CoordinateMedian.aggregate(&updates).unwrap();
+        assert!((1.0..=1.1).contains(&agg[0]), "got {agg:?}");
+        assert!((-1.1..=-0.9).contains(&agg[1]), "got {agg:?}");
+    }
+
+    #[test]
+    fn coordinate_median_drops_nan_updates() {
+        let updates = vec![(vec![1.0], 1u64), (vec![f64::NAN], 1), (vec![3.0], 1)];
+        let agg = CoordinateMedian.aggregate(&updates).unwrap();
+        assert_eq!(agg, vec![2.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_zero_ratio_is_fedavg() {
+        let updates = vec![(vec![1.0, 2.0], 3u64), (vec![-0.5, 0.25], 7)];
+        let tm = TrimmedMean { trim_ratio: 0.0 }.aggregate(&updates).unwrap();
+        let fa = eq1(&updates);
+        let tm_bits: Vec<u64> = tm.iter().map(|v| v.to_bits()).collect();
+        let fa_bits: Vec<u64> = fa.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(tm_bits, fa_bits);
+    }
+
+    #[test]
+    fn trimmed_mean_removes_extremes() {
+        let updates = vec![
+            (vec![1.0], 1u64),
+            (vec![2.0], 1),
+            (vec![3.0], 1),
+            (vec![1e12], 1), // attacker
+        ];
+        let agg = TrimmedMean { trim_ratio: 0.25 }
+            .aggregate(&updates)
+            .unwrap();
+        // One entry trimmed per end: mean of {2, 3}.
+        assert!((agg[0] - 2.5).abs() < 1e-12, "got {agg:?}");
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_bad_ratio() {
+        let u = vec![(vec![1.0], 1u64)];
+        assert!(TrimmedMean { trim_ratio: 0.5 }.aggregate(&u).is_err());
+        assert!(TrimmedMean { trim_ratio: -0.1 }.aggregate(&u).is_err());
+    }
+
+    #[test]
+    fn norm_clipping_bounds_attacker_influence() {
+        let updates = vec![
+            (vec![1.0, 0.0], 1u64),
+            (vec![0.0, 1.0], 1),
+            (vec![1e9, 0.0], 1), // attacker, clipped to norm 2
+        ];
+        let agg = NormClippedFedAvg { max_norm: 2.0 }
+            .aggregate(&updates)
+            .unwrap();
+        assert!(agg[0] <= 1.0 + 1e-12, "attacker still dominates: {agg:?}");
+        let norm = agg.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn norm_clipping_is_identity_within_radius() {
+        let updates = vec![(vec![0.3, 0.4], 2u64), (vec![-0.3, 0.4], 2)];
+        let agg = NormClippedFedAvg { max_norm: 10.0 }
+            .aggregate(&updates)
+            .unwrap();
+        assert_eq!(agg, eq1(&updates));
+    }
+
+    #[test]
+    fn krum_selects_a_central_honest_update() {
+        let mut updates: Vec<(Vec<f64>, u64)> = (0..5)
+            .map(|i| (vec![1.0 + i as f64 * 0.01, -1.0], 1u64))
+            .collect();
+        updates.push((vec![1e9, 1e9], 1)); // attacker
+        updates.push((vec![-1e9, 1e9], 1)); // attacker
+        let agg = Krum { f: 2, m: 1 }.aggregate(&updates).unwrap();
+        // The winner is one of the honest clusters, never an attacker.
+        assert!(agg[0] < 2.0, "krum picked an attacker: {agg:?}");
+        assert!(updates[..5].iter().any(|(p, _)| *p == agg));
+    }
+
+    #[test]
+    fn multi_krum_averages_selection() {
+        let updates = vec![
+            (vec![1.0], 1u64),
+            (vec![2.0], 1),
+            (vec![3.0], 1),
+            (vec![4.0], 1),
+            (vec![5.0], 1),
+        ];
+        let agg = Krum { f: 0, m: 5 }.aggregate(&updates).unwrap();
+        assert!((agg[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn krum_enforces_population_bound() {
+        let updates = vec![(vec![1.0], 1u64), (vec![2.0], 1), (vec![3.0], 1)];
+        assert!(Krum { f: 1, m: 1 }.aggregate(&updates).is_err());
+        assert!(Krum { f: 0, m: 1 }.aggregate(&updates).is_ok());
+    }
+
+    #[test]
+    fn krum_single_update_is_identity() {
+        let agg = Krum { f: 0, m: 1 }.aggregate(&[(vec![7.0], 3)]).unwrap();
+        assert_eq!(agg, vec![7.0]);
+    }
+
+    #[test]
+    fn strategy_validation_catches_bad_knobs() {
+        assert!(AggregationStrategy::TrimmedMean { trim_ratio: 0.6 }
+            .validate()
+            .is_err());
+        assert!(AggregationStrategy::NormClippedFedAvg { max_norm: 0.0 }
+            .validate()
+            .is_err());
+        assert!(AggregationStrategy::MultiKrum { f: 1, m: 0 }
+            .validate()
+            .is_err());
+        assert!(AggregationStrategy::default().validate().is_ok());
+        assert!(!AggregationStrategy::FedAvg.is_robust());
+        assert!(AggregationStrategy::CoordinateMedian.is_robust());
+        assert!(AggregationStrategy::FedAvg.compatible_with_masking());
+        assert!(!AggregationStrategy::Krum { f: 1 }.compatible_with_masking());
+    }
+
+    #[test]
+    fn strategy_loss_aggregation_switches_rule() {
+        let losses = [(1.0, 1u64), (1.0, 1), (100.0, 1)];
+        let mean = AggregationStrategy::FedAvg.aggregate_loss(&losses).unwrap();
+        let median = AggregationStrategy::CoordinateMedian
+            .aggregate_loss(&losses)
+            .unwrap();
+        assert!(mean > 30.0);
+        assert_eq!(median, 1.0);
+    }
+
+    #[test]
+    fn guard_rejects_dim_mismatch_and_nan() {
+        let mut guard = UpdateGuard::new(GuardPolicy::default());
+        let screened = guard.screen_updates(vec![
+            (0, vec![1.0, 2.0], 1),
+            (1, vec![1.0], 1),
+            (2, vec![f64::NAN, 2.0], 1),
+            (3, vec![1.1, 1.9], 1),
+        ]);
+        assert_eq!(
+            screened.accepted.iter().map(|u| u.0).collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+        assert_eq!(screened.rejected.len(), 2);
+        assert!(matches!(
+            screened.rejected[0],
+            (
+                1,
+                RejectReason::DimensionMismatch {
+                    got: 1,
+                    expected: 2
+                }
+            )
+        ));
+        assert!(matches!(screened.rejected[1], (2, RejectReason::NonFinite)));
+    }
+
+    #[test]
+    fn guard_screens_norm_outliers_against_running_median() {
+        let mut guard = UpdateGuard::new(GuardPolicy {
+            norm_ratio: 10.0,
+            ..GuardPolicy::default()
+        });
+        let screened = guard.screen_updates(vec![
+            (0, vec![1.0], 1),
+            (1, vec![1.2], 1),
+            (2, vec![0.8], 1),
+            (3, vec![1e6], 1), // attacker
+        ]);
+        assert_eq!(screened.rejected.len(), 1);
+        assert!(matches!(
+            screened.rejected[0],
+            (3, RejectReason::NormOutlier { .. })
+        ));
+        // History now pins the median near 1: a later round where the
+        // attacker replies alone still gets screened.
+        let later = guard.screen_updates(vec![(3, vec![1e6], 1)]);
+        assert!(later.accepted.is_empty(), "history forgot the honest norm");
+        assert!(matches!(
+            later.rejected[0],
+            (3, RejectReason::NormOutlier { .. })
+        ));
+    }
+
+    #[test]
+    fn guard_passes_empty_params_unscreened() {
+        let mut guard = UpdateGuard::new(GuardPolicy::default());
+        let screened = guard.screen_updates(vec![(0, vec![], 5), (1, vec![1.0], 1)]);
+        assert_eq!(screened.accepted.len(), 2);
+        assert!(screened.rejected.is_empty());
+    }
+
+    #[test]
+    fn guard_screens_losses() {
+        let mut guard = UpdateGuard::new(GuardPolicy {
+            loss_ratio: 100.0,
+            ..GuardPolicy::default()
+        });
+        let screened = guard.screen_losses(vec![
+            (0, 1.0, 10),
+            (1, f64::NAN, 10),
+            (2, -3.0, 10),
+            (3, 1e9, 10), // attacker
+            (4, 1.5, 10),
+        ]);
+        assert_eq!(
+            screened.accepted.iter().map(|l| l.0).collect::<Vec<_>>(),
+            vec![0, 4]
+        );
+        let reasons: Vec<&RejectReason> = screened.rejected.iter().map(|(_, r)| r).collect();
+        assert!(matches!(reasons[0], RejectReason::NonFinite));
+        assert!(matches!(reasons[1], RejectReason::NegativeLoss { .. }));
+        assert!(matches!(reasons[2], RejectReason::LossOutlier { .. }));
+    }
+
+    #[test]
+    fn reject_reasons_render() {
+        let r = RejectReason::LossOutlier {
+            loss: 1e9,
+            median: 1.0,
+        };
+        let s = r.to_string();
+        assert!(s.contains("loss"), "{s}");
+        assert!(RejectReason::NonFinite.to_string().contains("non-finite"));
+    }
+}

@@ -499,6 +499,37 @@ impl FederatedRuntime {
         })
     }
 
+    /// Records that the robust-aggregation guard rejected `id`'s on-time
+    /// reply as Byzantine: escalates the client's integrity streak in the
+    /// health registry (repeat offenders quarantine exactly like crash
+    /// faults) and emits the `fl.updates_rejected` /
+    /// `fl.byzantine_suspected` counters. Returns the client's new health
+    /// state, or `None` for an unknown id.
+    pub fn record_update_rejected(&self, id: usize) -> Option<ClientState> {
+        let tracer = self.tracer.lock().clone();
+        let (before, after) = {
+            let mut health = self.health.lock();
+            let before = health.state(id);
+            (before, health.record_rejection(id))
+        };
+        after?;
+        tracer.counter_add("fl.updates_rejected", 1);
+        if before == Some(ClientState::Healthy) && after != Some(ClientState::Healthy) {
+            tracer.counter_add("fl.byzantine_suspected", 1);
+        }
+        if after == Some(ClientState::Quarantined) && before != Some(ClientState::Quarantined) {
+            tracer.counter_add("fl.quarantines", 1);
+        }
+        after
+    }
+
+    /// Records that the guard accepted `id`'s update, clearing its
+    /// integrity streak (see
+    /// [`HealthRegistry::record_accepted`](crate::health::HealthRegistry::record_accepted)).
+    pub fn record_update_accepted(&self, id: usize) {
+        self.health.lock().record_accepted(id);
+    }
+
     /// Convenience: `GetProperties` to every client, returning config maps.
     pub fn collect_properties(&self, config: &ConfigMap) -> Result<Vec<ConfigMap>> {
         let replies = self.broadcast_all(&Instruction::GetProperties(config.clone()))?;
@@ -917,6 +948,38 @@ mod tests {
             .run_round(&Instruction::GetProperties(ConfigMap::new()), &relaxed)
             .unwrap();
         assert_eq!(outcome.replies.len(), 1);
+    }
+
+    #[test]
+    fn guard_rejections_escalate_health_and_emit_counters() {
+        let clients: Vec<Box<dyn FlClient>> = vec![
+            Box::new(MeanClient { data: vec![1.0] }),
+            Box::new(MeanClient { data: vec![2.0] }),
+        ];
+        let rt = FederatedRuntime::new(clients);
+        let tracer = Tracer::enabled();
+        rt.set_tracer(tracer.clone());
+        let policy = RoundPolicy::default();
+        // Two rounds where client 1 replies on time but the guard rejects
+        // its update: Suspect, then a fresh quarantine.
+        rt.run_round(&Instruction::GetProperties(ConfigMap::new()), &policy)
+            .unwrap();
+        assert_eq!(
+            rt.record_update_rejected(1),
+            Some(ClientState::Suspect),
+            "first rejection"
+        );
+        rt.record_update_accepted(0);
+        rt.run_round(&Instruction::GetProperties(ConfigMap::new()), &policy)
+            .unwrap();
+        assert_eq!(rt.record_update_rejected(1), Some(ClientState::Quarantined));
+        assert_eq!(rt.client_state(1), Some(ClientState::Quarantined));
+        assert_eq!(rt.client_state(0), Some(ClientState::Healthy));
+        let snap = tracer.snapshot();
+        assert_eq!(snap.counter("fl.updates_rejected"), 2);
+        assert_eq!(snap.counter("fl.byzantine_suspected"), 1);
+        assert_eq!(snap.counter("fl.quarantines"), 1);
+        assert_eq!(rt.record_update_rejected(99), None, "unknown id");
     }
 
     #[test]

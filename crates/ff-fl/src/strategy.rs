@@ -22,6 +22,14 @@ pub fn fedavg(params: &[(Vec<f64>, u64)]) -> Result<Vec<f64>> {
         .next()
         .ok_or_else(|| FlError::Client("no parameters to aggregate".into()))?;
     let dim = first.0.len();
+    // Non-finite parameters would silently poison every coordinate of
+    // the average; reject them with the offending input index, mirroring
+    // `aggregate_loss`'s finite-loss contract.
+    for (idx, (p, _)) in params.iter().enumerate() {
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(FlError::NonFiniteUpdate { client: idx });
+        }
+    }
     let mut acc = vec![0.0; dim];
     let mut total_w = 0.0;
     for (p, w) in params.iter().filter(|(p, _)| !p.is_empty()) {
@@ -74,6 +82,25 @@ pub fn unwrap_fit_replies(replies: Vec<(usize, Reply)>) -> Result<Vec<(Vec<f64>,
                 num_examples,
                 ..
             } => Ok((params, num_examples)),
+            Reply::Error(e) => Err(FlError::Client(e)),
+            Reply::Panicked(m) => Err(FlError::Client(format!("client panicked: {m}"))),
+            other => Err(FlError::Codec(format!("unexpected reply {other:?}"))),
+        })
+        .collect()
+}
+
+/// Extracts `(client_id, params, num_examples)` triples from fit
+/// replies, preserving client ids so pre-aggregation screening (the
+/// [`robust`](crate::robust) guard) can attribute rejections.
+pub fn fit_updates(replies: Vec<(usize, Reply)>) -> Result<Vec<(usize, Vec<f64>, u64)>> {
+    replies
+        .into_iter()
+        .map(|(id, r)| match r {
+            Reply::FitRes {
+                params,
+                num_examples,
+                ..
+            } => Ok((id, params, num_examples)),
             Reply::Error(e) => Err(FlError::Client(e)),
             Reply::Panicked(m) => Err(FlError::Client(format!("client panicked: {m}"))),
             other => Err(FlError::Codec(format!("unexpected reply {other:?}"))),
@@ -141,6 +168,41 @@ mod tests {
     fn loss_aggregation_rejects_nan() {
         assert!(aggregate_loss(&[(f64::NAN, 1)]).is_err());
         assert!(aggregate_loss(&[]).is_err());
+    }
+
+    #[test]
+    fn fedavg_rejects_non_finite_params_naming_the_client() {
+        let params = vec![(vec![1.0], 2u64), (vec![f64::NAN], 3), (vec![2.0], 1)];
+        match fedavg(&params) {
+            Err(FlError::NonFiniteUpdate { client }) => assert_eq!(client, 1),
+            other => panic!("expected NonFiniteUpdate, got {other:?}"),
+        }
+        assert!(fedavg(&[(vec![f64::INFINITY], 1)]).is_err());
+    }
+
+    #[test]
+    fn fit_updates_preserves_client_ids() {
+        let replies = vec![
+            (
+                4usize,
+                Reply::FitRes {
+                    params: vec![1.0, 2.0],
+                    num_examples: 7,
+                    metrics: crate::config::ConfigMap::new(),
+                },
+            ),
+            (
+                9usize,
+                Reply::FitRes {
+                    params: vec![],
+                    num_examples: 3,
+                    metrics: crate::config::ConfigMap::new(),
+                },
+            ),
+        ];
+        let updates = fit_updates(replies).unwrap();
+        assert_eq!(updates[0], (4, vec![1.0, 2.0], 7));
+        assert_eq!(updates[1], (9, vec![], 3));
     }
 
     #[test]

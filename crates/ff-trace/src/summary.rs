@@ -102,6 +102,19 @@ pub fn render_summary(t: &Telemetry, clients: &[ClientCommsRow]) -> String {
         let _ = writeln!(out, "{}: {} totalling {}", src, durs.len(), fmt_us(total));
     }
 
+    // Robust-aggregation guard activity gets its own headline: a nonzero
+    // rejection count means the run survived Byzantine replies, which a
+    // reader should not have to dig out of the counter dump.
+    let rejected = t.counter("fl.updates_rejected");
+    if rejected > 0 {
+        let _ = writeln!(
+            out,
+            "\nbyzantine defense: {} updates rejected, {} clients suspected",
+            rejected,
+            t.counter("fl.byzantine_suspected"),
+        );
+    }
+
     if !t.counters.is_empty() {
         out.push_str("\ncounters\n");
         for (id, v) in &t.counters {
@@ -185,6 +198,17 @@ mod tests {
             },
         ];
         let s = render_summary(&t.snapshot(), &clients);
+        assert!(
+            !s.contains("byzantine defense"),
+            "no guard activity, no headline: {s}"
+        );
+        t.counter_add("fl.updates_rejected", 4);
+        t.counter_add("fl.byzantine_suspected", 2);
+        let s2 = render_summary(&t.snapshot(), &clients);
+        assert!(
+            s2.contains("byzantine defense: 4 updates rejected, 2 clients suspected"),
+            "summary was: {s2}"
+        );
         assert!(s.contains("phase.meta_features"));
         assert!(s.contains("phase.optimization"));
         assert!(s.contains("BO trials: 1"));
