@@ -46,6 +46,7 @@ pub fn finalize_with(
 ) -> Result<(GlobalModel, f64)> {
     finalize_with_tolerant(
         rt,
+        ff_par::ParConfig::auto(),
         best_config,
         tree_aggregation,
         &strict_policy(rt),
@@ -122,6 +123,20 @@ fn tolerant_eval_round(
 /// "available" when every *survivor* of the final-fit round contributed a
 /// blob.
 pub fn finalize_with_tolerant(
+    rt: &FederatedRuntime,
+    par: ff_par::ParConfig,
+    best_config: &Configuration,
+    tree_aggregation: crate::config::TreeAggregation,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+    ctx: &mut RobustCtx,
+) -> Result<(GlobalModel, f64)> {
+    par.scope(|| {
+        finalize_with_tolerant_inner(rt, best_config, tree_aggregation, policy, rounds, ctx)
+    })
+}
+
+fn finalize_with_tolerant_inner(
     rt: &FederatedRuntime,
     best_config: &Configuration,
     tree_aggregation: crate::config::TreeAggregation,

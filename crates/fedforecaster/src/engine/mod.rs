@@ -130,6 +130,11 @@ impl<'m> FedForecaster<'m> {
     /// Runs Algorithm 1 on an existing runtime (lets tests inspect logs).
     pub fn run_on(&self, rt: &FederatedRuntime) -> Result<RunResult> {
         self.cfg.validate()?;
+        // Worker threads spawned during the run (FL clients) resolve the
+        // kernel thread count through the process global; the engine thread
+        // itself additionally scopes the config into every pipeline stage.
+        self.cfg.par.install_global();
+        let par_before = ff_par::stats();
         let mut robust = rounds::RobustCtx::from_config(&self.cfg);
         let tracer = self.cfg.trace.tracer();
         if tracer.is_enabled() {
@@ -154,7 +159,8 @@ impl<'m> FedForecaster<'m> {
         // explicit portfolio bypasses the meta-model entirely (ablations,
         // registry extensions the meta-model was not trained on).
         let phase_span = tracer.span("phase.meta_features");
-        let (global, max_len) = collect_global_meta_tolerant(rt, policy, &mut rounds)?;
+        let par = self.cfg.par;
+        let (global, max_len) = collect_global_meta_tolerant(rt, par, policy, &mut rounds)?;
         let recommended: Vec<AlgorithmKind> = if let Some(portfolio) = &self.cfg.portfolio {
             if portfolio.is_empty() {
                 return Err(EngineError::InvalidData("empty portfolio override".into()));
@@ -173,6 +179,7 @@ impl<'m> FedForecaster<'m> {
         } else {
             let periods = federated_seasonal_periods_tolerant(
                 rt,
+                par,
                 max_len,
                 self.cfg.max_seasonal_components,
                 policy,
@@ -190,6 +197,7 @@ impl<'m> FedForecaster<'m> {
         let phase_span = tracer.span("phase.feature_engineering");
         run_feature_engineering_tolerant(
             rt,
+            par,
             &spec,
             self.cfg.importance_threshold,
             policy,
@@ -218,7 +226,7 @@ impl<'m> FedForecaster<'m> {
         while tracker.iterations() == 0 || !tracker.exhausted() {
             let trial_span = tracer.span_labeled("trial", tracker.iterations() as u64 + 1);
             let config = bo.ask().map_err(EngineError::Optimizer)?;
-            match evaluate_config_tolerant(rt, &config, policy, &mut rounds, &mut robust) {
+            match evaluate_config_tolerant(rt, par, &config, policy, &mut rounds, &mut robust) {
                 Ok(loss) => {
                     bo.tell(&config, loss).map_err(EngineError::Optimizer)?;
                     loss_history.push(loss);
@@ -243,6 +251,7 @@ impl<'m> FedForecaster<'m> {
         let phase_span = tracer.span("phase.finalization");
         let (global_model, test_mse) = finalize_with_tolerant(
             rt,
+            par,
             &best_config,
             self.cfg.tree_aggregation,
             policy,
@@ -254,6 +263,15 @@ impl<'m> FedForecaster<'m> {
         drop(run_span);
         let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
         let health = rt.health_report();
+        if tracer.is_enabled() {
+            let par_now = ff_par::stats();
+            tracer.gauge_set("par.workers", par.resolve() as f64);
+            tracer.counter_add("par.tasks", par_now.tasks.saturating_sub(par_before.tasks));
+            tracer.counter_add(
+                "par.steal_idle_ms",
+                par_now.idle_us.saturating_sub(par_before.idle_us) / 1000,
+            );
+        }
         let telemetry = tracer
             .is_enabled()
             .then(|| build_telemetry(&tracer, rt, &health));

@@ -52,23 +52,34 @@ pub fn federated_seasonal_periods(
     // Weights: client sizes from a second look at n_total would cost a
     // round; reuse uniform weighting over returned spectra and rely on the
     // per-spectrum normalization (each client's spectrum sums to 1).
-    let mut agg = vec![0.0; grid.len()];
-    let mut n = 0usize;
-    for p in &props {
-        if let Some(spec) = p.get("spectrum").and_then(|v| v.as_float_vec()) {
-            if spec.len() == grid.len() {
-                for (a, &s) in agg.iter_mut().zip(spec) {
-                    *a += s;
-                }
-                n += 1;
-            }
-        }
-    }
-    if n == 0 {
+    let specs: Vec<&[f64]> = props
+        .iter()
+        .filter_map(|p| p.get("spectrum").and_then(|v| v.as_float_vec()))
+        .filter(|spec| spec.len() == grid.len())
+        .collect();
+    if specs.is_empty() {
         return Ok(vec![]);
     }
+    let agg = sum_spectra(&specs);
     let peaks = periodogram::peaks_on_grid(&grid, &agg, max_components, 5.0, max_len);
     Ok(peaks.into_iter().map(|s| s.period).collect())
+}
+
+/// Element-wise sum of client spectra through [`ff_par::par_reduce`]: the
+/// combine tree's shape depends only on the spectrum count, so the
+/// aggregate is bit-identical at every thread count.
+fn sum_spectra(specs: &[&[f64]]) -> Vec<f64> {
+    ff_par::par_reduce(
+        specs.len(),
+        |i| specs[i].to_vec(),
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        },
+    )
+    .unwrap_or_default()
 }
 
 /// Derives the globally agreed lag count (§4.2.1(3)): the maximum count of
@@ -132,47 +143,50 @@ pub fn run_feature_engineering(
 /// recorded per client instead of failing the run.
 pub fn collect_global_meta_tolerant(
     rt: &FederatedRuntime,
+    par: ff_par::ParConfig,
     policy: &RoundPolicy,
     rounds: &mut Vec<crate::report::RoundReport>,
 ) -> Result<(GlobalMetaFeatures, usize)> {
-    let ins = Instruction::GetProperties(ConfigMap::new().with_str(OP, "meta_features"));
-    let (outcome, idx) = tolerant_round(rt, "meta_features", &ins, policy, rounds)?;
-    let mut metas = Vec::new();
-    let mut max_len = 0usize;
-    for (id, r) in &outcome.replies {
-        let props = match r {
-            Reply::Properties(cfg) => cfg,
-            Reply::Error(e) => {
-                rounds[idx].app_errors.push((*id, e.clone()));
-                continue;
-            }
-            other => {
-                rounds[idx]
+    par.scope(|| {
+        let ins = Instruction::GetProperties(ConfigMap::new().with_str(OP, "meta_features"));
+        let (outcome, idx) = tolerant_round(rt, "meta_features", &ins, policy, rounds)?;
+        let mut metas = Vec::new();
+        let mut max_len = 0usize;
+        for (id, r) in &outcome.replies {
+            let props = match r {
+                Reply::Properties(cfg) => cfg,
+                Reply::Error(e) => {
+                    rounds[idx].app_errors.push((*id, e.clone()));
+                    continue;
+                }
+                other => {
+                    rounds[idx]
+                        .app_errors
+                        .push((*id, format!("unexpected reply {other:?}")));
+                    continue;
+                }
+            };
+            let parsed = props
+                .get("meta_features")
+                .and_then(|v| v.as_float_vec())
+                .and_then(ClientMetaFeatures::from_vec);
+            match parsed {
+                Some(mf) => {
+                    max_len = max_len.max(props.int_or("n_total", 0) as usize);
+                    metas.push(mf);
+                }
+                None => rounds[idx]
                     .app_errors
-                    .push((*id, format!("unexpected reply {other:?}")));
-                continue;
+                    .push((*id, "missing or malformed meta-features".into())),
             }
-        };
-        let parsed = props
-            .get("meta_features")
-            .and_then(|v| v.as_float_vec())
-            .and_then(ClientMetaFeatures::from_vec);
-        match parsed {
-            Some(mf) => {
-                max_len = max_len.max(props.int_or("n_total", 0) as usize);
-                metas.push(mf);
-            }
-            None => rounds[idx]
-                .app_errors
-                .push((*id, "missing or malformed meta-features".into())),
         }
-    }
-    rounds[idx].usable = metas.len();
-    let required = policy.min_responses.max(1);
-    if metas.len() < required {
-        return Err(quorum_unmet(rounds, idx, metas.len(), required));
-    }
-    Ok((GlobalMetaFeatures::aggregate(&metas), max_len))
+        rounds[idx].usable = metas.len();
+        let required = policy.min_responses.max(1);
+        if metas.len() < required {
+            return Err(quorum_unmet(rounds, idx, metas.len(), required));
+        }
+        Ok((GlobalMetaFeatures::aggregate(&metas), max_len))
+    })
 }
 
 /// Fault-tolerant [`federated_seasonal_periods`]: spectra from responsive
@@ -180,6 +194,7 @@ pub fn collect_global_meta_tolerant(
 /// degrades gracefully to no seasonality features rather than failing.
 pub fn federated_seasonal_periods_tolerant(
     rt: &FederatedRuntime,
+    par: ff_par::ParConfig,
     max_len: usize,
     max_components: usize,
     policy: &RoundPolicy,
@@ -188,41 +203,38 @@ pub fn federated_seasonal_periods_tolerant(
     if max_len < 16 {
         return Ok(vec![]);
     }
-    let grid = periodogram::log_period_grid(max_len as f64 / 2.0);
-    let ins = Instruction::GetProperties(
-        ConfigMap::new()
-            .with_str(OP, "spectrum")
-            .with_floats("grid_periods", grid.clone()),
-    );
-    let (outcome, idx) = tolerant_round(rt, "meta_features", &ins, policy, rounds)?;
-    let mut agg = vec![0.0; grid.len()];
-    let mut n = 0usize;
-    for (id, r) in &outcome.replies {
-        let usable = match r {
-            Reply::Properties(p) => p
-                .get("spectrum")
-                .and_then(|v| v.as_float_vec())
-                .filter(|spec| spec.len() == grid.len()),
-            _ => None,
-        };
-        match usable {
-            Some(spec) => {
-                for (a, &s) in agg.iter_mut().zip(spec) {
-                    *a += s;
-                }
-                n += 1;
+    par.scope(|| {
+        let grid = periodogram::log_period_grid(max_len as f64 / 2.0);
+        let ins = Instruction::GetProperties(
+            ConfigMap::new()
+                .with_str(OP, "spectrum")
+                .with_floats("grid_periods", grid.clone()),
+        );
+        let (outcome, idx) = tolerant_round(rt, "meta_features", &ins, policy, rounds)?;
+        let mut specs: Vec<&[f64]> = Vec::new();
+        for (id, r) in &outcome.replies {
+            let usable = match r {
+                Reply::Properties(p) => p
+                    .get("spectrum")
+                    .and_then(|v| v.as_float_vec())
+                    .filter(|spec| spec.len() == grid.len()),
+                _ => None,
+            };
+            match usable {
+                Some(spec) => specs.push(spec),
+                None => rounds[idx]
+                    .app_errors
+                    .push((*id, "missing or mis-sized spectrum".into())),
             }
-            None => rounds[idx]
-                .app_errors
-                .push((*id, "missing or mis-sized spectrum".into())),
         }
-    }
-    rounds[idx].usable = n;
-    if n == 0 {
-        return Ok(vec![]);
-    }
-    let peaks = periodogram::peaks_on_grid(&grid, &agg, max_components, 5.0, max_len);
-    Ok(peaks.into_iter().map(|s| s.period).collect())
+        rounds[idx].usable = specs.len();
+        if specs.is_empty() {
+            return Ok(vec![]);
+        }
+        let agg = sum_spectra(&specs);
+        let peaks = periodogram::peaks_on_grid(&grid, &agg, max_components, 5.0, max_len);
+        Ok(peaks.into_iter().map(|s| s.period).collect())
+    })
 }
 
 /// Fault-tolerant [`run_feature_engineering`]: importances are collected
@@ -231,58 +243,61 @@ pub fn federated_seasonal_periods_tolerant(
 /// surface as application errors in later rounds.
 pub fn run_feature_engineering_tolerant(
     rt: &FederatedRuntime,
+    par: ff_par::ParConfig,
     spec: &GlobalFeatureSpec,
     threshold: f64,
     policy: &RoundPolicy,
     rounds: &mut Vec<crate::report::RoundReport>,
 ) -> Result<Vec<usize>> {
-    let ins = Instruction::Fit {
-        params: vec![],
-        config: spec.to_config_map().with_str(OP, "feature_engineering"),
-    };
-    let (outcome, idx) = tolerant_round(rt, "feature_engineering", &ins, policy, rounds)?;
-    let mut importances = Vec::new();
-    let mut weights = Vec::new();
-    for (id, r) in &outcome.replies {
-        match r {
-            Reply::FitRes {
-                num_examples,
-                metrics,
-                ..
-            } => {
-                if let Some(err) = metrics.get("error").and_then(|v| v.as_str()) {
-                    rounds[idx].app_errors.push((*id, err.to_string()));
-                    continue;
-                }
-                match metrics.get("importances").and_then(|v| v.as_float_vec()) {
-                    Some(imp) => {
-                        importances.push(imp.to_vec());
-                        weights.push(*num_examples as f64);
+    par.scope(|| {
+        let ins = Instruction::Fit {
+            params: vec![],
+            config: spec.to_config_map().with_str(OP, "feature_engineering"),
+        };
+        let (outcome, idx) = tolerant_round(rt, "feature_engineering", &ins, policy, rounds)?;
+        let mut importances = Vec::new();
+        let mut weights = Vec::new();
+        for (id, r) in &outcome.replies {
+            match r {
+                Reply::FitRes {
+                    num_examples,
+                    metrics,
+                    ..
+                } => {
+                    if let Some(err) = metrics.get("error").and_then(|v| v.as_str()) {
+                        rounds[idx].app_errors.push((*id, err.to_string()));
+                        continue;
                     }
-                    None => rounds[idx]
-                        .app_errors
-                        .push((*id, "client sent no importances".into())),
+                    match metrics.get("importances").and_then(|v| v.as_float_vec()) {
+                        Some(imp) => {
+                            importances.push(imp.to_vec());
+                            weights.push(*num_examples as f64);
+                        }
+                        None => rounds[idx]
+                            .app_errors
+                            .push((*id, "client sent no importances".into())),
+                    }
                 }
+                Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
+                other => rounds[idx]
+                    .app_errors
+                    .push((*id, format!("unexpected reply {other:?}"))),
             }
-            Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
-            other => rounds[idx]
-                .app_errors
-                .push((*id, format!("unexpected reply {other:?}"))),
         }
-    }
-    rounds[idx].usable = importances.len();
-    let required = policy.min_responses.max(1);
-    if importances.len() < required {
-        return Err(quorum_unmet(rounds, idx, importances.len(), required));
-    }
-    let keep = select_features(&importances, &weights, threshold);
-    let keep_f: Vec<f64> = keep.iter().map(|&j| j as f64).collect();
-    let apply = Instruction::Fit {
-        params: vec![],
-        config: ConfigMap::new()
-            .with_str(OP, "apply_selection")
-            .with_floats("keep", keep_f),
-    };
-    tolerant_round(rt, "feature_engineering", &apply, policy, rounds)?;
-    Ok(keep)
+        rounds[idx].usable = importances.len();
+        let required = policy.min_responses.max(1);
+        if importances.len() < required {
+            return Err(quorum_unmet(rounds, idx, importances.len(), required));
+        }
+        let keep = select_features(&importances, &weights, threshold);
+        let keep_f: Vec<f64> = keep.iter().map(|&j| j as f64).collect();
+        let apply = Instruction::Fit {
+            params: vec![],
+            config: ConfigMap::new()
+                .with_str(OP, "apply_selection")
+                .with_floats("keep", keep_f),
+        };
+        tolerant_round(rt, "feature_engineering", &apply, policy, rounds)?;
+        Ok(keep)
+    })
 }

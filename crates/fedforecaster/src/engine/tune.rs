@@ -48,6 +48,17 @@ pub fn evaluate_config(rt: &FederatedRuntime, config: &Configuration) -> Result<
 /// losses remain.
 pub fn evaluate_config_tolerant(
     rt: &FederatedRuntime,
+    par: ff_par::ParConfig,
+    config: &Configuration,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+    ctx: &mut RobustCtx,
+) -> Result<f64> {
+    par.scope(|| evaluate_config_tolerant_inner(rt, config, policy, rounds, ctx))
+}
+
+fn evaluate_config_tolerant_inner(
+    rt: &FederatedRuntime,
     config: &Configuration,
     policy: &RoundPolicy,
     rounds: &mut Vec<RoundReport>,

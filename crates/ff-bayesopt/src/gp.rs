@@ -32,7 +32,9 @@ impl GaussianProcess {
         let y_std = ff_linalg::vector::stddev(ys).max(1e-9);
         let ys_n: Vec<f64> = ys.iter().map(|&v| (v - y_mean) / y_std).collect();
 
-        let mut k = Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+        // Kernel entries are pairwise-independent, so the parallel fill is
+        // bit-identical to the sequential one at any thread count.
+        let mut k = Matrix::from_fn_par(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
         k.add_diagonal(noise.max(1e-10));
         let factor = CholeskyFactor::new_with_jitter(&k, 1e-8, 10)
             .map_err(|e| BoError::Numerical(e.to_string()))?;

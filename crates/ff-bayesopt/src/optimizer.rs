@@ -138,22 +138,38 @@ impl BayesOpt {
         };
         let _acquire_span = self.tracer.span("gp.acquire");
         let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
-        let mut best_candidate: Option<(f64, Configuration)> = None;
-        for _ in 0..self.n_candidates {
-            let cand = self.space.sample(&mut self.rng);
-            let z = self.space.encode(&cand);
+        // Draw every candidate and its tie-break jitter sequentially first:
+        // the RNG stream is consumed in exactly the order the historical
+        // one-by-one loop used (sample, jitter, sample, jitter, …), so the
+        // chosen configuration does not depend on the thread count.
+        let cands: Vec<(Configuration, f64)> = (0..self.n_candidates)
+            .map(|_| {
+                let cand = self.space.sample(&mut self.rng);
+                // Tiny jitter breaks exact ties deterministically via the RNG.
+                let jitter = self.rng.gen::<f64>() * 1e-12;
+                (cand, jitter)
+            })
+            .collect();
+        // Scoring is pure — batch it on the ff-par pool, then take the
+        // earliest maximum, matching the sequential keep-first semantics.
+        let space = &self.space;
+        let acquisition = &self.acquisition;
+        let scores = ff_par::par_map_indexed(&cands, |_, (cand, jitter)| {
+            let z = space.encode(cand);
             let (mean, var) = gp.predict(&z);
-            let score = self.acquisition.score(mean, var, best);
-            // Tiny jitter breaks exact ties deterministically via the RNG.
-            let score = score + self.rng.gen::<f64>() * 1e-12;
-            match &best_candidate {
-                Some((b, _)) if score <= *b => {}
-                _ => best_candidate = Some((score, cand)),
+            acquisition.score(mean, var, best) + jitter
+        });
+        let mut best_candidate: Option<(f64, usize)> = None;
+        for (i, &score) in scores.iter().enumerate() {
+            match best_candidate {
+                Some((b, _)) if score <= b => {}
+                _ => best_candidate = Some((score, i)),
             }
         }
-        Ok(best_candidate
-            .map(|(_, c)| c)
-            .unwrap_or_else(|| self.space.sample(&mut self.rng)))
+        match best_candidate {
+            Some((_, i)) => Ok(cands.into_iter().nth(i).map(|(c, _)| c).unwrap()),
+            None => Ok(self.space.sample(&mut self.rng)),
+        }
     }
 
     /// Reports the observed loss for the configuration most recently asked.
@@ -340,6 +356,28 @@ mod tests {
             .collect();
         assert_eq!(traj.len(), 10);
         assert!(traj.windows(2).all(|w| w[1] <= w[0] + 1e-15));
+    }
+
+    #[test]
+    fn ask_sequence_is_identical_across_thread_counts() {
+        // The whole ask/tell trajectory — including model-guided steps with
+        // parallel acquisition scoring — must not depend on FF_THREADS.
+        let run = |threads: usize| {
+            ff_par::with_threads(threads, || {
+                let mut bo = BayesOpt::new(space_1d(), 42).unwrap();
+                let mut asked = Vec::new();
+                for _ in 0..12 {
+                    let cfg = bo.ask().unwrap();
+                    let loss = objective(&cfg);
+                    asked.push((cfg.clone(), loss.to_bits()));
+                    bo.tell(&cfg, loss).unwrap();
+                }
+                asked
+            })
+        };
+        let seq = run(1);
+        assert_eq!(run(2), seq);
+        assert_eq!(run(8), seq);
     }
 
     #[test]

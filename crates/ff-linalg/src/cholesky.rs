@@ -18,6 +18,13 @@ impl CholeskyFactor {
     /// Returns [`LinalgError::NotPositiveDefinite`] when a non-positive pivot
     /// is encountered; callers that work with nearly-singular kernels should
     /// prefer [`CholeskyFactor::new_with_jitter`].
+    ///
+    /// Large matrices use a blocked right-looking sweep whose trailing
+    /// update runs row-parallel on the ff-par pool. Every element's
+    /// subtractions are still applied in ascending-`k` order starting from
+    /// `a[i][j]`, exactly as the textbook left-looking loop does, so the
+    /// factor (and the first failing pivot, if any) is bit-identical to the
+    /// sequential algorithm at every thread count.
     pub fn new(a: &Matrix) -> Result<Self> {
         if a.rows() != a.cols() {
             return Err(LinalgError::DimensionMismatch {
@@ -29,24 +36,74 @@ impl CholeskyFactor {
         if n == 0 {
             return Err(LinalgError::Empty);
         }
+        /// Columns factored per panel before the trailing update.
+        const PANEL: usize = 32;
+        // Seed the lower triangle with `a`; partial sums live in place
+        // between panels (f64 stores are exact, so spilling the running sum
+        // to memory does not change its bits).
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = a.get(i, j);
-                for k in 0..j {
-                    sum -= l.get(i, k) * l.get(j, k);
-                }
-                if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite);
-                    }
-                    l.set(i, j, sum.sqrt());
-                } else {
-                    l.set(i, j, sum / l.get(j, j));
-                }
+                l.set(i, j, a.get(i, j));
             }
         }
+        let mut p0 = 0;
+        while p0 < n {
+            let p1 = (p0 + PANEL).min(n);
+            // Factor the panel columns sequentially (each column depends on
+            // the previous ones).
+            for j in p0..p1 {
+                let mut sum = l.get(j, j);
+                for k in p0..j {
+                    sum -= l.get(j, k) * l.get(j, k);
+                }
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                let d = sum.sqrt();
+                l.set(j, j, d);
+                for i in (j + 1)..n {
+                    let mut sum = l.get(i, j);
+                    for k in p0..j {
+                        sum -= l.get(i, k) * l.get(j, k);
+                    }
+                    l.set(i, j, sum / d);
+                }
+            }
+            if p1 < n {
+                Self::trailing_update(&mut l, n, p0, p1);
+            }
+            p0 = p1;
+        }
         Ok(CholeskyFactor { l })
+    }
+
+    /// Subtracts the factored panel's contribution `Σ_{k∈[p0,p1)} L_ik·L_jk`
+    /// from every trailing element `(i, j)` with `p1 ≤ j ≤ i`. Rows are
+    /// independent, so the update is chunked over rows on the ff-par pool;
+    /// the panel is snapshotted first so workers only read immutable data.
+    fn trailing_update(l: &mut Matrix, n: usize, p0: usize, p1: usize) {
+        let pw = p1 - p0;
+        let panel: Vec<f64> = (p0..n)
+            .flat_map(|i| l.row(i)[p0..p1].iter().copied())
+            .collect();
+        let rows_per = ff_par::partition_len(n - p1, 8);
+        let tail = &mut l.as_mut_slice()[p1 * n..];
+        ff_par::par_chunks_mut(tail, rows_per * n, |c, chunk| {
+            let base = p1 + c * rows_per;
+            for (r, row) in chunk.chunks_mut(n).enumerate() {
+                let i = base + r;
+                let pi = &panel[(i - p0) * pw..(i - p0 + 1) * pw];
+                for j in p1..=i {
+                    let pj = &panel[(j - p0) * pw..(j - p0 + 1) * pw];
+                    let mut sum = row[j];
+                    for (x, y) in pi.iter().zip(pj) {
+                        sum -= x * y;
+                    }
+                    row[j] = sum;
+                }
+            }
+        });
     }
 
     /// Factorizes `A + jitter·I`, growing the jitter geometrically (×10,
@@ -191,6 +248,67 @@ mod tests {
         let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
         let f = CholeskyFactor::new(&a).unwrap();
         assert!((f.log_det() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+
+    /// The textbook left-looking loop the blocked algorithm must match
+    /// bit-for-bit.
+    fn reference_left_looking(a: &Matrix) -> Result<Matrix> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// A well-conditioned SPD matrix big enough to span several panels.
+    fn spd_large(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            let d = if i == j { n as f64 } else { 0.0 };
+            d + 1.0 / ((i + j) as f64 + 1.0)
+        })
+    }
+
+    #[test]
+    fn blocked_factor_matches_left_looking_bitwise() {
+        // Sizes straddling the 32-column panel width, including ragged tails.
+        for n in [1usize, 7, 31, 32, 33, 97, 130] {
+            let a = spd_large(n);
+            let reference = reference_left_looking(&a).unwrap();
+            for &threads in &[1usize, 2, 8] {
+                let f = ff_par::with_threads(threads, || CholeskyFactor::new(&a).unwrap());
+                for (x, y) in f.l().as_slice().iter().zip(reference.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "n={n} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factor_fails_exactly_like_left_looking() {
+        // SPD except one late diagonal entry is poisoned: both algorithms
+        // must agree that the factorization fails (same first bad pivot).
+        let n = 70;
+        let mut a = spd_large(n);
+        a.set(50, 50, -1.0);
+        assert!(reference_left_looking(&a).is_err());
+        for &threads in &[1usize, 2, 8] {
+            let err = ff_par::with_threads(threads, || CholeskyFactor::new(&a).unwrap_err());
+            assert_eq!(err, LinalgError::NotPositiveDefinite, "threads={threads}");
+        }
     }
 
     #[test]

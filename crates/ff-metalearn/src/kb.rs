@@ -49,25 +49,28 @@ impl KnowledgeBase {
         client_counts: &[usize],
         min_per_client: usize,
     ) -> KnowledgeBase {
-        let mut records = Vec::new();
-        for (i, ds) in datasets.iter().enumerate() {
+        // Each dataset is synthesized and labelled independently on the
+        // ff-par pool; results are collected in dataset order, so the KB is
+        // identical at every thread count.
+        let labelled = ff_par::run_indexed(datasets.len(), |i| {
+            let ds = &datasets[i];
             let series = synthesis::generate(&ds.spec, ds.seed);
             let n_clients = client_counts[i % client_counts.len()];
             if series.len() / n_clients < min_per_client {
-                continue; // excluded per §4.1.1
+                return None; // excluded per §4.1.1
             }
             let clients = series.split_clients(n_clients);
-            if let Some((features, best_algorithm, best_mse)) = label_federation(&clients) {
-                records.push(KbRecord {
-                    dataset: ds.name.clone(),
-                    features,
-                    best_algorithm,
-                    best_mse,
-                    n_clients,
-                });
-            }
+            label_federation(&clients).map(|(features, best_algorithm, best_mse)| KbRecord {
+                dataset: ds.name.clone(),
+                features,
+                best_algorithm,
+                best_mse,
+                n_clients,
+            })
+        });
+        KnowledgeBase {
+            records: labelled.into_iter().flatten().collect(),
         }
-        KnowledgeBase { records }
     }
 
     /// Class labels as registry indices.
@@ -112,18 +115,23 @@ pub fn federation_features(clients: &[TimeSeries]) -> Option<(Vec<f64>, Vec<Prep
     if clients.is_empty() {
         return None;
     }
-    let mut metas = Vec::with_capacity(clients.len());
-    let mut prepared = Vec::with_capacity(clients.len());
-    for c in clients {
+    // Per-client extraction is independent; aggregation stays sequential in
+    // client order, so the feature vector is thread-count invariant.
+    let (metas, prepared): (Vec<_>, Vec<_>) = ff_par::par_map_indexed(clients, |_, c| {
         let (train, valid) = c.train_valid_split(0.2);
-        metas.push(ClientMetaFeatures::extract(&train));
+        let meta = ClientMetaFeatures::extract(&train);
         let train = interpolate::interpolated(&train);
         let valid = interpolate::interpolated(&valid);
-        prepared.push(PreparedClient {
-            train: train.values().to_vec(),
-            valid: valid.values().to_vec(),
-        });
-    }
+        (
+            meta,
+            PreparedClient {
+                train: train.values().to_vec(),
+                valid: valid.values().to_vec(),
+            },
+        )
+    })
+    .into_iter()
+    .unzip();
     let global = GlobalMetaFeatures::aggregate(&metas);
     Some((global.values().to_vec(), prepared))
 }
@@ -136,18 +144,22 @@ pub fn federation_features(clients: &[TimeSeries]) -> Option<(Vec<f64>, Vec<Prep
 /// without deterministic tie-breaking the KB labels become unlearnable
 /// noise for the meta-model.
 pub fn grid_search_best(clients: &[PreparedClient]) -> Option<(AlgorithmKind, f64)> {
-    let mut per_algorithm: Vec<(AlgorithmKind, f64)> = Vec::new();
-    for kind in AlgorithmKind::all() {
+    // Each algorithm's grid is evaluated independently on the ff-par pool;
+    // collecting in registry order preserves the tie-break semantics below.
+    let kinds = AlgorithmKind::all();
+    let per_algorithm: Vec<(AlgorithmKind, f64)> = ff_par::run_indexed(kinds.len(), |i| {
+        let kind = kinds[i];
         let mut best_for_kind = f64::INFINITY;
         for hp in grid_for(kind) {
             if let Some(loss) = federated_eval(kind, &hp, clients) {
                 best_for_kind = best_for_kind.min(loss);
             }
         }
-        if best_for_kind.is_finite() {
-            per_algorithm.push((kind, best_for_kind));
-        }
-    }
+        best_for_kind.is_finite().then_some((kind, best_for_kind))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let (_, best_loss) = *per_algorithm.iter().min_by(|a, b| a.1.total_cmp(&b.1))?;
     // First algorithm (registry order) within the tolerance band wins.
     per_algorithm
@@ -259,5 +271,26 @@ mod tests {
     #[test]
     fn empty_federation_is_none() {
         assert!(label_federation(&[]).is_none());
+    }
+
+    #[test]
+    fn kb_build_is_thread_count_invariant() {
+        let datasets = synthetic_kb(4);
+        let build = |threads: usize| {
+            ff_par::with_threads(threads, || KnowledgeBase::build(&datasets, &[2, 3], 100))
+        };
+        let seq = build(1);
+        for &threads in &[2usize, 8] {
+            let par = build(threads);
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            for (a, b) in par.records.iter().zip(&seq.records) {
+                assert_eq!(a.dataset, b.dataset);
+                assert_eq!(a.best_algorithm, b.best_algorithm);
+                assert_eq!(a.best_mse.to_bits(), b.best_mse.to_bits());
+                let af: Vec<u64> = a.features.iter().map(|v| v.to_bits()).collect();
+                let bf: Vec<u64> = b.features.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(af, bf);
+            }
+        }
     }
 }

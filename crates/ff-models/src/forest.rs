@@ -12,6 +12,20 @@ use ff_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Per-tree RNG seed: a splitmix64 hash of the forest seed and the tree
+/// index. Each tree owns an independent stream, so trees can be fitted in
+/// any order (or in parallel) with a thread-count-independent result.
+fn derive_tree_seed(seed: u64, tree: u64) -> u64 {
+    let mut z = seed ^ tree.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Below this many row-predictions, per-row parallel prediction costs more
+/// in pool spawns than it saves.
+const PAR_MIN_PREDICTIONS: usize = 4096;
+
 /// Bagged regression forest.
 #[derive(Debug, Clone)]
 pub struct RandomForestRegressor {
@@ -79,20 +93,24 @@ impl Regressor for RandomForestRegressor {
             feature_subsample: self.feature_subsample,
             random_thresholds: self.random_thresholds,
         };
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.trees.clear();
-        let mut gains = vec![0.0; x.cols()];
-        for _ in 0..self.n_trees {
-            let rows: Vec<usize> = if self.bootstrap {
+        // Each tree gets its own derived RNG stream, so the fits are
+        // independent tasks; ff-par returns them in tree order and the
+        // forest is identical at every thread count.
+        let (seed, bootstrap) = (self.seed, self.bootstrap);
+        self.trees = ff_par::run_indexed(self.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(derive_tree_seed(seed, t as u64));
+            let rows: Vec<usize> = if bootstrap {
                 (0..n).map(|_| rng.gen_range(0..n)).collect()
             } else {
                 (0..n).collect()
             };
-            let tree = GhTree::fit(x, &grad, &hess, &rows, &cfg, &mut rng);
+            GhTree::fit(x, &grad, &hess, &rows, &cfg, &mut rng)
+        });
+        let mut gains = vec![0.0; x.cols()];
+        for tree in &self.trees {
             for (g, t) in gains.iter_mut().zip(&tree.feature_gains) {
                 *g += t;
             }
-            self.trees.push(tree);
         }
         let total: f64 = gains.iter().sum();
         self.importances = if total > 0.0 {
@@ -107,12 +125,16 @@ impl Regressor for RandomForestRegressor {
         if self.trees.is_empty() {
             return Err(ModelError::NotFitted);
         }
-        Ok((0..x.rows())
-            .map(|i| {
-                let row = x.row(i);
-                self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
-            })
-            .collect())
+        let predict_row = |i: usize| {
+            let row = x.row(i);
+            self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+        };
+        // Rows are independent; small batches stay on the calling thread.
+        if x.rows() * self.trees.len() >= PAR_MIN_PREDICTIONS {
+            Ok(ff_par::run_indexed(x.rows(), predict_row))
+        } else {
+            Ok((0..x.rows()).map(predict_row).collect())
+        }
     }
 }
 
@@ -189,21 +211,23 @@ impl Classifier for RandomForestClassifier {
             feature_subsample: subsample,
             random_thresholds: self.random_thresholds,
         };
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        self.trees.clear();
         self.n_classes = n_classes;
-        let mut gains = vec![0.0; p];
-        for _ in 0..self.n_trees {
-            let rows: Vec<usize> = if self.bootstrap {
+        // Independent per-tree RNG streams; see the regressor fit above.
+        let (seed, bootstrap) = (self.seed, self.bootstrap);
+        self.trees = ff_par::run_indexed(self.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(derive_tree_seed(seed, t as u64));
+            let rows: Vec<usize> = if bootstrap {
                 (0..n).map(|_| rng.gen_range(0..n)).collect()
             } else {
                 (0..n).collect()
             };
-            let tree = ClassificationTree::fit(x, labels, n_classes, &rows, &cfg, &mut rng);
+            ClassificationTree::fit(x, labels, n_classes, &rows, &cfg, &mut rng)
+        });
+        let mut gains = vec![0.0; p];
+        for tree in &self.trees {
             for (g, t) in gains.iter_mut().zip(&tree.feature_gains) {
                 *g += t;
             }
-            self.trees.push(tree);
         }
         let total: f64 = gains.iter().sum();
         self.importances = if total > 0.0 {
@@ -219,9 +243,8 @@ impl Classifier for RandomForestClassifier {
             return Err(ModelError::NotFitted);
         }
         let mut out = Matrix::zeros(x.rows(), self.n_classes);
-        for i in 0..x.rows() {
+        let fill_row = |i: usize, acc: &mut [f64]| {
             let row = x.row(i);
-            let acc = out.row_mut(i);
             for tree in &self.trees {
                 for (a, &p) in acc.iter_mut().zip(tree.predict_row(row)) {
                     *a += p;
@@ -232,6 +255,16 @@ impl Classifier for RandomForestClassifier {
                 for a in acc.iter_mut() {
                     *a /= sum;
                 }
+            }
+        };
+        // Each output row is written whole by one task, so the proba matrix
+        // is identical at every thread count.
+        if x.rows() * self.trees.len() >= PAR_MIN_PREDICTIONS && self.n_classes > 0 {
+            let n_classes = self.n_classes;
+            ff_par::par_chunks_mut(out.as_mut_slice(), n_classes, |i, acc| fill_row(i, acc));
+        } else {
+            for i in 0..x.rows() {
+                fill_row(i, out.row_mut(i));
             }
         }
         Ok(out)
@@ -331,6 +364,38 @@ mod tests {
         let mut c = RandomForestClassifier::extra_trees(20, 8, 7);
         c.fit(&x, &labels, 2).unwrap();
         assert!(accuracy(&labels, &c.predict(&x).unwrap()) > 0.9);
+    }
+
+    #[test]
+    fn forest_fit_and_predict_are_thread_count_invariant() {
+        let (x, y) = regression_data(150);
+        let labels: Vec<usize> = y.iter().map(|&v| usize::from(v > 2.0)).collect();
+        let run = |threads: usize| {
+            ff_par::with_threads(threads, || {
+                let mut f = RandomForestRegressor::new(16, 5, 9);
+                f.fit(&x, &y).unwrap();
+                let pred: Vec<u64> = f.predict(&x).unwrap().iter().map(|v| v.to_bits()).collect();
+                let imp: Vec<u64> = f
+                    .feature_importances()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let mut c = RandomForestClassifier::new(16, 5, 9);
+                c.fit(&x, &labels, 2).unwrap();
+                let proba: Vec<u64> = c
+                    .predict_proba(&x)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                (pred, imp, proba)
+            })
+        };
+        let seq = run(1);
+        assert_eq!(run(2), seq);
+        assert_eq!(run(8), seq);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Deterministic data parallelism for the FedForecaster numerics stack.
+//!
+//! Zero-dependency (std-only) scoped thread pool built on
+//! [`std::thread::scope`] plus an atomic work queue. The crate exists to
+//! make the workspace's hot kernels — matmul, Cholesky panels, GP kernel
+//! matrices, per-tree forest fits, meta-feature extraction, KB labelling —
+//! use every core **without ever changing a single output bit**:
+//!
+//! - **Index-ordered results.** [`par_map_indexed`] / [`par_chunks_map`]
+//!   place each task's result by its *index*, never by completion order.
+//! - **Fixed-shape reductions.** [`par_reduce`] combines partial results in
+//!   a binary tree whose shape depends only on the task count — never on
+//!   the thread count or on which worker finished first. No atomics-into-
+//!   float accumulation anywhere.
+//! - **Exact sequential fallback.** One worker (or `FF_THREADS=1`, or a
+//!   nested call from inside a worker) executes the *same* arithmetic in
+//!   the same order, so parallel and sequential runs are bit-identical.
+//! - **Panic propagation.** A panicking task is captured, the pool drains
+//!   without deadlocking, and the payload is re-raised on the caller (the
+//!   lowest-indexed panicking task wins, deterministically).
+//!
+//! Thread-count resolution, highest priority first:
+//! 1. a thread-local override installed by [`with_threads`] /
+//!    [`ParConfig::scope`] (scoped to the calling thread);
+//! 2. the process-global count from [`set_global_threads`] /
+//!    [`ParConfig::install_global`];
+//! 3. the `FF_THREADS` environment variable (read once);
+//! 4. [`std::thread::available_parallelism`].
+
+mod pool;
+
+pub use pool::{
+    par_chunks_map, par_chunks_mut, par_map_indexed, par_reduce, run_indexed, stats, StatsSnapshot,
+};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-count policy for a component (0 = inherit the ambient
+/// resolution: thread-local override → global → `FF_THREADS` → hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParConfig {
+    /// Worker threads; `0` means "auto".
+    pub threads: usize,
+}
+
+impl ParConfig {
+    /// Inherit the ambient thread count (the default).
+    pub fn auto() -> ParConfig {
+        ParConfig { threads: 0 }
+    }
+
+    /// Exactly one worker: the bit-exact sequential fallback.
+    pub fn sequential() -> ParConfig {
+        ParConfig { threads: 1 }
+    }
+
+    /// A fixed worker count.
+    pub fn with_threads(threads: usize) -> ParConfig {
+        ParConfig { threads }
+    }
+
+    /// The worker count this config resolves to right now.
+    pub fn resolve(&self) -> usize {
+        if self.threads != 0 {
+            self.threads
+        } else {
+            effective_threads()
+        }
+    }
+
+    /// Runs `f` with this config's thread count installed as the calling
+    /// thread's override (no-op for `auto`). Determinism does not depend
+    /// on this — it only controls how many workers the kernels under `f`
+    /// may use from this thread.
+    pub fn scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.threads == 0 {
+            f()
+        } else {
+            with_threads(self.threads, f)
+        }
+    }
+
+    /// Installs this config process-wide (no-op for `auto`). Worker threads
+    /// spawned later (e.g. FL client threads) resolve through the global,
+    /// so engines install their configured count here before a run.
+    pub fn install_global(&self) {
+        if self.threads != 0 {
+            set_global_threads(self.threads);
+        }
+    }
+}
+
+/// Process-global worker count; 0 = not yet resolved.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override; 0 = none.
+    static OVERRIDE_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// True while executing inside an ff-par worker: nested calls run
+    /// sequentially instead of spawning (and instead of self-deadlocking).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count kernels on this thread will use.
+pub fn effective_threads() -> usize {
+    let o = OVERRIDE_THREADS.with(|c| c.get());
+    if o != 0 {
+        return o;
+    }
+    let g = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if g != 0 {
+        return g;
+    }
+    let n = std::env::var("FF_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    // First resolver wins; losers re-read so every thread agrees.
+    let _ = GLOBAL_THREADS.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed);
+    GLOBAL_THREADS.load(Ordering::Relaxed)
+}
+
+/// Sets the process-global worker count (clamped to ≥ 1). Overrides
+/// `FF_THREADS` for every thread without an active [`with_threads`] scope.
+pub fn set_global_threads(n: usize) {
+    GLOBAL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Runs `f` with `n` workers as this thread's override, restoring the
+/// previous override on exit (panic-safe). The override is thread-local:
+/// it does not affect other threads already running.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE_THREADS.with(|c| c.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// True when the current thread is an ff-par worker (nested parallel calls
+/// fall back to sequential execution).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|c| c.get())
+}
+
+pub(crate) struct WorkerGuard {
+    prev: bool,
+}
+
+impl WorkerGuard {
+    pub(crate) fn enter() -> WorkerGuard {
+        let prev = IN_WORKER.with(|c| c.replace(true));
+        WorkerGuard { prev }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|c| c.set(prev));
+    }
+}
+
+/// A work-partitioning helper for row/chunk-parallel kernels: the length of
+/// each contiguous chunk when `total` items are split into roughly
+/// `oversubscribe × workers` tasks of at least `min_per_chunk` items.
+///
+/// The returned length may (deliberately) depend on the ambient thread
+/// count — use it **only** for partitioning work whose per-item results are
+/// independent of the partition (row fills, per-tree fits). Reductions must
+/// go through [`par_reduce`], whose shape is fixed by the task count alone.
+pub fn partition_len(total: usize, min_per_chunk: usize) -> usize {
+    let workers = effective_threads().max(1);
+    let target_tasks = workers.saturating_mul(4).max(1);
+    total
+        .div_ceil(target_tasks)
+        .max(min_per_chunk.max(1))
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests below mutate the process-global thread count; serialize them
+    /// so cargo's parallel test harness cannot interleave the mutations.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn config_resolution_precedence() {
+        let _g = global_lock();
+        // Explicit config beats everything.
+        assert_eq!(ParConfig::with_threads(3).resolve(), 3);
+        assert_eq!(ParConfig::sequential().resolve(), 1);
+        // Thread-local override beats the global.
+        set_global_threads(2);
+        with_threads(5, || {
+            assert_eq!(effective_threads(), 5);
+            assert_eq!(ParConfig::auto().resolve(), 5);
+            // Nested override shadows, then restores.
+            with_threads(7, || assert_eq!(effective_threads(), 7));
+            assert_eq!(effective_threads(), 5);
+        });
+        assert_eq!(effective_threads(), 2);
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        let _g = global_lock();
+        set_global_threads(2);
+        let seen = ParConfig::with_threads(4).scope(effective_threads);
+        assert_eq!(seen, 4);
+        assert_eq!(effective_threads(), 2);
+        // Auto scope is a pass-through.
+        let seen = ParConfig::auto().scope(effective_threads);
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn set_global_zero_clamps_to_one() {
+        let _g = global_lock();
+        set_global_threads(0);
+        assert_eq!(effective_threads(), 1);
+        set_global_threads(2);
+    }
+
+    #[test]
+    fn partition_len_bounds() {
+        with_threads(4, || {
+            let len = partition_len(1000, 8);
+            assert!(len >= 8);
+            assert!(len <= 1000);
+            assert_eq!(partition_len(0, 8), 8);
+            // Tiny totals never produce zero-length chunks.
+            assert!(partition_len(1, 1) >= 1);
+        });
+    }
+}

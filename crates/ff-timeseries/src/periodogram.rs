@@ -145,9 +145,12 @@ pub fn weighted_seasonality(
     let periods = log_period_grid(longest as f64 / 2.0);
     let mut agg_power = vec![0.0; periods.len()];
     let wsum: f64 = weights.iter().sum::<f64>().max(1e-300);
-    for (client, &w) in clients.iter().zip(weights) {
-        let spec = spectrum_on_grid(client, &periods);
-        for (a, s) in agg_power.iter_mut().zip(&spec) {
+    // Per-client FFTs run on the ff-par pool; the weighted accumulation
+    // stays sequential in client order, so the aggregate spectrum is
+    // bit-identical at every thread count.
+    let specs = ff_par::par_map_indexed(clients, |_, client| spectrum_on_grid(client, &periods));
+    for (spec, &w) in specs.iter().zip(weights) {
+        for (a, s) in agg_power.iter_mut().zip(spec) {
             *a += w / wsum * s;
         }
     }
@@ -252,6 +255,28 @@ mod tests {
         let s = weighted_seasonality(&[&heavy, &light], &[0.95, 0.05], 1, 2.0);
         assert!(!s.is_empty());
         assert!((s[0].period - 10.0).abs() < 1.0, "period={}", s[0].period);
+    }
+
+    #[test]
+    fn weighted_seasonality_is_thread_count_invariant() {
+        let clients: Vec<Vec<f64>> = (0..5)
+            .map(|c| {
+                (0..256)
+                    .map(|t| (2.0 * PI * t as f64 / (10.0 + c as f64)).sin())
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = clients.iter().map(|c| c.as_slice()).collect();
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let seq = ff_par::with_threads(1, || weighted_seasonality(&refs, &w, 3, 2.0));
+        for &threads in &[2usize, 8] {
+            let par = ff_par::with_threads(threads, || weighted_seasonality(&refs, &w, 3, 2.0));
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.period.to_bits(), b.period.to_bits());
+                assert_eq!(a.power.to_bits(), b.power.to_bits());
+            }
+        }
     }
 
     #[test]
