@@ -11,7 +11,9 @@
 //! strict [`finalize_with`] entry point is the same code run under the
 //! strict round policy.
 
-use super::rounds::{quorum_unmet, record_screen, strict_policy, tolerant_round, RobustCtx};
+use super::rounds::{
+    quorum_unmet, record_screen, strict_policy, tolerant_eval_round, tolerant_round, RobustCtx,
+};
 use crate::aggregate::GlobalModel;
 use crate::client::OP;
 use crate::report::RoundReport;
@@ -22,7 +24,7 @@ use ff_fl::config::{ConfigMap, ConfigMapExt};
 use ff_fl::message::{Instruction, Reply};
 use ff_fl::runtime::{FederatedRuntime, RoundPolicy};
 use ff_fl::secure::{mask_contribution, unmask_average};
-use ff_fl::strategy::{aggregate_loss, fedavg, fit_updates, unwrap_fit_replies};
+use ff_fl::strategy::{fedavg, fit_updates, unwrap_fit_replies};
 use ff_models::spec::FinalizeStrategy;
 
 /// Phase IV with the default
@@ -53,67 +55,6 @@ pub fn finalize_with(
         &mut Vec::new(),
         &mut RobustCtx::permissive(),
     )
-}
-
-/// One tolerant Evaluate round aggregated by Equation 1 over the finite
-/// survivor losses.
-fn tolerant_eval_round(
-    rt: &FederatedRuntime,
-    params: Vec<f64>,
-    op_config: ConfigMap,
-    policy: &RoundPolicy,
-    rounds: &mut Vec<RoundReport>,
-    ctx: &mut RobustCtx,
-) -> Result<f64> {
-    let ins = Instruction::Evaluate {
-        params,
-        config: op_config,
-    };
-    let (outcome, idx) = tolerant_round(rt, "finalization", &ins, policy, rounds)?;
-    let mut candidates: Vec<(usize, f64, u64)> = Vec::new();
-    for (id, r) in &outcome.replies {
-        match r {
-            Reply::EvaluateRes {
-                loss, num_examples, ..
-            } => candidates.push((*id, *loss, *num_examples)),
-            Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
-            other => rounds[idx]
-                .app_errors
-                .push((*id, format!("unexpected reply {other:?}"))),
-        }
-    }
-    let losses: Vec<(f64, u64)> = if ctx.is_robust() {
-        let screened = ctx.guard.screen_losses(candidates);
-        let accepted_ids: Vec<usize> = screened.accepted.iter().map(|(id, _, _)| *id).collect();
-        record_screen(rt, rounds, idx, &accepted_ids, &screened.rejected);
-        screened
-            .accepted
-            .into_iter()
-            .map(|(_, loss, n)| (loss, n))
-            .collect()
-    } else {
-        let mut losses = Vec::new();
-        for (id, loss, n) in candidates {
-            if loss.is_finite() {
-                losses.push((loss, n));
-            } else {
-                rounds[idx].non_finite.push(id);
-            }
-        }
-        losses
-    };
-    rounds[idx].usable = losses.len();
-    let required = policy.min_responses.max(1);
-    if losses.len() < required {
-        return Err(quorum_unmet(rounds, idx, losses.len(), required));
-    }
-    if ctx.is_robust() {
-        ctx.strategy
-            .aggregate_loss(&losses)
-            .map_err(EngineError::Federation)
-    } else {
-        aggregate_loss(&losses).map_err(EngineError::Federation)
-    }
 }
 
 /// Fault-tolerant finalization: the final fit, aggregation, and test
@@ -221,20 +162,25 @@ fn finalize_with_tolerant_inner(
                 let fit_results = unwrap_fit_replies(usable).map_err(EngineError::Federation)?;
                 fedavg(&fit_results).map_err(EngineError::Federation)?
             };
+            // Split off what the deployed model keeps *before* the eval
+            // round takes ownership of the full vector — the broadcast
+            // path never clones the global model.
+            let p = global_params.len() - 1;
+            let coef = global_params[..p].to_vec();
+            let intercept = global_params[p];
             let test_mse = tolerant_eval_round(
                 rt,
-                global_params.clone(),
+                global_params,
                 ConfigMap::new().with_str(OP, "test_global_linear"),
                 policy,
                 rounds,
                 ctx,
             )?;
-            let p = global_params.len() - 1;
             Ok((
                 GlobalModel::Linear {
                     algorithm,
-                    coef: global_params[..p].to_vec(),
-                    intercept: global_params[p],
+                    coef,
+                    intercept,
                 },
                 test_mse,
             ))
@@ -275,17 +221,21 @@ fn finalize_union(
     }
     let union_available = blobs.len() == usable.len() && !blobs.is_empty();
     let members = blobs.len();
-    let ensemble_config = |split: &str| -> ConfigMap {
+    // Takes the blobs by value: the ConfigMap absorbs them without
+    // copying, so the round that ends a blob's life moves it. Only the
+    // `Auto` validation probe — which needs the blobs again for the test
+    // round — pays for a copy.
+    fn ensemble_config(split: &str, blobs: Vec<Vec<u8>>, weights: &[f64]) -> ConfigMap {
         let wsum: f64 = weights.iter().sum();
         let mut config = ConfigMap::new()
             .with_str(OP, "test_global_ensemble")
             .with_str("split", split)
             .with_floats("weights", weights.iter().map(|w| w / wsum).collect());
-        for (j, b) in blobs.iter().enumerate() {
-            config = config.with_bytes(&format!("blob_{j}"), b.clone());
+        for (j, b) in blobs.into_iter().enumerate() {
+            config = config.with_bytes(&format!("blob_{j}"), b);
         }
         config
-    };
+    }
     let local_config = |split: &str| {
         ConfigMap::new()
             .with_str(OP, "test_local")
@@ -299,8 +249,14 @@ fn finalize_union(
             // Leakage-free model selection: compare both deployments on the
             // validation split and pick the better.
             union_available && {
-                let union_valid =
-                    tolerant_eval_round(rt, vec![], ensemble_config("valid"), policy, rounds, ctx)?;
+                let union_valid = tolerant_eval_round(
+                    rt,
+                    vec![],
+                    ensemble_config("valid", blobs.clone(), &weights),
+                    policy,
+                    rounds,
+                    ctx,
+                )?;
                 let local_valid =
                     tolerant_eval_round(rt, vec![], local_config("valid"), policy, rounds, ctx)?;
                 union_valid <= local_valid
@@ -308,8 +264,14 @@ fn finalize_union(
         }
     };
     if use_union {
-        let test_mse =
-            tolerant_eval_round(rt, vec![], ensemble_config("test"), policy, rounds, ctx)?;
+        let test_mse = tolerant_eval_round(
+            rt,
+            vec![],
+            ensemble_config("test", blobs, &weights),
+            policy,
+            rounds,
+            ctx,
+        )?;
         Ok((GlobalModel::Ensemble { algorithm, members }, test_mse))
     } else {
         let test_mse = tolerant_eval_round(rt, vec![], local_config("test"), policy, rounds, ctx)?;

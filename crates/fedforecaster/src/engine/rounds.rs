@@ -11,9 +11,11 @@
 use crate::config::EngineConfig;
 use crate::report::RoundReport;
 use crate::{EngineError, Result};
-use ff_fl::message::Instruction;
+use ff_fl::config::ConfigMap;
+use ff_fl::message::{Instruction, Reply};
 use ff_fl::robust::{AggregationStrategy, RejectReason, UpdateGuard};
 use ff_fl::runtime::{FederatedRuntime, RoundOutcome, RoundPolicy};
+use ff_fl::strategy::aggregate_loss;
 use ff_fl::FlError;
 
 /// Per-run robust-aggregation state threaded through every tolerant stage:
@@ -136,6 +138,70 @@ pub(crate) fn tolerant_round(
             }
             Err(EngineError::Federation(e))
         }
+    }
+}
+
+/// One tolerant Evaluate round aggregated by Equation 1 over the finite
+/// survivor losses (or the configured robust loss rule when the context
+/// is robust). Takes ownership of `params` — callers that still need the
+/// vector extract what they keep *before* handing it over rather than
+/// cloning a full model copy per evaluation.
+pub(crate) fn tolerant_eval_round(
+    rt: &FederatedRuntime,
+    params: Vec<f64>,
+    op_config: ConfigMap,
+    policy: &RoundPolicy,
+    rounds: &mut Vec<RoundReport>,
+    ctx: &mut RobustCtx,
+) -> Result<f64> {
+    let ins = Instruction::Evaluate {
+        params,
+        config: op_config,
+    };
+    let (outcome, idx) = tolerant_round(rt, "finalization", &ins, policy, rounds)?;
+    let mut candidates: Vec<(usize, f64, u64)> = Vec::new();
+    for (id, r) in &outcome.replies {
+        match r {
+            Reply::EvaluateRes {
+                loss, num_examples, ..
+            } => candidates.push((*id, *loss, *num_examples)),
+            Reply::Error(e) => rounds[idx].app_errors.push((*id, e.clone())),
+            other => rounds[idx]
+                .app_errors
+                .push((*id, format!("unexpected reply {other:?}"))),
+        }
+    }
+    let losses: Vec<(f64, u64)> = if ctx.is_robust() {
+        let screened = ctx.guard.screen_losses(candidates);
+        let accepted_ids: Vec<usize> = screened.accepted.iter().map(|(id, _, _)| *id).collect();
+        record_screen(rt, rounds, idx, &accepted_ids, &screened.rejected);
+        screened
+            .accepted
+            .into_iter()
+            .map(|(_, loss, n)| (loss, n))
+            .collect()
+    } else {
+        let mut losses = Vec::new();
+        for (id, loss, n) in candidates {
+            if loss.is_finite() {
+                losses.push((loss, n));
+            } else {
+                rounds[idx].non_finite.push(id);
+            }
+        }
+        losses
+    };
+    rounds[idx].usable = losses.len();
+    let required = policy.min_responses.max(1);
+    if losses.len() < required {
+        return Err(quorum_unmet(rounds, idx, losses.len(), required));
+    }
+    if ctx.is_robust() {
+        ctx.strategy
+            .aggregate_loss(&losses)
+            .map_err(EngineError::Federation)
+    } else {
+        aggregate_loss(&losses).map_err(EngineError::Federation)
     }
 }
 

@@ -1,5 +1,5 @@
 //! **Communication report** — the FL-efficiency angle of the paper's
-//! motivation (§1: FL "reduc[es] communication overhead"). Breaks one
+//! motivation (§1: FL "reduc\[es\] communication overhead"). Breaks one
 //! engine run's traffic down by pipeline phase, compares it against the
 //! federated N-BEATS baseline's weight exchange, and shows what update
 //! compression would save.

@@ -91,6 +91,75 @@ pub struct ChaosConfig {
     pub adversary: AdversarialMode,
 }
 
+impl ChaosConfig {
+    /// Deterministic per-client fault profile for fleet-scale chaos runs.
+    ///
+    /// Hashes `(fleet_seed, client_id)` to decide, reproducibly, whether
+    /// this client is Byzantine (the first `byzantine_fraction` of the
+    /// hash space: a rotating attack drawn from [`AdversarialMode`]) and
+    /// whether it is availability-faulty (an *independent* draw of
+    /// `fault_fraction`: a mix of reply-dropping and payload-corrupting
+    /// links). **No sleep-based faults** — a 10,000-client simulated
+    /// round must not wait on wall clocks, so stragglers are modelled as
+    /// deterministic drops, never delays.
+    pub fn fleet_profile(
+        fleet_seed: u64,
+        client_id: usize,
+        byzantine_fraction: f64,
+        fault_fraction: f64,
+    ) -> ChaosConfig {
+        // splitmix64 over (seed, id) — one draw per decision.
+        let mut state = fleet_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(client_id as u64)
+            .wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let unit = |raw: u64| (raw >> 11) as f64 / (1u64 << 53) as f64;
+        let byzantine = unit(next()) < byzantine_fraction.clamp(0.0, 1.0);
+        let faulty = unit(next()) < fault_fraction.clamp(0.0, 1.0);
+        let attack_pick = next();
+        let adversary = if byzantine {
+            match attack_pick % 4 {
+                0 => AdversarialMode::ScaleBy(1e6),
+                1 => AdversarialMode::SignFlip,
+                2 => AdversarialMode::NanInject,
+                _ => AdversarialMode::Stuck(1e9),
+            }
+        } else {
+            AdversarialMode::None
+        };
+        let (drop_prob, corrupt_prob) = if faulty {
+            // Half the faulty clients mostly drop, half mostly corrupt.
+            if next() % 2 == 0 {
+                (0.5, 0.1)
+            } else {
+                (0.1, 0.5)
+            }
+        } else {
+            (0.0, 0.0)
+        };
+        ChaosConfig {
+            seed: next(),
+            drop_prob,
+            corrupt_prob,
+            adversary,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// Whether this profile corrupts reply *content* (Byzantine), as
+    /// opposed to availability faults only.
+    pub fn is_byzantine(&self) -> bool {
+        self.adversary != AdversarialMode::None
+    }
+}
+
 impl Default for ChaosConfig {
     fn default() -> Self {
         ChaosConfig {

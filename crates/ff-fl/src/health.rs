@@ -29,6 +29,8 @@
 //! replies punctually every round — only an accepted update
 //! ([`HealthRegistry::record_accepted`]) restores trust.
 
+use std::collections::BTreeSet;
+
 /// Health state of one client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClientState {
@@ -116,11 +118,24 @@ impl ClientRecord {
 }
 
 /// Tracks health state for a fixed set of clients across rounds.
+///
+/// Alongside the per-client records, the registry maintains two indexes
+/// so fleet-scale schedulers pay per-*cohort* costs, not per-fleet:
+/// the set of currently quarantined ids and a `(next_probe_round, id)`
+/// ordered index. [`is_admitted`](Self::is_admitted) answers a single
+/// admission query in O(1) and [`probes_due`](Self::probes_due) finds
+/// every due probe with one range scan — no walk over 10,000 records.
 #[derive(Debug, Clone)]
 pub struct HealthRegistry {
     policy: HealthPolicy,
     records: Vec<ClientRecord>,
     round: u64,
+    /// Ids currently in [`ClientState::Quarantined`].
+    quarantined: BTreeSet<usize>,
+    /// `(next_probe_round, id)` for every quarantined client, kept
+    /// coherent by routing every state transition through
+    /// [`sync_quarantine_index`](Self::sync_quarantine_index).
+    probe_index: BTreeSet<(u64, usize)>,
 }
 
 impl HealthRegistry {
@@ -130,6 +145,24 @@ impl HealthRegistry {
             policy,
             records: (0..n_clients).map(|_| ClientRecord::new()).collect(),
             round: 0,
+            quarantined: BTreeSet::new(),
+            probe_index: BTreeSet::new(),
+        }
+    }
+
+    /// Re-syncs the quarantine indexes for `id` after a record mutation.
+    /// `was_quarantined`/`old_probe` capture the pre-mutation state.
+    fn sync_quarantine_index(&mut self, id: usize, was_quarantined: bool, old_probe: u64) {
+        let rec = &self.records[id];
+        let now_quarantined = rec.state == ClientState::Quarantined;
+        if was_quarantined && (!now_quarantined || rec.next_probe_round != old_probe) {
+            self.probe_index.remove(&(old_probe, id));
+        }
+        if now_quarantined {
+            self.quarantined.insert(id);
+            self.probe_index.insert((rec.next_probe_round, id));
+        } else if was_quarantined {
+            self.quarantined.remove(&id);
         }
     }
 
@@ -159,6 +192,41 @@ impl HealthRegistry {
             .collect()
     }
 
+    /// Whether one client would be admitted to `round` — the same
+    /// predicate as [`admitted`](Self::admitted), answered in O(1) for a
+    /// single id via the quarantine index. Unknown ids are not admitted.
+    /// Fleet schedulers use this per sampled cohort member so admission
+    /// costs scale with the cohort, not the fleet.
+    pub fn is_admitted(&self, id: usize, round: u64) -> bool {
+        match self.records.get(id) {
+            None => false,
+            Some(rec) => match rec.state {
+                ClientState::Healthy | ClientState::Suspect => true,
+                ClientState::Quarantined => round >= rec.next_probe_round,
+            },
+        }
+    }
+
+    /// Quarantined clients whose re-admission probe is due at `round`,
+    /// sorted by id. One ordered range scan over the probe index — cost
+    /// proportional to the number of *due* probes, independent of fleet
+    /// size. (A failed probe pushes the client's entry into the future,
+    /// so an id leaves this list the round after it is probed.)
+    pub fn probes_due(&self, round: u64) -> Vec<usize> {
+        let mut due: Vec<usize> = self
+            .probe_index
+            .range(..=(round, usize::MAX))
+            .map(|&(_, id)| id)
+            .collect();
+        due.sort_unstable();
+        due
+    }
+
+    /// Number of currently quarantined clients (O(1) from the index).
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
     /// Records a transport-level success: the client returns to `Healthy`
     /// and its probe backoff resets — unless it has an open integrity
     /// streak, in which case replying on time earns nothing (a Byzantine
@@ -168,12 +236,14 @@ impl HealthRegistry {
         let Some(rec) = self.records.get_mut(id) else {
             return;
         };
+        let (was_q, old_probe) = (rec.state == ClientState::Quarantined, rec.next_probe_round);
         rec.successes += 1;
         rec.consecutive_failures = 0;
         if rec.consecutive_rejections == 0 {
             rec.probe_level = 0;
             rec.state = ClientState::Healthy;
         }
+        self.sync_quarantine_index(id, was_q, old_probe);
     }
 
     /// Records a transport-level failure (timeout, panic, corrupt payload,
@@ -184,10 +254,13 @@ impl HealthRegistry {
         let round = self.round;
         let policy = self.policy.clone();
         let rec = self.records.get_mut(id)?;
+        let (was_q, old_probe) = (rec.state == ClientState::Quarantined, rec.next_probe_round);
         rec.failures += 1;
         rec.consecutive_failures += 1;
         rec.escalate(rec.consecutive_failures, round, &policy);
-        Some(rec.state)
+        let state = rec.state;
+        self.sync_quarantine_index(id, was_q, old_probe);
+        Some(state)
     }
 
     /// Records an integrity failure: the robust-aggregation guard rejected
@@ -200,10 +273,13 @@ impl HealthRegistry {
         let round = self.round;
         let policy = self.policy.clone();
         let rec = self.records.get_mut(id)?;
+        let (was_q, old_probe) = (rec.state == ClientState::Quarantined, rec.next_probe_round);
         rec.byzantine += 1;
         rec.consecutive_rejections += 1;
         rec.escalate(rec.consecutive_rejections, round, &policy);
-        Some(rec.state)
+        let state = rec.state;
+        self.sync_quarantine_index(id, was_q, old_probe);
+        Some(state)
     }
 
     /// Records that the guard accepted this client's update: the
@@ -214,11 +290,13 @@ impl HealthRegistry {
         let Some(rec) = self.records.get_mut(id) else {
             return;
         };
+        let (was_q, old_probe) = (rec.state == ClientState::Quarantined, rec.next_probe_round);
         rec.consecutive_rejections = 0;
         if rec.consecutive_failures == 0 {
             rec.probe_level = 0;
             rec.state = ClientState::Healthy;
         }
+        self.sync_quarantine_index(id, was_q, old_probe);
     }
 
     /// The state of one client, or `None` for an unknown id.
@@ -494,6 +572,80 @@ mod tests {
         let report = reg.report();
         assert!(report.clients[0].byzantine >= 4);
         assert!(report.to_string().contains("rejected"));
+    }
+
+    #[test]
+    fn is_admitted_agrees_with_admitted_everywhere() {
+        let mut reg = registry(6);
+        // Drive a mixed history: crashes, rejections, recoveries.
+        for step in 0..30u64 {
+            let round = reg.begin_round();
+            for id in reg.admitted(round) {
+                match (id + step as usize) % 4 {
+                    0 => {
+                        let _ = reg.record_failure(id);
+                    }
+                    1 => {
+                        reg.record_success(id);
+                        let _ = reg.record_rejection(id);
+                    }
+                    2 => {
+                        reg.record_success(id);
+                        reg.record_accepted(id);
+                    }
+                    _ => reg.record_success(id),
+                }
+            }
+            let round = reg.round();
+            let slow: Vec<usize> = reg.admitted(round);
+            let fast: Vec<usize> = (0..6).filter(|&id| reg.is_admitted(id, round)).collect();
+            assert_eq!(slow, fast, "divergence at round {round}");
+        }
+        assert!(!reg.is_admitted(99, 1), "unknown id admitted");
+    }
+
+    #[test]
+    fn probes_due_tracks_quarantined_probe_rounds() {
+        let mut reg = registry(3);
+        // Quarantine clients 0 and 2.
+        for _ in 0..2 {
+            let _ = reg.begin_round();
+            let _ = reg.record_failure(0);
+            let _ = reg.record_failure(2);
+        }
+        assert_eq!(reg.quarantined_count(), 2);
+        // Probes become due at their scheduled round, all at once, and a
+        // recovery removes the client from the index.
+        let mut saw_due = false;
+        for _ in 0..10 {
+            let round = reg.begin_round();
+            let due = reg.probes_due(round);
+            for &id in &due {
+                assert!(reg.is_admitted(id, round), "due probe not admitted");
+            }
+            if !due.is_empty() {
+                saw_due = true;
+                assert_eq!(due, vec![0, 2]);
+                reg.record_success(0); // client 0 recovers
+                let _ = reg.record_failure(2); // client 2 fails its probe
+                break;
+            }
+        }
+        assert!(saw_due, "no probe ever came due");
+        assert_eq!(reg.quarantined_count(), 1);
+        let round = reg.round();
+        assert!(reg.probes_due(round).is_empty(), "failed probe still due");
+        assert_eq!(reg.state(0), Some(ClientState::Healthy));
+        // Client 2's deepened backoff eventually comes due again.
+        let mut due_again = false;
+        for _ in 0..20 {
+            let round = reg.begin_round();
+            if reg.probes_due(round) == vec![2] {
+                due_again = true;
+                break;
+            }
+        }
+        assert!(due_again, "backoff starved the failed probe");
     }
 
     #[test]

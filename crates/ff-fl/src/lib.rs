@@ -51,11 +51,22 @@
 //! rejections feeding the same [`health::HealthRegistry`] escalation as
 //! crash faults ([`health::HealthRegistry::record_rejection`]).
 //! [`chaos::AdversarialMode`] injects the matching attacks.
+//!
+//! # Fleet scale
+//!
+//! The thread-per-client runtime tops out around hundreds of clients.
+//! [`fleet::FleetRuntime`] is the 10,000-client shape: a seeded
+//! per-round cohort sampler ([`fleet::CohortSampler`]), sharded
+//! execution on the [`ff_par`] pool, and streaming robust aggregation
+//! ([`stream::StreamAgg`]) that keeps server memory O(model) instead of
+//! O(clients × model). Rounds are bit-identical across thread counts
+//! under a fixed seed.
 
 pub mod chaos;
 pub mod client;
 pub mod compress;
 pub mod config;
+pub mod fleet;
 pub mod health;
 pub mod log;
 pub mod message;
@@ -63,6 +74,7 @@ pub mod robust;
 pub mod runtime;
 pub mod secure;
 pub mod strategy;
+pub mod stream;
 
 /// Errors produced by the federated runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]

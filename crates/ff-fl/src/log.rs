@@ -268,7 +268,7 @@ mod tests {
     fn counting_mode_bounds_memory_but_keeps_exact_totals() {
         let log = MessageLog::with_retention(Retention::Counting { window: 4 });
         for i in 0..100usize {
-            log.record(i % 3, Direction::ToServer, &vec![0u8; 10]);
+            log.record(i % 3, Direction::ToServer, &[0u8; 10]);
         }
         assert_eq!(log.len(), 100);
         assert_eq!(log.retained(), 4);

@@ -77,7 +77,7 @@ pub fn weighted_median(pairs: &[(f64, f64)]) -> Result<f64> {
 /// weighted **median** of client losses instead of the weighted mean, so
 /// one lying client cannot drag the BO objective arbitrarily far.
 ///
-/// Keeps [`aggregate_loss`](crate::strategy::aggregate_loss)'s error
+/// Keeps [`aggregate_loss`]'s error
 /// contract: non-finite losses and zero total examples are errors (the
 /// [`UpdateGuard`] screens those out before aggregation).
 pub fn robust_aggregate_loss(losses: &[(f64, u64)]) -> Result<f64> {
@@ -281,24 +281,34 @@ impl Aggregator for NormClippedFedAvg {
             )));
         }
         let (keep, _) = finite_updates(updates)?;
-        let clipped: Vec<Vec<f64>> = keep
-            .iter()
-            .map(|(p, _)| {
-                let norm = p.iter().map(|v| v * v).sum::<f64>().sqrt();
-                if norm > self.max_norm {
-                    let scale = self.max_norm / norm;
-                    p.iter().map(|v| v * scale).collect()
-                } else {
-                    p.to_vec()
+        // Clip inline during the fold — same arithmetic as materializing
+        // the clipped vectors and running weighted_mean (`wf * (v *
+        // scale)` per coordinate, weights totalled first), but without
+        // allocating a clipped copy of every update.
+        let dim = keep[0].0.len();
+        let mut acc = vec![0.0; dim];
+        let mut total_w = 0.0;
+        for (p, wf) in &keep {
+            total_w += wf;
+            let norm = p.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > self.max_norm {
+                let scale = self.max_norm / norm;
+                for (a, &v) in acc.iter_mut().zip(*p) {
+                    *a += wf * (v * scale);
                 }
-            })
-            .collect();
-        let views: Vec<(&[f64], f64)> = clipped
-            .iter()
-            .zip(&keep)
-            .map(|(p, (_, w))| (p.as_slice(), *w))
-            .collect();
-        weighted_mean(&views)
+            } else {
+                for (a, &v) in acc.iter_mut().zip(*p) {
+                    *a += wf * v;
+                }
+            }
+        }
+        if total_w <= 0.0 {
+            return Err(FlError::Client("zero total weight".into()));
+        }
+        for a in acc.iter_mut() {
+            *a /= total_w;
+        }
+        Ok(acc)
     }
 }
 
@@ -752,6 +762,60 @@ impl UpdateGuard {
             Self::remember(&mut self.loss_medians, self.policy.history, m);
         }
         screened
+    }
+
+    // -- Streaming (fleet) screening ------------------------------------
+    //
+    // A streaming server screens each reply as it arrives, so the screen
+    // median must be frozen *before* the round starts: it is the lower
+    // median of the remembered per-round medians alone, with no pooling
+    // of the current round's values. `None` (empty history) means the
+    // caller bypasses the ratio screen for that round — the first round
+    // has no notion yet of what honest clients look like.
+
+    /// Frozen norm-screen median from history alone, floored at
+    /// `MEDIAN_FLOOR`; `None` when there is no history yet.
+    pub fn frozen_norm_median(&self) -> Option<f64> {
+        Self::frozen(&self.norm_medians)
+    }
+
+    /// Frozen loss-screen median from history alone, floored at
+    /// `MEDIAN_FLOOR`; `None` when there is no history yet.
+    pub fn frozen_loss_median(&self) -> Option<f64> {
+        Self::frozen(&self.loss_medians)
+    }
+
+    fn frozen(history: &VecDeque<f64>) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        let mut pool: Vec<f64> = history.iter().copied().collect();
+        pool.sort_by(f64::total_cmp);
+        Some(pool[(pool.len() - 1) / 2].max(MEDIAN_FLOOR))
+    }
+
+    /// Commits a streaming round's accepted update norms: their median
+    /// joins the bounded history exactly as
+    /// [`screen_updates`](UpdateGuard::screen_updates) would have
+    /// recorded it. `values` is sorted in place.
+    pub fn commit_norms(&mut self, values: &mut [f64]) {
+        if let Some(m) = plain_median(values) {
+            Self::remember(&mut self.norm_medians, self.policy.history, m);
+        }
+    }
+
+    /// Commits a streaming round's accepted losses; see
+    /// [`commit_norms`](UpdateGuard::commit_norms). `values` is sorted
+    /// in place.
+    pub fn commit_losses(&mut self, values: &mut [f64]) {
+        if let Some(m) = plain_median(values) {
+            Self::remember(&mut self.loss_medians, self.policy.history, m);
+        }
+    }
+
+    /// The thresholds this guard screens with.
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
     }
 }
 

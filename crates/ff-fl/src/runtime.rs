@@ -240,13 +240,21 @@ impl FederatedRuntime {
     }
 
     fn send_to(&self, id: usize, ins: &Instruction) -> Result<u64> {
+        self.send_encoded(id, &ins.encode())
+    }
+
+    /// Sends pre-encoded instruction bytes to one client. Broadcast paths
+    /// encode the instruction once and share the buffer across all
+    /// recipients ([`Bytes::clone`] is a reference-count bump, not a
+    /// copy) — at 10,000 clients, re-encoding per recipient would
+    /// dominate the send phase.
+    fn send_encoded(&self, id: usize, encoded: &Bytes) -> Result<u64> {
         let handle = self.clients.get(id).ok_or(FlError::ClientUnavailable(id))?;
-        let encoded = ins.encode();
-        self.log.record(id, Direction::ToClient, &encoded);
+        self.log.record(id, Direction::ToClient, encoded);
         let seq = handle.next_seq.fetch_add(1, AtomicOrdering::SeqCst);
         handle
             .tx
-            .send((seq, encoded))
+            .send((seq, encoded.clone()))
             .map_err(|_| FlError::ClientUnavailable(id))?;
         Ok(seq)
     }
@@ -310,10 +318,11 @@ impl FederatedRuntime {
         client_ids: &[usize],
         ins: &Instruction,
     ) -> Result<Vec<(usize, Reply)>> {
-        // Send phase.
+        // Send phase: encode once, share the buffer.
+        let encoded = ins.encode();
         let mut seqs = Vec::with_capacity(client_ids.len());
         for &id in client_ids {
-            seqs.push((id, self.send_to(id, ins)?));
+            seqs.push((id, self.send_encoded(id, &encoded)?));
         }
         // Collect phase (clients compute concurrently on their threads).
         let mut replies = Vec::with_capacity(client_ids.len());
@@ -414,6 +423,7 @@ impl FederatedRuntime {
             tracer.counter_add("fl.probes", probes);
         }
         let participants = pending.clone();
+        let encoded = ins.encode(); // once per round, shared across sends
         let mut ok_replies: Vec<(usize, Reply)> = Vec::new();
         let mut dropouts: Vec<(usize, FlError)> = Vec::new();
         let mut attempt: u32 = 0;
@@ -422,7 +432,7 @@ impl FederatedRuntime {
             let mut seqs = Vec::with_capacity(pending.len());
             let mut failures: Vec<(usize, FlError)> = Vec::new();
             for &id in &pending {
-                match self.send_to(id, ins) {
+                match self.send_encoded(id, &encoded) {
                     Ok(seq) => seqs.push((id, seq)),
                     Err(e) => failures.push((id, e)),
                 }
@@ -556,11 +566,11 @@ impl FederatedRuntime {
         // Send phase: best effort. A failed send means the client thread
         // already exited, which is exactly what shutdown wants.
         let mut acks: Vec<Option<u64>> = Vec::with_capacity(self.clients.len());
+        let encoded = Instruction::Shutdown.encode();
         for (id, handle) in self.clients.iter().enumerate() {
-            let encoded = Instruction::Shutdown.encode();
             self.log.record(id, Direction::ToClient, &encoded);
             let seq = handle.next_seq.fetch_add(1, AtomicOrdering::SeqCst);
-            acks.push(handle.tx.send((seq, encoded)).ok().map(|_| seq));
+            acks.push(handle.tx.send((seq, encoded.clone())).ok().map(|_| seq));
         }
         let deadline = Instant::now() + timeout;
         for (handle, ack) in self.clients.iter_mut().zip(acks) {

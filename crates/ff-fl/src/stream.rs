@@ -1,0 +1,632 @@
+//! Streaming robust aggregation: server memory O(model), not
+//! O(clients × model).
+//!
+//! The batch [`Aggregator`] rules materialize
+//! every surviving update before combining them — fine for 8 clients,
+//! fatal for 10,000. [`StreamAgg`] is the incremental form used by the
+//! fleet scheduler ([`crate::fleet`]): updates **fold** in as they
+//! arrive and are dropped immediately, shard partials **merge** in a
+//! fixed order, and `finalize` produces the global vector.
+//!
+//! Per rule:
+//!
+//! - **FedAvg / NormClippedFedAvg** fold exactly — the running
+//!   `(Σ wᵢθᵢ, Σ wᵢ)` accumulator performs the *same floating-point
+//!   operations in the same order* as the batch
+//!   [`weighted_mean`](crate::robust) path, so a single-partial fold is
+//!   bit-identical to the batch aggregate over the same update sequence.
+//!   Clipping happens inline per coordinate; no clipped copy of the
+//!   update is ever allocated.
+//! - **CoordinateMedian / TrimmedMean** are rank statistics and have no
+//!   exact bounded-memory form. They run in two phases: an **exact
+//!   buffer** of up to `exact_cap` updates (finalizing from the buffer
+//!   runs the batch rule — bit-identical), and on overflow a **spill**
+//!   into one signed weighted [`QuantileSketch`] per coordinate, after
+//!   which memory is O(model × occupied buckets) regardless of cohort
+//!   size. Sketch answers carry the documented error bound below.
+//! - **Krum / Multi-Krum** need all pairwise update distances and are
+//!   rejected at construction — they are inherently O(clients × model)
+//!   and must use the batch path.
+//!
+//! # Error bounds (spilled phase)
+//!
+//! Let `ε =` [`QuantileSketch::RELATIVE_ERROR`] (≈ 2.19%).
+//!
+//! - **Median**: per coordinate, the spilled result `m̂` vs the batch
+//!   weighted median `m` of the same updates satisfies
+//!   `|m̂ − m| ≤ ε·|m|` — the sketch picks a bucket containing a true
+//!   weighted median point and returns its geometric midpoint. (The
+//!   batch rule's midpoint-averaging of exact weight ties can move `m`
+//!   to a neighbouring value; the bound still holds against either tie
+//!   endpoint.)
+//! - **Trimmed mean**: the batch rule trims a *count* (`⌊trim·n⌋`
+//!   updates per tail) while the sketch trims *weight mass*
+//!   (`trim·Σw` per tail). For equal weights these differ by at most
+//!   one update per tail, so per coordinate
+//!   `|t̂ − t| ≤ ε·max|v| + 2·range/(n·(1 − 2·trim))` where `range` is
+//!   the coordinate's value spread and `n` the update count. The crate's
+//!   property tests assert exactly this bound.
+//!
+//! Determinism: folds and merges are floating-point accumulations, so
+//! results are bit-deterministic for a fixed fold/merge order. The fleet
+//! scheduler fixes that order structurally (shards partitioned by cohort
+//! size, merged by shard index), which is what makes a full fleet round
+//! bit-identical across `FF_THREADS` settings.
+
+use crate::robust::{AggregationStrategy, Aggregator, CoordinateMedian, TrimmedMean};
+use crate::{FlError, Result};
+use ff_trace::QuantileSketch;
+
+/// Which incremental rule a [`StreamAgg`] runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StreamRule {
+    /// Running weighted mean.
+    FedAvg,
+    /// Running weighted mean over inline-clipped updates.
+    NormClipped {
+        /// Clipping radius.
+        max_norm: f64,
+    },
+    /// Per-coordinate weighted median (exact buffer, then sketches).
+    Median,
+    /// Per-coordinate trimmed weighted mean (exact buffer, then
+    /// sketches).
+    Trimmed {
+        /// Fraction trimmed from each end, in `[0, 0.5)`.
+        trim_ratio: f64,
+    },
+}
+
+/// Incremental aggregation state for one round. See the module docs for
+/// the memory model and error bounds.
+#[derive(Debug, Clone)]
+pub struct StreamAgg {
+    rule: StreamRule,
+    exact_cap: usize,
+    dim: Option<usize>,
+    /// Mean-family state: Σ wᵢθᵢ per coordinate.
+    acc: Vec<f64>,
+    /// Mean-family state: Σ wᵢ.
+    total_w: f64,
+    /// Rank-family exact phase: buffered updates, ≤ `exact_cap`.
+    buffer: Vec<(Vec<f64>, u64)>,
+    /// Rank-family spilled phase: one sketch per coordinate.
+    sketches: Vec<QuantileSketch>,
+    /// Non-finite updates dropped by the rank-family rules (the
+    /// mean-family rules error instead, matching their batch forms).
+    dropped_non_finite: usize,
+    folded: usize,
+    peak_bytes: usize,
+}
+
+impl StreamAgg {
+    /// Builds the streaming form of `strategy`. `exact_cap` bounds the
+    /// rank-family exact buffer (clamped to ≥ 1); within it, `finalize`
+    /// is bit-identical to the batch rule. Krum and Multi-Krum are
+    /// refused — they need every pairwise update distance and cannot
+    /// stream.
+    pub fn new(strategy: &AggregationStrategy, exact_cap: usize) -> Result<StreamAgg> {
+        strategy.validate()?;
+        let rule = match *strategy {
+            AggregationStrategy::FedAvg => StreamRule::FedAvg,
+            AggregationStrategy::NormClippedFedAvg { max_norm } => {
+                StreamRule::NormClipped { max_norm }
+            }
+            AggregationStrategy::CoordinateMedian => StreamRule::Median,
+            AggregationStrategy::TrimmedMean { trim_ratio } => StreamRule::Trimmed { trim_ratio },
+            AggregationStrategy::Krum { .. } | AggregationStrategy::MultiKrum { .. } => {
+                return Err(FlError::Client(
+                    "Krum cannot stream: it needs all pairwise update distances \
+                     (O(clients × model) memory); use the batch aggregator"
+                        .into(),
+                ))
+            }
+        };
+        Ok(StreamAgg {
+            rule,
+            exact_cap: exact_cap.max(1),
+            dim: None,
+            acc: Vec::new(),
+            total_w: 0.0,
+            buffer: Vec::new(),
+            sketches: Vec::new(),
+            dropped_non_finite: 0,
+            folded: 0,
+            peak_bytes: 0,
+        })
+    }
+
+    /// Number of updates folded in (including merged partials, excluding
+    /// dropped non-finite and empty ones).
+    pub fn count(&self) -> usize {
+        self.folded
+    }
+
+    /// Non-finite updates dropped by the rank-family rules.
+    pub fn dropped_non_finite(&self) -> usize {
+        self.dropped_non_finite
+    }
+
+    /// Whether the rank-family state has spilled from the exact buffer
+    /// into sketches. Mean-family rules never spill (they are exact).
+    pub fn spilled(&self) -> bool {
+        !self.sketches.is_empty()
+    }
+
+    /// Approximate bytes of live aggregation state right now.
+    pub fn state_bytes(&self) -> usize {
+        let base = std::mem::size_of::<StreamAgg>();
+        let acc = self.acc.capacity() * 8;
+        let buf: usize = self.buffer.iter().map(|(p, _)| p.capacity() * 8 + 32).sum();
+        let sk: usize = self.sketches.iter().map(QuantileSketch::state_bytes).sum();
+        base + acc + buf + sk
+    }
+
+    /// High-water mark of [`state_bytes`](Self::state_bytes) across the
+    /// folds and merges so far.
+    pub fn peak_state_bytes(&self) -> usize {
+        self.peak_bytes.max(self.state_bytes())
+    }
+
+    fn note_peak(&mut self) {
+        let now = self.state_bytes();
+        if now > self.peak_bytes {
+            self.peak_bytes = now;
+        }
+    }
+
+    fn check_dim(&mut self, len: usize) -> Result<()> {
+        match self.dim {
+            None => {
+                self.dim = Some(len);
+                Ok(())
+            }
+            Some(d) if d == len => Ok(()),
+            Some(d) => Err(FlError::Client(format!(
+                "parameter length mismatch: {len} vs {d}"
+            ))),
+        }
+    }
+
+    /// Moves the exact buffer into per-coordinate sketches.
+    fn spill(&mut self) {
+        let dim = self.dim.unwrap_or(0);
+        if self.sketches.is_empty() {
+            self.sketches = vec![QuantileSketch::new(); dim];
+        }
+        for (p, w) in self.buffer.drain(..) {
+            let wf = w as f64;
+            for (sk, &v) in self.sketches.iter_mut().zip(&p) {
+                sk.add(v, wf);
+            }
+        }
+    }
+
+    /// Folds one update in. Empty parameter vectors are skipped (clients
+    /// whose results travel in metrics), matching the batch rules.
+    /// Non-finite updates: the mean-family rules error with
+    /// [`FlError::NonFiniteUpdate`] exactly like batch
+    /// [`fedavg`](crate::strategy::fedavg); the rank-family rules drop
+    /// them (counted), exactly like the batch robust aggregators.
+    pub fn fold(&mut self, params: Vec<f64>, num_examples: u64) -> Result<()> {
+        if params.is_empty() {
+            return Ok(());
+        }
+        let finite = params.iter().all(|v| v.is_finite());
+        match self.rule {
+            StreamRule::FedAvg | StreamRule::NormClipped { .. } => {
+                if !finite {
+                    return Err(FlError::NonFiniteUpdate {
+                        client: self.folded,
+                    });
+                }
+                self.check_dim(params.len())?;
+                if self.acc.is_empty() {
+                    self.acc = vec![0.0; params.len()];
+                }
+                let wf = num_examples as f64;
+                // Same op order as the batch weighted_mean: weight total
+                // first, then wf·v per coordinate.
+                self.total_w += wf;
+                match self.rule {
+                    StreamRule::NormClipped { max_norm } => {
+                        let norm = params.iter().map(|v| v * v).sum::<f64>().sqrt();
+                        if norm > max_norm {
+                            // Inline clip: identical arithmetic to the
+                            // batch rule's `(v * scale)` then `wf * v'`,
+                            // but no clipped vector is materialized.
+                            let scale = max_norm / norm;
+                            for (a, &v) in self.acc.iter_mut().zip(&params) {
+                                *a += wf * (v * scale);
+                            }
+                        } else {
+                            for (a, &v) in self.acc.iter_mut().zip(&params) {
+                                *a += wf * v;
+                            }
+                        }
+                    }
+                    _ => {
+                        for (a, &v) in self.acc.iter_mut().zip(&params) {
+                            *a += wf * v;
+                        }
+                    }
+                }
+            }
+            StreamRule::Median | StreamRule::Trimmed { .. } => {
+                if !finite {
+                    self.dropped_non_finite += 1;
+                    return Ok(());
+                }
+                self.check_dim(params.len())?;
+                if self.spilled() {
+                    let wf = num_examples as f64;
+                    for (sk, &v) in self.sketches.iter_mut().zip(&params) {
+                        sk.add(v, wf);
+                    }
+                } else {
+                    self.buffer.push((params, num_examples));
+                    if self.buffer.len() > self.exact_cap {
+                        self.spill();
+                    }
+                }
+            }
+        }
+        self.folded += 1;
+        self.note_peak();
+        Ok(())
+    }
+
+    /// Merges a shard partial into this state. Mean-family partials add
+    /// their accumulators; rank-family partials concatenate exact
+    /// buffers while the combined count fits in `exact_cap`, otherwise
+    /// both sides spill and the sketches merge. Callers must merge
+    /// partials in a fixed order for deterministic results.
+    pub fn merge(&mut self, mut other: StreamAgg) -> Result<()> {
+        if std::mem::discriminant(&self.rule) != std::mem::discriminant(&other.rule) {
+            return Err(FlError::Client("merging mismatched stream rules".into()));
+        }
+        if other.folded == 0 && other.dropped_non_finite == 0 {
+            return Ok(());
+        }
+        if let Some(d) = other.dim {
+            self.check_dim(d)?;
+        }
+        let (other_dropped, other_folded, other_peak) =
+            (other.dropped_non_finite, other.folded, other.peak_bytes);
+        match self.rule {
+            StreamRule::FedAvg | StreamRule::NormClipped { .. } => {
+                if self.acc.is_empty() {
+                    self.acc = other.acc;
+                    self.total_w = other.total_w;
+                } else {
+                    self.total_w += other.total_w;
+                    for (a, b) in self.acc.iter_mut().zip(&other.acc) {
+                        *a += b;
+                    }
+                }
+            }
+            StreamRule::Median | StreamRule::Trimmed { .. } => {
+                let both_exact = !self.spilled() && !other.spilled();
+                if both_exact && self.buffer.len() + other.buffer.len() <= self.exact_cap {
+                    self.buffer.extend(other.buffer);
+                } else {
+                    self.spill();
+                    other.spill();
+                    if self.sketches.is_empty() {
+                        self.sketches = other.sketches;
+                    } else {
+                        for (a, b) in self.sketches.iter_mut().zip(&other.sketches) {
+                            a.merge(b);
+                        }
+                    }
+                }
+            }
+        }
+        self.dropped_non_finite += other_dropped;
+        self.folded += other_folded;
+        self.peak_bytes = self.peak_bytes.max(other_peak);
+        self.note_peak();
+        Ok(())
+    }
+
+    /// Produces the aggregate. Mean-family: the exact weighted mean.
+    /// Rank-family: the batch rule over the exact buffer when it never
+    /// spilled (bit-identical to batch), or per-coordinate sketch
+    /// queries otherwise (documented error bound).
+    pub fn finalize(self) -> Result<Vec<f64>> {
+        match self.rule {
+            StreamRule::FedAvg | StreamRule::NormClipped { .. } => {
+                if self.total_w <= 0.0 {
+                    return Err(FlError::Client("zero total weight".into()));
+                }
+                let mut acc = self.acc;
+                for a in acc.iter_mut() {
+                    *a /= self.total_w;
+                }
+                Ok(acc)
+            }
+            StreamRule::Median => {
+                if !self.spilled() {
+                    return CoordinateMedian.aggregate(&self.buffer);
+                }
+                self.sketches
+                    .iter()
+                    .map(|sk| {
+                        sk.median()
+                            .ok_or_else(|| FlError::Client("no updates to aggregate".into()))
+                    })
+                    .collect()
+            }
+            StreamRule::Trimmed { trim_ratio } => {
+                if !self.spilled() {
+                    return TrimmedMean { trim_ratio }.aggregate(&self.buffer);
+                }
+                self.sketches
+                    .iter()
+                    .map(|sk| {
+                        sk.trimmed_mean(trim_ratio)
+                            .ok_or_else(|| FlError::Client("no updates to aggregate".into()))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::robust::{FedAvg as BatchFedAvg, NormClippedFedAvg};
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn synth_updates(n: usize, dim: usize, seed: u64) -> Vec<(Vec<f64>, u64)> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let p: Vec<f64> = (0..dim).map(|_| (next() - 0.5) * 20.0).collect();
+                let w = 1 + (next() * 9.0) as u64;
+                (p, w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fedavg_fold_is_bit_identical_to_batch() {
+        let updates = synth_updates(37, 8, 3);
+        let mut agg = StreamAgg::new(&AggregationStrategy::FedAvg, 4).unwrap();
+        for (p, w) in &updates {
+            agg.fold(p.clone(), *w).unwrap();
+        }
+        let stream = agg.finalize().unwrap();
+        let batch = BatchFedAvg.aggregate(&updates).unwrap();
+        assert_eq!(bits(&stream), bits(&batch));
+    }
+
+    #[test]
+    fn clipped_fold_is_bit_identical_to_batch() {
+        let mut updates = synth_updates(20, 6, 9);
+        updates.push((vec![1e9; 6], 2)); // must be clipped
+        let strategy = AggregationStrategy::NormClippedFedAvg { max_norm: 5.0 };
+        let mut agg = StreamAgg::new(&strategy, 4).unwrap();
+        for (p, w) in &updates {
+            agg.fold(p.clone(), *w).unwrap();
+        }
+        let stream = agg.finalize().unwrap();
+        let batch = NormClippedFedAvg { max_norm: 5.0 }
+            .aggregate(&updates)
+            .unwrap();
+        assert_eq!(bits(&stream), bits(&batch));
+    }
+
+    #[test]
+    fn median_within_exact_cap_is_bit_identical_to_batch() {
+        let updates = synth_updates(16, 5, 11);
+        let mut agg = StreamAgg::new(&AggregationStrategy::CoordinateMedian, 16).unwrap();
+        for (p, w) in &updates {
+            agg.fold(p.clone(), *w).unwrap();
+        }
+        assert!(!agg.spilled());
+        let stream = agg.finalize().unwrap();
+        let batch = CoordinateMedian.aggregate(&updates).unwrap();
+        assert_eq!(bits(&stream), bits(&batch));
+    }
+
+    #[test]
+    fn spilled_median_is_within_documented_bound() {
+        let updates = synth_updates(200, 4, 17);
+        let mut agg = StreamAgg::new(&AggregationStrategy::CoordinateMedian, 8).unwrap();
+        for (p, w) in &updates {
+            agg.fold(p.clone(), *w).unwrap();
+        }
+        assert!(agg.spilled());
+        let stream = agg.finalize().unwrap();
+        // The documented bound is against a true weighted-median *point*.
+        // The batch rule midpoint-averages exact weight ties, which can
+        // place its answer between two update values; per the module
+        // docs the bound holds against either tie endpoint, so compare
+        // against both.
+        for (j, s) in stream.iter().enumerate() {
+            let mut col: Vec<(f64, u64)> = updates.iter().map(|(p, w)| (p[j], *w)).collect();
+            col.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let total: u64 = col.iter().map(|&(_, w)| w).sum();
+            let half = total as f64 / 2.0;
+            let mut cum = 0.0;
+            let mut lo = col[0].0;
+            let mut hi = col[col.len() - 1].0;
+            let mut found_lo = false;
+            for &(v, w) in &col {
+                cum += w as f64;
+                if !found_lo && cum >= half {
+                    lo = v;
+                    found_lo = true;
+                }
+                if cum > half {
+                    hi = v;
+                    break;
+                }
+            }
+            let ok = [lo, hi]
+                .iter()
+                .any(|m| (s - m).abs() <= QuantileSketch::RELATIVE_ERROR * m.abs() + 1e-9);
+            assert!(
+                ok,
+                "coord {j}: spilled {s} vs median endpoints [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn spilled_trimmed_mean_is_within_documented_bound() {
+        // Equal weights so the count-trim vs mass-trim correspondence in
+        // the documented bound applies directly.
+        let updates: Vec<(Vec<f64>, u64)> = synth_updates(100, 3, 23)
+            .into_iter()
+            .map(|(p, _)| (p, 1))
+            .collect();
+        let trim = 0.1;
+        let strategy = AggregationStrategy::TrimmedMean { trim_ratio: trim };
+        let mut agg = StreamAgg::new(&strategy, 8).unwrap();
+        for (p, w) in &updates {
+            agg.fold(p.clone(), *w).unwrap();
+        }
+        assert!(agg.spilled());
+        let stream = agg.finalize().unwrap();
+        let batch = TrimmedMean { trim_ratio: trim }
+            .aggregate(&updates)
+            .unwrap();
+        let n = updates.len() as f64;
+        for j in 0..3 {
+            let col: Vec<f64> = updates.iter().map(|(p, _)| p[j]).collect();
+            let max_abs = col.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let range = col.iter().fold(f64::MIN, |m, &v| m.max(v))
+                - col.iter().fold(f64::MAX, |m, &v| m.min(v));
+            let bound =
+                QuantileSketch::RELATIVE_ERROR * max_abs + 2.0 * range / (n * (1.0 - 2.0 * trim));
+            assert!(
+                (stream[j] - batch[j]).abs() <= bound,
+                "coord {j}: stream {} vs batch {} (bound {bound})",
+                stream[j],
+                batch[j]
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_merge_matches_sequential_fold_for_mean_family() {
+        // Two shards merged in order — not necessarily bit-identical to
+        // a single fold (different FP grouping), but must be exact in
+        // value terms and deterministic: merging the same partials twice
+        // gives bit-identical results.
+        let updates = synth_updates(30, 4, 5);
+        let build = || {
+            let mut parts: Vec<StreamAgg> = (0..3)
+                .map(|_| StreamAgg::new(&AggregationStrategy::FedAvg, 4).unwrap())
+                .collect();
+            for (i, (p, w)) in updates.iter().enumerate() {
+                parts[i % 3].fold(p.clone(), *w).unwrap();
+            }
+            let mut it = parts.into_iter();
+            let mut merged = it.next().unwrap();
+            for part in it {
+                merged.merge(part).unwrap();
+            }
+            merged.finalize().unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(bits(&a), bits(&b));
+        let batch = BatchFedAvg.aggregate(&updates).unwrap();
+        for (x, y) in a.iter().zip(&batch) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_merge_stays_exact_when_combined_fits() {
+        let updates = synth_updates(10, 3, 7);
+        let mut left = StreamAgg::new(&AggregationStrategy::CoordinateMedian, 16).unwrap();
+        let mut right = left.clone();
+        for (p, w) in &updates[..5] {
+            left.fold(p.clone(), *w).unwrap();
+        }
+        for (p, w) in &updates[5..] {
+            right.fold(p.clone(), *w).unwrap();
+        }
+        left.merge(right).unwrap();
+        assert!(!left.spilled());
+        let stream = left.finalize().unwrap();
+        let batch = CoordinateMedian.aggregate(&updates).unwrap();
+        assert_eq!(bits(&stream), bits(&batch));
+    }
+
+    #[test]
+    fn state_stays_bounded_after_spill() {
+        let mut agg = StreamAgg::new(&AggregationStrategy::CoordinateMedian, 8).unwrap();
+        let mut sizes = Vec::new();
+        for (p, w) in synth_updates(2000, 16, 31) {
+            agg.fold(p, w).unwrap();
+            sizes.push(agg.state_bytes());
+        }
+        assert!(agg.spilled());
+        // Memory is O(model × occupied buckets), not O(count). Occupied
+        // buckets still fill in logarithmically as smaller magnitudes
+        // land in new doublings, so assert sub-linearity, not a flat
+        // line: 4× the folds (500 → 2000) must cost well under 2× the
+        // state, and the final state must be a fraction of what
+        // buffering every update would cost.
+        let at_500 = sizes[499];
+        let final_size = *sizes.last().unwrap();
+        assert!(
+            final_size < at_500 * 2,
+            "state grew linearly with count: {at_500} -> {final_size}"
+        );
+        let naive = 2000 * (16 * 8 + 32);
+        assert!(
+            final_size * 2 < naive,
+            "state {final_size} is not far below the O(count) cost {naive}"
+        );
+        assert!(agg.peak_state_bytes() >= final_size);
+    }
+
+    #[test]
+    fn non_finite_handling_matches_batch_contracts() {
+        // Mean family: error, like batch fedavg.
+        let mut agg = StreamAgg::new(&AggregationStrategy::FedAvg, 4).unwrap();
+        agg.fold(vec![1.0], 1).unwrap();
+        assert!(matches!(
+            agg.fold(vec![f64::NAN], 1),
+            Err(FlError::NonFiniteUpdate { .. })
+        ));
+        // Rank family: drop and count, like the batch robust rules.
+        let mut agg = StreamAgg::new(&AggregationStrategy::CoordinateMedian, 4).unwrap();
+        agg.fold(vec![1.0], 1).unwrap();
+        agg.fold(vec![f64::NAN], 1).unwrap();
+        agg.fold(vec![3.0], 1).unwrap();
+        assert_eq!(agg.dropped_non_finite(), 1);
+        assert_eq!(agg.finalize().unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn krum_is_refused() {
+        assert!(StreamAgg::new(&AggregationStrategy::Krum { f: 1 }, 4).is_err());
+        assert!(StreamAgg::new(&AggregationStrategy::MultiKrum { f: 1, m: 2 }, 4).is_err());
+    }
+
+    #[test]
+    fn empty_params_are_skipped_and_dim_mismatch_rejected() {
+        let mut agg = StreamAgg::new(&AggregationStrategy::FedAvg, 4).unwrap();
+        agg.fold(vec![], 100).unwrap();
+        agg.fold(vec![2.0], 1).unwrap();
+        assert_eq!(agg.count(), 1);
+        assert!(agg.fold(vec![1.0, 2.0], 1).is_err());
+    }
+}

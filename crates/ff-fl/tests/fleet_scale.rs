@@ -1,0 +1,202 @@
+//! Fleet-scale acceptance: a 10,000-client federation survives chaos
+//! plus a Byzantine minority, deterministically, in bounded memory.
+//!
+//! The fault schedule is seeded from `CHAOS_SEED` (the CI chaos matrix
+//! exports 0, 1, 2) via [`ChaosConfig::fleet_profile`]; every assertion
+//! here is seed-independent by design — a seed that breaks one is a bug
+//! in the fleet machinery, not in the test.
+
+use ff_fl::chaos::{ChaosClient, ChaosConfig};
+use ff_fl::client::{EvalOutput, FitOutput, FlClient};
+use ff_fl::config::ConfigMap;
+use ff_fl::fleet::{FleetConfig, FleetRuntime};
+use ff_fl::health::ClientState;
+use ff_fl::robust::AggregationStrategy;
+use ff_fl::runtime::RoundPolicy;
+
+const FLEET: usize = 10_000;
+const DIM: usize = 32;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Honest client: constant unit parameters, loss = distance to broadcast.
+struct Honest;
+
+impl FlClient for Honest {
+    fn get_properties(&mut self, _config: &ConfigMap) -> ConfigMap {
+        ConfigMap::new()
+    }
+    fn fit(&mut self, _params: &[f64], _config: &ConfigMap) -> FitOutput {
+        FitOutput {
+            params: vec![1.0; DIM],
+            num_examples: 1,
+            metrics: ConfigMap::new(),
+        }
+    }
+    fn evaluate(&mut self, params: &[f64], _config: &ConfigMap) -> EvalOutput {
+        let center = params.first().copied().unwrap_or(0.0);
+        EvalOutput {
+            loss: (1.0 - center).abs(),
+            num_examples: 1,
+            metrics: ConfigMap::new(),
+        }
+    }
+}
+
+/// Builds the 10,000-client fleet: every client wrapped in its
+/// deterministic chaos profile — `byz` Byzantine, `fault` availability-
+/// faulty, both seeded from `(seed, client_id)`.
+fn chaotic_fleet(seed: u64, byz: f64, fault: f64) -> Vec<Box<dyn FlClient>> {
+    (0..FLEET)
+        .map(|id| {
+            let profile = ChaosConfig::fleet_profile(seed, id, byz, fault);
+            Box::new(ChaosClient::new(Box::new(Honest), profile)) as Box<dyn FlClient>
+        })
+        .collect()
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        fraction: 0.1, // cohort of 1,000 per round
+        seed: 42,
+        strategy: AggregationStrategy::CoordinateMedian,
+        ..FleetConfig::default()
+    }
+}
+
+fn policy() -> RoundPolicy {
+    RoundPolicy {
+        deadline: None, // chaos drops surface as deterministic timeouts
+        min_responses: 1,
+        retries: 1,
+        backoff: std::time::Duration::ZERO,
+    }
+}
+
+/// The headline acceptance test: 2% Byzantine + 3% flaky links across
+/// 10,000 clients. Every round must complete, the robust aggregate must
+/// stay within tolerance of the clean (all-honest) value, repeat
+/// offenders must end up quarantined, and nobody honest may be.
+#[test]
+fn ten_thousand_client_rounds_survive_chaos_and_byzantine() {
+    let seed = chaos_seed();
+    let (byz, fault) = (0.02, 0.03);
+    let fleet = FleetRuntime::new(chaotic_fleet(seed, byz, fault), fleet_config()).unwrap();
+    let policy = policy();
+
+    // 20 rounds: the 10%-participation sampler cycles the full fleet
+    // twice, so every persistent attacker is observed (and rejected) at
+    // least twice — enough for the health registry to quarantine it.
+    for round in 1..=20u64 {
+        let out = fleet
+            .run_fit_round(vec![0.0; DIM], ConfigMap::new(), &policy)
+            .unwrap();
+        assert_eq!(out.round, round);
+        assert_eq!(out.global.len(), DIM);
+        // Clean-run aggregate is exactly 1.0 per coordinate; the sketch
+        // phase may add its documented ~2.2% relative error.
+        for g in &out.global {
+            assert!(
+                (g - 1.0).abs() < 0.05,
+                "round {round}: aggregate drifted to {g} under attack"
+            );
+        }
+        // Aggregation state must stay far below materializing the
+        // cohort: 1,000 updates × 32 coords × 8 bytes would be 256 KiB
+        // before overheads.
+        assert!(
+            out.agg_state_peak_bytes < 1_000 * DIM * 8 / 2,
+            "round {round}: aggregation state {} approaches O(cohort × model)",
+            out.agg_state_peak_bytes
+        );
+    }
+
+    // Quarantine precision: every quarantined client misbehaves by
+    // construction; no honest client may be collateral damage.
+    let mut quarantined_byzantine = 0usize;
+    let mut quarantined = 0usize;
+    for id in 0..FLEET {
+        if fleet.client_state(id) == Some(ClientState::Quarantined) {
+            quarantined += 1;
+            let profile = ChaosConfig::fleet_profile(seed, id, byz, fault);
+            assert!(
+                profile.is_byzantine() || profile.drop_prob > 0.0 || profile.corrupt_prob > 0.0,
+                "honest client {id} was quarantined"
+            );
+            if profile.is_byzantine() {
+                quarantined_byzantine += 1;
+            }
+        }
+    }
+    assert!(
+        quarantined_byzantine > 0,
+        "no Byzantine client was quarantined after 20 rounds \
+         ({quarantined} quarantined total)"
+    );
+}
+
+/// The determinism acceptance test: a fixed seed must produce the same
+/// cohorts and a bit-identical aggregate whether the scheduler runs on
+/// one worker or four.
+#[test]
+fn fleet_rounds_are_bit_identical_across_thread_counts() {
+    /// Cohort, accepted, dropout ids, and aggregate bits for one round.
+    type RoundTrace = (Vec<usize>, Vec<usize>, Vec<usize>, Vec<u64>);
+    let seed = chaos_seed();
+    let run = |threads: usize| {
+        ff_par::with_threads(threads, || {
+            let fleet = FleetRuntime::new(chaotic_fleet(seed, 0.02, 0.03), fleet_config()).unwrap();
+            let policy = policy();
+            let mut trace: Vec<RoundTrace> = Vec::new();
+            for _ in 0..3 {
+                let out = fleet
+                    .run_fit_round(vec![0.0; DIM], ConfigMap::new(), &policy)
+                    .unwrap();
+                trace.push((
+                    out.cohort,
+                    out.accepted,
+                    out.dropouts.into_iter().map(|(id, _)| id).collect(),
+                    out.global.iter().map(|g| g.to_bits()).collect(),
+                ));
+            }
+            trace
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+/// The memory acceptance test: scaling the engaged cohort 10× must not
+/// scale the server's aggregation state 10× — it is bounded by
+/// O(model × shards), not O(cohort × model).
+#[test]
+fn aggregation_state_is_bounded_by_model_not_cohort() {
+    let peak_for = |n: usize| {
+        let clients: Vec<Box<dyn FlClient>> = (0..n)
+            .map(|_| Box::new(Honest) as Box<dyn FlClient>)
+            .collect();
+        let fleet = FleetRuntime::new(
+            clients,
+            FleetConfig {
+                fraction: 1.0,
+                strategy: AggregationStrategy::CoordinateMedian,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        fleet
+            .run_fit_round(vec![0.0; DIM], ConfigMap::new(), &policy())
+            .unwrap()
+            .agg_state_peak_bytes
+    };
+    let small = peak_for(1_000);
+    let large = peak_for(10_000);
+    assert!(
+        large < small * 4,
+        "10× the cohort cost {small} -> {large} aggregation bytes"
+    );
+}

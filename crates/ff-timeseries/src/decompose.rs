@@ -61,15 +61,15 @@ pub fn seasonal_decompose(
     let mut trend = vec![f64::NAN; n];
     for t in half..n - half {
         let mut acc = 0.0;
-        if period % 2 == 0 {
+        if period.is_multiple_of(2) {
             acc += 0.5 * y[t - half] + 0.5 * y[t + half];
-            for k in (t - half + 1)..(t + half) {
-                acc += y[k];
+            for &v in &y[t - half + 1..t + half] {
+                acc += v;
             }
             trend[t] = acc / period as f64;
         } else {
-            for k in (t - half)..=(t + half) {
-                acc += y[k];
+            for &v in &y[t - half..=t + half] {
+                acc += v;
             }
             trend[t] = acc / period as f64;
         }

@@ -41,10 +41,12 @@
 
 mod hist;
 mod json;
+mod sketch;
 mod summary;
 mod tracer;
 
 pub use hist::{Histogram, BUCKETS_PER_DOUBLING, ZERO_BUCKET};
 pub use json::{push_json_f64, push_json_str, to_json_lines};
+pub use sketch::{QuantileSketch, SKETCH_BUCKETS_PER_DOUBLING};
 pub use summary::{fmt_bytes, fmt_us, render_summary, ClientCommsRow};
 pub use tracer::{EventRecord, MetricId, SpanGuard, SpanRecord, Telemetry, Tracer};

@@ -1,0 +1,291 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the FL wire codec uses: a cheaply-cloneable
+//! shared byte buffer ([`Bytes`], an `Arc<[u8]>` window), a growable
+//! builder ([`BytesMut`]), and the little-endian cursor traits
+//! ([`Buf`] / [`BufMut`]). Reading through [`Buf`] consumes from the
+//! front of the window without copying or reallocating.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply-cloneable, sliceable, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice (copied once; the real crate borrows,
+    /// but callers only observe the contents).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A zero-copy sub-window of this buffer.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        let data: Arc<[u8]> = data.into();
+        Bytes {
+            start: 0,
+            end: data.len(),
+            data,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Converts the accumulated bytes into an immutable shared buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Little-endian read cursor over a byte source; reads consume from the
+/// front. Callers must check [`Buf::remaining`] first — like the real
+/// crate, reading past the end panics.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        self.take_bytes(cnt);
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let at = self.start;
+        self.start += n;
+        &self.data[at..at + n]
+    }
+}
+
+impl Bytes {
+    /// Consumes `len` bytes from the front as a zero-copy sub-buffer.
+    pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.len(), "buffer underflow");
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+}
+
+/// Little-endian write cursor.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(42);
+        w.put_u64_le(u64::MAX);
+        w.put_i64_le(-5);
+        w.put_f64_le(1.5);
+        w.put_slice(b"abc");
+        let mut b = w.freeze();
+        assert_eq!(b.remaining(), 1 + 4 + 8 + 8 + 8 + 3);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 42);
+        assert_eq!(b.get_u64_le(), u64::MAX);
+        assert_eq!(b.get_i64_le(), -5);
+        assert_eq!(b.get_f64_le(), 1.5);
+        assert_eq!(&b.copy_to_bytes(3)[..], b"abc");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_a_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        let s2 = s.slice(1..2);
+        assert_eq!(&s2[..], &[2]);
+        // The parent window is untouched.
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let b = Bytes::from(vec![9; 1024]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert!(std::ptr::eq(&b.data[0], &c.data[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn reading_past_the_end_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks compile and run as plain timed loops: each target executes
+//! a fixed warm-up plus `sample_size` timed iterations and prints the
+//! median wall-clock per iteration. No statistics, plots, or baselines —
+//! just enough to keep `cargo bench` meaningful in a network-isolated
+//! container and to keep the bench targets compiling under
+//! `clippy --all-targets`.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A named benchmark id: `group/function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-iteration timing callback holder.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Times `sample` runs of `f` (after one warm-up call) and records
+    /// each duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = black_box(f());
+        for _ in 0..self.samples.capacity().max(1) {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                let _ = black_box(f());
+            }
+            self.samples.push(t.elapsed() / self.iters_per_sample);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size.min(10)),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        println!("bench {}/{id}: median {:?}", self.name, b.median());
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, ignored).
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

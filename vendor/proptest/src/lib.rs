@@ -1,0 +1,643 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in a network-isolated container; this crate
+//! re-implements the proptest API subset its test suites use, keeping
+//! every `proptest!` block compiling and running unmodified:
+//!
+//! - strategies: numeric ranges, [`Just`], `any::<T>()`, tuples,
+//!   `prop::collection::{vec, btree_map}`, `&str` character-class
+//!   patterns (`"[a-z0-9 ]{0,20}"`), `.prop_map`, `prop_oneof!`;
+//! - the [`proptest!`] macro with `#![proptest_config(...)]`;
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream: case generation is **deterministic** (the
+//! RNG seed is derived from the test's module path, overridable via
+//! `PROPTEST_SEED`), and failing cases are reported but **not shrunk**.
+//! Passing suites behave identically; only the failure-debugging
+//! ergonomics are simpler.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream driving all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            }
+        }
+
+        /// Seed derived from the test name (stable across runs) xor'd
+        /// with the optional `PROPTEST_SEED` env override.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let env: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            TestRng::from_seed(h ^ env)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty size range");
+            lo + (self.next_u64() % (hi - lo) as u64) as usize
+        }
+    }
+
+    /// Runner configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            W: Debug,
+            F: Fn(Self::Value) -> W,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Send + Sync + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, W, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        W: Debug,
+        F: Fn(S::Value) -> W,
+    {
+        type Value = W;
+
+        fn generate(&self, rng: &mut TestRng) -> W {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    trait DynStrategy<V>: Send + Sync {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy + Send + Sync> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let idx = rng.usize_in(0, self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (self.start as i128, self.end as i128);
+                    assert!(lo < hi, "empty strategy range");
+                    (lo + (rng.next_u64() as i128).rem_euclid(hi - lo)) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty strategy range");
+                    (lo + (rng.next_u64() as i128).rem_euclid(hi - lo + 1)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    self.start() + (rng.unit_f64() as $t) * (self.end() - self.start())
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4)
+    );
+
+    /// Types with a canonical "anything" strategy (`any::<T>()`).
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, wide-range values (upstream also generates specials;
+            // no workspace test relies on that).
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    /// `any::<T>()` strategy handle.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+
+    /// `&str` character-class patterns: a sequence of `[class]` atoms or
+    /// literal characters, each optionally quantified by `{n}`, `{m,n}`,
+    /// `?`, `*`, or `+` (bounded at 8 for the unbounded quantifiers).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, lo, hi) in &atoms {
+                let n = if lo == hi {
+                    *lo
+                } else {
+                    rng.usize_in(*lo, hi + 1)
+                };
+                for _ in 0..n {
+                    out.push(chars[rng.usize_in(0, chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Parses the supported pattern subset into (alphabet, min, max) runs.
+    fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let alphabet: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    for d in chars.by_ref() {
+                        match d {
+                            ']' => break,
+                            '-' if prev.is_some() => {
+                                // Range like a-z: filled on the next char.
+                                set.push('-');
+                            }
+                            d => {
+                                if set.last() == Some(&'-') && prev.is_some() {
+                                    set.pop();
+                                    let start = prev.unwrap();
+                                    for r in (start as u32 + 1)..=(d as u32) {
+                                        set.push(char::from_u32(r).unwrap());
+                                    }
+                                } else {
+                                    set.push(d);
+                                }
+                                prev = Some(d);
+                            }
+                        }
+                    }
+                    set
+                }
+                lit => vec![lit],
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&d| d != '}').collect();
+                    match spec.split_once(',') {
+                        Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                        None => {
+                            let n = spec.parse().unwrap();
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(!alphabet.is_empty(), "empty character class in pattern");
+            atoms.push((alphabet, lo, hi));
+        }
+        atoms
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::fmt::Debug;
+
+    /// Collection sizes: an exact count or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.lo == self.hi {
+                self.lo
+            } else {
+                rng.usize_in(self.lo, self.hi + 1)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Vectors of `element`-generated values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// BTree maps; key collisions may yield fewer entries than drawn,
+    /// matching upstream's best-effort sizing.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord + Debug,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord + Debug,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The test-block macro: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let values = ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
+                let described = format!("{:?}", values);
+                let ($($arg,)+) = values;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    move || { $body; },
+                ));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with inputs {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        described,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_generates_within_class() {
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[a-z0-9 ]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+        for _ in 0..50 {
+            let s = "[a-z_]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![
+            (0.0f64..1.0).prop_map(|f| (f * 0.0) as i64),
+            Just(7i64),
+            (10i64..20),
+        ];
+        let mut rng = crate::test_runner::TestRng::from_seed(11);
+        let mut saw_seven = false;
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 0 || v == 7 || (10..20).contains(&v));
+            saw_seven |= v == 7;
+        }
+        assert!(saw_seven);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            n in 1usize..10,
+            v in prop::collection::vec(-1.0f64..1.0, 0..5),
+            (a, b) in (0u64..5, 5u64..10),
+        ) {
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert!(v.len() < 5);
+            prop_assert!(a < 5 && b >= 5);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0i32..100) {
+            prop_assert!(x < 100);
+        }
+    }
+}
