@@ -8,7 +8,10 @@
 use crate::feature_engineering::{
     engineer_with_exog, EngineeredData, ExogenousData, GlobalFeatureSpec,
 };
-use crate::search_space::{algorithm_of, map_to_config, to_hyperparams};
+use crate::search_space::{
+    algorithm_of, map_to_config, pipeline_of, to_hyperparams, to_pipeline_hyperparams,
+};
+use ff_bayesopt::space::Configuration;
 use ff_fl::client::{EvalOutput, FitOutput, FlClient};
 use ff_fl::config::{ConfigMap, ConfigMapExt};
 use ff_linalg::Matrix;
@@ -16,6 +19,9 @@ use ff_metalearn::features::ClientMetaFeatures;
 use ff_models::data::{Standardizer, TargetScaler};
 use ff_models::forest::RandomForestRegressor;
 use ff_models::metrics::mse;
+use ff_models::pipeline::{
+    decode_member_blob, encode_external_blob, PipelineId, PipelineModel, RevivedMember,
+};
 use ff_models::zoo::{build_regressor, AlgorithmKind, FinalizeStrategy};
 use ff_models::Regressor;
 use ff_timeseries::{interpolate, periodogram, TimeSeries};
@@ -41,6 +47,9 @@ pub struct FedForecasterClient {
     /// normalization convention the federated N-BEATS baseline uses — so
     /// FedAvg averages comparable weights.
     final_scalers: Option<(Standardizer, TargetScaler)>,
+    /// Fitted composed forecaster when the winning configuration selects a
+    /// pipeline structure; mutually exclusive with `final_model`.
+    final_pipeline: Option<PipelineModel>,
 }
 
 impl FedForecasterClient {
@@ -64,6 +73,7 @@ impl FedForecasterClient {
             engineered: None,
             final_model: None,
             final_scalers: None,
+            final_pipeline: None,
         }
     }
 
@@ -168,12 +178,15 @@ impl FedForecasterClient {
     }
 
     fn op_fit_eval(&mut self, config: &ConfigMap) -> FitOutput {
-        let Some(data) = &self.engineered else {
-            return Self::err_fit("feature engineering not run");
-        };
         let cfg = map_to_config(config);
         let Some(algo) = algorithm_of(&cfg) else {
             return Self::err_fit("missing algorithm");
+        };
+        if let Some(pipe) = pipeline_of(&cfg) {
+            return self.pipeline_fit_eval(pipe, algo, &cfg);
+        }
+        let Some(data) = &self.engineered else {
+            return Self::err_fit("feature engineering not run");
         };
         let hp = to_hyperparams(&cfg);
         let mut model = build_regressor(algo, &hp);
@@ -191,13 +204,77 @@ impl FedForecasterClient {
         }
     }
 
-    fn op_final_fit(&mut self, config: &ConfigMap) -> FitOutput {
-        let Some(data) = &self.engineered else {
-            return Self::err_fit("feature engineering not run");
+    /// Tunes one pipeline candidate: fits the composed forecaster on the
+    /// train prefix only and scores one-step-ahead MSE over the validation
+    /// range — the same rows the flat path's engineered `y_valid` covers,
+    /// so losses are comparable across both kinds of candidate.
+    fn pipeline_fit_eval(
+        &self,
+        pipe: PipelineId,
+        algo: AlgorithmKind,
+        cfg: &Configuration,
+    ) -> FitOutput {
+        let hp = to_pipeline_hyperparams(cfg);
+        let model = match PipelineModel::fit(pipe, algo, &hp, &self.values, self.train_end) {
+            Ok(m) => m,
+            Err(e) => return Self::err_fit(&format!("pipeline fit failed: {e}")),
         };
+        let loss = match model.predict_range(&self.values, self.train_end, self.valid_end) {
+            Ok(pred) => mse(&self.values[self.train_end..self.valid_end], &pred),
+            Err(_) => f64::INFINITY,
+        };
+        FitOutput {
+            params: vec![],
+            num_examples: self.total_len() as u64,
+            metrics: ConfigMap::new().with_float("valid_loss", loss),
+        }
+    }
+
+    /// Final pipeline fit on train ++ valid (Algorithm 1 line 24). Ships a
+    /// blob-v3 member for server-side ensemble union; every registered
+    /// algorithm can ship because [`PipelineModel::to_blob`] probes
+    /// non-codec models into frozen affine form.
+    fn pipeline_final_fit(
+        &mut self,
+        pipe: PipelineId,
+        algo: AlgorithmKind,
+        cfg: &Configuration,
+    ) -> FitOutput {
+        let hp = to_pipeline_hyperparams(cfg);
+        let model = match PipelineModel::fit(pipe, algo, &hp, &self.values, self.valid_end) {
+            Ok(m) => m,
+            Err(e) => return Self::err_fit(&format!("pipeline final fit failed: {e}")),
+        };
+        let test_loss = match model.predict_range(&self.values, self.valid_end, self.values.len()) {
+            Ok(pred) => mse(&self.values[self.valid_end..], &pred),
+            Err(_) => f64::INFINITY,
+        };
+        let blob = match model.to_blob() {
+            Ok(b) => b,
+            Err(e) => return Self::err_fit(&format!("pipeline serialization failed: {e}")),
+        };
+        self.final_model = None;
+        self.final_scalers = None;
+        self.final_pipeline = Some(model);
+        FitOutput {
+            params: vec![],
+            num_examples: self.total_len() as u64,
+            metrics: ConfigMap::new()
+                .with_float("test_loss_local", test_loss)
+                .with_bytes("model_blob", blob),
+        }
+    }
+
+    fn op_final_fit(&mut self, config: &ConfigMap) -> FitOutput {
         let cfg = map_to_config(config);
         let Some(algo) = algorithm_of(&cfg) else {
             return Self::err_fit("missing algorithm");
+        };
+        if let Some(pipe) = pipeline_of(&cfg) {
+            return self.pipeline_final_fit(pipe, algo, &cfg);
+        }
+        let Some(data) = &self.engineered else {
+            return Self::err_fit("feature engineering not run");
         };
         let hp = to_hyperparams(&cfg);
         // Refit on train + valid (Algorithm 1 line 24).
@@ -227,7 +304,7 @@ impl FedForecasterClient {
             FinalizeStrategy::EnsembleUnion => {
                 let blob = model
                     .to_blob()
-                    .map(|model_bytes| encode_tree_blob(algo, &scaler, &yscaler, &model_bytes));
+                    .map(|model_bytes| encode_external_blob(algo, &scaler, &yscaler, &model_bytes));
                 (vec![], blob)
             }
         };
@@ -238,6 +315,7 @@ impl FedForecasterClient {
         }
         self.final_model = Some((algo, model));
         self.final_scalers = Some((scaler, yscaler));
+        self.final_pipeline = None;
         FitOutput {
             params,
             num_examples: self.total_len() as u64,
@@ -245,73 +323,57 @@ impl FedForecasterClient {
         }
     }
 
+    fn err_eval(msg: &str) -> EvalOutput {
+        EvalOutput {
+            loss: f64::INFINITY,
+            num_examples: 0,
+            metrics: ConfigMap::new().with_str("error", msg),
+        }
+    }
+
     /// Evaluates the weighted union of serialized client models on the
-    /// local raw features of the requested split:
-    /// `ŷ(x) = Σ wⱼ · yscalerⱼ⁻¹(modelⱼ(scalerⱼ(x)))`.
+    /// requested split: `ŷ = Σ wⱼ · memberⱼ`. Members mix freely —
+    /// single-node (blob v2) members predict from the engineered feature
+    /// rows, pipeline (blob v3) members recompute their transforms causally
+    /// from the raw series over the matching index range; both produce one
+    /// prediction per target row because the engineered `y_valid` / `y_test`
+    /// are exactly `values[train_end..valid_end]` / `values[valid_end..]`.
     fn op_test_global_ensemble(&self, config: &ConfigMap) -> EvalOutput {
         let Some(data) = &self.engineered else {
-            return EvalOutput {
-                loss: f64::INFINITY,
-                num_examples: 0,
-                metrics: ConfigMap::new().with_str("error", "not engineered"),
-            };
+            return Self::err_eval("not engineered");
         };
         let Some(weights) = config.get("weights").and_then(|v| v.as_float_vec()) else {
-            return EvalOutput {
-                loss: f64::INFINITY,
-                num_examples: 0,
-                metrics: ConfigMap::new().with_str("error", "missing weights"),
-            };
+            return Self::err_eval("missing weights");
         };
-        let (x_eval, y_eval) = Self::eval_split(data, config.str_or("split", "test"));
+        let split = config.str_or("split", "test");
+        let (x_eval, y_eval) = Self::eval_split(data, split);
         if y_eval.is_empty() {
-            return EvalOutput {
-                loss: f64::INFINITY,
-                num_examples: 0,
-                metrics: ConfigMap::new().with_str("error", "empty eval split"),
-            };
+            return Self::err_eval("empty eval split");
         }
         let mut agg = vec![0.0; y_eval.len()];
         for (j, &w) in weights.iter().enumerate() {
             let Some(blob) = config.get(&format!("blob_{j}")).and_then(|v| v.as_bytes()) else {
-                return EvalOutput {
-                    loss: f64::INFINITY,
-                    num_examples: 0,
-                    metrics: ConfigMap::new().with_str("error", &format!("missing blob_{j}")),
-                };
+                return Self::err_eval(&format!("missing blob_{j}"));
             };
-            let member = match decode_tree_blob(blob) {
+            let member = match decode_member_blob(blob) {
                 Ok(m) => m,
-                Err(e) => {
-                    return EvalOutput {
-                        loss: f64::INFINITY,
-                        num_examples: 0,
-                        metrics: ConfigMap::new().with_str("error", &e),
-                    }
+                Err(e) => return Self::err_eval(&e),
+            };
+            let pred = match &member {
+                RevivedMember::SingleNode { .. } => member.predict_features(x_eval),
+                RevivedMember::Pipeline(_) => {
+                    let (start, end) = self.eval_range(split);
+                    member.predict_series(&self.values, start, end)
                 }
             };
-            let (scaler_j, yscaler_j, model_j) = member;
-            if scaler_j.dim() != x_eval.cols() {
-                return EvalOutput {
-                    loss: f64::INFINITY,
-                    num_examples: 0,
-                    metrics: ConfigMap::new().with_str("error", "member dimension mismatch"),
-                };
-            }
-            let xs = scaler_j.transform(x_eval);
-            match model_j.predict(&xs) {
-                Ok(pred) => {
-                    for (a, p) in agg.iter_mut().zip(pred) {
-                        *a += w * yscaler_j.unscale(p);
+            match pred {
+                Ok(p) if p.len() == y_eval.len() => {
+                    for (a, v) in agg.iter_mut().zip(p) {
+                        *a += w * v;
                     }
                 }
-                Err(_) => {
-                    return EvalOutput {
-                        loss: f64::INFINITY,
-                        num_examples: 0,
-                        metrics: ConfigMap::new().with_str("error", "member predict failed"),
-                    }
-                }
+                Ok(_) => return Self::err_eval("member length mismatch"),
+                Err(e) => return Self::err_eval(&e),
             }
         }
         EvalOutput {
@@ -352,21 +414,23 @@ impl FedForecasterClient {
         }
     }
 
+    /// Raw-series index range of the requested split, elementwise aligned
+    /// with [`Self::eval_split`]'s targets.
+    fn eval_range(&self, split: &str) -> (usize, usize) {
+        if split == "valid" {
+            (self.train_end, self.valid_end)
+        } else {
+            (self.valid_end, self.values.len())
+        }
+    }
+
     fn op_test_global_linear(&self, params: &[f64]) -> EvalOutput {
         let (Some(data), Some((scaler, yscaler))) = (&self.engineered, &self.final_scalers) else {
-            return EvalOutput {
-                loss: f64::INFINITY,
-                num_examples: 0,
-                metrics: ConfigMap::new().with_str("error", "not finalized"),
-            };
+            return Self::err_eval("not finalized");
         };
         let p = data.x_test.cols();
         if params.len() != p + 1 || data.y_test.is_empty() {
-            return EvalOutput {
-                loss: f64::INFINITY,
-                num_examples: 0,
-                metrics: ConfigMap::new().with_str("error", "bad global params"),
-            };
+            return Self::err_eval("bad global params");
         }
         let (coef, intercept) = (&params[..p], params[p]);
         let xs_test = scaler.transform(&data.x_test);
@@ -381,22 +445,29 @@ impl FedForecasterClient {
     }
 
     fn op_test_local(&self, config: &ConfigMap) -> EvalOutput {
+        if let Some(model) = &self.final_pipeline {
+            let (start, end) = self.eval_range(config.str_or("split", "test"));
+            if start >= end {
+                return Self::err_eval("empty eval split");
+            }
+            let loss = match model.predict_range(&self.values, start, end) {
+                Ok(pred) => mse(&self.values[start..end], &pred),
+                Err(_) => f64::INFINITY,
+            };
+            return EvalOutput {
+                loss,
+                num_examples: (end - start) as u64,
+                metrics: ConfigMap::new(),
+            };
+        }
         let (Some(data), Some((_, model)), Some((scaler, yscaler))) =
             (&self.engineered, &self.final_model, &self.final_scalers)
         else {
-            return EvalOutput {
-                loss: f64::INFINITY,
-                num_examples: 0,
-                metrics: ConfigMap::new().with_str("error", "no final model"),
-            };
+            return Self::err_eval("no final model");
         };
         let (x_eval, y_eval) = Self::eval_split(data, config.str_or("split", "test"));
         if y_eval.is_empty() {
-            return EvalOutput {
-                loss: f64::INFINITY,
-                num_examples: 0,
-                metrics: ConfigMap::new().with_str("error", "empty eval split"),
-            };
+            return Self::err_eval("empty eval split");
         }
         let xs = scaler.transform(x_eval);
         let loss = match model.predict(&xs) {
@@ -431,65 +502,6 @@ fn probe_linear_params(model: &dyn Regressor, p: usize) -> Vec<f64> {
         }
         Err(_) => vec![],
     }
-}
-
-/// Encodes one client's ensemble-union contribution: the algorithm name,
-/// its local feature/target scalers (summary statistics), and the
-/// serialized model ([`Regressor::to_blob`]). Blob v2 embeds the name so
-/// the server side revives the model through the registry codec —
-/// registering a new union algorithm needs no changes here.
-fn encode_tree_blob(
-    algo: AlgorithmKind,
-    scaler: &Standardizer,
-    yscaler: &TargetScaler,
-    model_bytes: &[u8],
-) -> Vec<u8> {
-    let mut w = ff_models::ser::Writer::new();
-    w.u8(2); // blob version
-    w.str(algo.name());
-    w.f64s(scaler.means());
-    w.f64s(scaler.stds());
-    w.f64(yscaler.mean);
-    w.f64(yscaler.std);
-    w.u32(model_bytes.len() as u32);
-    let mut out = w.finish();
-    out.extend_from_slice(model_bytes);
-    out
-}
-
-/// Decodes [`encode_tree_blob`] output; the model is revived via the named
-/// algorithm's registered codec.
-fn decode_tree_blob(
-    blob: &[u8],
-) -> std::result::Result<(Standardizer, TargetScaler, Box<dyn Regressor + Send>), String> {
-    let mut r = ff_models::ser::Reader::new(blob);
-    let err = |e: ff_models::ser::SerError| e.to_string();
-    let version = r.u8().map_err(err)?;
-    if version != 2 {
-        return Err(format!("unsupported blob version {version}"));
-    }
-    let name = r.str(256).map_err(err)?.to_string();
-    let algo = AlgorithmKind::from_name(&name)
-        .ok_or_else(|| format!("blob names unregistered algorithm {name:?}"))?;
-    let means = r.f64s(100_000).map_err(err)?;
-    let stds = r.f64s(100_000).map_err(err)?;
-    if means.len() != stds.len() {
-        return Err("scaler shape mismatch".into());
-    }
-    let ymean = r.f64().map_err(err)?;
-    let ystd = r.f64().map_err(err)?;
-    let model_len = r.u32().map_err(err)? as usize;
-    if blob.len() < model_len {
-        return Err("truncated model section".into());
-    }
-    let model_bytes = &blob[blob.len() - model_len..];
-    let model = algo.spec().deserialize_model(model_bytes)?;
-    let scaler = Standardizer::from_parts(means, stds);
-    let yscaler = TargetScaler {
-        mean: ymean,
-        std: ystd.max(1e-12),
-    };
-    Ok((scaler, yscaler, model))
 }
 
 fn vstack(a: &Matrix, b: &Matrix) -> Matrix {
@@ -703,6 +715,111 @@ mod tests {
         assert!(out.metrics.contains_key("error"));
         let ev = c.evaluate(&[], &ConfigMap::new().with_str(OP, "nope"));
         assert!(ev.loss.is_infinite());
+    }
+
+    fn pipeline_config(structure: &str, algo: &str) -> ConfigMap {
+        let mut cfg = Configuration::new();
+        cfg.insert(
+            crate::search_space::PIPELINE_KEY.into(),
+            ParamValue::Cat(structure.into()),
+        );
+        cfg.insert("algorithm".into(), ParamValue::Cat(algo.into()));
+        config_to_map(&cfg)
+    }
+
+    #[test]
+    fn pipeline_fit_eval_returns_finite_loss_without_engineering() {
+        let mut c = FedForecasterClient::new(&series(200), 0.15, 0.15);
+        let out = c.fit(
+            &[],
+            &pipeline_config("trend_lagged", "Lasso").with_str(OP, "fit_eval"),
+        );
+        let loss = out.metrics.float_or("valid_loss", f64::NAN);
+        assert!(loss.is_finite() && loss >= 0.0, "{:?}", out.metrics);
+        assert_eq!(out.num_examples, 200);
+    }
+
+    #[test]
+    fn pipeline_final_fit_ships_v3_blob_and_singleton_ensemble_matches_local() {
+        let mut c = engineered_client();
+        let out = c.fit(
+            &[],
+            &pipeline_config("trend_lagged", "XGBRegressor").with_str(OP, "final_fit"),
+        );
+        let blob = out.metrics["model_blob"].as_bytes().unwrap().to_vec();
+        assert_eq!(blob[0], 3, "pipeline members ship blob v3");
+        let local = c.evaluate(&[], &ConfigMap::new().with_str(OP, "test_local"));
+        assert!(local.loss.is_finite());
+        let ens = c.evaluate(
+            &[],
+            &ConfigMap::new()
+                .with_str(OP, "test_global_ensemble")
+                .with_floats("weights", vec![1.0])
+                .with_bytes("blob_0", blob),
+        );
+        assert!(
+            (local.loss - ens.loss).abs() < 1e-9 * (1.0 + local.loss),
+            "local {} vs singleton ensemble {}",
+            local.loss,
+            ens.loss
+        );
+    }
+
+    #[test]
+    fn ensembles_mix_v2_and_v3_members() {
+        // One client finalizes a flat XGB (blob v2), another a pipeline
+        // (blob v3); a third evaluates the mixed union — both kinds score
+        // the same target rows, so the weighted sum is well defined.
+        let mut flat = engineered_client();
+        let mut cfg = Configuration::new();
+        cfg.insert("algorithm".into(), ParamValue::Cat("XGBRegressor".into()));
+        let v2 = flat
+            .fit(&[], &config_to_map(&cfg).with_str(OP, "final_fit"))
+            .metrics["model_blob"]
+            .as_bytes()
+            .unwrap()
+            .to_vec();
+        let mut piped = engineered_client();
+        let v3 = piped
+            .fit(
+                &[],
+                &pipeline_config("ema_trend_lagged", "Lasso").with_str(OP, "final_fit"),
+            )
+            .metrics["model_blob"]
+            .as_bytes()
+            .unwrap()
+            .to_vec();
+        assert_eq!((v2[0], v3[0]), (2, 3));
+        let mut judge = engineered_client();
+        let ens = judge.evaluate(
+            &[],
+            &ConfigMap::new()
+                .with_str(OP, "test_global_ensemble")
+                .with_floats("weights", vec![0.5, 0.5])
+                .with_bytes("blob_0", v2)
+                .with_bytes("blob_1", v3),
+        );
+        assert!(ens.loss.is_finite(), "{:?}", ens.metrics);
+        assert!(ens.num_examples > 0);
+    }
+
+    #[test]
+    fn pipeline_final_fit_replaces_flat_final_model() {
+        let mut c = engineered_client();
+        c.fit(&[], &lasso_config().with_str(OP, "final_fit"));
+        assert!(c.final_model.is_some());
+        c.fit(
+            &[],
+            &pipeline_config("lagged", "Lasso").with_str(OP, "final_fit"),
+        );
+        assert!(c.final_model.is_none() && c.final_pipeline.is_some());
+        let local = c.evaluate(
+            &[],
+            &ConfigMap::new()
+                .with_str(OP, "test_local")
+                .with_str("split", "valid"),
+        );
+        assert!(local.loss.is_finite());
     }
 
     #[test]

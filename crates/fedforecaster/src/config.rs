@@ -106,6 +106,14 @@ pub struct EngineConfig {
     /// newly registered one end-to-end. `None` (the default) uses the
     /// meta-model recommendation.
     pub portfolio: Option<Vec<ff_models::zoo::AlgorithmKind>>,
+    /// Pipeline structures to search jointly with the algorithm portfolio.
+    /// `Some(structures)` switches phase III to the composed search space:
+    /// BO selects a pipeline structure, its node hyperparameters, an
+    /// algorithm, and the algorithm's hyperparameters in one conditional
+    /// space, and phase IV finalizes the winner by ensemble union of
+    /// blob-v3 members. `None` (the default) keeps the flat
+    /// algorithm-only search.
+    pub pipelines: Option<Vec<ff_models::pipeline::PipelineId>>,
     /// Observability: disabled by default (zero-cost); enable to collect
     /// spans, metrics, and a [`crate::report::RunTelemetry`] on the result.
     pub trace: TraceConfig,
@@ -151,6 +159,13 @@ impl EngineConfig {
                 self.aggregation.name()
             )));
         }
+        if let Some(pipes) = &self.pipelines {
+            if pipes.is_empty() {
+                return Err(EngineError::InvalidData(
+                    "pipelines: Some([]) selects nothing; use None for the flat search".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -171,6 +186,7 @@ impl Default for EngineConfig {
             tree_aggregation: TreeAggregation::default(),
             round_policy: RoundPolicy::default(),
             portfolio: None,
+            pipelines: None,
             trace: TraceConfig::default(),
             aggregation: AggregationStrategy::default(),
             guard: GuardPolicy::default(),
@@ -193,6 +209,7 @@ mod tests {
         assert_eq!(c.tree_aggregation, TreeAggregation::Auto);
         assert_eq!(c.round_policy, RoundPolicy::default());
         assert!(c.portfolio.is_none());
+        assert!(c.pipelines.is_none());
         assert!(!c.trace.is_enabled());
         assert_eq!(c.aggregation, AggregationStrategy::FedAvg);
         assert_eq!(c.par, ff_par::ParConfig::auto());
@@ -220,6 +237,20 @@ mod tests {
             ..Default::default()
         };
         assert!(bad_knob.validate().is_err());
+    }
+
+    #[test]
+    fn empty_pipeline_list_is_rejected() {
+        let bad = EngineConfig {
+            pipelines: Some(vec![]),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let ok = EngineConfig {
+            pipelines: Some(ff_models::pipeline::PipelineId::builtin().to_vec()),
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use super::rounds::{
 use crate::aggregate::GlobalModel;
 use crate::client::OP;
 use crate::report::RoundReport;
-use crate::search_space::{algorithm_of, config_to_map};
+use crate::search_space::{algorithm_of, config_to_map, pipeline_of};
 use crate::{EngineError, Result};
 use ff_bayesopt::space::Configuration;
 use ff_fl::config::{ConfigMap, ConfigMapExt};
@@ -114,7 +114,16 @@ fn finalize_with_tolerant_inner(
         return Err(quorum_unmet(rounds, idx, usable.len(), required));
     }
 
-    match algorithm.spec().finalize() {
+    // Pipeline winners always finalize by ensemble union: each member is a
+    // self-contained blob-v3 forecaster (non-codec models ship in probed
+    // affine form), and coefficient averaging is ill-defined across
+    // per-client trend branches.
+    let strategy = if pipeline_of(best_config).is_some() {
+        FinalizeStrategy::EnsembleUnion
+    } else {
+        algorithm.spec().finalize()
+    };
+    match strategy {
         FinalizeStrategy::CoefficientAverage => {
             let global_params = if ctx.is_robust() {
                 // Robust path: screen per-client coefficient vectors, feed

@@ -39,7 +39,9 @@ use crate::client::FedForecasterClient;
 use crate::config::EngineConfig;
 use crate::feature_engineering::GlobalFeatureSpec;
 use crate::report::{RoundReport, RunTelemetry};
-use crate::search_space::{table2_space, warm_start_configs};
+use crate::search_space::{
+    pipeline_of, pipeline_space, table2_space, warm_start_configs, warm_start_pipeline_configs,
+};
 use crate::{EngineError, Result};
 use ff_bayesopt::optimizer::BayesOpt;
 use ff_bayesopt::space::Configuration;
@@ -71,6 +73,9 @@ pub struct PhaseBytes {
 pub struct RunResult {
     /// Winning algorithm.
     pub best_algorithm: AlgorithmKind,
+    /// Winning pipeline structure name, when the run searched composed
+    /// pipelines ([`EngineConfig::pipelines`]); `None` for flat runs.
+    pub best_pipeline: Option<String>,
     /// Winning configuration.
     pub best_config: Configuration,
     /// Best aggregated validation loss observed during optimization.
@@ -213,10 +218,19 @@ impl<'m> FedForecaster<'m> {
         // A trial whose round misses its quorum is abandoned — it consumes
         // budget but tells the optimizer nothing — and the run continues.
         let phase_span = tracer.span("phase.optimization");
-        let space = table2_space(&recommended);
+        // The search space is flat (algorithms only) or composed (pipeline
+        // structure × node params × algorithm × algorithm params, with
+        // branch dimensions conditionally masked for the surrogate).
+        let (space, warm) = match &self.cfg.pipelines {
+            Some(pipes) => (
+                pipeline_space(&recommended, pipes),
+                warm_start_pipeline_configs(&recommended, pipes),
+            ),
+            None => (table2_space(&recommended), warm_start_configs(&recommended)),
+        };
         let mut bo = BayesOpt::new(space, self.cfg.seed).map_err(EngineError::Optimizer)?;
         bo.set_tracer(tracer.clone());
-        bo.warm_start(warm_start_configs(&recommended));
+        bo.warm_start(warm);
         let mut loss_history = Vec::new();
         let mut failed_trials = 0usize;
         let mut tracker = BudgetTracker::start(self.cfg.budget);
@@ -277,6 +291,7 @@ impl<'m> FedForecaster<'m> {
             .then(|| build_telemetry(&tracer, rt, &health));
         Ok(RunResult {
             best_algorithm: global_model.algorithm(),
+            best_pipeline: pipeline_of(&best_config).map(|p| p.name().to_string()),
             best_config,
             best_valid_loss,
             test_mse,

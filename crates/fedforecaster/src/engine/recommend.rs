@@ -1,6 +1,10 @@
 //! Phases I–III prep: meta-feature collection and aggregation, the
 //! federated weighted periodogram, lag-count agreement, and federated
 //! feature engineering (§4.2).
+//!
+//! The recommendation feeds both search flavors: it is the whole space
+//! for the flat Table 2 search, and the algorithm axis of the composed
+//! pipeline space (`EngineConfig::pipelines`).
 
 use super::rounds::{quorum_unmet, tolerant_round};
 use crate::client::OP;

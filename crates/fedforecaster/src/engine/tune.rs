@@ -1,5 +1,11 @@
 //! Phase III trial evaluation: one federated fit-and-validate round per
 //! candidate configuration, aggregated by Equation 1.
+//!
+//! Candidates from the composed pipeline space need no special handling
+//! here: the `pipeline` selector and node hyperparameters travel inside
+//! the same wire `ConfigMap` as the algorithm dimensions, and the client
+//! dispatches on their presence (see
+//! [`crate::search_space::pipeline_space`]).
 
 use super::rounds::{quorum_unmet, record_screen, tolerant_round, RobustCtx};
 use crate::client::OP;

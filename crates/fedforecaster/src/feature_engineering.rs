@@ -267,21 +267,13 @@ pub fn engineer_with_exog(
 /// Causal trend estimate: `trend[t]` is an exponential moving average of
 /// `values[..t]` (span `n/10`, clamped to `[5, 60]`), seeded at the first
 /// observation. Strictly causal: `trend[t]` never sees `values[t]`.
+///
+/// The EMA kernel itself lives in [`ff_models::pipeline::causal_ema_trend`]
+/// — it is also the `trend_ema` pipeline node, where the span is tunable;
+/// this wrapper keeps the feature-engineering span heuristic.
 pub fn causal_trend(values: &[f64]) -> Vec<f64> {
-    let n = values.len();
-    let span = (n / 10).clamp(5, 60) as f64;
-    let alpha = 2.0 / (span + 1.0);
-    let mut out = Vec::with_capacity(n);
-    let mut ema = values.first().copied().unwrap_or(0.0);
-    for (t, &v) in values.iter().enumerate() {
-        out.push(ema); // summary of values[..t]
-        if t == 0 {
-            ema = v; // seed with the first observation
-        } else {
-            ema = (1.0 - alpha) * ema + alpha * v;
-        }
-    }
-    out
+    let span = (values.len() / 10).clamp(5, 60) as f64;
+    ff_models::pipeline::causal_ema_trend(values, span)
 }
 
 /// Server-side feature selection (§4.2.2): averages the clients' importance

@@ -13,7 +13,7 @@ use crate::engine::{
     federated_seasonal_periods, finalize_with, run_feature_engineering, RunResult,
 };
 use crate::feature_engineering::GlobalFeatureSpec;
-use crate::search_space::table2_space;
+use crate::search_space::{pipeline_of, pipeline_space, table2_space};
 use crate::{EngineError, Result};
 use ff_models::zoo::AlgorithmKind;
 use ff_timeseries::TimeSeries;
@@ -53,7 +53,12 @@ impl RandomSearch {
         };
         run_feature_engineering(&rt, &spec, self.cfg.importance_threshold)?;
 
-        let space = table2_space(&AlgorithmKind::all());
+        // Honors the same pipeline switch as the engine so ablations
+        // compare like with like (guided vs random over the same space).
+        let space = match &self.cfg.pipelines {
+            Some(pipes) => pipeline_space(&AlgorithmKind::all(), pipes),
+            None => table2_space(&AlgorithmKind::all()),
+        };
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut best: Option<(ff_bayesopt::space::Configuration, f64)> = None;
         let mut loss_history = Vec::new();
@@ -76,6 +81,7 @@ impl RandomSearch {
         let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
         Ok(RunResult {
             best_algorithm: global_model.algorithm(),
+            best_pipeline: pipeline_of(&best_config).map(|p| p.name().to_string()),
             best_config,
             best_valid_loss,
             test_mse,

@@ -132,6 +132,15 @@ pub struct ComparisonRow {
     pub best_model: String,
 }
 
+/// Formats a run's winner for report tables: the bare algorithm name for
+/// flat runs, `"<structure>/<algorithm>"` for pipeline-search winners.
+pub fn best_model_label(result: &crate::engine::RunResult) -> String {
+    match &result.best_pipeline {
+        Some(p) => format!("{p}/{}", result.best_algorithm.name()),
+        None => result.best_algorithm.name().to_string(),
+    }
+}
+
 /// Aggregate statistics over a set of comparison rows.
 #[derive(Debug, Clone)]
 pub struct ComparisonSummary {

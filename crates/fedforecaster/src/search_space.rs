@@ -14,8 +14,9 @@
 //! (the mixing ratio is only defined on `[0, 1]`), so the registry samples
 //! `[0.3, 1.0]` directly.
 
-use ff_bayesopt::space::{Configuration, ParamSpec, ParamValue, SearchSpace};
+use ff_bayesopt::space::{Condition, Configuration, ParamSpec, ParamValue, SearchSpace};
 use ff_fl::config::{ConfigMap, ConfigMapExt};
+use ff_models::pipeline::{NodeId, PipelineId};
 use ff_models::spec::{ParamKind, SpecValue};
 use ff_models::zoo::{AlgorithmKind, HyperParams};
 
@@ -104,6 +105,105 @@ pub fn warm_start_configs(algorithms: &[AlgorithmKind]) -> Vec<Configuration> {
             c
         })
         .collect()
+}
+
+/// The categorical dimension naming the selected pipeline structure.
+pub const PIPELINE_KEY: &str = "pipeline";
+
+/// Builds the joint structure-conditional pipeline space: a categorical
+/// `pipeline` dimension over the given structures, the `algorithm`
+/// dimension over the recommendations, one dimension per distinct node
+/// param across the structures (guarded by the set of structures that
+/// contain the node), and every algorithm's own params (guarded by the
+/// algorithm selection). Sampling and decoding stay unconditional — the
+/// CASH fallback machinery is unchanged — but the guards mask unselected-
+/// branch dimensions out of the surrogate's encoding, so tuning one
+/// structure never pays kernel distance for another structure's knobs.
+pub fn pipeline_space(algorithms: &[AlgorithmKind], pipelines: &[PipelineId]) -> SearchSpace {
+    assert!(!algorithms.is_empty() && !pipelines.is_empty());
+    let pnames: Vec<String> = pipelines.iter().map(|p| p.name().to_string()).collect();
+    let anames: Vec<String> = algorithms.iter().map(|a| a.name().to_string()).collect();
+    let mut space = SearchSpace::new()
+        .with(PIPELINE_KEY, ParamSpec::Categorical { options: pnames })
+        .with("algorithm", ParamSpec::Categorical { options: anames });
+    let mut seen: Vec<NodeId> = Vec::new();
+    for p in pipelines {
+        for &node in p.spec().nodes() {
+            if seen.contains(&node) {
+                continue;
+            }
+            seen.push(node);
+            let activating: Vec<String> = pipelines
+                .iter()
+                .filter(|q| q.spec().nodes().contains(&node))
+                .map(|q| q.name().to_string())
+                .collect();
+            for pd in node.spec().params() {
+                space = space.with_conditional(
+                    pd.key(),
+                    to_param_spec(pd.kind()),
+                    Condition::any_of(PIPELINE_KEY, activating.clone()),
+                );
+            }
+        }
+    }
+    for algo in algorithms {
+        for pd in algo.spec().params() {
+            space = space.with_conditional(
+                pd.key(),
+                to_param_spec(pd.kind()),
+                Condition::equals("algorithm", algo.name()),
+            );
+        }
+    }
+    space
+}
+
+/// Extracts the pipeline-structure choice from a sampled configuration
+/// (`None` for flat-portfolio configurations).
+pub fn pipeline_of(config: &Configuration) -> Option<PipelineId> {
+    PipelineId::from_name(config.get(PIPELINE_KEY)?.as_str())
+}
+
+/// Converts a joint configuration to the bundle carrying both the selected
+/// algorithm's hyperparameters and the selected structure's node params
+/// (in `extras`). Each layer consults only its own namespaced keys;
+/// unselected-branch dimensions never leak (same contract as
+/// [`to_hyperparams`], extended to node namespaces).
+pub fn to_pipeline_hyperparams(config: &Configuration) -> HyperParams {
+    let mut hp = to_hyperparams(config);
+    if let Some(p) = pipeline_of(config) {
+        p.spec()
+            .decode_into(&mut hp, |key| config.get(key).map(to_spec_value));
+    }
+    hp
+}
+
+/// Warm-start configurations for the joint space: every structure paired
+/// with the first recommended algorithm, then every remaining algorithm
+/// paired with the first structure — `|P| + |A| − 1` seeds that cover both
+/// axes without the full cross product. All node and algorithm params sit
+/// at their warm values.
+pub fn warm_start_pipeline_configs(
+    algorithms: &[AlgorithmKind],
+    pipelines: &[PipelineId],
+) -> Vec<Configuration> {
+    assert!(!algorithms.is_empty() && !pipelines.is_empty());
+    let warm = |p: PipelineId, a: AlgorithmKind| {
+        let mut c = Configuration::new();
+        c.insert(PIPELINE_KEY.into(), ParamValue::Cat(p.name().to_string()));
+        c.insert("algorithm".into(), ParamValue::Cat(a.name().to_string()));
+        for (key, value) in p.spec().warm_values() {
+            c.insert(key, to_param_value(&value));
+        }
+        for (key, value) in a.spec().warm_values() {
+            c.insert(key, to_param_value(&value));
+        }
+        c
+    };
+    let mut out: Vec<Configuration> = pipelines.iter().map(|&p| warm(p, algorithms[0])).collect();
+    out.extend(algorithms[1..].iter().map(|&a| warm(pipelines[0], a)));
+    out
 }
 
 /// Serializes a configuration into a [`ConfigMap`] for the wire.
@@ -336,5 +436,127 @@ mod tests {
         assert_eq!(ws.len(), 2);
         assert_eq!(algorithm_of(&ws[0]), Some(AlgorithmKind::XGB_REGRESSOR));
         assert_eq!(algorithm_of(&ws[1]), Some(AlgorithmKind::LASSO));
+    }
+
+    #[test]
+    fn pipeline_space_has_structure_and_branch_dimensions() {
+        let space = pipeline_space(
+            &[AlgorithmKind::LASSO, AlgorithmKind::XGB_REGRESSOR],
+            &PipelineId::builtin(),
+        );
+        // pipeline + algorithm + 7 node params (one each) + 2 + 5 algo
+        // params = 16 named dimensions.
+        assert_eq!(space.len(), 16);
+        // The lag window is active in every builtin structure; trend degree
+        // only in the polyfit structures.
+        let names: Vec<&str> = space.params().iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"node_lag_window"));
+        assert!(names.contains(&"node_poly_degree"));
+        let cond = space.condition("node_poly_degree").unwrap();
+        assert_eq!(cond.key(), PIPELINE_KEY);
+        assert_eq!(cond.options(), ["trend_lagged", "trend_smooth_lagged"]);
+        // Algorithm params are guarded by the algorithm selection.
+        let cond = space.condition("lasso_alpha").unwrap();
+        assert_eq!(cond.key(), "algorithm");
+    }
+
+    #[test]
+    fn pipeline_warm_starts_cover_both_axes() {
+        let algos = [AlgorithmKind::LASSO, AlgorithmKind::XGB_REGRESSOR];
+        let pipes = PipelineId::builtin();
+        let ws = warm_start_pipeline_configs(&algos, &pipes);
+        assert_eq!(ws.len(), pipes.len() + algos.len() - 1);
+        for (i, &p) in pipes.iter().enumerate() {
+            assert_eq!(pipeline_of(&ws[i]), Some(p));
+            assert_eq!(algorithm_of(&ws[i]), Some(AlgorithmKind::LASSO));
+        }
+        let last = &ws[pipes.len()];
+        assert_eq!(pipeline_of(last), Some(PipelineId::LAGGED));
+        assert_eq!(algorithm_of(last), Some(AlgorithmKind::XGB_REGRESSOR));
+        // Warm node params decode back out of the bundle.
+        let hp = to_pipeline_hyperparams(&ws[4]); // trend_lagged
+        assert_eq!(hp.extras.get("node_poly_degree"), Some(&2.0));
+        assert_eq!(hp.extras.get("node_lag_window"), Some(&8.0));
+    }
+
+    /// The pipeline extension of `unselected_dimensions_never_leak`:
+    /// poisoning dimensions of unselected structures (and unselected
+    /// algorithms) must not change the decoded bundle.
+    #[test]
+    fn unselected_branch_params_never_leak_into_pipelines() {
+        let space = pipeline_space(&AlgorithmKind::builtin(), &PipelineId::builtin());
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..60 {
+            let c = space.sample(&mut rng);
+            let pipe = pipeline_of(&c).unwrap();
+            let algo = algorithm_of(&c).unwrap();
+            let hp = to_pipeline_hyperparams(&c);
+            let own_nodes: Vec<&str> = pipe.spec().nodes().iter().map(|n| n.name()).collect();
+            let mut poisoned = c.clone();
+            for (key, value) in poisoned.iter_mut() {
+                let keep = key == "algorithm"
+                    || key == PIPELINE_KEY
+                    || key.starts_with(algo.spec().prefix())
+                    || pipe
+                        .spec()
+                        .nodes()
+                        .iter()
+                        .any(|n| key.starts_with(n.spec().prefix()));
+                if !keep {
+                    *value = match value {
+                        ParamValue::Float(_) => ParamValue::Float(9e9),
+                        ParamValue::Int(_) => ParamValue::Int(999),
+                        ParamValue::Cat(_) => ParamValue::Cat("random".into()),
+                    };
+                }
+            }
+            assert_eq!(
+                to_pipeline_hyperparams(&poisoned),
+                hp,
+                "{pipe:?}/{algo:?} leaked (own nodes {own_nodes:?})"
+            );
+            // Node params of structures outside the selection stay absent.
+            for node in NodeId::builtin() {
+                if !pipe.spec().nodes().contains(&node) {
+                    for pd in node.spec().params() {
+                        assert!(
+                            !hp.extras.contains_key(pd.key()),
+                            "{pipe:?} absorbed foreign node key {}",
+                            pd.key()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_pipeline_configs_fit_end_to_end() {
+        let space = pipeline_space(
+            &[AlgorithmKind::LASSO, AlgorithmKind::XGB_REGRESSOR],
+            &PipelineId::builtin(),
+        );
+        let values: Vec<f64> = (0..160)
+            .map(|t| 4.0 + 0.05 * t as f64 + (std::f64::consts::TAU * t as f64 / 9.0).sin())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..12 {
+            let c = space.sample(&mut rng);
+            let pipe = pipeline_of(&c).unwrap();
+            let algo = algorithm_of(&c).unwrap();
+            let hp = to_pipeline_hyperparams(&c);
+            let m = ff_models::pipeline::PipelineModel::fit(pipe, algo, &hp, &values, 130)
+                .unwrap_or_else(|e| panic!("{pipe:?}/{algo:?}: {e}"));
+            let pred = m.predict_range(&values, 130, 160).unwrap();
+            assert!(pred.iter().all(|v| v.is_finite()), "{pipe:?}/{algo:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_wire_roundtrip_preserves_configuration() {
+        let space = pipeline_space(&AlgorithmKind::builtin(), &PipelineId::builtin());
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = space.sample(&mut rng);
+        assert_eq!(map_to_config(&config_to_map(&c)), c);
     }
 }

@@ -6,9 +6,12 @@ use fedforecaster::feature_engineering::{
 };
 use fedforecaster::report::fmt_loss;
 use fedforecaster::search_space::{
-    algorithm_of, config_to_map, from_hyperparams, map_to_config, table2_space, to_hyperparams,
+    algorithm_of, config_to_map, from_hyperparams, map_to_config, pipeline_of, pipeline_space,
+    table2_space, to_hyperparams, to_pipeline_hyperparams,
 };
 use ff_bayesopt::space::ParamValue;
+use ff_models::pipeline::{NodeId, PipelineId};
+use ff_models::spec::SpecValue;
 use ff_models::zoo::AlgorithmKind;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -134,6 +137,78 @@ proptest! {
             }
         }
         prop_assert_eq!(to_hyperparams(&cfg), clean);
+    }
+
+    #[test]
+    fn pipeline_sample_encode_decode_encode_is_stable(seed in 0u64..500) {
+        // Joint-space roundtrip across node namespaces: sample → decode →
+        // encode → decode → encode is a fixed point for both the selected
+        // structure's node params and the selected algorithm's params.
+        let space = pipeline_space(&AlgorithmKind::all(), &PipelineId::builtin());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = space.sample(&mut rng);
+        let pipe = pipeline_of(&cfg).unwrap();
+        let algo = algorithm_of(&cfg).unwrap();
+        let hp = to_pipeline_hyperparams(&cfg);
+        // Re-encode into a fresh configuration holding only the selected
+        // branches, then decode again.
+        let mut cfg2 = from_hyperparams(algo, &hp);
+        cfg2.insert(
+            fedforecaster::search_space::PIPELINE_KEY.to_string(),
+            ParamValue::Cat(pipe.name().to_string()),
+        );
+        let encoded = pipe.spec().encode(&hp);
+        for (key, value) in &encoded {
+            let pv = match value {
+                SpecValue::Float(v) => ParamValue::Float(*v),
+                SpecValue::Int(v) => ParamValue::Int(*v),
+                SpecValue::Cat(s) => ParamValue::Cat(s.clone()),
+            };
+            cfg2.insert(key.clone(), pv);
+        }
+        let hp2 = to_pipeline_hyperparams(&cfg2);
+        prop_assert_eq!(&hp2, &hp);
+        prop_assert_eq!(pipe.spec().encode(&hp2), encoded);
+    }
+
+    #[test]
+    fn unselected_pipeline_branch_params_never_leak(seed in 0u64..300, poison in -1e9f64..1e9) {
+        // Poisoning the node dimensions of every structure the sample did
+        // NOT select (and every foreign algorithm namespace) must not
+        // change the decoded bundle — the conditional space's inert
+        // dimensions are truly inert.
+        let space = pipeline_space(&AlgorithmKind::all(), &PipelineId::builtin());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg = space.sample(&mut rng);
+        let pipe = pipeline_of(&cfg).unwrap();
+        let algo = algorithm_of(&cfg).unwrap();
+        let clean = to_pipeline_hyperparams(&cfg);
+        for node in NodeId::builtin() {
+            if pipe.spec().nodes().contains(&node) {
+                continue;
+            }
+            for pd in node.spec().params() {
+                cfg.insert(pd.key().to_string(), ParamValue::Float(poison));
+            }
+        }
+        for other in AlgorithmKind::all() {
+            if other == algo {
+                continue;
+            }
+            for pd in other.spec().params() {
+                cfg.insert(pd.key().to_string(), ParamValue::Float(poison));
+            }
+        }
+        prop_assert_eq!(to_pipeline_hyperparams(&cfg), clean);
+        // Foreign node keys never reach the extras map at all.
+        let decoded = to_pipeline_hyperparams(&cfg);
+        for node in NodeId::builtin() {
+            if !pipe.spec().nodes().contains(&node) {
+                for pd in node.spec().params() {
+                    prop_assert!(!decoded.extras.contains_key(pd.key()));
+                }
+            }
+        }
     }
 
     #[test]

@@ -81,10 +81,60 @@ impl ParamValue {
 /// A named configuration: parameter name → value.
 pub type Configuration = BTreeMap<String, ParamValue>;
 
+/// Activation guard for a conditional dimension: the guarded parameter is
+/// *active* only when the categorical parameter `key` takes one of
+/// `options`. Inactive dimensions still exist in every configuration (the
+/// CASH convention — sampling and decoding are unconditional, so fallback
+/// machinery keeps working), but [`SearchSpace::encode`] masks them to a
+/// constant so the surrogate model never attributes loss variation to
+/// branches that were not selected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    key: String,
+    options: Vec<String>,
+}
+
+impl Condition {
+    /// Active when `key` equals any of `options`.
+    pub fn any_of(key: impl Into<String>, options: impl IntoIterator<Item = String>) -> Condition {
+        Condition {
+            key: key.into(),
+            options: options.into_iter().collect(),
+        }
+    }
+
+    /// Active when `key` equals `option`.
+    pub fn equals(key: impl Into<String>, option: impl Into<String>) -> Condition {
+        Condition {
+            key: key.into(),
+            options: vec![option.into()],
+        }
+    }
+
+    /// The controlling parameter name.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The activating options.
+    pub fn options(&self) -> &[String] {
+        &self.options
+    }
+
+    /// Evaluates the guard against a configuration.
+    pub fn holds(&self, config: &Configuration) -> bool {
+        config
+            .get(&self.key)
+            .map(|v| self.options.iter().any(|o| o == v.as_str()))
+            .unwrap_or(false)
+    }
+}
+
 /// An ordered collection of named parameters.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchSpace {
     params: Vec<(String, ParamSpec)>,
+    conds: BTreeMap<String, Condition>,
 }
 
 impl SearchSpace {
@@ -97,6 +147,29 @@ impl SearchSpace {
     pub fn with(mut self, name: &str, spec: ParamSpec) -> SearchSpace {
         self.params.push((name.to_string(), spec));
         self
+    }
+
+    /// Adds a parameter that is active only under `cond` (structure-
+    /// conditional spaces: pipeline-node and per-algorithm dimensions
+    /// guarded by the structure/algorithm categoricals).
+    pub fn with_conditional(mut self, name: &str, spec: ParamSpec, cond: Condition) -> SearchSpace {
+        self.conds.insert(name.to_string(), cond);
+        self.params.push((name.to_string(), spec));
+        self
+    }
+
+    /// The activation guard of a parameter, if it has one.
+    pub fn condition(&self, name: &str) -> Option<&Condition> {
+        self.conds.get(name)
+    }
+
+    /// True when the parameter participates in `config`'s selected
+    /// structure (unconditional parameters are always active).
+    pub fn is_active(&self, name: &str, config: &Configuration) -> bool {
+        self.conds
+            .get(name)
+            .map(|c| c.holds(config))
+            .unwrap_or(true)
     }
 
     /// Parameter count (before one-hot expansion).
@@ -148,10 +221,22 @@ impl SearchSpace {
             .collect()
     }
 
-    /// Encodes a configuration into `[0, 1]^d`.
+    /// Encodes a configuration into `[0, 1]^d`. Dimensions whose
+    /// [`Condition`] does not hold are masked to a constant `0.0`
+    /// (all-zero one-hot for categoricals), so two configurations that
+    /// differ only in an unselected branch encode identically and the
+    /// surrogate's kernel sees no phantom distance between them.
     pub fn encode(&self, config: &Configuration) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.encoded_dim());
         for (name, spec) in &self.params {
+            if !self.is_active(name, config) {
+                let width = match spec {
+                    ParamSpec::Categorical { options } => options.len(),
+                    _ => 1,
+                };
+                out.extend(std::iter::repeat_n(0.0, width));
+                continue;
+            }
             let v = config.get(name);
             match spec {
                 ParamSpec::Continuous { lo, hi } => {
@@ -296,5 +381,61 @@ mod tests {
         let z = s.encode(&Configuration::new());
         assert_eq!(z[0], 0.0);
         assert_eq!(z[1], 0.0);
+    }
+
+    fn conditional_space() -> SearchSpace {
+        SearchSpace::new()
+            .with(
+                "pipeline",
+                ParamSpec::Categorical {
+                    options: vec!["plain".into(), "trended".into()],
+                },
+            )
+            .with_conditional(
+                "degree",
+                ParamSpec::Integer { lo: 1, hi: 3 },
+                Condition::equals("pipeline", "trended"),
+            )
+            .with("width", ParamSpec::Continuous { lo: 0.0, hi: 1.0 })
+    }
+
+    #[test]
+    fn inactive_dimensions_encode_to_constant_zero() {
+        let s = conditional_space();
+        let mut a = Configuration::new();
+        a.insert("pipeline".into(), ParamValue::Cat("plain".into()));
+        a.insert("degree".into(), ParamValue::Int(1));
+        a.insert("width".into(), ParamValue::Float(0.5));
+        let mut b = a.clone();
+        b.insert("degree".into(), ParamValue::Int(3));
+        // Same selected structure, different unselected-branch value: the
+        // encodings must be identical — no phantom kernel distance.
+        assert_eq!(s.encode(&a), s.encode(&b));
+        assert!(!s.is_active("degree", &a));
+        // Selecting the branch re-activates the dimension.
+        a.insert("pipeline".into(), ParamValue::Cat("trended".into()));
+        assert!(s.is_active("degree", &a));
+        assert_ne!(s.encode(&a), s.encode(&b));
+    }
+
+    #[test]
+    fn conditional_sampling_and_decoding_stay_unconditional() {
+        // CASH convention: every dimension is sampled and decoded so warm-
+        // start and fallback machinery see complete configurations.
+        let s = conditional_space();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let c = s.sample(&mut rng);
+            assert!(c.contains_key("degree"));
+            let back = s.decode(&s.encode(&c));
+            assert!(back.contains_key("degree"));
+        }
+    }
+
+    #[test]
+    fn condition_free_spaces_are_unchanged() {
+        let s = space();
+        assert!(s.is_active("alpha", &Configuration::new()));
+        assert!(s.condition("alpha").is_none());
     }
 }

@@ -1,0 +1,136 @@
+//! **Pipeline-search benchmark** — flat algorithm portfolio vs composed
+//! pipeline search at an equal trial budget, written to `BENCH_pr7.json`.
+//!
+//! Both arms run the same engine, meta-model, federation, seeds, and
+//! iteration budget; the only difference is the search space: the flat arm
+//! tunes Table 2 algorithms over engineered features, the pipeline arm
+//! tunes structure × node params × algorithm × algorithm params (see
+//! DESIGN.md §14).
+//!
+//! ```text
+//! cargo run -p ff-bench --release --bin pipeline_search -- \
+//!     [--smoke] [--scale 0.15] [--iters 16] [--seeds 2] [--kb 48] \
+//!     [--datasets 0,2,6,7,8] [--out BENCH_pr7.json]
+//! ```
+
+use fedforecaster::prelude::*;
+use fedforecaster::report::best_model_label;
+use fedforecaster::FedForecaster;
+use ff_bench::{build_metamodel, Args};
+use ff_models::pipeline::PipelineId;
+use ff_trace::{push_json_f64, push_json_str};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let scale = args.f64("scale", if smoke { 0.08 } else { 0.15 });
+    // The joint space seeds |P|+|A|−1 warm starts, so budgets below ~12
+    // trials leave the pipeline arm no guided iterations at all; the
+    // default gives both arms 16 trials (equal budget, enough guidance).
+    let iters = args.usize("iters", if smoke { 6 } else { 16 });
+    let n_seeds = args.usize("seeds", if smoke { 1 } else { 2 });
+    let kb = args.usize("kb", if smoke { 24 } else { 48 });
+    let out_path = args.string("out", "BENCH_pr7.json");
+    let dataset_arg = args.string("datasets", if smoke { "7,8" } else { "0,2,6,7,8" });
+    let all = ff_datasets::benchmark_datasets();
+    let picks: Vec<usize> = dataset_arg
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&i: &usize| i < all.len())
+        .collect();
+    assert!(
+        picks.len() >= 2,
+        "need at least two datasets for the comparison"
+    );
+    let (_, meta) = build_metamodel(kb);
+
+    println!(
+        "Pipeline search vs flat portfolio ({} trial(s), scale {scale}, {n_seeds} seed(s))\n",
+        iters
+    );
+    println!(
+        "{:<38} {:>14} {:>14} {:>9}  best pipeline",
+        "dataset", "flat MSE", "pipeline MSE", "Δ%"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"pipeline_search\",\n");
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"seeds\": {n_seeds},");
+    json.push_str("  \"scale\": ");
+    push_json_f64(&mut json, scale);
+    json.push_str(",\n  \"datasets\": [\n");
+
+    let mut wins = 0usize;
+    for (k, &idx) in picks.iter().enumerate() {
+        let ds = &all[idx];
+        let mut flat_sum = 0.0;
+        let mut pipe_sum = 0.0;
+        let mut label = String::new();
+        for seed in 0..n_seeds as u64 {
+            let clients = ds.generate_federation(seed, scale);
+            let flat_cfg = EngineConfig {
+                budget: Budget::Iterations(iters),
+                seed,
+                ..Default::default()
+            };
+            let pipe_cfg = EngineConfig {
+                pipelines: Some(PipelineId::builtin().to_vec()),
+                ..flat_cfg.clone()
+            };
+            flat_sum += FedForecaster::new(flat_cfg, &meta)
+                .run(&clients)
+                .expect("flat run")
+                .test_mse;
+            let r = FedForecaster::new(pipe_cfg, &meta)
+                .run(&clients)
+                .expect("pipeline run");
+            pipe_sum += r.test_mse;
+            label = best_model_label(&r);
+        }
+        let flat = flat_sum / n_seeds as f64;
+        let pipe = pipe_sum / n_seeds as f64;
+        let delta = 100.0 * (flat - pipe) / flat.max(1e-30);
+        if pipe < flat {
+            wins += 1;
+        }
+        println!(
+            "{:<38} {flat:>14.6} {pipe:>14.6} {delta:>+8.1}%  {label}",
+            ds.name
+        );
+        json.push_str("    {\"name\": ");
+        push_json_str(&mut json, ds.name);
+        json.push_str(", \"flat_mse\": ");
+        push_json_f64(&mut json, flat);
+        json.push_str(", \"pipeline_mse\": ");
+        push_json_f64(&mut json, pipe);
+        json.push_str(", \"improvement_pct\": ");
+        push_json_f64(&mut json, delta);
+        json.push_str(", \"pipeline_wins\": ");
+        json.push_str(if pipe < flat { "true" } else { "false" });
+        json.push_str(", \"best_pipeline\": ");
+        push_json_str(&mut json, &label);
+        json.push('}');
+        json.push_str(if k + 1 < picks.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"pipeline_wins\": {wins},");
+    let _ = writeln!(json, "  \"datasets_total\": {}", picks.len());
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!(
+        "\npipeline search wins on {wins}/{} datasets; wrote {out_path}",
+        picks.len()
+    );
+
+    if args.has("assert-wins") {
+        let need = args.usize("assert-wins", 2);
+        if wins < need {
+            eprintln!(
+                "pipeline search won only {wins}/{} datasets (need {need})",
+                picks.len()
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -30,6 +30,7 @@
 pub mod data;
 pub mod forest;
 pub mod metrics;
+pub mod pipeline;
 pub mod ser;
 pub mod spec;
 pub mod tree;

@@ -172,6 +172,15 @@ impl ParamDef {
         }
     }
 
+    /// Sets the warm (decode-fallback) value explicitly, canonicalized for
+    /// the domain. [`AlgorithmSpec::new`] derives warm values from the grid
+    /// sweet spot; pipeline nodes (see [`crate::pipeline`]) have no grid, so
+    /// their defs declare the warm value directly.
+    pub fn with_warm(mut self, value: SpecValue) -> ParamDef {
+        self.warm = self.canonical(&value);
+        self
+    }
+
     /// Fully namespaced key (e.g. `lasso_alpha`).
     pub fn key(&self) -> &str {
         &self.key
