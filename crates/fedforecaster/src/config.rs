@@ -4,7 +4,7 @@ use crate::budget::Budget;
 use crate::{EngineError, Result};
 use ff_fl::robust::{AggregationStrategy, GuardPolicy};
 use ff_fl::runtime::RoundPolicy;
-use ff_trace::Tracer;
+use ff_trace::{ExpoConfig, FlightRecorder, RecorderConfig, Tracer};
 
 /// Observability switch for a run. Disabled (the default) costs one
 /// branch per instrumentation point — no locks, clocks, or allocations —
@@ -13,25 +13,86 @@ use ff_trace::Tracer;
 /// trial/fl.round → gp.*`), counters, gauges, and byte histograms, and
 /// attaches a [`crate::report::RunTelemetry`] to the
 /// [`crate::engine::RunResult`].
+///
+/// On top of the base switch, three live-observability features opt in
+/// independently (all off by default, all zero-cost when off):
+/// - [`TraceConfig::with_profile`] — self-time attribution and
+///   critical-path analysis over the span tree, attached to the
+///   telemetry and rendered in the human summary;
+/// - [`TraceConfig::with_recorder`] — a bounded flight recorder that
+///   keeps the last N per-round frames and dumps them as deterministic
+///   JSON lines when a distress trigger (quarantine, quorum failure,
+///   guard rejection, non-finite loss) fires;
+/// - [`TraceConfig::with_expo`] — a std-only TCP listener serving
+///   Prometheus text-format snapshots (`/metrics`) and a round-liveness
+///   probe (`/healthz`) for the duration of the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceConfig {
     enabled: bool,
+    profile: bool,
+    recorder: Option<RecorderConfig>,
+    expo: Option<ExpoConfig>,
 }
 
 impl TraceConfig {
     /// Tracing on.
     pub fn enabled() -> TraceConfig {
-        TraceConfig { enabled: true }
+        TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }
     }
 
     /// Tracing off (the default).
     pub fn disabled() -> TraceConfig {
-        TraceConfig { enabled: false }
+        TraceConfig::default()
     }
 
     /// Whether tracing is on.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Enables span profiling (self-time table, critical path, folded
+    /// stacks). Implies nothing unless tracing itself is enabled.
+    pub fn with_profile(mut self) -> TraceConfig {
+        self.profile = true;
+        self
+    }
+
+    /// Enables the per-round flight recorder with the given bounds.
+    pub fn with_recorder(mut self, cfg: RecorderConfig) -> TraceConfig {
+        self.recorder = Some(cfg);
+        self
+    }
+
+    /// Enables the metrics exposition endpoint for the run's duration.
+    pub fn with_expo(mut self, cfg: ExpoConfig) -> TraceConfig {
+        self.expo = Some(cfg);
+        self
+    }
+
+    /// Whether the profiler is on (only meaningful when tracing is on).
+    pub fn profile_enabled(&self) -> bool {
+        self.enabled && self.profile
+    }
+
+    /// The flight-recorder bounds, when the recorder is enabled.
+    pub fn recorder_config(&self) -> Option<RecorderConfig> {
+        if self.enabled {
+            self.recorder
+        } else {
+            None
+        }
+    }
+
+    /// The exposition-endpoint config, when the endpoint is enabled.
+    pub fn expo_config(&self) -> Option<ExpoConfig> {
+        if self.enabled {
+            self.expo
+        } else {
+            None
+        }
     }
 
     /// A fresh tracer honoring this config.
@@ -40,6 +101,15 @@ impl TraceConfig {
             Tracer::enabled()
         } else {
             Tracer::disabled()
+        }
+    }
+
+    /// A fresh flight recorder honoring this config (disabled — and
+    /// allocation-free — unless both tracing and the recorder are on).
+    pub fn recorder(&self) -> FlightRecorder {
+        match self.recorder_config() {
+            Some(cfg) => FlightRecorder::enabled(cfg),
+            None => FlightRecorder::disabled(),
         }
     }
 }
@@ -258,5 +328,29 @@ mod tests {
         assert!(!TraceConfig::disabled().tracer().is_enabled());
         assert!(TraceConfig::enabled().tracer().is_enabled());
         assert_eq!(TraceConfig::default(), TraceConfig::disabled());
+    }
+
+    #[test]
+    fn observability_features_require_the_base_switch() {
+        use ff_trace::{ExpoConfig, RecorderConfig};
+        // Features stacked on a disabled base are inert.
+        let off = TraceConfig::disabled()
+            .with_profile()
+            .with_recorder(RecorderConfig::default())
+            .with_expo(ExpoConfig::default());
+        assert!(!off.profile_enabled());
+        assert!(off.recorder_config().is_none());
+        assert!(off.expo_config().is_none());
+        assert!(!off.recorder().is_enabled());
+        // On an enabled base they activate independently.
+        let on = TraceConfig::enabled().with_recorder(RecorderConfig {
+            capacity: 4,
+            ..RecorderConfig::default()
+        });
+        assert!(!on.profile_enabled());
+        assert_eq!(on.recorder_config().map(|c| c.capacity), Some(4));
+        assert!(on.expo_config().is_none());
+        assert!(on.recorder().is_enabled());
+        assert!(TraceConfig::enabled().with_profile().profile_enabled());
     }
 }

@@ -140,11 +140,27 @@ impl<'m> FedForecaster<'m> {
         // itself additionally scopes the config into every pipeline stage.
         self.cfg.par.install_global();
         let par_before = ff_par::stats();
+        let workers_before = ff_par::worker_loads();
         let mut robust = rounds::RobustCtx::from_config(&self.cfg);
         let tracer = self.cfg.trace.tracer();
         if tracer.is_enabled() {
             rt.set_tracer(tracer.clone());
         }
+        // Flight recorder: the engine commits one frame per fault-tolerant
+        // round report; a distress trigger freezes the ring into a dump.
+        let recorder = self.cfg.trace.recorder();
+        let mut committed_rounds = 0usize;
+        // Exposition endpoint: alive exactly for the duration of the run;
+        // dropping the handle at the end of this function stops the
+        // listener thread.
+        let _expo = match self.cfg.trace.expo_config() {
+            Some(expo_cfg) => Some(
+                ff_trace::ExpoServer::start(tracer.clone(), expo_cfg).map_err(|e| {
+                    EngineError::InvalidData(format!("exposition endpoint failed to bind: {e}"))
+                })?,
+            ),
+            None => None,
+        };
         let run_span = tracer.span("run");
         let mut phase_bytes = Vec::new();
         let mut phase_mark = rt.log().byte_totals();
@@ -198,6 +214,7 @@ impl<'m> FedForecaster<'m> {
             }
         };
         phase_bytes.push(end_phase("meta_features", rt));
+        commit_round_frames(&recorder, &rounds, &mut committed_rounds);
         drop(phase_span);
         let phase_span = tracer.span("phase.feature_engineering");
         run_feature_engineering_tolerant(
@@ -209,6 +226,7 @@ impl<'m> FedForecaster<'m> {
             &mut rounds,
         )?;
         phase_bytes.push(end_phase("feature_engineering", rt));
+        commit_round_frames(&recorder, &rounds, &mut committed_rounds);
         drop(phase_span);
 
         // Phase III: Bayesian optimization with warm start. The budget T
@@ -248,6 +266,7 @@ impl<'m> FedForecaster<'m> {
                 Err(EngineError::Federation(FlError::Quorum { .. })) => failed_trials += 1,
                 Err(e) => return Err(e),
             }
+            commit_round_frames(&recorder, &rounds, &mut committed_rounds);
             tracker.record_iteration();
             drop(trial_span);
             if tracer.is_enabled() {
@@ -273,6 +292,7 @@ impl<'m> FedForecaster<'m> {
             &mut robust,
         )?;
         phase_bytes.push(end_phase("finalization", rt));
+        commit_round_frames(&recorder, &rounds, &mut committed_rounds);
         drop(phase_span);
         drop(run_span);
         let (bytes_to_clients, bytes_to_server) = rt.log().byte_totals();
@@ -285,10 +305,29 @@ impl<'m> FedForecaster<'m> {
                 "par.steal_idle_ms",
                 par_now.idle_us.saturating_sub(par_before.idle_us) / 1000,
             );
+            tracer.gauge_set("par.queue_depth", par_now.queue_depth as f64);
+            tracer.gauge_set("par.queue_peak", par_now.queue_peak as f64);
+            // Per-worker task deltas over the run: the pool-balance line
+            // in the summary and the profiler's imbalance view read the
+            // merged histogram; per-worker labels keep the breakdown.
+            let workers_now = ff_par::worker_loads();
+            for (w, &now) in workers_now.iter().enumerate() {
+                let before = workers_before.get(w).copied().unwrap_or(0);
+                let delta = now.saturating_sub(before);
+                if delta > 0 {
+                    tracer.record_labeled("par.worker_tasks", w as u64, delta as f64);
+                }
+            }
         }
-        let telemetry = tracer
-            .is_enabled()
-            .then(|| build_telemetry(&tracer, rt, &health));
+        let telemetry = tracer.is_enabled().then(|| {
+            build_telemetry(
+                &tracer,
+                rt,
+                &health,
+                &recorder,
+                self.cfg.trace.profile_enabled(),
+            )
+        });
         Ok(RunResult {
             best_algorithm: global_model.algorithm(),
             best_pipeline: pipeline_of(&best_config).map(|p| p.name().to_string()),
@@ -311,12 +350,72 @@ impl<'m> FedForecaster<'m> {
     }
 }
 
+/// Maps one fault-tolerant round report to a flight-recorder frame. The
+/// frame deliberately carries no wall-clock data so forensic dumps are
+/// bit-identical across thread counts and reruns.
+fn round_frame(r: &RoundReport) -> ff_trace::RoundFrame {
+    ff_trace::RoundFrame {
+        round: r.round,
+        phase: r.phase,
+        cohort: r.participants as u64,
+        admitted: r.participants as u64,
+        accepted: r.usable as u64,
+        probes: 0,
+        rejected: r
+            .rejected
+            .iter()
+            .map(|(id, why)| (*id as u64, why.clone()))
+            .chain(
+                r.non_finite
+                    .iter()
+                    .map(|id| (*id as u64, "non-finite loss".to_string())),
+            )
+            .collect(),
+        dropouts: r
+            .dropouts
+            .iter()
+            .map(|(id, why)| (*id as u64, why.clone()))
+            .chain(
+                r.app_errors
+                    .iter()
+                    .map(|(id, e)| (*id as u64, format!("app error: {e}"))),
+            )
+            .collect(),
+        quarantined: Vec::new(),
+        loss: None,
+        quorum_met: r.quorum_met,
+        non_finite: !r.non_finite.is_empty(),
+        counters: vec![("responses", r.responses as u64)],
+    }
+}
+
+/// Commits every round report past the cursor to the flight recorder.
+/// A disabled recorder costs one branch — the frame builder never runs.
+fn commit_round_frames(
+    recorder: &ff_trace::FlightRecorder,
+    rounds: &[RoundReport],
+    committed: &mut usize,
+) {
+    if !recorder.is_enabled() {
+        *committed = rounds.len();
+        return;
+    }
+    while *committed < rounds.len() {
+        let r = &rounds[*committed];
+        *committed += 1;
+        recorder.commit_with(|| round_frame(r));
+    }
+}
+
 /// Assembles the per-client comms table from the message log's exact
-/// totals and the health registry, then snapshots the tracer.
+/// totals and the health registry, then snapshots the tracer (plus the
+/// opt-in profile and flight-recorder contents).
 fn build_telemetry(
     tracer: &ff_trace::Tracer,
     rt: &FederatedRuntime,
     health: &HealthReport,
+    recorder: &ff_trace::FlightRecorder,
+    profile: bool,
 ) -> RunTelemetry {
     let clients = rt
         .log()
@@ -336,9 +435,14 @@ fn build_telemetry(
             }
         })
         .collect();
+    let trace = tracer.snapshot();
+    let profile = profile.then(|| ff_trace::Profile::build(&trace));
     RunTelemetry {
-        trace: tracer.snapshot(),
+        trace,
         clients,
+        profile,
+        recorder_frames: recorder.frames(),
+        recorder_dumps: recorder.dumps(),
     }
 }
 

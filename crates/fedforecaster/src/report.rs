@@ -4,18 +4,28 @@
 
 use ff_models::metrics::average_ranks;
 use ff_timeseries::wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};
-use ff_trace::{ClientCommsRow, Telemetry};
+use ff_trace::{ClientCommsRow, ForensicDump, Profile, RoundFrame, Telemetry};
 
 /// Telemetry captured during a traced engine run (absent unless
 /// [`crate::config::TraceConfig::enabled`] was set): the full span /
 /// metric snapshot plus the per-client comms rows assembled from the
-/// message log and the health registry.
+/// message log and the health registry. The profile and flight-recorder
+/// fields are populated only when their opt-in switches
+/// ([`crate::config::TraceConfig::with_profile`] /
+/// [`crate::config::TraceConfig::with_recorder`]) were set.
 #[derive(Debug, Clone, Default)]
 pub struct RunTelemetry {
     /// Spans, events, counters, gauges, and histograms from the run.
     pub trace: Telemetry,
     /// Per-client bytes, message counts, dropouts, and final health state.
     pub clients: Vec<ClientCommsRow>,
+    /// Self-time / critical-path profile over the span tree.
+    pub profile: Option<Profile>,
+    /// Flight-recorder ring contents at the end of the run (most recent
+    /// rounds, oldest first).
+    pub recorder_frames: Vec<RoundFrame>,
+    /// Forensic dumps fired during the run, in trigger order.
+    pub recorder_dumps: Vec<ForensicDump>,
 }
 
 impl RunTelemetry {
@@ -28,6 +38,12 @@ impl RunTelemetry {
     /// comms/dropout table, BO trial latency percentiles, counters.
     pub fn render_summary(&self) -> String {
         ff_trace::render_summary(&self.trace, &self.clients)
+    }
+
+    /// Folded-stack (flamegraph-compatible) text export of the span tree:
+    /// one `root;child;leaf self_us` line per stack with self time.
+    pub fn folded_stacks(&self) -> String {
+        ff_trace::folded_stacks(&self.trace)
     }
 }
 

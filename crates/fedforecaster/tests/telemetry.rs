@@ -130,6 +130,64 @@ fn traced_run_produces_full_span_tree_and_both_sinks() {
 }
 
 #[test]
+fn full_observability_run_attaches_profile_and_flight_recorder() {
+    use ff_trace::{ExpoConfig, RecorderConfig};
+    let meta = metamodel();
+    let trace = TraceConfig::enabled()
+        .with_profile()
+        .with_recorder(RecorderConfig::default())
+        .with_expo(ExpoConfig::default());
+    let result = FedForecaster::new(config(trace), &meta)
+        .run(&federation())
+        .unwrap();
+    let telemetry = result.telemetry.expect("tracing was enabled");
+
+    // Profile: rows exist, the root `run` span carries self time, and the
+    // critical path starts at the root.
+    let profile = telemetry.profile.as_ref().expect("profiler was enabled");
+    assert!(!profile.rows.is_empty());
+    assert!(profile.rows.iter().any(|r| r.name == "run"));
+    assert!(profile.total_self_us() > 0);
+    assert_eq!(
+        profile.critical_path.first().map(|h| h.name),
+        Some("run"),
+        "critical path must start at the root span"
+    );
+    // Folded stacks are exportable and root every line at `run`.
+    let folded = telemetry.folded_stacks();
+    assert!(!folded.is_empty());
+    for line in folded.lines() {
+        assert!(line.starts_with("run"), "stack not rooted at run: {line}");
+    }
+    // The human summary gains the self-time table.
+    assert!(telemetry.render_summary().contains("top self-time spans"));
+
+    // Flight recorder: one frame per fault-tolerant round report (the
+    // clean run never trips a dump trigger), newest rounds retained.
+    let capacity = RecorderConfig::default().capacity;
+    assert_eq!(
+        telemetry.recorder_frames.len(),
+        result.rounds.len().min(capacity)
+    );
+    let tail = &result.rounds[result.rounds.len() - telemetry.recorder_frames.len()..];
+    for (frame, report) in telemetry.recorder_frames.iter().zip(tail) {
+        assert_eq!(frame.round, report.round);
+        assert_eq!(frame.phase, report.phase);
+        assert_eq!(frame.accepted, report.usable as u64);
+        assert!(frame.quorum_met);
+    }
+    assert!(
+        telemetry.recorder_dumps.is_empty(),
+        "healthy run should not trip a forensic dump"
+    );
+
+    // Open-span accounting: every phase closed by snapshot time, so no
+    // phase row reports open spans (the open-span path is covered by
+    // ff-trace's own regression test).
+    assert!(telemetry.trace.phase_totals().iter().all(|p| p.open == 0));
+}
+
+#[test]
 fn tracing_does_not_perturb_the_run() {
     let meta = metamodel();
     let clients = federation();

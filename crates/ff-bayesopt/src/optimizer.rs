@@ -80,7 +80,8 @@ impl BayesOpt {
     }
 
     /// Attaches a tracer: model-guided steps get `gp.fit` / `gp.acquire`
-    /// spans and every `tell` updates the `bo.incumbent_loss` gauge.
+    /// spans and every `tell` bumps the `bo.tells` counter and updates
+    /// the `bo.incumbent_loss` gauge.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
@@ -191,6 +192,7 @@ impl BayesOpt {
         let z = self.space.encode(config);
         self.observations.push((z, config.clone(), loss));
         if self.tracer.is_enabled() {
+            self.tracer.counter_add("bo.tells", 1);
             if let Some((_, incumbent)) = self.best() {
                 self.tracer.gauge_set("bo.incumbent_loss", incumbent);
             }

@@ -1,0 +1,480 @@
+//! **Bench guard** — CI regression gate over the committed `BENCH_pr*.json`
+//! trajectory. Files are grouped by their `"bench"` name and ordered by PR
+//! number; within each group the latest file is compared against its
+//! predecessor on every throughput key (a numeric key whose name contains
+//! `rounds_per_s` or `forecasts_per_s` — higher is better). A drop larger
+//! than the threshold fails the run.
+//!
+//! ```text
+//! cargo run -p ff-bench --release --bin bench_guard -- \
+//!     [--dir .] [--threshold 0.25]
+//! ```
+//!
+//! Exit status: 0 when no guarded key regressed (including the vacuous
+//! case of a bench name with a single file), 1 on any regression or
+//! unreadable file.
+
+use ff_bench::Args;
+use std::collections::BTreeMap;
+
+/// A parsed JSON value — just enough structure to walk benchmark files.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Recursive-descent JSON parser (std-only; enough for our own files).
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            s: text.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.i, self.s[self.i] as char
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| "bad \\u escape".to_string())?;
+                            self.i += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found '{}'", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.peek()?;
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found '{}'", other as char)),
+            }
+        }
+    }
+}
+
+/// Whether a key names a guarded throughput metric (higher is better).
+fn is_throughput_key(key: &str) -> bool {
+    key.contains("rounds_per_s") || key.contains("forecasts_per_s")
+}
+
+/// Collects `(path, value)` pairs for every guarded key in the document.
+/// Paths include array indices (`configs[2].par_rounds_per_s`) so the
+/// same logical measurement aligns across files.
+fn throughput_keys(v: &Json, path: &str, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, val) in fields {
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                if let Json::Num(n) = val {
+                    if is_throughput_key(k) {
+                        out.push((sub.clone(), *n));
+                    }
+                }
+                throughput_keys(val, &sub, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                throughput_keys(item, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The `"bench"` name of a parsed report, if present.
+fn bench_name(v: &Json) -> Option<String> {
+    if let Json::Obj(fields) = v {
+        for (k, val) in fields {
+            if k == "bench" {
+                if let Json::Str(s) = val {
+                    return Some(s.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One regression found between consecutive files of a bench group.
+#[derive(Debug)]
+struct Regression {
+    bench: String,
+    key: String,
+    prev: f64,
+    latest: f64,
+}
+
+/// Compares the two newest files of every bench group; returns the
+/// regressions beyond `threshold` (a fraction, e.g. 0.25 for 25%).
+fn check(files: &[(u64, String, Json)], threshold: f64) -> Vec<Regression> {
+    let mut groups: BTreeMap<String, Vec<&(u64, String, Json)>> = BTreeMap::new();
+    for f in files {
+        if let Some(name) = bench_name(&f.2) {
+            groups.entry(name).or_default().push(f);
+        }
+    }
+    let mut regressions = Vec::new();
+    for (bench, mut group) in groups {
+        group.sort_by_key(|f| f.0);
+        if group.len() < 2 {
+            continue;
+        }
+        let (prev, latest) = (group[group.len() - 2], group[group.len() - 1]);
+        let mut prev_keys = Vec::new();
+        let mut latest_keys = Vec::new();
+        throughput_keys(&prev.2, "", &mut prev_keys);
+        throughput_keys(&latest.2, "", &mut latest_keys);
+        let prev_map: BTreeMap<&str, f64> =
+            prev_keys.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        for (key, now) in &latest_keys {
+            if let Some(&before) = prev_map.get(key.as_str()) {
+                if before > 0.0 && *now < before * (1.0 - threshold) {
+                    regressions.push(Regression {
+                        bench: bench.clone(),
+                        key: key.clone(),
+                        prev: before,
+                        latest: *now,
+                    });
+                }
+            }
+        }
+    }
+    regressions
+}
+
+/// Scans `dir` for `BENCH_pr<N>.json` files; returns `(pr, name, doc)`.
+fn load_reports(dir: &str) -> Result<Vec<(u64, String, Json)>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir}: {e}"))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        let pr = match name
+            .strip_prefix("BENCH_pr")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            Some(pr) => pr,
+            None => continue,
+        };
+        let text = std::fs::read_to_string(entry.path()).map_err(|e| format!("{name}: {e}"))?;
+        let doc = Parser::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+        out.push((pr, name, doc));
+    }
+    out.sort_by_key(|f| f.0);
+    Ok(out)
+}
+
+fn main() {
+    let args = Args::parse();
+    let dir = args.string("dir", ".");
+    let threshold = args.f64("threshold", 0.25);
+    let files = match load_reports(&dir) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_guard: {e}");
+            std::process::exit(1);
+        }
+    };
+    if files.is_empty() {
+        println!("bench_guard: no BENCH_pr*.json files under {dir}; nothing to check");
+        return;
+    }
+    for (pr, name, doc) in &files {
+        let mut keys = Vec::new();
+        throughput_keys(doc, "", &mut keys);
+        println!(
+            "  pr{pr}: {name} (bench \"{}\", {} guarded keys)",
+            bench_name(doc).unwrap_or_else(|| "?".into()),
+            keys.len()
+        );
+    }
+    let regressions = check(&files, threshold);
+    if regressions.is_empty() {
+        println!(
+            "bench_guard: OK — no throughput regression beyond {:.0}% across {} files",
+            threshold * 100.0,
+            files.len()
+        );
+        return;
+    }
+    for r in &regressions {
+        eprintln!(
+            "bench_guard: REGRESSION in {}: {} fell {:.1}% ({:.2} -> {:.2})",
+            r.bench,
+            r.key,
+            (1.0 - r.latest / r.prev) * 100.0,
+            r.prev,
+            r.latest
+        );
+    }
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        Parser::parse(text).unwrap()
+    }
+
+    #[test]
+    fn parser_round_trips_bench_shapes() {
+        let v = doc(r#"{"bench": "fleet_round", "configs": [
+                {"cohort": 10, "par_rounds_per_s": 1200.5},
+                {"cohort": 100, "par_rounds_per_s": 300.0}
+            ], "note": "a\nb", "flag": true, "missing": null}"#);
+        let mut keys = Vec::new();
+        throughput_keys(&v, "", &mut keys);
+        assert_eq!(
+            keys,
+            vec![
+                ("configs[0].par_rounds_per_s".to_string(), 1200.5),
+                ("configs[1].par_rounds_per_s".to_string(), 300.0),
+            ]
+        );
+        assert_eq!(bench_name(&v).as_deref(), Some("fleet_round"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Parser::parse("{\"a\": }").is_err());
+        assert!(Parser::parse("[1, 2").is_err());
+        assert!(Parser::parse("{} trailing").is_err());
+        assert!(Parser::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn single_file_groups_are_vacuously_ok() {
+        let files = vec![(
+            6,
+            "BENCH_pr6.json".to_string(),
+            doc(r#"{"bench": "fleet_round", "rounds_per_s": 100.0}"#),
+        )];
+        assert!(check(&files, 0.25).is_empty());
+    }
+
+    #[test]
+    fn regression_beyond_threshold_is_flagged() {
+        let files = vec![
+            (
+                6,
+                "BENCH_pr6.json".to_string(),
+                doc(r#"{"bench": "fleet_round", "rounds_per_s": 100.0, "forecasts_per_s": 50.0}"#),
+            ),
+            (
+                8,
+                "BENCH_pr8.json".to_string(),
+                doc(r#"{"bench": "fleet_round", "rounds_per_s": 70.0, "forecasts_per_s": 49.0}"#),
+            ),
+        ];
+        // 30% drop on rounds_per_s fails at a 25% threshold; the 2% drop
+        // on forecasts_per_s does not.
+        let regs = check(&files, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "rounds_per_s");
+        // At a looser threshold both pass.
+        assert!(check(&files, 0.35).is_empty());
+    }
+
+    #[test]
+    fn comparison_uses_the_two_newest_files_per_group() {
+        let files = vec![
+            (
+                3,
+                "BENCH_pr3.json".to_string(),
+                doc(r#"{"bench": "x", "rounds_per_s": 1000.0}"#),
+            ),
+            (
+                6,
+                "BENCH_pr6.json".to_string(),
+                doc(r#"{"bench": "x", "rounds_per_s": 90.0}"#),
+            ),
+            (
+                8,
+                "BENCH_pr8.json".to_string(),
+                doc(r#"{"bench": "x", "rounds_per_s": 89.0}"#),
+            ),
+            (
+                7,
+                "BENCH_pr7.json".to_string(),
+                doc(r#"{"bench": "other", "forecasts_per_s": 10.0}"#),
+            ),
+        ];
+        // pr8 vs pr6 is a ~1% drop — fine; the old pr3 value is history,
+        // not the baseline.
+        assert!(check(&files, 0.25).is_empty());
+    }
+
+    #[test]
+    fn structurally_missing_keys_are_skipped() {
+        let files = vec![
+            (
+                6,
+                "a".to_string(),
+                doc(
+                    r#"{"bench": "x", "configs": [{"rounds_per_s": 100.0}, {"rounds_per_s": 10.0}]}"#,
+                ),
+            ),
+            (
+                8,
+                "b".to_string(),
+                doc(r#"{"bench": "x", "configs": [{"rounds_per_s": 99.0}]}"#),
+            ),
+        ];
+        assert!(check(&files, 0.25).is_empty());
+    }
+}

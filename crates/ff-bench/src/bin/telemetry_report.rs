@@ -1,18 +1,26 @@
 //! **Telemetry report** — exercises the `ff-trace` observability stack
-//! end to end: one traced engine run, the human summary on stdout, and a
-//! machine-readable `BENCH_pr3.json` with phase timings, traffic, and
-//! trial latencies. `--spans <path>` additionally dumps the raw span /
-//! metric stream as JSON lines.
+//! end to end: one traced engine run (profiler + flight recorder on),
+//! the human summary on stdout, and two machine-readable reports:
+//! `BENCH_pr3.json` with phase timings, traffic, and trial latencies,
+//! and `BENCH_pr8.json` with live-observability overheads (scrape
+//! latency, recorder commit cost vs the disabled path, profile build
+//! time). `--spans <path>` additionally dumps the raw span / metric
+//! stream as JSON lines; `--folded <path>` writes the folded-stack
+//! (flamegraph-compatible) export.
 //!
 //! ```text
 //! cargo run -p ff-bench --release --bin telemetry_report -- \
-//!     [--scale 0.15] [--iters 8] [--kb 48] [--out BENCH_pr3.json] [--spans trace.jsonl]
+//!     [--scale 0.15] [--iters 8] [--kb 48] [--out BENCH_pr3.json] \
+//!     [--obs-out BENCH_pr8.json] [--spans trace.jsonl] [--folded stacks.folded]
 //! ```
 
 use fedforecaster::{FedForecaster, TraceConfig};
 use ff_bench::{build_metamodel, Args, RunSettings};
-use ff_trace::{push_json_f64, push_json_str, Histogram};
+use ff_trace::{
+    push_json_f64, push_json_str, FlightRecorder, Histogram, Profile, RecorderConfig, RoundFrame,
+};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 fn main() {
     let args = Args::parse();
@@ -21,7 +29,9 @@ fn main() {
     let ds = &ff_datasets::benchmark_datasets()[args.usize("dataset", 2).min(11)];
     let clients = ds.generate_federation(0, settings.scale);
     let mut cfg = settings.engine_config(0);
-    cfg.trace = TraceConfig::enabled();
+    cfg.trace = TraceConfig::enabled()
+        .with_profile()
+        .with_recorder(RecorderConfig::default());
 
     let r = FedForecaster::new(cfg, &meta)
         .run(&clients)
@@ -36,11 +46,21 @@ fn main() {
         r.test_mse
     );
     print!("{}", telemetry.render_summary());
+    println!(
+        "\nflight recorder: {} frames retained, {} dumps",
+        telemetry.recorder_frames.len(),
+        telemetry.recorder_dumps.len()
+    );
 
     if args.has("spans") {
         let path = args.string("spans", "trace.jsonl");
         std::fs::write(&path, telemetry.to_json_lines()).expect("write span stream");
-        println!("\nspan stream: {path}");
+        println!("span stream: {path}");
+    }
+    if args.has("folded") {
+        let path = args.string("folded", "stacks.folded");
+        std::fs::write(&path, telemetry.folded_stacks()).expect("write folded stacks");
+        println!("folded stacks: {path}");
     }
 
     // Machine-readable rollup for CI trend tracking.
@@ -57,13 +77,17 @@ fn main() {
     json.push_str("  \"test_mse\": ");
     push_json_f64(&mut json, r.test_mse);
     json.push_str(",\n  \"phases\": [");
-    for (i, (name, us, calls)) in trace.phase_totals().iter().enumerate() {
+    for (i, p) in trace.phase_totals().iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(json, "\n    {{\"name\": ");
-        push_json_str(&mut json, name);
-        let _ = write!(json, ", \"us\": {us}, \"calls\": {calls}}}");
+        push_json_str(&mut json, p.name);
+        let _ = write!(
+            json,
+            ", \"us\": {}, \"calls\": {}, \"open\": {}}}",
+            p.total_us, p.calls, p.open
+        );
     }
     json.push_str("\n  ],\n");
     let trial_durs = trace.durations_us("trial");
@@ -113,5 +137,128 @@ fn main() {
 
     let out = args.string("out", "BENCH_pr3.json");
     std::fs::write(&out, &json).expect("write report");
-    println!("\nwrote {out}");
+    println!("wrote {out}");
+
+    // ---------------------------------------------------------------
+    // PR8: live-observability overhead measurements.
+    // ---------------------------------------------------------------
+    let obs = observability_report(telemetry);
+    let obs_out = args.string("obs-out", "BENCH_pr8.json");
+    std::fs::write(&obs_out, &obs).expect("write observability report");
+    println!("wrote {obs_out}");
+}
+
+/// One synthetic flight-recorder frame for the commit-cost measurement.
+fn synthetic_frame(round: u64) -> RoundFrame {
+    RoundFrame {
+        round,
+        phase: "fleet.fit",
+        cohort: 100,
+        admitted: 98,
+        accepted: 96,
+        dropouts: vec![(3, "client 3 timed out".into())],
+        rejected: vec![(7, "norm outlier".into())],
+        counters: vec![("fleet.retries", 1)],
+        ..RoundFrame::default()
+    }
+}
+
+/// Measures scrape latency, recorder commit cost (enabled vs disabled),
+/// and profile build time; renders the `BENCH_pr8.json` body.
+fn observability_report(telemetry: &fedforecaster::report::RunTelemetry) -> String {
+    // Scrape latency against a live exposition endpoint backed by a
+    // tracer carrying a realistic metric load.
+    let tracer = ff_trace::Tracer::enabled();
+    {
+        let _run = tracer.span("run");
+        for i in 0..200u64 {
+            let _s = tracer.span_labeled("trial", i);
+            tracer.counter_add("fleet.rounds", 1);
+            tracer.counter_add_labeled("fl.msg_bytes_to_server", i % 16, 4096);
+            tracer.gauge_set("bo.incumbent_loss", 1.0 / (i + 1) as f64);
+            tracer.record("lat", i as f64);
+        }
+    }
+    let server = ff_trace::ExpoServer::start(tracer, ff_trace::ExpoConfig::default())
+        .expect("bind exposition endpoint");
+    let addr = server.addr();
+    let mut scrape_us = Histogram::new();
+    let scrapes = 20usize;
+    for _ in 0..scrapes {
+        let t0 = Instant::now();
+        let body = scrape(&addr.to_string(), "/metrics");
+        scrape_us.record(t0.elapsed().as_micros() as f64);
+        assert!(
+            body.contains("ff_fleet_rounds_total"),
+            "scrape missing data"
+        );
+    }
+    drop(server);
+
+    // Recorder commit cost: enabled ring vs the disabled branch.
+    let commits = 10_000u64;
+    let enabled = FlightRecorder::enabled(RecorderConfig::default());
+    let t0 = Instant::now();
+    for i in 0..commits {
+        enabled.commit_with(|| synthetic_frame(i));
+    }
+    let enabled_ns = t0.elapsed().as_nanos() as f64 / commits as f64;
+    let disabled = FlightRecorder::disabled();
+    let t0 = Instant::now();
+    for i in 0..commits {
+        disabled.commit_with(|| synthetic_frame(i));
+    }
+    let disabled_ns = t0.elapsed().as_nanos() as f64 / commits as f64;
+    let commit_rounds_per_s = 1e9 / enabled_ns.max(1e-9);
+
+    // Profile build time over the real run's snapshot.
+    let reps = 50u32;
+    let t0 = Instant::now();
+    let mut rows = 0usize;
+    for _ in 0..reps {
+        rows = Profile::build(&telemetry.trace).rows.len();
+    }
+    let profile_build_us = t0.elapsed().as_micros() as f64 / reps as f64;
+
+    let mut json = String::from("{\n  \"bench\": \"observability\",\n");
+    let _ = writeln!(json, "  \"spans\": {},", telemetry.trace.spans.len());
+    let _ = write!(json, "  \"scrape\": {{\"samples\": {scrapes}, \"p50_us\": ");
+    push_json_f64(&mut json, scrape_us.percentile(0.50).unwrap_or(0.0));
+    json.push_str(", \"p95_us\": ");
+    push_json_f64(&mut json, scrape_us.percentile(0.95).unwrap_or(0.0));
+    let _ = write!(
+        json,
+        "}},\n  \"recorder\": {{\"commits\": {commits}, \"enabled_ns_per_commit\": "
+    );
+    push_json_f64(&mut json, enabled_ns);
+    json.push_str(", \"disabled_ns_per_commit\": ");
+    push_json_f64(&mut json, disabled_ns);
+    json.push_str(", \"commit_rounds_per_s\": ");
+    push_json_f64(&mut json, commit_rounds_per_s);
+    let _ = write!(
+        json,
+        "}},\n  \"profile\": {{\"rows\": {rows}, \"build_us\": "
+    );
+    push_json_f64(&mut json, profile_build_us);
+    let _ = writeln!(
+        json,
+        "}},\n  \"frames\": {},\n  \"dumps\": {}\n}}",
+        telemetry.recorder_frames.len(),
+        telemetry.recorder_dumps.len()
+    );
+    json
+}
+
+/// Minimal HTTP GET against the exposition endpoint; returns the body.
+fn scrape(addr: &str, path: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    let _ = write!(s, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n");
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    match buf.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => buf,
+    }
 }

@@ -50,7 +50,7 @@ use crate::runtime::RoundPolicy;
 use crate::stream::StreamAgg;
 use crate::{FlError, Result};
 use bytes::Bytes;
-use ff_trace::Tracer;
+use ff_trace::{FlightRecorder, RoundFrame, Tracer};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -278,6 +278,10 @@ pub struct FleetRuntime {
     health: Mutex<HealthRegistry>,
     guard: Mutex<UpdateGuard>,
     tracer: Mutex<Tracer>,
+    recorder: Mutex<FlightRecorder>,
+    /// Which clients have appeared in any cohort so far, plus the count
+    /// of distinct ones — feeds the `fleet.cohort_coverage` gauge.
+    coverage: Mutex<(Vec<bool>, usize)>,
     peak_agg_bytes: AtomicUsize,
 }
 
@@ -297,6 +301,8 @@ impl FleetRuntime {
             guard: Mutex::new(UpdateGuard::new(cfg.guard)),
             cfg,
             tracer: Mutex::new(Tracer::disabled()),
+            recorder: Mutex::new(FlightRecorder::disabled()),
+            coverage: Mutex::new((vec![false; n], 0)),
             peak_agg_bytes: AtomicUsize::new(0),
         })
     }
@@ -317,6 +323,23 @@ impl FleetRuntime {
     /// counters plus the `fleet.agg_state_peak_bytes` gauge.
     pub fn set_tracer(&self, tracer: Tracer) {
         *self.tracer.lock() = tracer;
+    }
+
+    /// Attaches a flight recorder: every round commits one
+    /// [`RoundFrame`] (including rounds that fail their quorum), and
+    /// distress — a fresh quarantine, a quorum failure, a guard
+    /// rejection, a non-finite loss — freezes the ring into a forensic
+    /// dump. Disabled recorders cost one branch per round.
+    pub fn set_recorder(&self, recorder: FlightRecorder) {
+        *self.recorder.lock() = recorder;
+    }
+
+    /// The attached flight recorder (disabled unless [`set_recorder`]
+    /// was called).
+    ///
+    /// [`set_recorder`]: FleetRuntime::set_recorder
+    pub fn recorder(&self) -> FlightRecorder {
+        self.recorder.lock().clone()
     }
 
     /// A snapshot of every client's health state.
@@ -623,6 +646,7 @@ impl FleetRuntime {
         policy: &RoundPolicy,
     ) -> Result<FleetRoundOutcome> {
         let tracer = self.tracer.lock().clone();
+        let recorder = self.recorder.lock().clone();
         let (round, cohort, admitted, probes) = {
             let mut health = self.health.lock();
             let round = health.begin_round();
@@ -647,6 +671,32 @@ impl FleetRuntime {
         if probes > 0 {
             tracer.counter_add("fleet.probes", probes as u64);
         }
+        if tracer.is_enabled() {
+            // Cohort coverage: fraction of the fleet seen in any cohort
+            // so far (the sampler's no-starvation contract, observable).
+            let mut cov = self.coverage.lock();
+            for &id in &cohort {
+                if !cov.0[id] {
+                    cov.0[id] = true;
+                    cov.1 += 1;
+                }
+            }
+            let seen = cov.1;
+            drop(cov);
+            tracer.gauge_set(
+                "fleet.cohort_coverage",
+                seen as f64 / self.slots.len().max(1) as f64,
+            );
+            // Shard balance: last-shard fill ÷ shard length — 1.0 means
+            // perfectly even shards, small values mean a ragged tail.
+            if !admitted.is_empty() {
+                let shard_len = self.shard_len(admitted.len());
+                let n_shards = admitted.len().div_ceil(shard_len);
+                let last_fill = admitted.len() - (n_shards - 1) * shard_len;
+                tracer.gauge_set("fleet.shards", n_shards as f64);
+                tracer.gauge_set("fleet.shard_balance", last_fill as f64 / shard_len as f64);
+            }
+        }
 
         let robust = self.cfg.strategy.is_robust();
         let is_fit = matches!(mode, RoundMode::Fit { .. });
@@ -668,6 +718,7 @@ impl FleetRuntime {
 
         let mut pending = admitted.clone();
         let mut attempt = 0u32;
+        let mut round_retries = 0u64;
         while !pending.is_empty() {
             attempt += 1;
             let deadline = policy.deadline.map(|d| Instant::now() + d);
@@ -699,6 +750,7 @@ impl FleetRuntime {
             let can_retry = attempt <= policy.retries;
             if can_retry && !retry.is_empty() {
                 tracer.counter_add("fleet.retries", retry.len() as u64);
+                round_retries += retry.len() as u64;
                 pending = retry.into_iter().map(|(id, _)| id).collect();
                 pending.sort_unstable();
                 if !policy.backoff.is_zero() {
@@ -715,6 +767,7 @@ impl FleetRuntime {
         dropouts.sort_by_key(|(id, _)| *id);
 
         // Health bookkeeping: one lock, cost O(cohort).
+        let mut quarantined_ids: Vec<u64> = Vec::new();
         {
             let mut health = self.health.lock();
             for &id in &accepted {
@@ -723,24 +776,24 @@ impl FleetRuntime {
                     health.record_accepted(id);
                 }
             }
-            let mut quarantines = 0u64;
-            let mut note_transition = |before: Option<ClientState>, after: Option<ClientState>| {
-                if after == Some(ClientState::Quarantined)
-                    && before != Some(ClientState::Quarantined)
-                {
-                    quarantines += 1;
-                }
-            };
+            let mut note_transition =
+                |id: usize, before: Option<ClientState>, after: Option<ClientState>| {
+                    if after == Some(ClientState::Quarantined)
+                        && before != Some(ClientState::Quarantined)
+                    {
+                        quarantined_ids.push(id as u64);
+                    }
+                };
             for (id, _) in &rejected {
                 // An on-time reply with bad content: transport success,
                 // integrity failure.
                 health.record_success(*id);
                 let before = health.state(*id);
-                note_transition(before, health.record_rejection(*id));
+                note_transition(*id, before, health.record_rejection(*id));
             }
             for (id, _) in &dropouts {
                 let before = health.state(*id);
-                note_transition(before, health.record_failure(*id));
+                note_transition(*id, before, health.record_failure(*id));
             }
             if !dropouts.is_empty() {
                 tracer.counter_add("fleet.dropouts", dropouts.len() as u64);
@@ -748,10 +801,11 @@ impl FleetRuntime {
             if !rejected.is_empty() {
                 tracer.counter_add("fleet.updates_rejected", rejected.len() as u64);
             }
-            if quarantines > 0 {
-                tracer.counter_add("fleet.quarantines", quarantines);
+            if !quarantined_ids.is_empty() {
+                tracer.counter_add("fleet.quarantines", quarantined_ids.len() as u64);
             }
         }
+        quarantined_ids.sort_unstable();
         // Commit this round's accepted values into the guard history so
         // the *next* round screens against them (frozen-median contract).
         if robust {
@@ -764,8 +818,39 @@ impl FleetRuntime {
             }
         }
 
+        // Flight-recorder frame for this round. Built lazily (a disabled
+        // recorder never runs this) and free of wall-clock data, so dumps
+        // are bit-identical across thread counts.
+        let make_frame = |quorum_met: bool, loss: Option<f64>| RoundFrame {
+            round,
+            phase: if is_fit { "fleet.fit" } else { "fleet.eval" },
+            cohort: cohort.len() as u64,
+            admitted: admitted.len() as u64,
+            accepted: accepted.len() as u64,
+            probes: probes as u64,
+            rejected: rejected
+                .iter()
+                .map(|(id, r)| (*id as u64, r.to_string()))
+                .collect(),
+            dropouts: dropouts
+                .iter()
+                .map(|(id, e)| (*id as u64, e.to_string()))
+                .collect(),
+            quarantined: quarantined_ids.clone(),
+            loss,
+            quorum_met,
+            non_finite: rejected
+                .iter()
+                .any(|(_, r)| matches!(r, RejectReason::NonFinite)),
+            counters: vec![
+                ("fleet.retries", round_retries),
+                ("fleet.probes", probes as u64),
+            ],
+        };
+
         let required = policy.min_responses.max(1);
         if accepted.len() < required {
+            recorder.commit_with(|| make_frame(false, None));
             return Err(FlError::Quorum {
                 healthy: accepted.len(),
                 required,
@@ -784,6 +869,7 @@ impl FleetRuntime {
         };
         self.peak_agg_bytes.fetch_max(round_peak, Ordering::Relaxed);
         tracer.gauge_set("fleet.agg_state_peak_bytes", round_peak as f64);
+        recorder.commit_with(|| make_frame(true, loss));
 
         Ok(FleetRoundOutcome {
             round,

@@ -30,7 +30,8 @@
 mod pool;
 
 pub use pool::{
-    par_chunks_map, par_chunks_mut, par_map_indexed, par_reduce, run_indexed, stats, StatsSnapshot,
+    par_chunks_map, par_chunks_mut, par_map_indexed, par_reduce, run_indexed, stats, worker_loads,
+    StatsSnapshot,
 };
 
 use std::cell::Cell;

@@ -12,6 +12,15 @@ use std::time::Instant;
 static TASKS_RUN: AtomicU64 = AtomicU64::new(0);
 static IDLE_US: AtomicU64 = AtomicU64::new(0);
 static POOLS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+/// Tasks enqueued but not yet claimed by a worker, across all live pools.
+static QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of `QUEUE_DEPTH`.
+static QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
+/// Tasks claimed per worker slot, cumulative. Slot = the worker's spawn
+/// index within its pool (wrapped at the array size), so a persistent
+/// imbalance between slot 0 and the rest shows up here.
+const WORKER_SLOTS: usize = 64;
+static WORKER_TASKS: [AtomicU64; WORKER_SLOTS] = [const { AtomicU64::new(0) }; WORKER_SLOTS];
 
 /// A snapshot of the process-global pool counters. Callers that want
 /// per-phase numbers take a snapshot before and after and subtract.
@@ -25,6 +34,11 @@ pub struct StatsSnapshot {
     pub idle_us: u64,
     /// Pools (scoped spawns) created.
     pub pools: u64,
+    /// Tasks currently enqueued but unclaimed across all live pools
+    /// (instantaneous, not monotonic; 0 when no pool is running).
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` over the process lifetime.
+    pub queue_peak: u64,
 }
 
 /// Reads the cumulative pool counters.
@@ -33,7 +47,24 @@ pub fn stats() -> StatsSnapshot {
         tasks: TASKS_RUN.load(Ordering::Relaxed),
         idle_us: IDLE_US.load(Ordering::Relaxed),
         pools: POOLS_SPAWNED.load(Ordering::Relaxed),
+        queue_depth: QUEUE_DEPTH.load(Ordering::Relaxed),
+        queue_peak: QUEUE_PEAK.load(Ordering::Relaxed),
     }
+}
+
+/// Cumulative tasks claimed per worker slot, trailing zero slots trimmed.
+/// Take before/after copies and subtract to get a per-phase distribution;
+/// all-equal entries mean a balanced pool, a heavy slot 0 with light
+/// tails means the queue drained before every worker got going.
+pub fn worker_loads() -> Vec<u64> {
+    let mut loads: Vec<u64> = WORKER_TASKS
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
+    while loads.last() == Some(&0) {
+        loads.pop();
+    }
+    loads
 }
 
 /// Runs tasks `0..n` and returns their results **in index order**,
@@ -65,12 +96,18 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let next = AtomicUsize::new(0);
+    // Queue-depth accounting: all n tasks enter the queue up front, each
+    // claim decrements. Leftovers (a panic stops claims early) are
+    // reconciled after the scope from the claim counter.
+    let depth = QUEUE_DEPTH.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+    QUEUE_PEAK.fetch_max(depth, Ordering::Relaxed);
     // Lowest-indexed panic wins so propagation is deterministic.
     let panic_slot: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
     let (buckets, finishes): (Vec<Vec<(usize, R)>>, Vec<Instant>) = std::thread::scope(|s| {
+        let (next, panic_slot) = (&next, &panic_slot);
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                s.spawn(move || {
                     let _guard = WorkerGuard::enter();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -78,6 +115,7 @@ where
                         if i >= n {
                             break;
                         }
+                        QUEUE_DEPTH.fetch_sub(1, Ordering::Relaxed);
                         match catch_unwind(AssertUnwindSafe(|| f(i))) {
                             Ok(r) => local.push((i, r)),
                             Err(p) => {
@@ -90,6 +128,7 @@ where
                             }
                         }
                     }
+                    WORKER_TASKS[w % WORKER_SLOTS].fetch_add(local.len() as u64, Ordering::Relaxed);
                     (local, Instant::now())
                 })
             })
@@ -99,6 +138,11 @@ where
             .map(|h| h.join().expect("ff-par worker died outside catch_unwind"))
             .unzip()
     });
+    // `fetch_add` hands out consecutive integers, so `min(next, n)` is
+    // exactly how many tasks were claimed even if a panic stopped the
+    // drain; return the unclaimed remainder to the depth counter.
+    let claimed = next.load(Ordering::Relaxed).min(n);
+    QUEUE_DEPTH.fetch_sub((n - claimed) as u64, Ordering::Relaxed);
     POOLS_SPAWNED.fetch_add(1, Ordering::Relaxed);
     TASKS_RUN.fetch_add(n as u64, Ordering::Relaxed);
     if let Some(&last) = finishes.iter().max() {
@@ -352,5 +396,42 @@ mod tests {
         assert!(after.tasks >= before.tasks + 32);
         assert!(after.pools > before.pools);
         assert!(after.idle_us >= before.idle_us);
+        // The 32-task burst raised the high-water mark at least that far.
+        assert!(after.queue_peak >= 32);
+        assert!(after.queue_peak >= before.queue_peak);
+    }
+
+    #[test]
+    fn worker_loads_account_for_every_claimed_task() {
+        // Other tests run concurrently, so only deltas are assertable:
+        // this pool's 48 tasks all land in some worker slot, and the
+        // queue drains back to where it started once the pool is done.
+        let loads_before = worker_loads();
+        with_threads(4, || run_indexed(48, |i| i * i));
+        let loads_after = worker_loads();
+        let total_before: u64 = loads_before.iter().sum();
+        let total_after: u64 = loads_after.iter().sum();
+        assert!(
+            total_after >= total_before + 48,
+            "worker loads grew {} -> {}",
+            total_before,
+            total_after
+        );
+        assert!(loads_after.len() <= WORKER_SLOTS);
+        // A panicking pool still reconciles the depth counter: an
+        // unbalanced decrement would wrap the u64 toward the maximum.
+        // (Other tests' pools may be in flight, so only the absence of
+        // underflow is assertable here.)
+        let _ = with_threads(4, || {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_indexed(40, |i| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            }))
+        });
+        assert!(stats().queue_depth < (1 << 32), "queue depth underflowed");
     }
 }

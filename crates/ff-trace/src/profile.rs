@@ -1,0 +1,379 @@
+//! Span-tree profiling: self-time attribution, per-phase top-span
+//! tables, critical-path extraction, and a folded-stack export that
+//! flamegraph tooling consumes directly.
+//!
+//! *Self time* is a span's observed wall-clock minus the observed
+//! wall-clock of its direct children — the time the span itself burned,
+//! not what it delegated. Open spans are measured elapsed-so-far against
+//! the snapshot capture instant ([`Telemetry::captured_us`]), so a
+//! profile built mid-run attributes live work instead of dropping it.
+//!
+//! Everything here is a pure function of one [`Telemetry`] snapshot:
+//! building a profile twice from the same snapshot yields identical
+//! output, and an empty snapshot builds an empty profile without
+//! allocating (the disabled-path contract of the crate).
+
+use crate::tracer::{SpanRecord, Telemetry};
+use std::collections::BTreeMap;
+
+/// One aggregated row of the self-time table: all spans sharing a
+/// `(phase, name)` cell, sorted by self time descending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTimeRow {
+    /// Enclosing `phase.*` span name (the span's own name if it *is* a
+    /// phase span), or `"(outside phases)"` for spans with no phase
+    /// ancestor on their thread.
+    pub phase: &'static str,
+    /// Span name.
+    pub name: &'static str,
+    /// Total self time across all calls, in microseconds.
+    pub self_us: u64,
+    /// Total observed wall-clock (children included), in microseconds.
+    pub total_us: u64,
+    /// Number of spans aggregated into this row.
+    pub calls: usize,
+    /// How many of those were still open at snapshot time.
+    pub open: usize,
+}
+
+/// One hop of the critical path: the chain of heaviest spans from the
+/// heaviest root down to a leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalHop {
+    /// Span name.
+    pub name: &'static str,
+    /// Span label, if any (round number, trial index, …).
+    pub label: Option<u64>,
+    /// Observed wall-clock of this span, in microseconds.
+    pub total_us: u64,
+    /// Self time of this span, in microseconds.
+    pub self_us: u64,
+}
+
+/// A profile built from one telemetry snapshot: self-time attribution
+/// per `(phase, span-name)` cell plus the critical path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Self-time rows, heaviest first (ties broken by phase then name,
+    /// so the ordering is deterministic).
+    pub rows: Vec<SelfTimeRow>,
+    /// The heaviest root-to-leaf chain in the span forest.
+    pub critical_path: Vec<CriticalHop>,
+}
+
+const OUTSIDE: &str = "(outside phases)";
+
+/// Observed duration and per-span self time for every span, by dense id.
+/// Returns `(observed, self_us)`; both are empty for an empty snapshot.
+fn self_times(t: &Telemetry) -> (Vec<u64>, Vec<u64>) {
+    if t.spans.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let n = t.spans.len();
+    let mut observed = vec![0u64; n];
+    for (i, s) in t.spans.iter().enumerate() {
+        observed[i] = s.observed_us(t.captured_us);
+    }
+    let mut children = vec![0u64; n];
+    for s in &t.spans {
+        if let Some(p) = s.parent {
+            let pi = (p - 1) as usize;
+            if pi < n {
+                children[pi] = children[pi].saturating_add(observed[(s.id - 1) as usize]);
+            }
+        }
+    }
+    let self_us = observed
+        .iter()
+        .zip(&children)
+        .map(|(o, c)| o.saturating_sub(*c))
+        .collect();
+    (observed, self_us)
+}
+
+/// The `phase.*` ancestor (or self) of a span, walking the parent chain.
+fn phase_of<'a>(spans: &'a [SpanRecord], span: &'a SpanRecord) -> &'static str {
+    let mut cur = span;
+    loop {
+        if cur.name.starts_with("phase.") {
+            return cur.name;
+        }
+        match cur.parent.and_then(|p| spans.get((p - 1) as usize)) {
+            Some(parent) => cur = parent,
+            None => return OUTSIDE,
+        }
+    }
+}
+
+impl Profile {
+    /// Builds the profile from a snapshot. Pure and deterministic: equal
+    /// snapshots yield equal profiles. Does not allocate when the
+    /// snapshot holds no spans.
+    pub fn build(t: &Telemetry) -> Profile {
+        if t.spans.is_empty() {
+            return Profile::default();
+        }
+        let (observed, self_us) = self_times(t);
+        // Aggregate by (phase, name) in first-seen order, then sort.
+        let mut rows: Vec<SelfTimeRow> = Vec::new();
+        for (i, s) in t.spans.iter().enumerate() {
+            let phase = phase_of(&t.spans, s);
+            let open = usize::from(s.is_open());
+            match rows
+                .iter_mut()
+                .find(|r| r.phase == phase && r.name == s.name)
+            {
+                Some(row) => {
+                    row.self_us += self_us[i];
+                    row.total_us += observed[i];
+                    row.calls += 1;
+                    row.open += open;
+                }
+                None => rows.push(SelfTimeRow {
+                    phase,
+                    name: s.name,
+                    self_us: self_us[i],
+                    total_us: observed[i],
+                    calls: 1,
+                    open,
+                }),
+            }
+        }
+        rows.sort_by(|a, b| {
+            b.self_us
+                .cmp(&a.self_us)
+                .then_with(|| a.phase.cmp(b.phase))
+                .then_with(|| a.name.cmp(b.name))
+        });
+        let critical_path = critical_path(t, &observed, &self_us);
+        Profile {
+            rows,
+            critical_path,
+        }
+    }
+
+    /// Total self time attributed across all rows (equals the total
+    /// observed wall-clock of the root spans).
+    pub fn total_self_us(&self) -> u64 {
+        self.rows.iter().map(|r| r.self_us).sum()
+    }
+
+    /// Renders the per-phase "top self-time spans" table: up to `top_n`
+    /// rows, heaviest self time first, with open-span markers.
+    pub fn render_table(&self, top_n: usize) -> String {
+        if self.rows.is_empty() {
+            return String::new();
+        }
+        let total = self.total_self_us().max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:<24} {:>10} {:>10} {:>7} {:>6}  {}\n",
+            "phase", "span", "self", "total", "calls", "self%", "notes"
+        ));
+        for r in self.rows.iter().take(top_n) {
+            let pct = r.self_us as f64 * 100.0 / total as f64;
+            out.push_str(&format!(
+                "{:<24} {:<24} {:>10} {:>10} {:>7} {:>5.1}%  {}\n",
+                r.phase,
+                r.name,
+                crate::summary::fmt_us(r.self_us),
+                crate::summary::fmt_us(r.total_us),
+                r.calls,
+                pct,
+                if r.open > 0 {
+                    format!("{} open", r.open)
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        if !self.critical_path.is_empty() {
+            let chain: Vec<String> = self
+                .critical_path
+                .iter()
+                .map(|h| match h.label {
+                    Some(l) => format!("{}[{}] {}", h.name, l, crate::summary::fmt_us(h.total_us)),
+                    None => format!("{} {}", h.name, crate::summary::fmt_us(h.total_us)),
+                })
+                .collect();
+            out.push_str(&format!("critical path: {}\n", chain.join(" > ")));
+        }
+        out
+    }
+}
+
+/// The heaviest root-to-leaf chain: start at the root span with the
+/// largest observed duration (ties: lowest id), descend into the child
+/// with the largest observed duration (ties: lowest id) until a leaf.
+fn critical_path(t: &Telemetry, observed: &[u64], self_us: &[u64]) -> Vec<CriticalHop> {
+    let mut path = Vec::new();
+    let mut cur: Option<&SpanRecord> =
+        t.spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .max_by(|a, b| {
+                observed[(a.id - 1) as usize]
+                    .cmp(&observed[(b.id - 1) as usize])
+                    .then_with(|| b.id.cmp(&a.id))
+            });
+    while let Some(s) = cur {
+        let i = (s.id - 1) as usize;
+        path.push(CriticalHop {
+            name: s.name,
+            label: s.label,
+            total_us: observed[i],
+            self_us: self_us[i],
+        });
+        cur = t
+            .spans
+            .iter()
+            .filter(|c| c.parent == Some(s.id))
+            .max_by(|a, b| {
+                observed[(a.id - 1) as usize]
+                    .cmp(&observed[(b.id - 1) as usize])
+                    .then_with(|| b.id.cmp(&a.id))
+            });
+    }
+    path
+}
+
+/// The folded-stack export: one line per distinct root-first span path,
+/// `name;name;name <self-µs>`, sorted lexicographically — the input
+/// format flamegraph tools consume (sample counts are microseconds of
+/// self time). Returns an empty string (no allocation) for a snapshot
+/// with no spans.
+pub fn folded_stacks(t: &Telemetry) -> String {
+    if t.spans.is_empty() {
+        return String::new();
+    }
+    let (_observed, self_us) = self_times(t);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, s) in t.spans.iter().enumerate() {
+        if self_us[i] == 0 {
+            continue;
+        }
+        // Root-first path of names for this span.
+        let mut names: Vec<&'static str> = Vec::new();
+        let mut cur = Some(s);
+        while let Some(c) = cur {
+            names.push(c.name);
+            cur = c.parent.and_then(|p| t.spans.get((p - 1) as usize));
+        }
+        names.reverse();
+        *folded.entry(names.join(";")).or_insert(0) += self_us[i];
+    }
+    let mut out = String::new();
+    for (stack, samples) in &folded {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&samples.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    fn busy(ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let t = Tracer::enabled();
+        {
+            let _run = t.span("run");
+            busy(2);
+            {
+                let _p = t.span("phase.optimization");
+                {
+                    let _tr = t.span("trial");
+                    busy(4);
+                }
+                busy(2);
+            }
+        }
+        let p = Profile::build(&t.snapshot());
+        let run = p.rows.iter().find(|r| r.name == "run").unwrap();
+        let phase = p
+            .rows
+            .iter()
+            .find(|r| r.name == "phase.optimization")
+            .unwrap();
+        let trial = p.rows.iter().find(|r| r.name == "trial").unwrap();
+        // trial is fully self time; phase excludes trial; run excludes phase.
+        assert!(trial.self_us >= 3_000);
+        assert!(phase.total_us >= trial.total_us);
+        assert!(phase.self_us < phase.total_us);
+        assert!(run.self_us < run.total_us);
+        // Phase attribution: trial sits inside phase.optimization, run outside.
+        assert_eq!(trial.phase, "phase.optimization");
+        assert_eq!(run.phase, "(outside phases)");
+        // Conservation: self times sum to the root's observed wall-clock.
+        assert_eq!(p.total_self_us(), run.total_us);
+    }
+
+    #[test]
+    fn critical_path_descends_heaviest_children() {
+        let t = Tracer::enabled();
+        {
+            let _run = t.span("run");
+            {
+                let _light = t.span("light");
+            }
+            {
+                let _heavy = t.span_labeled("heavy", 7);
+                busy(3);
+            }
+        }
+        let p = Profile::build(&t.snapshot());
+        let names: Vec<&str> = p.critical_path.iter().map(|h| h.name).collect();
+        assert_eq!(names, vec!["run", "heavy"]);
+        assert_eq!(p.critical_path[1].label, Some(7));
+        assert!(p.critical_path[0].total_us >= p.critical_path[1].total_us);
+    }
+
+    #[test]
+    fn folded_stacks_join_paths_root_first() {
+        let t = Tracer::enabled();
+        {
+            let _run = t.span("run");
+            {
+                let _p = t.span("phase.tune");
+                busy(2);
+            }
+        }
+        let folded = folded_stacks(&t.snapshot());
+        assert!(folded.contains("run;phase.tune "));
+        for line in folded.lines() {
+            let (stack, samples) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty());
+            assert!(samples.parse::<u64>().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_builds_empty_profile() {
+        let p = Profile::build(&Telemetry::default());
+        assert!(p.rows.is_empty());
+        assert!(p.critical_path.is_empty());
+        assert_eq!(p.render_table(10), "");
+        assert_eq!(folded_stacks(&Telemetry::default()), "");
+    }
+
+    #[test]
+    fn open_spans_attribute_elapsed_so_far() {
+        let t = Tracer::enabled();
+        let _open = t.span("phase.live");
+        busy(2);
+        let p = Profile::build(&t.snapshot());
+        let row = p.rows.iter().find(|r| r.name == "phase.live").unwrap();
+        assert_eq!(row.open, 1);
+        assert!(row.self_us >= 1_000, "open span self {}µs", row.self_us);
+        let table = p.render_table(5);
+        assert!(table.contains("1 open"));
+    }
+}

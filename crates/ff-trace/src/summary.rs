@@ -44,20 +44,51 @@ pub fn render_summary(t: &Telemetry, clients: &[ClientCommsRow]) -> String {
     let phases = t.phase_totals();
     if !phases.is_empty() {
         out.push_str("\nphase                     time      calls  share\n");
-        let total: u64 = phases.iter().map(|(_, us, _)| *us).sum();
-        for (name, us, calls) in &phases {
+        let total: u64 = phases.iter().map(|r| r.total_us).sum();
+        for row in &phases {
             let share = if total > 0 {
-                100.0 * *us as f64 / total as f64
+                100.0 * row.total_us as f64 / total as f64
             } else {
                 0.0
             };
             let _ = writeln!(
                 out,
-                "{:<24} {:>9} {:>6} {:>5.1}%",
-                name,
-                fmt_us(*us),
-                calls,
-                share
+                "{:<24} {:>9} {:>6} {:>5.1}%{}",
+                row.name,
+                fmt_us(row.total_us),
+                row.calls,
+                share,
+                if row.open > 0 {
+                    format!("  ({} open)", row.open)
+                } else {
+                    String::new()
+                }
+            );
+        }
+    }
+
+    // Self-time attribution: where the wall-clock actually went, not
+    // just which phase enclosed it.
+    if !t.spans.is_empty() {
+        let profile = crate::profile::Profile::build(t);
+        let table = profile.render_table(12);
+        if !table.is_empty() {
+            out.push_str("\ntop self-time spans\n");
+            out.push_str(&table);
+        }
+    }
+
+    // Pool imbalance: the per-worker task-count histogram the engine
+    // records from ff-par's load counters.
+    if let Some(h) = t.histogram_merged("par.worker_tasks") {
+        if h.count() > 0 {
+            let _ = writeln!(
+                out,
+                "\npool balance: {} workers, tasks/worker min {:.0} mean {:.1} max {:.0}",
+                h.count(),
+                h.min().unwrap_or(0.0),
+                h.mean().unwrap_or(0.0),
+                h.max().unwrap_or(0.0),
             );
         }
     }

@@ -56,6 +56,22 @@ impl SpanRecord {
     pub fn duration_us(&self) -> Option<u64> {
         self.end_us.map(|e| e.saturating_sub(self.start_us))
     }
+
+    /// Whether the span was still open at snapshot time.
+    pub fn is_open(&self) -> bool {
+        self.end_us.is_none()
+    }
+
+    /// Wall-clock observed so far: the closed duration, or — for a span
+    /// still open at snapshot time — the elapsed time up to the snapshot
+    /// capture instant. Unlike [`SpanRecord::duration_us`] this never
+    /// silently drops open spans.
+    pub fn observed_us(&self, captured_us: u64) -> u64 {
+        match self.end_us {
+            Some(e) => e.saturating_sub(self.start_us),
+            None => captured_us.saturating_sub(self.start_us),
+        }
+    }
 }
 
 /// One point event (gauge updates are also mirrored here, so the JSON
@@ -219,6 +235,9 @@ impl Tracer {
             return Telemetry::default();
         };
         let s = inner.state.lock();
+        // Capture instant taken under the lock, so it is ≥ every recorded
+        // start/end offset: open-span elapsed-so-far can never go negative.
+        let captured_us = inner.epoch.elapsed().as_micros() as u64;
         let mut counters: Vec<(MetricId, u64)> = s.counters.iter().map(|(k, v)| (*k, *v)).collect();
         counters.sort_by_key(|(k, _)| *k);
         let mut gauges: Vec<(MetricId, f64)> = s.gauges.iter().map(|(k, v)| (*k, *v)).collect();
@@ -232,6 +251,7 @@ impl Tracer {
             counters,
             gauges,
             histograms,
+            captured_us,
         }
     }
 
@@ -301,6 +321,26 @@ pub struct Telemetry {
     pub gauges: Vec<(MetricId, f64)>,
     /// Histograms, sorted by id.
     pub histograms: Vec<(MetricId, Histogram)>,
+    /// Snapshot capture instant as an offset from the tracer epoch (µs).
+    /// Taken under the state lock, so it is ≥ every span/event offset;
+    /// open spans measure elapsed-so-far against this.
+    pub captured_us: u64,
+}
+
+/// One row of the per-phase wall-clock table: spans named `phase.*`
+/// aggregated by name, counting open spans' elapsed-so-far explicitly
+/// instead of silently dropping them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Phase span name (e.g. `phase.optimization`).
+    pub name: &'static str,
+    /// Total observed wall-clock across all calls, in microseconds.
+    /// Open spans contribute elapsed time up to the snapshot instant.
+    pub total_us: u64,
+    /// Number of spans with this name (open or closed).
+    pub calls: usize,
+    /// How many of those were still open at snapshot time.
+    pub open: usize,
 }
 
 impl Telemetry {
@@ -362,21 +402,30 @@ impl Telemetry {
             .collect()
     }
 
-    /// Aggregates spans named `phase.*` into `(name, total_us, calls)`
-    /// rows in first-seen order — the per-phase wall-clock table.
-    pub fn phase_totals(&self) -> Vec<(&'static str, u64, usize)> {
-        let mut rows: Vec<(&'static str, u64, usize)> = Vec::new();
+    /// Aggregates spans named `phase.*` into [`PhaseTotal`] rows in
+    /// first-seen order — the per-phase wall-clock table. A span still
+    /// open at snapshot time contributes its elapsed-so-far (up to
+    /// [`Telemetry::captured_us`]) and bumps the row's `open` count.
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        let mut rows: Vec<PhaseTotal> = Vec::new();
         for s in &self.spans {
             if !s.name.starts_with("phase.") {
                 continue;
             }
-            let dur = s.duration_us().unwrap_or(0);
-            match rows.iter_mut().find(|(n, _, _)| *n == s.name) {
-                Some((_, total, calls)) => {
-                    *total += dur;
-                    *calls += 1;
+            let dur = s.observed_us(self.captured_us);
+            let open = usize::from(s.is_open());
+            match rows.iter_mut().find(|r| r.name == s.name) {
+                Some(row) => {
+                    row.total_us += dur;
+                    row.calls += 1;
+                    row.open += open;
                 }
-                None => rows.push((s.name, dur, 1)),
+                None => rows.push(PhaseTotal {
+                    name: s.name,
+                    total_us: dur,
+                    calls: 1,
+                    open,
+                }),
             }
         }
         rows
@@ -507,9 +556,33 @@ mod tests {
         }
         let rows = t.snapshot().phase_totals();
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].0, "phase.tune");
-        assert_eq!(rows[0].2, 2);
-        assert_eq!(rows[1].0, "phase.final");
+        assert_eq!(rows[0].name, "phase.tune");
+        assert_eq!(rows[0].calls, 2);
+        assert_eq!(rows[0].open, 0);
+        assert_eq!(rows[1].name, "phase.final");
+    }
+
+    #[test]
+    fn open_phase_spans_count_elapsed_so_far() {
+        let t = Tracer::enabled();
+        let _open = t.span("phase.live");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let snap = t.snapshot();
+        assert!(snap.captured_us >= snap.spans[0].start_us);
+        let rows = snap.phase_totals();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].calls, 1);
+        assert_eq!(rows[0].open, 1);
+        // The open span's elapsed-so-far is visible, not dropped as zero.
+        assert!(
+            rows[0].total_us >= 2_000,
+            "open span contributed {}µs",
+            rows[0].total_us
+        );
+        assert_eq!(
+            snap.spans[0].observed_us(snap.captured_us),
+            rows[0].total_us
+        );
     }
 
     #[test]

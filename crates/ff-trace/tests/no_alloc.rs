@@ -34,6 +34,8 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 fn disabled_tracer_makes_no_allocations() {
     let tracer = ff_trace::Tracer::disabled();
     let clone = tracer.clone(); // cloning a disabled tracer is also free
+    let recorder = ff_trace::FlightRecorder::disabled();
+    let rec_clone = recorder.clone();
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for i in 0..1000u64 {
@@ -47,18 +49,34 @@ fn disabled_tracer_makes_no_allocations() {
         tracer.record_labeled("lat", i, 3.25);
         clone.counter_add("fl.retries", 1);
         assert_eq!(tracer.open_spans_on_this_thread(), 0);
+        // A disabled recorder never calls the frame builder, so the
+        // (allocating) closure body costs nothing here.
+        let fired = recorder.commit_with(|| ff_trace::RoundFrame {
+            round: i,
+            quarantined: vec![1, 2, 3],
+            ..ff_trace::RoundFrame::default()
+        });
+        assert!(fired.is_none());
+        assert!(rec_clone.commit_with(|| unreachable!()).is_none());
     }
     // An empty snapshot is empty Vecs, which do not allocate either.
     let snap = tracer.snapshot();
+    // Profiling an empty snapshot builds empty collections — also free.
+    let profile = ff_trace::Profile::build(&snap);
+    let folded = ff_trace::folded_stacks(&snap);
     let after = ALLOCATIONS.load(Ordering::SeqCst);
 
     assert_eq!(
         after - before,
         0,
-        "disabled tracer allocated {} times",
+        "disabled tracer/recorder/profiler allocated {} times",
         after - before
     );
     assert!(snap.spans.is_empty());
     assert!(snap.counters.is_empty());
     assert!(snap.histograms.is_empty());
+    assert!(recorder.frames().is_empty());
+    assert!(recorder.dumps().is_empty());
+    assert!(profile.rows.is_empty());
+    assert!(folded.is_empty());
 }

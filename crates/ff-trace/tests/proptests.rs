@@ -121,3 +121,82 @@ proptest! {
         }
     }
 }
+
+// --- flight recorder ---------------------------------------------------
+
+fn arb_frame(round: u64, distress: u8) -> ff_trace::RoundFrame {
+    let mut f = ff_trace::RoundFrame {
+        round,
+        phase: "fleet.fit",
+        cohort: 100,
+        admitted: 90,
+        accepted: 80,
+        ..ff_trace::RoundFrame::default()
+    };
+    match distress % 5 {
+        1 => f.quarantined = vec![round % 7],
+        2 => f.quorum_met = false,
+        3 => f.rejected = vec![(round % 7, "norm blew up".into())],
+        4 => f.non_finite = true,
+        _ => {}
+    }
+    f
+}
+
+proptest! {
+    #[test]
+    fn recorder_ring_never_exceeds_capacity(
+        capacity in 1usize..32,
+        distress in prop::collection::vec(0u8..5, 1..200),
+    ) {
+        let r = ff_trace::FlightRecorder::enabled(ff_trace::RecorderConfig {
+            capacity,
+            max_dumps: 4,
+            ..Default::default()
+        });
+        for (i, d) in distress.iter().enumerate() {
+            r.commit_with(|| arb_frame(i as u64 + 1, *d));
+            prop_assert!(r.len() <= capacity, "ring grew past capacity");
+        }
+        // The ring holds the *newest* frames, contiguous and in order.
+        let frames = r.frames();
+        prop_assert_eq!(frames.len(), distress.len().min(capacity));
+        let first = distress.len() - frames.len();
+        for (j, f) in frames.iter().enumerate() {
+            prop_assert_eq!(f.round, (first + j) as u64 + 1);
+        }
+        // Every dump ends at a frame that actually carries distress, and
+        // dump count respects the cap while triggers keep counting.
+        let dumps = r.dumps();
+        prop_assert!(dumps.len() <= 4);
+        prop_assert!(r.triggers_fired() >= dumps.len() as u64);
+        for d in &dumps {
+            let last = d.frames.last().unwrap();
+            prop_assert_eq!(last.round, d.round);
+            prop_assert!(d.frames.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn recorder_dumps_are_reproducible(
+        capacity in 1usize..16,
+        distress in prop::collection::vec(0u8..5, 1..64),
+    ) {
+        let run = || {
+            let r = ff_trace::FlightRecorder::enabled(ff_trace::RecorderConfig {
+                capacity,
+                ..Default::default()
+            });
+            for (i, d) in distress.iter().enumerate() {
+                r.commit_with(|| arb_frame(i as u64 + 1, *d));
+            }
+            r.dumps()
+                .iter()
+                .map(|d| d.to_json_lines())
+                .collect::<Vec<_>>()
+        };
+        // Frames carry no wall-clock data, so two identical round
+        // sequences serialize byte-identically.
+        prop_assert_eq!(run(), run());
+    }
+}
