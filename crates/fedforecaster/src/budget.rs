@@ -15,10 +15,18 @@ pub enum Budget {
 }
 
 /// A running budget tracker.
+///
+/// An [`Instant`] cannot be serialized, so a tracker that must survive a
+/// coordinator crash persists its [`consumed`](Self::consumed) form
+/// instead and is rebuilt with [`resume`](Self::resume): the already-spent
+/// wall clock and iteration count carry over, and the restarted run only
+/// gets whatever budget remains — not a fresh full one.
 #[derive(Debug, Clone)]
 pub struct BudgetTracker {
     budget: Budget,
     started: Instant,
+    /// Wall clock consumed before `started` (zero unless resumed).
+    base: Duration,
     iterations: usize,
 }
 
@@ -28,8 +36,26 @@ impl BudgetTracker {
         BudgetTracker {
             budget,
             started: Instant::now(),
+            base: Duration::ZERO,
             iterations: 0,
         }
+    }
+
+    /// Resumes tracking after a crash: `consumed` wall clock and
+    /// `iterations` already spent by the interrupted run count against
+    /// the budget from the first instant.
+    pub fn resume(budget: Budget, consumed: Duration, iterations: usize) -> BudgetTracker {
+        BudgetTracker {
+            budget,
+            started: Instant::now(),
+            base: consumed,
+            iterations,
+        }
+    }
+
+    /// The persistable spent state: `(wall clock consumed, iterations)`.
+    pub fn consumed(&self) -> (Duration, usize) {
+        (self.elapsed(), self.iterations)
     }
 
     /// Records one completed iteration.
@@ -40,7 +66,7 @@ impl BudgetTracker {
     /// True when the budget is exhausted.
     pub fn exhausted(&self) -> bool {
         match self.budget {
-            Budget::Time(limit) => self.started.elapsed() >= limit,
+            Budget::Time(limit) => self.elapsed() >= limit,
             Budget::Iterations(n) => self.iterations >= n,
         }
     }
@@ -50,9 +76,9 @@ impl BudgetTracker {
         self.iterations
     }
 
-    /// Elapsed wall-clock time.
+    /// Elapsed wall-clock time, including any pre-resume spend.
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
+        self.base + self.started.elapsed()
     }
 
     /// Fraction of the budget still unspent, in `[0, 1]` (feeds the
@@ -63,7 +89,7 @@ impl BudgetTracker {
                 if limit.is_zero() {
                     return 0.0;
                 }
-                (1.0 - self.started.elapsed().as_secs_f64() / limit.as_secs_f64()).clamp(0.0, 1.0)
+                (1.0 - self.elapsed().as_secs_f64() / limit.as_secs_f64()).clamp(0.0, 1.0)
             }
             Budget::Iterations(n) => {
                 if n == 0 {
@@ -120,5 +146,35 @@ mod tests {
             BudgetTracker::start(Budget::Time(Duration::ZERO)).remaining_fraction(),
             0.0
         );
+    }
+
+    #[test]
+    fn resumed_iteration_budget_counts_prior_spend() {
+        let mut t = BudgetTracker::resume(Budget::Iterations(5), Duration::ZERO, 3);
+        assert_eq!(t.iterations(), 3);
+        assert!(!t.exhausted());
+        assert_eq!(t.remaining_fraction(), 0.4);
+        t.record_iteration();
+        t.record_iteration();
+        assert!(t.exhausted());
+        let (_, iters) = t.consumed();
+        assert_eq!(iters, 5);
+    }
+
+    #[test]
+    fn resumed_time_budget_counts_prior_spend() {
+        // 3 of 4 seconds already burned before the crash: the resumed
+        // tracker reports ~25% remaining immediately, not a fresh budget.
+        let limit = Duration::from_secs(4);
+        let t = BudgetTracker::resume(Budget::Time(limit), Duration::from_secs(3), 7);
+        assert!(t.elapsed() >= Duration::from_secs(3));
+        let f = t.remaining_fraction();
+        assert!(f > 0.2 && f <= 0.25, "remaining fraction {f}");
+        assert!(!t.exhausted());
+        assert_eq!(t.consumed().1, 7);
+        // Prior spend at or past the limit: exhausted from the start.
+        let spent = BudgetTracker::resume(Budget::Time(limit), Duration::from_secs(4), 9);
+        assert!(spent.exhausted());
+        assert_eq!(spent.remaining_fraction(), 0.0);
     }
 }

@@ -114,6 +114,45 @@ impl TraceConfig {
     }
 }
 
+/// Durable checkpointing of a run (see DESIGN.md §16). When set on
+/// [`EngineConfig::checkpoint`], the engine appends a CRC-framed record
+/// to a write-ahead log at every commit point — run start, phase
+/// completion, each completed trial (with a runtime snapshot), final
+/// member blobs, run completion — and
+/// [`crate::engine::FedForecaster::resume_on`] replays that log to continue a
+/// killed run to a bit-identical result. `None` (the default) costs
+/// nothing: no file, no bytes, no allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptConfig {
+    /// Path of the write-ahead log file. Created (or truncated) on a
+    /// fresh run; read and appended to on resume.
+    pub path: std::path::PathBuf,
+    /// Compact the log (drop superseded runtime snapshots via atomic
+    /// rewrite) once it exceeds this many bytes. `None` never compacts.
+    pub compact_after_bytes: Option<u64>,
+    /// Fsync after every appended record (the default). Disabling trades
+    /// the durability of the last record for throughput — on a crash the
+    /// torn tail is discarded and that work re-executes on resume.
+    pub fsync: bool,
+    /// Crash-injection point for the recovery test harness. `None` in
+    /// production. See [`ff_ckpt::CrashPoint::from_env`] for the
+    /// `FF_CRASH_AT` environment form.
+    pub crash: Option<ff_ckpt::CrashPoint>,
+}
+
+impl CkptConfig {
+    /// Checkpointing to `path` with production defaults: fsync on, no
+    /// compaction, no crash injection.
+    pub fn at(path: impl Into<std::path::PathBuf>) -> CkptConfig {
+        CkptConfig {
+            path: path.into(),
+            compact_after_bytes: None,
+            fsync: true,
+            crash: None,
+        }
+    }
+}
+
 /// How tree-ensemble winners are aggregated in phase IV (§4.4). Linear
 /// models always aggregate by FedAvg over standardized coefficients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -210,6 +249,12 @@ pub struct EngineConfig {
     /// plaintext update, so [`EngineConfig::validate`] rejects the
     /// combination (see DESIGN.md §11 for the trade-off).
     pub secure_aggregation: bool,
+    /// Durable crash-tolerance: `Some` writes a write-ahead checkpoint
+    /// log at every commit point and enables
+    /// [`crate::engine::FedForecaster::resume_on`]. `None` (the default) is
+    /// exactly the pre-checkpoint engine: zero file I/O, zero
+    /// allocations on the checkpoint path.
+    pub checkpoint: Option<CkptConfig>,
 }
 
 impl EngineConfig {
@@ -262,6 +307,7 @@ impl Default for EngineConfig {
             guard: GuardPolicy::default(),
             par: ff_par::ParConfig::auto(),
             secure_aggregation: false,
+            checkpoint: None,
         }
     }
 }
@@ -284,6 +330,7 @@ mod tests {
         assert_eq!(c.aggregation, AggregationStrategy::FedAvg);
         assert_eq!(c.par, ff_par::ParConfig::auto());
         assert!(!c.secure_aggregation);
+        assert!(c.checkpoint.is_none());
         assert!(c.validate().is_ok());
     }
 

@@ -15,6 +15,7 @@ use super::rounds::{
     quorum_unmet, record_screen, strict_policy, tolerant_eval_round, tolerant_round, RobustCtx,
 };
 use crate::aggregate::GlobalModel;
+use crate::ckpt::{CkptSink, Record};
 use crate::client::OP;
 use crate::report::RoundReport;
 use crate::search_space::{algorithm_of, config_to_map, pipeline_of};
@@ -54,6 +55,7 @@ pub fn finalize_with(
         &strict_policy(rt),
         &mut Vec::new(),
         &mut RobustCtx::permissive(),
+        None,
     )
 }
 
@@ -63,6 +65,13 @@ pub fn finalize_with(
 /// whichever clients delivered a final model; the union deployment is
 /// "available" when every *survivor* of the final-fit round contributed a
 /// blob.
+///
+/// With a checkpoint sink, `EnsembleUnion` winners durably record their
+/// collected member blobs ([`Record::FinalMembers`]) before deployment —
+/// a post-hoc artifact for inspection and serving, not a replay input
+/// (resume always re-executes finalization live, since the clients'
+/// final-model state cannot be restored from the server).
+#[allow(clippy::too_many_arguments)]
 pub fn finalize_with_tolerant(
     rt: &FederatedRuntime,
     par: ff_par::ParConfig,
@@ -71,12 +80,14 @@ pub fn finalize_with_tolerant(
     policy: &RoundPolicy,
     rounds: &mut Vec<RoundReport>,
     ctx: &mut RobustCtx,
+    ckpt: Option<&mut CkptSink>,
 ) -> Result<(GlobalModel, f64)> {
     par.scope(|| {
-        finalize_with_tolerant_inner(rt, best_config, tree_aggregation, policy, rounds, ctx)
+        finalize_with_tolerant_inner(rt, best_config, tree_aggregation, policy, rounds, ctx, ckpt)
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finalize_with_tolerant_inner(
     rt: &FederatedRuntime,
     best_config: &Configuration,
@@ -84,6 +95,7 @@ fn finalize_with_tolerant_inner(
     policy: &RoundPolicy,
     rounds: &mut Vec<RoundReport>,
     ctx: &mut RobustCtx,
+    ckpt: Option<&mut CkptSink>,
 ) -> Result<(GlobalModel, f64)> {
     let algorithm = algorithm_of(best_config)
         .ok_or_else(|| EngineError::InvalidData("config has no algorithm".into()))?;
@@ -194,15 +206,23 @@ fn finalize_with_tolerant_inner(
                 test_mse,
             ))
         }
-        FinalizeStrategy::EnsembleUnion => {
-            finalize_union(rt, algorithm, usable, tree_aggregation, policy, rounds, ctx)
-        }
+        FinalizeStrategy::EnsembleUnion => finalize_union(
+            rt,
+            algorithm,
+            usable,
+            tree_aggregation,
+            policy,
+            rounds,
+            ctx,
+            ckpt,
+        ),
     }
 }
 
 /// The `EnsembleUnion` arm: gather serialized members from the final-fit
 /// survivors and deploy either the weighted union or the per-client
 /// fallback, per the tree-aggregation mode.
+#[allow(clippy::too_many_arguments)]
 fn finalize_union(
     rt: &FederatedRuntime,
     algorithm: ff_models::zoo::AlgorithmKind,
@@ -211,6 +231,7 @@ fn finalize_union(
     policy: &RoundPolicy,
     rounds: &mut Vec<RoundReport>,
     ctx: &mut RobustCtx,
+    ckpt: Option<&mut CkptSink>,
 ) -> Result<(GlobalModel, f64)> {
     use crate::config::TreeAggregation;
     let mut blobs: Vec<Vec<u8>> = Vec::new();
@@ -227,6 +248,18 @@ fn finalize_union(
                 weights.push(*num_examples as f64);
             }
         }
+    }
+    // Durable artifact: the exact member set before deployment moves the
+    // blobs into round configs.
+    if let Some(sink) = ckpt {
+        sink.append(&Record::FinalMembers {
+            algorithm: algorithm.name().to_string(),
+            members: blobs
+                .iter()
+                .zip(&weights)
+                .map(|(b, &w)| (b.clone(), w))
+                .collect(),
+        })?;
     }
     let union_available = blobs.len() == usable.len() && !blobs.is_empty();
     let members = blobs.len();

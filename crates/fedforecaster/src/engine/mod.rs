@@ -35,6 +35,10 @@ pub use tune::{evaluate_config, evaluate_config_tolerant};
 
 use crate::aggregate::GlobalModel;
 use crate::budget::BudgetTracker;
+use crate::ckpt::{
+    config_fingerprint, reports_fingerprint, run_fingerprint, trial_config_fingerprint, CkptSink,
+    Record, Replay, RuntimeSnapshot,
+};
 use crate::client::FedForecasterClient;
 use crate::config::EngineConfig;
 use crate::feature_engineering::GlobalFeatureSpec;
@@ -45,6 +49,7 @@ use crate::search_space::{
 use crate::{EngineError, Result};
 use ff_bayesopt::optimizer::BayesOpt;
 use ff_bayesopt::space::Configuration;
+use ff_ckpt::{CkptError, CrashPoint};
 use ff_fl::client::FlClient;
 use ff_fl::health::HealthReport;
 use ff_fl::log::Retention;
@@ -134,6 +139,30 @@ impl<'m> FedForecaster<'m> {
 
     /// Runs Algorithm 1 on an existing runtime (lets tests inspect logs).
     pub fn run_on(&self, rt: &FederatedRuntime) -> Result<RunResult> {
+        self.run_or_resume(rt, false)
+    }
+
+    /// Resumes a crashed run from its checkpoint log and continues to the
+    /// bit-identical result the uninterrupted run would have produced.
+    /// Requires [`EngineConfig::checkpoint`]; the federation, seed, and
+    /// config must match the crashed run (the log's header is verified).
+    /// A missing or empty log degrades to a fresh run.
+    pub fn resume(&self, clients: &[TimeSeries]) -> Result<RunResult> {
+        let runtime = build_runtime(clients, &self.cfg)?;
+        self.resume_on(&runtime)
+    }
+
+    /// [`FedForecaster::resume`] on an existing runtime.
+    pub fn resume_on(&self, rt: &FederatedRuntime) -> Result<RunResult> {
+        if self.cfg.checkpoint.is_none() {
+            return Err(EngineError::InvalidData(
+                "resume requires EngineConfig::checkpoint".into(),
+            ));
+        }
+        self.run_or_resume(rt, true)
+    }
+
+    fn run_or_resume(&self, rt: &FederatedRuntime, resuming: bool) -> Result<RunResult> {
         self.cfg.validate()?;
         // Worker threads spawned during the run (FL clients) resolve the
         // kernel thread count through the process global; the engine thread
@@ -161,6 +190,49 @@ impl<'m> FedForecaster<'m> {
             ),
             None => None,
         };
+        // Checkpoint sink: `None` when disabled — that path allocates
+        // nothing and writes nothing. On resume, open the existing log and
+        // extract the replay; a fresh run truncates any stale log.
+        let (mut ckpt, replay): (Option<CkptSink>, Option<Replay>) = match &self.cfg.checkpoint {
+            Some(ck) => {
+                let config_fp = config_fingerprint(&self.cfg);
+                let n_clients = rt.n_clients() as u32;
+                if resuming {
+                    let (sink, replay) =
+                        CkptSink::resume(ck, self.cfg.seed, config_fp, n_clients, tracer.clone())?;
+                    (Some(sink), replay)
+                } else {
+                    let sink =
+                        CkptSink::create(ck, self.cfg.seed, config_fp, n_clients, tracer.clone())?;
+                    (Some(sink), None)
+                }
+            }
+            None => (None, None),
+        };
+        if let Some(rep) = &replay {
+            if tracer.is_enabled() {
+                tracer.counter_add("ckpt.recoveries", 1);
+            }
+            recorder.commit_with(|| ff_trace::RoundFrame {
+                round: 0,
+                phase: "recovery",
+                cohort: rt.n_clients() as u64,
+                admitted: 0,
+                accepted: 0,
+                probes: 0,
+                rejected: Vec::new(),
+                dropouts: Vec::new(),
+                quarantined: Vec::new(),
+                loss: None,
+                quorum_met: true,
+                non_finite: false,
+                counters: vec![
+                    ("replayed_trials", rep.trials.len() as u64),
+                    ("replayed_phases", rep.phases.len() as u64),
+                ],
+            });
+        }
+        let mut replay_phase_cursor = 0usize;
         let run_span = tracer.span("run");
         let mut phase_bytes = Vec::new();
         let mut phase_mark = rt.log().byte_totals();
@@ -215,6 +287,7 @@ impl<'m> FedForecaster<'m> {
         };
         phase_bytes.push(end_phase("meta_features", rt));
         commit_round_frames(&recorder, &rounds, &mut committed_rounds);
+        checkpoint_phase(&mut ckpt, &replay, &mut replay_phase_cursor, 0, &rounds)?;
         drop(phase_span);
         let phase_span = tracer.span("phase.feature_engineering");
         run_feature_engineering_tolerant(
@@ -227,6 +300,7 @@ impl<'m> FedForecaster<'m> {
         )?;
         phase_bytes.push(end_phase("feature_engineering", rt));
         commit_round_frames(&recorder, &rounds, &mut committed_rounds);
+        checkpoint_phase(&mut ckpt, &replay, &mut replay_phase_cursor, 1, &rounds)?;
         drop(phase_span);
 
         // Phase III: Bayesian optimization with warm start. The budget T
@@ -251,23 +325,108 @@ impl<'m> FedForecaster<'m> {
         bo.warm_start(warm);
         let mut loss_history = Vec::new();
         let mut failed_trials = 0usize;
-        let mut tracker = BudgetTracker::start(self.cfg.budget);
+        let mut trial_index = 0u32;
+        // Replay recorded trials without any federated round: `ask`
+        // regenerates each configuration deterministically (the optimizer's
+        // RNG advances only inside `ask`), the recorded fingerprint verifies
+        // the match, and `tell` rebuilds the surrogate's observation set.
+        if let Some(rep) = &replay {
+            for trial in &rep.trials {
+                trial_index += 1;
+                let config = bo.ask().map_err(EngineError::Optimizer)?;
+                let fp = trial_config_fingerprint(&config);
+                if fp != trial.config_fp {
+                    return Err(EngineError::Checkpoint(CkptError::Corrupt(format!(
+                        "replayed trial {trial_index} regenerated a different configuration \
+                         ({fp:#018x} vs recorded {:#018x}); the checkpoint belongs to a \
+                         different run or optimizer version",
+                        trial.config_fp
+                    ))));
+                }
+                match trial.loss {
+                    Some(loss) => {
+                        bo.tell(&config, loss).map_err(EngineError::Optimizer)?;
+                        loss_history.push(loss);
+                    }
+                    None => failed_trials += 1,
+                }
+                rounds.extend(trial.reports.iter().cloned());
+                commit_round_frames(&recorder, &rounds, &mut committed_rounds);
+            }
+            // Server-side counters the replay cannot recompute restore from
+            // the resume point's snapshot. The re-executed setup phases
+            // produced byte-for-byte identical traffic, so overwriting the
+            // log totals with the recorded post-trial totals keeps the
+            // phase accounting exact.
+            if let Some(snap) = &rep.snapshot {
+                rt.restore_health(&snap.health)?;
+                rt.log().restore_totals(&snap.log);
+                robust
+                    .guard
+                    .restore_history(&snap.guard_norms, &snap.guard_losses);
+                failed_trials = snap.failed_trials as usize;
+            }
+        }
+        let mut tracker = match replay.as_ref().and_then(|r| r.snapshot.as_ref()) {
+            Some(snap) => BudgetTracker::resume(
+                self.cfg.budget,
+                Duration::from_micros(snap.consumed_us),
+                snap.iterations as usize,
+            ),
+            None => BudgetTracker::start(self.cfg.budget),
+        };
         if tracer.is_enabled() {
             tracer.gauge_set("engine.budget_remaining", tracker.remaining_fraction());
         }
         while tracker.iterations() == 0 || !tracker.exhausted() {
             let trial_span = tracer.span_labeled("trial", tracker.iterations() as u64 + 1);
             let config = bo.ask().map_err(EngineError::Optimizer)?;
-            match evaluate_config_tolerant(rt, par, &config, policy, &mut rounds, &mut robust) {
+            let round_mark = rounds.len();
+            trial_index += 1;
+            let trial_loss = match evaluate_config_tolerant(
+                rt,
+                par,
+                &config,
+                policy,
+                &mut rounds,
+                &mut robust,
+            ) {
                 Ok(loss) => {
                     bo.tell(&config, loss).map_err(EngineError::Optimizer)?;
                     loss_history.push(loss);
+                    Some(loss)
                 }
-                Err(EngineError::Federation(FlError::Quorum { .. })) => failed_trials += 1,
+                Err(EngineError::Federation(FlError::Quorum { .. })) => {
+                    failed_trials += 1;
+                    None
+                }
                 Err(e) => return Err(e),
-            }
+            };
             commit_round_frames(&recorder, &rounds, &mut committed_rounds);
             tracker.record_iteration();
+            // One atomic commit point per trial: config fingerprint, loss,
+            // the trial's round reports, and the post-trial runtime
+            // snapshot land in a single durable record, so there is never
+            // torn state between the BO tell and the server counters.
+            if let Some(sink) = ckpt.as_mut() {
+                let snapshot = RuntimeSnapshot::capture(rt, &robust.guard, failed_trials, &tracker);
+                sink.append(&Record::TrialDone {
+                    index: trial_index,
+                    config_fp: trial_config_fingerprint(&config),
+                    loss: trial_loss,
+                    reports: rounds[round_mark..].to_vec(),
+                    snapshot: Some(snapshot),
+                })?;
+                // Engine-level injection: die right after the commit became
+                // durable, the worst case for double-execution bugs.
+                if let Some(CrashPoint::AfterTrial(n)) = sink.crash_point() {
+                    if n == trial_index {
+                        return Err(EngineError::Checkpoint(CkptError::Crash(
+                            CrashPoint::AfterTrial(n),
+                        )));
+                    }
+                }
+            }
             drop(trial_span);
             if tracer.is_enabled() {
                 tracer.gauge_set("engine.budget_remaining", tracker.remaining_fraction());
@@ -290,6 +449,7 @@ impl<'m> FedForecaster<'m> {
             policy,
             &mut rounds,
             &mut robust,
+            ckpt.as_mut(),
         )?;
         phase_bytes.push(end_phase("finalization", rt));
         commit_round_frames(&recorder, &rounds, &mut committed_rounds);
@@ -328,7 +488,7 @@ impl<'m> FedForecaster<'m> {
                 self.cfg.trace.profile_enabled(),
             )
         });
-        Ok(RunResult {
+        let result = RunResult {
             best_algorithm: global_model.algorithm(),
             best_pipeline: pipeline_of(&best_config).map(|p| p.name().to_string()),
             best_config,
@@ -346,8 +506,53 @@ impl<'m> FedForecaster<'m> {
             failed_trials,
             health,
             telemetry,
-        })
+        };
+        if let Some(sink) = ckpt.as_mut() {
+            sink.append(&Record::RunDone {
+                result_fp: run_fingerprint(&result),
+            })?;
+        }
+        Ok(result)
     }
+}
+
+/// Commits (or, on resume, verifies) one setup phase. The resumed run
+/// re-executes the phase live — client-side feature state cannot be
+/// restored from the server — and the fingerprint over the accumulated
+/// round reports proves the re-execution reproduced the recorded one.
+///
+/// With checkpointing disabled this is a branch and a return: no
+/// fingerprint is computed, nothing allocates (asserted by the
+/// `ckpt_no_alloc` integration test, which is why this is `pub`).
+#[doc(hidden)]
+pub fn checkpoint_phase(
+    ckpt: &mut Option<CkptSink>,
+    replay: &Option<Replay>,
+    cursor: &mut usize,
+    phase: u8,
+    rounds: &[RoundReport],
+) -> Result<()> {
+    if ckpt.is_none() && replay.is_none() {
+        return Ok(());
+    }
+    let fp = reports_fingerprint(rounds);
+    if let Some(rep) = replay {
+        if let Some(&(rec_phase, rec_fp)) = rep.phases.get(*cursor) {
+            *cursor += 1;
+            if rec_phase != phase || rec_fp != fp {
+                return Err(EngineError::Checkpoint(CkptError::Corrupt(format!(
+                    "re-executed setup phase {phase} diverged from the recorded run \
+                     ({fp:#018x} vs recorded {rec_fp:#018x} for phase {rec_phase}); \
+                     the federation's data changed since the crash"
+                ))));
+            }
+            return Ok(()); // already durable in the log
+        }
+    }
+    if let Some(sink) = ckpt {
+        sink.append(&Record::PhaseDone { phase, fp })?;
+    }
+    Ok(())
 }
 
 /// Maps one fault-tolerant round report to a flight-recorder frame. The

@@ -49,6 +49,7 @@
 pub mod adaptive;
 pub mod aggregate;
 pub mod budget;
+pub mod ckpt;
 pub mod client;
 pub mod config;
 pub mod engine;
@@ -59,14 +60,14 @@ pub mod report;
 pub mod search_space;
 
 pub use budget::Budget;
-pub use config::{EngineConfig, TraceConfig};
+pub use config::{CkptConfig, EngineConfig, TraceConfig};
 pub use engine::{FedForecaster, RunResult};
 pub use report::RunTelemetry;
 
 /// Convenient re-exports for examples and benches.
 pub mod prelude {
     pub use crate::budget::Budget;
-    pub use crate::config::{EngineConfig, TraceConfig};
+    pub use crate::config::{CkptConfig, EngineConfig, TraceConfig};
     pub use crate::engine::{FedForecaster, RunResult};
     pub use crate::nbeats_baseline::{run_consolidated_nbeats, run_federated_nbeats};
     pub use crate::random_search::RandomSearch;
@@ -87,6 +88,8 @@ pub enum EngineError {
     Optimizer(ff_bayesopt::BoError),
     /// The data is unusable (too short, all-NaN, …).
     InvalidData(String),
+    /// Checkpoint I/O, corruption, or an injected crash point fired.
+    Checkpoint(ff_ckpt::CkptError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -96,6 +99,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Model(e) => write!(f, "model error: {e}"),
             EngineError::Optimizer(e) => write!(f, "optimizer error: {e}"),
             EngineError::InvalidData(m) => write!(f, "invalid data: {m}"),
+            EngineError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -117,6 +121,12 @@ impl From<ff_models::ModelError> for EngineError {
 impl From<ff_bayesopt::BoError> for EngineError {
     fn from(e: ff_bayesopt::BoError) -> Self {
         EngineError::Optimizer(e)
+    }
+}
+
+impl From<ff_ckpt::CkptError> for EngineError {
+    fn from(e: ff_ckpt::CkptError) -> Self {
+        EngineError::Checkpoint(e)
     }
 }
 

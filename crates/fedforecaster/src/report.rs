@@ -50,7 +50,7 @@ impl RunTelemetry {
 /// What happened in one fault-tolerant federated round: who was admitted,
 /// who replied, who dropped out and why. The engine appends one of these
 /// per round so a run's degradation history is auditable after the fact.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundReport {
     /// Pipeline phase the round belongs to (`meta_features`,
     /// `feature_engineering`, `optimization`, `finalization`).

@@ -1,0 +1,354 @@
+//! Kill-at-any-point crash tolerance: for every [`CrashPoint`] in the
+//! taxonomy, a run killed there and resumed via
+//! [`FedForecaster::resume`] must produce a [`RunResult`] bit-identical
+//! (by [`run_fingerprint`]) to the uninterrupted run — including across
+//! thread counts, and after the crash's WAL tail has been further
+//! truncated, bit-flipped, or buried under garbage.
+
+use fedforecaster::ckpt::{run_fingerprint, Record};
+use fedforecaster::prelude::*;
+use fedforecaster::EngineError;
+use ff_ckpt::{corrupt, read_wal, CkptError, CrashPoint};
+use ff_metalearn::kb::KnowledgeBase;
+use ff_metalearn::metamodel::{MetaClassifierKind, MetaModel};
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+use ff_timeseries::TimeSeries;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const BUDGET: usize = 5;
+
+fn train_meta() -> MetaModel {
+    let kb = KnowledgeBase::build(&ff_metalearn::synth::synthetic_kb(8), &[2], 50);
+    MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).unwrap()
+}
+
+fn federation() -> Vec<TimeSeries> {
+    let s = generate(
+        &SynthesisSpec {
+            n: 800,
+            trend: TrendSpec::Linear(0.01),
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 2.0,
+            }],
+            snr: Some(20.0),
+            ..Default::default()
+        },
+        9,
+    );
+    s.split_clients(3)
+}
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ff-crash-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn cfg(checkpoint: Option<CkptConfig>, threads: usize) -> EngineConfig {
+    EngineConfig {
+        budget: Budget::Iterations(BUDGET),
+        seed: 123,
+        par: ff_par::ParConfig::with_threads(threads),
+        checkpoint,
+        ..Default::default()
+    }
+}
+
+/// The uninterrupted, checkpoint-free reference fingerprint (computed
+/// once; every test compares against it).
+fn baseline_fp() -> u64 {
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        let result = FedForecaster::new(cfg(None, 1), &train_meta())
+            .run(&federation())
+            .unwrap();
+        run_fingerprint(&result)
+    })
+}
+
+fn expect_injected_crash(result: Result<RunResult, EngineError>, what: &str) {
+    match result {
+        Err(EngineError::Checkpoint(CkptError::Crash(_))) => {}
+        Err(e) => panic!("{what}: expected an injected crash, got error {e}"),
+        Ok(_) => panic!("{what}: expected an injected crash, run completed"),
+    }
+}
+
+/// Crashes a run at `point`, then resumes with the crash disarmed and
+/// returns the resumed result's fingerprint.
+fn crash_then_resume(name: &str, point: CrashPoint, threads: usize) -> u64 {
+    let path = wal_path(name);
+    let mut ck = CkptConfig::at(&path);
+    ck.crash = Some(point);
+    let crashed = FedForecaster::new(cfg(Some(ck), threads), &train_meta()).run(&federation());
+    expect_injected_crash(crashed, name);
+    let resumed = FedForecaster::new(cfg(Some(CkptConfig::at(&path)), threads), &train_meta())
+        .resume(&federation())
+        .unwrap();
+    run_fingerprint(&resumed)
+}
+
+#[test]
+fn checkpointed_run_matches_uncheckpointed_baseline() {
+    let path = wal_path("clean.wal");
+    let result = FedForecaster::new(cfg(Some(CkptConfig::at(&path)), 1), &train_meta())
+        .run(&federation())
+        .unwrap();
+    let fp = run_fingerprint(&result);
+    assert_eq!(fp, baseline_fp(), "checkpointing changed the result");
+    // The log closed cleanly: header, two phases, one TrialDone per
+    // trial, the member blobs, and a footer whose fingerprint matches.
+    let read = read_wal(&path).unwrap();
+    assert!(!read.is_torn());
+    let records: Vec<Record> = read
+        .records
+        .iter()
+        .map(|p| Record::decode(p))
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert!(matches!(records[0], Record::RunStart { n_clients: 3, .. }));
+    let trials = records
+        .iter()
+        .filter(|r| matches!(r, Record::TrialDone { .. }))
+        .count();
+    assert_eq!(trials, BUDGET);
+    match records.last().unwrap() {
+        Record::RunDone { result_fp } => assert_eq!(*result_fp, fp),
+        other => panic!("log should end with RunDone, got {other:?}"),
+    }
+}
+
+#[test]
+fn kill_after_each_trial_resumes_bit_identical() {
+    for n in 1..=BUDGET as u32 {
+        let fp = crash_then_resume(&format!("trial{n}.wal"), CrashPoint::AfterTrial(n), 1);
+        assert_eq!(fp, baseline_fp(), "resume after trial {n} diverged");
+    }
+}
+
+#[test]
+fn kill_after_record_resumes_bit_identical() {
+    // Record 1 is the run header; 2–3 the phase commits; 4+ the trials.
+    for n in [1u32, 2, 3, 4, 6] {
+        let fp = crash_then_resume(&format!("record{n}.wal"), CrashPoint::AfterRecord(n), 1);
+        assert_eq!(fp, baseline_fp(), "resume after record {n} diverged");
+    }
+}
+
+#[test]
+fn kill_mid_record_leaves_torn_tail_and_resumes_bit_identical() {
+    for n in [1u32, 3, 5] {
+        let name = format!("midrecord{n}.wal");
+        let path = wal_path(&name);
+        let mut ck = CkptConfig::at(&path);
+        ck.crash = Some(CrashPoint::MidRecord(n));
+        let crashed = FedForecaster::new(cfg(Some(ck), 1), &train_meta()).run(&federation());
+        expect_injected_crash(crashed, &name);
+        assert!(
+            read_wal(&path).unwrap().is_torn(),
+            "mid-record crash {n} should leave a torn tail"
+        );
+        let resumed = FedForecaster::new(cfg(Some(CkptConfig::at(&path)), 1), &train_meta())
+            .resume(&federation())
+            .unwrap();
+        assert_eq!(
+            run_fingerprint(&resumed),
+            baseline_fp(),
+            "resume over torn record {n} diverged"
+        );
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_across_thread_counts() {
+    // Crash single-threaded, resume on four workers — and vice versa.
+    // The checkpoint fingerprint deliberately excludes the thread policy;
+    // PR 5/6's determinism contract makes the results interchangeable.
+    let fp_1_to_4 = {
+        let path = wal_path("threads14.wal");
+        let mut ck = CkptConfig::at(&path);
+        ck.crash = Some(CrashPoint::AfterTrial(3));
+        expect_injected_crash(
+            FedForecaster::new(cfg(Some(ck), 1), &train_meta()).run(&federation()),
+            "threads14",
+        );
+        let resumed = FedForecaster::new(cfg(Some(CkptConfig::at(&path)), 4), &train_meta())
+            .resume(&federation())
+            .unwrap();
+        run_fingerprint(&resumed)
+    };
+    assert_eq!(fp_1_to_4, baseline_fp(), "1-thread crash → 4-thread resume");
+    let fp_4_to_1 = crash_then_resume("threads41.wal", CrashPoint::AfterTrial(2), 4);
+    assert_eq!(fp_4_to_1, baseline_fp(), "4-thread crash → 1-thread resume");
+}
+
+#[test]
+fn corrupted_tail_after_crash_still_resumes_bit_identical() {
+    // Each corruption lands on the log a real crash left behind; recovery
+    // must fall back to the last valid record and re-execute the rest.
+    type Corruption = fn(&std::path::Path);
+    let corruptions: [(&str, Corruption); 3] = [
+        ("truncated", |p| corrupt::truncate_tail(p, 7).unwrap()),
+        ("bitflipped", |p| {
+            let len = std::fs::metadata(p).unwrap().len();
+            corrupt::flip_bit(p, len - 9, 3).unwrap();
+        }),
+        ("garbage", |p| {
+            corrupt::append_garbage(p, 64, 0xC0FFEE).unwrap()
+        }),
+    ];
+    for (what, corrupt_fn) in corruptions {
+        let name = format!("corrupt-{what}.wal");
+        let path = wal_path(&name);
+        let mut ck = CkptConfig::at(&path);
+        ck.crash = Some(CrashPoint::AfterTrial(3));
+        expect_injected_crash(
+            FedForecaster::new(cfg(Some(ck), 1), &train_meta()).run(&federation()),
+            &name,
+        );
+        corrupt_fn(&path);
+        let resumed = FedForecaster::new(cfg(Some(CkptConfig::at(&path)), 1), &train_meta())
+            .resume(&federation())
+            .unwrap();
+        assert_eq!(
+            run_fingerprint(&resumed),
+            baseline_fp(),
+            "resume after {what} tail diverged"
+        );
+    }
+}
+
+#[test]
+fn compaction_is_transparent_and_survives_pre_rename_crash() {
+    // A threshold far below the log's natural size forces a compaction
+    // after nearly every trial commit.
+    let path = wal_path("compact.wal");
+    let mut ck = CkptConfig::at(&path);
+    ck.compact_after_bytes = Some(512);
+    let result = FedForecaster::new(cfg(Some(ck), 1), &train_meta())
+        .run(&federation())
+        .unwrap();
+    assert_eq!(
+        run_fingerprint(&result),
+        baseline_fp(),
+        "compaction changed the result"
+    );
+
+    // Die during the first compaction, after the temp file is written but
+    // before the atomic rename: the old log must survive untouched.
+    let path = wal_path("prerename.wal");
+    let mut ck = CkptConfig::at(&path);
+    ck.compact_after_bytes = Some(512);
+    ck.crash = Some(CrashPoint::PreRename(1));
+    expect_injected_crash(
+        FedForecaster::new(cfg(Some(ck), 1), &train_meta()).run(&federation()),
+        "prerename",
+    );
+    let mut ck = CkptConfig::at(&path);
+    ck.compact_after_bytes = Some(512);
+    let resumed = FedForecaster::new(cfg(Some(ck), 1), &train_meta())
+        .resume(&federation())
+        .unwrap();
+    assert_eq!(
+        run_fingerprint(&resumed),
+        baseline_fp(),
+        "resume after pre-rename crash diverged"
+    );
+}
+
+#[test]
+fn resume_over_a_completed_log_reproduces_the_result() {
+    let path = wal_path("completed.wal");
+    let engine_cfg = cfg(Some(CkptConfig::at(&path)), 1);
+    let first = FedForecaster::new(engine_cfg.clone(), &train_meta())
+        .run(&federation())
+        .unwrap();
+    let again = FedForecaster::new(engine_cfg, &train_meta())
+        .resume(&federation())
+        .unwrap();
+    assert_eq!(run_fingerprint(&again), run_fingerprint(&first));
+}
+
+#[test]
+fn resume_on_a_missing_log_degrades_to_a_fresh_run() {
+    let path = wal_path("never-written.wal");
+    let result = FedForecaster::new(cfg(Some(CkptConfig::at(&path)), 1), &train_meta())
+        .resume(&federation())
+        .unwrap();
+    assert_eq!(run_fingerprint(&result), baseline_fp());
+    assert!(path.exists(), "the fresh run should have started a new log");
+}
+
+#[test]
+fn resume_without_checkpoint_config_is_refused() {
+    let err = FedForecaster::new(cfg(None, 1), &train_meta())
+        .resume(&federation())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::InvalidData(_)), "got {err}");
+}
+
+#[test]
+fn log_from_a_different_run_is_refused() {
+    let path = wal_path("foreign.wal");
+    let mut ck = CkptConfig::at(&path);
+    ck.crash = Some(CrashPoint::AfterTrial(2));
+    expect_injected_crash(
+        FedForecaster::new(cfg(Some(ck), 1), &train_meta()).run(&federation()),
+        "foreign",
+    );
+    // Different seed ⇒ different run: the header check must refuse it.
+    let mut other = cfg(Some(CkptConfig::at(&path)), 1);
+    other.seed = 124;
+    let err = FedForecaster::new(other, &train_meta())
+        .resume(&federation())
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::Checkpoint(CkptError::Corrupt(_))),
+        "got {err}"
+    );
+    // A different budget changes the config fingerprint too.
+    let mut other = cfg(Some(CkptConfig::at(&path)), 1);
+    other.budget = Budget::Iterations(BUDGET + 1);
+    assert!(FedForecaster::new(other, &train_meta())
+        .resume(&federation())
+        .is_err());
+}
+
+#[test]
+fn a_file_that_was_never_a_log_is_a_clean_error() {
+    let path = wal_path("nonsense.wal");
+    std::fs::write(&path, b"this was never a checkpoint log").unwrap();
+    let err = FedForecaster::new(cfg(Some(CkptConfig::at(&path)), 1), &train_meta())
+        .resume(&federation())
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::Checkpoint(CkptError::Corrupt(_))),
+        "got {err}"
+    );
+}
+
+#[test]
+fn ff_crash_at_syntax_covers_the_whole_taxonomy() {
+    // The env-var syntax the CI smoke uses maps onto the same taxonomy
+    // the tests above exercise directly.
+    assert_eq!(
+        CrashPoint::parse("trial:2"),
+        Some(CrashPoint::AfterTrial(2))
+    );
+    assert_eq!(
+        CrashPoint::parse("record:4"),
+        Some(CrashPoint::AfterRecord(4))
+    );
+    assert_eq!(
+        CrashPoint::parse("mid-record:1"),
+        Some(CrashPoint::MidRecord(1))
+    );
+    assert_eq!(
+        CrashPoint::parse("pre-rename:1"),
+        Some(CrashPoint::PreRename(1))
+    );
+}

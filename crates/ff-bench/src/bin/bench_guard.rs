@@ -202,7 +202,7 @@ impl<'a> Parser<'a> {
 
 /// Whether a key names a guarded throughput metric (higher is better).
 fn is_throughput_key(key: &str) -> bool {
-    key.contains("rounds_per_s") || key.contains("forecasts_per_s")
+    key.contains("rounds_per_s") || key.contains("forecasts_per_s") || key.contains("records_per_s")
 }
 
 /// Collects `(path, value)` pairs for every guarded key in the document.
@@ -457,6 +457,29 @@ mod tests {
         // pr8 vs pr6 is a ~1% drop — fine; the old pr3 value is history,
         // not the baseline.
         assert!(check(&files, 0.25).is_empty());
+    }
+
+    #[test]
+    fn wal_records_per_s_is_guarded() {
+        let files = vec![
+            (
+                9,
+                "BENCH_pr9.json".to_string(),
+                doc(r#"{"bench": "checkpoint_overhead", "overhead_pct": 1.0,
+                        "wal": {"records_per_s": 500000.0, "fsync_append_us": 150.0}}"#),
+            ),
+            (
+                10,
+                "BENCH_pr10.json".to_string(),
+                doc(r#"{"bench": "checkpoint_overhead", "overhead_pct": 4.9,
+                        "wal": {"records_per_s": 300000.0, "fsync_append_us": 900.0}}"#),
+            ),
+        ];
+        // The 40% drop in WAL append throughput is flagged; overhead_pct
+        // and the disk-bound fsync latency are not throughput keys.
+        let regs = check(&files, 0.25);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "wal.records_per_s");
     }
 
     #[test]

@@ -1,0 +1,609 @@
+//! Durable write-ahead checkpoint log, std-only and zero-dependency like
+//! `ff-par` and `ff-trace`.
+//!
+//! A coordinator that crashes at trial 900 of a thousand-trial run loses
+//! everything unless its progress survives on disk. This crate provides
+//! the storage half of crash tolerance:
+//!
+//! - [`Wal`] — an append-only record log. Every record is length-framed
+//!   and CRC-32 checksummed; appends are durable (`fsync`) before the
+//!   caller proceeds, so a record the caller saw committed is a record
+//!   recovery will see.
+//! - [`read_wal`] — torn-tail-tolerant recovery: reading stops at the
+//!   first frame whose length or checksum does not validate and reports
+//!   the clean prefix. A crash mid-write, a truncated file, or flipped
+//!   bits in the tail lose at most the records after the damage — never
+//!   a panic, never an unbounded allocation from a hostile length field.
+//! - [`rewrite`] — atomic compaction: the replacement log is written to a
+//!   temporary sibling, fsynced, and renamed over the original, so a
+//!   crash during compaction leaves either the old log or the new one,
+//!   never a half-written hybrid.
+//! - [`CrashPoint`] — a deterministic crash-injection taxonomy (also
+//!   parsed from the `FF_CRASH_AT` environment variable) so tests and CI
+//!   can kill a run at any commit point — after record N, halfway
+//!   through a frame, or just before a compaction rename — and assert
+//!   recovery lands on the last valid record.
+//! - [`corrupt`] — fault injectors (truncation, bit flips, garbage
+//!   tails) for recovery tests.
+//!
+//! The payload bytes are opaque here; the engine layers its own record
+//! codec on top.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+pub mod corrupt;
+
+/// 8-byte file header: magic + format version. Bump the trailing digit on
+/// any incompatible frame-format change.
+pub const MAGIC: [u8; 8] = *b"FFCKPT01";
+
+/// Upper bound on a single record's payload, rejected at both ends. A
+/// corrupt length field can claim at most this much, bounding what a
+/// hostile or damaged log can make recovery allocate.
+pub const MAX_RECORD_LEN: u32 = 1 << 28; // 256 MiB
+
+/// Bytes of framing per record: u32 payload length + u32 CRC-32.
+pub const FRAME_HEADER: u64 = 8;
+
+/// Checkpoint-log errors.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An I/O operation failed (message includes the path and cause).
+    Io(String),
+    /// The log is structurally invalid beyond recovery (bad magic, or a
+    /// record offered for append exceeds [`MAX_RECORD_LEN`]).
+    Corrupt(String),
+    /// An injected [`CrashPoint`] fired. Production runs never see this;
+    /// the crash harness matches on it to distinguish a simulated kill
+    /// from a real failure.
+    Crash(CrashPoint),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(m) => write!(f, "checkpoint I/O error: {m}"),
+            CkptError::Corrupt(m) => write!(f, "corrupt checkpoint log: {m}"),
+            CkptError::Crash(p) => write!(f, "injected crash at {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Shorthand result.
+pub type Result<T> = std::result::Result<T, CkptError>;
+
+pub(crate) fn io_err(path: &Path, what: &str, e: std::io::Error) -> CkptError {
+    CkptError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection
+// ---------------------------------------------------------------------------
+
+/// Deterministic kill points for the crash-injection harness. Counters
+/// are 1-based and count events *within the process that armed the
+/// point*: `AfterRecord(3)` kills on the third successful append.
+///
+/// `MidRecord` is the interesting one: it writes a deliberately torn
+/// frame — the header plus only half the payload — syncs it, and then
+/// "dies", reproducing exactly the bytes a power cut mid-`write` leaves
+/// behind. Recovery must discard that frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die after engine trial N commits durably (engine-level; the WAL
+    /// itself never fires this).
+    AfterTrial(u32),
+    /// Die immediately after the Nth append is durable.
+    AfterRecord(u32),
+    /// Die halfway through writing the Nth record's frame, leaving a
+    /// torn tail on disk.
+    MidRecord(u32),
+    /// Die during the Nth [`rewrite`] after the temporary file is
+    /// written but before the atomic rename — the old log must survive.
+    PreRename(u32),
+}
+
+impl CrashPoint {
+    /// Parses the `FF_CRASH_AT` syntax: `trial:N`, `record:N`,
+    /// `mid-record:N`, or `pre-rename:N`.
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        let (kind, n) = s.split_once(':')?;
+        let n: u32 = n.trim().parse().ok()?;
+        match kind.trim() {
+            "trial" => Some(CrashPoint::AfterTrial(n)),
+            "record" => Some(CrashPoint::AfterRecord(n)),
+            "mid-record" => Some(CrashPoint::MidRecord(n)),
+            "pre-rename" => Some(CrashPoint::PreRename(n)),
+            _ => None,
+        }
+    }
+
+    /// Reads the standard `FF_CRASH_AT` environment variable.
+    pub fn from_env() -> Option<CrashPoint> {
+        std::env::var("FF_CRASH_AT")
+            .ok()
+            .and_then(|v| CrashPoint::parse(&v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Append-only checkpoint log writer. Every [`append`](Self::append) is
+/// framed (`u32` length, `u32` CRC-32, payload) and fsynced before it
+/// returns, so a completed call means the record survives a crash.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    records: u64,
+    fsync: bool,
+    crash: Option<CrashPoint>,
+    appends_seen: u32,
+}
+
+impl Wal {
+    /// Creates (or truncates) the log at `path` and writes the header.
+    pub fn create(path: &Path) -> Result<Wal> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, "create", e))?;
+        file.write_all(&MAGIC)
+            .map_err(|e| io_err(path, "write header of", e))?;
+        file.sync_all().map_err(|e| io_err(path, "sync", e))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            bytes: MAGIC.len() as u64,
+            records: 0,
+            fsync: true,
+            crash: None,
+            appends_seen: 0,
+        })
+    }
+
+    /// Opens the log for appending after recovery: the file is truncated
+    /// to `valid_len` (the clean-prefix length reported by [`read_wal`]),
+    /// discarding any torn tail, and `records` restores the append
+    /// counter.
+    pub fn open_append(path: &Path, valid_len: u64, records: u64) -> Result<Wal> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, "open", e))?;
+        file.set_len(valid_len)
+            .map_err(|e| io_err(path, "truncate", e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err(path, "seek", e))?;
+        file.sync_all().map_err(|e| io_err(path, "sync", e))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            bytes: valid_len,
+            records,
+            fsync: true,
+            crash: None,
+            appends_seen: 0,
+        })
+    }
+
+    /// Disables the per-append fsync (for overhead benchmarking only —
+    /// durability then depends on the OS page cache).
+    pub fn set_fsync(&mut self, fsync: bool) {
+        self.fsync = fsync;
+    }
+
+    /// Arms a crash point. The next append (or rewrite via
+    /// [`Wal::rewrite`]) matching the point returns
+    /// [`CkptError::Crash`] after leaving the exact on-disk state a real
+    /// crash at that instant would leave.
+    pub fn arm_crash(&mut self, crash: Option<CrashPoint>) {
+        self.crash = crash;
+    }
+
+    /// The armed crash point, if any.
+    pub fn crash_point(&self) -> Option<CrashPoint> {
+        self.crash
+    }
+
+    /// Appends one record durably. On success the record is framed,
+    /// written, and fsynced. An armed [`CrashPoint::MidRecord`] writes a
+    /// torn frame instead and reports the injected crash; an armed
+    /// [`CrashPoint::AfterRecord`] completes the append durably first.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+            return Err(CkptError::Corrupt(format!(
+                "record of {} bytes exceeds MAX_RECORD_LEN",
+                payload.len()
+            )));
+        }
+        self.appends_seen += 1;
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        if let Some(CrashPoint::MidRecord(n)) = self.crash {
+            if n == self.appends_seen {
+                // A power cut mid-write: half the frame reaches the disk.
+                let torn = &frame[..frame.len() / 2];
+                self.file
+                    .write_all(torn)
+                    .and_then(|_| self.file.sync_all())
+                    .map_err(|e| io_err(&self.path, "append (torn)", e))?;
+                return Err(CkptError::Crash(CrashPoint::MidRecord(n)));
+            }
+        }
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.path, "append to", e))?;
+        if self.fsync {
+            self.file
+                .sync_all()
+                .map_err(|e| io_err(&self.path, "sync", e))?;
+        }
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        if let Some(CrashPoint::AfterRecord(n)) = self.crash {
+            if n == self.appends_seen {
+                return Err(CkptError::Crash(CrashPoint::AfterRecord(n)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes in the log (header + all durable frames).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records durably appended over the log's lifetime.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Atomically replaces the log's contents with `records` (compaction)
+    /// and returns a fresh writer positioned after them. `crash_now`
+    /// injects [`CrashPoint::PreRename`]: the temporary file is written
+    /// and synced, but the rename never happens — the original log is
+    /// untouched, which is exactly the atomicity recovery relies on.
+    pub fn rewrite(self, records: &[Vec<u8>], crash_now: bool) -> Result<Wal> {
+        let path = self.path.clone();
+        let fsync = self.fsync;
+        let crash = self.crash;
+        drop(self);
+        rewrite_inner(&path, records, crash_now)?;
+        let read = read_wal(&path)?;
+        let mut wal = Wal::open_append(&path, read.valid_len, read.records.len() as u64)?;
+        wal.set_fsync(fsync);
+        wal.arm_crash(crash);
+        Ok(wal)
+    }
+}
+
+/// Atomically rewrites the log at `path` to contain exactly `records`.
+/// Write-temp + fsync + rename: a crash anywhere leaves either the old
+/// log or the complete new one.
+pub fn rewrite(path: &Path, records: &[Vec<u8>]) -> Result<()> {
+    rewrite_inner(path, records, false)
+}
+
+fn rewrite_inner(path: &Path, records: &[Vec<u8>], crash_before_rename: bool) -> Result<()> {
+    let tmp = path.with_extension("wal.tmp");
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| io_err(&tmp, "create", e))?;
+        file.write_all(&MAGIC)
+            .map_err(|e| io_err(&tmp, "write header of", e))?;
+        for payload in records {
+            if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+                return Err(CkptError::Corrupt(format!(
+                    "record of {} bytes exceeds MAX_RECORD_LEN",
+                    payload.len()
+                )));
+            }
+            file.write_all(&(payload.len() as u32).to_le_bytes())
+                .and_then(|_| file.write_all(&crc32(payload).to_le_bytes()))
+                .and_then(|_| file.write_all(payload))
+                .map_err(|e| io_err(&tmp, "write to", e))?;
+        }
+        file.sync_all().map_err(|e| io_err(&tmp, "sync", e))?;
+    }
+    if crash_before_rename {
+        return Err(CkptError::Crash(CrashPoint::PreRename(0)));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, "rename over", e))?;
+    // Persist the directory entry too, where the platform allows opening
+    // a directory read-only (Linux does).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// What recovery found in a log.
+#[derive(Debug, Clone)]
+pub struct WalRead {
+    /// Every record in the clean prefix, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the clean prefix (pass to [`Wal::open_append`]).
+    pub valid_len: u64,
+    /// Bytes after the clean prefix that were discarded as a torn or
+    /// corrupt tail (`0` for a cleanly closed log).
+    pub dropped_bytes: u64,
+}
+
+impl WalRead {
+    /// Whether recovery had to discard a damaged tail.
+    pub fn is_torn(&self) -> bool {
+        self.dropped_bytes > 0
+    }
+}
+
+/// Reads a checkpoint log, tolerating a torn or corrupted tail: scanning
+/// stops at the first frame whose length is implausible, whose bytes run
+/// past the file, or whose CRC does not match, and everything before it
+/// is returned. Never panics; a bad magic header is [`CkptError::Corrupt`]
+/// (there is no prefix worth trusting in a file that was never a log).
+pub fn read_wal(path: &Path) -> Result<WalRead> {
+    let mut file = File::open(path).map_err(|e| io_err(path, "open", e))?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)
+        .map_err(|e| io_err(path, "read", e))?;
+    if buf.len() < MAGIC.len() || buf[..MAGIC.len()] != MAGIC {
+        return Err(CkptError::Corrupt(format!(
+            "{}: missing FFCKPT01 header",
+            path.display()
+        )));
+    }
+    let mut records = Vec::new();
+    let mut pos = MAGIC.len();
+    // Stops at the first bad length, overrun, or CRC mismatch: everything
+    // past that point is tail damage, not data.
+    while let Some(header) = buf.get(pos..pos + FRAME_HEADER as usize) {
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            break; // implausible length: treat as tail damage
+        }
+        let start = pos + FRAME_HEADER as usize;
+        let Some(payload) = buf.get(start..start + len as usize) else {
+            break; // frame runs past the file: torn tail
+        };
+        if crc32(payload) != crc {
+            break; // bit rot or torn payload
+        }
+        records.push(payload.to_vec());
+        pos = start + len as usize;
+    }
+    Ok(WalRead {
+        records,
+        valid_len: pos as u64,
+        dropped_bytes: (buf.len() - pos) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ff-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let path = tmp("roundtrip.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        for i in 0..10u8 {
+            wal.append(&[i; 33]).unwrap();
+        }
+        assert_eq!(wal.records(), 10);
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records.len(), 10);
+        assert_eq!(read.records[7], vec![7u8; 33]);
+        assert!(!read.is_torn());
+        assert_eq!(read.valid_len, wal.bytes());
+    }
+
+    #[test]
+    fn empty_records_and_empty_log_are_fine() {
+        let path = tmp("empty.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(&[]).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![Vec::<u8>::new()]);
+        let path2 = tmp("empty2.wal");
+        Wal::create(&path2).unwrap();
+        assert!(read_wal(&path2).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn open_append_continues_the_log() {
+        let path = tmp("reopen.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"one").unwrap();
+        drop(wal);
+        let read = read_wal(&path).unwrap();
+        let mut wal = Wal::open_append(&path, read.valid_len, read.records.len() as u64).unwrap();
+        wal.append(b"two").unwrap();
+        assert_eq!(wal.records(), 2);
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn mid_record_crash_leaves_recoverable_torn_tail() {
+        let path = tmp("torn.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.arm_crash(Some(CrashPoint::MidRecord(3)));
+        wal.append(b"alpha").unwrap();
+        wal.append(b"beta").unwrap();
+        let err = wal.append(b"gamma-long-payload").unwrap_err();
+        assert!(matches!(err, CkptError::Crash(CrashPoint::MidRecord(3))));
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert!(read.is_torn());
+        // Recovery + append over the torn tail works.
+        let mut wal = Wal::open_append(&path, read.valid_len, read.records.len() as u64).unwrap();
+        wal.append(b"gamma-long-payload").unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records.len(), 3);
+        assert!(!read.is_torn());
+    }
+
+    #[test]
+    fn after_record_crash_is_durable_first() {
+        let path = tmp("after.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.arm_crash(Some(CrashPoint::AfterRecord(2)));
+        wal.append(b"a").unwrap();
+        let err = wal.append(b"b").unwrap_err();
+        assert!(matches!(err, CkptError::Crash(CrashPoint::AfterRecord(2))));
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records.len(), 2, "the crashing append was durable");
+        assert!(!read.is_torn());
+    }
+
+    #[test]
+    fn rewrite_compacts_atomically() {
+        let path = tmp("rewrite.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i]).unwrap();
+        }
+        let kept: Vec<Vec<u8>> = vec![vec![3], vec![4]];
+        let mut wal = wal.rewrite(&kept, false).unwrap();
+        wal.append(&[5]).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![vec![3u8], vec![4], vec![5]]);
+    }
+
+    #[test]
+    fn pre_rename_crash_preserves_the_old_log() {
+        let path = tmp("prerename.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"keep-me").unwrap();
+        let err = wal.rewrite(&[b"replacement".to_vec()], true).unwrap_err();
+        assert!(matches!(err, CkptError::Crash(CrashPoint::PreRename(_))));
+        let read = read_wal(&path).unwrap();
+        assert_eq!(
+            read.records,
+            vec![b"keep-me".to_vec()],
+            "old log must survive"
+        );
+    }
+
+    #[test]
+    fn oversized_record_rejected_on_both_ends() {
+        let path = tmp("oversize.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"fine").unwrap();
+        // Forge a frame claiming a huge length: the reader must stop at
+        // it without allocating the claimed size.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        raw.extend_from_slice(&[0u8; 40]);
+        std::fs::write(&path, &raw).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records.len(), 1);
+        assert!(read.is_torn());
+    }
+
+    #[test]
+    fn missing_magic_is_corrupt_not_panic() {
+        let path = tmp("nomagic.wal");
+        std::fs::write(&path, b"whatever this is").unwrap();
+        assert!(matches!(read_wal(&path), Err(CkptError::Corrupt(_))));
+        std::fs::write(&path, b"abc").unwrap();
+        assert!(matches!(read_wal(&path), Err(CkptError::Corrupt(_))));
+    }
+
+    #[test]
+    fn crash_point_parsing() {
+        assert_eq!(
+            CrashPoint::parse("trial:3"),
+            Some(CrashPoint::AfterTrial(3))
+        );
+        assert_eq!(
+            CrashPoint::parse("record:12"),
+            Some(CrashPoint::AfterRecord(12))
+        );
+        assert_eq!(
+            CrashPoint::parse("mid-record:1"),
+            Some(CrashPoint::MidRecord(1))
+        );
+        assert_eq!(
+            CrashPoint::parse("pre-rename:2"),
+            Some(CrashPoint::PreRename(2))
+        );
+        assert_eq!(CrashPoint::parse("nonsense"), None);
+        assert_eq!(CrashPoint::parse("trial:x"), None);
+    }
+}

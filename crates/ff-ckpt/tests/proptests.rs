@@ -1,0 +1,97 @@
+//! Property tests for recovery: arbitrary byte soup and arbitrarily
+//! damaged valid logs must never panic the reader, and the clean prefix
+//! must always decode to exactly the records that were durably appended
+//! before the damage.
+
+use ff_ckpt::{corrupt, crc32, read_wal, Wal, MAGIC};
+use proptest::prelude::*;
+
+fn tmp(tag: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ff-ckpt-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{case}.wal"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes after a valid magic: the reader returns some clean
+    /// prefix without panicking, and every returned record's CRC holds.
+    #[test]
+    fn arbitrary_tail_never_panics(case in 0u64..1_000_000, tail in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let path = tmp("soup", case);
+        let mut raw = MAGIC.to_vec();
+        raw.extend_from_slice(&tail);
+        std::fs::write(&path, &raw).unwrap();
+        let read = read_wal(&path).unwrap();
+        prop_assert!(read.valid_len as usize <= raw.len());
+        prop_assert_eq!(read.valid_len + read.dropped_bytes, raw.len() as u64);
+    }
+
+    /// Truncating a valid log at any byte recovers a prefix of the
+    /// appended records, in order, unmodified.
+    #[test]
+    fn truncation_recovers_a_record_prefix(
+        case in 0u64..1_000_000,
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 1..12),
+        cut in 0u64..64,
+    ) {
+        let path = tmp("trunc", case);
+        let mut wal = Wal::create(&path).unwrap();
+        for p in &payloads {
+            wal.append(p).unwrap();
+        }
+        // Keep the magic header intact — losing it is a hard Corrupt error
+        // covered by a dedicated unit test, not a torn tail.
+        let len = std::fs::metadata(&path).unwrap().len();
+        corrupt::truncate_tail(&path, cut.min(len - MAGIC.len() as u64)).unwrap();
+        let read = read_wal(&path).unwrap();
+        prop_assert!(read.records.len() <= payloads.len());
+        for (got, want) in read.records.iter().zip(&payloads) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Flipping any single bit anywhere past the header loses records at
+    /// or after the flip, never before it, and never corrupts a record
+    /// silently (the CRC catches payload flips; length-field flips tear
+    /// the frame chain).
+    #[test]
+    fn single_bit_flip_never_corrupts_the_prefix(
+        case in 0u64..1_000_000,
+        payloads in proptest::collection::vec(proptest::collection::vec(1u8..255, 4..32), 2..8),
+        offset_pick in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let path = tmp("flip", case);
+        let mut wal = Wal::create(&path).unwrap();
+        for p in &payloads {
+            wal.append(p).unwrap();
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        let body = len - MAGIC.len() as u64;
+        let offset = MAGIC.len() as u64 + offset_pick % body;
+        corrupt::flip_bit(&path, offset, bit).unwrap();
+        let read = read_wal(&path).unwrap();
+        // Whatever survives must be an exact prefix of what was written —
+        // a flipped bit may cost records, never alter one undetected.
+        // (A flip in a length field can even make later frame boundaries
+        // re-align by luck; the CRC still rejects misframed payloads.)
+        for (got, want) in read.records.iter().zip(&payloads) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(read.records.len() < payloads.len() || read.records.len() == payloads.len());
+    }
+
+    /// crc32 is stable and sensitive: equal input, equal output; one
+    /// flipped bit, different output.
+    #[test]
+    fn crc32_detects_single_bit_errors(data in proptest::collection::vec(any::<u8>(), 1..256), idx in any::<usize>(), bit in 0u8..8) {
+        let base = crc32(&data);
+        prop_assert_eq!(base, crc32(&data));
+        let mut mutated = data.clone();
+        let i = idx % mutated.len();
+        mutated[i] ^= 1 << bit;
+        prop_assert_ne!(base, crc32(&mutated));
+    }
+}

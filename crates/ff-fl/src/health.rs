@@ -304,6 +304,62 @@ impl HealthRegistry {
         self.records.get(id).map(|r| r.state)
     }
 
+    /// Exports the full registry state — round counter plus every
+    /// per-client record — for durable checkpointing. The quarantine and
+    /// probe indexes are *not* exported: they are derived data, rebuilt
+    /// from the records on [`restore_state`](Self::restore_state).
+    pub fn export_state(&self) -> HealthState {
+        HealthState {
+            round: self.round,
+            clients: self
+                .records
+                .iter()
+                .map(|r| ClientHealthState {
+                    state: r.state,
+                    consecutive_failures: r.consecutive_failures,
+                    successes: r.successes,
+                    failures: r.failures,
+                    byzantine: r.byzantine,
+                    consecutive_rejections: r.consecutive_rejections,
+                    probe_level: r.probe_level,
+                    next_probe_round: r.next_probe_round,
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrites this registry with a previously exported state,
+    /// rebuilding the quarantine and probe indexes. Errors if the client
+    /// count differs — a checkpoint from one federation must not be
+    /// grafted onto another.
+    pub fn restore_state(&mut self, state: &HealthState) -> Result<(), String> {
+        if state.clients.len() != self.records.len() {
+            return Err(format!(
+                "health state has {} clients, registry has {}",
+                state.clients.len(),
+                self.records.len()
+            ));
+        }
+        self.round = state.round;
+        self.quarantined.clear();
+        self.probe_index.clear();
+        for (id, (rec, saved)) in self.records.iter_mut().zip(&state.clients).enumerate() {
+            rec.state = saved.state;
+            rec.consecutive_failures = saved.consecutive_failures;
+            rec.successes = saved.successes;
+            rec.failures = saved.failures;
+            rec.byzantine = saved.byzantine;
+            rec.consecutive_rejections = saved.consecutive_rejections;
+            rec.probe_level = saved.probe_level;
+            rec.next_probe_round = saved.next_probe_round;
+            if rec.state == ClientState::Quarantined {
+                self.quarantined.insert(id);
+                self.probe_index.insert((rec.next_probe_round, id));
+            }
+        }
+        Ok(())
+    }
+
     /// A snapshot of every client's health counters.
     pub fn report(&self) -> HealthReport {
         HealthReport {
@@ -323,6 +379,41 @@ impl HealthRegistry {
                 .collect(),
         }
     }
+}
+
+/// One client's complete durable state, as exported by
+/// [`HealthRegistry::export_state`]. Unlike [`ClientHealthSnapshot`]
+/// (a reporting view), this carries everything the state machine needs
+/// to resume: both failure streaks and the probe backoff schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHealthState {
+    /// Current state.
+    pub state: ClientState,
+    /// Consecutive transport-failure streak.
+    pub consecutive_failures: u32,
+    /// Total transport-level successes.
+    pub successes: u64,
+    /// Total transport-level failures.
+    pub failures: u64,
+    /// Total integrity failures (guard-rejected updates).
+    pub byzantine: u64,
+    /// Consecutive integrity-rejection streak.
+    pub consecutive_rejections: u32,
+    /// Probe backoff level (exponent).
+    pub probe_level: u32,
+    /// Round at which the next re-admission probe is due.
+    pub next_probe_round: u64,
+}
+
+/// Durable snapshot of a whole [`HealthRegistry`], suitable for
+/// checkpointing and exact resume via
+/// [`restore_state`](HealthRegistry::restore_state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthState {
+    /// Round counter at export time.
+    pub round: u64,
+    /// Per-client durable state, indexed by client id.
+    pub clients: Vec<ClientHealthState>,
 }
 
 /// One client's health counters at report time.
@@ -646,6 +737,126 @@ mod tests {
             }
         }
         assert!(due_again, "backoff starved the failed probe");
+    }
+
+    /// Drives a registry through a scripted future and returns the full
+    /// observable trace: per-round admitted sets plus the final report.
+    fn drive(reg: &mut HealthRegistry, rounds: u64) -> Vec<Vec<usize>> {
+        let mut trace = Vec::new();
+        for step in 0..rounds {
+            let round = reg.begin_round();
+            let admitted = reg.admitted(round);
+            for &id in &admitted {
+                match (id as u64 + step) % 5 {
+                    0 => {
+                        let _ = reg.record_failure(id);
+                    }
+                    1 => {
+                        reg.record_success(id);
+                        let _ = reg.record_rejection(id);
+                    }
+                    2 => {
+                        reg.record_success(id);
+                        reg.record_accepted(id);
+                    }
+                    _ => reg.record_success(id),
+                }
+            }
+            trace.push(admitted);
+        }
+        trace
+    }
+
+    #[test]
+    fn export_restore_round_trips_exactly() {
+        let mut reg = registry(5);
+        let _ = drive(&mut reg, 13);
+        let state = reg.export_state();
+        let mut restored = registry(5);
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.export_state(), state);
+        // Indexes were rebuilt, not copied: O(1) queries agree.
+        assert_eq!(restored.quarantined_count(), reg.quarantined_count());
+        let round = reg.round();
+        for id in 0..5 {
+            assert_eq!(restored.state(id), reg.state(id));
+            assert_eq!(restored.is_admitted(id, round), reg.is_admitted(id, round));
+        }
+        assert_eq!(restored.probes_due(round + 4), reg.probes_due(round + 4));
+    }
+
+    #[test]
+    fn restored_registry_drives_future_rounds_identically() {
+        // Quarantine sets, integrity streaks, and probe backoff schedules
+        // must all survive the round trip: the restored registry and the
+        // original must admit the same clients in every future round.
+        let mut reg = registry(6);
+        let _ = drive(&mut reg, 17);
+        let state = reg.export_state();
+        let mut restored = registry(6);
+        restored.restore_state(&state).unwrap();
+        let future_a = drive(&mut reg, 25);
+        let future_b = drive(&mut restored, 25);
+        assert_eq!(future_a, future_b, "futures diverged after restore");
+        assert_eq!(reg.export_state(), restored.export_state());
+    }
+
+    #[test]
+    fn restore_preserves_integrity_streaks() {
+        // A client one rejection away from quarantine must still be one
+        // rejection away after restore — punctual replies in between must
+        // not launder the streak (same rule as the live registry).
+        let mut reg = registry(1);
+        let _ = reg.begin_round();
+        reg.record_success(0);
+        let _ = reg.record_rejection(0);
+        assert_eq!(reg.state(0), Some(ClientState::Suspect));
+        let mut restored = registry(1);
+        restored.restore_state(&reg.export_state()).unwrap();
+        let _ = restored.begin_round();
+        restored.record_success(0);
+        assert_eq!(restored.state(0), Some(ClientState::Suspect));
+        let _ = restored.record_rejection(0);
+        assert_eq!(restored.state(0), Some(ClientState::Quarantined));
+    }
+
+    #[test]
+    fn restore_preserves_probe_backoff_schedule() {
+        let policy = HealthPolicy {
+            quarantine_after: 1,
+            probe_base: 2,
+            probe_max: 8,
+        };
+        let mut reg = HealthRegistry::new(1, policy.clone());
+        // Fail several probes to deepen the backoff.
+        for _ in 0..20 {
+            let round = reg.begin_round();
+            if reg.admitted(round).contains(&0) {
+                let _ = reg.record_failure(0);
+            }
+        }
+        let mut restored = HealthRegistry::new(1, policy);
+        restored.restore_state(&reg.export_state()).unwrap();
+        for _ in 0..20 {
+            let ra = reg.begin_round();
+            let rb = restored.begin_round();
+            assert_eq!(ra, rb);
+            assert_eq!(reg.admitted(ra), restored.admitted(rb));
+            assert_eq!(reg.probes_due(ra), restored.probes_due(rb));
+            if reg.admitted(ra).contains(&0) {
+                let _ = reg.record_failure(0);
+                let _ = restored.record_failure(0);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_client_count_mismatch() {
+        let reg = registry(3);
+        let state = reg.export_state();
+        let mut other = registry(4);
+        let err = other.restore_state(&state).unwrap_err();
+        assert!(err.contains("3 clients"), "unhelpful error: {err}");
     }
 
     #[test]

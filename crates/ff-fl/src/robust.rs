@@ -817,6 +817,28 @@ impl UpdateGuard {
     pub fn policy(&self) -> &GuardPolicy {
         &self.policy
     }
+
+    /// Exports the remembered per-round medians,
+    /// `(norm_medians, loss_medians)` oldest-first, for durable
+    /// checkpointing.
+    pub fn history(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            self.norm_medians.iter().copied().collect(),
+            self.loss_medians.iter().copied().collect(),
+        )
+    }
+
+    /// Overwrites the median history with previously exported values
+    /// (oldest-first), truncating each to the policy's bounded window so
+    /// a restored guard screens future rounds exactly like the original.
+    pub fn restore_history(&mut self, norms: &[f64], losses: &[f64]) {
+        let window = |vals: &[f64]| -> VecDeque<f64> {
+            let skip = vals.len().saturating_sub(self.policy.history);
+            vals[skip..].iter().copied().collect()
+        };
+        self.norm_medians = window(norms);
+        self.loss_medians = window(losses);
+    }
 }
 
 #[cfg(test)]
@@ -1095,6 +1117,46 @@ mod tests {
         assert!(matches!(reasons[0], RejectReason::NonFinite));
         assert!(matches!(reasons[1], RejectReason::NegativeLoss { .. }));
         assert!(matches!(reasons[2], RejectReason::LossOutlier { .. }));
+    }
+
+    #[test]
+    fn guard_history_round_trips_and_screens_identically() {
+        let mut guard = UpdateGuard::new(GuardPolicy::default());
+        for round in 1..6 {
+            let scale = round as f64;
+            let _ = guard.screen_updates(vec![
+                (0, vec![scale, 0.0], 10),
+                (1, vec![0.0, scale * 1.1], 10),
+            ]);
+            let _ = guard.screen_losses(vec![(0, scale, 10), (1, scale * 0.9, 10)]);
+        }
+        let (norms, losses) = guard.history();
+        assert_eq!(norms.len(), 5);
+        let mut restored = UpdateGuard::new(GuardPolicy::default());
+        restored.restore_history(&norms, &losses);
+        assert_eq!(restored.history(), guard.history());
+        assert_eq!(restored.frozen_norm_median(), guard.frozen_norm_median());
+        assert_eq!(restored.frozen_loss_median(), guard.frozen_loss_median());
+        // Same future round, same verdicts — including the outlier.
+        let round = vec![(0, vec![3.0, 0.0], 10), (1, vec![1e9, 0.0], 10)];
+        let a = guard.screen_updates(round.clone());
+        let b = restored.screen_updates(round);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected.len(), b.rejected.len());
+        assert_eq!(a.rejected[0].0, b.rejected[0].0);
+    }
+
+    #[test]
+    fn guard_restore_truncates_to_the_policy_window() {
+        let mut guard = UpdateGuard::new(GuardPolicy {
+            history: 3,
+            ..GuardPolicy::default()
+        });
+        let long: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        guard.restore_history(&long, &long);
+        let (norms, losses) = guard.history();
+        assert_eq!(norms, vec![8.0, 9.0, 10.0], "oldest entries must drop");
+        assert_eq!(losses, vec![8.0, 9.0, 10.0]);
     }
 
     #[test]

@@ -233,6 +233,21 @@ impl FederatedRuntime {
         self.health.lock().state(id)
     }
 
+    /// Exports the full health-registry state for durable checkpointing.
+    pub fn export_health(&self) -> crate::health::HealthState {
+        self.health.lock().export_state()
+    }
+
+    /// Restores a previously exported health-registry state (round
+    /// counter, per-client streaks, quarantine and probe schedules).
+    /// Errors if the client count differs from this runtime's.
+    pub fn restore_health(&self, state: &crate::health::HealthState) -> Result<()> {
+        self.health
+            .lock()
+            .restore_state(state)
+            .map_err(FlError::Client)
+    }
+
     /// Bounds how long [`shutdown`](Self::shutdown) (and therefore `Drop`)
     /// waits for acks before detaching hung client threads. Default: 5 s.
     pub fn set_shutdown_timeout(&mut self, timeout: Duration) {

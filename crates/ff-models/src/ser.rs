@@ -54,6 +54,11 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian f64.
     pub fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -112,6 +117,14 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes(raw.try_into().unwrap()))
     }
 
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, SerError> {
+        let end = self.pos.checked_add(8).ok_or(SerError::Truncated)?;
+        let raw = self.buf.get(self.pos..end).ok_or(SerError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw.try_into().unwrap()))
+    }
+
     /// Reads a little-endian f64.
     pub fn f64(&mut self) -> Result<f64, SerError> {
         let end = self.pos + 8;
@@ -121,11 +134,17 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a length-prefixed f64 vector (lengths over `max_len` are
-    /// rejected to bound allocations on corrupt input).
+    /// rejected to bound allocations on corrupt input, and a declared
+    /// length that exceeds the remaining input is truncation — checked
+    /// *before* any allocation, so a hostile length prefix cannot force
+    /// a huge up-front reservation).
     pub fn f64s(&mut self, max_len: usize) -> Result<Vec<f64>, SerError> {
         let n = self.u32()? as usize;
         if n > max_len {
             return Err(SerError::BadLength(n as u64));
+        }
+        if n.saturating_mul(8) > self.buf.len() - self.pos {
+            return Err(SerError::Truncated);
         }
         (0..n).map(|_| self.f64()).collect()
     }
@@ -205,5 +224,33 @@ mod tests {
         let bytes = w.finish();
         let mut r = Reader::new(&bytes);
         assert!(matches!(r.f64s(100), Err(SerError::BadLength(_))));
+    }
+
+    #[test]
+    fn u64_roundtrips() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX - 7);
+        w.u64(0);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.u64().unwrap(), 0);
+        assert!(r.is_exhausted());
+        assert_eq!(
+            Reader::new(&bytes[..7]).u64().unwrap_err(),
+            SerError::Truncated
+        );
+    }
+
+    #[test]
+    fn declared_length_beyond_input_is_truncation_not_allocation() {
+        // A length prefix claiming ~32 GiB of f64s over a 12-byte buffer
+        // must fail fast, not pre-reserve the declared capacity.
+        let mut w = Writer::new();
+        w.u32(u32::MAX / 2);
+        w.f64(1.0);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.f64s(usize::MAX).unwrap_err(), SerError::Truncated);
     }
 }

@@ -1,0 +1,129 @@
+//! Hostile-bytes hardening for the member-blob codecs: truncated and
+//! bit-flipped v2/v3 blobs fed through `ser::Reader`,
+//! [`decode_member_blob`], and [`PipelineModel::from_blob`] must return
+//! `Err` (or, for single flipped bits that land in a value field, a
+//! structurally valid member) — never panic, and never allocate from an
+//! unchecked length prefix. A resumed run decodes blobs it found on disk;
+//! disk contents after a crash are adversarial input.
+
+use ff_linalg::Matrix;
+use ff_models::data::{Standardizer, TargetScaler};
+use ff_models::pipeline::{decode_member_blob, encode_external_blob, PipelineId, PipelineModel};
+use ff_models::zoo::{build_regressor, AlgorithmKind, HyperParams};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A genuine v3 pipeline blob (built once — fitting inside every proptest
+/// case would dominate the runtime).
+fn v3_blob() -> &'static [u8] {
+    static BLOB: OnceLock<Vec<u8>> = OnceLock::new();
+    BLOB.get_or_init(|| {
+        let v: Vec<f64> = (0..150)
+            .map(|t| 10.0 + 0.08 * t as f64 + (std::f64::consts::TAU * t as f64 / 12.0).sin())
+            .collect();
+        PipelineModel::fit(
+            PipelineId::LAGGED,
+            AlgorithmKind::LASSO,
+            &HyperParams::default(),
+            &v,
+            120,
+        )
+        .unwrap()
+        .to_blob()
+        .unwrap()
+    })
+}
+
+/// A genuine v2 (flat ensemble-member) blob with a real model codec
+/// section.
+fn v2_blob() -> &'static [u8] {
+    static BLOB: OnceLock<Vec<u8>> = OnceLock::new();
+    BLOB.get_or_init(|| {
+        let x = Matrix::from_fn(60, 3, |i, j| ((i * (j + 2)) % 11) as f64 * 0.3);
+        let y: Vec<f64> = (0..60)
+            .map(|i| x.get(i, 0) * 1.5 - x.get(i, 1) + 2.0)
+            .collect();
+        let scaler = Standardizer::fit(&x);
+        let yscaler = TargetScaler::fit(&y);
+        let xs = scaler.transform(&x);
+        let ys: Vec<f64> = y.iter().map(|&v| yscaler.scale(v)).collect();
+        let mut model = build_regressor(AlgorithmKind::XGB_REGRESSOR, &HyperParams::default());
+        model.fit(&xs, &ys).unwrap();
+        encode_external_blob(
+            AlgorithmKind::XGB_REGRESSOR,
+            &scaler,
+            &yscaler,
+            &model.to_blob().unwrap(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_v3_blob_is_an_error(frac in 0.0f64..1.0) {
+        let blob = v3_blob();
+        // Every strict prefix must be rejected: the codec is sequential
+        // with no padding, so a cut always lands inside some field.
+        let cut = ((blob.len() as f64 * frac) as usize).min(blob.len() - 1);
+        prop_assert!(PipelineModel::from_blob(&blob[..cut]).is_err());
+        prop_assert!(decode_member_blob(&blob[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncated_v2_blob_is_an_error(frac in 0.0f64..1.0) {
+        let blob = v2_blob();
+        let cut = ((blob.len() as f64 * frac) as usize).min(blob.len() - 1);
+        prop_assert!(decode_member_blob(&blob[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_v3_blob_never_panics(byte in 0usize..10_000, bit in 0u8..8) {
+        let mut blob = v3_blob().to_vec();
+        let byte = byte % blob.len();
+        blob[byte] ^= 1 << bit;
+        // A flip in a value field may still decode to a valid (different)
+        // model; a flip in a length, tag, or name must error. Either way:
+        // no panic, no unbounded allocation.
+        let _ = PipelineModel::from_blob(&blob);
+        let _ = decode_member_blob(&blob);
+    }
+
+    #[test]
+    fn bit_flipped_v2_blob_never_panics(byte in 0usize..10_000, bit in 0u8..8) {
+        let mut blob = v2_blob().to_vec();
+        let byte = byte % blob.len();
+        blob[byte] ^= 1 << bit;
+        let _ = decode_member_blob(&blob);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(mut bytes in prop::collection::vec(any::<u8>(), 0..512), version in 2u8..=3) {
+        // Fully random payloads, plus the same bytes forced onto the two
+        // real version tags so the deeper decode paths are exercised.
+        let _ = decode_member_blob(&bytes);
+        if !bytes.is_empty() {
+            bytes[0] = version;
+            let _ = decode_member_blob(&bytes);
+            let _ = PipelineModel::from_blob(&bytes);
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_do_not_allocate_the_claimed_size(claim in 1u32..u32::MAX) {
+        // A blob whose f64s length field claims up to 4 billion entries
+        // must be rejected by the remaining-input clamp before any
+        // allocation. Layout: version 3, real pipeline and algorithm
+        // names, then the poisoned node-values length over a short tail.
+        let mut w = ff_models::ser::Writer::new();
+        w.u8(3);
+        w.str(PipelineId::LAGGED.name());
+        w.str(AlgorithmKind::LASSO.name());
+        w.u32(claim);
+        let mut bytes = w.finish();
+        bytes.extend_from_slice(&[0u8; 64]);
+        prop_assert!(PipelineModel::from_blob(&bytes).is_err());
+        prop_assert!(decode_member_blob(&bytes).is_err());
+    }
+}
