@@ -40,7 +40,7 @@ pub struct FedForecasterClient {
     raw_train: TimeSeries,
     exogenous: Option<ExogenousData>,
     engineered: Option<EngineeredData>,
-    final_model: Option<(AlgorithmKind, Box<dyn Regressor + Send>)>,
+    final_model: Option<(AlgorithmKind, Box<dyn Regressor + Send + Sync>)>,
     /// Local feature/target scalers fitted at final_fit time. Linear model
     /// parameters are exchanged in this *standardized* space: each client
     /// re-centers its own (non-IID) level locally — the same local-

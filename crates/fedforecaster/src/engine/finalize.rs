@@ -28,6 +28,24 @@ use ff_fl::secure::{mask_contribution, unmask_average};
 use ff_fl::strategy::{fedavg, fit_updates, unwrap_fit_replies};
 use ff_models::spec::FinalizeStrategy;
 
+/// What Phase IV produced: the deployed global model, its aggregated
+/// test MSE, and — for `EnsembleUnion` winners — the exact weighted
+/// member set that was deployed, so the run can be sealed into a serving
+/// artifact ([`crate::engine::RunResult::export_artifact`]) without
+/// re-asking the clients for their models.
+#[derive(Debug, Clone)]
+pub struct FinalizeOutcome {
+    /// The deployed global model.
+    pub global_model: GlobalModel,
+    /// Aggregated test MSE of the deployed model.
+    pub test_mse: f64,
+    /// `(blob, weight)` pairs collected from the final-fit survivors, in
+    /// reply order — the serving-layer member set. Empty for
+    /// `CoefficientAverage` winners (the global model is the coefficients
+    /// themselves) and for rounds where no survivor shipped a blob.
+    pub members: Vec<(Vec<u8>, f64)>,
+}
+
 /// Phase IV with the default
 /// [`crate::config::TreeAggregation::EnsembleUnion`] mode. Returns the
 /// deployed global model and the aggregated test MSE.
@@ -57,6 +75,7 @@ pub fn finalize_with(
         &mut RobustCtx::permissive(),
         None,
     )
+    .map(|o| (o.global_model, o.test_mse))
 }
 
 /// Fault-tolerant finalization: the final fit, aggregation, and test
@@ -81,7 +100,7 @@ pub fn finalize_with_tolerant(
     rounds: &mut Vec<RoundReport>,
     ctx: &mut RobustCtx,
     ckpt: Option<&mut CkptSink>,
-) -> Result<(GlobalModel, f64)> {
+) -> Result<FinalizeOutcome> {
     par.scope(|| {
         finalize_with_tolerant_inner(rt, best_config, tree_aggregation, policy, rounds, ctx, ckpt)
     })
@@ -96,7 +115,7 @@ fn finalize_with_tolerant_inner(
     rounds: &mut Vec<RoundReport>,
     ctx: &mut RobustCtx,
     ckpt: Option<&mut CkptSink>,
-) -> Result<(GlobalModel, f64)> {
+) -> Result<FinalizeOutcome> {
     let algorithm = algorithm_of(best_config)
         .ok_or_else(|| EngineError::InvalidData("config has no algorithm".into()))?;
     let ins = Instruction::Fit {
@@ -197,14 +216,15 @@ fn finalize_with_tolerant_inner(
                 rounds,
                 ctx,
             )?;
-            Ok((
-                GlobalModel::Linear {
+            Ok(FinalizeOutcome {
+                global_model: GlobalModel::Linear {
                     algorithm,
                     coef,
                     intercept,
                 },
                 test_mse,
-            ))
+                members: vec![],
+            })
         }
         FinalizeStrategy::EnsembleUnion => finalize_union(
             rt,
@@ -232,7 +252,7 @@ fn finalize_union(
     rounds: &mut Vec<RoundReport>,
     ctx: &mut RobustCtx,
     ckpt: Option<&mut CkptSink>,
-) -> Result<(GlobalModel, f64)> {
+) -> Result<FinalizeOutcome> {
     use crate::config::TreeAggregation;
     let mut blobs: Vec<Vec<u8>> = Vec::new();
     let mut weights: Vec<f64> = Vec::new();
@@ -249,16 +269,19 @@ fn finalize_union(
             }
         }
     }
-    // Durable artifact: the exact member set before deployment moves the
-    // blobs into round configs.
+    // The member set outlives this function twice over: once durably in
+    // the checkpoint WAL, once in the outcome so the run can seal a
+    // serving artifact. Clone it here, before deployment moves the blobs
+    // into round configs.
+    let exported: Vec<(Vec<u8>, f64)> = blobs
+        .iter()
+        .zip(&weights)
+        .map(|(b, &w)| (b.clone(), w))
+        .collect();
     if let Some(sink) = ckpt {
         sink.append(&Record::FinalMembers {
             algorithm: algorithm.name().to_string(),
-            members: blobs
-                .iter()
-                .zip(&weights)
-                .map(|(b, &w)| (b.clone(), w))
-                .collect(),
+            members: exported.clone(),
         })?;
     }
     let union_available = blobs.len() == usable.len() && !blobs.is_empty();
@@ -314,9 +337,17 @@ fn finalize_union(
             rounds,
             ctx,
         )?;
-        Ok((GlobalModel::Ensemble { algorithm, members }, test_mse))
+        Ok(FinalizeOutcome {
+            global_model: GlobalModel::Ensemble { algorithm, members },
+            test_mse,
+            members: exported,
+        })
     } else {
         let test_mse = tolerant_eval_round(rt, vec![], local_config("test"), policy, rounds, ctx)?;
-        Ok((GlobalModel::PerClient { algorithm }, test_mse))
+        Ok(FinalizeOutcome {
+            global_model: GlobalModel::PerClient { algorithm },
+            test_mse,
+            members: exported,
+        })
     }
 }

@@ -24,7 +24,7 @@ pub mod recommend;
 mod rounds;
 pub mod tune;
 
-pub use finalize::{finalize, finalize_with, finalize_with_tolerant};
+pub use finalize::{finalize, finalize_with, finalize_with_tolerant, FinalizeOutcome};
 pub use recommend::{
     collect_global_meta, collect_global_meta_tolerant, derive_lag_count,
     federated_seasonal_periods, federated_seasonal_periods_tolerant, run_feature_engineering,
@@ -115,6 +115,40 @@ pub struct RunResult {
     /// Telemetry from the run: `Some` only when the config enabled
     /// [`crate::config::TraceConfig`]; `None` costs nothing.
     pub telemetry: Option<RunTelemetry>,
+    /// The deployed ensemble's `(blob, weight)` member set, in reply
+    /// order — what [`RunResult::export_artifact`] seals for the serving
+    /// layer. Empty for `CoefficientAverage` winners and for baselines
+    /// that do not collect members.
+    pub ensemble_members: Vec<(Vec<u8>, f64)>,
+    /// Lag offsets the surviving engineered schema reads — the serving
+    /// recipe for flat (blob-v2) members. Empty when the surviving
+    /// schema contains non-lag columns (trend/time/seasonal survived
+    /// selection) or the run tracked no selection.
+    pub feature_lags: Vec<usize>,
+}
+
+impl RunResult {
+    /// Seals the run into a serving artifact for
+    /// [`ff_serve::ModelStore::publish`]: the winning algorithm and
+    /// pipeline names, the flat-member lag recipe, and the deployed
+    /// weighted member set. Returns `None` when the run has no members to
+    /// serve (a `CoefficientAverage` winner, or a baseline that did not
+    /// collect blobs).
+    pub fn export_artifact(&self) -> Option<ff_serve::Artifact> {
+        if self.ensemble_members.is_empty() {
+            return None;
+        }
+        Some(ff_serve::Artifact {
+            algorithm: self.best_algorithm.name().to_string(),
+            pipeline: self.best_pipeline.clone(),
+            lags: self.feature_lags.clone(),
+            members: self
+                .ensemble_members
+                .iter()
+                .map(|(b, w)| (*w, b.clone()))
+                .collect(),
+        })
+    }
 }
 
 /// The FedForecaster engine. Borrows the (expensive-to-train) meta-model
@@ -290,7 +324,7 @@ impl<'m> FedForecaster<'m> {
         checkpoint_phase(&mut ckpt, &replay, &mut replay_phase_cursor, 0, &rounds)?;
         drop(phase_span);
         let phase_span = tracer.span("phase.feature_engineering");
-        run_feature_engineering_tolerant(
+        let kept = run_feature_engineering_tolerant(
             rt,
             par,
             &spec,
@@ -298,6 +332,17 @@ impl<'m> FedForecaster<'m> {
             policy,
             &mut rounds,
         )?;
+        // The serving-layer lag recipe: lag columns lead the engineered
+        // schema, so when every surviving column is a raw lag the flat
+        // (blob-v2) members can be re-fed from series history alone.
+        // Any surviving trend/time/seasonal column makes the recipe
+        // non-representable; export an empty recipe and let the serving
+        // layer refuse flat members with a typed error instead.
+        let feature_lags: Vec<usize> = if kept.iter().all(|&j| j < spec.lags.len()) {
+            kept.iter().map(|&j| spec.lags[j]).collect()
+        } else {
+            vec![]
+        };
         phase_bytes.push(end_phase("feature_engineering", rt));
         commit_round_frames(&recorder, &rounds, &mut committed_rounds);
         checkpoint_phase(&mut ckpt, &replay, &mut replay_phase_cursor, 1, &rounds)?;
@@ -441,7 +486,11 @@ impl<'m> FedForecaster<'m> {
 
         // Phase IV: final fit, aggregation, test evaluation.
         let phase_span = tracer.span("phase.finalization");
-        let (global_model, test_mse) = finalize_with_tolerant(
+        let FinalizeOutcome {
+            global_model,
+            test_mse,
+            members: ensemble_members,
+        } = finalize_with_tolerant(
             rt,
             par,
             &best_config,
@@ -506,6 +555,8 @@ impl<'m> FedForecaster<'m> {
             failed_trials,
             health,
             telemetry,
+            ensemble_members,
+            feature_lags,
         };
         if let Some(sink) = ckpt.as_mut() {
             sink.append(&Record::RunDone {

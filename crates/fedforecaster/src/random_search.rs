@@ -97,6 +97,8 @@ impl RandomSearch {
             failed_trials: 0,
             health: rt.health_report(),
             telemetry: None,
+            ensemble_members: vec![],
+            feature_lags: vec![],
         })
     }
 }

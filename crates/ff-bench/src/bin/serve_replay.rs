@@ -1,0 +1,204 @@
+//! **Serve replay benchmark** — forecasts/sec and tail latency for the
+//! ff-serve layer over a multi-tenant store, serial vs batched, written
+//! to `BENCH_pr10.json`. The store holds 64 tenants × 4 series each
+//! (256 published models by default) backed by a small pool of
+//! genuinely fitted pipeline artifacts; the replay sweeps every key
+//! with varying forecast windows, so the numbers include store
+//! resolution, revive-cache traffic, and the full member fold — not a
+//! cached single-model hot loop.
+//!
+//! ```text
+//! cargo run -p ff-bench --release --bin serve_replay -- \
+//!     [--threads 4] [--tenants 64] [--series 256] [--requests 4096] \
+//!     [--out BENCH_pr10.json] [--assert-p99-ms 250]
+//! ```
+//!
+//! The run also re-asserts the serving determinism contract (batched
+//! output bit-identical at 1 and N threads); a divergence aborts the
+//! benchmark rather than reporting throughput for wrong answers. The
+//! `--assert-p99-ms` ceiling is the CI latency gate, the serving
+//! counterpart of `fleet_round`'s `--assert-rss-mb`.
+
+use ff_bench::Args;
+use ff_models::pipeline::{PipelineId, PipelineModel};
+use ff_models::zoo::{AlgorithmKind, HyperParams};
+use ff_serve::{Artifact, BatchOutcome, Batcher, ModelStore, PredictRequest};
+use ff_trace::push_json_f64;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SERIES_LEN: usize = 160;
+const FIT_END: usize = 120;
+/// Distinct fitted models backing the store; keys cycle through them.
+const MODEL_POOL: usize = 8;
+
+fn series(seed: u64, n: usize) -> Vec<f64> {
+    let slope = 0.03 + 0.01 * (seed % 7) as f64;
+    let period = 8.0 + (seed % 5) as f64;
+    (0..n)
+        .map(|t| {
+            let t = t as f64;
+            4.0 + slope * t + (std::f64::consts::TAU * t / period).sin()
+        })
+        .collect()
+}
+
+fn artifact(seed: u64) -> Artifact {
+    let v = series(seed, SERIES_LEN);
+    let m = PipelineModel::fit(
+        PipelineId::LAGGED,
+        AlgorithmKind::LINEAR_SVR,
+        &HyperParams::default(),
+        &v,
+        FIT_END,
+    )
+    .expect("pipeline fit");
+    Artifact {
+        algorithm: "LinearSVR".into(),
+        pipeline: Some("lagged".into()),
+        lags: vec![],
+        members: vec![(1.0, m.to_blob().expect("v3 blob"))],
+    }
+}
+
+fn build_store(tenants: usize, total_series: usize) -> Arc<ModelStore> {
+    let pool: Vec<Artifact> = (0..MODEL_POOL as u64).map(artifact).collect();
+    // Revive capacity covers every key: the bench measures steady-state
+    // serving, not decode thrash (the LRU contract has its own tests).
+    let store = Arc::new(ModelStore::with_revive_capacity(total_series.max(1)));
+    let per_tenant = total_series.div_ceil(tenants.max(1)).max(1);
+    let mut published = 0;
+    'outer: for t in 0..tenants {
+        for s in 0..per_tenant {
+            if published >= total_series {
+                break 'outer;
+            }
+            store.publish(
+                &format!("tenant-{t}"),
+                &format!("series-{s}"),
+                pool[published % MODEL_POOL].clone(),
+            );
+            published += 1;
+        }
+    }
+    store
+}
+
+fn build_requests(tenants: usize, total_series: usize, n: usize) -> Vec<PredictRequest> {
+    let per_tenant = total_series.div_ceil(tenants.max(1)).max(1);
+    let histories: Vec<Vec<f64>> = (0..MODEL_POOL as u64)
+        .map(|s| series(s, SERIES_LEN))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let key = i % total_series;
+            let start = FIT_END + (i * 3) % 30;
+            PredictRequest {
+                tenant: format!("tenant-{}", key / per_tenant),
+                series: format!("series-{}", key % per_tenant),
+                values: histories[key % MODEL_POOL].clone(),
+                start,
+                end: start + 1 + i % 8,
+            }
+        })
+        .collect()
+}
+
+fn forecast_bits(outcome: &BatchOutcome) -> Vec<Vec<u64>> {
+    outcome
+        .forecasts
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .expect("replay request")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+/// One measured replay pass at `threads` workers; the store is warmed
+/// first so lazy decode is not billed to the serving numbers.
+fn measure(store: &ModelStore, requests: &[PredictRequest], threads: usize) -> (f64, BatchOutcome) {
+    ff_par::with_threads(threads, || {
+        let batcher = Batcher::new();
+        let _warm = batcher.run(store, requests);
+        let t = Instant::now();
+        let outcome = batcher.run(store, requests);
+        let elapsed = t.elapsed().as_secs_f64();
+        (requests.len() as f64 / elapsed.max(1e-9), outcome)
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.usize("threads", 4);
+    let tenants = args.usize("tenants", 64);
+    let total_series = args.usize("series", 256);
+    let n_requests = args.usize("requests", 4096);
+    let out_path = args.string("out", "BENCH_pr10.json");
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let store = build_store(tenants, total_series);
+    let requests = build_requests(tenants, total_series, n_requests);
+
+    let (serial_fps, serial_outcome) = measure(&store, &requests, 1);
+    let (batched_fps, batched_outcome) = measure(&store, &requests, threads);
+
+    // Determinism contract before any number is reported: throughput
+    // for wrong answers is not a benchmark.
+    assert_eq!(
+        forecast_bits(&serial_outcome),
+        forecast_bits(&batched_outcome),
+        "serving diverged between 1 and {threads} threads"
+    );
+
+    let hist = batched_outcome.latency_histogram();
+    let p50 = hist.percentile(0.50).unwrap_or(0.0);
+    let p95 = hist.percentile(0.95).unwrap_or(0.0);
+    let p99 = hist.percentile(0.99).unwrap_or(0.0);
+    let speedup = batched_fps / serial_fps.max(1e-9);
+
+    println!(
+        "serve_replay: {n_requests} requests over {} models ({tenants} tenants): \
+         serial {serial_fps:9.0} fc/s  batched({threads}) {batched_fps:9.0} fc/s  \
+         speedup {speedup:.2}×  p50 {p50:.0} µs  p95 {p95:.0} µs  p99 {p99:.0} µs",
+        store.len()
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"serve_replay\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"tenants\": {tenants},");
+    let _ = writeln!(json, "  \"series\": {},", store.len());
+    let _ = writeln!(json, "  \"requests\": {n_requests},");
+    json.push_str("  \"serial_forecasts_per_s\": ");
+    push_json_f64(&mut json, serial_fps);
+    json.push_str(",\n  \"batched_forecasts_per_s\": ");
+    push_json_f64(&mut json, batched_fps);
+    json.push_str(",\n  \"speedup\": ");
+    push_json_f64(&mut json, speedup);
+    json.push_str(",\n  \"p50_us\": ");
+    push_json_f64(&mut json, p50);
+    json.push_str(",\n  \"p95_us\": ");
+    push_json_f64(&mut json, p95);
+    json.push_str(",\n  \"p99_us\": ");
+    push_json_f64(&mut json, p99);
+    json.push_str(",\n  \"deterministic_across_threads\": true\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path} (host_cpus = {host_cpus})");
+
+    if args.has("assert-p99-ms") {
+        let budget_ms = args.f64("assert-p99-ms", 250.0);
+        let p99_ms = p99 / 1000.0;
+        if p99_ms > budget_ms {
+            eprintln!("p99 latency {p99_ms:.2} ms exceeds the {budget_ms:.0} ms budget");
+            std::process::exit(1);
+        }
+        println!("p99 latency {p99_ms:.2} ms within the {budget_ms:.0} ms budget");
+    }
+}

@@ -412,9 +412,7 @@ impl FleetRuntime {
     /// partition (and therefore every fold/merge order) is identical
     /// across `FF_THREADS` settings.
     fn shard_len(&self, n: usize) -> usize {
-        n.div_ceil(self.cfg.max_shards.max(1))
-            .max(self.cfg.min_shard)
-            .max(1)
+        ff_par::shard_len(n, self.cfg.max_shards, self.cfg.min_shard)
     }
 
     /// Decodes the shared instruction, drives one client under

@@ -878,7 +878,7 @@ pub struct PipelineModel {
     trend: TrendModel,
     scaler: Standardizer,
     yscaler: TargetScaler,
-    model: Box<dyn Regressor + Send>,
+    model: Box<dyn Regressor + Send + Sync>,
 }
 
 impl std::fmt::Debug for PipelineModel {
@@ -1100,7 +1100,7 @@ impl PipelineModel {
         }
         let ymean = r.f64().map_err(err)?;
         let ystd = r.f64().map_err(err)?;
-        let model: Box<dyn Regressor + Send> = match r.u8().map_err(err)? {
+        let model: Box<dyn Regressor + Send + Sync> = match r.u8().map_err(err)? {
             1 => {
                 let bytes = r.bytes(100_000_000).map_err(err)?;
                 algorithm.spec().deserialize_model(bytes)?
@@ -1191,7 +1191,7 @@ pub enum RevivedMember {
         /// The member's local target scaler.
         yscaler: TargetScaler,
         /// The revived inner model.
-        model: Box<dyn Regressor + Send>,
+        model: Box<dyn Regressor + Send + Sync>,
     },
     /// A full (blob-v3) pipeline member operating on the raw series.
     Pipeline(Box<PipelineModel>),

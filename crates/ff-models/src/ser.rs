@@ -172,6 +172,12 @@ impl<'a> Reader<'a> {
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    /// Bytes not yet consumed — what a framing layer reports when a
+    /// decoder finishes early on input that should have been exhausted.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 #[cfg(test)]

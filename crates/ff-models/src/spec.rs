@@ -250,10 +250,10 @@ impl ParamDef {
 }
 
 /// Builder closure type: instantiates a fresh regressor from a bundle.
-pub type BuildFn = dyn Fn(&HyperParams) -> Box<dyn Regressor + Send> + Send + Sync;
+pub type BuildFn = dyn Fn(&HyperParams) -> Box<dyn Regressor + Send + Sync> + Send + Sync;
 /// Model codec: revives a serialized model for ensemble-union evaluation.
 pub type DeserializeFn =
-    dyn Fn(&[u8]) -> std::result::Result<Box<dyn Regressor + Send>, String> + Send + Sync;
+    dyn Fn(&[u8]) -> std::result::Result<Box<dyn Regressor + Send + Sync>, String> + Send + Sync;
 
 /// Everything the system knows about one forecasting algorithm.
 pub struct AlgorithmSpec {
@@ -284,7 +284,7 @@ impl AlgorithmSpec {
         name: impl Into<String>,
         prefix: impl Into<String>,
         finalize: FinalizeStrategy,
-        build: impl Fn(&HyperParams) -> Box<dyn Regressor + Send> + Send + Sync + 'static,
+        build: impl Fn(&HyperParams) -> Box<dyn Regressor + Send + Sync> + Send + Sync + 'static,
         grid: Vec<HyperParams>,
         mut params: Vec<ParamDef>,
     ) -> AlgorithmSpec {
@@ -309,7 +309,7 @@ impl AlgorithmSpec {
     /// [`Regressor::to_blob`].
     pub fn with_model_codec(
         mut self,
-        deserialize: impl Fn(&[u8]) -> std::result::Result<Box<dyn Regressor + Send>, String>
+        deserialize: impl Fn(&[u8]) -> std::result::Result<Box<dyn Regressor + Send + Sync>, String>
             + Send
             + Sync
             + 'static,
@@ -344,7 +344,7 @@ impl AlgorithmSpec {
     }
 
     /// Instantiates a fresh regressor.
-    pub fn build(&self, hp: &HyperParams) -> Box<dyn Regressor + Send> {
+    pub fn build(&self, hp: &HyperParams) -> Box<dyn Regressor + Send + Sync> {
         (self.build)(hp)
     }
 
@@ -354,7 +354,7 @@ impl AlgorithmSpec {
     pub fn deserialize_model(
         &self,
         bytes: &[u8],
-    ) -> std::result::Result<Box<dyn Regressor + Send>, String> {
+    ) -> std::result::Result<Box<dyn Regressor + Send + Sync>, String> {
         match &self.deserialize {
             Some(f) => f(bytes),
             None => Err(format!("algorithm {} has no model codec", self.name)),
@@ -725,7 +725,7 @@ fn builtin_specs() -> Vec<AlgorithmSpec> {
         )
         .with_model_codec(|bytes| {
             XgbRegressor::from_bytes(bytes)
-                .map(|m| Box::new(m) as Box<dyn Regressor + Send>)
+                .map(|m| Box::new(m) as Box<dyn Regressor + Send + Sync>)
                 .map_err(|e| e.to_string())
         }),
         AlgorithmSpec::new(
@@ -845,7 +845,7 @@ mod tests {
 
     #[test]
     fn register_validates_contract() {
-        let dummy = |_: &HyperParams| -> Box<dyn Regressor + Send> {
+        let dummy = |_: &HyperParams| -> Box<dyn Regressor + Send + Sync> {
             Box::new(Lasso::new(0.1, Selection::Cyclic))
         };
         // Duplicate name.

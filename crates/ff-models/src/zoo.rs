@@ -81,7 +81,7 @@ impl Default for HyperParams {
 /// let pred = model.predict(&x).unwrap();
 /// assert!((pred[10] - 21.0).abs() < 1.0);
 /// ```
-pub fn build_regressor(kind: AlgorithmKind, hp: &HyperParams) -> Box<dyn Regressor + Send> {
+pub fn build_regressor(kind: AlgorithmKind, hp: &HyperParams) -> Box<dyn Regressor + Send + Sync> {
     kind.spec().build(hp)
 }
 

@@ -189,6 +189,22 @@ pub fn partition_len(total: usize, min_per_chunk: usize) -> usize {
         .max(1)
 }
 
+/// The deterministic dual of [`partition_len`]: the length of each
+/// contiguous shard when `total` items are split into at most `max_shards`
+/// shards of at least `min_shard` items — a pure function of the workload,
+/// **never** of the ambient thread count.
+///
+/// This is the shard-sizing discipline fleet rounds and the serving batcher
+/// share: because the partition depends only on `(total, max_shards,
+/// min_shard)`, per-shard partials merged in shard index order give
+/// bit-identical results at any `FF_THREADS` setting.
+pub fn shard_len(total: usize, max_shards: usize, min_shard: usize) -> usize {
+    total
+        .div_ceil(max_shards.max(1))
+        .max(min_shard.max(1))
+        .max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +264,19 @@ mod tests {
             // Tiny totals never produce zero-length chunks.
             assert!(partition_len(1, 1) >= 1);
         });
+    }
+
+    #[test]
+    fn shard_len_ignores_thread_count() {
+        let _g = global_lock();
+        // Identical at every thread setting: the whole point.
+        let at = |t| with_threads(t, || shard_len(10_000, 64, 8));
+        assert_eq!(at(1), at(4));
+        assert_eq!(at(1), at(32));
+        assert_eq!(shard_len(10_000, 64, 8), 157);
+        // Floors: min_shard wins over tiny shards, and nothing is ever 0.
+        assert_eq!(shard_len(10, 64, 8), 8);
+        assert_eq!(shard_len(0, 64, 0), 1);
+        assert_eq!(shard_len(100, 0, 0), 100);
     }
 }

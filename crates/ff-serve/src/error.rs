@@ -1,0 +1,129 @@
+//! Typed serving errors. The overload and hostile-artifact contracts
+//! both hinge on *typed* failures: a shed request must be
+//! distinguishable from a wrong forecast, and a corrupt artifact must be
+//! distinguishable from a missing one.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a sealed artifact failed to open or decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Shorter than the fixed header + checksum frame.
+    TooShort,
+    /// The leading magic bytes are not `FFSV`.
+    BadMagic,
+    /// A version byte this build does not understand.
+    UnsupportedVersion(u8),
+    /// The trailing CRC32 does not match the framed contents.
+    ChecksumMismatch {
+        /// CRC recorded in the trailer.
+        expected: u32,
+        /// CRC recomputed over the frame.
+        found: u32,
+    },
+    /// A field ran past the end of the input.
+    Truncated,
+    /// A length prefix exceeded its sanity cap (rejected before any
+    /// allocation).
+    ImplausibleLength(u64),
+    /// An unknown tag or invalid UTF-8 where a string was expected.
+    BadTag(u8),
+    /// Bytes left over after the last field — a frame from a different
+    /// writer.
+    TrailingBytes(usize),
+    /// A structurally valid frame carrying invalid content (zero lag,
+    /// non-finite weight, empty member set).
+    Invalid(String),
+    /// Filesystem failure while reading or writing a sealed artifact.
+    Io(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::TooShort => write!(f, "sealed artifact shorter than its frame"),
+            ArtifactError::BadMagic => write!(f, "not a sealed artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact version {v}")
+            }
+            ArtifactError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "artifact checksum mismatch (recorded {expected:#010x}, computed {found:#010x})"
+            ),
+            ArtifactError::Truncated => write!(f, "truncated artifact field"),
+            ArtifactError::ImplausibleLength(n) => {
+                write!(f, "implausible artifact length prefix {n}")
+            }
+            ArtifactError::BadTag(t) => write!(f, "bad artifact tag {t}"),
+            ArtifactError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the last artifact field")
+            }
+            ArtifactError::Invalid(why) => write!(f, "invalid artifact: {why}"),
+            ArtifactError::Io(e) => write!(f, "artifact I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Why a forecast request was not answered with a forecast.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No artifact is published under `(tenant, series)`.
+    UnknownModel {
+        /// Requested tenant.
+        tenant: String,
+        /// Requested series.
+        series: String,
+    },
+    /// The tenant's bounded in-flight limit was hit; the request was
+    /// shed at admission, before any model work.
+    Overloaded {
+        /// Tenant whose limit tripped.
+        tenant: String,
+        /// The configured in-flight limit.
+        limit: usize,
+    },
+    /// The serve call's wall-clock budget ran out before this request
+    /// was (fully) processed.
+    DeadlineExceeded {
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// The published artifact failed to open or validate.
+    Artifact(ArtifactError),
+    /// A member failed to revive or predict (hostile blob, dimension
+    /// mismatch, missing lag recipe for a flat member, …).
+    Model(String),
+    /// The request itself is malformed (empty range, not enough
+    /// history for the lag window, …).
+    BadRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel { tenant, series } => {
+                write!(f, "no model published for {tenant}/{series}")
+            }
+            ServeError::Overloaded { tenant, limit } => {
+                write!(f, "tenant {tenant} over its in-flight limit of {limit}")
+            }
+            ServeError::DeadlineExceeded { budget } => {
+                write!(f, "serve deadline of {budget:?} exceeded")
+            }
+            ServeError::Artifact(e) => write!(f, "artifact: {e}"),
+            ServeError::Model(e) => write!(f, "model: {e}"),
+            ServeError::BadRequest(e) => write!(f, "bad request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> ServeError {
+        ServeError::Artifact(e)
+    }
+}

@@ -1,0 +1,475 @@
+//! The in-memory model store: `(tenant, series)` → sealed artifact,
+//! with lazy decode and a bounded LRU revive cache.
+//!
+//! Two-level design: the *slot map* holds `Arc<Artifact>`s (cheap —
+//! bytes), the *revive cache* holds `Arc<Ensemble>`s (expensive —
+//! decoded models) for at most `revive_capacity` entries. Resolving a
+//! key snapshots its slot under a read lock, then revives through the
+//! cache; publishing swaps the slot atomically and invalidates the
+//! key's cached revival. An in-flight request that already resolved
+//! keeps its `Arc<Ensemble>` — hot-swapping can never tear a response.
+
+use crate::artifact::Artifact;
+use crate::error::ServeError;
+use ff_linalg::Matrix;
+use ff_models::pipeline::{decode_member_blob, RevivedMember};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A decoded, servable ensemble: revived members plus normalized
+/// weights. The fold is pinned to match the engine's deployment
+/// evaluation exactly: members in artifact order, `agg[j] += w·p[j]`
+/// with `w` normalized by the weight sum — so a forecast served here is
+/// bit-identical to the engine's own weighted union of
+/// `predict_range`/`predict_features` calls.
+pub struct Ensemble {
+    algorithm: String,
+    lags: Vec<usize>,
+    weights: Vec<f64>,
+    members: Vec<RevivedMember>,
+}
+
+impl std::fmt::Debug for Ensemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ensemble")
+            .field("algorithm", &self.algorithm)
+            .field("lags", &self.lags)
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+impl Ensemble {
+    /// Decodes every member of an opened artifact. Any undecodable blob
+    /// fails the whole ensemble — serving a partial union would be a
+    /// silently wrong forecast.
+    pub fn decode(artifact: &Artifact) -> Result<Ensemble, ServeError> {
+        let wsum: f64 = artifact.members.iter().map(|(w, _)| *w).sum();
+        if !wsum.is_finite() || wsum <= 0.0 {
+            return Err(ServeError::Model(
+                "member weights must sum to a positive finite value".into(),
+            ));
+        }
+        let mut weights = Vec::with_capacity(artifact.members.len());
+        let mut members = Vec::with_capacity(artifact.members.len());
+        for (i, (weight, blob)) in artifact.members.iter().enumerate() {
+            let member = decode_member_blob(blob)
+                .map_err(|e| ServeError::Model(format!("member {i}: {e}")))?;
+            weights.push(weight / wsum);
+            members.push(member);
+        }
+        Ok(Ensemble {
+            algorithm: artifact.algorithm.clone(),
+            lags: artifact.lags.clone(),
+            weights,
+            members,
+        })
+    }
+
+    /// Name of the ensemble's algorithm.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Number of revived members.
+    pub fn members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The longest lag in the flat-member recipe (0 when there is none).
+    fn max_lag(&self) -> usize {
+        self.lags.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Forecasts indices `start..end` of `values` with true history:
+    /// the prediction at index `t` reads only `values[..t]`. Pipeline
+    /// (blob-v3) members predict from the raw series; flat (blob-v2)
+    /// members predict from lag features engineered per the artifact's
+    /// recipe. Mixed-generation ensembles fold both, in member order.
+    pub fn forecast(
+        &self,
+        values: &[f64],
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<f64>, ServeError> {
+        if start >= end {
+            return Err(ServeError::BadRequest(format!(
+                "empty forecast range {start}..{end}"
+            )));
+        }
+        if end > values.len() {
+            return Err(ServeError::BadRequest(format!(
+                "range {start}..{end} past the series end {}",
+                values.len()
+            )));
+        }
+        let mut agg = vec![0.0; end - start];
+        let mut lag_rows: Option<Matrix> = None;
+        for (i, (member, &w)) in self.members.iter().zip(&self.weights).enumerate() {
+            let pred = match member {
+                RevivedMember::Pipeline(_) => member
+                    .predict_series(values, start, end)
+                    .map_err(|e| ServeError::Model(format!("member {i}: {e}")))?,
+                RevivedMember::SingleNode { .. } => {
+                    if lag_rows.is_none() {
+                        lag_rows = Some(self.engineer_lag_rows(values, start, end)?);
+                    }
+                    member
+                        .predict_features(lag_rows.as_ref().unwrap())
+                        .map_err(|e| ServeError::Model(format!("member {i}: {e}")))?
+                }
+            };
+            for (a, v) in agg.iter_mut().zip(pred) {
+                *a += w * v;
+            }
+        }
+        Ok(agg)
+    }
+
+    /// Lag-feature rows for flat members: row `t` (absolute index) is
+    /// `[values[t - lag] for lag in lags]` — every offset ≥ 1, so the
+    /// row for `t` never reads `values[t]` or anything after it.
+    fn engineer_lag_rows(
+        &self,
+        values: &[f64],
+        start: usize,
+        end: usize,
+    ) -> Result<Matrix, ServeError> {
+        if self.lags.is_empty() {
+            return Err(ServeError::Model(
+                "flat member without a lag recipe in the artifact".into(),
+            ));
+        }
+        let max_lag = self.max_lag();
+        if start < max_lag {
+            return Err(ServeError::BadRequest(format!(
+                "start {start} inside the lag window (need ≥ {max_lag} history values)"
+            )));
+        }
+        Ok(Matrix::from_fn(end - start, self.lags.len(), |row, col| {
+            values[start + row - self.lags[col]]
+        }))
+    }
+}
+
+type Key = (String, String);
+
+struct Slot {
+    version: u64,
+    artifact: Arc<Artifact>,
+}
+
+/// The revive cache: decoded ensembles keyed by `(key, slot version)`,
+/// evicting the least-recently-used entry past capacity. Versioned keys
+/// make invalidation free — a republished slot simply never hits its
+/// predecessor's cache line, which ages out.
+struct ReviveCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<(Key, u64), (Arc<Ensemble>, u64)>,
+}
+
+impl ReviveCache {
+    fn get(&mut self, key: &(Key, u64)) -> Option<Arc<Ensemble>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(e, used)| {
+            *used = tick;
+            Arc::clone(e)
+        })
+    }
+
+    fn insert(&mut self, key: (Key, u64), ensemble: Arc<Ensemble>) {
+        self.tick += 1;
+        self.map.insert(key, (ensemble, self.tick));
+        while self.map.len() > self.capacity.max(1) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// The serving store. See the module docs for the swap/tear contract.
+pub struct ModelStore {
+    slots: RwLock<HashMap<Key, Slot>>,
+    cache: Mutex<ReviveCache>,
+    versions: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelStore {
+    /// An empty store with the default revive capacity (1024 decoded
+    /// ensembles).
+    pub fn new() -> ModelStore {
+        ModelStore::with_revive_capacity(1024)
+    }
+
+    /// An empty store keeping at most `capacity` decoded ensembles
+    /// live; everything else costs only its sealed bytes.
+    pub fn with_revive_capacity(capacity: usize) -> ModelStore {
+        ModelStore {
+            slots: RwLock::new(HashMap::new()),
+            cache: Mutex::new(ReviveCache {
+                capacity: capacity.max(1),
+                tick: 0,
+                map: HashMap::new(),
+            }),
+            versions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes (or hot-swaps) an artifact under `(tenant, series)`
+    /// and returns its store version. The swap is atomic: requests
+    /// resolve either the previous artifact or this one, never a blend.
+    pub fn publish(&self, tenant: &str, series: &str, artifact: Artifact) -> u64 {
+        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = Slot {
+            version,
+            artifact: Arc::new(artifact),
+        };
+        self.slots
+            .write()
+            .insert((tenant.to_string(), series.to_string()), slot);
+        version
+    }
+
+    /// Removes a published model; `true` when something was removed.
+    pub fn remove(&self, tenant: &str, series: &str) -> bool {
+        self.slots
+            .write()
+            .remove(&(tenant.to_string(), series.to_string()))
+            .is_some()
+    }
+
+    /// Number of published `(tenant, series)` keys.
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.slots.read().is_empty()
+    }
+
+    /// Decoded ensembles currently held by the revive cache.
+    pub fn revived(&self) -> usize {
+        self.cache.lock().map.len()
+    }
+
+    /// Revive-cache hits and misses since construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resolves the servable ensemble for `(tenant, series)`: slot
+    /// snapshot → cache hit, or decode-and-cache on miss. Decoding runs
+    /// outside both locks; concurrent misses on one key may decode
+    /// twice, but both produce the same ensemble (decode is pure), so
+    /// the race costs time, never correctness.
+    pub fn resolve(&self, tenant: &str, series: &str) -> Result<Arc<Ensemble>, ServeError> {
+        let (version, artifact) = {
+            let slots = self.slots.read();
+            let slot = slots
+                .get(&(tenant.to_string(), series.to_string()))
+                .ok_or_else(|| ServeError::UnknownModel {
+                    tenant: tenant.to_string(),
+                    series: series.to_string(),
+                })?;
+            (slot.version, Arc::clone(&slot.artifact))
+        };
+        let cache_key = ((tenant.to_string(), series.to_string()), version);
+        if let Some(hit) = self.cache.lock().get(&cache_key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let ensemble = Arc::new(Ensemble::decode(&artifact)?);
+        self.cache.lock().insert(cache_key, Arc::clone(&ensemble));
+        Ok(ensemble)
+    }
+}
+
+impl Default for ModelStore {
+    fn default() -> Self {
+        ModelStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_models::data::{Standardizer, TargetScaler};
+    use ff_models::pipeline::{encode_external_blob, PipelineId, PipelineModel};
+    use ff_models::zoo::{build_regressor, AlgorithmKind, HyperParams};
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| 5.0 + 0.07 * t as f64 + (std::f64::consts::TAU * t as f64 / 12.0).sin())
+            .collect()
+    }
+
+    fn v3_artifact() -> Artifact {
+        let v = series(160);
+        let m = PipelineModel::fit(
+            PipelineId::LAGGED,
+            AlgorithmKind::LINEAR_SVR,
+            &HyperParams::default(),
+            &v,
+            120,
+        )
+        .unwrap();
+        Artifact {
+            algorithm: "LinearSVR".into(),
+            pipeline: Some("lagged".into()),
+            lags: vec![],
+            members: vec![(1.0, m.to_blob().unwrap())],
+        }
+    }
+
+    fn v2_artifact(lags: &[usize]) -> Artifact {
+        let v = series(160);
+        let max_lag = lags.iter().copied().max().unwrap();
+        let rows = 120 - max_lag;
+        let x = Matrix::from_fn(rows, lags.len(), |r, c| v[max_lag + r - lags[c]]);
+        let y: Vec<f64> = (0..rows).map(|r| v[max_lag + r]).collect();
+        let scaler = Standardizer::fit(&x);
+        let yscaler = TargetScaler::fit(&y);
+        let xs = scaler.transform(&x);
+        let ys: Vec<f64> = y.iter().map(|&t| yscaler.scale(t)).collect();
+        let mut model = build_regressor(AlgorithmKind::XGB_REGRESSOR, &HyperParams::default());
+        model.fit(&xs, &ys).unwrap();
+        Artifact {
+            algorithm: "XGBRegressor".into(),
+            pipeline: None,
+            lags: lags.to_vec(),
+            members: vec![(
+                3.0,
+                encode_external_blob(
+                    AlgorithmKind::XGB_REGRESSOR,
+                    &scaler,
+                    &yscaler,
+                    &model.to_blob().unwrap(),
+                ),
+            )],
+        }
+    }
+
+    #[test]
+    fn resolve_decodes_lazily_and_caches() {
+        let store = ModelStore::new();
+        store.publish("acme", "load", v3_artifact());
+        assert_eq!(store.revived(), 0, "publish must not decode");
+        let e1 = store.resolve("acme", "load").unwrap();
+        let e2 = store.resolve("acme", "load").unwrap();
+        assert!(Arc::ptr_eq(&e1, &e2), "second resolve must hit the cache");
+        assert_eq!(store.cache_stats(), (1, 1));
+        assert!(matches!(
+            store.resolve("acme", "nope"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn lru_eviction_bounds_decoded_models() {
+        let store = ModelStore::with_revive_capacity(2);
+        for s in ["a", "b", "c"] {
+            store.publish("t", s, v3_artifact());
+            store.resolve("t", s).unwrap();
+        }
+        assert_eq!(store.revived(), 2, "capacity must bound the cache");
+        // "a" was evicted; resolving it again is a miss, not an error.
+        store.resolve("t", "a").unwrap();
+        assert_eq!(store.revived(), 2);
+    }
+
+    #[test]
+    fn hot_swap_invalidates_the_cached_revival() {
+        let store = ModelStore::new();
+        store.publish("acme", "load", v3_artifact());
+        let old = store.resolve("acme", "load").unwrap();
+        store.publish("acme", "load", v3_artifact());
+        let new = store.resolve("acme", "load").unwrap();
+        assert!(
+            !Arc::ptr_eq(&old, &new),
+            "swap must produce a fresh revival"
+        );
+    }
+
+    #[test]
+    fn v2_members_serve_from_the_lag_recipe_and_stay_causal() {
+        let store = ModelStore::new();
+        store.publish("acme", "flat", v2_artifact(&[1, 2, 5]));
+        let e = store.resolve("acme", "flat").unwrap();
+        let v = series(160);
+        let f = e.forecast(&v, 130, 140).unwrap();
+        assert_eq!(f.len(), 10);
+        assert!(f.iter().all(|x| x.is_finite()));
+        // Causality: changing values at/after the cutoff cannot change
+        // the forecast at the cutoff.
+        let mut poisoned = v.clone();
+        for x in poisoned.iter_mut().skip(130) {
+            *x = 1e9;
+        }
+        let g = e.forecast(&poisoned, 130, 131).unwrap();
+        assert_eq!(f[0].to_bits(), g[0].to_bits());
+        // Inside the lag window the request is rejected, not mis-served.
+        assert!(matches!(
+            e.forecast(&v, 2, 3),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn flat_member_without_recipe_is_a_typed_error() {
+        let mut artifact = v2_artifact(&[1, 2, 5]);
+        artifact.lags.clear();
+        let store = ModelStore::new();
+        store.publish("acme", "flat", artifact);
+        let e = store.resolve("acme", "flat").unwrap();
+        assert!(matches!(
+            e.forecast(&series(160), 130, 140),
+            Err(ServeError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_generation_ensembles_fold_both_member_kinds() {
+        let v = series(160);
+        let v2 = v2_artifact(&[1, 2, 5]);
+        let v3 = v3_artifact();
+        let mixed = Artifact {
+            algorithm: "LinearSVR".into(),
+            pipeline: None,
+            lags: v2.lags.clone(),
+            members: vec![v2.members[0].clone(), v3.members[0].clone()],
+        };
+        let store = ModelStore::new();
+        store.publish("acme", "mix", mixed);
+        let e = store.resolve("acme", "mix").unwrap();
+        assert_eq!(e.members(), 2);
+        let f = e.forecast(&v, 130, 135).unwrap();
+        // The fold must equal the hand-computed weighted union.
+        let e2 = Ensemble::decode(&v2).unwrap();
+        let e3 = Ensemble::decode(&v3).unwrap();
+        let p2 = e2.forecast(&v, 130, 135).unwrap();
+        let p3 = e3.forecast(&v, 130, 135).unwrap();
+        for j in 0..f.len() {
+            let want = (3.0 / 4.0) * p2[j] + (1.0 / 4.0) * p3[j];
+            assert_eq!(f[j].to_bits(), want.to_bits(), "index {j}");
+        }
+    }
+}

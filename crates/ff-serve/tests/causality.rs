@@ -1,0 +1,92 @@
+//! Strict causality: the forecast at index `t` reads `values[..t]` and
+//! nothing else. Scrambling `values[t..]` — including `values[t]`
+//! itself — must leave the prediction at `t` bit-identical, for every
+//! member generation. Proptest drives random cutoffs and random future
+//! noise; one counterexample is a leak of the value being predicted.
+
+mod common;
+
+use common::{mixed_artifact, series, v2_artifact, v3_artifact, SERIES_LEN};
+use ff_serve::{Artifact, Ensemble};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Decoded fixtures, built once: fitting inside every proptest case
+/// would dominate the runtime.
+fn fixtures() -> &'static [(Ensemble, usize)] {
+    static CELL: OnceLock<Vec<(Ensemble, usize)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let artifacts: Vec<Artifact> = vec![
+            v3_artifact(3),
+            v2_artifact(4, &[1, 2, 12]),
+            mixed_artifact(5, &[1, 3, 7]),
+        ];
+        let v = series(0, SERIES_LEN);
+        artifacts
+            .into_iter()
+            .map(|a| {
+                let ens = Ensemble::decode(&a).expect("decode fixture");
+                // Earliest index the ensemble can predict (pipeline
+                // members need their transform window, flat members
+                // their longest lag).
+                let min = (1..SERIES_LEN)
+                    .find(|&t| ens.forecast(&v, t, t + 1).is_ok())
+                    .expect("some index is predictable");
+                (ens, min)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn the_future_cannot_reach_a_forecast(
+        seed in 0u64..32,
+        offset in 0usize..1024,
+        noise in prop::collection::vec(-1.0e6f64..1.0e6, SERIES_LEN),
+    ) {
+        let v = series(seed, SERIES_LEN);
+        for (ens, min) in fixtures() {
+            let cut = min + offset % (SERIES_LEN - 1 - min);
+            let base = ens.forecast(&v, cut, cut + 1).expect("base forecast");
+            let mut hostile = v.clone();
+            hostile[cut..].copy_from_slice(&noise[cut..]);
+            let scrambled = ens.forecast(&hostile, cut, cut + 1).expect("scrambled forecast");
+            prop_assert_eq!(base.len(), 1);
+            prop_assert_eq!(
+                base[0].to_bits(),
+                scrambled[0].to_bits(),
+                "prediction at {} read the future ({} members)", cut, ens.members()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_step_ranges_condition_only_on_true_history(
+        seed in 0u64..16,
+        offset in 0usize..512,
+        width in 1usize..12,
+        noise in prop::collection::vec(-1.0e6f64..1.0e6, SERIES_LEN),
+    ) {
+        // For a range start..end, every prediction index t reads
+        // values[..t]; scrambling values[end..] must change nothing.
+        let v = series(seed, SERIES_LEN);
+        for (ens, min) in fixtures() {
+            let start = min + offset % (SERIES_LEN - 13 - min);
+            let end = (start + width).min(SERIES_LEN - 1);
+            let base = ens.forecast(&v, start, end).expect("base forecast");
+            let mut hostile = v.clone();
+            hostile[end..].copy_from_slice(&noise[end..]);
+            let scrambled = ens.forecast(&hostile, start, end).expect("scrambled forecast");
+            for (i, (a, b)) in base.iter().zip(&scrambled).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "index {} of {}..{} read past the range end", i, start, end
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared fixtures for the ff-serve contract suite: deterministic
+//! series, genuine v2/v3 artifacts, and an independent reference fold.
+
+#![allow(dead_code)]
+
+use ff_linalg::Matrix;
+use ff_models::data::{Standardizer, TargetScaler};
+use ff_models::pipeline::{
+    decode_member_blob, encode_external_blob, PipelineId, PipelineModel, RevivedMember,
+};
+use ff_models::zoo::{build_regressor, AlgorithmKind, HyperParams};
+use ff_serve::Artifact;
+
+/// Series length every fixture uses.
+pub const SERIES_LEN: usize = 160;
+
+/// Index the fixture models are fitted up to; forecasts target the tail.
+pub const FIT_END: usize = 120;
+
+/// A deterministic trend + seasonality series, varied by `seed`.
+pub fn series(seed: u64, n: usize) -> Vec<f64> {
+    let slope = 0.03 + 0.01 * (seed % 7) as f64;
+    let level = 3.0 + (seed % 11) as f64;
+    let period = 8.0 + (seed % 5) as f64;
+    (0..n)
+        .map(|t| {
+            let t = t as f64;
+            level + slope * t + (std::f64::consts::TAU * t / period).sin()
+        })
+        .collect()
+}
+
+/// A genuine blob-v3 artifact: one lagged-pipeline member fitted on
+/// `series(seed, SERIES_LEN)` up to `FIT_END`.
+pub fn v3_artifact(seed: u64) -> Artifact {
+    let v = series(seed, SERIES_LEN);
+    let m = PipelineModel::fit(
+        PipelineId::LAGGED,
+        AlgorithmKind::LINEAR_SVR,
+        &HyperParams::default(),
+        &v,
+        FIT_END,
+    )
+    .expect("pipeline fit");
+    Artifact {
+        algorithm: "LinearSVR".into(),
+        pipeline: Some("lagged".into()),
+        lags: vec![],
+        members: vec![(1.0, m.to_blob().expect("v3 blob"))],
+    }
+}
+
+/// A genuine blob-v2 artifact: one flat XGB member trained on the lag
+/// features named by `lags`, with the recipe recorded in the artifact.
+pub fn v2_artifact(seed: u64, lags: &[usize]) -> Artifact {
+    let v = series(seed, SERIES_LEN);
+    let max_lag = lags.iter().copied().max().expect("non-empty lags");
+    let rows = FIT_END - max_lag;
+    let x = Matrix::from_fn(rows, lags.len(), |r, c| v[max_lag + r - lags[c]]);
+    let y: Vec<f64> = (0..rows).map(|r| v[max_lag + r]).collect();
+    let scaler = Standardizer::fit(&x);
+    let yscaler = TargetScaler::fit(&y);
+    let xs = scaler.transform(&x);
+    let ys: Vec<f64> = y.iter().map(|&t| yscaler.scale(t)).collect();
+    let mut model = build_regressor(AlgorithmKind::XGB_REGRESSOR, &HyperParams::default());
+    model.fit(&xs, &ys).expect("xgb fit");
+    Artifact {
+        algorithm: "XGBRegressor".into(),
+        pipeline: None,
+        lags: lags.to_vec(),
+        members: vec![(
+            1.0,
+            encode_external_blob(
+                AlgorithmKind::XGB_REGRESSOR,
+                &scaler,
+                &yscaler,
+                &model.to_blob().expect("xgb blob"),
+            ),
+        )],
+    }
+}
+
+/// A mixed-generation artifact: the v3 pipeline member and the flat v2
+/// member of the same series, folded 2:1.
+pub fn mixed_artifact(seed: u64, lags: &[usize]) -> Artifact {
+    let v3 = v3_artifact(seed);
+    let v2 = v2_artifact(seed, lags);
+    Artifact {
+        algorithm: v3.algorithm.clone(),
+        pipeline: v3.pipeline.clone(),
+        lags: lags.to_vec(),
+        members: vec![
+            (2.0, v3.members[0].1.clone()),
+            (1.0, v2.members[0].1.clone()),
+        ],
+    }
+}
+
+/// Independent reference implementation of the serve fold: decode each
+/// member blob directly, predict, and accumulate `w·p` in member order
+/// with weights normalized by their sum — the engine's deployment
+/// evaluation, re-derived without any ff-serve code in the loop.
+pub fn reference_forecast(
+    artifact: &Artifact,
+    values: &[f64],
+    start: usize,
+    end: usize,
+) -> Vec<f64> {
+    let wsum: f64 = artifact.members.iter().map(|(w, _)| *w).sum();
+    let mut agg = vec![0.0; end - start];
+    for (w, blob) in &artifact.members {
+        let member = decode_member_blob(blob).expect("decode member");
+        let pred = match &member {
+            RevivedMember::Pipeline(_) => member
+                .predict_series(values, start, end)
+                .expect("pipeline predict"),
+            RevivedMember::SingleNode { .. } => {
+                let max_lag = artifact.lags.iter().copied().max().expect("lag recipe");
+                assert!(start >= max_lag, "reference request inside the lag window");
+                let x = Matrix::from_fn(end - start, artifact.lags.len(), |row, col| {
+                    values[start + row - artifact.lags[col]]
+                });
+                member.predict_features(&x).expect("flat predict")
+            }
+        };
+        for (a, p) in agg.iter_mut().zip(pred) {
+            *a += (w / wsum) * p;
+        }
+    }
+    agg
+}
+
+/// Exact bit comparison of two forecast vectors.
+pub fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit divergence at index {i}: {x} vs {y}"
+        );
+    }
+}

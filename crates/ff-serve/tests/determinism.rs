@@ -1,0 +1,118 @@
+//! Determinism contract: a deadline-free serve is a pure function of
+//! the store and the batch. Threads change wall-clock, never bytes —
+//! the batcher shards by `ff_par::shard_len` (a function of the batch,
+//! not the pool) and folds members in index order, so the same batch
+//! against the same store is bit-identical at any `FF_THREADS`.
+
+mod common;
+
+use common::{assert_bits_eq, mixed_artifact, series, v2_artifact, v3_artifact, SERIES_LEN};
+use ff_serve::{Batcher, ModelStore, PredictRequest, ServeConfig, ServeRuntime};
+use std::sync::Arc;
+
+/// A store with three tenants × four series, mixing artifact
+/// generations: v3 pipelines, flat v2, and mixed-generation ensembles.
+fn build_store() -> Arc<ModelStore> {
+    let store = Arc::new(ModelStore::new());
+    for (t, tenant) in ["acme", "globex", "initech"].iter().enumerate() {
+        for s in 0..4u64 {
+            let seed = t as u64 * 10 + s;
+            let artifact = match s % 3 {
+                0 => v3_artifact(seed),
+                1 => v2_artifact(seed, &[1, 2, 12]),
+                _ => mixed_artifact(seed, &[1, 3, 7]),
+            };
+            store.publish(tenant, &format!("series-{s}"), artifact);
+        }
+    }
+    store
+}
+
+/// Every `(tenant, series)` key × several forecast windows.
+fn build_requests() -> Vec<PredictRequest> {
+    let mut reqs = Vec::new();
+    for (t, tenant) in ["acme", "globex", "initech"].iter().enumerate() {
+        for s in 0..4u64 {
+            let values = series(t as u64 * 10 + s, SERIES_LEN);
+            for (start, end) in [(120, 130), (130, 131), (140, 158)] {
+                reqs.push(PredictRequest {
+                    tenant: tenant.to_string(),
+                    series: format!("series-{s}"),
+                    values: values.clone(),
+                    start,
+                    end,
+                });
+            }
+        }
+    }
+    reqs
+}
+
+fn forecast_bits(results: &[Result<Vec<f64>, ff_serve::ServeError>]) -> Vec<Vec<u64>> {
+    results
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .expect("all fixture requests succeed")
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn batches_are_bit_identical_across_thread_counts() {
+    let store = build_store();
+    let requests = build_requests();
+    let batcher = Batcher::new();
+    let base = ff_par::with_threads(1, || batcher.run(&store, &requests));
+    for threads in [2, 4, 7] {
+        let other = ff_par::with_threads(threads, || batcher.run(&store, &requests));
+        assert_eq!(
+            base.shard_len, other.shard_len,
+            "shard shape must not depend on the pool"
+        );
+        assert_eq!(
+            forecast_bits(&base.forecasts),
+            forecast_bits(&other.forecasts),
+            "forecast bits diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn batched_equals_serial_resolve_and_forecast() {
+    let store = build_store();
+    let requests = build_requests();
+    let batched = ff_par::with_threads(4, || Batcher::new().run(&store, &requests));
+    for (req, out) in requests.iter().zip(&batched.forecasts) {
+        let serial = store
+            .resolve(&req.tenant, &req.series)
+            .and_then(|e| e.forecast(&req.values, req.start, req.end))
+            .expect("serial forecast");
+        assert_bits_eq(
+            out.as_ref().expect("batched forecast"),
+            &serial,
+            &format!("{}:{} {}..{}", req.tenant, req.series, req.start, req.end),
+        );
+    }
+}
+
+#[test]
+fn serve_runtime_without_deadline_is_deterministic() {
+    let requests = build_requests();
+    let mut baseline: Option<Vec<Vec<u64>>> = None;
+    for threads in [1, 4] {
+        // A fresh runtime per thread count: cache state, admission
+        // counters, and pool size all reset, so only the contract —
+        // store + batch → bytes — carries across.
+        let rt = ServeRuntime::new(build_store(), ServeConfig::default());
+        let results = ff_par::with_threads(threads, || rt.serve(&requests));
+        let bits = forecast_bits(&results);
+        match &baseline {
+            None => baseline = Some(bits),
+            Some(b) => assert_eq!(b, &bits, "runtime diverged at {threads} threads"),
+        }
+    }
+}

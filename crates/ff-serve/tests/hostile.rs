@@ -1,0 +1,184 @@
+//! Hostile-artifact safety: whatever is on disk, opening it returns a
+//! typed error — never a panic, never an unbounded allocation, never a
+//! silently wrong model. The corruption comes from the checkpoint
+//! crate's fault injectors, so the damage applied here is the same
+//! damage the crash-recovery suite proves the WAL survives.
+
+mod common;
+
+use common::{series, v2_artifact, v3_artifact, SERIES_LEN};
+use ff_ckpt::corrupt::{append_garbage, flip_bit, truncate_tail};
+use ff_serve::{crc32, Artifact, ArtifactError, ModelStore, ServeError};
+use std::path::PathBuf;
+
+/// A scratch directory unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ff-serve-hostile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn truncation_at_every_depth_is_a_typed_error() {
+    let sealed = v3_artifact(1).seal();
+    let path = scratch("truncated.ffsv");
+    for keep in (0..sealed.len()).step_by(7).chain([sealed.len() - 1]) {
+        std::fs::write(&path, &sealed).expect("write");
+        truncate_tail(&path, (sealed.len() - keep) as u64).expect("truncate");
+        let err = Artifact::read_from(&path).expect_err("prefix must not open");
+        assert!(
+            matches!(
+                err,
+                ArtifactError::TooShort
+                    | ArtifactError::ChecksumMismatch { .. }
+                    | ArtifactError::Truncated
+            ),
+            "keep {keep}: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_anywhere_in_the_file_are_caught() {
+    let sealed = v2_artifact(2, &[1, 2, 12]).seal();
+    let path = scratch("flipped.ffsv");
+    for offset in (0..sealed.len()).step_by(11) {
+        for bit in [0u8, 3, 7] {
+            std::fs::write(&path, &sealed).expect("write");
+            flip_bit(&path, offset as u64, bit).expect("flip");
+            let err = Artifact::read_from(&path).expect_err("flipped file must not open");
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::BadMagic
+                        | ArtifactError::UnsupportedVersion(_)
+                        | ArtifactError::ChecksumMismatch { .. }
+                ),
+                "offset {offset} bit {bit}: unexpected {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn appended_garbage_breaks_the_checksum() {
+    let sealed = v3_artifact(3).seal();
+    let path = scratch("garbage.ffsv");
+    for n in [1usize, 13, 4096] {
+        std::fs::write(&path, &sealed).expect("write");
+        append_garbage(&path, n, 0xF0F0 + n as u64).expect("append");
+        let err = Artifact::read_from(&path).expect_err("garbage tail must not open");
+        assert!(
+            matches!(err, ArtifactError::ChecksumMismatch { .. }),
+            "{n} garbage bytes: unexpected {err:?}"
+        );
+    }
+}
+
+#[test]
+fn pure_garbage_files_are_typed_errors_not_panics() {
+    let path = scratch("noise.ffsv");
+    for seed in 0..16u64 {
+        let n = (seed as usize * 37) % 512;
+        std::fs::write(&path, vec![]).expect("write");
+        append_garbage(&path, n, seed).expect("append");
+        assert!(
+            Artifact::read_from(&path).is_err(),
+            "{n} noise bytes opened as an artifact"
+        );
+    }
+}
+
+/// Re-seals arbitrary payload bytes behind a *valid* frame: correct
+/// magic, version, and CRC. Everything past the checksum is then the
+/// field decoder's problem — exactly the adversary the length caps and
+/// bounded reads exist for.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    out.extend_from_slice(b"FFSV");
+    out.push(1);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+#[test]
+fn hostile_length_prefixes_cannot_force_allocation() {
+    // algorithm = "x", no pipeline, no lags, then a member count
+    // claiming 4 billion entries — with a valid checksum over it all.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u32.to_le_bytes());
+    payload.push(b'x');
+    payload.push(0); // no pipeline
+    payload.extend_from_slice(&0u32.to_le_bytes()); // no lags
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // "members"
+    let err = Artifact::open(&frame(&payload)).expect_err("implausible member count");
+    assert!(
+        matches!(err, ArtifactError::ImplausibleLength(_)),
+        "unexpected {err:?}"
+    );
+
+    // A single member whose blob claims to be ~4 GiB.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&1u32.to_le_bytes());
+    payload.push(b'x');
+    payload.push(0);
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    payload.extend_from_slice(&1u32.to_le_bytes());
+    payload.extend_from_slice(&1.0f64.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // blob length
+    let err = Artifact::open(&frame(&payload)).expect_err("implausible blob length");
+    assert!(
+        matches!(
+            err,
+            ArtifactError::ImplausibleLength(_) | ArtifactError::Truncated
+        ),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn garbage_member_blobs_inside_a_valid_seal_fail_typed_at_decode() {
+    // The artifact frame is honest; the member payload is noise. The
+    // store must refuse to revive it — a typed Model error, not a panic
+    // and not a partial ensemble.
+    let artifact = Artifact {
+        algorithm: "XGBRegressor".into(),
+        pipeline: None,
+        lags: vec![1, 2],
+        members: vec![(1.0, vec![0xAB; 64])],
+    };
+    let reopened = Artifact::open(&artifact.seal()).expect("frame itself is valid");
+    let store = ModelStore::new();
+    store.publish("acme", "load", reopened);
+    let err = store.resolve("acme", "load").expect_err("garbage member");
+    assert!(matches!(err, ServeError::Model(_)), "unexpected {err:?}");
+
+    // A truncated-but-real member blob fails the same way.
+    let mut real = v3_artifact(4);
+    let blob = &mut real.members[0].1;
+    blob.truncate(blob.len() / 2);
+    let store = ModelStore::new();
+    store.publish(
+        "acme",
+        "cut",
+        Artifact::open(&real.seal()).expect("frame valid"),
+    );
+    let err = store.resolve("acme", "cut").expect_err("truncated member");
+    assert!(matches!(err, ServeError::Model(_)), "unexpected {err:?}");
+}
+
+#[test]
+fn a_wrong_generation_request_is_refused_not_guessed() {
+    // Flat member, no lag recipe in the artifact: the store must refuse
+    // with a typed error instead of inventing features.
+    let mut flat = v2_artifact(5, &[1, 2, 12]);
+    flat.lags.clear();
+    let store = ModelStore::new();
+    store.publish("acme", "flat", flat);
+    let ens = store.resolve("acme", "flat").expect("decodes fine");
+    let v = series(5, SERIES_LEN);
+    let err = ens.forecast(&v, 120, 125).expect_err("no recipe");
+    assert!(matches!(err, ServeError::Model(_)), "unexpected {err:?}");
+}

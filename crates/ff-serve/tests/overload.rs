@@ -1,0 +1,136 @@
+//! Overload contract: past the per-tenant in-flight limit, requests
+//! are shed with a typed [`ServeError::Overloaded`] — never queued
+//! unboundedly, never answered with a silently wrong forecast. The
+//! bounded-queue witness is `peak_in_flight`, which must never exceed
+//! the limit even under a 10× concurrent burst.
+
+mod common;
+
+use common::{reference_forecast, series, v3_artifact, SERIES_LEN};
+use ff_serve::{ModelStore, PredictRequest, ServeConfig, ServeError, ServeRuntime};
+use ff_trace::{FlightRecorder, RecorderConfig, Tracer};
+use std::sync::{Arc, Barrier};
+
+fn request() -> PredictRequest {
+    PredictRequest {
+        tenant: "acme".into(),
+        series: "load".into(),
+        values: series(7, SERIES_LEN),
+        start: 120,
+        end: 130,
+    }
+}
+
+fn runtime(limit: usize) -> ServeRuntime {
+    let store = Arc::new(ModelStore::new());
+    store.publish("acme", "load", v3_artifact(7));
+    ServeRuntime::new(
+        store,
+        ServeConfig {
+            tenant_inflight_limit: limit,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+#[test]
+fn a_batch_past_the_limit_sheds_typed_never_silently_wrong() {
+    let rt = runtime(2)
+        .with_tracer(Tracer::enabled())
+        .with_recorder(FlightRecorder::enabled(RecorderConfig::default()));
+    let reqs: Vec<PredictRequest> = (0..8).map(|_| request()).collect();
+    let results = rt.serve(&reqs);
+    let expected = reference_forecast(&v3_artifact(7), &reqs[0].values, 120, 130);
+    let mut ok = 0;
+    let mut shed = 0;
+    for r in &results {
+        match r {
+            Ok(forecast) => {
+                ok += 1;
+                common::assert_bits_eq(forecast, &expected, "admitted response");
+            }
+            Err(ServeError::Overloaded { tenant, limit }) => {
+                shed += 1;
+                assert_eq!(tenant, "acme");
+                assert_eq!(*limit, 2);
+            }
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+    // Admission holds permits for the whole call: exactly `limit` fit.
+    assert_eq!(ok, 2);
+    assert_eq!(shed, 6);
+    assert_eq!(rt.shed_total("acme"), 6);
+    assert_eq!(rt.peak_in_flight("acme"), 2);
+    // The distress left forensics behind: a shed commits a frame whose
+    // rejected list trips the recorder's rejection trigger.
+    assert!(!rt.recorder().dumps().is_empty(), "shed must leave a dump");
+    let snap = rt.tracer().snapshot();
+    assert!(snap
+        .counters
+        .iter()
+        .any(|(id, v)| id.name == "serve.shed" && *v == 6));
+}
+
+#[test]
+fn a_10x_burst_keeps_the_queue_bounded_and_every_answer_right() {
+    let limit = 4;
+    let rt = Arc::new(runtime(limit));
+    let expected = reference_forecast(&v3_artifact(7), &request().values, 120, 130);
+    let threads = 10 * limit;
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let rt = Arc::clone(&rt);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                rt.serve(&[request()]).remove(0)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for h in handles {
+        match h.join().expect("serving thread") {
+            Ok(forecast) => {
+                ok += 1;
+                common::assert_bits_eq(&forecast, &expected, "burst response");
+            }
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+    assert_eq!(ok + shed, threads as u64, "every request got an answer");
+    assert!(ok >= 1, "at least one request must be admitted");
+    assert!(
+        rt.peak_in_flight("acme") <= limit,
+        "in-flight exceeded the limit: {} > {limit}",
+        rt.peak_in_flight("acme")
+    );
+    assert_eq!(rt.shed_total("acme"), shed);
+}
+
+#[test]
+fn admission_is_per_tenant_not_global() {
+    let store = Arc::new(ModelStore::new());
+    store.publish("acme", "load", v3_artifact(7));
+    store.publish("globex", "load", v3_artifact(8));
+    let rt = ServeRuntime::new(
+        store,
+        ServeConfig {
+            tenant_inflight_limit: 1,
+            ..ServeConfig::default()
+        },
+    );
+    // One request per tenant in a single batch: both fit, because each
+    // tenant has its own gate.
+    let mut reqs = vec![request(), request()];
+    reqs[1].tenant = "globex".into();
+    reqs[1].values = series(8, SERIES_LEN);
+    let results = rt.serve(&reqs);
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    assert!(results[1].is_ok(), "{:?}", results[1]);
+    assert_eq!(rt.shed_total("acme"), 0);
+    assert_eq!(rt.shed_total("globex"), 0);
+}

@@ -1,0 +1,135 @@
+//! Concurrency soak (satellite 2): reader threads hammer the store
+//! while a writer hot-swaps the artifact under them. Every response
+//! must be entirely the old model's forecast or entirely the new one's
+//! — a torn read would blend them — and the whole run must finish
+//! inside a watchdog deadline, which a lock-ordering deadlock would
+//! miss.
+
+mod common;
+
+use common::{reference_forecast, series, v3_artifact, SERIES_LEN};
+use ff_serve::{Batcher, ModelStore, PredictRequest, ServeConfig, ServeRuntime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const READERS: usize = 4;
+const READS_PER_READER: usize = 200;
+const SWAPS: usize = 100;
+
+#[test]
+fn hot_swap_under_load_never_tears_and_never_deadlocks() {
+    // The actual work runs on a worker thread; the test thread is the
+    // watchdog. A deadlock (or livelock) inside the store would hang
+    // the workers forever — recv_timeout turns that into a failure
+    // instead of a silent CI hang.
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        soak();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("soak deadlocked: workers did not finish inside the watchdog deadline");
+}
+
+fn soak() {
+    let a = v3_artifact(11);
+    let b = v3_artifact(12);
+    let values = series(9, SERIES_LEN);
+    let (start, end) = (120, 132);
+    let ref_a: Vec<u64> = reference_forecast(&a, &values, start, end)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let ref_b: Vec<u64> = reference_forecast(&b, &values, start, end)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_ne!(ref_a, ref_b, "fixture models must actually differ");
+
+    // A tiny revive capacity forces constant decode/evict churn — the
+    // worst case for the cache's locking.
+    let store = Arc::new(ModelStore::with_revive_capacity(2));
+    store.publish("acme", "load", a.clone());
+    let rt = Arc::new(ServeRuntime::new(
+        Arc::clone(&store),
+        ServeConfig {
+            tenant_inflight_limit: usize::MAX,
+            ..ServeConfig::default()
+        },
+    ));
+    let writer_done = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&writer_done);
+        let (a, b) = (a.clone(), b.clone());
+        std::thread::spawn(move || {
+            for i in 0..SWAPS {
+                let next = if i % 2 == 0 { b.clone() } else { a.clone() };
+                store.publish("acme", "load", next);
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let rt = Arc::clone(&rt);
+            let store = Arc::clone(&store);
+            let values = values.clone();
+            let (ref_a, ref_b) = (ref_a.clone(), ref_b.clone());
+            std::thread::spawn(move || {
+                let batcher = Batcher::new();
+                for i in 0..READS_PER_READER {
+                    // Alternate the two read paths: raw resolve+forecast
+                    // and the full runtime front door.
+                    let forecast = if (r + i) % 2 == 0 {
+                        store
+                            .resolve("acme", "load")
+                            .and_then(|e| e.forecast(&values, start, end))
+                            .expect("resolve path")
+                    } else {
+                        let req = PredictRequest {
+                            tenant: "acme".into(),
+                            series: "load".into(),
+                            values: values.clone(),
+                            start,
+                            end,
+                        };
+                        let mut out = if i % 4 == 1 {
+                            batcher.run(rt.store(), &[req]).forecasts
+                        } else {
+                            rt.serve(&[req])
+                        };
+                        out.remove(0).expect("serve path")
+                    };
+                    let bits: Vec<u64> = forecast.iter().map(|v| v.to_bits()).collect();
+                    assert!(
+                        bits == ref_a || bits == ref_b,
+                        "torn response: neither generation's forecast (reader {r}, read {i})"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    for h in readers {
+        h.join().expect("reader thread");
+    }
+    writer.join().expect("writer thread");
+    assert!(writer_done.load(Ordering::Acquire));
+
+    // After the dust settles the store serves the last-published model.
+    let last = if SWAPS % 2 == 1 { &ref_b } else { &ref_a };
+    let settled: Vec<u64> = store
+        .resolve("acme", "load")
+        .and_then(|e| e.forecast(&values, start, end))
+        .expect("settled forecast")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(&settled, last, "store did not settle on the final publish");
+}

@@ -100,6 +100,21 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Merges a sequence of per-shard histograms into one, in iteration
+    /// order. On counts, buckets, min, and max the result is independent
+    /// of that order (merge is commutative and associative there); only
+    /// the floating-point [`sum`](Histogram::sum) accumulator is
+    /// order-sensitive, which is why callers that need a deterministic
+    /// `sum` — the serving batcher's per-shard latency partials — must
+    /// pass shards in shard index order.
+    pub fn merge_all<'a>(shards: impl IntoIterator<Item = &'a Histogram>) -> Histogram {
+        let mut out = Histogram::new();
+        for h in shards {
+            out.merge(h);
+        }
+        out
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -247,6 +262,39 @@ mod tests {
         assert_eq!(ab.max(), ba.max());
         for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
             assert_eq!(ab.percentile(q), ba.percentile(q));
+        }
+    }
+
+    #[test]
+    fn merge_all_equals_one_histogram_over_the_concatenation() {
+        // The serving batcher records latencies into per-shard partials
+        // and merges them in shard order; the result must carry the same
+        // statistics as recording every observation into one histogram.
+        let values: Vec<f64> = (0..256).map(|i| ((i * 37) % 97) as f64 + 0.25).collect();
+        let mut single = Histogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+        let shards: Vec<Histogram> = values
+            .chunks(21)
+            .map(|c| {
+                let mut h = Histogram::new();
+                for &v in c {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let merged = Histogram::merge_all(&shards);
+        assert_eq!(
+            merged.buckets().collect::<Vec<_>>(),
+            single.buckets().collect::<Vec<_>>()
+        );
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.min(), single.min());
+        assert_eq!(merged.max(), single.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(merged.percentile(q), single.percentile(q));
         }
     }
 

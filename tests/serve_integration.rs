@@ -1,0 +1,177 @@
+//! Train once, serve millions (satellite 1): a federated run is
+//! finalized, exported as a sealed artifact, published to the serving
+//! store, and then replayed — 1 000 forecast requests answered by the
+//! serving layer must be bit-for-bit what the deployed ensemble's own
+//! members predict directly, at any thread count.
+
+use fedforecaster::budget::Budget;
+use fedforecaster::config::EngineConfig;
+use fedforecaster::engine::FedForecaster;
+use ff_metalearn::kb::KnowledgeBase;
+use ff_metalearn::metamodel::{MetaClassifierKind, MetaModel};
+use ff_metalearn::synth::synthetic_kb;
+use ff_models::pipeline::{decode_member_blob, PipelineId};
+use ff_serve::{Artifact, Batcher, ModelStore, PredictRequest, ServeConfig, ServeRuntime};
+use ff_timeseries::synthesis::{generate, SeasonSpec, SynthesisSpec, TrendSpec};
+use ff_timeseries::TimeSeries;
+use std::sync::Arc;
+
+const N_CLIENTS: usize = 3;
+const REPLAYED: usize = 1_000;
+
+fn tiny_metamodel() -> MetaModel {
+    let kb = KnowledgeBase::build(&synthetic_kb(8), &[2], 50);
+    MetaModel::train(&kb, MetaClassifierKind::RandomForest, 0).unwrap()
+}
+
+fn federation() -> Vec<TimeSeries> {
+    generate(
+        &SynthesisSpec {
+            n: 600,
+            trend: TrendSpec::Linear(0.02),
+            seasons: vec![SeasonSpec {
+                period: 12.0,
+                amplitude: 2.0,
+            }],
+            snr: Some(25.0),
+            ..Default::default()
+        },
+        17,
+    )
+    .split_clients(N_CLIENTS)
+}
+
+/// The engine's own fold, re-derived from the artifact: decode every
+/// member blob, predict the range, accumulate normalized-weighted
+/// predictions in member order — the deployment evaluation from
+/// `test_global_ensemble`, without any ff-serve code in the loop.
+fn direct_forecast(artifact: &Artifact, values: &[f64], start: usize, end: usize) -> Vec<f64> {
+    let wsum: f64 = artifact.members.iter().map(|(w, _)| *w).sum();
+    let mut agg = vec![0.0; end - start];
+    for (w, blob) in &artifact.members {
+        let member = decode_member_blob(blob).expect("member blob decodes");
+        let pred = member
+            .predict_series(values, start, end)
+            .expect("pipeline member predicts the range");
+        for (a, p) in agg.iter_mut().zip(pred) {
+            *a += (w / wsum) * p;
+        }
+    }
+    agg
+}
+
+#[test]
+fn train_seal_serve_replays_bit_for_bit() {
+    // Train: a pipeline-search run, so every exported member is a
+    // self-contained blob-v3 forecaster.
+    let meta = tiny_metamodel();
+    let cfg = EngineConfig {
+        budget: Budget::Iterations(4),
+        pipelines: Some(vec![PipelineId::LAGGED, PipelineId::TREND_LAGGED]),
+        ..Default::default()
+    };
+    let clients = federation();
+    let result = FedForecaster::new(cfg, &meta).run(&clients).unwrap();
+    assert!(result.test_mse.is_finite());
+
+    // Seal: the run exports its deployed member set.
+    let artifact = result
+        .export_artifact()
+        .expect("an ensemble-union run exports an artifact");
+    assert_eq!(
+        artifact.members.len(),
+        N_CLIENTS,
+        "every client contributed a member"
+    );
+    assert_eq!(artifact.algorithm, result.best_algorithm.name());
+    assert_eq!(artifact.pipeline, result.best_pipeline);
+    // The sealed byte form round-trips exactly.
+    let reopened = Artifact::open(&artifact.seal()).expect("sealed artifact reopens");
+    assert_eq!(reopened, artifact);
+
+    // Publish: one store key per client series.
+    let store = Arc::new(ModelStore::new());
+    for c in 0..N_CLIENTS {
+        store.publish("fed", &format!("client-{c}"), reopened.clone());
+    }
+
+    // Replay: 1 000 requests over the clients' own series, windows in
+    // the private test region, answered by the serving layer and by the
+    // members directly.
+    let series: Vec<Vec<f64>> = clients.iter().map(|c| c.values().to_vec()).collect();
+    let requests: Vec<PredictRequest> = (0..REPLAYED)
+        .map(|i| {
+            let c = i % N_CLIENTS;
+            let start = 100 + (i * 7) % 90;
+            let end = start + 1 + i % 6;
+            PredictRequest {
+                tenant: "fed".into(),
+                series: format!("client-{c}"),
+                values: series[c].clone(),
+                start,
+                end,
+            }
+        })
+        .collect();
+    let expected: Vec<Vec<u64>> = requests
+        .iter()
+        .map(|r| {
+            direct_forecast(&artifact, &r.values, r.start, r.end)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+
+    // Serve, at one and at four workers, through both the raw batcher
+    // and the admission-controlled runtime front door.
+    for threads in [1usize, 4] {
+        let outcome = ff_par::with_threads(threads, || Batcher::new().run(&store, &requests));
+        assert_eq!(outcome.latency_histogram().count(), REPLAYED as u64);
+        for (i, (got, want)) in outcome.forecasts.iter().zip(&expected).enumerate() {
+            let got: Vec<u64> = got
+                .as_ref()
+                .unwrap_or_else(|e| panic!("request {i} failed: {e}"))
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(&got, want, "request {i} diverged at {threads} threads");
+        }
+
+        let rt = ServeRuntime::new(
+            Arc::clone(&store),
+            ServeConfig {
+                tenant_inflight_limit: REPLAYED,
+                ..ServeConfig::default()
+            },
+        );
+        let results = ff_par::with_threads(threads, || rt.serve(&requests));
+        for (i, (got, want)) in results.iter().zip(&expected).enumerate() {
+            let got: Vec<u64> = got
+                .as_ref()
+                .unwrap_or_else(|e| panic!("runtime request {i} failed: {e}"))
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(
+                &got, want,
+                "runtime request {i} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn coefficient_average_runs_export_nothing() {
+    // A flat run whose winner averages coefficients has no member set;
+    // the export is an honest None, not an empty-but-sealable artifact.
+    let meta = tiny_metamodel();
+    let cfg = EngineConfig {
+        budget: Budget::Iterations(3),
+        portfolio: Some(vec![ff_models::zoo::AlgorithmKind::LASSO]),
+        ..Default::default()
+    };
+    let result = FedForecaster::new(cfg, &meta).run(&federation()).unwrap();
+    assert!(result.ensemble_members.is_empty());
+    assert!(result.export_artifact().is_none());
+}
